@@ -1,0 +1,264 @@
+(* Benchmark harness: one Bechamel test per reproduced artifact (the
+   paper's figures are algorithms, so each benchmark times one complete
+   execution of the corresponding construction under a fixed seeded
+   schedule), plus substrate benches.
+
+   Prints the Section 5.4 class table (the paper's only "table") first,
+   then the timing estimates. *)
+
+open Bechamel
+open Toolkit
+open Svm
+open Svm.Prog.Syntax
+
+let adversary seed = Adversary.random ~seed
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark bodies: each is one complete run                           *)
+(* ------------------------------------------------------------------ *)
+
+let bench_native_snapshot () =
+  let env = Env.create ~nprocs:4 ~x:1 () in
+  let prog i =
+    let rec go r =
+      if r = 0 then Prog.return (Codec.int.Codec.inj i)
+      else
+        let* () = Prog.snap_set Codec.int "m" [] r in
+        let* _ = Prog.snap_scan Codec.int "m" [] in
+        go (r - 1)
+    in
+    go 25
+  in
+  ignore (Exec.run ~env ~adversary:(adversary 1) (Array.init 4 prog))
+
+let bench_afek_snapshot () =
+  let env = Env.create ~nprocs:3 ~x:1 () in
+  let snap = Shared_objects.Afek_snapshot.make ~fam:"AF" ~nprocs:3 in
+  let prog i =
+    let rec go r =
+      if r = 0 then Prog.return (Codec.int.Codec.inj i)
+      else
+        let* () =
+          Shared_objects.Afek_snapshot.update snap ~pid:i (Codec.int.Codec.inj r)
+        in
+        let* _ = Shared_objects.Afek_snapshot.scan snap ~pid:i in
+        go (r - 1)
+    in
+    go 8
+  in
+  ignore (Exec.run ~env ~adversary:(adversary 2) (Array.init 3 prog))
+
+let bench_safe_agreement () =
+  let env = Env.create ~nprocs:5 ~x:1 () in
+  let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
+  let prog i =
+    let* () =
+      Shared_objects.Safe_agreement.propose sa ~key:[] (Codec.int.Codec.inj i)
+    in
+    Shared_objects.Safe_agreement.decide sa ~key:[]
+  in
+  ignore (Exec.run ~env ~adversary:(adversary 3) (Array.init 5 prog))
+
+let bench_ts_from_cons () =
+  let env = Env.create ~nprocs:6 ~x:2 () in
+  let ts = Shared_objects.Ts_from_cons.make ~fam:"TS" ~participants:6 in
+  let prog i =
+    Prog.map Codec.bool.Codec.inj
+      (Shared_objects.Ts_from_cons.compete ts ~key:[] ~pid:i)
+  in
+  ignore (Exec.run ~env ~adversary:(adversary 4) (Array.init 6 prog))
+
+let bench_x_compete () =
+  let env = Env.create ~nprocs:6 ~x:2 () in
+  let xc = Shared_objects.X_compete.make ~fam:"XC" ~participants:6 ~x:2 in
+  let prog i =
+    Prog.map Codec.bool.Codec.inj
+      (Shared_objects.X_compete.compete xc ~key:[] ~pid:i)
+  in
+  ignore (Exec.run ~env ~adversary:(adversary 5) (Array.init 6 prog))
+
+let bench_x_safe_agreement x () =
+  let env = Env.create ~nprocs:6 ~x () in
+  let xsa = Shared_objects.X_safe_agreement.make ~fam:"XSA" ~participants:6 ~x () in
+  let prog i =
+    let* () =
+      Shared_objects.X_safe_agreement.propose xsa ~key:[] ~pid:i
+        (Codec.int.Codec.inj i)
+    in
+    Shared_objects.X_safe_agreement.decide xsa ~key:[] ~pid:i
+  in
+  ignore (Exec.run ~env ~adversary:(adversary 6) (Array.init 6 prog))
+
+let run_alg ?(budget = 5_000_000) ~seed alg () =
+  let n = Core.Algorithm.n alg in
+  let inputs = List.init n (fun i -> (7 * i) + 3) in
+  ignore
+    (Core.Run.run_ints ~budget ~alg ~inputs ~adversary:(adversary seed) ())
+
+(* Native task algorithms. *)
+let kset_native = Tasks.Algorithms.kset_read_write ~n:5 ~t:2 ~k:3
+let kset_grouped = Tasks.Algorithms.kset_grouped ~n:6 ~t:4 ~x:2 ~k:3
+let renaming_native = Tasks.Algorithms.renaming_read_write ~n:6 ~t:2
+
+(* The simulations (built once; each run is independent). *)
+let bg_classic = Core.Bg.classic ~source:kset_native
+let sim_down = Core.Bg.sim_down ~source:kset_grouped ~t:2
+
+let sim_up_x2 =
+  Core.Bg.sim_up ~source:(Tasks.Algorithms.kset_read_write ~n:6 ~t:2 ~k:3)
+    ~t':5 ~x:2
+
+let sim_up_x3 =
+  Core.Bg.sim_up ~source:(Tasks.Algorithms.kset_read_write ~n:6 ~t:1 ~k:2)
+    ~t':5 ~x:3
+
+let window_lo =
+  Core.Bg.sim_up ~source:(Tasks.Algorithms.kset_read_write ~n:6 ~t:1 ~k:2)
+    ~t':2 ~x:2
+
+let window_hi =
+  Core.Bg.sim_up ~source:(Tasks.Algorithms.kset_read_write ~n:6 ~t:1 ~k:2)
+    ~t':3 ~x:2
+
+let chain_2hop =
+  Core.Bg.chain
+    ~source:(Tasks.Algorithms.kset_read_write ~n:4 ~t:2 ~k:3)
+    ~via:[ Core.Model.read_write ~n:3 ~t:2; Core.Model.make ~n:6 ~t:5 ~x:2 ]
+
+let colored_renaming =
+  Core.Bg.colored ~source:renaming_native
+    ~target:(Core.Model.make ~n:4 ~t:2 ~x:2)
+
+let bench_universal_counter () =
+  let open Universal.Seq_spec in
+  let env = Env.create ~nprocs:4 ~x:4 () in
+  let obj = Universal.Herlihy.make counter ~fam:"U" in
+  let prog pid =
+    let session = Universal.Herlihy.session obj ~pid in
+    let rec go acc = function
+      | [] -> Prog.return (Codec.int.Codec.inj acc)
+      | op :: rest ->
+          let* r = Universal.Herlihy.invoke session op in
+          go (acc + r) rest
+    in
+    go 0 [ Add 1; Add 1; Add 1 ]
+  in
+  ignore (Exec.run ~env ~adversary:(adversary 21) (Array.init 4 prog))
+
+let bench_paxos () =
+  let env = Env.create ~nprocs:5 ~x:1 () in
+  Env.set_oracle env "OM"
+    (Shared_objects.Paxos.leader_oracle ~stabilize_after:3 ~leader:2 ~nprocs:5);
+  let paxos = Shared_objects.Paxos.make ~fam:"P" ~nprocs:5 in
+  ignore
+    (Exec.run ~budget:60_000 ~env ~adversary:(adversary 22)
+       (Array.init 5 (fun pid ->
+            Shared_objects.Paxos.consensus paxos ~oracle_fam:"OM" ~pid
+              (Codec.int.Codec.inj pid))))
+
+let mlset_alg =
+  Tasks.Set_agreement.algorithm ~n:6 ~t:3 ~m:3 ~l:2
+    ~k:(Tasks.Set_agreement.herlihy_rajsbaum_k ~t:3 ~m:3 ~l:2)
+
+let bench_mlset () =
+  let env = Env.create ~nprocs:6 ~x:1 ~allow_kset:true () in
+  ignore
+    (Exec.run ~env ~adversary:(adversary 23)
+       (Array.init 6 (fun pid ->
+            mlset_alg.Core.Algorithm.code ~pid
+              ~input:(Codec.int.Codec.inj (2 * pid)))))
+
+let bench_explorer () =
+  let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
+  let make () =
+    let env = Env.create ~nprocs:2 ~x:1 () in
+    let prog i =
+      let* () =
+        Shared_objects.Safe_agreement.propose sa ~key:[] (Codec.int.Codec.inj i)
+      in
+      Shared_objects.Safe_agreement.decide sa ~key:[]
+    in
+    (env, Array.init 2 prog)
+  in
+  ignore
+    (Explore.exhaustive ~max_crashes:1 ~max_steps:12 ~make
+       ~property:(fun _ -> Ok ())
+       ())
+
+let tests =
+  Test.make_grouped ~name:"mpcn"
+    [
+      Test.make ~name:"S0a: native snapshot, 4 procs x 25 rounds"
+        (Staged.stage bench_native_snapshot);
+      Test.make ~name:"S0b: Afek snapshot from registers, 3 x 8"
+        (Staged.stage bench_afek_snapshot);
+      Test.make ~name:"S0c: test&set from 2-cons, 6 procs"
+        (Staged.stage bench_ts_from_cons);
+      Test.make ~name:"F1: safe agreement, 5 procs"
+        (Staged.stage bench_safe_agreement);
+      Test.make ~name:"F5: x_compete, 6 procs x=2"
+        (Staged.stage bench_x_compete);
+      Test.make ~name:"F6a: x_safe_agreement, 6 procs x=2"
+        (Staged.stage (bench_x_safe_agreement 2));
+      Test.make ~name:"F6b: x_safe_agreement, 6 procs x=3"
+        (Staged.stage (bench_x_safe_agreement 3));
+      Test.make ~name:"base: native k-set ASM(5,2,1)"
+        (Staged.stage (run_alg ~seed:10 kset_native));
+      Test.make ~name:"base: grouped k-set ASM(6,4,2)"
+        (Staged.stage (run_alg ~seed:11 kset_grouped));
+      Test.make ~name:"F8a: native renaming ASM(6,2,1)"
+        (Staged.stage (run_alg ~seed:12 renaming_native));
+      Test.make ~name:"F2-F3: BG classic -> ASM(3,2,1)"
+        (Staged.stage (run_alg ~seed:13 bg_classic));
+      Test.make ~name:"F4: Section 3 sim -> ASM(6,2,1)"
+        (Staged.stage (run_alg ~seed:14 sim_down));
+      Test.make ~name:"S4a: Section 4 sim -> ASM(6,5,2)"
+        (Staged.stage (run_alg ~seed:15 sim_up_x2));
+      Test.make ~name:"S4b: Section 4 sim -> ASM(6,5,3)"
+        (Staged.stage (run_alg ~seed:16 sim_up_x3));
+      Test.make ~name:"MPa: window edge t'=t*x -> ASM(6,2,2)"
+        (Staged.stage (run_alg ~seed:17 window_lo));
+      Test.make ~name:"MPb: window edge t'=t*x+x-1 -> ASM(6,3,2)"
+        (Staged.stage (run_alg ~seed:18 window_hi));
+      Test.make ~name:"F7: 2-hop chain -> ASM(6,5,2)"
+        (Staged.stage (run_alg ~seed:19 chain_2hop));
+      Test.make ~name:"F8b: colored renaming -> ASM(4,2,2)"
+        (Staged.stage (run_alg ~seed:20 colored_renaming));
+      Test.make ~name:"UC: universal fetch&add, 4 procs x 3 ops"
+        (Staged.stage bench_universal_counter);
+      Test.make ~name:"FD: Paxos consensus with Omega, 5 procs"
+        (Staged.stage bench_paxos);
+      Test.make ~name:"SA: k-set from (3,2)-set objects, n=6"
+        (Staged.stage bench_mlset);
+      Test.make ~name:"EX: exhaustive explorer, 4570 schedules"
+        (Staged.stage bench_explorer);
+    ]
+
+let () =
+  (* The paper's "table": the Section 5.4 equivalence classes. *)
+  print_string (Experiments.Exp_sec54.classes_table ~t':8 ~x_max:9);
+  print_newline ();
+
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let names = Test.names tests in
+  Printf.printf "%-56s %14s\n" "benchmark (one complete run)" "time/run";
+  Printf.printf "%s\n" (String.make 72 '-');
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt results name with
+      | None -> ()
+      | Some ols -> (
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) ->
+              Printf.printf "%-56s %11.3f ms\n" name (est /. 1e6)
+          | Some [] | None -> Printf.printf "%-56s %14s\n" name "n/a"))
+    names

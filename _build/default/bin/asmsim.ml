@@ -1,0 +1,265 @@
+(* asmsim — command-line interface to the reproduction.
+
+   Subcommands:
+     classes     print the Section 5.4 equivalence-class table
+     canonical   canonical form of one model
+     run-task    run a task algorithm natively under a seeded adversary
+     simulate    run it under a simulation into another model
+     experiment  run one experiment (or all) and print the report *)
+
+open Cmdliner
+
+let model_conv =
+  let parse s =
+    match String.split_on_char ',' s with
+    | [ n; t; x ] -> (
+        try Ok (Core.Model.make ~n:(int_of_string n) ~t:(int_of_string t)
+                  ~x:(int_of_string x))
+        with Invalid_argument msg | Failure msg -> Error (`Msg msg))
+    | _ -> Error (`Msg "expected n,t,x (e.g. 6,4,2)")
+  in
+  Arg.conv (parse, fun ppf m -> Core.Model.pp ppf m)
+
+(* ---- classes ---- *)
+
+let classes_cmd =
+  let t' =
+    Arg.(value & opt int 8 & info [ "t" ] ~docv:"T'" ~doc:"Crash bound t'.")
+  in
+  let x_max =
+    Arg.(value & opt int 9 & info [ "x-max" ] ~docv:"X" ~doc:"Largest x.")
+  in
+  let run t' x_max = print_string (Experiments.Exp_sec54.classes_table ~t' ~x_max) in
+  Cmd.v
+    (Cmd.info "classes" ~doc:"Print the Section 5.4 equivalence-class table")
+    Term.(const run $ t' $ x_max)
+
+(* ---- canonical ---- *)
+
+let canonical_cmd =
+  let model =
+    Arg.(
+      required
+      & pos 0 (some model_conv) None
+      & info [] ~docv:"MODEL" ~doc:"Model as n,t,x.")
+  in
+  let run m =
+    Format.printf "%a: power %d, canonical %a, BG canonical %a@."
+      Core.Model.pp m (Core.Model.power m) Core.Model.pp
+      (Core.Model.canonical m) Core.Model.pp
+      (Core.Model.bg_canonical m)
+  in
+  Cmd.v (Cmd.info "canonical" ~doc:"Canonical form of a model")
+    Term.(const run $ model)
+
+(* ---- shared task/algorithm setup ---- *)
+
+let task_arg =
+  Arg.(
+    value & opt string "kset:3"
+    & info [ "task" ] ~docv:"TASK"
+        ~doc:"Task: kset:K, consensus, renaming, trivial, approx.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Adversary seed.")
+
+let crashes_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "crashes" ] ~docv:"C" ~doc:"Maximum crashes to inject.")
+
+let parse_task ~n ~t s : (Tasks.Task.t * Core.Algorithm.t, string) result =
+  match String.split_on_char ':' s with
+  | [ "kset"; k ] ->
+      let k = int_of_string k in
+      if t < k then
+        Ok (Tasks.Task.kset ~k, Tasks.Algorithms.kset_read_write ~n ~t ~k)
+      else Error "kset needs t < k for the read/write algorithm"
+  | [ "consensus" ] ->
+      if t = 0 then
+        Ok (Tasks.Task.consensus, Tasks.Algorithms.consensus_zero_resilient ~n)
+      else Error "read/write consensus requires t = 0"
+  | [ "renaming" ] ->
+      Ok
+        ( Tasks.Task.renaming ~slots:((2 * n) - 1),
+          Tasks.Algorithms.renaming_read_write ~n ~t )
+  | [ "trivial" ] -> Ok (Tasks.Task.trivial, Tasks.Algorithms.trivial ~n ~t)
+  | [ "approx" ] ->
+      Ok
+        ( Tasks.Task.approximate ~scale:1024 ~eps:4,
+          Tasks.Algorithms.approximate_agreement ~n ~t ~rounds:17 ~scale:1024 )
+  | _ -> Error (Printf.sprintf "unknown task %S" s)
+
+let print_run (task : Tasks.Task.t) (run : Experiments.Runner.run) =
+  let open Svm in
+  Format.printf "inputs:    [%s]@."
+    (String.concat "; " (List.map string_of_int run.Experiments.Runner.inputs));
+  Array.iteri
+    (fun i o ->
+      Format.printf "  p%d: %s@." i
+        (match o with
+        | Exec.Decided v -> Printf.sprintf "decided %d" v
+        | Exec.Crashed -> "crashed"
+        | Exec.Blocked -> "blocked"))
+    run.Experiments.Runner.result.Exec.outcomes;
+  Format.printf "steps: %d;  validity: %s@."
+    run.Experiments.Runner.result.Exec.total_steps
+    (match Experiments.Runner.validate ~task run with
+    | Ok () -> "ok"
+    | Error m -> "VIOLATED: " ^ m)
+
+(* ---- run-task ---- *)
+
+let run_task_cmd =
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Processes.") in
+  let t = Arg.(value & opt int 2 & info [ "t" ] ~doc:"Crash bound.") in
+  let run n t task seed crashes =
+    match parse_task ~n ~t task with
+    | Error m ->
+        prerr_endline m;
+        exit 1
+    | Ok (task, alg) ->
+        let r =
+          Experiments.Runner.one_run ~task ~alg ~seed ~max_crashes:crashes ()
+        in
+        Format.printf "algorithm: %s in %s@." alg.Core.Algorithm.name
+          (Core.Model.to_string alg.Core.Algorithm.model);
+        print_run task r
+  in
+  Cmd.v
+    (Cmd.info "run-task" ~doc:"Run a task algorithm natively")
+    Term.(const run $ n $ t $ task_arg $ seed_arg $ crashes_arg)
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Source processes.") in
+  let t = Arg.(value & opt int 2 & info [ "t" ] ~doc:"Source crash bound.") in
+  let target =
+    Arg.(
+      required
+      & opt (some model_conv) None
+      & info [ "target" ] ~docv:"MODEL" ~doc:"Target model n,t,x.")
+  in
+  let colored =
+    Arg.(value & flag & info [ "colored" ] ~doc:"Use the colored simulation.")
+  in
+  let run n t task seed crashes target colored =
+    match parse_task ~n ~t task with
+    | Error m ->
+        prerr_endline m;
+        exit 1
+    | Ok (task, source) ->
+        let alg =
+          if colored then Core.Bg.colored ~source ~target
+          else Core.Bg.to_model ~source ~target
+        in
+        Format.printf "simulation: %s@." alg.Core.Algorithm.name;
+        let r =
+          Experiments.Runner.one_run ~budget:5_000_000 ~task ~alg ~seed
+            ~max_crashes:crashes ()
+        in
+        print_run task r
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a task under a BG-style simulation")
+    Term.(
+      const run $ n $ t $ task_arg $ seed_arg $ crashes_arg $ target $ colored)
+
+(* ---- chain ---- *)
+
+let chain_cmd =
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Source processes.") in
+  let t = Arg.(value & opt int 2 & info [ "t" ] ~doc:"Source crash bound.") in
+  let target =
+    Arg.(
+      required
+      & opt (some model_conv) None
+      & info [ "target" ] ~docv:"MODEL" ~doc:"Equivalent target model n,t,x.")
+  in
+  let run n t task seed target =
+    match parse_task ~n ~t task with
+    | Error m ->
+        prerr_endline m;
+        exit 1
+    | Ok (task, source) ->
+        let via = Core.Bg.figure7_chain ~source ~target in
+        Format.printf "Figure 7 chain: %s"
+          (Core.Model.to_string source.Core.Algorithm.model);
+        List.iter (fun m -> Format.printf " -> %s" (Core.Model.to_string m)) via;
+        Format.printf "@.(each arrow is one full BG-style simulation; cost multiplies per hop)@.";
+        let alg = Core.Bg.chain ~source ~via in
+        let r =
+          Experiments.Runner.one_run ~budget:50_000_000 ~task ~alg ~seed
+            ~max_crashes:0 ()
+        in
+        print_run task r
+  in
+  Cmd.v
+    (Cmd.info "chain"
+       ~doc:"Run a task through the full Figure 7 equivalence chain")
+    Term.(const run $ n $ t $ task_arg $ seed_arg $ target)
+
+(* ---- overhead ---- *)
+
+let overhead_cmd =
+  let run () = print_string (Experiments.Exp_scale.overhead_table ()) in
+  Cmd.v
+    (Cmd.info "overhead" ~doc:"Print the simulation step-cost table")
+    Term.(const run $ const ())
+
+(* ---- experiment ---- *)
+
+let experiment_cmd =
+  let id =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"ID" ~doc:"Experiment id, or 'all'.")
+  in
+  let markdown =
+    Arg.(value & flag & info [ "markdown" ] ~doc:"Emit markdown.")
+  in
+  let run id markdown =
+    let reports =
+      if String.equal id "all" then
+        List.map (fun (_, _, run) -> run ()) Experiments.Registry.all
+      else
+        match Experiments.Registry.find id with
+        | Some run -> [ run () ]
+        | None ->
+            Format.eprintf "unknown experiment %s (have: %s)@." id
+              (String.concat ", " (Experiments.Registry.ids ()));
+            exit 1
+    in
+    List.iter
+      (fun r ->
+        if markdown then print_string (Experiments.Report.to_markdown r)
+        else Format.printf "%a@." Experiments.Report.pp r)
+      reports;
+    let failed = List.filter (fun r -> not (Experiments.Report.all_ok r)) reports in
+    if not markdown then begin
+      Format.printf "-------------------------------------------@.";
+      List.iter
+        (fun r -> Format.printf "%a@." Experiments.Report.pp_summary_line r)
+        reports
+    end;
+    if failed <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run reproduction experiments")
+    Term.(const run $ id $ markdown)
+
+let () =
+  let doc = "Reproduction of 'The Multiplicative Power of Consensus Numbers'" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "asmsim" ~doc)
+          [
+            classes_cmd;
+            canonical_cmd;
+            run_task_cmd;
+            simulate_cmd;
+            chain_cmd;
+            overhead_cmd;
+            experiment_cmd;
+          ]))

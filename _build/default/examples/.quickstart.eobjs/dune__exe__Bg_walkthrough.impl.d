@@ -1,0 +1,1 @@
+examples/bg_walkthrough.ml: Adversary Array Core Exec Format List Printf Svm Tasks Trace

@@ -1,0 +1,1 @@
+examples/bg_walkthrough.mli:

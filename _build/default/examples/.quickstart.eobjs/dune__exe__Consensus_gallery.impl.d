@@ -1,0 +1,1 @@
+examples/consensus_gallery.ml: Adversary Array Codec Env Exec Format List Printf Prog Shared_objects String Svm Universal

@@ -1,0 +1,1 @@
+examples/crash_adversary.ml: Adversary Array Codec Core Exec Format Fun List Op String Svm Tasks Univ

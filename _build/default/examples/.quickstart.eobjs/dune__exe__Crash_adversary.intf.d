@@ -1,0 +1,1 @@
+examples/crash_adversary.mli:

@@ -1,0 +1,1 @@
+examples/multiplicative_power.ml: Adversary Core Exec Format List Svm Tasks

@@ -1,0 +1,1 @@
+examples/multiplicative_power.mli:

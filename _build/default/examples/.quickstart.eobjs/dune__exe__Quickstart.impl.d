@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adversary Array Core Exec Format Printf Svm Tasks

@@ -1,0 +1,1 @@
+examples/renaming_colored.ml: Adversary Core Exec Format List String Svm Tasks

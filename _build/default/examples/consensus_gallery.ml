@@ -1,0 +1,118 @@
+(* The consensus-number gallery: the hierarchy the whole paper rests on,
+   demonstrated object by object (paper Section 1.1).
+
+   - one test&set or one token queue solves consensus for 2 processes
+     (consensus number 2);
+   - one compare&swap solves it for any number (consensus number inf);
+   - and consensus objects go the other way: Herlihy's universal
+     construction turns n-ported consensus into ANY linearizable object
+     — here a fetch&add counter shared by 4 processes;
+   - finally, the failure detector Omega boosts the register-only model
+     to consensus (Section 1.3), shown with 4 of 5 processes crashing.
+
+   Run with:  dune exec examples/consensus_gallery.exe *)
+
+open Svm
+open Svm.Prog.Syntax
+
+let show label r =
+  let ds = List.map Codec.int.Codec.prj (Exec.decided r) in
+  Format.printf "%-46s decided [%s]%s@." label
+    (String.concat "; " (List.map string_of_int ds))
+    (if r.Exec.crashed = [] then ""
+     else
+       Printf.sprintf "  (crashed: %s)"
+         (String.concat "," (List.map string_of_int r.Exec.crashed)))
+
+let () =
+  (* Consensus number 2: test&set. *)
+  let env = Env.create ~nprocs:2 ~x:2 () in
+  let r =
+    Exec.run ~env
+      ~adversary:(Adversary.random ~seed:1)
+      (Array.init 2 (fun pid ->
+           Prog.map Codec.int.Codec.inj
+             (Universal.From_objects.cons2_from_ts ~fam:"G" ~key:[] ~pid
+                (10 + pid))))
+  in
+  show "2-consensus from one test&set:" r;
+
+  (* Consensus number 2: a queue holding one token. *)
+  let env = Env.create ~nprocs:2 ~x:2 () in
+  Universal.From_objects.setup_queue env ~fam:"Q" ~key:[];
+  let r =
+    Exec.run ~env
+      ~adversary:(Adversary.random ~seed:2)
+      (Array.init 2 (fun pid ->
+           Prog.map Codec.int.Codec.inj
+             (Universal.From_objects.cons2_from_queue ~fam:"Q" ~key:[] ~pid
+                (20 + pid))))
+  in
+  show "2-consensus from one token queue:" r;
+
+  (* Consensus number infinity: compare&swap, 6 processes. *)
+  let env = Env.create ~nprocs:6 ~x:1 ~allow_cas:true () in
+  let r =
+    Exec.run ~env
+      ~adversary:(Adversary.random ~seed:3)
+      (Array.init 6 (fun pid ->
+           Prog.map Codec.int.Codec.inj
+             (Universal.From_objects.consn_from_cas ~fam:"C" ~key:[] ~pid
+                (30 + pid))))
+  in
+  show "6-consensus from one compare&swap:" r;
+
+  (* The other direction: consensus objects implement anything — a
+     wait-free linearizable fetch&add counter for 4 processes. *)
+  let open Universal.Seq_spec in
+  let env = Env.create ~nprocs:4 ~x:4 () in
+  let obj = Universal.Herlihy.make counter ~fam:"U" in
+  let prog pid =
+    let session = Universal.Herlihy.session obj ~pid in
+    let rec go acc = function
+      | [] -> Prog.return ((Codec.list Codec.int).Codec.inj (List.rev acc))
+      | op :: rest ->
+          let* res = Universal.Herlihy.invoke session op in
+          go (res :: acc) rest
+    in
+    go [] [ Add 1; Add 1 ]
+  in
+  let r =
+    Exec.run ~env ~adversary:(Adversary.random ~seed:4) (Array.init 4 prog)
+  in
+  let tickets =
+    Exec.decided r
+    |> List.concat_map (fun u -> (Codec.list Codec.int).Codec.prj u)
+    |> List.sort compare
+  in
+  Format.printf
+    "%-46s tickets [%s]@."
+    "universal fetch&add from 4-consensus:"
+    (String.concat "; " (List.map string_of_int tickets));
+
+  (* Omega boosting: consensus from registers + a leader oracle, with 4
+     of 5 processes crashing. *)
+  let env = Env.create ~nprocs:5 ~x:1 () in
+  Env.set_oracle env "OM"
+    (Shared_objects.Paxos.leader_oracle ~stabilize_after:3 ~leader:2 ~nprocs:5);
+  let paxos = Shared_objects.Paxos.make ~fam:"P" ~nprocs:5 in
+  let adversary =
+    Adversary.with_crashes
+      (Adversary.random ~seed:5)
+      [
+        Adversary.Crash_at_local { pid = 0; step = 4 };
+        Adversary.Crash_at_local { pid = 1; step = 7 };
+        Adversary.Crash_at_local { pid = 3; step = 2 };
+        Adversary.Crash_at_local { pid = 4; step = 9 };
+      ]
+  in
+  let r =
+    Exec.run ~budget:60_000 ~env ~adversary
+      (Array.init 5 (fun pid ->
+           Shared_objects.Paxos.consensus paxos ~oracle_fam:"OM" ~pid
+             (Codec.int.Codec.inj (50 + pid))))
+  in
+  show "consensus from registers + Omega, 4 crashes:" r;
+  Format.printf
+    "@.registers alone cannot do the last line (FLP / consensus number 1): \
+     the oracle is exactly what the paper's Section 1.3 calls boosting.@."

@@ -1,0 +1,92 @@
+(* Targeted crash adversaries: the exact worst cases of the lemmas.
+
+   1. Section 3 (Lemma 1): in the simulation of ASM(6,4,2) in
+      ASM(6,2,1), crash one simulator while it is inside the safe
+      agreement serving a simulated 2-ported consensus object. Exactly
+      the 2 processes of that group block; the 4 others decide at every
+      correct simulator.
+
+   2. Section 4 (Lemma 7): in the simulation of ASM(6,2,1) in
+      ASM(6,5,2), the same single mid-propose crash blocks NOTHING,
+      because an x_safe_agreement object survives x-1 = 1 owner crash.
+      Blocking one simulated process requires crashing both owners of
+      one agreement instance.
+
+   Run with:  dune exec examples/crash_adversary.exe *)
+
+open Svm
+
+let show title n stats (r : Univ.t Exec.result) =
+  let decided = Core.Bg_engine.decided_processes stats in
+  let blocked =
+    List.filter (fun j -> not (List.mem j decided)) (List.init n Fun.id)
+  in
+  Format.printf "%s@." title;
+  Format.printf "  simulators crashed: [%s]@."
+    (String.concat ";" (List.map string_of_int r.Exec.crashed));
+  Format.printf "  simulated processes decided somewhere: [%s]@."
+    (String.concat ";" (List.map string_of_int decided));
+  Format.printf "  simulated processes blocked:           [%s]@.@."
+    (String.concat ";" (List.map string_of_int blocked))
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let crash_in ~pid ~prefix ~nth =
+  Adversary.Crash_before_op
+    { pid; nth; matches = (fun (i : Op.info) -> starts_with ~prefix i.Op.fam) }
+
+let () =
+  (* Section 3: one crash inside the agreement of a consensus object. *)
+  let source = Tasks.Algorithms.kset_grouped ~n:6 ~t:4 ~x:2 ~k:3 in
+  let stats = Core.Bg_engine.new_stats () in
+  let alg =
+    Core.Bg_engine.simulate ~stats ~source
+      ~target:(Core.Model.read_write ~n:6 ~t:2)
+      ~mode:`Exhaustive ()
+  in
+  let adversary =
+    Adversary.with_crashes
+      (Adversary.round_robin ())
+      [ crash_in ~pid:0 ~prefix:"XSA:" ~nth:2 ]
+  in
+  let inputs = Array.init 6 (fun i -> Svm.Codec.int.Codec.inj (10 + i)) in
+  let r = Core.Run.run ~budget:600_000 ~alg ~inputs ~adversary () in
+  show
+    "Section 3 simulation, 1 crash inside a consensus-object agreement \
+     (expect one whole group of 2 blocked):"
+    6 stats r;
+
+  (* Section 4: one mid-propose crash blocks nothing... *)
+  let source = Tasks.Algorithms.kset_read_write ~n:6 ~t:2 ~k:3 in
+  let target = Core.Model.make ~n:6 ~t:5 ~x:2 in
+  let stats = Core.Bg_engine.new_stats () in
+  let alg = Core.Bg_engine.simulate ~stats ~source ~target ~mode:`Exhaustive () in
+  let adversary =
+    Adversary.with_crashes
+      (Adversary.round_robin ())
+      [ crash_in ~pid:0 ~prefix:"SA.val" ~nth:0 ]
+  in
+  let r = Core.Run.run ~budget:900_000 ~alg ~inputs ~adversary () in
+  show
+    "Section 4 simulation, 1 crash inside a propose (expect NOTHING \
+     blocked - the co-owner finishes the object):"
+    6 stats r;
+
+  (* ... but crashing both owners of one instance blocks one process. *)
+  let stats = Core.Bg_engine.new_stats () in
+  let alg = Core.Bg_engine.simulate ~stats ~source ~target ~mode:`Exhaustive () in
+  let adversary =
+    Adversary.with_crashes
+      (Adversary.priority [ 0; 1 ])
+      [
+        crash_in ~pid:0 ~prefix:"SA.val" ~nth:0;
+        crash_in ~pid:1 ~prefix:"SA.val" ~nth:0;
+      ]
+  in
+  let r = Core.Run.run ~budget:900_000 ~alg ~inputs ~adversary () in
+  show
+    "Section 4 simulation, both owners of one agreement crash (expect \
+     exactly 1 simulated process blocked = floor(2/2)):"
+    6 stats r

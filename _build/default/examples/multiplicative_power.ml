@@ -1,0 +1,59 @@
+(* The multiplicative power of consensus numbers, empirically.
+
+   Fix a 1-resilient read/write algorithm (2-set agreement among 8
+   processes). The paper says ASM(8, t', 3) can run it exactly when
+   floor(t'/3) <= 1, i.e. t' <= 5, and that ASM(8, t', 3) is *equivalent*
+   to ASM(8, 1, 1) exactly for t' in the window [3, 5]. We sweep t' and
+   show the window: inside it, the Section 4 simulation carries the
+   algorithm and it survives t' crashes; past it, the simulation is
+   (correctly) refused.
+
+   Run with:  dune exec examples/multiplicative_power.exe *)
+
+open Svm
+
+let n = 8
+let t = 1
+let x = 3
+
+let () =
+  let source = Tasks.Algorithms.kset_read_write ~n ~t ~k:2 in
+  let task = Tasks.Task.kset ~k:2 in
+  let lo, hi = Core.Model.window_bounds ~t ~x in
+  Format.printf
+    "source algorithm: %s;  window for (t=%d, x=%d): t' in [%d, %d]@.@."
+    source.Core.Algorithm.name t x lo hi;
+  for t' = 1 to 7 do
+    let m = Core.Model.make ~n ~t:t' ~x in
+    let equivalent = Core.Model.equivalent m (Core.Model.read_write ~n ~t) in
+    match Core.Bg.sim_up ~source ~t' ~x with
+    | exception Invalid_argument _ ->
+        Format.printf
+          "t' = %d: power %d > %d — simulation refused (task unsolvable \
+           there: %d-set needs k > floor(t'/x))@."
+          t' (Core.Model.power m) t 2
+    | alg ->
+        let adversary =
+          Adversary.random_crashes ~within:800 ~seed:(100 + t')
+            ~max_crashes:t' ~nprocs:n
+            (Adversary.random ~seed:t')
+        in
+        let inputs = task.Tasks.Task.gen_inputs ~seed:t' ~n in
+        let r =
+          Core.Run.run_ints ~budget:8_000_000 ~alg ~inputs ~adversary ()
+        in
+        let decisions = Exec.decided r in
+        let valid =
+          match task.Tasks.Task.validate ~inputs ~decisions with
+          | Ok () -> "valid"
+          | Error m -> "INVALID: " ^ m
+        in
+        Format.printf
+          "t' = %d: power %d, %s ASM(%d,1,1); %d crashes injected, %d \
+           simulators decided, task %s@."
+          t' (Core.Model.power m)
+          (if equivalent then "equivalent to " else "strictly above")
+          n
+          (List.length r.Exec.crashed)
+          (List.length decisions) valid
+  done

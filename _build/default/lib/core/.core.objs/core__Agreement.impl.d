@@ -1,0 +1,1 @@
+lib/core/agreement.ml: Model Shared_objects Svm

@@ -1,0 +1,1 @@
+lib/core/agreement.mli: Model Svm

@@ -1,0 +1,1 @@
+lib/core/algorithm.ml: Model Svm

@@ -1,0 +1,1 @@
+lib/core/bg.ml: Algorithm Bg_engine List Model Printf Svm

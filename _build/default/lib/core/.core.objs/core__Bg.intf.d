@@ -1,0 +1,1 @@
+lib/core/bg.mli: Algorithm Model

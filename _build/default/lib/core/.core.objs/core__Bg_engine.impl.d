@@ -1,0 +1,1 @@
+lib/core/bg_engine.ml: Agreement Algorithm Array Codec Format Hashtbl List Model Op Option Pool Prog Shared_objects Svm Univ

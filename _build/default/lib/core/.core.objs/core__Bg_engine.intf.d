@@ -1,0 +1,1 @@
+lib/core/bg_engine.mli: Algorithm Model

@@ -1,0 +1,1 @@
+lib/core/model.ml: Format List Svm

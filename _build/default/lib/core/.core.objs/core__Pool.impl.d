@@ -1,0 +1,1 @@
+lib/core/pool.ml: Array Prog Svm

@@ -1,0 +1,1 @@
+lib/core/pool.mli: Svm

@@ -1,0 +1,1 @@
+lib/core/run.ml: Algorithm Array Codec Env Exec List Model Printf Svm

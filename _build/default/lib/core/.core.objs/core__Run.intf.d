@@ -1,0 +1,1 @@
+lib/core/run.mli: Algorithm Svm

@@ -1,0 +1,25 @@
+type t = {
+  propose : key:Svm.Op.key -> pid:int -> Svm.Univ.t -> unit Svm.Prog.t;
+  decide : key:Svm.Op.key -> pid:int -> Svm.Univ.t Svm.Prog.t;
+}
+
+let safe ~fam =
+  let sa = Shared_objects.Safe_agreement.make ~fam in
+  {
+    propose =
+      (fun ~key ~pid:_ v -> Shared_objects.Safe_agreement.propose sa ~key v);
+    decide = (fun ~key ~pid:_ -> Shared_objects.Safe_agreement.decide sa ~key);
+  }
+
+let x_safe ~fam ~participants ~x =
+  let xsa = Shared_objects.X_safe_agreement.make ~fam ~participants ~x () in
+  {
+    propose =
+      (fun ~key ~pid v -> Shared_objects.X_safe_agreement.propose xsa ~key ~pid v);
+    decide =
+      (fun ~key ~pid -> Shared_objects.X_safe_agreement.decide xsa ~key ~pid);
+  }
+
+let for_target ~fam ~target =
+  if target.Model.x = 1 then safe ~fam
+  else x_safe ~fam ~participants:target.Model.n ~x:target.Model.x

@@ -1,0 +1,25 @@
+(** A uniform view of the two agreement object types used by the
+    simulations.
+
+    The engine of Sections 3 and 4 is the same algorithm up to the
+    agreement object its simulators use:
+
+    - target model [ASM(n, t, 1)]: the safe agreement type (Figure 1) —
+      blocking one object costs one crash;
+    - target model [ASM(n, t', x)] with [x > 1]: the x_safe_agreement
+      type (Figure 6) — blocking one object costs [x] crashes, which is
+      exactly where the multiplicative power comes from. *)
+
+type t = {
+  propose : key:Svm.Op.key -> pid:int -> Svm.Univ.t -> unit Svm.Prog.t;
+  decide : key:Svm.Op.key -> pid:int -> Svm.Univ.t Svm.Prog.t;
+}
+
+val safe : fam:Svm.Op.fam -> t
+(** Safe agreement instances over snapshot family [fam]. *)
+
+val x_safe : fam:Svm.Op.fam -> participants:int -> x:int -> t
+
+val for_target : fam:Svm.Op.fam -> target:Model.t -> t
+(** [safe] when [target.x = 1], [x_safe] with [x = target.x] and
+    [participants = target.n] otherwise. *)

@@ -1,0 +1,9 @@
+type t = {
+  name : string;
+  model : Model.t;
+  code : pid:int -> input:Svm.Univ.t -> Svm.Univ.t Svm.Prog.t;
+}
+
+let make ~name ~model code = { name; model; code }
+let n alg = alg.model.Model.n
+let resilience alg = alg.model.Model.t

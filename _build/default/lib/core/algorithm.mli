@@ -1,0 +1,35 @@
+(** Distributed algorithms for an [ASM(n, t, x)] model.
+
+    An algorithm is the code of its [n] processes: given a process id and
+    an input, it yields a {!Svm.Prog.t} deciding a value. For the
+    simulations of the paper to apply, the code must use only the
+    {e canonical operation alphabet}:
+
+    - [Snap_set]/[Snap_scan] on any snapshot family (the shared snapshot
+      memory [mem], generalized to families so that simulator algorithms
+      — which use several snapshot objects — are themselves algorithms,
+      making simulations composable);
+    - [Cons_propose] on consensus families (each instance touched by at
+      most [x] processes — enforced by the environment natively and by
+      the agreement objects under simulation);
+    - [Yield].
+
+    Registers, test&set and k-set operations are rejected by the
+    simulation engine (registers and test&set are still fine for code
+    that only runs natively). *)
+
+type t = {
+  name : string;
+  model : Model.t;  (** designed-for model; [model.n] is the process count *)
+  code : pid:int -> input:Svm.Univ.t -> Svm.Univ.t Svm.Prog.t;
+}
+
+val make :
+  name:string ->
+  model:Model.t ->
+  (pid:int -> input:Svm.Univ.t -> Svm.Univ.t Svm.Prog.t) ->
+  t
+
+val n : t -> int
+val resilience : t -> int
+(** The [t] of the designed-for model. *)

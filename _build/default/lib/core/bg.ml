@@ -1,0 +1,54 @@
+let simulate = Bg_engine.simulate
+
+let sim_down ~(source : Algorithm.t) ~t =
+  let m = source.Algorithm.model in
+  if t > Model.power m then
+    invalid_arg
+      (Printf.sprintf
+         "Bg.sim_down: requires t <= floor(t'/x) = %d (got t = %d)"
+         (Model.power m) t);
+  let target = Model.read_write ~n:m.Model.n ~t in
+  simulate ~source ~target ~mode:`Colorless ()
+
+let sim_up ~(source : Algorithm.t) ~t' ~x =
+  let m = source.Algorithm.model in
+  if m.Model.x <> 1 then
+    invalid_arg "Bg.sim_up: source must be a read/write algorithm (x = 1)";
+  let floor_t' = Svm.Combin.floor_div t' x in
+  if m.Model.t < floor_t' then
+    invalid_arg
+      (Printf.sprintf "Bg.sim_up: requires t >= floor(t'/x) = %d (got t = %d)"
+         floor_t' m.Model.t);
+  let target = Model.make ~n:m.Model.n ~t:t' ~x in
+  simulate ~source ~target ~mode:`Colorless ()
+
+let classic ~(source : Algorithm.t) =
+  let m = source.Algorithm.model in
+  if m.Model.x <> 1 then
+    invalid_arg "Bg.classic: source must be a read/write algorithm (x = 1)";
+  let target = Model.read_write ~n:(m.Model.t + 1) ~t:m.Model.t in
+  simulate ~source ~target ~mode:`Colorless ()
+
+let generalized_classic ~(source : Algorithm.t) =
+  let target = Model.bg_canonical source.Algorithm.model in
+  simulate ~source ~target ~mode:`Colorless ()
+
+let to_model ~source ~target = simulate ~source ~target ~mode:`Colorless ()
+let colored ~source ~target = simulate ~source ~target ~mode:`Colored ()
+
+let chain ~source ~via =
+  List.fold_left (fun alg target -> to_model ~source:alg ~target) source via
+
+let figure7_chain ~(source : Algorithm.t) ~target =
+  let m1 = source.Algorithm.model in
+  if not (Model.equivalent m1 target) then
+    invalid_arg
+      (Printf.sprintf "Bg.figure7_chain: %s and %s are not equivalent"
+         (Model.to_string m1) (Model.to_string target));
+  let t = Model.power m1 in
+  [
+    Model.read_write ~n:m1.Model.n ~t;
+    Model.read_write ~n:(t + 1) ~t;
+    Model.read_write ~n:target.Model.n ~t;
+    target;
+  ]

@@ -1,0 +1,43 @@
+(** The paper's simulations, as named in the paper.
+
+    All are instances of {!Bg_engine.simulate}; the wrappers check the
+    exact precondition stated by the corresponding theorem. *)
+
+val sim_down : source:Algorithm.t -> t:int -> Algorithm.t
+(** Section 3 (Theorem 1): simulate [ASM(n, t', x)] in [ASM(n, t, 1)].
+    Requires [t <= ⌊t'/x⌋]. The source's [n] is kept. *)
+
+val sim_up : source:Algorithm.t -> t':int -> x:int -> Algorithm.t
+(** Section 4 (Theorem 3): simulate [ASM(n, t, 1)] in [ASM(n, t', x)].
+    Requires the source to be a read/write algorithm ([source.model.x =
+    1]) and [t >= ⌊t'/x⌋]. *)
+
+val classic : source:Algorithm.t -> Algorithm.t
+(** The original Borowsky-Gafni simulation: [ASM(n, t, 1)] in
+    [ASM(t+1, t, 1)]. Requires [source.model.x = 1]. *)
+
+val generalized_classic : source:Algorithm.t -> Algorithm.t
+(** Contribution #2 (Section 5.2): [ASM(n, t, x)] in [ASM(t+1, t, x)]
+    with [t = ⌊t_src/x_src⌋ ... ] — precisely, any task solvable in
+    [ASM(n, t, x)] is solvable in [ASM(⌊t/x⌋+1, ⌊t/x⌋, 1)], the
+    wait-free canonical form. *)
+
+val to_model : source:Algorithm.t -> target:Model.t -> Algorithm.t
+(** The general colorless simulation: requires
+    [⌊t_src/x_src⌋ >= ⌊t_tgt/x_tgt⌋]. *)
+
+val colored : source:Algorithm.t -> target:Model.t -> Algorithm.t
+(** Section 5.5: colored-task simulation. Requires [target.x > 1],
+    [⌊t_src/x_src⌋ >= ⌊t_tgt/x_tgt⌋] and
+    [n_src >= max n_tgt ((n_tgt - t_tgt) + t_src)]. *)
+
+val chain : source:Algorithm.t -> via:Model.t list -> Algorithm.t
+(** Figure 7: compose colorless simulations hop by hop through the given
+    intermediate models (each hop checked). [via = []] is the identity. *)
+
+val figure7_chain : source:Algorithm.t -> target:Model.t -> Model.t list
+(** The intermediate models of Figure 7 for going from the source's
+    model [ASM(n1,t1,x1)] to [ASM(n2,t2,x2)]:
+    [ASM(n1,t,1)], [ASM(t+1,t,1)], [ASM(n2,t,1)], then the target —
+    where [t = ⌊t1/x1⌋ = ⌊t2/x2⌋]. Raises [Invalid_argument] if the
+    models are not equivalent. *)

@@ -1,0 +1,77 @@
+(** The generalized BG simulation engine (paper Sections 3, 4 and 5.5).
+
+    [simulate ~source ~target ~mode] turns an algorithm designed for
+    [ASM(n, t, x)] into an algorithm for any model [ASM(n', t', x')]
+    with [⌊t/x⌋ >= ⌊t'/x'⌋]. Each of the [n'] {e simulators} runs all
+    [n] {e simulated} processes as fair cooperative threads and
+    reinterprets their shared-memory operations:
+
+    - simulated writes ([Snap_set]) become writes of the simulator's
+      whole local view into the shared [MEM] snapshot (Figure 2);
+    - simulated snapshots become agreed views through one agreement
+      object per (simulated process, sequence number) (Figure 3);
+    - simulated consensus-object accesses become one agreement object per
+      simulated object (Figures 4 and 8), memoized per simulator and
+      protected by the paper's [mutex2];
+    - the paper's [mutex1] ensures a simulator is engaged in at most one
+      agreement [propose] at a time, so a simulator crash blocks at most
+      one agreement object.
+
+    The agreement object type is chosen from the target model
+    ({!Agreement.for_target}): plain safe agreement when [x' = 1]
+    (Section 3, and the classic BG when additionally [n' = t + 1]),
+    x_safe_agreement when [x' > 1] (Section 4). Simulated inputs are
+    agreed per simulated process (key [\[j; 0\]]), so every decided
+    input is some simulator's input — which colorless validity allows.
+
+    In [`Colorless] mode a simulator decides the first value decided by
+    any of its threads. In [`Colored] mode (Section 5.5; requires
+    [x' > 1]) a simulator that obtains a simulated decision first
+    completes the agreement [propose] it may be engaged in, then competes
+    on a test&set associated with the simulated process; it decides only
+    if it wins, otherwise it resumes simulating the remaining processes —
+    so no two simulators decide the value of the same simulated process.
+
+    The produced algorithm uses only the canonical operation alphabet, so
+    simulations compose (Section 5.3's chains). *)
+
+exception Unsupported_op of string
+(** Raised (when the produced algorithm runs) if the source algorithm
+    uses an operation outside the canonical alphabet. *)
+
+type stats = {
+  mutable decided_threads : (int * int) list;
+      (** (simulator pid, simulated process) for every simulated decision
+          observed by a simulator, in observation order. The lemma-level
+          experiments use this to count which simulated processes were
+          blocked (Lemmas 1, 2, 7 and 8). *)
+}
+
+val new_stats : unit -> stats
+
+val decided_processes : stats -> int list
+(** Distinct simulated processes decided at some simulator (sorted). *)
+
+val simulate :
+  ?unchecked:bool ->
+  ?ablate_mutex1:bool ->
+  ?stats:stats ->
+  source:Algorithm.t ->
+  target:Model.t ->
+  mode:[ `Colorless | `Colored | `Exhaustive ] ->
+  unit ->
+  Algorithm.t
+(** Raises [Invalid_argument] if the models do not satisfy the paper's
+    precondition for [mode] — unless [unchecked] is set, which the
+    negative experiments use to exhibit what goes wrong.
+
+    [ablate_mutex1] disables the paper's mutex1 (ablation experiment AB
+    only): a simulator may then be engaged in many agreement proposes at
+    once, so one crash can block arbitrarily many simulated processes.
+
+    [`Exhaustive] is [`Colorless] except that simulators never stop at
+    their first witnessed decision: they keep simulating every thread
+    (and so usually end [Blocked] at the step budget, with the witnessed
+    decisions recorded in [stats]). The lemma-measuring experiments use
+    it to count exactly which simulated processes a crash pattern
+    blocks. *)

@@ -1,0 +1,54 @@
+type t = { n : int; t : int; x : int }
+
+let make ~n ~t ~x =
+  if n <= 0 then invalid_arg "Model.make: n must be positive";
+  if t < 0 || t >= n then invalid_arg "Model.make: need 0 <= t < n";
+  if x < 1 || x > n then invalid_arg "Model.make: need 1 <= x <= n";
+  { n; t; x }
+
+let read_write ~n ~t = make ~n ~t ~x:1
+let pp ppf m = Format.fprintf ppf "ASM(%d,%d,%d)" m.n m.t m.x
+let to_string m = Format.asprintf "%a" pp m
+let equal m1 m2 = m1.n = m2.n && m1.t = m2.t && m1.x = m2.x
+let power m = Svm.Combin.floor_div m.t m.x
+let equivalent m1 m2 = power m1 = power m2
+
+let canonical m =
+  let p = power m in
+  (* p < n always holds since t < n and x >= 1. *)
+  make ~n:m.n ~t:p ~x:1
+
+let bg_canonical m =
+  let p = power m in
+  make ~n:(p + 1) ~t:p ~x:1
+
+let stronger m1 m2 = power m1 < power m2
+let wait_free m = m.t = m.n - 1
+let solves_all_tasks m = m.x > m.t
+let kset_solvable m ~k = k > power m
+
+let equivalence_window ~t' ~x =
+  if t' < 0 || x < 1 then None else Some (Svm.Combin.floor_div t' x)
+
+let window_bounds ~t ~x =
+  if t < 0 || x < 1 then invalid_arg "Model.window_bounds";
+  (t * x, (t * x) + x - 1)
+
+let classes_for_t' ~t' ~x_max =
+  if t' < 0 || x_max < 1 then invalid_arg "Model.classes_for_t'";
+  let rec go x acc =
+    if x > x_max then List.rev acc
+    else
+      let p = Svm.Combin.floor_div t' x in
+      match acc with
+      | (p0, xs) :: rest when p0 = p -> go (x + 1) ((p0, xs @ [ x ]) :: rest)
+      | _ -> go (x + 1) ((p, [ x ]) :: acc)
+  in
+  go 1 []
+
+let colorless_simulation_ok ~source ~target = power source >= power target
+
+let colored_simulation_ok ~source ~target =
+  target.x > 1
+  && power source >= power target
+  && source.n >= max target.n (target.n - target.t + source.t)

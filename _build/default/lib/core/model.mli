@@ -1,0 +1,84 @@
+(** The system models [ASM(n, t, x)] and their equivalence algebra
+    (paper Sections 1.2, 2.3 and 5).
+
+    [ASM(n, t, x)]: [n] asynchronous processes, at most [t] crashes,
+    communication through a snapshot read/write memory plus objects of
+    consensus number [x], each accessible by at most [x] processes.
+
+    Main theorem of the paper: for colorless decision tasks,
+    [ASM(n1, t1, x1) ≃ ASM(n2, t2, x2)] iff [⌊t1/x1⌋ = ⌊t2/x2⌋]. *)
+
+type t = private { n : int; t : int; x : int }
+
+val make : n:int -> t:int -> x:int -> t
+(** Validates [0 <= t < n] and [1 <= x <= n]. The paper states
+    [1 <= t]; we also allow [t = 0] (the failure-free model
+    [ASM(n, 0, 1)] appears in Section 1.2). *)
+
+val read_write : n:int -> t:int -> t
+(** [ASM(n, t, 1)]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool
+
+(** {1 The equivalence algebra} *)
+
+val power : t -> int
+(** [⌊t/x⌋] — the quantity that fully characterizes the model's
+    computational power for colorless tasks. *)
+
+val equivalent : t -> t -> bool
+(** The main theorem: [power m1 = power m2]. *)
+
+val canonical : t -> t
+(** [ASM(n, ⌊t/x⌋, 1)]: the canonical representative of the model's
+    equivalence class (Section 5.4). *)
+
+val bg_canonical : t -> t
+(** [ASM(⌊t/x⌋ + 1, ⌊t/x⌋, 1)]: the wait-free canonical form obtained by
+    additionally applying the BG simulation (Section 5.2). *)
+
+val stronger : t -> t -> bool
+(** [stronger m1 m2]: strictly more colorless tasks are solvable in [m1]
+    than in [m2], i.e. [power m1 < power m2] (Section 5.4, the hierarchy
+    of system models). *)
+
+val wait_free : t -> bool
+(** [t = n - 1]. *)
+
+val solves_all_tasks : t -> bool
+(** [x > t]: every task is solvable (the paper's remark in Section 1.2). *)
+
+val kset_solvable : t -> k:int -> bool
+(** [k]-set agreement is solvable in [ASM(n, t, x)] iff [k > ⌊t/x⌋]
+    (Section 5.4: a task with set consensus number k is solvable iff
+    [k > ⌊t/x⌋]). *)
+
+val equivalence_window : t':int -> x:int -> int option
+(** [equivalence_window ~t' ~x] is [Some t] with
+    [ASM(n, t', x) ≃ ASM(n, t, 1)], i.e. [t = ⌊t'/x⌋]; this is the
+    multiplicative-power statement [t*x <= t' <= t*x + (x-1)]. [None]
+    when the inputs are invalid. *)
+
+val window_bounds : t:int -> x:int -> int * int
+(** [window_bounds ~t ~x] is [(t*x, t*x + x - 1)]: the exact range of
+    [t'] for which [ASM(n, t', x) ≃ ASM(n, t, 1)]. *)
+
+val classes_for_t' : t':int -> x_max:int -> (int * int list) list
+(** Section 5.4's enumeration: for a fixed [t'], partition
+    [x ∈ {1..x_max}] by [⌊t'/x⌋]. Each pair is
+    [(power, the xs with that power)], powers decreasing in [x] order —
+    e.g. for [t' = 8] this reproduces the paper's five classes. *)
+
+(** {1 Simulation preconditions} *)
+
+val colorless_simulation_ok : source:t -> target:t -> bool
+(** Colorless tasks: programs for [source] can be simulated in [target]
+    iff [power source >= power target] (Sections 3 and 4 combined; the
+    direction of the inequality follows the paper's "a task solvable in
+    ASM(n, t, 1) is solvable in ASM(n, t', x) for ⌊t'/x⌋ <= t"). *)
+
+val colored_simulation_ok : source:t -> target:t -> bool
+(** Section 5.5: requires [target.x > 1], [power source >= power target]
+    and [source.n >= max target.n ((target.n - target.t) + source.t)]. *)

@@ -1,0 +1,29 @@
+(** Cooperative thread pools inside a program.
+
+    A simulator process runs one thread per simulated process and
+    interleaves them fairly — this module provides that machinery. Each
+    {!step} embeds exactly one atomic operation of the chosen thread into
+    the caller's own program, so from the scheduler's point of view the
+    whole pool is a single process whose steps are the threads' steps (as
+    in the paper, where simulator [qi] "manages n threads and locally
+    executes these threads in a fair way"). *)
+
+type 'v t
+
+val make : 'v Svm.Prog.t array -> 'v t
+val size : 'v t -> int
+
+val active : 'v t -> int
+(** Threads that have not yet finished. *)
+
+val is_active : 'v t -> int -> bool
+
+val step : 'v t -> tid:int -> [ `Done of 'v | `Stepped | `Finished ] Svm.Prog.t
+(** Advance thread [tid] by one operation. [`Done v] is returned exactly
+    once, when the thread's program completes; after that the thread is
+    inactive and further steps return [`Finished]. A step of a spinning
+    thread (e.g. a [decide] wait loop) is an ordinary [`Stepped]. *)
+
+val round_robin_next : 'v t -> after:int -> int option
+(** The next active tid strictly after [after] in cyclic order ([after]
+    itself is considered last); [None] if no thread is active. *)

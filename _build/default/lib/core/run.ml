@@ -1,0 +1,30 @@
+open Svm
+
+let run ?budget ?record_trace ?allow_kset ~(alg : Algorithm.t) ~inputs
+    ~adversary () =
+  let n = Algorithm.n alg in
+  if Array.length inputs <> n then
+    invalid_arg
+      (Printf.sprintf "Run.run: %d inputs for %d processes"
+         (Array.length inputs) n);
+  let env = Env.create ~nprocs:n ~x:alg.Algorithm.model.Model.x ?allow_kset () in
+  let progs =
+    Array.init n (fun pid -> alg.Algorithm.code ~pid ~input:inputs.(pid))
+  in
+  Exec.run ?budget ?record_trace ~env ~adversary progs
+
+let map_outcome f = function
+  | Exec.Decided v -> Exec.Decided (f v)
+  | Exec.Crashed -> Exec.Crashed
+  | Exec.Blocked -> Exec.Blocked
+
+let run_ints ?budget ?record_trace ?allow_kset ~alg ~inputs ~adversary () =
+  let inputs = Array.of_list (List.map Codec.int.Codec.inj inputs) in
+  let r = run ?budget ?record_trace ?allow_kset ~alg ~inputs ~adversary () in
+  {
+    Exec.outcomes = Array.map (map_outcome Codec.int.Codec.prj) r.Exec.outcomes;
+    op_counts = r.Exec.op_counts;
+    total_steps = r.Exec.total_steps;
+    crashed = r.Exec.crashed;
+    trace = r.Exec.trace;
+  }

@@ -1,0 +1,25 @@
+(** Running an algorithm natively in its own model. *)
+
+val run :
+  ?budget:int ->
+  ?record_trace:bool ->
+  ?allow_kset:bool ->
+  alg:Algorithm.t ->
+  inputs:Svm.Univ.t array ->
+  adversary:Svm.Adversary.t ->
+  unit ->
+  Svm.Univ.t Svm.Exec.result
+(** [run ~alg ~inputs ~adversary ()] executes the algorithm's [n]
+    processes in an environment enforcing the algorithm's model
+    ([x]-port discipline etc.). [inputs] must have length [n]. *)
+
+val run_ints :
+  ?budget:int ->
+  ?record_trace:bool ->
+  ?allow_kset:bool ->
+  alg:Algorithm.t ->
+  inputs:int list ->
+  adversary:Svm.Adversary.t ->
+  unit ->
+  int Svm.Exec.result
+(** Convenience wrapper for integer-valued tasks. *)

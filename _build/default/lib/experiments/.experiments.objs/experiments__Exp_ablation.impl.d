@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Adversary Array Codec Core Env Exec Harness List Printf Prog Report Shared_objects String Svm Tasks

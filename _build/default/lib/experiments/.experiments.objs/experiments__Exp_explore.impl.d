@@ -1,0 +1,1 @@
+lib/experiments/exp_explore.ml: Array Codec Env Exec Explore Fun Int List Printf Prog Report Shared_objects String Svm Universal

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig1.ml: Adversary Codec Exec Harness List Printf Report Shared_objects Svm

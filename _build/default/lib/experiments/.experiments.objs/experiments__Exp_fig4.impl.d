@@ -1,0 +1,1 @@
+lib/experiments/exp_fig4.ml: Adversary Array Codec Core Exec Format Harness List Printf Report Runner Svm Tasks

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig5.ml: Adversary Array Codec Env Exec Harness List Printf Prog Report Shared_objects Svm

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig6.ml: Adversary Codec Exec Harness List Printf Report Shared_objects Svm

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Core Format Harness List Printf Report Runner String Tasks

@@ -1,0 +1,1 @@
+lib/experiments/exp_mlset.ml: Core Harness Printf Report Runner Tasks

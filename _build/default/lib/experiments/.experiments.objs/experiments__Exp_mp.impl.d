@@ -1,0 +1,1 @@
+lib/experiments/exp_mp.ml: Core Format Harness Printf Report Runner Tasks

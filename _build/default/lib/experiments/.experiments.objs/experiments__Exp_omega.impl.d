@@ -1,0 +1,1 @@
+lib/experiments/exp_omega.ml: Adversary Array Codec Core Env Exec Harness Int List Op Printf Report Rng Shared_objects Svm Univ

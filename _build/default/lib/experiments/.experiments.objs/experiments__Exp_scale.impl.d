@@ -1,0 +1,1 @@
+lib/experiments/exp_scale.ml: Buffer Core Harness List Printf Report Runner Tasks

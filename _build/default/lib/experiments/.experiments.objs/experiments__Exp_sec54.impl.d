@@ -1,0 +1,1 @@
+lib/experiments/exp_sec54.ml: Buffer Core Format Harness List Printf Report Runner String Tasks

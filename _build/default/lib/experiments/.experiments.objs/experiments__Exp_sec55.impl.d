@@ -1,0 +1,1 @@
+lib/experiments/exp_sec55.ml: Core Format Harness Printf Report Runner Tasks

@@ -1,0 +1,1 @@
+lib/experiments/exp_substrate.ml: Adversary Array Codec Env Exec Fun Harness Int List Option Printf Prog Report Rng Shared_objects Svm

@@ -1,0 +1,1 @@
+lib/experiments/exp_universal.ml: Adversary Array Codec Env Exec Harness List Printf Prog Report Svm Univ Universal

@@ -1,0 +1,1 @@
+lib/experiments/exp_universal.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Adversary Array Codec Core Env Exec Fun Int List Op String Svm

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Buffer Format List Printf

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Adversary Core Exec Format List Svm Tasks

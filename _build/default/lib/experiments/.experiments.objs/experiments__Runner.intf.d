@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Core Format Svm Tasks

@@ -1,0 +1,14 @@
+(** Experiment AB — ablations: remove one ingredient at a time and
+    exhibit the failure the paper's design prevents.
+
+    1. Safe agreement without Figure 1's cancellation rule: two
+       processes decide different values under a priority schedule.
+    2. The simulation without mutex1: one simulator crash leaves many
+       agreement proposes dangling, blocking far more than x simulated
+       processes (the BG accounting collapses).
+    3. x_safe_agreement with static owners: the same x crashes kill
+       every instance at once, so ⌊t'/x⌋ no longer bounds the blocked
+       simulated processes — exactly why Section 4.3 determines owners
+       dynamically. *)
+
+val run : unit -> Report.t

@@ -1,0 +1,19 @@
+(** Experiment EX — exhaustive verification of the agreement objects.
+
+    Random sweeps (F1, F5, F6) sample schedules; here the explorer
+    enumerates {e every} interleaving (and crash placement) within a
+    depth bound, so for these scopes the objects' safety properties are
+    verified for all schedules:
+
+    - safe agreement, 2 and 3 processes, up to 1 crash anywhere:
+      agreement and validity in every schedule; termination in every
+      complete crash-free run;
+    - the tournament test&set, 3 processes: at most one winner, ever;
+    - x_compete, 3 processes with x = 2: never 3 winners;
+    - 2-process consensus from test&set: agreement in every schedule,
+      up to 1 crash;
+    - and, as a sanity check of the method itself, the explorer {e does}
+      find the disagreement counterexample in the ablated (no-cancel)
+      safe agreement. *)
+
+val run : unit -> Report.t

@@ -1,0 +1,113 @@
+open Svm
+open Svm.Prog.Syntax
+
+let n = 5
+
+let participant sa i =
+  let v = Codec.int.Codec.inj (100 + i) in
+  let* () = Shared_objects.Safe_agreement.propose sa ~key:[] v in
+  Shared_objects.Safe_agreement.decide sa ~key:[]
+
+let sweep_no_crash () =
+  let ok = ref true and detail = ref "" in
+  List.iter
+    (fun seed ->
+      let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
+      let r, _ =
+        Harness.run_objects ~nprocs:n ~x:1
+          ~adversary:(Adversary.random ~seed) (participant sa)
+      in
+      let ds = Harness.int_results r in
+      let agreement = Harness.all_equal ds in
+      let validity = List.for_all (fun d -> d >= 100 && d < 100 + n) ds in
+      let termination = List.length ds = n in
+      if not (agreement && validity && termination) then begin
+        ok := false;
+        detail :=
+          Printf.sprintf "seed %d: agreement=%b validity=%b termination=%b"
+            seed agreement validity termination
+      end)
+    (Harness.seeds 50);
+  Report.check ~label:"agreement+validity+termination, 50 crash-free schedules"
+    ~ok:!ok
+    ~detail:(if !ok then "all runs: one value, proposed, all decide" else !detail)
+
+(* Crash p0 before its 2nd operation: it has written (v, 1) — level
+   unstable — and dies before it can stabilize or cancel. *)
+let crash_inside_propose () =
+  let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
+  let adversary =
+    Adversary.with_crashes
+      (Adversary.priority [ 0 ])
+      [ Adversary.Crash_at_local { pid = 0; step = 1 } ]
+  in
+  let r, _ =
+    Harness.run_objects ~budget:20_000 ~nprocs:n ~x:1 ~adversary
+      (participant sa)
+  in
+  let blocked = Exec.blocked r in
+  Report.check ~label:"crash inside propose blocks every decide"
+    ~ok:(List.length blocked = n - 1 && Exec.decided_count r = 0)
+    ~detail:
+      (Printf.sprintf "blocked=%d/%d decided=%d" (List.length blocked) (n - 1)
+         (Exec.decided_count r))
+
+(* Crash p0 after its 3rd operation: its propose is complete, so the
+   object must stay live. *)
+let crash_after_propose () =
+  let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
+  let adversary =
+    Adversary.with_crashes
+      (Adversary.priority [ 0 ])
+      [ Adversary.Crash_at_local { pid = 0; step = 3 } ]
+  in
+  let r, _ =
+    Harness.run_objects ~budget:20_000 ~nprocs:n ~x:1 ~adversary
+      (participant sa)
+  in
+  let ds = Harness.int_results r in
+  Report.check ~label:"crash after propose blocks nobody"
+    ~ok:(List.length ds = n - 1 && Harness.all_equal ds)
+    ~detail:
+      (Printf.sprintf "%d/%d correct processes decided, agreement=%b"
+         (List.length ds) (n - 1) (Harness.all_equal ds))
+
+(* Random single crash anywhere: agreement/validity must hold among
+   whoever decides. *)
+let sweep_one_crash () =
+  let ok = ref true and detail = ref "" in
+  List.iter
+    (fun seed ->
+      let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
+      let adversary =
+        Adversary.random_crashes ~within:15 ~seed ~max_crashes:1 ~nprocs:n
+          (Adversary.random ~seed)
+      in
+      let r, _ =
+        Harness.run_objects ~budget:20_000 ~nprocs:n ~x:1 ~adversary
+          (participant sa)
+      in
+      let ds = Harness.int_results r in
+      if not (Harness.all_equal ds) then begin
+        ok := false;
+        detail := Printf.sprintf "seed %d: disagreement" seed
+      end)
+    (Harness.seeds 50);
+  Report.check ~label:"agreement under 50 one-crash schedules" ~ok:!ok
+    ~detail:(if !ok then "no disagreement ever observed" else !detail)
+
+let run () =
+  {
+    Report.id = "F1";
+    title = "safe agreement (Figure 1)";
+    paper =
+      "Termination if no crash during propose; agreement; validity \
+       (Section 3.1).";
+    checks =
+      [
+        sweep_no_crash ();
+        sweep_one_crash ();
+        crash_inside_propose ();
+        crash_after_propose ();
+      ];
+  }

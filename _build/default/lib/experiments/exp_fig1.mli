@@ -1,0 +1,11 @@
+(** Experiment F1 — Figure 1, the safe agreement type.
+
+    Checks, over seeded random schedules:
+    - agreement and validity always hold;
+    - with no crash during [propose], every process decides
+      (termination);
+    - a single crash {e inside} [propose] blocks every other process's
+      [decide] (the blocking behaviour the BG simulation must contain);
+    - a crash {e after} [propose] blocks nobody. *)
+
+val run : unit -> Report.t

@@ -1,0 +1,71 @@
+open Svm
+
+let source = Tasks.Algorithms.kset_read_write ~n:5 ~t:2 ~k:3
+let task = Tasks.Task.kset ~k:3
+let target = Core.Model.read_write ~n:3 ~t:2
+
+let sweeps ~max_crashes ~label =
+  let s =
+    Runner.sweep ~budget:400_000 ~task ~alg:(Core.Bg.classic ~source)
+      ~seeds:(Harness.seeds 15) ~max_crashes ()
+  in
+  let ok = s.Runner.valid = s.Runner.runs && s.Runner.live = s.Runner.runs in
+  Report.check ~label ~ok
+    ~detail:(Format.asprintf "%a" Runner.pp_summary s)
+
+(* Exhaustive mode: crash c of the 3 simulators at random points; count
+   the simulated processes that no simulator ever finished. *)
+let lemma_bounds ~crashes ~label =
+  let n_sim = 5 in
+  let ok = ref true and detail = ref "" in
+  let max_blocked = ref 0 in
+  List.iter
+    (fun seed ->
+      let stats = Core.Bg_engine.new_stats () in
+      let alg =
+        Core.Bg_engine.simulate ~stats ~source ~target ~mode:`Exhaustive ()
+      in
+      let adversary =
+        Adversary.random_crashes ~within:150 ~seed ~max_crashes:crashes
+          ~nprocs:3 (Adversary.random ~seed)
+      in
+      let inputs = Array.of_list (List.map Codec.int.Codec.inj [ 3; 1; 4 ]) in
+      let r = Core.Run.run ~budget:400_000 ~alg ~inputs ~adversary () in
+      let c = List.length r.Exec.crashed in
+      let blocked = Harness.blocked_simulated ~n_simulated:n_sim stats in
+      let nb = List.length blocked in
+      if nb > !max_blocked then max_blocked := nb;
+      (* Lemma 1 (x = 1 agreements only): <= c simulated blocked. *)
+      if nb > c then begin
+        ok := false;
+        detail :=
+          Printf.sprintf "seed %d: %d crashes blocked %d simulated" seed c nb
+      end)
+    (Harness.seeds 10);
+  Report.check ~label ~ok:!ok
+    ~detail:
+      (if !ok then
+         Printf.sprintf
+           "max blocked simulated = %d across 10 runs (bound = crashes)"
+           !max_blocked
+       else !detail)
+
+let run () =
+  {
+    Report.id = "F2-F3";
+    title = "BG simulation core: sim_write/sim_snapshot (Figures 2-3)";
+    paper =
+      "ASM(n, t, 1) and ASM(t+1, t, 1) are equivalent for colorless \
+       tasks: a 2-resilient 5-process 3-set algorithm runs wait-free on \
+       3 simulators; a crashed simulator blocks at most one simulated \
+       process (Lemmas 1-2 with x = 1).";
+    checks =
+      [
+        sweeps ~max_crashes:0 ~label:"15 crash-free schedules: valid + live";
+        sweeps ~max_crashes:2
+          ~label:"15 schedules, <= 2 simulator crashes: valid + live";
+        lemma_bounds ~crashes:1 ~label:"Lemma 1: 1 crash blocks <= 1 simulated";
+        lemma_bounds ~crashes:2
+          ~label:"Lemma 1: 2 crashes block <= 2 simulated";
+      ];
+  }

@@ -1,0 +1,11 @@
+(** Experiment F2-F3 — Figures 2 and 3: the BG simulation core
+    ([sim_write], [sim_snapshot]) via the classic BG simulation.
+
+    A 5-process 2-resilient k-set algorithm is simulated by 3 wait-free
+    simulators; we check task validity and liveness over schedule sweeps
+    and, in exhaustive mode, the Lemma 1/2 bounds: [c] simulator crashes
+    block at most [c] simulated processes (the source uses no consensus
+    objects), and every correct simulator witnesses at least [n - t']
+    simulated decisions. *)
+
+val run : unit -> Report.t

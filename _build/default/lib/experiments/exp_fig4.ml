@@ -1,0 +1,107 @@
+open Svm
+
+let n = 6
+let x_src = 2
+let t' = 4
+let source = Tasks.Algorithms.kset_grouped ~n ~t:t' ~x:x_src ~k:3
+let task = Tasks.Task.kset ~k:3
+let target = Core.Model.read_write ~n ~t:2
+
+let sweeps ~max_crashes ~label =
+  let s =
+    Runner.sweep ~budget:500_000 ~task
+      ~alg:(Core.Bg.sim_down ~source ~t:2)
+      ~seeds:(Harness.seeds 12) ~max_crashes ()
+  in
+  let ok = s.Runner.valid = s.Runner.runs && s.Runner.live = s.Runner.runs in
+  Report.check ~label ~ok ~detail:(Format.asprintf "%a" Runner.pp_summary s)
+
+let exhaustive_run ~adversary ~stats =
+  let alg =
+    Core.Bg_engine.simulate ~stats ~source ~target ~mode:`Exhaustive ()
+  in
+  let inputs =
+    Array.of_list (List.map Codec.int.Codec.inj [ 6; 5; 4; 3; 2; 1 ])
+  in
+  Core.Run.run ~budget:600_000 ~alg ~inputs ~adversary ()
+
+(* Crash one simulator exactly while it is inside the safe agreement
+   serving a simulated consensus object (family "XSA:gcons"): the x = 2
+   processes of that group block, nobody else. *)
+let targeted_cons_crash () =
+  let stats = Core.Bg_engine.new_stats () in
+  let adversary =
+    Adversary.with_crashes
+      (Adversary.round_robin ())
+      [ Harness.crash_before_fam ~pid:0 ~prefix:"XSA:" ~nth:2 ]
+  in
+  let r = exhaustive_run ~adversary ~stats in
+  let blocked = Harness.blocked_simulated ~n_simulated:n stats in
+  let nb = List.length blocked in
+  let crashed = List.length r.Exec.crashed in
+  let same_group =
+    match blocked with
+    | [] -> true
+    | j :: rest -> List.for_all (fun j' -> j' / x_src = j / x_src) rest
+  in
+  Report.check
+    ~label:"crash inside a consensus agreement blocks <= x, same group"
+    ~ok:(crashed = 1 && nb <= x_src && same_group)
+    ~detail:
+      (Printf.sprintf "crashed=%d blocked=%d (bound %d), same group=%b"
+         crashed nb x_src same_group)
+
+let lemma_bounds ~crashes ~label =
+  let ok = ref true and detail = ref "" in
+  let max_blocked = ref 0 in
+  List.iter
+    (fun seed ->
+      let stats = Core.Bg_engine.new_stats () in
+      let adversary =
+        Adversary.random_crashes ~within:400 ~seed ~max_crashes:crashes
+          ~nprocs:n (Adversary.random ~seed)
+      in
+      let r = exhaustive_run ~adversary ~stats in
+      let c = List.length r.Exec.crashed in
+      let blocked = List.length (Harness.blocked_simulated ~n_simulated:n stats) in
+      if blocked > !max_blocked then max_blocked := blocked;
+      if blocked > c * x_src then begin
+        ok := false;
+        detail :=
+          Printf.sprintf "seed %d: %d crashes blocked %d > c*x" seed c blocked
+      end;
+      (* Lemma 2: at least n - t' simulated processes decide. *)
+      if n - blocked < n - t' then begin
+        ok := false;
+        detail := Printf.sprintf "seed %d: only %d simulated decided" seed
+            (n - blocked)
+      end)
+    (Harness.seeds 8);
+  Report.check ~label ~ok:!ok
+    ~detail:
+      (if !ok then
+         Printf.sprintf "max blocked simulated = %d (bound c*x, c<=%d, x=%d)"
+           !max_blocked crashes x_src
+       else !detail)
+
+let run () =
+  {
+    Report.id = "F4";
+    title = "Section 3: ASM(n,t',x) in ASM(n,t,1) (Figure 4)";
+    paper =
+      "Theorem 1: for t <= floor(t'/x), the extended BG simulation runs \
+       any t'-resilient algorithm using consensus-number-x objects in \
+       the t-resilient read/write model; a simulator crash blocks at \
+       most x simulated processes (Lemma 1) and each correct simulator \
+       computes decisions of at least n - t' simulated processes \
+       (Lemma 2).";
+    checks =
+      [
+        sweeps ~max_crashes:0 ~label:"12 crash-free schedules: valid + live";
+        sweeps ~max_crashes:2
+          ~label:"12 schedules, <= 2 = t simulator crashes: valid + live";
+        targeted_cons_crash ();
+        lemma_bounds ~crashes:1 ~label:"Lemma 1/2 bounds, 1 random crash";
+        lemma_bounds ~crashes:2 ~label:"Lemma 1/2 bounds, 2 random crashes";
+      ];
+  }

@@ -1,0 +1,12 @@
+(** Experiment F4 — Figure 4 and Section 3: simulating [ASM(n, t', x)]
+    in [ASM(n, t, 1)] ([sim_x_cons_propose]).
+
+    Source: the grouped k-set algorithm in [ASM(6, 4, 2)] (which uses
+    2-ported consensus objects). Target: [ASM(6, 2, 1)] — legal since
+    [t = 2 <= ⌊4/2⌋]. Checks task validity/liveness over sweeps and the
+    Section 3 accounting: a simulator crash inside the agreement serving
+    a consensus object blocks at most [x] simulated processes
+    (Lemma 1), so [c] crashes block at most [c·x] simulated processes
+    and at least [n - t'] simulated processes still decide (Lemma 2). *)
+
+val run : unit -> Report.t

@@ -1,0 +1,80 @@
+open Svm
+
+let competitor xc i () =
+  Svm.Prog.map
+    (fun won -> Codec.bool.Codec.inj won)
+    (Shared_objects.X_compete.compete xc ~key:[] ~pid:i)
+
+let winners r =
+  List.filter (fun b -> b) (List.map Codec.bool.Codec.prj (Exec.decided r))
+
+let sweep ~m ~x ~max_crashes ~label =
+  let ok = ref true and detail = ref "" in
+  let max_winners = ref 0 in
+  List.iter
+    (fun seed ->
+      let xc = Shared_objects.X_compete.make ~fam:"XC" ~participants:m ~x in
+      let adversary =
+        if max_crashes = 0 then Adversary.random ~seed
+        else
+          Adversary.random_crashes ~within:25 ~seed ~max_crashes ~nprocs:m
+            (Adversary.random ~seed)
+      in
+      let r, _ =
+        Harness.run_objects ~budget:50_000 ~nprocs:m ~x:2 ~adversary
+          (fun i -> competitor xc i ())
+      in
+      let w = List.length (winners r) in
+      if w > !max_winners then max_winners := w;
+      let crashed = List.length r.Exec.crashed in
+      let returned = Exec.decided_count r in
+      let all_return = returned = m - crashed in
+      if w > x || not all_return then begin
+        ok := false;
+        detail :=
+          Printf.sprintf "seed %d: %d winners (x=%d), %d/%d returned" seed w
+            x returned (m - crashed)
+      end)
+    (Harness.seeds 40);
+  Report.check ~label ~ok:!ok
+    ~detail:
+      (if !ok then
+         Printf.sprintf "max winners observed %d (bound %d), all correct \
+                         callers returned"
+           !max_winners x
+       else !detail)
+
+(* With at most x callers and no crashes, every caller must win. *)
+let few_callers ~m ~x =
+  let xc = Shared_objects.X_compete.make ~fam:"XC" ~participants:m ~x in
+  let env = Env.create ~nprocs:m ~x:2 () in
+  (* Only processes 0..x-1 compete; the rest decide immediately. *)
+  let progs =
+    Array.init m (fun i ->
+        if i < x then competitor xc i ()
+        else Prog.return (Codec.bool.Codec.inj false))
+  in
+  let r = Exec.run ~env ~adversary:(Adversary.random ~seed:5) progs in
+  let w = List.length (winners r) in
+  Report.check ~label:"with <= x callers, every caller wins"
+    ~ok:(w = x)
+    ~detail:(Printf.sprintf "%d callers, %d winners" x w)
+
+let run () =
+  {
+    Report.id = "F5";
+    title = "x_compete (Figure 5)";
+    paper =
+      "X_T&S returns true to at most x simulators; if x or fewer invoke \
+       it, the ones that do not crash all obtain true (Section 4.3).";
+    checks =
+      [
+        sweep ~m:5 ~x:2 ~max_crashes:0
+          ~label:"40 crash-free schedules, m=5 x=2";
+        sweep ~m:6 ~x:3 ~max_crashes:0
+          ~label:"40 crash-free schedules, m=6 x=3";
+        sweep ~m:5 ~x:2 ~max_crashes:2
+          ~label:"40 schedules with up to 2 crashes, m=5 x=2";
+        few_callers ~m:5 ~x:2;
+      ];
+  }

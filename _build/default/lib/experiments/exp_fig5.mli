@@ -1,0 +1,8 @@
+(** Experiment F5 — Figure 5, the [x_compete()] operation.
+
+    Checks that the X_T&S object built from test&set objects (themselves
+    built from 2-ported consensus) returns [true] to at most [x] callers,
+    that with at most [x] callers every correct caller wins, and that
+    every correct caller returns. *)
+
+val run : unit -> Report.t

@@ -1,0 +1,118 @@
+open Svm
+open Svm.Prog.Syntax
+
+let m = 5 (* participants *)
+let x = 2
+
+let participant xsa i =
+  let v = Codec.int.Codec.inj (200 + i) in
+  let* () = Shared_objects.X_safe_agreement.propose xsa ~key:[] ~pid:i v in
+  Shared_objects.X_safe_agreement.decide xsa ~key:[] ~pid:i
+
+let make () = Shared_objects.X_safe_agreement.make ~fam:"XSA" ~participants:m ~x ()
+
+let sweep ~max_crashes ~label ~expect_all_live =
+  let ok = ref true and detail = ref "" in
+  let blocked_seen = ref 0 in
+  List.iter
+    (fun seed ->
+      let xsa = make () in
+      let adversary =
+        if max_crashes = 0 then Adversary.random ~seed
+        else
+          Adversary.random_crashes ~within:25 ~seed ~max_crashes ~nprocs:m
+            (Adversary.random ~seed)
+      in
+      let r, _ =
+        Harness.run_objects ~budget:50_000 ~nprocs:m ~x ~adversary
+          (participant xsa)
+      in
+      let ds = Harness.int_results r in
+      let agreement = Harness.all_equal ds in
+      let validity = List.for_all (fun d -> d >= 200 && d < 200 + m) ds in
+      let crashed = List.length r.Exec.crashed in
+      let live = Exec.decided_count r = m - crashed in
+      if not live then incr blocked_seen;
+      if (not agreement) || not validity then begin
+        ok := false;
+        detail := Printf.sprintf "seed %d: agreement=%b validity=%b" seed
+            agreement validity
+      end;
+      if expect_all_live && not live then begin
+        ok := false;
+        detail := Printf.sprintf "seed %d: %d correct processes blocked" seed
+            (m - crashed - Exec.decided_count r)
+      end)
+    (Harness.seeds 40);
+  Report.check ~label ~ok:!ok
+    ~detail:
+      (if !ok then
+         Printf.sprintf "agreement+validity in all runs; %d runs with blocking"
+           !blocked_seen
+       else !detail)
+
+(* Crash one owner inside propose, after it won the competition but
+   before it publishes: the other owner must still carry the object. *)
+let one_owner_crash () =
+  let xsa = make () in
+  let adversary =
+    Adversary.with_crashes
+      (Adversary.priority [ 0; 1 ])
+      [ Harness.crash_before_fam ~pid:0 ~prefix:"XSA.val" ~nth:0 ]
+  in
+  let r, _ =
+    Harness.run_objects ~budget:50_000 ~nprocs:m ~x ~adversary
+      (participant xsa)
+  in
+  let ds = Harness.int_results r in
+  Report.check
+    ~label:"x-1 owner crashes inside propose: object stays live"
+    ~ok:(List.length ds = m - 1 && Harness.all_equal ds)
+    ~detail:
+      (Printf.sprintf "%d/%d correct decided, agreement=%b" (List.length ds)
+         (m - 1) (Harness.all_equal ds))
+
+(* Crash both owners inside propose: the object may (and here does)
+   block every remaining process. *)
+let all_owners_crash () =
+  let xsa = make () in
+  let adversary =
+    Adversary.with_crashes
+      (Adversary.priority [ 0; 1 ])
+      [
+        Harness.crash_before_fam ~pid:0 ~prefix:"XSA.val" ~nth:0;
+        Harness.crash_before_fam ~pid:1 ~prefix:"XSA.val" ~nth:0;
+      ]
+  in
+  let r, _ =
+    Harness.run_objects ~budget:50_000 ~nprocs:m ~x ~adversary
+      (participant xsa)
+  in
+  let blocked = List.length (Exec.blocked r) in
+  Report.check ~label:"x owner crashes inside propose: object blocks"
+    ~ok:(blocked = m - x && Exec.decided_count r = 0)
+    ~detail:
+      (Printf.sprintf "blocked=%d/%d decided=%d" blocked (m - x)
+         (Exec.decided_count r))
+
+let run () =
+  {
+    Report.id = "F6";
+    title = "x_safe_agreement (Figure 6, Theorem 2)";
+    paper =
+      "Termination if at most x-1 processes crash during x_sa_propose; \
+       agreement; validity (Section 4.2).";
+    checks =
+      [
+        sweep ~max_crashes:0 ~label:"40 crash-free schedules (m=5, x=2)"
+          ~expect_all_live:true;
+        sweep ~max_crashes:1
+          ~label:"40 schedules, 1 crash: object must stay live"
+          ~expect_all_live:true;
+        sweep ~max_crashes:2
+          ~label:"40 schedules, 2 crashes: agreement still holds"
+          ~expect_all_live:false;
+        one_owner_crash ();
+        all_owners_crash ();
+      ];
+  }

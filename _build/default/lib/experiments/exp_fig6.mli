@@ -1,0 +1,9 @@
+(** Experiment F6 — Figure 6, the x_safe_agreement type (Theorem 2).
+
+    Checks agreement and validity over random schedules, termination with
+    up to [x - 1] crashes inside [propose], and that blocking the object
+    requires crashing a full set of [x] owners inside [propose] — the
+    exact property that gives consensus numbers their multiplicative
+    power over crashes. *)
+
+val run : unit -> Report.t

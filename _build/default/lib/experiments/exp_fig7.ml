@@ -1,0 +1,62 @@
+let task = Tasks.Task.kset ~k:3
+
+let arrow ~label ~alg ~max_crashes ~budget =
+  let s =
+    Runner.sweep ~budget ~task ~alg ~seeds:(Harness.seeds 6) ~max_crashes ()
+  in
+  let ok = s.Runner.valid = s.Runner.runs && s.Runner.live = s.Runner.runs in
+  Report.check ~label ~ok ~detail:(Format.asprintf "%a" Runner.pp_summary s)
+
+(* The four arrows of Figure 7, each run separately on its natural
+   source algorithm. *)
+let arrows () =
+  let grouped = Tasks.Algorithms.kset_grouped ~n:6 ~t:4 ~x:2 ~k:3 in
+  let rw6 = Tasks.Algorithms.kset_read_write ~n:6 ~t:2 ~k:3 in
+  let rw3 = Tasks.Algorithms.kset_read_write ~n:3 ~t:2 ~k:3 in
+  let rw5 = Tasks.Algorithms.kset_read_write ~n:5 ~t:2 ~k:3 in
+  [
+    arrow ~label:"ASM(6,4,2) -> ASM(6,2,1)  [Section 3]"
+      ~alg:(Core.Bg.sim_down ~source:grouped ~t:2)
+      ~max_crashes:2 ~budget:500_000;
+    arrow ~label:"ASM(6,2,1) -> ASM(3,2,1)  [BG]"
+      ~alg:(Core.Bg.classic ~source:rw6) ~max_crashes:2 ~budget:500_000;
+    arrow ~label:"ASM(3,2,1) -> ASM(5,2,1)  [BG generalization]"
+      ~alg:
+        (Core.Bg.to_model ~source:rw3
+           ~target:(Core.Model.read_write ~n:5 ~t:2))
+      ~max_crashes:2 ~budget:500_000;
+    arrow ~label:"ASM(5,2,1) -> ASM(5,4,2)  [Section 4]"
+      ~alg:(Core.Bg.sim_up ~source:rw5 ~t':4 ~x:2)
+      ~max_crashes:4 ~budget:800_000;
+  ]
+
+(* Full end-to-end composition of all four arrows on the trivial task. *)
+let composition () =
+  let source = Tasks.Algorithms.trivial ~n:4 ~t:2 in
+  let target = Core.Model.make ~n:5 ~t:4 ~x:2 in
+  let via = Core.Bg.figure7_chain ~source ~target in
+  let chained = Core.Bg.chain ~source ~via in
+  let task = Tasks.Task.trivial in
+  let s =
+    Runner.sweep ~budget:30_000_000 ~task ~alg:chained ~seeds:[ 1 ]
+      ~max_crashes:0 ()
+  in
+  let hops =
+    String.concat " -> "
+      (Core.Model.to_string source.Core.Algorithm.model
+      :: List.map Core.Model.to_string via)
+  in
+  Report.check
+    ~label:"4-deep composed simulation decides correctly"
+    ~ok:(s.Runner.valid = s.Runner.runs && s.Runner.live = s.Runner.runs)
+    ~detail:(Printf.sprintf "%s; %s" hops (Format.asprintf "%a" Runner.pp_summary s))
+
+let run () =
+  {
+    Report.id = "F7";
+    title = "Figure 7: the equivalence chain";
+    paper =
+      "ASM(n1,t1,x1) ~ ASM(n2,t2,x2) when floor(t1/x1) = floor(t2/x2), \
+       via ASM(n1,t,1), ASM(t+1,t,1) and ASM(n2,t,1) (Section 5.3).";
+    checks = arrows () @ [ composition () ];
+  }

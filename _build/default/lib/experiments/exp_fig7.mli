@@ -1,0 +1,11 @@
+(** Experiment F7 — Figure 7: the model-equivalence chain.
+
+    [ASM(6,4,2) ≃ ASM(5,2,1)] (both have power ⌊t/x⌋ = 2). Figure 7
+    realizes the equivalence through four simulations:
+    [ASM(6,4,2) → ASM(6,2,1) → ASM(3,2,1) → ASM(5,2,1) → target].
+    Every arrow is checked individually on a schedule sweep, and a full
+    composition is executed end-to-end (on the cheap trivial task — each
+    nesting multiplies the step count ~25-50x, which is the expected
+    polynomial-per-level blow-up of BG-style simulation). *)
+
+val run : unit -> Report.t

@@ -1,0 +1,71 @@
+let formula_specializations () =
+  let ok = ref true in
+  (* l = 1, m = x: consensus objects give floor(t/x) + 1. *)
+  for t = 0 to 12 do
+    for x = 1 to 6 do
+      if Tasks.Set_agreement.herlihy_rajsbaum_k ~t ~m:x ~l:1 <> (t / x) + 1
+      then ok := false
+    done;
+    (* m = l = 1: registers give t + 1 (Chaudhuri). *)
+    if Tasks.Set_agreement.herlihy_rajsbaum_k ~t ~m:1 ~l:1 <> t + 1 then
+      ok := false
+  done;
+  Report.check
+    ~label:"formula specializes to floor(t/x)+1 (consensus) and t+1 (registers)"
+    ~ok:!ok ~detail:"checked t = 0..12, x = 1..6"
+
+let probe ~n ~t ~m ~l =
+  let k = Tasks.Set_agreement.herlihy_rajsbaum_k ~t ~m ~l in
+  let alg = Tasks.Set_agreement.algorithm ~n ~t ~m ~l ~k in
+  let task = Tasks.Task.kset ~k in
+  let s =
+    Runner.sweep ~allow_kset:true ~budget:300_000 ~task ~alg
+      ~seeds:(Harness.seeds 30) ~max_crashes:t ()
+  in
+  let ok =
+    s.Runner.valid = s.Runner.runs
+    && s.Runner.live = s.Runner.runs
+    && s.Runner.max_distinct_decisions <= k
+  in
+  Report.check
+    ~label:
+      (Printf.sprintf "(m=%d,l=%d) objects, n=%d t=%d: k=%d-set agreement" m l
+         n t k)
+    ~ok
+    ~detail:
+      (Printf.sprintf "30 sweeps, max distinct decisions %d (bound %d)"
+         s.Runner.max_distinct_decisions k)
+
+let threshold_enforced () =
+  let refused =
+    match
+      Tasks.Set_agreement.algorithm ~n:6 ~t:4 ~m:3 ~l:2
+        ~k:(Tasks.Set_agreement.herlihy_rajsbaum_k ~t:4 ~m:3 ~l:2 - 1)
+    with
+    | (_ : Core.Algorithm.t) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Report.check ~label:"k below the threshold is rejected" ~ok:refused
+    ~detail:
+      (if refused then "Invalid_argument, as the impossibility half demands"
+       else "wrongly accepted")
+
+let run () =
+  {
+    Report.id = "SA";
+    title = "k-set agreement from (m,l)-set objects (Section 1.3)";
+    paper =
+      "With (m,l)-set agreement objects, k-set agreement is solvable iff \
+       k >= l*floor((t+1)/m) + min(l, (t+1) mod m) (Herlihy & Rajsbaum, \
+       the paper's reference [22]).";
+    checks =
+      [
+        formula_specializations ();
+        probe ~n:6 ~t:3 ~m:3 ~l:2;
+        probe ~n:6 ~t:5 ~m:3 ~l:2;
+        probe ~n:8 ~t:5 ~m:4 ~l:2;
+        probe ~n:8 ~t:6 ~m:2 ~l:1;
+        probe ~n:6 ~t:4 ~m:2 ~l:2;
+        threshold_enforced ();
+      ];
+  }

@@ -1,0 +1,13 @@
+(** Experiment SA — k-set agreement from (m, l)-set agreement objects
+    (paper Section 1.3, reproducing the Herlihy-Rajsbaum threshold of
+    reference [22]).
+
+    For a grid of (t, m, l), the group algorithm of
+    {!Tasks.Set_agreement} solves k-set agreement for
+    [k = l*floor((t+1)/m) + min(l, (t+1) mod m)] — validated by sweeps
+    with the full [t] crashes, recording the maximum number of distinct
+    decisions ever observed (it must stay within k). Consistency checks:
+    the formula specializes to [floor(t/x) + 1] for consensus objects
+    ([l = 1, m = x]) and to [t + 1] for registers ([m = l = 1]). *)
+
+val run : unit -> Report.t

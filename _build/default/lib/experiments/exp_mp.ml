@@ -1,0 +1,76 @@
+let t = 1
+let x = 3
+let n = 8
+let lo, hi = Core.Model.window_bounds ~t ~x (* (3, 5) *)
+
+let algebra () =
+  let ok = ref true in
+  let canon = Core.Model.read_write ~n ~t in
+  for t' = 0 to n - 1 do
+    let m = Core.Model.make ~n ~t:t' ~x in
+    let inside = t' >= lo && t' <= hi in
+    if Core.Model.equivalent m canon <> inside then ok := false
+  done;
+  Report.check
+    ~label:
+      (Printf.sprintf "ASM(%d,t',%d) ~ ASM(%d,%d,1) iff %d <= t' <= %d" n x n
+         t lo hi)
+    ~ok:!ok
+    ~detail:(Printf.sprintf "checked t' = 0..%d" (n - 1))
+
+let edge ~t' =
+  let source = Tasks.Algorithms.kset_read_write ~n ~t ~k:(t + 1) in
+  let alg = Core.Bg.sim_up ~source ~t' ~x in
+  let task = Tasks.Task.kset ~k:(t + 1) in
+  let s =
+    Runner.sweep ~budget:3_000_000 ~task ~alg ~seeds:(Harness.seeds 3)
+      ~max_crashes:t' ()
+  in
+  let ok = s.Runner.valid = s.Runner.runs && s.Runner.live = s.Runner.runs in
+  Report.check
+    ~label:
+      (Printf.sprintf
+         "window edge t'=%d: consensus-like %d-set runs under %d crashes" t'
+         (t + 1) t')
+    ~ok
+    ~detail:(Format.asprintf "%a" Runner.pp_summary s)
+
+let beyond_window () =
+  let source = Tasks.Algorithms.kset_read_write ~n ~t ~k:(t + 1) in
+  let rejected =
+    match Core.Bg.sim_up ~source ~t':(hi + 1) ~x with
+    | (_ : Core.Algorithm.t) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Report.check
+    ~label:(Printf.sprintf "t'=%d (past the window) is rejected" (hi + 1))
+    ~ok:rejected
+    ~detail:
+      (if rejected then "sim_up raised Invalid_argument as required"
+       else "simulation was wrongly accepted")
+
+let useless_boost () =
+  let m3 = Core.Model.make ~n:10 ~t:8 ~x:3 in
+  let m4 = Core.Model.make ~n:10 ~t:8 ~x:4 in
+  Report.check
+    ~label:"ASM(n,8,3) ~ ASM(n,8,4): stronger objects, same power"
+    ~ok:
+      (Core.Model.equivalent m3 m4
+      && Core.Model.power m3 = 2
+      && not (Core.Model.equivalent m3 (Core.Model.make ~n:10 ~t:8 ~x:2)))
+    ~detail:
+      (Printf.sprintf "power(8,3)=%d power(8,4)=%d power(8,2)=%d"
+         (Core.Model.power m3) (Core.Model.power m4)
+         (Core.Model.power (Core.Model.make ~n:10 ~t:8 ~x:2)))
+
+let run () =
+  {
+    Report.id = "MP";
+    title = "the multiplicative power window";
+    paper =
+      "ASM(n, t', x) ~ ASM(n, t, 1) iff t*x <= t' <= t*x + (x - 1); \
+       increasing x without crossing a floor boundary adds no power \
+       (Section 5.4).";
+    checks =
+      [ algebra (); edge ~t':lo; edge ~t':hi; beyond_window (); useless_boost () ];
+  }

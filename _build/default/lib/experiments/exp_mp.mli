@@ -1,0 +1,11 @@
+(** Experiment MP — the multiplicative-power window (Section 5.4).
+
+    For fixed (t, x), [ASM(n, t', x) ≃ ASM(n, t, 1)] iff
+    [t·x <= t' <= t·x + (x-1)]. Checks the algebra across the whole
+    window and beyond, runs the Section 4 simulation at both window
+    edges under the maximal number of crashes, and verifies that the
+    engine refuses a simulation just past the window (where
+    [⌊t'/x⌋ > t]). Also checks the "increasing the consensus number can
+    be useless" remark: ASM(n, 8, 3) and ASM(n, 8, 4) are equivalent. *)
+
+val run : unit -> Report.t

@@ -1,0 +1,132 @@
+open Svm
+
+let n = 5
+
+let run_consensus ~seed ~crash_pids ~oracle =
+  let env = Env.create ~nprocs:n ~x:1 () in
+  Env.set_oracle env "OMEGA" oracle;
+  let paxos = Shared_objects.Paxos.make ~fam:"PAX" ~nprocs:n in
+  let progs =
+    Array.init n (fun pid ->
+        Shared_objects.Paxos.consensus paxos ~oracle_fam:"OMEGA" ~pid
+          (Codec.int.Codec.inj (70 + pid)))
+  in
+  let adversary =
+    Adversary.with_crashes (Adversary.random ~seed)
+      (List.map
+         (fun (pid, step) -> Adversary.Crash_at_local { pid; step })
+         crash_pids)
+  in
+  Exec.run ~budget:60_000 ~env ~adversary progs
+
+let agreement_of r =
+  let ds = List.map Codec.int.Codec.prj (Exec.decided r) in
+  match ds with
+  | [] -> true
+  | d :: rest -> List.for_all (Int.equal d) rest && d >= 70 && d < 70 + n
+
+let boosted_consensus () =
+  let ok = ref true and detail = ref "" in
+  List.iter
+    (fun seed ->
+      (* Crash everyone but process 3 (n-1 = 4 crashes!); the oracle
+         stabilizes on 3 after a few queries. *)
+      let crash_pids =
+        [ (0, 3 + (seed mod 5)); (1, 6); (2, 2 + (seed mod 3)); (4, 9) ]
+      in
+      let oracle =
+        Shared_objects.Paxos.leader_oracle ~stabilize_after:(2 + (seed mod 4))
+          ~leader:3 ~nprocs:n
+      in
+      let r = run_consensus ~seed ~crash_pids ~oracle in
+      let crashed = List.length r.Exec.crashed in
+      let live = Exec.decided_count r = n - crashed in
+      if not (agreement_of r && live) then begin
+        ok := false;
+        detail :=
+          Printf.sprintf "seed %d: agreement=%b live=%b" seed (agreement_of r)
+            live
+      end)
+    (Harness.seeds 25);
+  Report.check
+    ~label:"consensus in ASM(5,4,1)+Omega: n-1 crashes, all correct decide"
+    ~ok:!ok
+    ~detail:(if !ok then "25 runs, 4 crashes each: agreement+validity+liveness"
+             else !detail)
+
+let no_crash_any_leader () =
+  let ok = ref true in
+  List.iter
+    (fun seed ->
+      let oracle =
+        Shared_objects.Paxos.leader_oracle ~stabilize_after:(seed mod 6)
+          ~leader:(seed mod n) ~nprocs:n
+      in
+      let r = run_consensus ~seed ~crash_pids:[] ~oracle in
+      if not (agreement_of r && Exec.decided_count r = n) then ok := false)
+    (Harness.seeds 25);
+  Report.check ~label:"crash-free runs for every stabilized leader" ~ok:!ok
+    ~detail:"25 runs across leaders and stabilization times"
+
+(* An oracle that never stabilizes: safety must still hold; liveness may
+   fail (processes block at the budget), never disagreement. *)
+let adversarial_oracle_safe () =
+  let ok = ref true and blocked_runs = ref 0 in
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let oracle ~pid:_ ~query:_ = Codec.int.Codec.inj (Rng.int rng n) in
+      let r = run_consensus ~seed ~crash_pids:[] ~oracle in
+      if Exec.blocked r <> [] then incr blocked_runs;
+      if not (agreement_of r) then ok := false)
+    (Harness.seeds 25);
+  Report.check
+    ~label:"never-stabilizing oracle: agreement still holds (safety != Omega)"
+    ~ok:!ok
+    ~detail:
+      (Printf.sprintf "25 runs, %d blocked at budget, zero disagreements"
+         !blocked_runs)
+
+let engine_refuses_oracles () =
+  let model = Core.Model.read_write ~n:2 ~t:1 in
+  let alg =
+    Core.Algorithm.make ~name:"uses-oracle" ~model (fun ~pid:_ ~input ->
+        Svm.Prog.bind (Svm.Prog.perform (Op.Oracle_query ("OMEGA", []))) (fun _ ->
+            Svm.Prog.return input))
+  in
+  let sim = Core.Bg.classic ~source:alg in
+  let env = Env.create ~nprocs:2 ~x:1 () in
+  Env.set_oracle env "OMEGA" (fun ~pid:_ ~query:_ -> Codec.int.Codec.inj 0);
+  let refused =
+    match
+      Exec.run ~env
+        ~adversary:(Adversary.round_robin ())
+        (Array.init 2 (fun pid ->
+             sim.Core.Algorithm.code ~pid ~input:(Codec.int.Codec.inj pid)))
+    with
+    | (_ : Univ.t Exec.result) -> false
+    | exception Core.Bg_engine.Unsupported_op _ -> true
+  in
+  Report.check ~label:"the BG engine refuses to simulate oracle queries"
+    ~ok:refused
+    ~detail:
+      (if refused then
+         "Unsupported_op: failure detectors are not shared-memory objects"
+       else "oracle query was wrongly simulated")
+
+let run () =
+  {
+    Report.id = "FD";
+    title = "failure-detector boosting: consensus from Omega (Section 1.3)";
+    paper =
+      "Omega_x is the weakest failure detector to boost ASM(n, n-1, x) \
+       to consensus number x+1 (Guerraoui & Kuznetsov); for x = 1, \
+       Omega = Omega_1 makes consensus solvable wait-free from registers.";
+    checks =
+      [
+        boosted_consensus ();
+        no_crash_any_leader ();
+        adversarial_oracle_safe ();
+        engine_refuses_oracles ();
+      ];
+  }

@@ -1,0 +1,16 @@
+(** Experiment FD — failure-detector boosting (paper Section 1.3).
+
+    Consensus cannot be solved in [ASM(n, n-1, 1)]; with the leader
+    oracle Ω (the weakest failure detector for consensus, Ω1 of the Ωx
+    family) it can, for any n, via shared-memory Paxos:
+
+    - wait-free termination and agreement/validity with up to n-1
+      crashes, across oracle stabilization times and schedules;
+    - safety is oracle-independent: even with an adversarial oracle that
+      never stabilizes, decided values never disagree (runs may then
+      block, which is the FLP-style price);
+    - the simulation engine refuses to carry oracle queries (failure
+      detectors are not shared-memory objects, so the paper's
+      simulations do not apply to them). *)
+
+val run : unit -> Report.t

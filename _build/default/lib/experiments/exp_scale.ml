@@ -1,0 +1,82 @@
+let steps_of ~alg ~task ~budget =
+  let s =
+    Runner.sweep ~budget ~task ~alg ~seeds:(Harness.seeds 3) ~max_crashes:0 ()
+  in
+  (s, int_of_float s.Runner.avg_steps)
+
+let native_steps ~n =
+  let task = Tasks.Task.kset ~k:3 in
+  let alg = Tasks.Algorithms.kset_read_write ~n ~t:2 ~k:3 in
+  snd (steps_of ~alg ~task ~budget:100_000)
+
+let simulated_steps ~n ~t' ~x =
+  let task = Tasks.Task.kset ~k:3 in
+  let source = Tasks.Algorithms.kset_read_write ~n ~t:2 ~k:3 in
+  let alg =
+    if x = 1 then
+      Core.Bg.to_model ~source ~target:(Core.Model.read_write ~n ~t:t')
+    else Core.Bg.sim_up ~source ~t' ~x
+  in
+  snd (steps_of ~alg ~task ~budget:8_000_000)
+
+let overhead_table () =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    "steps per complete run (3-seed average, crash-free, 3-set agreement):\n";
+  Buffer.add_string b
+    "  n   native   x'=1 hop   x'=2 hop   x'=3 hop\n";
+  List.iter
+    (fun n ->
+      let native = native_steps ~n in
+      let hop1 = simulated_steps ~n ~t':2 ~x:1 in
+      let hop2 = simulated_steps ~n ~t':(min (n - 1) 4) ~x:2 in
+      let hop3 = simulated_steps ~n ~t':(min (n - 1) 5) ~x:3 in
+      Buffer.add_string b
+        (Printf.sprintf "  %d  %7d  %9d  %9d  %9d\n" n native hop1 hop2 hop3))
+    [ 4; 6; 8 ];
+  Buffer.contents b
+
+let growth_checks () =
+  let n = 6 in
+  let native = native_steps ~n in
+  let hop1 = simulated_steps ~n ~t':2 ~x:1 in
+  let hop2 = simulated_steps ~n ~t':4 ~x:2 in
+  let hop3 = simulated_steps ~n ~t':5 ~x:3 in
+  [
+    Report.check ~label:"one hop costs at least 10x native"
+      ~ok:(hop1 > 10 * native)
+      ~detail:
+        (Printf.sprintf "native %d steps, one x'=1 hop %d steps (%.0fx)" native
+           hop1
+           (float_of_int hop1 /. float_of_int native));
+    Report.check ~label:"cost grows with x' (subset scans)"
+      ~ok:(hop3 > hop2 && hop2 > hop1)
+      ~detail:(Printf.sprintf "x'=1: %d, x'=2: %d, x'=3: %d steps" hop1 hop2 hop3);
+  ]
+
+let composition_check () =
+  let task = Tasks.Task.trivial in
+  let source = Tasks.Algorithms.trivial ~n:4 ~t:2 in
+  let one =
+    Core.Bg.to_model ~source ~target:(Core.Model.read_write ~n:3 ~t:2)
+  in
+  let two =
+    Core.Bg.to_model ~source:one ~target:(Core.Model.read_write ~n:4 ~t:2)
+  in
+  let _, s0 = steps_of ~alg:source ~task ~budget:100_000 in
+  let _, s1 = steps_of ~alg:one ~task ~budget:1_000_000 in
+  let _, s2 = steps_of ~alg:two ~task ~budget:20_000_000 in
+  Report.check ~label:"hops compose multiplicatively"
+    ~ok:(s1 > 2 * s0 && s2 > 2 * s1)
+    ~detail:
+      (Printf.sprintf "native %d -> 1 hop %d -> 2 hops %d steps" s0 s1 s2)
+
+let run () =
+  {
+    Report.id = "SC";
+    title = "cost shape of the simulations";
+    paper =
+      "No claim in the paper (the reductions are computability tools); \
+       measured so the blow-up per simulation level is on record.";
+    checks = growth_checks () @ [ composition_check () ];
+  }

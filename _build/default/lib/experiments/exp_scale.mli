@@ -1,0 +1,17 @@
+(** Experiment SC — the cost shape of the simulations.
+
+    The paper makes no efficiency claims; this experiment quantifies the
+    constructions anyway, because the shape is instructive:
+
+    - one simulation hop costs one-to-two orders of magnitude over
+      native execution (each simulated snapshot becomes an agreement);
+    - the Section 4 hop grows with x' (the agreement scans all
+      C(n', x') subsets) — the price of multiplied crash tolerance;
+    - hops compose multiplicatively.
+
+    Measured in scheduler steps (deterministic, machine-independent). *)
+
+val run : unit -> Report.t
+
+val overhead_table : unit -> string
+(** The rendered steps table (used by the CLI). *)

@@ -1,0 +1,144 @@
+open Svm
+
+let n = 6
+let t_src = 2
+let t' = 5
+let x = 2
+let source = Tasks.Algorithms.kset_read_write ~n ~t:t_src ~k:3
+let task = Tasks.Task.kset ~k:3
+let target = Core.Model.make ~n ~t:t' ~x
+
+let sweeps ~max_crashes ~label =
+  let s =
+    Runner.sweep ~budget:800_000 ~task
+      ~alg:(Core.Bg.sim_up ~source ~t' ~x)
+      ~seeds:(Harness.seeds 12) ~max_crashes ()
+  in
+  let ok = s.Runner.valid = s.Runner.runs && s.Runner.live = s.Runner.runs in
+  Report.check ~label ~ok ~detail:(Format.asprintf "%a" Runner.pp_summary s)
+
+let exhaustive_run ~adversary ~stats ~budget =
+  let alg =
+    Core.Bg_engine.simulate ~stats ~source ~target ~mode:`Exhaustive ()
+  in
+  let inputs =
+    Array.of_list (List.map Codec.int.Codec.inj [ 9; 8; 7; 6; 5; 4 ])
+  in
+  Core.Run.run ~budget ~alg ~inputs ~adversary ()
+
+(* One simulator crashes while inside an agreement propose (just before
+   publishing on "SA.val"): with x = 2 the co-owner completes the
+   object, so NO simulated process blocks. Contrast with Figure 1 /
+   x = 1 where one such crash blocks a simulated process. *)
+let single_crash_blocks_nothing () =
+  let stats = Core.Bg_engine.new_stats () in
+  let adversary =
+    Adversary.with_crashes
+      (Adversary.round_robin ())
+      [ Harness.crash_before_fam ~pid:0 ~prefix:"SA.val" ~nth:0 ]
+  in
+  let r = exhaustive_run ~adversary ~stats ~budget:900_000 in
+  let blocked = Harness.blocked_simulated ~n_simulated:n stats in
+  let crashed = List.length r.Exec.crashed in
+  Report.check
+    ~label:"1 crash inside propose blocks NO simulated process (x=2)"
+    ~ok:(crashed = 1 && blocked = [])
+    ~detail:
+      (Printf.sprintf "crashed=%d blocked simulated=%d" crashed
+         (List.length blocked))
+
+(* Both owners of the same agreement instance crash inside propose: that
+   costs x = 2 crashes and blocks exactly one simulated process
+   (Lemma 7's floor(t'/x) accounting). *)
+let double_crash_blocks_one () =
+  let stats = Core.Bg_engine.new_stats () in
+  let adversary =
+    Adversary.with_crashes
+      (Adversary.priority [ 0; 1 ])
+      [
+        Harness.crash_before_fam ~pid:0 ~prefix:"SA.val" ~nth:0;
+        Harness.crash_before_fam ~pid:1 ~prefix:"SA.val" ~nth:0;
+      ]
+  in
+  let r = exhaustive_run ~adversary ~stats ~budget:900_000 in
+  let blocked = Harness.blocked_simulated ~n_simulated:n stats in
+  let crashed = List.length r.Exec.crashed in
+  Report.check
+    ~label:"x=2 owner crashes inside one propose block exactly 1 simulated"
+    ~ok:(crashed = 2 && List.length blocked <= 1)
+    ~detail:
+      (Printf.sprintf "crashed=%d blocked simulated=%d (bound floor(2/2)=1)"
+         crashed (List.length blocked))
+
+let lemma7_bounds ~crashes ~label =
+  let ok = ref true and detail = ref "" in
+  let max_blocked = ref 0 in
+  List.iter
+    (fun seed ->
+      let stats = Core.Bg_engine.new_stats () in
+      let adversary =
+        Adversary.random_crashes ~within:700 ~seed ~max_crashes:crashes
+          ~nprocs:n (Adversary.random ~seed)
+      in
+      let r = exhaustive_run ~adversary ~stats ~budget:1_200_000 in
+      let c = List.length r.Exec.crashed in
+      let blocked =
+        List.length (Harness.blocked_simulated ~n_simulated:n stats)
+      in
+      if blocked > !max_blocked then max_blocked := blocked;
+      if blocked > c / x then begin
+        ok := false;
+        detail :=
+          Printf.sprintf "seed %d: %d crashes blocked %d > floor(c/x)" seed c
+            blocked
+      end)
+    (Harness.seeds 8);
+  Report.check ~label ~ok:!ok
+    ~detail:
+      (if !ok then
+         Printf.sprintf "max blocked simulated = %d (bound floor(c/%d))"
+           !max_blocked x
+       else !detail)
+
+(* A second colorless task rides the same simulation: wait-free
+   approximate agreement (eps-close midpoints), natively wait-free in
+   the read/write model, simulated into ASM(6,5,2). *)
+let approximate_through_simulation () =
+  let scale = 1024 and rounds = 17 in
+  let source =
+    Tasks.Algorithms.approximate_agreement ~n ~t:t_src ~rounds ~scale
+  in
+  let task = Tasks.Task.approximate ~scale ~eps:4 in
+  let alg = Core.Bg.sim_up ~source ~t' ~x in
+  let s =
+    Runner.sweep ~budget:3_000_000 ~task ~alg ~seeds:(Harness.seeds 5)
+      ~max_crashes:t' ()
+  in
+  let ok = s.Runner.valid = s.Runner.runs && s.Runner.live = s.Runner.runs in
+  Report.check
+    ~label:"approximate agreement rides the simulation (5 crashes)"
+    ~ok
+    ~detail:(Format.asprintf "%a" Runner.pp_summary s)
+
+let run () =
+  {
+    Report.id = "S4";
+    title = "Section 4: ASM(n,t,1) in ASM(n,t',x)";
+    paper =
+      "Theorem 3: for floor(t'/x) <= t, any t-resilient read/write \
+       algorithm runs t'-resiliently with consensus-number-x objects; \
+       blocking one simulated process costs x simulator crashes \
+       (Lemma 7), and at least n - t simulated processes decide \
+       (Lemma 8).";
+    checks =
+      [
+        sweeps ~max_crashes:0 ~label:"12 crash-free schedules: valid + live";
+        sweeps ~max_crashes:5
+          ~label:"12 schedules, up to t'=5 crashes: valid + live";
+        single_crash_blocks_nothing ();
+        double_crash_blocks_one ();
+        lemma7_bounds ~crashes:2 ~label:"Lemma 7 bound, 2 random crashes";
+        lemma7_bounds ~crashes:4 ~label:"Lemma 7 bound, 4 random crashes";
+        approximate_through_simulation ();
+      ];
+  }

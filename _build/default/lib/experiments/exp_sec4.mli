@@ -1,0 +1,16 @@
+(** Experiment S4 — Section 4: simulating [ASM(n, t, 1)] in
+    [ASM(n, t', x)] (Theorem 3).
+
+    Source: 2-resilient read/write 3-set agreement for 6 processes.
+    Target: [ASM(6, 5, 2)] — 5 crashes tolerated thanks to 2-ported
+    consensus objects, since [⌊5/2⌋ = 2 <= t]. This is the
+    multiplicative power: the same algorithm that tolerates 2 crashes in
+    the read/write model now tolerates 5.
+
+    Checks task validity/liveness with up to [t' = 5] crashes and the
+    Section 4 accounting: one simulator crash inside a propose blocks
+    {e nothing} (an x_safe_agreement object survives x-1 = 1 owner
+    crash); [c] crashes block at most [⌊c/x⌋] simulated processes
+    (Lemma 7); at least [n - t] simulated processes decide (Lemma 8). *)
+
+val run : unit -> Report.t

@@ -1,0 +1,102 @@
+let classes_table ~t' ~x_max =
+  let classes = Core.Model.classes_for_t' ~t' ~x_max in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "equivalence classes of ASM(n, %d, x) for x = 1..%d:\n"
+       t' x_max);
+  List.iter
+    (fun (power, xs) ->
+      Buffer.add_string b
+        (Printf.sprintf "  x in {%s}  ->  power %d  ~  ASM(n, %d, 1)\n"
+           (String.concat ", " (List.map string_of_int xs))
+           power power))
+    classes;
+  Buffer.contents b
+
+(* The paper's t' = 8 example, verbatim (Section 5.4). *)
+let paper_t8_expected =
+  [
+    (8, [ 1 ]);
+    (4, [ 2 ]);
+    (2, [ 3; 4 ]);
+    (1, [ 5; 6; 7; 8 ]);
+    (0, [ 9 ]);
+  ]
+
+let t8_classes () =
+  let actual = Core.Model.classes_for_t' ~t':8 ~x_max:9 in
+  let sorted l = List.sort compare l in
+  Report.check ~label:"t'=8 partitions into the paper's five classes"
+    ~ok:(sorted actual = sorted paper_t8_expected)
+    ~detail:
+      (String.concat "; "
+         (List.map
+            (fun (p, xs) ->
+              Printf.sprintf "power %d: x in {%s}" p
+                (String.concat "," (List.map string_of_int xs)))
+            actual))
+
+(* The general statement "if t'/t >= x > t'/(t+1) then
+   ASM(n,t',x) ~ ASM(n,t,1)" on a grid. *)
+let general_rule () =
+  let ok = ref true and counter = ref 0 in
+  for t' = 1 to 12 do
+    for x = 1 to 12 do
+      for t = 0 to 12 do
+        let rule_holds =
+          if t = 0 then x > t' else t' >= x * t && x * (t + 1) > t'
+        in
+        let equivalent = t' / x = t in
+        incr counter;
+        if rule_holds <> equivalent then ok := false
+      done
+    done
+  done;
+  Report.check ~label:"rule t'/t >= x > t'/(t+1) <=> floor(t'/x) = t"
+    ~ok:!ok
+    ~detail:(Printf.sprintf "checked %d (t', x, t) triples" !counter)
+
+(* Empirical boundary probe: (floor(t'/x)+1)-set agreement is solvable in
+   ASM(t'+2, t', x) via the Section 4 simulation, under t' crashes. *)
+let probe ~t' ~x =
+  let n = t' + 2 in
+  let t = t' / x in
+  let k = t + 1 in
+  let source = Tasks.Algorithms.kset_read_write ~n ~t ~k in
+  let alg =
+    if x = 1 then Core.Bg.to_model ~source ~target:(Core.Model.read_write ~n ~t:t')
+    else Core.Bg.sim_up ~source ~t' ~x
+  in
+  let task = Tasks.Task.kset ~k in
+  let s =
+    Runner.sweep ~budget:2_000_000 ~task ~alg ~seeds:(Harness.seeds 3)
+      ~max_crashes:t' ()
+  in
+  let ok = s.Runner.valid = s.Runner.runs && s.Runner.live = s.Runner.runs in
+  Report.check
+    ~label:
+      (Printf.sprintf "%d-set agreement solvable in ASM(%d,%d,%d)" k n t' x)
+    ~ok
+    ~detail:(Format.asprintf "%a" Runner.pp_summary s)
+
+let run () =
+  {
+    Report.id = "T54";
+    title = "Section 5.4: equivalence classes and the k-set boundary";
+    paper =
+      "All models ASM(n, t', x) with floor(t'/x) = t form one class with \
+       canonical form ASM(n, t, 1); for t' = 8 there are exactly 5 \
+       classes; a task with set consensus number k is solvable in \
+       ASM(n, t, x) iff k > floor(t/x).";
+    checks =
+      [
+        t8_classes ();
+        general_rule ();
+        probe ~t':2 ~x:1;
+        probe ~t':2 ~x:2;
+        probe ~t':3 ~x:2;
+        probe ~t':4 ~x:2;
+        probe ~t':4 ~x:3;
+        probe ~t':3 ~x:3;
+      ];
+  }

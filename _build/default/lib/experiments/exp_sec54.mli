@@ -1,0 +1,16 @@
+(** Experiment T54 — Section 5.4: the equivalence classes of system
+    models (the paper's t' = 8 enumeration) and the solvability boundary.
+
+    Reproduces the paper's "table": for t' = 8, the models ASM(n, 8, x)
+    fall into exactly five classes as x ranges over 1..9, with canonical
+    forms ASM(n, 4, 1), ASM(n, 2, 1), ASM(n, 1, 1), ASM(n, 0, 1) and
+    ASM(n, 8, 1). Then probes the boundary empirically: for a grid of
+    (t', x), the task "(⌊t'/x⌋+1)-set agreement" — the hardest k-set
+    task the class allows — is solved in ASM(t'+2, t', x) by simulating
+    the ⌊t'/x⌋-resilient read/write algorithm (Section 4), under the
+    full t' crashes. *)
+
+val run : unit -> Report.t
+
+val classes_table : t':int -> x_max:int -> string
+(** The rendered class table (also used by the CLI and EXPERIMENTS.md). *)

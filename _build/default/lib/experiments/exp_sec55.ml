@@ -1,0 +1,58 @@
+let n_src = 6
+let source = Tasks.Algorithms.renaming_read_write ~n:n_src ~t:2
+let task = Tasks.Task.renaming ~slots:((2 * n_src) - 1)
+
+let native () =
+  let s =
+    Runner.sweep ~budget:100_000 ~task ~alg:source ~seeds:(Harness.seeds 25)
+      ~max_crashes:2 ()
+  in
+  let ok = s.Runner.valid = s.Runner.runs && s.Runner.live = s.Runner.runs in
+  Report.check ~label:"native renaming in ASM(6,2,1), 25 schedules" ~ok
+    ~detail:(Format.asprintf "%a" Runner.pp_summary s)
+
+let simulated ~n' ~t' ~x' ~max_crashes =
+  let target = Core.Model.make ~n:n' ~t:t' ~x:x' in
+  let alg = Core.Bg.colored ~source ~target in
+  let s =
+    Runner.sweep ~budget:2_000_000 ~task ~alg ~seeds:(Harness.seeds 8)
+      ~max_crashes ()
+  in
+  let ok = s.Runner.valid = s.Runner.runs && s.Runner.live = s.Runner.runs in
+  Report.check
+    ~label:
+      (Printf.sprintf "colored simulation in ASM(%d,%d,%d): distinct names"
+         n' t' x')
+    ~ok
+    ~detail:(Format.asprintf "%a" Runner.pp_summary s)
+
+let rejected ~label ~target =
+  let refused =
+    match Core.Bg.colored ~source ~target with
+    | (_ : Core.Algorithm.t) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Report.check ~label ~ok:refused
+    ~detail:(if refused then "rejected as required" else "wrongly accepted")
+
+let run () =
+  {
+    Report.id = "F8";
+    title = "Section 5.5: colored tasks (Figure 8)";
+    paper =
+      "An algorithm solving a colored task in ASM(n,t,x) can be \
+       simulated in ASM(n',t',x') when x' > 1, floor(t/x) >= \
+       floor(t'/x') and n >= max(n', (n'-t')+t); test&set objects let \
+       each simulator decide the value of a different simulated process.";
+    checks =
+      [
+        native ();
+        simulated ~n':4 ~t':2 ~x':2 ~max_crashes:0;
+        simulated ~n':4 ~t':2 ~x':2 ~max_crashes:2;
+        simulated ~n':5 ~t':3 ~x':2 ~max_crashes:3;
+        rejected ~label:"x' = 1 is rejected"
+          ~target:(Core.Model.read_write ~n:4 ~t:2);
+        rejected ~label:"n too small for (n'-t')+t is rejected"
+          ~target:(Core.Model.make ~n:6 ~t:1 ~x:2);
+      ];
+  }

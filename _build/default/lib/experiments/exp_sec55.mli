@@ -1,0 +1,10 @@
+(** Experiment F8 — Section 5.5 / Figure 8: colored tasks.
+
+    (2n-1)-renaming — the canonical colored task — is run natively in
+    [ASM(6, 2, 1)] and simulated in [ASM(4, 2, 2)] and [ASM(5, 3, 2)]
+    (both satisfying the section's precondition). Checks: every decided
+    name is distinct (the test&set allocation of decisions), names stay
+    within the 2n-1 bound, every correct simulator decides, and the
+    precondition is enforced ([x' = 1] and too-small [n] are rejected). *)
+
+val run : unit -> Report.t

@@ -1,0 +1,233 @@
+open Svm
+open Svm.Prog.Syntax
+
+let n = 4
+
+let views_codec = Codec.list (Codec.list (Codec.pair Codec.int Codec.int))
+
+(* Each process does [rounds] update+scan cycles and decides the encoded
+   list of all views it collected. A view is encoded as the list of
+   (writer, value) pairs it contains. *)
+let snap_worker snap rounds i =
+  let rec go r acc =
+    if r = rounds then Prog.return (views_codec.Codec.inj (List.rev acc))
+    else
+      let* () =
+        Shared_objects.Afek_snapshot.update snap ~pid:i
+          (Codec.int.Codec.inj ((100 * i) + r))
+      in
+      let* view = Shared_objects.Afek_snapshot.scan snap ~pid:i in
+      let decoded =
+        Array.to_list view
+        |> List.mapi (fun j v ->
+               Option.map (fun u -> (j, Codec.int.Codec.prj u)) v)
+        |> List.filter_map Fun.id
+      in
+      go (r + 1) (decoded :: acc)
+  in
+  go 0 []
+
+let view_leq v1 v2 =
+  (* v1 <= v2 pointwise on the per-writer value (values encode write
+     counts, monotonically increasing). *)
+  List.for_all
+    (fun (j, value) ->
+      match List.assoc_opt j v2 with
+      | None -> false
+      | Some value' -> value' >= value)
+    v1
+
+let afek_checks () =
+  
+  let ok_order = ref true and ok_self = ref true in
+  List.iter
+    (fun seed ->
+      let snap = Shared_objects.Afek_snapshot.make ~fam:"AFEK" ~nprocs:n in
+      let env = Env.create ~nprocs:n ~x:1 () in
+      let progs = Array.init n (snap_worker snap 4) in
+      let r = Exec.run ~env ~adversary:(Adversary.random ~seed) progs in
+      let all_views =
+        Exec.decided r |> List.concat_map (fun u -> views_codec.Codec.prj u)
+      in
+      (* Total order by containment. *)
+      List.iteri
+        (fun a va ->
+          List.iteri
+            (fun b vb ->
+              if a < b && (not (view_leq va vb)) && not (view_leq vb va) then
+                ok_order := false)
+            all_views)
+        all_views;
+      (* Self-inclusion: process i's r-th scan contains its r-th update. *)
+      List.iteri
+        (fun i u ->
+          let views = views_codec.Codec.prj u in
+          List.iteri
+            (fun r view ->
+              match List.assoc_opt i view with
+              | Some v when v >= (100 * i) + r -> ()
+              | Some _ | None -> ok_self := false)
+            views)
+        (Exec.decided r))
+    (Harness.seeds 25);
+  [
+    Report.check ~label:"Afek views totally ordered by containment"
+      ~ok:!ok_order
+      ~detail:"25 schedules x 4 processes x 4 update/scan rounds";
+    Report.check ~label:"Afek scans contain the scanner's own last update"
+      ~ok:!ok_self ~detail:"every scan reflects the preceding update";
+  ]
+
+let ts_checks () =
+  let ok = ref true and detail = ref "" in
+  List.iter
+    (fun seed ->
+      let ts = Shared_objects.Ts_from_cons.make ~fam:"TS" ~participants:n in
+      let env = Env.create ~nprocs:n ~x:2 () in
+      let progs =
+        Array.init n (fun i ->
+            Prog.map Codec.bool.Codec.inj
+              (Shared_objects.Ts_from_cons.compete ts ~key:[] ~pid:i))
+      in
+      let adversary =
+        Adversary.random_crashes ~within:6 ~seed ~max_crashes:1 ~nprocs:n
+          (Adversary.random ~seed)
+      in
+      let r = Exec.run ~budget:20_000 ~env ~adversary progs in
+      let winners =
+        Exec.decided r |> List.map Codec.bool.Codec.prj
+        |> List.filter (fun b -> b)
+        |> List.length
+      in
+      let crashed = List.length r.Exec.crashed in
+      let returned = Exec.decided_count r in
+      if winners > 1 || returned <> n - crashed then begin
+        ok := false;
+        detail :=
+          Printf.sprintf "seed %d: %d winners, %d/%d returned" seed winners
+            returned (n - crashed)
+      end)
+    (Harness.seeds 40);
+  Report.check ~label:"tournament test&set: <= 1 winner, wait-free" ~ok:!ok
+    ~detail:(if !ok then "40 schedules with up to 1 crash" else !detail)
+
+(* ------------------------------------------------------------------ *)
+(* Immediate snapshot: self-inclusion, containment, immediacy          *)
+(* ------------------------------------------------------------------ *)
+
+let immediate_snapshot_checks () =
+  let ok = ref true and detail = ref "" in
+  let views_codec = Codec.list (Codec.pair Codec.int Codec.int) in
+  List.iter
+    (fun seed ->
+      let is = Shared_objects.Immediate_snapshot.make ~fam:"IS" ~nprocs:n in
+      let env = Env.create ~nprocs:n ~x:1 () in
+      let progs =
+        Array.init n (fun i ->
+            Shared_objects.Immediate_snapshot.write_and_snapshot is ~key:[]
+              ~pid:i (Codec.int.Codec.inj (500 + i))
+            |> Prog.map (fun view ->
+                   views_codec.Codec.inj
+                     (List.map (fun (j, w) -> (j, Codec.int.Codec.prj w)) view)))
+      in
+      let r = Exec.run ~env ~adversary:(Adversary.random ~seed) progs in
+      let views =
+        Array.to_list r.Exec.outcomes
+        |> List.mapi (fun i o -> (i, o))
+        |> List.filter_map (fun (i, o) ->
+               match o with
+               | Exec.Decided u -> Some (i, views_codec.Codec.prj u)
+               | Exec.Crashed | Exec.Blocked -> None)
+      in
+      let contains view j = List.mem_assoc j view in
+      let subset v1 v2 = List.for_all (fun (j, _) -> contains v2 j) v1 in
+      List.iter
+        (fun (i, vi) ->
+          if not (contains vi i) then begin
+            ok := false;
+            detail := Printf.sprintf "seed %d: self-inclusion broken" seed
+          end;
+          List.iter
+            (fun (j, vj) ->
+              if not (subset vi vj || subset vj vi) then begin
+                ok := false;
+                detail := Printf.sprintf "seed %d: containment broken" seed
+              end;
+              (* immediacy: if pj's view contains pi, then vi <= vj *)
+              if contains vj i && not (subset vi vj) then begin
+                ok := false;
+                detail := Printf.sprintf "seed %d: immediacy broken (%d,%d)" seed i j
+              end)
+            views)
+        views)
+    (Harness.seeds 40);
+  Report.check
+    ~label:"immediate snapshot: self-inclusion, containment, immediacy"
+    ~ok:!ok
+    ~detail:(if !ok then "40 schedules x 4 processes" else !detail)
+
+(* ------------------------------------------------------------------ *)
+(* Adopt-commit                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let adopt_commit_checks () =
+  let ok = ref true and detail = ref "" in
+  let res_codec = Codec.pair Codec.bool Codec.int in
+  List.iter
+    (fun seed ->
+      (* Random proposals drawn from two values so both the convergence
+         and the conflict cases occur. *)
+      let rng = Rng.create seed in
+      let proposals = Array.init n (fun _ -> 800 + Rng.int rng 2) in
+      let ac = Shared_objects.Adopt_commit.make ~fam:"AC" in
+      let env = Env.create ~nprocs:n ~x:1 () in
+      let progs =
+        Array.init n (fun i ->
+            Shared_objects.Adopt_commit.propose ac ~key:[] ~pid:i
+              (Codec.int.Codec.inj proposals.(i))
+            |> Prog.map (fun (verdict, u) ->
+                   res_codec.Codec.inj
+                     ( (match verdict with
+                       | Shared_objects.Adopt_commit.Commit -> true
+                       | Shared_objects.Adopt_commit.Adopt -> false),
+                       Codec.int.Codec.prj u )))
+      in
+      let r = Exec.run ~env ~adversary:(Adversary.random ~seed) progs in
+      let results = List.map res_codec.Codec.prj (Exec.decided r) in
+      let all_decided = List.length results = n in
+      let valid =
+        List.for_all (fun (_, v) -> Array.exists (Int.equal v) proposals) results
+      in
+      let commits = List.filter_map (fun (c, v) -> if c then Some v else None) results in
+      let commit_agreement =
+        match commits with
+        | [] -> true
+        | w :: _ -> List.for_all (fun (_, v) -> v = w) results
+      in
+      let all_same = Array.for_all (Int.equal proposals.(0)) proposals in
+      let convergence = (not all_same) || List.for_all fst results in
+      if not (all_decided && valid && commit_agreement && convergence) then begin
+        ok := false;
+        detail :=
+          Printf.sprintf
+            "seed %d: decided=%b valid=%b commit-agreement=%b convergence=%b"
+            seed all_decided valid commit_agreement convergence
+      end)
+    (Harness.seeds 60);
+  Report.check
+    ~label:"adopt-commit: validity, commit-agreement, convergence, wait-free"
+    ~ok:!ok
+    ~detail:(if !ok then "60 schedules x 4 processes" else !detail)
+
+let run () =
+  {
+    Report.id = "S0";
+    title = "substrate: snapshot from registers, test&set from consensus";
+    paper =
+      "The base model's snapshot memory is implementable from read/write \
+       registers (reference [1]); test&set is implementable from \
+       consensus number 2 objects (reference [19]).";
+    checks =
+      afek_checks ()
+      @ [ ts_checks (); immediate_snapshot_checks (); adopt_commit_checks () ];
+  }

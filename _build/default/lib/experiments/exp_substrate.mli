@@ -1,0 +1,14 @@
+(** Experiment S0 — the substrate the base models take as given.
+
+    The paper assumes an atomic snapshot memory (its reference [1], Afek
+    et al.) and test&set objects implementable from consensus number 2
+    ([19]). This experiment validates our constructions of both:
+
+    - the register-based Afek snapshot produces views that are totally
+      ordered by containment (the signature property of atomic
+      snapshots), contain the scanner's own last update, and respect
+      per-process write order;
+    - the tournament test&set elects exactly one winner among finishers
+      and is wait-free under crashes. *)
+
+val run : unit -> Report.t

@@ -1,0 +1,122 @@
+open Svm
+open Svm.Prog.Syntax
+
+(* Universal fetch&add counter: 4 processes, 3 increments each, under a
+   random crash. The multiset of fetch&add results of the processes that
+   finished must be duplicate-free and consistent with atomicity. *)
+let universal_counter () =
+  let open Universal.Seq_spec in
+  let n = 4 in
+  let ok = ref true and detail = ref "" in
+  List.iter
+    (fun seed ->
+      let env = Env.create ~nprocs:n ~x:n () in
+      let obj = Universal.Herlihy.make counter ~fam:"U" in
+      let codec = Codec.list counter.res_codec in
+      let prog pid =
+        let session = Universal.Herlihy.session obj ~pid in
+        let rec go acc = function
+          | [] -> Prog.return (codec.Codec.inj (List.rev acc))
+          | op :: rest ->
+              let* res = Universal.Herlihy.invoke session op in
+              go (res :: acc) rest
+        in
+        go [] [ Add 1; Add 1; Add 1 ]
+      in
+      let adversary =
+        Adversary.random_crashes ~within:40 ~seed ~max_crashes:1 ~nprocs:n
+          (Adversary.random ~seed)
+      in
+      let r = Exec.run ~budget:300_000 ~env ~adversary (Array.init n prog) in
+      let crashed = List.length r.Exec.crashed in
+      let previous =
+        Exec.decided r |> List.concat_map (fun u -> codec.Codec.prj u)
+      in
+      let distinct = List.sort_uniq compare previous in
+      let live = Exec.decided_count r = n - crashed in
+      if (not live) || List.length distinct <> List.length previous then begin
+        ok := false;
+        detail := Printf.sprintf "seed %d: live=%b duplicates=%b" seed live
+            (List.length distinct <> List.length previous)
+      end)
+    (Harness.seeds 20);
+  Report.check
+    ~label:"universal fetch&add from n-consensus: atomic, wait-free"
+    ~ok:!ok
+    ~detail:
+      (if !ok then "20 schedules with up to 1 crash: no duplicate tickets"
+       else !detail)
+
+let gallery ~label ~nprocs ~x ~allow_cas ~setup ~protocol =
+  let ok = ref true and detail = ref "" in
+  List.iter
+    (fun seed ->
+      let env = Env.create ~nprocs ~x ~allow_cas () in
+      setup env;
+      let progs =
+        Array.init nprocs (fun pid ->
+            Prog.map Codec.int.Codec.inj (protocol ~pid (40 + pid)))
+      in
+      let r = Exec.run ~env ~adversary:(Adversary.random ~seed) progs in
+      let ds = List.map Codec.int.Codec.prj (Exec.decided r) in
+      let good =
+        List.length ds = nprocs
+        && List.for_all (fun d -> d = List.hd ds) ds
+        && List.hd ds >= 40
+        && List.hd ds < 40 + nprocs
+      in
+      if not good then begin
+        ok := false;
+        detail := Printf.sprintf "seed %d: agreement/validity broken" seed
+      end)
+    (Harness.seeds 25);
+  Report.check ~label ~ok:!ok
+    ~detail:(if !ok then "25 schedules: agreement + validity" else !detail)
+
+let cas_refused () =
+  let env = Env.create ~nprocs:2 ~x:2 () in
+  let progs =
+    Array.init 2 (fun pid ->
+        Prog.map Codec.int.Codec.inj
+          (Universal.From_objects.consn_from_cas ~fam:"G" ~key:[] ~pid pid))
+  in
+  let refused =
+    match Exec.run ~env ~adversary:(Adversary.round_robin ()) progs with
+    | (_ : Univ.t Exec.result) -> false
+    | exception Env.Violation _ -> true
+  in
+  Report.check ~label:"compare&swap refused in a finite-x model" ~ok:refused
+    ~detail:
+      (if refused then "Env.Violation raised: CN(CAS) = infinity > any x"
+       else "CAS was wrongly hosted")
+
+let run () =
+  {
+    Report.id = "UC";
+    title = "consensus numbers: universality and the hierarchy (Section 1.1)";
+    paper =
+      "Objects with consensus number >= x are universal in systems of at \
+       most x processes (Herlihy); test&set and queues have consensus \
+       number 2; compare&swap has consensus number infinity.";
+    checks =
+      [
+        universal_counter ();
+        gallery ~label:"2-process consensus from one test&set" ~nprocs:2 ~x:2
+          ~allow_cas:false
+          ~setup:(fun _ -> ())
+          ~protocol:(fun ~pid v ->
+            Universal.From_objects.cons2_from_ts ~fam:"G" ~key:[] ~pid v);
+        gallery ~label:"2-process consensus from one queue" ~nprocs:2 ~x:2
+          ~allow_cas:false
+          ~setup:(fun env ->
+            Universal.From_objects.setup_queue env ~fam:"G" ~key:[])
+          ~protocol:(fun ~pid v ->
+            Universal.From_objects.cons2_from_queue ~fam:"G" ~key:[] ~pid v);
+        gallery ~label:"6-process consensus from one compare&swap" ~nprocs:6
+          ~x:1 ~allow_cas:true
+          ~setup:(fun _ -> ())
+          ~protocol:(fun ~pid v ->
+            Universal.From_objects.consn_from_cas ~fam:"G" ~key:[] ~pid v);
+        cas_refused ();
+      ];
+  }

@@ -1,0 +1,17 @@
+(** Experiment UC — the consensus-number context (paper Section 1.1).
+
+    The paper's framing rests on Herlihy's results: consensus objects are
+    universal (any object with a sequential specification can be
+    wait-free implemented from them), and objects sit in a hierarchy of
+    consensus numbers (registers 1; test&set, queues, stacks 2;
+    compare&swap infinity). This experiment validates the positive side
+    of both on our substrate:
+
+    - the universal construction implements a linearizable wait-free
+      queue and fetch&add counter from n-ported consensus objects, under
+      crashes;
+    - one test&set or one pre-filled queue solves 2-process consensus;
+      one compare&swap solves consensus for any number of processes;
+    - the environment refuses compare&swap in any finite-x model. *)
+
+val run : unit -> Report.t

@@ -1,0 +1,31 @@
+open Svm
+
+let run_objects ?budget ~nprocs ~x ~adversary make =
+  let env = Env.create ~nprocs ~x () in
+  let progs = Array.init nprocs make in
+  let result = Exec.run ?budget ~env ~adversary progs in
+  (result, env)
+
+let int_results r = List.map Codec.int.Codec.prj (Exec.decided r)
+
+let all_equal = function
+  | [] -> true
+  | v :: rest -> List.for_all (Int.equal v) rest
+
+let seeds n = List.init n (fun i -> i + 1)
+
+let blocked_simulated ~n_simulated stats =
+  let decided = Core.Bg_engine.decided_processes stats in
+  List.filter (fun j -> not (List.mem j decided)) (List.init n_simulated Fun.id)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let crash_before_fam ~pid ~prefix ~nth =
+  Adversary.Crash_before_op
+    {
+      pid;
+      nth;
+      matches = (fun (info : Op.info) -> starts_with ~prefix info.Op.fam);
+    }

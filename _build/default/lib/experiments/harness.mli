@@ -1,0 +1,30 @@
+(** Shared plumbing for the object-level experiments. *)
+
+val run_objects :
+  ?budget:int ->
+  nprocs:int ->
+  x:int ->
+  adversary:Svm.Adversary.t ->
+  (int -> Svm.Univ.t Svm.Prog.t) ->
+  Svm.Univ.t Svm.Exec.result * Svm.Env.t
+(** [run_objects ~nprocs ~x ~adversary make] runs [make pid] for each
+    process in a fresh environment and returns the result together with
+    the environment (for peeking at object state). *)
+
+val int_results : Svm.Univ.t Svm.Exec.result -> int list
+(** Decided values decoded as ints, pid order. *)
+
+val all_equal : int list -> bool
+
+val seeds : int -> int list
+(** [seeds n] = [1; 2; ...; n] — canonical seed list for sweeps. *)
+
+val blocked_simulated :
+  n_simulated:int -> Core.Bg_engine.stats -> int list
+(** Simulated processes decided by no simulator: [{0..n-1}] minus
+    {!Core.Bg_engine.decided_processes}. *)
+
+val crash_before_fam :
+  pid:int -> prefix:string -> nth:int -> Svm.Adversary.crash_spec
+(** Crash [pid] just before its [nth] operation on any object family
+    whose name starts with [prefix]. *)

@@ -1,0 +1,27 @@
+let all =
+  [
+    ("S0", "substrate: Afek snapshot, tournament test&set", Exp_substrate.run);
+    ("F1", "safe agreement (Figure 1)", Exp_fig1.run);
+    ("F2-F3", "BG simulation core (Figures 2-3)", Exp_fig23.run);
+    ("F4", "Section 3 simulation (Figure 4)", Exp_fig4.run);
+    ("F5", "x_compete (Figure 5)", Exp_fig5.run);
+    ("F6", "x_safe_agreement (Figure 6)", Exp_fig6.run);
+    ("S4", "Section 4 simulation", Exp_sec4.run);
+    ("F7", "Figure 7 equivalence chain", Exp_fig7.run);
+    ("T54", "Section 5.4 classes and boundary", Exp_sec54.run);
+    ("MP", "multiplicative power window", Exp_mp.run);
+    ("F8", "Section 5.5 colored tasks (Figure 8)", Exp_sec55.run);
+    ("AB", "ablations: necessity of each ingredient", Exp_ablation.run);
+    ("UC", "consensus numbers: universality and hierarchy", Exp_universal.run);
+    ("EX", "exhaustive schedule exploration", Exp_explore.run);
+    ("SA", "k-set from (m,l)-set objects", Exp_mlset.run);
+    ("FD", "failure-detector boosting (Omega)", Exp_omega.run);
+    ("SC", "cost shape of the simulations", Exp_scale.run);
+  ]
+
+let find id =
+  List.find_map
+    (fun (id', _, run) -> if String.equal id id' then Some run else None)
+    all
+
+let ids () = List.map (fun (id, _, _) -> id) all

@@ -1,0 +1,8 @@
+(** All experiments, keyed by id (the per-experiment index of
+    DESIGN.md). *)
+
+val all : (string * string * (unit -> Report.t)) list
+(** (id, title, run). In presentation order. *)
+
+val find : string -> (unit -> Report.t) option
+val ids : unit -> string list

@@ -1,0 +1,44 @@
+type check = { label : string; ok : bool; detail : string }
+
+type t = { id : string; title : string; paper : string; checks : check list }
+
+let check ~label ~ok ~detail = { label; ok; detail }
+
+let check_eq ~label ~pp ~expected ~actual =
+  {
+    label;
+    ok = expected = actual;
+    detail = Printf.sprintf "expected %s, got %s" (pp expected) (pp actual);
+  }
+
+let all_ok t = List.for_all (fun c -> c.ok) t.checks
+
+let pp ppf t =
+  Format.fprintf ppf "=== %s: %s ===@." t.id t.title;
+  Format.fprintf ppf "paper: %s@." t.paper;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  [%s] %-52s %s@."
+        (if c.ok then "PASS" else "FAIL")
+        c.label c.detail)
+    t.checks
+
+let pp_summary_line ppf t =
+  let pass = List.length (List.filter (fun c -> c.ok) t.checks) in
+  Format.fprintf ppf "%-4s %-46s %d/%d checks pass" t.id t.title pass
+    (List.length t.checks)
+
+let to_markdown t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Printf.sprintf "### %s — %s\n\n" t.id t.title);
+  Buffer.add_string b (Printf.sprintf "**Paper claim.** %s\n\n" t.paper);
+  Buffer.add_string b "| check | status | measured |\n|---|---|---|\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "| %s | %s | %s |\n" c.label
+           (if c.ok then "pass" else "FAIL")
+           c.detail))
+    t.checks;
+  Buffer.add_string b "\n";
+  Buffer.contents b

@@ -1,0 +1,21 @@
+(** Experiment reports: a named list of checks, printable as the tables
+    of EXPERIMENTS.md. *)
+
+type check = { label : string; ok : bool; detail : string }
+
+type t = {
+  id : string;  (** e.g. "F1" *)
+  title : string;
+  paper : string;  (** the paper's claim being reproduced *)
+  checks : check list;
+}
+
+val check : label:string -> ok:bool -> detail:string -> check
+
+val check_eq :
+  label:string -> pp:('a -> string) -> expected:'a -> actual:'a -> check
+
+val all_ok : t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_summary_line : Format.formatter -> t -> unit
+val to_markdown : t -> string

@@ -1,0 +1,78 @@
+open Svm
+
+type run = {
+  seed : int;
+  inputs : int list;
+  result : int Exec.result;
+  stats : Core.Bg_engine.stats option;
+}
+
+type summary = {
+  runs : int;
+  valid : int;
+  live : int;
+  blocked_runs : int;
+  violations : (int * string) list;
+  max_distinct_decisions : int;
+  avg_steps : float;
+}
+
+let adversary_for ~seed ~max_crashes ~nprocs =
+  let base = Adversary.random ~seed:((seed * 31) + 7) in
+  if max_crashes = 0 then base
+  else Adversary.random_crashes ~seed ~max_crashes ~nprocs base
+
+let one_run ?budget ?allow_kset ?stats ~(task : Tasks.Task.t)
+    ~(alg : Core.Algorithm.t) ~seed ~max_crashes () =
+  let n = Core.Algorithm.n alg in
+  let inputs = task.Tasks.Task.gen_inputs ~seed ~n in
+  let adversary = adversary_for ~seed ~max_crashes ~nprocs:n in
+  let result = Core.Run.run_ints ?budget ?allow_kset ~alg ~inputs ~adversary () in
+  { seed; inputs; result; stats }
+
+let decisions run = Exec.decided run.result
+
+let validate ~(task : Tasks.Task.t) run =
+  task.Tasks.Task.validate ~inputs:run.inputs ~decisions:(decisions run)
+
+let sweep ?budget ?allow_kset ?make_alg ~task ~alg ~seeds ~max_crashes () =
+  let runs =
+    List.map
+      (fun seed ->
+        match make_alg with
+        | None -> one_run ?budget ?allow_kset ~task ~alg ~seed ~max_crashes ()
+        | Some make ->
+            let stats = Core.Bg_engine.new_stats () in
+            let alg = make stats in
+            one_run ?budget ?allow_kset ~stats ~task ~alg ~seed ~max_crashes ())
+      seeds
+  in
+  let valid = ref 0 and live = ref 0 and blocked_runs = ref 0 in
+  let violations = ref [] in
+  let max_distinct = ref 0 and steps = ref 0 in
+  List.iter
+    (fun run ->
+      (match validate ~task run with
+      | Ok () -> incr valid
+      | Error msg -> violations := (run.seed, msg) :: !violations);
+      let blocked = Exec.blocked run.result in
+      if blocked = [] then incr live else incr blocked_runs;
+      let nd = List.length (Tasks.Task.distinct (decisions run)) in
+      if nd > !max_distinct then max_distinct := nd;
+      steps := !steps + run.result.Exec.total_steps)
+    runs;
+  {
+    runs = List.length runs;
+    valid = !valid;
+    live = !live;
+    blocked_runs = !blocked_runs;
+    violations = List.rev !violations;
+    max_distinct_decisions = !max_distinct;
+    avg_steps = float_of_int !steps /. float_of_int (max 1 (List.length runs));
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d runs: %d valid, %d live, %d blocked, max distinct decisions %d, avg \
+     steps %.0f"
+    s.runs s.valid s.live s.blocked_runs s.max_distinct_decisions s.avg_steps

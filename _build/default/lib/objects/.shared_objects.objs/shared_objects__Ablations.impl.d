@@ -1,0 +1,1 @@
+lib/objects/ablations.ml: Codec Prog Svm Univ

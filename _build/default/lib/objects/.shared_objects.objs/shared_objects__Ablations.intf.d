@@ -1,0 +1,1 @@
+lib/objects/ablations.mli: Svm

@@ -1,0 +1,1 @@
+lib/objects/adopt_commit.ml: Array Codec List Op Prog Svm Univ

@@ -1,0 +1,1 @@
+lib/objects/adopt_commit.mli: Svm

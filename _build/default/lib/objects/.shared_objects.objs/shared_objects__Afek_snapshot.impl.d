@@ -1,0 +1,1 @@
+lib/objects/afek_snapshot.ml: Array Codec List Op Prog Svm Univ

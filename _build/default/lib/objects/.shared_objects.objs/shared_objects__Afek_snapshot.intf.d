@@ -1,0 +1,1 @@
+lib/objects/afek_snapshot.mli: Svm

@@ -1,0 +1,1 @@
+lib/objects/immediate_snapshot.mli: Svm

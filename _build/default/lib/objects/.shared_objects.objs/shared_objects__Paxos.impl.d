@@ -1,0 +1,1 @@
+lib/objects/paxos.ml: Array Codec List Op Prog Svm Univ

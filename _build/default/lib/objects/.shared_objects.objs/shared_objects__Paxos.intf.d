@@ -1,0 +1,1 @@
+lib/objects/paxos.mli: Svm

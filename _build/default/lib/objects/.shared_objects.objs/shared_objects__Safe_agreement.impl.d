@@ -1,0 +1,1 @@
+lib/objects/safe_agreement.ml: Array Codec Env Op Option Prog Svm Univ

@@ -1,0 +1,1 @@
+lib/objects/safe_agreement.mli: Svm

@@ -1,0 +1,1 @@
+lib/objects/ts_from_cons.mli: Svm

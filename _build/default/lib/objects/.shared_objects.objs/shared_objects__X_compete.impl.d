@@ -1,0 +1,1 @@
+lib/objects/x_compete.ml: Prog Svm Ts_from_cons

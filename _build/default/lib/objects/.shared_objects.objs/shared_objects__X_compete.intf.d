@@ -1,0 +1,1 @@
+lib/objects/x_compete.mli: Svm

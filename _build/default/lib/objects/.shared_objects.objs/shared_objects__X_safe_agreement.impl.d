@@ -1,0 +1,1 @@
+lib/objects/x_safe_agreement.ml: Array Codec Combin Env List Op Prog Svm X_compete

@@ -1,0 +1,1 @@
+lib/objects/x_safe_agreement.mli: Svm

@@ -1,0 +1,11 @@
+open Svm
+open Svm.Prog.Syntax
+
+let cell : (Univ.t * int) Codec.t = Codec.pair Codec.any Codec.int
+
+let sa_propose_no_cancel ~fam ~key v =
+  let* () = Prog.snap_set cell fam key (v, 1) in
+  let* _ = Prog.snap_scan cell fam key in
+  (* Ablated: stabilize unconditionally (the real algorithm writes
+     (v, 0) when it saw a stable entry). *)
+  Prog.snap_set cell fam key (v, 2)

@@ -1,0 +1,16 @@
+(** Deliberately broken variants of the paper's constructions.
+
+    Each removes one ingredient whose necessity the paper argues
+    informally; experiment AB runs them against adversarial schedules to
+    exhibit the exact failure the ingredient prevents. These are for the
+    ablation experiments only — never use them in simulations. *)
+
+val sa_propose_no_cancel :
+  fam:Svm.Op.fam -> key:Svm.Op.key -> Svm.Univ.t -> unit Svm.Prog.t
+(** Figure 1's [sa_propose] {e without} line 03's cancellation: the
+    proposer always stabilizes its value, even when it saw an
+    already-stable one. Agreement breaks: a late proposer with a smaller
+    process id can stabilize after an early decider returned the
+    previous minimum, so two [sa_decide] (from
+    {!Safe_agreement.decide}, which is unchanged) return different
+    values. *)

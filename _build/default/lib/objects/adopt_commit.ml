@@ -1,0 +1,34 @@
+open Svm
+open Svm.Prog.Syntax
+
+type t = { a_fam : Op.fam; b_fam : Op.fam }
+
+let make ~fam = { a_fam = fam ^ ".a"; b_fam = fam ^ ".b" }
+
+type verdict = Commit | Adopt
+
+(* Phase B cells carry (value, flag): flag true means "when I looked,
+   only my value had been proposed". *)
+let b_codec : (Univ.t * bool) Codec.t = Codec.pair Codec.any Codec.bool
+
+let propose t ~key ~pid:_ v =
+  let* () = Prog.snap_set Codec.any t.a_fam key v in
+  let* seen_a = Prog.snap_scan Codec.any t.a_fam key in
+  let all_mine =
+    Array.for_all
+      (fun c -> match c with None -> true | Some w -> w == v || w = v)
+      seen_a
+  in
+  let* () = Prog.snap_set b_codec t.b_fam key (v, all_mine) in
+  let* seen_b = Prog.snap_scan b_codec t.b_fam key in
+  let entries = Array.to_list seen_b |> List.filter_map (fun c -> c) in
+  let flagged = List.filter (fun (_, f) -> f) entries in
+  match flagged with
+  | [] -> Prog.return (Adopt, v)
+  | (w, _) :: _ ->
+      (* All flagged entries carry the same value: a flag means its
+         writer saw no other value in phase A, and two different flagged
+         values would each have had to be written before the other's
+         phase-A scan — impossible. *)
+      let all_flagged = List.for_all (fun (_, f) -> f) entries in
+      if all_flagged then Prog.return (Commit, w) else Prog.return (Adopt, w)

@@ -1,0 +1,30 @@
+(** One-shot adopt-commit objects, from registers only.
+
+    The round-based cousin of safe agreement: a wait-free object whose
+    [propose v] returns either [(Commit, w)] or [(Adopt, w)] with
+
+    - {e validity}: [w] was proposed;
+    - {e agreement}: if some process gets [(Commit, w)], every process
+      gets [(_, w)] (commit or adopt, same value);
+    - {e convergence}: if all proposals are equal, everyone commits;
+    - {e termination}: wait-free (no waiting at all).
+
+    Unlike safe agreement it never blocks — the price is that it may
+    merely {e adopt}. Round-based consensus algorithms (like the
+    Ω-backed one in {!Paxos}) alternate adopt-commit rounds; here it
+    also serves as another explorer-verified register-only object.
+
+    Implementation: two snapshot phases ("A": publish your proposal;
+    if you see only your own value, mark it; "B": if everyone you see in
+    phase B marked the same value, commit it, else adopt a marked value
+    if any). *)
+
+type t
+
+val make : fam:Svm.Op.fam -> t
+
+type verdict = Commit | Adopt
+
+val propose :
+  t -> key:Svm.Op.key -> pid:int -> Svm.Univ.t -> (verdict * Svm.Univ.t) Svm.Prog.t
+(** At most once per pid per instance key. *)

@@ -1,0 +1,67 @@
+open Svm
+open Svm.Prog.Syntax
+
+type t = { fam : Op.fam; nprocs : int }
+
+(* Register contents: (value, sequence number, embedded view). *)
+let cell : (Univ.t * (int * Univ.t option array)) Codec.t =
+  Codec.pair Codec.any (Codec.pair Codec.int (Codec.arr (Codec.option Codec.any)))
+
+let make ~fam ~nprocs =
+  if nprocs <= 0 then invalid_arg "Afek_snapshot.make";
+  { fam; nprocs }
+
+let read_cell t j = Prog.reg_read cell t.fam [ j ]
+
+let collect t =
+  let rec go j acc =
+    if j >= t.nprocs then Prog.return (Array.of_list (List.rev acc))
+    else
+      let* c = read_cell t j in
+      go (j + 1) (c :: acc)
+  in
+  go 0 []
+
+let seq = function None -> -1 | Some (_, (sn, _)) -> sn
+let value = function None -> None | Some (v, _) -> Some v
+let view_of_collect c = Array.map value c
+
+let same_collect c1 c2 =
+  let n = Array.length c1 in
+  let rec go j = j >= n || (seq c1.(j) = seq c2.(j) && go (j + 1)) in
+  go 0
+
+let scan t ~pid:_ =
+  let moved = Array.make t.nprocs 0 in
+  Prog.loop
+    (fun prev ->
+      let* c = collect t in
+      match prev with
+      | None -> Prog.return (`Again (Some c))
+      | Some c0 ->
+          if same_collect c0 c then Prog.return (`Stop (view_of_collect c))
+          else begin
+            (* Record movers; a process seen moving twice has completed a
+               whole update inside our interval, so its embedded view is a
+               valid snapshot taken inside our interval. *)
+            let borrowed = ref None in
+            for j = 0 to t.nprocs - 1 do
+              if seq c0.(j) <> seq c.(j) then begin
+                moved.(j) <- moved.(j) + 1;
+                if moved.(j) >= 2 && !borrowed = None then
+                  match c.(j) with
+                  | Some (_, (_, view)) -> borrowed := Some view
+                  | None -> ()
+              end
+            done;
+            match !borrowed with
+            | Some view -> Prog.return (`Stop (Array.copy view))
+            | None -> Prog.return (`Again (Some c))
+          end)
+    None
+
+let update t ~pid v =
+  let* view = scan t ~pid in
+  let* prev = read_cell t pid in
+  let sn = 1 + (match prev with None -> -1 | Some (_, (s, _)) -> s) in
+  Prog.reg_write cell t.fam [ pid ] (v, (sn, view))

@@ -1,0 +1,24 @@
+(** Wait-free atomic snapshot from single-writer registers
+    (Afek, Attiya, Dolev, Gafni, Merritt & Shavit, JACM 1993 — the
+    paper's reference [1] for the snapshot memory it assumes).
+
+    The base models take the snapshot object as given; this module shows
+    the assumption is harmless by constructing one from plain SWMR atomic
+    registers:
+
+    - [update pid v]: embed a fresh scan in the register together with the
+      value and a sequence number;
+    - [scan]: double-collect until either two successive collects are
+      identical (a direct scan) or some process is seen moving twice, in
+      which case that process's embedded view — taken entirely within the
+      scan's interval — is borrowed.
+
+    Both operations are wait-free: a scan performs at most [2n + 2]
+    collects. *)
+
+type t
+
+val make : fam:Svm.Op.fam -> nprocs:int -> t
+
+val update : t -> pid:int -> Svm.Univ.t -> unit Svm.Prog.t
+val scan : t -> pid:int -> Svm.Univ.t option array Svm.Prog.t

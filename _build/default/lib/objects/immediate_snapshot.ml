@@ -1,0 +1,33 @@
+open Svm
+open Svm.Prog.Syntax
+
+type t = { fam : Op.fam; nprocs : int }
+
+let make ~fam ~nprocs =
+  if nprocs <= 0 then invalid_arg "Immediate_snapshot.make";
+  { fam; nprocs }
+
+(* Cells carry (value, current level). *)
+let cell : (Univ.t * int) Codec.t = Codec.pair Codec.any Codec.int
+
+let write_and_snapshot t ~key ~pid:_ v =
+  let rec descend level =
+    let* () = Prog.snap_set cell t.fam key (v, level) in
+    let* view = Prog.snap_scan cell t.fam key in
+    let at_or_below =
+      Array.to_list view
+      |> List.mapi (fun j c -> (j, c))
+      |> List.filter_map (fun (j, c) ->
+             match c with
+             | Some (w, l) when l <= level -> Some (j, w, l)
+             | Some _ | None -> None)
+    in
+    (* Borowsky-Gafni participating set: stop descending once at least
+       [level] processes are at or below the current level; they are the
+       view. At level 1 the set contains at least ourselves, so the
+       descent terminates. *)
+    if List.length at_or_below >= level then
+      Prog.return (List.map (fun (j, w, _) -> (j, w)) at_or_below)
+    else descend (level - 1)
+  in
+  descend t.nprocs

@@ -1,0 +1,24 @@
+(** One-shot immediate snapshot (Borowsky & Gafni), from snapshots.
+
+    The object behind the iterated model used throughout BG-era papers:
+    each process writes a value and obtains a view such that
+
+    - {e self-inclusion}: a process's view contains its own value;
+    - {e containment}: any two views are ordered by inclusion;
+    - {e immediacy}: if [pj]'s view contains [pi]'s value, then
+      [pi]'s view is contained in [pj]'s view.
+
+    Implementation: the classic "participating set" algorithm. A
+    process descends one level at a time (starting at level n = number
+    of processes): at level L it tags its value with L and scans; if at
+    least L processes have level <= L it returns them as its view,
+    otherwise it descends to level L-1. *)
+
+type t
+
+val make : fam:Svm.Op.fam -> nprocs:int -> t
+
+val write_and_snapshot :
+  t -> key:Svm.Op.key -> pid:int -> Svm.Univ.t -> (int * Svm.Univ.t) list Svm.Prog.t
+(** Returns the view as (pid, value) pairs, sorted by pid. At most once
+    per pid per instance key. *)

@@ -1,0 +1,92 @@
+open Svm
+open Svm.Prog.Syntax
+
+type t = { fam : Op.fam; nprocs : int }
+
+let make ~fam ~nprocs = { fam; nprocs }
+
+type attempt = Commit of Univ.t | Abort
+
+(* Each process's snapshot component: (bal, abal, aval): the highest
+   ballot it joined, and the ballot/value it last accepted. *)
+type cell = { bal : int; abal : int; aval : Univ.t option }
+
+let cell_codec : cell Codec.t =
+  let c = Codec.triple Codec.int Codec.int (Codec.option Codec.any) in
+  {
+    Codec.inj = (fun { bal; abal; aval } -> c.Codec.inj (bal, abal, aval));
+    prj =
+      (fun u ->
+        let bal, abal, aval = c.Codec.prj u in
+        { bal; abal; aval });
+  }
+
+let write t cell = Prog.snap_set cell_codec t.fam [] cell
+let scan t = Prog.snap_scan cell_codec t.fam []
+
+let my_cell view pid =
+  match view.(pid) with
+  | Some c -> c
+  | None -> { bal = 0; abal = 0; aval = None }
+
+let highest_ballot view =
+  Array.fold_left
+    (fun acc c -> match c with None -> acc | Some c -> max acc c.bal)
+    0 view
+
+let highest_accepted view =
+  Array.fold_left
+    (fun acc c ->
+      match c with
+      | Some { abal; aval = Some v; _ } -> (
+          match acc with
+          | Some (abal0, _) when abal0 >= abal -> acc
+          | Some _ | None -> Some (abal, v))
+      | Some { aval = None; _ } | None -> acc)
+    None view
+
+let alpha_propose t ~pid ~ballot v0 =
+  (* Phase 1: claim the ballot. *)
+  let* view = scan t in
+  let me = my_cell view pid in
+  let* () = write t { me with bal = ballot } in
+  let* view = scan t in
+  if highest_ballot view > ballot then Prog.return Abort
+  else
+    (* Adopt the value accepted under the highest ballot, if any. *)
+    let v = match highest_accepted view with Some (_, v) -> v | None -> v0 in
+    (* Phase 2: accept it under our ballot. *)
+    let* () = write t { bal = ballot; abal = ballot; aval = Some v } in
+    let* view = scan t in
+    if highest_ballot view > ballot then Prog.return Abort
+    else Prog.return (Commit v)
+
+let dec_fam t = t.fam ^ ".dec"
+
+let consensus t ~oracle_fam ~pid v =
+  let rec loop round =
+    let* decided = Prog.snap_scan Codec.any (dec_fam t) [] in
+    let published =
+      Array.to_list decided |> List.find_map (fun c -> c)
+    in
+    match published with
+    | Some d -> Prog.return d
+    | None ->
+        let* leader = Prog.perform (Op.Oracle_query (oracle_fam, [])) in
+        if Codec.int.Codec.prj leader = pid then
+          let ballot = pid + 1 + (round * t.nprocs) in
+          let* attempt = alpha_propose t ~pid ~ballot v in
+          match attempt with
+          | Commit d ->
+              let* () = Prog.snap_set Codec.any (dec_fam t) [] d in
+              Prog.return d
+          | Abort -> loop (round + 1)
+        else
+          let* () = Prog.yield in
+          loop round
+  in
+  loop 0
+
+let leader_oracle ~stabilize_after ~leader ~nprocs ~pid:_ ~query =
+  let l = if query < stabilize_after then query mod nprocs else leader in
+  Codec.int.Codec.inj l

@@ -1,0 +1,43 @@
+(** Consensus from registers plus the failure detector Ω
+    (paper Section 1.3, "Boosting the computability power with failure
+    detectors").
+
+    Consensus is unsolvable in [ASM(n, n-1, 1)]; enriching the model
+    with the leader oracle Ω (the weakest failure detector for
+    consensus, the paper's [11] — Ω1 in the Ωx family of [20,29]) makes
+    it solvable for any [n]. Our construction is shared-memory Paxos:
+
+    - {!alpha_propose} is the ballot-based adopt-commit ("alpha"
+      abstraction, Gafni & Lamport's Disk Paxos adapted to a snapshot
+      memory): phase 1 claims a ballot and aborts if a higher ballot is
+      visible; otherwise the proposer adopts the value accepted with the
+      highest ballot (or its own), accepts it under its ballot, and
+      commits if still unsurpassed;
+    - {!consensus} loops: query Ω; whoever currently considers itself
+      leader runs alpha with ever-increasing private ballots and
+      publishes a committed value; everyone else spins on the decision
+      register. Safety never depends on Ω; termination needs Ω to
+      eventually output one correct process forever. *)
+
+type t
+
+val make : fam:Svm.Op.fam -> nprocs:int -> t
+
+type attempt = Commit of Svm.Univ.t | Abort
+
+val alpha_propose : t -> pid:int -> ballot:int -> Svm.Univ.t -> attempt Svm.Prog.t
+(** Ballots of distinct processes must be distinct; a process's ballots
+    must increase. {!consensus} uses [ballot = pid + 1 + round * n]. *)
+
+val consensus :
+  t -> oracle_fam:Svm.Op.fam -> pid:int -> Svm.Univ.t -> Svm.Univ.t Svm.Prog.t
+(** Decide a proposed value. The environment must carry an oracle on
+    [oracle_fam] returning the current leader's pid (as a
+    {!Svm.Codec.int}). *)
+
+val leader_oracle :
+  stabilize_after:int -> leader:int -> nprocs:int ->
+  pid:int -> query:int -> Svm.Univ.t
+(** A ready-made Ω behaviour for {!Svm.Env.set_oracle}: before a process
+    has asked [stabilize_after] times it gets rotating (wrong) leaders;
+    afterwards always [leader]. *)

@@ -1,0 +1,36 @@
+(** The safe agreement object type (paper Figure 1, from BGLR01).
+
+    One-shot agreement with the weak termination property at the heart of
+    the BG simulation:
+
+    - {e Termination}: if no process crashes while executing [propose],
+      every correct process that invokes [decide] returns;
+    - {e Agreement}: at most one value is decided;
+    - {e Validity}: a decided value is a proposed value.
+
+    Implemented over a snapshot object [SM] with one (value, level)
+    entry per process; levels: 0 meaningless, 1 unstable, 2 stable.
+
+    Instances form a family: [key] selects the instance (the BG simulation
+    uses one instance per [(simulated process, snapshot sequence number)]
+    pair). Each process must call [propose] at most once per instance and
+    [decide] only after its [propose]. *)
+
+type t
+
+val make : fam:Svm.Op.fam -> t
+(** [make ~fam] names the snapshot family backing the instances. *)
+
+val propose : t -> key:Svm.Op.key -> Svm.Univ.t -> unit Svm.Prog.t
+(** Figure 1, [sa_propose(v)]: write (v, 1); scan; if some entry is
+    stable, downgrade own entry to level 0, otherwise make it stable. *)
+
+val decide : t -> key:Svm.Op.key -> Svm.Univ.t Svm.Prog.t
+(** Figure 1, [sa_decide()]: scan until no entry is unstable, then return
+    the stable value of the smallest process index. Spins (one scan per
+    step) while some entry is unstable — this is the blocking the BG
+    simulation protects against with its mutex. *)
+
+val peek_decided : Svm.Env.t -> t -> key:Svm.Op.key -> Svm.Univ.t option
+(** Test/experiment helper: the value [decide] would return right now, if
+    any (no unstable entries and at least one stable entry). *)

@@ -1,0 +1,27 @@
+open Svm
+open Svm.Prog.Syntax
+
+type t = { fam : Op.fam; rounds : int }
+
+let rounds_for participants =
+  let rec go r span = if span >= participants then r else go (r + 1) (span * 2) in
+  go 0 1
+
+let make ~fam ~participants =
+  if participants <= 0 then invalid_arg "Ts_from_cons.make";
+  { fam; rounds = rounds_for participants }
+
+(* A process entering round [r] at bracket position [pos] plays the
+   consensus object at node [pos / 2]; the winner (the decided id)
+   advances to position [pos / 2] of the next round. Only the unique
+   winners of the node's two child sub-brackets ever access the node's
+   object, so each object has at most 2 ports. *)
+let compete t ~key ~pid =
+  let rec play r pos =
+    if r >= t.rounds then Prog.return true
+    else
+      let node = pos / 2 in
+      let* winner = Prog.cons_propose Codec.int t.fam (key @ [ r; node ]) pid in
+      if winner = pid then play (r + 1) node else Prog.return false
+  in
+  play 0 pid

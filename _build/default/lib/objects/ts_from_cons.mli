@@ -1,0 +1,26 @@
+(** One-shot test&set built from 2-ported consensus objects.
+
+    The paper (Section 4.3, citing Gafni, Raynal & Travers [19]) uses
+    test&set objects that "can be implemented from consensus number x
+    objects" since test&set has consensus number 2. This module gives that
+    construction: a single-elimination tournament over process ids where
+    each internal node is a consensus object accessed by at most the two
+    winners of its child sub-brackets — so every consensus object has at
+    most 2 ports, legal in any model with [x >= 2].
+
+    Guarantees (one-shot, among the [participants] id space):
+    - at most one caller returns [true];
+    - if at least one caller does not crash, some caller returns [true]
+      provided every winner of a sub-bracket keeps playing (wait-free:
+      no call ever waits for another process);
+    - every correct caller returns. *)
+
+type t
+
+val make : fam:Svm.Op.fam -> participants:int -> t
+(** [participants] is the size of the id space (pids [0..participants-1]
+    may compete). *)
+
+val compete : t -> key:Svm.Op.key -> pid:int -> bool Svm.Prog.t
+(** Run the tournament for instance [key]. Call at most once per pid per
+    instance. *)

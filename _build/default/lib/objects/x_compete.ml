@@ -1,0 +1,17 @@
+open Svm
+open Svm.Prog.Syntax
+
+type t = { ts : Ts_from_cons.t; x : int }
+
+let make ~fam ~participants ~x =
+  if x <= 0 then invalid_arg "X_compete.make: x must be positive";
+  { ts = Ts_from_cons.make ~fam ~participants; x }
+
+let compete t ~key ~pid =
+  let rec try_slot l =
+    if l > t.x then Prog.return false
+    else
+      let* winner = Ts_from_cons.compete t.ts ~key:(key @ [ l ]) ~pid in
+      if winner then Prog.return true else try_slot (l + 1)
+  in
+  try_slot 1

@@ -1,0 +1,21 @@
+(** The [x_compete()] operation (paper Figure 5).
+
+    An [X_T&S] object built from an array of [x] one-shot test&set
+    objects: it returns [true] to at most [x] callers (the dynamically
+    determined {e owners} of the associated x_safe_agreement object), and
+    if [x] or fewer processes invoke it, every correct caller obtains
+    [true].
+
+    The underlying test&set objects are the consensus-based tournament of
+    {!Ts_from_cons}, so the whole construction only uses objects of
+    consensus number <= 2 — legal in any [ASM(n, t, x)] with [x >= 2]. *)
+
+type t
+
+val make : fam:Svm.Op.fam -> participants:int -> x:int -> t
+(** [participants] is the caller id space; [x] the number of winners. *)
+
+val compete : t -> key:Svm.Op.key -> pid:int -> bool Svm.Prog.t
+(** Figure 5: try [TS(1)], ..., [TS(x)] in order; winner of any returns
+    [true], a caller losing all [x] returns [false]. Call at most once
+    per pid per instance. *)

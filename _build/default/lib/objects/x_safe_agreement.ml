@@ -1,0 +1,82 @@
+open Svm
+open Svm.Prog.Syntax
+
+type t = {
+  compete : X_compete.t;
+  xcons_fam : Op.fam;
+  val_fam : Op.fam;
+  set_list : int list list;
+  x : int;
+  static_owners : bool;
+}
+
+let make ?(static_owners = false) ~fam ~participants ~x () =
+  if x < 1 then invalid_arg "X_safe_agreement.make: x must be >= 1";
+  if participants < x then
+    invalid_arg "X_safe_agreement.make: need at least x participants";
+  {
+    compete = X_compete.make ~fam:(fam ^ ".ts") ~participants ~x;
+    xcons_fam = fam ^ ".xcons";
+    val_fam = fam ^ ".val";
+    set_list = Combin.subsets ~n:participants ~size:x;
+    x;
+    static_owners;
+  }
+
+(* The decided value is published in what the paper calls the atomic
+   register X_SAFE_AG. We realize it as the owner's component of a
+   snapshot object: all owners write the same value (Theorem 2), and a
+   reader adopts any non-empty component. *)
+
+let publish t ~key ~pid:_ v = Prog.snap_set Codec.any t.val_fam key v
+
+let read_published t ~key =
+  let* cells = Prog.snap_scan Codec.any t.val_fam key in
+  let rec first i =
+    if i >= Array.length cells then None
+    else match cells.(i) with Some v -> Some v | None -> first (i + 1)
+  in
+  Prog.return (first 0)
+
+let propose t ~key ~pid v =
+  let* owner =
+    (* The ablation the paper's Section 4.3 argues against: if owners are
+       the same fixed x processes for every instance, their crashes kill
+       every instance at once; the dynamic competition confines t'
+       crashes to at most floor(t'/x) instances. *)
+    if t.static_owners then Prog.return (pid < t.x)
+    else X_compete.compete t.compete ~key ~pid
+  in
+  if not owner then Prog.return ()
+  else
+    (* Scan SET_LIST in the common order; funnel the estimate through the
+       consensus object of every subset containing us. *)
+    let rec scan l sets res =
+      match sets with
+      | [] -> publish t ~key ~pid res
+      | s :: rest ->
+          if List.mem pid s then
+            let* res =
+              Prog.cons_propose Codec.any t.xcons_fam (key @ [ l ]) res
+            in
+            scan (l + 1) rest res
+          else scan (l + 1) rest res
+    in
+    scan 0 t.set_list v
+
+let decide t ~key ~pid:_ =
+  Prog.loop
+    (fun () ->
+      let* published = read_published t ~key in
+      match published with
+      | Some v -> Prog.return (`Stop v)
+      | None -> Prog.return (`Again ()))
+    ()
+
+let subsets t = t.set_list
+
+let peek_decided env t ~key =
+  match Env.peek_snapshot env t.val_fam key with
+  | None -> None
+  | Some cells ->
+      Array.to_list cells |> List.find_map (fun c -> c)

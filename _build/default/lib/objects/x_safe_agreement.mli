@@ -1,0 +1,50 @@
+(** The x_safe_agreement object type (paper Section 4.2, Figure 6).
+
+    The generalization of safe agreement at the core of the
+    [ASM(n, t, 1)] → [ASM(n, t', x)] simulation:
+
+    - {e Termination}: if at most [x - 1] processes crash while executing
+      [propose], every correct process that invokes [decide] returns;
+    - {e Agreement}: at most one value is decided;
+    - {e Validity}: a decided value is a proposed value.
+
+    Each instance has up to [x] {e owners}, determined dynamically as the
+    first [x] processes to win the instance's [X_T&S] object
+    ({!X_compete}). An owner scans the list [SET_LIST\[1..m\]] of all
+    subsets of size [x] of the process ids (in a fixed common order) and,
+    for every subset containing it, funnels its current estimate through
+    that subset's x-ported consensus object [XCONS\[l\]]; it finally
+    publishes the resulting value. Since some subset contains exactly the
+    owner set, all owners leave that subset with the same value, so every
+    published value is identical (Theorem 2 of the paper).
+
+    Everything is built from consensus objects with at most [x] ports and
+    the snapshot memory, so the construction is legal in
+    [ASM(n, t', x)]. *)
+
+type t
+
+val make :
+  ?static_owners:bool -> fam:Svm.Op.fam -> participants:int -> x:int -> unit -> t
+(** [participants] is the process id space (the simulators); instances
+    are keyed. [Invalid_argument] if [x < 1] or [participants < x].
+
+    [static_owners] is an {e ablation}: owners are the fixed processes
+    [0..x-1] for every instance instead of being determined dynamically
+    by [x_compete]. The paper (Section 4.3) explains why this breaks the
+    crash accounting — "if all the x_safe_agreement objects had the same
+    set of x owners ... their crashes would crash all the
+    x_safe_agreement objects and the simulation could block forever" —
+    and experiment AB exhibits it. *)
+
+val propose : t -> key:Svm.Op.key -> pid:int -> Svm.Univ.t -> unit Svm.Prog.t
+(** Figure 6 [x_sa_propose(v)]. At most once per pid per instance. *)
+
+val decide : t -> key:Svm.Op.key -> pid:int -> Svm.Univ.t Svm.Prog.t
+(** Figure 6 [x_sa_decide()]: wait (spinning one scan per step) until the
+    decided value is published, then return it. *)
+
+val subsets : t -> int list list
+(** The SET_LIST this instance family scans (for tests). *)
+
+val peek_decided : Svm.Env.t -> t -> key:Svm.Op.key -> Svm.Univ.t option

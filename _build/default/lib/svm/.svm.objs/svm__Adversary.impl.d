@@ -1,0 +1,1 @@
+lib/svm/adversary.ml: List Op Printf Rng

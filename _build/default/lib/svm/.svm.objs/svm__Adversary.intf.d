@@ -1,0 +1,1 @@
+lib/svm/adversary.mli: Op

@@ -1,0 +1,1 @@
+lib/svm/codec.ml: Array Fun List Option Univ

@@ -1,0 +1,1 @@
+lib/svm/env.ml: Array Format Hashtbl List Op Option String Univ

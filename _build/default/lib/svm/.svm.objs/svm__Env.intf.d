@@ -1,0 +1,1 @@
+lib/svm/env.mli: Op Univ

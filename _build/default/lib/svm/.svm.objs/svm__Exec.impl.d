@@ -1,0 +1,1 @@
+lib/svm/exec.ml: Adversary Array Env List Op Printf Prog Trace

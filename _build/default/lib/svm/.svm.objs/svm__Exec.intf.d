@@ -1,0 +1,1 @@
+lib/svm/exec.mli: Adversary Env Prog Trace

@@ -1,0 +1,1 @@
+lib/svm/explore.ml: Array Env Exec List Printf Prog String

@@ -1,0 +1,1 @@
+lib/svm/explore.mli: Env Exec Prog Stdlib

@@ -1,0 +1,1 @@
+lib/svm/op.ml: Format Univ

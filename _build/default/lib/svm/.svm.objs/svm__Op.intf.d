@@ -1,0 +1,1 @@
+lib/svm/op.mli: Format Univ

@@ -1,0 +1,1 @@
+lib/svm/prog.ml: Array Codec Op Option

@@ -1,0 +1,1 @@
+lib/svm/prog.mli: Codec Op

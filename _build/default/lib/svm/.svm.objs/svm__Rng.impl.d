@@ -1,0 +1,1 @@
+lib/svm/rng.ml: Int64

@@ -1,0 +1,1 @@
+lib/svm/trace.ml: Format List Op

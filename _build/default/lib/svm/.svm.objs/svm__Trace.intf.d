@@ -1,0 +1,1 @@
+lib/svm/trace.mli: Format Op

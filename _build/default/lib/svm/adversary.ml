@@ -1,0 +1,136 @@
+type t = {
+  name : string;
+  pick : runnable:int list -> global_step:int -> int;
+  crash_now :
+    pid:int -> local_step:int -> global_step:int -> next:Op.info option -> bool;
+  crashes : int ref;
+}
+
+let name t = t.name
+let pick t = t.pick
+
+let crash_now t ~pid ~local_step ~global_step ~next =
+  let c = t.crash_now ~pid ~local_step ~global_step ~next in
+  if c then incr t.crashes;
+  c
+
+let crash_count t = !(t.crashes)
+let no_crash ~pid:_ ~local_step:_ ~global_step:_ ~next:_ = false
+
+let round_robin () =
+  let last = ref (-1) in
+  let pick ~runnable ~global_step:_ =
+    let after = List.filter (fun p -> p > !last) runnable in
+    let chosen =
+      match after with
+      | p :: _ -> p
+      | [] -> ( match runnable with p :: _ -> p | [] -> assert false)
+    in
+    last := chosen;
+    chosen
+  in
+  { name = "round-robin"; pick; crash_now = no_crash; crashes = ref 0 }
+
+let random ~seed =
+  let rng = Rng.create seed in
+  let pick ~runnable ~global_step:_ =
+    List.nth runnable (Rng.int rng (List.length runnable))
+  in
+  {
+    name = Printf.sprintf "random(%d)" seed;
+    pick;
+    crash_now = no_crash;
+    crashes = ref 0;
+  }
+
+let priority order =
+  let rank p =
+    let rec idx i = function
+      | [] -> List.length order + p
+      | q :: rest -> if q = p then i else idx (i + 1) rest
+    in
+    idx 0 order
+  in
+  let pick ~runnable ~global_step:_ =
+    match runnable with
+    | [] -> assert false
+    | first :: rest ->
+        List.fold_left
+          (fun best p -> if rank p < rank best then p else best)
+          first rest
+  in
+  { name = "priority"; pick; crash_now = no_crash; crashes = ref 0 }
+
+let biased ~seed ~favourite ~weight =
+  let rng = Rng.create seed in
+  let pick ~runnable ~global_step:_ =
+    let expanded =
+      List.concat_map
+        (fun p -> if p = favourite then List.init weight (fun _ -> p) else [ p ])
+        runnable
+    in
+    List.nth expanded (Rng.int rng (List.length expanded))
+  in
+  {
+    name = Printf.sprintf "biased(%d,fav=%d)" seed favourite;
+    pick;
+    crash_now = no_crash;
+    crashes = ref 0;
+  }
+
+type crash_spec =
+  | Crash_at_local of { pid : int; step : int }
+  | Crash_at_global of { pid : int; step : int }
+  | Crash_before_op of { pid : int; nth : int; matches : Op.info -> bool }
+
+let with_crashes base specs =
+  (* Mutable per-spec state: fired flag, and a match counter for
+     [Crash_before_op]. *)
+  let states = List.map (fun spec -> (spec, ref false, ref 0)) specs in
+  let crash_now ~pid ~local_step ~global_step ~next =
+    let fires (spec, fired, seen) =
+      if !fired then false
+      else
+        let hit =
+          match spec with
+          | Crash_at_local c -> c.pid = pid && c.step = local_step
+          | Crash_at_global c -> c.pid = pid && global_step >= c.step
+          | Crash_before_op c -> (
+              c.pid = pid
+              &&
+              match next with
+              | Some info when c.matches info ->
+                  let n = !seen in
+                  incr seen;
+                  n = c.nth
+              | Some _ | None -> false)
+        in
+        if hit then fired := true;
+        hit
+    in
+    (* Evaluate all specs so match counters advance even when another
+       spec fires first. *)
+    List.fold_left (fun acc st -> fires st || acc) false states
+    || base.crash_now ~pid ~local_step ~global_step ~next
+  in
+  {
+    name = base.name ^ "+crashes";
+    pick = base.pick;
+    crash_now;
+    crashes = base.crashes;
+  }
+
+let random_crashes ?(within = 300) ~seed ~max_crashes ~nprocs base =
+  let rng = Rng.create seed in
+  let victims = ref [] in
+  let n = min max_crashes nprocs in
+  while List.length !victims < n do
+    let v = Rng.int rng nprocs in
+    if not (List.mem v !victims) then victims := v :: !victims
+  done;
+  let specs =
+    List.map
+      (fun pid -> Crash_at_local { pid; step = Rng.int rng within })
+      !victims
+  in
+  with_crashes base specs

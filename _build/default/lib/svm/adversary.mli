@@ -1,0 +1,62 @@
+(** Adversaries: scheduling policies plus crash plans.
+
+    The adversary chooses which runnable process takes the next atomic
+    step, and decides when processes crash. All built-in policies are fair
+    (every runnable process is scheduled infinitely often), as required
+    for the liveness claims of the paper; crashes are how the adversary
+    exercises its power. *)
+
+type t
+
+val name : t -> string
+
+val pick : t -> runnable:int list -> global_step:int -> int
+(** [pick t ~runnable ~global_step] chooses the pid to step next.
+    [runnable] is non-empty and sorted. *)
+
+val crash_now :
+  t -> pid:int -> local_step:int -> global_step:int -> next:Op.info option -> bool
+(** Asked just before [pid] would execute its next operation; [true]
+    crashes the process instead (the operation does not execute). *)
+
+(** {1 Scheduling policies} *)
+
+val round_robin : unit -> t
+(** Cycles through runnable pids in index order. *)
+
+val random : seed:int -> t
+(** Uniform choice among runnable pids, deterministic from [seed]. *)
+
+val priority : int list -> t
+(** Prefers pids earlier in the list; unlisted pids come after, in index
+    order. Runs the favourite until it finishes — fair only because
+    processes terminate or crash; use with crash plans to build targeted
+    worst cases. *)
+
+val biased : seed:int -> favourite:int -> weight:int -> t
+(** Random, but the favourite is [weight] times more likely. *)
+
+(** {1 Crash plans} *)
+
+type crash_spec =
+  | Crash_at_local of { pid : int; step : int }
+      (** Crash [pid] just before its [step]-th operation (0-based). *)
+  | Crash_at_global of { pid : int; step : int }
+      (** Crash [pid] at the first opportunity once the global step
+          counter reaches [step]. *)
+  | Crash_before_op of { pid : int; nth : int; matches : Op.info -> bool }
+      (** Crash [pid] just before the [nth] (0-based) of its operations
+          matching [matches]. *)
+
+val with_crashes : t -> crash_spec list -> t
+(** Layer a crash plan over a policy. Each spec fires at most once. *)
+
+val random_crashes :
+  ?within:int -> seed:int -> max_crashes:int -> nprocs:int -> t -> t
+(** Layer a random crash plan: up to [max_crashes] distinct victims, each
+    crashing at a local step drawn uniformly from [\[0, within)] (default
+    300; pick [within] near the run's expected per-process step count so
+    crashes actually land), deterministic from [seed]. *)
+
+val crash_count : t -> int
+(** Crashes this adversary has inflicted so far in the current run. *)

@@ -1,0 +1,32 @@
+(** Typed encoders/decoders for {!Univ.t} values.
+
+    Base codecs are module-level singletons, and structural combinators
+    ([pair], [arr], ...) route through shared embeddings, so any two codecs
+    built from the same combinator tree are interoperable: a value injected
+    by [pair int bool] can be projected by another [pair int bool]. *)
+
+exception Type_error of string
+(** Raised by [prj] when the dynamic value does not match the codec. *)
+
+type 'a t = { inj : 'a -> Univ.t; prj : Univ.t -> 'a }
+
+val int : int t
+val bool : bool t
+val string : string t
+val unit : unit t
+
+val any : Univ.t t
+(** The identity codec, for code that threads opaque values through. *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+val option : 'a t -> 'a option t
+val list : 'a t -> 'a list t
+
+val arr : 'a t -> 'a array t
+(** Arrays are copied on both [inj] and [prj], so shared-memory cells never
+    alias a mutable array still held by a process. *)
+
+val assoc : 'a t -> ((string * int list) * 'a) list t
+(** Finite maps keyed by (family, key) pairs, used for virtual memories in
+    the simulations. *)

@@ -1,0 +1,30 @@
+let subsets ~n ~size =
+  if size < 0 || n < 0 then invalid_arg "Combin.subsets";
+  (* Lexicographic enumeration: choose the first element, recurse on the
+     remaining suffix. *)
+  let rec go first remaining =
+    if remaining = 0 then [ [] ]
+    else if first >= n then []
+    else
+      let with_first =
+        List.map (fun s -> first :: s) (go (first + 1) (remaining - 1))
+      in
+      with_first @ go (first + 1) remaining
+  in
+  go 0 size
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 0 to k - 1 do
+      acc := !acc * (n - i) / (i + 1)
+    done;
+    !acc
+  end
+
+let floor_div t x =
+  if x <= 0 then invalid_arg "Combin.floor_div: x must be positive";
+  if t < 0 then invalid_arg "Combin.floor_div: t must be non-negative";
+  t / x

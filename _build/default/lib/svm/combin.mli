@@ -1,0 +1,13 @@
+(** Small combinatorics helpers used by the simulations. *)
+
+val subsets : n:int -> size:int -> int list list
+(** [subsets ~n ~size] is every subset of [{0, ..., n-1}] of cardinality
+    [size], each sorted increasingly, listed in lexicographic order. This
+    is the [SET_LIST] of the paper (Figure 6): all simulators scan it in
+    the same order. *)
+
+val binomial : int -> int -> int
+(** [binomial n k] = C(n, k); 0 when [k < 0] or [k > n]. *)
+
+val floor_div : int -> int -> int
+(** [floor_div t x] = ⌊t/x⌋ for non-negative [t] and positive [x]. *)

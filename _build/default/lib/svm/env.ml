@@ -1,0 +1,278 @@
+exception Violation of string
+
+module Key = struct
+  type t = Op.fam * Op.key
+
+  let equal (f1, k1) (f2, k2) = String.equal f1 f2 && k1 = k2
+  let hash = Hashtbl.hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+type cons_state = {
+  mutable decided : Univ.t option;
+  mutable accessors : int list; (* distinct pids, unsorted *)
+}
+
+type kset_state = {
+  k : int;
+  ports : int option; (* (m, l)-set objects: at most m distinct accessors *)
+  mutable values : Univ.t list; (* decided values, |values| <= k *)
+  mutable accessors : int list;
+}
+
+type instance =
+  | I_register of Univ.t option ref
+  | I_snapshot of Univ.t option array
+  | I_ts of bool ref
+  | I_cons of cons_state
+  | I_kset of kset_state
+  | I_queue of Univ.t list ref (* front of queue = head of list *)
+
+type oracle = pid:int -> query:int -> Univ.t
+
+type t = {
+  nprocs : int;
+  x : int;
+  allow_kset : bool;
+  allow_cas : bool;
+  instances : instance Tbl.t;
+  oracles : (Op.fam, oracle) Hashtbl.t;
+  mutable oracle_queries : (Op.fam * int, int) Hashtbl.t option;
+}
+
+let create ~nprocs ~x ?(allow_kset = false) ?(allow_cas = false) () =
+  if nprocs <= 0 then invalid_arg "Env.create: nprocs must be positive";
+  if x <= 0 then invalid_arg "Env.create: x must be positive";
+  {
+    nprocs;
+    x;
+    allow_kset;
+    allow_cas;
+    instances = Tbl.create 64;
+    oracles = Hashtbl.create 4;
+    oracle_queries = None;
+  }
+
+let nprocs t = t.nprocs
+let x t = t.x
+
+let violation fmt = Format.kasprintf (fun s -> raise (Violation s)) fmt
+
+let kind_mismatch info =
+  violation "object %a accessed with mismatched kind" Op.pp_info info
+
+let find t (info : Op.info) (make : unit -> instance) =
+  let key = (info.fam, info.key) in
+  match Tbl.find_opt t.instances key with
+  | Some i -> i
+  | None ->
+      let i = make () in
+      Tbl.add t.instances key i;
+      i
+
+let register t info =
+  match find t info (fun () -> I_register (ref None)) with
+  | I_register r -> r
+  | I_snapshot _ | I_ts _ | I_cons _ | I_kset _ | I_queue _ ->
+      kind_mismatch info
+
+let snapshot t info =
+  match find t info (fun () -> I_snapshot (Array.make t.nprocs None)) with
+  | I_snapshot a -> a
+  | I_register _ | I_ts _ | I_cons _ | I_kset _ | I_queue _ ->
+      kind_mismatch info
+
+let ts t info =
+  if t.x < 2 then
+    violation "test&set %a requires consensus number >= 2 (model has x = %d)"
+      Op.pp_info info t.x;
+  match find t info (fun () -> I_ts (ref false)) with
+  | I_ts r -> r
+  | I_register _ | I_snapshot _ | I_cons _ | I_kset _ | I_queue _ ->
+      kind_mismatch info
+
+let cons t info =
+  match find t info (fun () -> I_cons { decided = None; accessors = [] }) with
+  | I_cons c -> c
+  | I_register _ | I_snapshot _ | I_ts _ | I_kset _ | I_queue _ ->
+      kind_mismatch info
+
+(* Key convention: [l] or [l; m; ...] — head is the object's l (how many
+   distinct values it may decide), the optional second component is its
+   port count m. *)
+let kset t (info : Op.info) =
+  if not t.allow_kset then
+    violation "k-set object %a is not allowed in this model" Op.pp_info info;
+  let k, ports =
+    match info.key with
+    | k :: m :: _ -> (k, Some m)
+    | [ k ] -> (k, None)
+    | [] -> (1, None)
+  in
+  if k <= 0 then violation "k-set object %a has non-positive k" Op.pp_info info;
+  (match ports with
+  | Some m when m <= 0 ->
+      violation "k-set object %a has non-positive port count" Op.pp_info info
+  | Some _ | None -> ());
+  match find t info (fun () -> I_kset { k; ports; values = []; accessors = [] }) with
+  | I_kset s -> s
+  | I_register _ | I_snapshot _ | I_ts _ | I_cons _ | I_queue _ ->
+      kind_mismatch info
+
+(* A queue has consensus number 2 (like test&set), so it is legal in any
+   model with x >= 2 regardless of how many processes share it. *)
+let queue t info =
+  if t.x < 2 then
+    violation "queue %a requires consensus number >= 2 (model has x = %d)"
+      Op.pp_info info t.x;
+  match find t info (fun () -> I_queue (ref [])) with
+  | I_queue q -> q
+  | I_register _ | I_snapshot _ | I_ts _ | I_cons _ | I_kset _ ->
+      kind_mismatch info
+
+let check_pid t pid =
+  if pid < 0 || pid >= t.nprocs then
+    violation "pid %d out of range [0, %d)" pid t.nprocs
+
+let the_info op =
+  match Op.info op with
+  | Some i -> i
+  | None -> assert false (* only called for non-Yield ops *)
+
+let apply (type r) t ~pid (op : r Op.t) : r =
+  check_pid t pid;
+  match op with
+  | Op.Yield -> ()
+  | Op.Reg_read _ -> !(register t (the_info op))
+  | Op.Reg_write (_, _, v) -> register t (the_info op) := Some v
+  | Op.Snap_set (_, _, v) ->
+      let a = snapshot t (the_info op) in
+      a.(pid) <- Some v
+  | Op.Snap_scan _ -> Array.copy (snapshot t (the_info op))
+  | Op.Ts _ ->
+      let r = ts t (the_info op) in
+      if !r then false
+      else begin
+        r := true;
+        true
+      end
+  | Op.Cons_propose (_, _, v) ->
+      let info = the_info op in
+      let c = cons t info in
+      if not (List.mem pid c.accessors) then begin
+        if List.length c.accessors >= t.x then
+          violation
+            "consensus %a: port discipline violated (pid %d is the %dth \
+             distinct accessor but x = %d)"
+            Op.pp_info info pid
+            (List.length c.accessors + 1)
+            t.x;
+        c.accessors <- pid :: c.accessors
+      end;
+      (match c.decided with
+      | Some d -> d
+      | None ->
+          c.decided <- Some v;
+          v)
+  | Op.Kset_propose (_, _, v) ->
+      let info = the_info op in
+      let s = kset t info in
+      (match s.ports with
+      | None -> ()
+      | Some m ->
+          if not (List.mem pid s.accessors) then begin
+            if List.length s.accessors >= m then
+              violation
+                "(m,l)-set object %a: port discipline violated (m = %d)"
+                Op.pp_info info m;
+            s.accessors <- pid :: s.accessors
+          end);
+      if List.length s.values < s.k then begin
+        s.values <- v :: s.values;
+        v
+      end
+      else begin
+        match s.values with decided :: _ -> decided | [] -> assert false
+      end
+  | Op.Queue_enq (_, _, v) ->
+      let q = queue t (the_info op) in
+      q := !q @ [ v ]
+  | Op.Queue_deq _ -> (
+      let q = queue t (the_info op) in
+      match !q with
+      | [] -> None
+      | head :: rest ->
+          q := rest;
+          Some head)
+  | Op.Oracle_query (fam, _) -> (
+      match Hashtbl.find_opt t.oracles fam with
+      | None ->
+          violation "oracle %s queried but no handler is installed" fam
+      | Some f ->
+          let counts =
+            match t.oracle_queries with
+            | Some c -> c
+            | None ->
+                let c = Hashtbl.create 8 in
+                t.oracle_queries <- Some c;
+                c
+          in
+          let k = (fam, pid) in
+          let q = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+          Hashtbl.replace counts k (q + 1);
+          f ~pid ~query:q)
+  | Op.Cas (_, _, expected, desired) ->
+      if not t.allow_cas then
+        violation
+          "compare&swap %a: consensus number is infinite, not allowed in \
+           this model (pass ~allow_cas:true to host it)"
+          Op.pp_info (the_info op);
+      let r = register t (the_info op) in
+      if !r = expected then begin
+        r := Some desired;
+        true
+      end
+      else false
+
+let peek_register t fam key =
+  match Tbl.find_opt t.instances (fam, key) with
+  | Some (I_register r) -> !r
+  | Some _ | None -> None
+
+let peek_snapshot t fam key =
+  match Tbl.find_opt t.instances (fam, key) with
+  | Some (I_snapshot a) -> Some (Array.copy a)
+  | Some _ | None -> None
+
+let cons_accessors t fam key =
+  match Tbl.find_opt t.instances (fam, key) with
+  | Some (I_cons c) -> List.sort compare c.accessors
+  | Some _ | None -> []
+
+let instance_count t = Tbl.length t.instances
+
+let copy_instance = function
+  | I_register r -> I_register (ref !r)
+  | I_snapshot a -> I_snapshot (Array.copy a)
+  | I_ts r -> I_ts (ref !r)
+  | I_cons c -> I_cons { decided = c.decided; accessors = c.accessors }
+  | I_kset s ->
+      I_kset
+        { k = s.k; ports = s.ports; values = s.values; accessors = s.accessors }
+  | I_queue q -> I_queue (ref !q)
+
+let copy t =
+  let instances = Tbl.create (Tbl.length t.instances) in
+  Tbl.iter (fun k i -> Tbl.add instances k (copy_instance i)) t.instances;
+  let oracle_queries = Option.map Hashtbl.copy t.oracle_queries in
+  { t with instances; oracle_queries }
+
+let set_oracle t fam f = Hashtbl.replace t.oracles fam f
+
+let preload_queue t fam key vs =
+  let info = { Op.kind = Op.Queue; fam; key } in
+  if t.x < 2 then violation "queue %a requires x >= 2" Op.pp_info info;
+  match Tbl.find_opt t.instances (fam, key) with
+  | Some _ -> invalid_arg "Env.preload_queue: instance already exists"
+  | None -> Tbl.add t.instances (fam, key) (I_queue (ref vs))

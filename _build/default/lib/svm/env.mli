@@ -1,0 +1,62 @@
+(** The shared-object store of one run.
+
+    Instances are created lazily on first access, keyed by (family, key).
+    The environment enforces the communication model of
+    [ASM(nprocs, t, x)]:
+
+    - registers and snapshot objects are always allowed (consensus
+      number 1);
+    - each snapshot component is writable only by the process with the
+      same index (the single-writer snapshot memory of the paper);
+    - test&set requires [x >= 2] (its consensus number is 2);
+    - each consensus instance may be accessed by at most [x] distinct
+      processes (port discipline, checked dynamically);
+    - k-set objects are refused unless [allow_kset] (they are not part of
+      the base models; key convention: the head of the key is [k]);
+    - queues (consensus number 2) require [x >= 2], like test&set;
+    - compare&swap (consensus number infinity) is refused unless
+      [allow_cas] — no finite-x model can host it.
+
+    The crash bound [t] is the adversary's side of the model and is
+    enforced by {!Exec}, not here. *)
+
+type t
+
+exception Violation of string
+(** A program broke the model (port discipline, writer discipline, ...).
+    This is a bug in the algorithm under test, never normal behaviour. *)
+
+val create :
+  nprocs:int -> x:int -> ?allow_kset:bool -> ?allow_cas:bool -> unit -> t
+
+val nprocs : t -> int
+val x : t -> int
+
+val apply : t -> pid:int -> 'r Op.t -> 'r
+(** [apply t ~pid op] atomically executes [op] on behalf of process
+    [pid]. Called by the scheduler, one call per step. *)
+
+(** {1 Inspection (for tests and experiments; not available to programs)} *)
+
+val peek_register : t -> Op.fam -> Op.key -> Univ.t option
+val peek_snapshot : t -> Op.fam -> Op.key -> Univ.t option array option
+val cons_accessors : t -> Op.fam -> Op.key -> int list
+(** Distinct pids that accessed the given consensus instance (sorted). *)
+
+val instance_count : t -> int
+
+val copy : t -> t
+(** A deep copy of the whole object store. The exhaustive explorer
+    ({!Explore}) uses it to branch over scheduling choices. *)
+
+val set_oracle : t -> Op.fam -> (pid:int -> query:int -> Univ.t) -> unit
+(** Install a failure-detector oracle: [Oracle_query] operations on
+    [fam] call the handler with the querying process and its per-process
+    query index (so "eventually stable" oracles are expressed as
+    functions of the query count). Oracles model Section 1.3's failure
+    detectors; they are environment-level, not shared objects. *)
+
+val preload_queue : t -> Op.fam -> Op.key -> Univ.t list -> unit
+(** Create a queue instance with initial content (several classic
+    consensus-from-queue protocols need a pre-filled queue). Must be
+    called before any operation touches the instance. *)

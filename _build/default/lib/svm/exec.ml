@@ -1,0 +1,100 @@
+type 'a outcome = Decided of 'a | Crashed | Blocked
+
+type 'a result = {
+  outcomes : 'a outcome array;
+  op_counts : int array;
+  total_steps : int;
+  crashed : int list;
+  trace : Trace.t option;
+}
+
+type 'a state = Running of 'a Prog.t | Finished of 'a outcome
+
+let next_op_info (p : 'a Prog.t) =
+  match p with Prog.Done _ -> None | Prog.Step (op, _) -> Op.info op
+
+let run ?(budget = 2_000_000) ?(record_trace = false) ~env ~adversary progs =
+  let n = Array.length progs in
+  if n <> Env.nprocs env then
+    invalid_arg
+      (Printf.sprintf "Exec.run: %d programs for an environment of %d processes"
+         n (Env.nprocs env));
+  let states = Array.map (fun p -> Running p) progs in
+  let op_counts = Array.make n 0 in
+  let crashed = ref [] in
+  let trace = if record_trace then Some (Trace.create ()) else None in
+  let record step pid info =
+    match trace with
+    | None -> ()
+    | Some t -> Trace.add t { Trace.step; pid; info }
+  in
+  let runnable () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      match states.(i) with
+      | Running _ -> acc := i :: !acc
+      | Finished _ -> ()
+    done;
+    !acc
+  in
+  let step = ref 0 in
+  let continue = ref true in
+  while !continue && !step < budget do
+    match runnable () with
+    | [] -> continue := false
+    | live ->
+        let pid = Adversary.pick adversary ~runnable:live ~global_step:!step in
+        (match states.(pid) with
+        | Finished _ ->
+            invalid_arg "Exec.run: adversary picked a non-runnable process"
+        | Running prog ->
+            let next = next_op_info prog in
+            if
+              Adversary.crash_now adversary ~pid ~local_step:op_counts.(pid)
+                ~global_step:!step ~next
+            then begin
+              states.(pid) <- Finished Crashed;
+              crashed := pid :: !crashed;
+              record !step pid None
+            end
+            else begin
+              match prog with
+              | Prog.Done v -> states.(pid) <- Finished (Decided v)
+              | Prog.Step (op, k) ->
+                  let r = Env.apply env ~pid op in
+                  op_counts.(pid) <- op_counts.(pid) + 1;
+                  record !step pid (Op.info op);
+                  states.(pid) <- Running (k r)
+            end);
+        incr step
+  done;
+  let outcomes =
+    Array.map
+      (function Running _ -> Blocked | Finished o -> o)
+      states
+  in
+  {
+    outcomes;
+    op_counts;
+    total_steps = !step;
+    crashed = List.rev !crashed;
+    trace;
+  }
+
+let decided r =
+  Array.to_list r.outcomes
+  |> List.filter_map (function Decided v -> Some v | Crashed | Blocked -> None)
+
+let decided_count r = List.length (decided r)
+
+let blocked r =
+  let acc = ref [] in
+  Array.iteri
+    (fun i -> function Blocked -> acc := i :: !acc | Decided _ | Crashed -> ())
+    r.outcomes;
+  List.rev !acc
+
+let outcome_name = function
+  | Decided _ -> "decided"
+  | Crashed -> "crashed"
+  | Blocked -> "blocked"

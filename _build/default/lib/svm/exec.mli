@@ -1,0 +1,38 @@
+(** The scheduler: runs a set of programs to completion under an
+    adversary.
+
+    One call to {!run} is one execution of the distributed system. Each
+    iteration the adversary picks a runnable process; the process either
+    crashes (if the crash plan says so) or executes exactly one atomic
+    operation against the environment. The run ends when every process has
+    decided or crashed, or when the step budget is exhausted — remaining
+    live processes are then reported as [Blocked], which is how the
+    experiments detect the permanent blocking the paper reasons about. *)
+
+type 'a outcome = Decided of 'a | Crashed | Blocked
+
+type 'a result = {
+  outcomes : 'a outcome array;
+  op_counts : int array;  (** operations executed per process *)
+  total_steps : int;
+  crashed : int list;  (** pids, in crash order *)
+  trace : Trace.t option;
+}
+
+val run :
+  ?budget:int ->
+  ?record_trace:bool ->
+  env:Env.t ->
+  adversary:Adversary.t ->
+  'a Prog.t array ->
+  'a result
+(** [run ~env ~adversary progs] executes [progs.(i)] as process [i].
+    Default [budget] is [2_000_000] steps. The number of programs must
+    equal [Env.nprocs env]. *)
+
+val decided : 'a result -> 'a list
+(** All decided values, in pid order. *)
+
+val decided_count : 'a result -> int
+val blocked : 'a result -> int list
+val outcome_name : 'a outcome -> string

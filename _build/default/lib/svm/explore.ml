@@ -1,0 +1,104 @@
+type 'a run = {
+  outcomes : 'a Exec.outcome array;
+  crashed : int list;
+  truncated : bool;
+  schedule : string;
+}
+
+type 'a result = {
+  explored : int;
+  counterexample : ('a run * string) option;
+  exhausted_budget : bool;
+}
+
+type 'a pstate = Running of 'a Prog.t | Done of 'a | Crashed
+
+type choice = Step of int | Crash of int
+
+let pp_choice = function
+  | Step p -> string_of_int p
+  | Crash p -> Printf.sprintf "X%d" p
+
+let schedule_string rev_choices =
+  String.concat "." (List.rev_map pp_choice rev_choices)
+
+exception Found
+
+let exhaustive ?(max_crashes = 0) ?(max_runs = 2_000_000) ~max_steps ~make
+    ~property () =
+  let env0, progs = make () in
+  let explored = ref 0 in
+  let counterexample = ref None in
+  let exhausted = ref false in
+  let finish states crashed truncated rev_choices =
+    let outcomes =
+      Array.map
+        (function
+          | Running _ -> Exec.Blocked
+          | Done v -> Exec.Decided v
+          | Crashed -> Exec.Crashed)
+        states
+    in
+    let run =
+      {
+        outcomes;
+        crashed = List.rev crashed;
+        truncated;
+        schedule = schedule_string rev_choices;
+      }
+    in
+    incr explored;
+    (match property run with
+    | Ok () -> ()
+    | Error msg ->
+        counterexample := Some (run, msg);
+        raise Found);
+    if !explored >= max_runs then begin
+      exhausted := true;
+      raise Found
+    end
+  in
+  (* Depth-first over choices. [states] is immutable per node (arrays are
+     copied when branching); [env] is copied when branching. *)
+  let rec dfs env states depth crashes crashed rev_choices =
+    let live =
+      Array.to_list states
+      |> List.mapi (fun i s -> (i, s))
+      |> List.filter_map (fun (i, s) ->
+             match s with Running _ -> Some i | Done _ | Crashed -> None)
+    in
+    if live = [] then finish states crashed false rev_choices
+    else if depth >= max_steps then finish states crashed true rev_choices
+    else
+      List.iter
+        (fun pid ->
+          (* Branch 1: pid executes one operation. *)
+          (match states.(pid) with
+          | Running prog ->
+              let env' = Env.copy env in
+              let states' = Array.copy states in
+              (match prog with
+              | Prog.Done v -> states'.(pid) <- Done v
+              | Prog.Step (op, k) ->
+                  let r = Env.apply env' ~pid op in
+                  states'.(pid) <- Running (k r));
+              dfs env' states' (depth + 1) crashes crashed
+                (Step pid :: rev_choices)
+          | Done _ | Crashed -> assert false);
+          (* Branch 2: pid crashes instead. *)
+          if crashes < max_crashes then begin
+            let states' = Array.copy states in
+            states'.(pid) <- Crashed;
+            dfs (Env.copy env) states' (depth + 1) (crashes + 1)
+              (pid :: crashed)
+              (Crash pid :: rev_choices)
+          end)
+        live
+  in
+  (try dfs env0 (Array.map (fun p -> Running p) progs) 0 0 [] []
+   with Found -> ());
+  {
+    explored = !explored;
+    counterexample = !counterexample;
+    exhausted_budget = !exhausted;
+  }

@@ -1,0 +1,58 @@
+type fam = string
+type key = int list
+
+type kind =
+  | Register
+  | Snapshot
+  | Test_and_set
+  | Consensus
+  | Kset
+  | Queue
+  | Oracle
+
+type info = { kind : kind; fam : fam; key : key }
+
+type _ t =
+  | Reg_read : fam * key -> Univ.t option t
+  | Reg_write : fam * key * Univ.t -> unit t
+  | Snap_set : fam * key * Univ.t -> unit t
+  | Snap_scan : fam * key -> Univ.t option array t
+  | Ts : fam * key -> bool t
+  | Cons_propose : fam * key * Univ.t -> Univ.t t
+  | Kset_propose : fam * key * Univ.t -> Univ.t t
+  | Queue_enq : fam * key * Univ.t -> unit t
+  | Queue_deq : fam * key -> Univ.t option t
+  | Cas : fam * key * Univ.t option * Univ.t -> bool t
+  | Oracle_query : fam * key -> Univ.t t
+  | Yield : unit t
+
+let info (type a) (op : a t) =
+  match op with
+  | Reg_read (fam, key) -> Some { kind = Register; fam; key }
+  | Reg_write (fam, key, _) -> Some { kind = Register; fam; key }
+  | Snap_set (fam, key, _) -> Some { kind = Snapshot; fam; key }
+  | Snap_scan (fam, key) -> Some { kind = Snapshot; fam; key }
+  | Ts (fam, key) -> Some { kind = Test_and_set; fam; key }
+  | Cons_propose (fam, key, _) -> Some { kind = Consensus; fam; key }
+  | Kset_propose (fam, key, _) -> Some { kind = Kset; fam; key }
+  | Queue_enq (fam, key, _) -> Some { kind = Queue; fam; key }
+  | Queue_deq (fam, key) -> Some { kind = Queue; fam; key }
+  | Cas (fam, key, _, _) -> Some { kind = Register; fam; key }
+  | Oracle_query (fam, key) -> Some { kind = Oracle; fam; key }
+  | Yield -> None
+
+let kind_name = function
+  | Register -> "register"
+  | Snapshot -> "snapshot"
+  | Test_and_set -> "test&set"
+  | Consensus -> "consensus"
+  | Kset -> "k-set"
+  | Queue -> "queue"
+  | Oracle -> "oracle"
+
+let pp_info ppf { kind; fam; key } =
+  Format.fprintf ppf "%s %s[%a]" (kind_name kind) fam
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       Format.pp_print_int)
+    key

@@ -1,0 +1,66 @@
+(** Atomic shared-memory operations.
+
+    Every shared object is addressed by a {e family} name plus an integer
+    {e key}, so unbounded object families — such as the
+    [SAFE_AG\[j, snapsn\]] array of the BG simulation — exist lazily
+    without dynamic allocation inside programs.
+
+    Operation semantics (all linearizable by construction — each operation
+    executes as one atomic step of the scheduler):
+
+    - registers: multi-writer multi-reader atomic registers;
+    - snapshot objects: one component per process; [Snap_set] writes the
+      calling process's own component, [Snap_scan] atomically reads the
+      whole array (the single-writer snapshot object of the paper);
+    - test&set: one-shot, first caller wins (consensus number 2);
+    - consensus: one-shot x-ported consensus objects — the environment
+      enforces that at most [x] distinct processes access each instance;
+    - k-set agreement objects: at most [k] distinct values decided (used
+      for the related-work experiments; not part of the base models);
+    - queues: multi-shot FIFO queues (consensus number 2, like test&set
+      — allowed when [x >= 2]); used by the consensus-number gallery;
+    - compare&swap on registers: consensus number infinity, so never
+      part of a finite-x model; the environment only hosts it when
+      explicitly allowed ({!Env.create}'s [allow_cas]). *)
+
+type fam = string
+type key = int list
+
+type kind =
+  | Register
+  | Snapshot
+  | Test_and_set
+  | Consensus
+  | Kset
+  | Queue
+  | Oracle
+
+type info = { kind : kind; fam : fam; key : key }
+
+type _ t =
+  | Reg_read : fam * key -> Univ.t option t
+  | Reg_write : fam * key * Univ.t -> unit t
+  | Snap_set : fam * key * Univ.t -> unit t
+  | Snap_scan : fam * key -> Univ.t option array t
+  | Ts : fam * key -> bool t
+  | Cons_propose : fam * key * Univ.t -> Univ.t t
+  | Kset_propose : fam * key * Univ.t -> Univ.t t
+  | Queue_enq : fam * key * Univ.t -> unit t
+  | Queue_deq : fam * key -> Univ.t option t
+  | Cas : fam * key * Univ.t option * Univ.t -> bool t
+      (** [Cas (f, k, expected, desired)] on the {e register} [(f, k)]:
+          atomically, if the current content equals [expected]
+          (structurally; [None] = unwritten), install [desired] and
+          return [true]. *)
+  | Oracle_query : fam * key -> Univ.t t
+      (** Query a failure-detector oracle (Section 1.3's boosting
+          experiments). The environment must have a handler installed
+          ({!Env.set_oracle}); oracles are not shared-memory objects and
+          cannot be carried through the simulations. *)
+  | Yield : unit t
+
+val info : 'a t -> info option
+(** [info op] is the object the operation touches; [None] for [Yield]. *)
+
+val kind_name : kind -> string
+val pp_info : Format.formatter -> info -> unit

@@ -1,0 +1,49 @@
+(** Programs: a free monad over {!Op.t}.
+
+    A process of the simulated system is a value of type ['a t]: a tree of
+    atomic shared-memory operations ending in a decision of type ['a]. The
+    scheduler ({!Exec}) interprets one operation per step, so asynchrony is
+    exactly the interleaving of [Step] nodes, and a simulation algorithm
+    can interpret someone else's program operation by operation (this is
+    what the BG-style simulators do). *)
+
+type 'a t = Done of 'a | Step : 'r Op.t * ('r -> 'a t) -> 'a t
+
+val return : 'a -> 'a t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val perform : 'r Op.t -> 'r t
+
+val yield : unit t
+(** A step with no shared-memory effect; gives the scheduler (and a
+    simulator's internal thread scheduler) a chance to switch processes. *)
+
+module Syntax : sig
+  val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+  val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+  val ( >>= ) : 'a t -> ('a -> 'b t) -> 'b t
+end
+
+val iter_list : ('a -> unit t) -> 'a list -> unit t
+val fold_list : ('acc -> 'a -> 'acc t) -> 'acc -> 'a list -> 'acc t
+
+val loop : ('s -> [ `Again of 's | `Stop of 'a ] t) -> 's -> 'a t
+(** [loop body s] runs [body] repeatedly, threading state, until it stops.
+    Each iteration must perform at least one operation for the scheduler to
+    stay fair; bodies that might perform none should include {!yield}. *)
+
+(** {1 Typed operation helpers} *)
+
+val reg_read : 'a Codec.t -> Op.fam -> Op.key -> 'a option t
+val reg_write : 'a Codec.t -> Op.fam -> Op.key -> 'a -> unit t
+val snap_set : 'a Codec.t -> Op.fam -> Op.key -> 'a -> unit t
+val snap_scan : 'a Codec.t -> Op.fam -> Op.key -> 'a option array t
+val ts : Op.fam -> Op.key -> bool t
+val cons_propose : 'a Codec.t -> Op.fam -> Op.key -> 'a -> 'a t
+val kset_propose : 'a Codec.t -> Op.fam -> Op.key -> 'a -> 'a t
+val queue_enq : 'a Codec.t -> Op.fam -> Op.key -> 'a -> unit t
+val queue_deq : 'a Codec.t -> Op.fam -> Op.key -> 'a option t
+
+val cas : 'a Codec.t -> Op.fam -> Op.key -> expected:'a option -> desired:'a -> bool t
+(** Structural compare&swap on a register (see {!Op.t}); the environment
+    must have been created with [allow_cas]. *)

@@ -1,0 +1,21 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* splitmix64: one 64-bit state, passes BigCrush; more than enough for
+   schedule exploration. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let u = Int64.shift_right_logical (next t) 1 in
+  Int64.to_int (Int64.rem u (Int64.of_int bound))
+
+let bool t = Int64.equal (Int64.logand (next t) 1L) 1L
+let split t = { state = next t }

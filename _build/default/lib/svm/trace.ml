@@ -1,0 +1,43 @@
+type event = { step : int; pid : int; info : Op.info option }
+
+type t = {
+  limit : int;
+  mutable rev_events : event list;
+  mutable count : int;
+  mutable dropped : int;
+}
+
+let create ?(limit = 100_000) () =
+  { limit; rev_events = []; count = 0; dropped = 0 }
+
+let add t e =
+  if t.count >= t.limit then begin
+    (* Drop the oldest half in one amortized pass. *)
+    let keep = t.limit / 2 in
+    let kept = ref [] in
+    let n = ref 0 in
+    List.iter
+      (fun e ->
+        if !n < keep then begin
+          kept := e :: !kept;
+          incr n
+        end)
+      t.rev_events;
+    t.dropped <- t.dropped + (t.count - !n);
+    t.rev_events <- List.rev !kept;
+    t.count <- !n
+  end;
+  t.rev_events <- e :: t.rev_events;
+  t.count <- t.count + 1
+
+let events t = List.rev t.rev_events
+let dropped t = t.dropped
+let length t = t.count
+
+let pp_event ppf { step; pid; info } =
+  match info with
+  | Some i -> Format.fprintf ppf "%6d  q%-3d %a" step pid Op.pp_info i
+  | None -> Format.fprintf ppf "%6d  q%-3d (yield)" step pid
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)

@@ -1,0 +1,22 @@
+(** Event traces: the linearization order of a run.
+
+    Each executed operation is one event; the order of events is exactly
+    the linearization of the run (operations are atomic steps). *)
+
+type event = { step : int; pid : int; info : Op.info option }
+(** [info] is [None] for [Yield] steps and for crash events. *)
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** Keeps at most [limit] events (default 100_000); older events are
+    dropped, [dropped] reports how many. *)
+
+val add : t -> event -> unit
+val events : t -> event list
+(** In execution order. *)
+
+val dropped : t -> int
+val length : t -> int
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,10 @@
+type t = ..
+
+type 'a embedding = { inj : 'a -> t; prj : t -> 'a option }
+
+let embed (type a) () : a embedding =
+  let module M = struct
+    type t += K of a
+  end in
+  let prj = function M.K v -> Some v | _ -> None in
+  { inj = (fun v -> M.K v); prj }

@@ -1,0 +1,1 @@
+lib/tasks/algorithms.ml: Array Codec Core List Printf Prog Svm Task

@@ -1,0 +1,1 @@
+lib/tasks/algorithms.mli: Core

@@ -1,0 +1,1 @@
+lib/tasks/set_agreement.ml: Array Codec Core Printf Prog Svm

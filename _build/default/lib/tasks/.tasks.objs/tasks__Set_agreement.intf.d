@@ -1,0 +1,1 @@
+lib/tasks/set_agreement.mli: Core

@@ -1,0 +1,1 @@
+lib/tasks/task.ml: List Option Printf String Svm

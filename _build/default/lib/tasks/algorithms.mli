@@ -1,0 +1,55 @@
+(** Directly-programmed algorithms (the paper's building blocks).
+
+    All code uses the canonical operation alphabet, so each algorithm can
+    run natively or be fed to the simulations. Inputs and decisions are
+    integers (injected through {!Svm.Codec.int}). *)
+
+val kset_read_write : n:int -> t:int -> k:int -> Core.Algorithm.t
+(** [k]-set agreement in [ASM(n, t, 1)], for [t < k] (Chaudhuri): write
+    your input, scan until at least [n - t] inputs are visible, decide
+    the minimum visible input. At most [t + 1 <= k] distinct minima can
+    be decided because snapshot views are totally ordered by
+    containment. *)
+
+val consensus_zero_resilient : n:int -> Core.Algorithm.t
+(** [kset_read_write ~t:0 ~k:1]: wait for all inputs, decide the global
+    minimum — consensus in the failure-free read/write model
+    [ASM(n, 0, 1)] (used with [sim_up] to realize the paper's claim that
+    [ASM(n, t', x)] with [x > t'] solves every task). *)
+
+val consensus_direct : n:int -> t:int -> Core.Algorithm.t
+(** Consensus from one [n]-ported consensus object in [ASM(n, t, n)]:
+    propose your input, decide the object's output. *)
+
+val kset_grouped : n:int -> t:int -> x:int -> k:int -> Core.Algorithm.t
+(** [k]-set agreement in [ASM(n, t, x)] for [k > ⌊t/x⌋], programmed
+    directly (no simulation): processes are split into groups of size at
+    most [x]; each group funnels its inputs through its own consensus
+    object; processes then run the read/write protocol on group values,
+    waiting for group values covering at least [n - t] processes. At
+    most [⌊t/x⌋ + 1 <= k] distinct minima are decided: the analysis of
+    {!kset_read_write} applies at group granularity, since [t] crashes
+    can silence at most [⌊t/x⌋] {e whole} groups beyond those whose value
+    is already published. *)
+
+val renaming_read_write : n:int -> t:int -> Core.Algorithm.t
+(** (2n-1)-renaming in [ASM(n, t, 1)] (Attiya et al., snapshot
+    formulation): repeatedly publish a proposed name; on conflict with
+    another process, move to the [r]-th free name where [r] is the rank
+    of your original name among the participants you see; decide when no
+    conflict. Wait-free; decided names are distinct and within
+    [1..2n-1]. *)
+
+val approximate_agreement :
+  n:int -> t:int -> rounds:int -> scale:int -> Core.Algorithm.t
+(** Wait-free approximate agreement in [ASM(n, t, 1)] by iterated
+    midpoints: each round, publish your estimate in that round's
+    snapshot and move to the midpoint of the estimates you see. Because
+    snapshot views are totally ordered by containment, the estimate
+    range at least halves every round (up to +/-1 integer rounding), so
+    after [rounds] rounds estimates are within
+    [range(inputs)*scale/2^rounds + 2] of each other — no waiting, so
+    this works for any [t], including wait-free. *)
+
+val trivial : n:int -> t:int -> Core.Algorithm.t
+(** Decide your own input after one write and one scan. *)

@@ -1,0 +1,32 @@
+(** k-set agreement from (m, l)-set agreement objects
+    (paper Section 1.3, "Using underlying base (m, l)-set agreement
+    objects").
+
+    Herlihy and Rajsbaum showed (the paper's reference [22]) that with
+    (m, l)-set agreement objects, k-set agreement is solvable iff
+
+      k >= l * floor((t+1)/m) + min(l, (t+1) mod m).
+
+    {!herlihy_rajsbaum_k} computes that threshold, and {!algorithm}
+    achieves it constructively: processes are split into groups of
+    exactly [m]; each group funnels its inputs through its own
+    (m, l)-set object, so a group carries at most [l] distinct values;
+    everyone then runs the read/write protocol (write the group value,
+    wait for [n - t] writers, decide the minimum).
+
+    Why the bound is met: let V be the smallest snapshot with [n - t]
+    writers. A decided value smaller than min(V) must belong to one of
+    the at most [t] processes outside V. A fully-late group (all [m]
+    members outside V) contributes at most [l] unseen values; a
+    partially-late group has a member in V, so it contributes at most
+    [min(l - 1, #late members)] unseen values — summing over the worst
+    split of [t] late processes gives exactly the threshold above. *)
+
+val herlihy_rajsbaum_k : t:int -> m:int -> l:int -> int
+(** The smallest solvable k per reference [22]. *)
+
+val algorithm : n:int -> t:int -> m:int -> l:int -> k:int -> Core.Algorithm.t
+(** Requires [m | n], [1 <= l <= m] and [k >= herlihy_rajsbaum_k t m l].
+    The produced algorithm runs in an environment with k-set objects
+    enabled ({!Core.Run.run}'s [allow_kset]); its designed-for model is
+    [ASM(n, t, 1)]-plus-objects, recorded as x = 1. *)

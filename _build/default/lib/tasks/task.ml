@@ -1,0 +1,113 @@
+type kind = Colorless | Colored
+
+type t = {
+  name : string;
+  kind : kind;
+  gen_inputs : seed:int -> n:int -> int list;
+  validate : inputs:int list -> decisions:int list -> (unit, string) result;
+}
+
+let distinct l = List.sort_uniq compare l
+
+let gen_small_ints ~seed ~n =
+  let rng = Svm.Rng.create seed in
+  List.init n (fun _ -> Svm.Rng.int rng 100)
+
+let kset ~k =
+  if k < 1 then invalid_arg "Task.kset";
+  let validate ~inputs ~decisions =
+    let bad_value = List.find_opt (fun d -> not (List.mem d inputs)) decisions in
+    match bad_value with
+    | Some d -> Error (Printf.sprintf "decided %d, which was never proposed" d)
+    | None ->
+        let nd = List.length (distinct decisions) in
+        if nd > k then
+          Error (Printf.sprintf "%d distinct decisions, but k = %d" nd k)
+        else Ok ()
+  in
+  {
+    name = Printf.sprintf "%d-set-agreement" k;
+    kind = Colorless;
+    gen_inputs = gen_small_ints;
+    validate;
+  }
+
+let consensus = { (kset ~k:1) with name = "consensus" }
+
+let trivial =
+  let validate ~inputs ~decisions =
+    match List.find_opt (fun d -> not (List.mem d inputs)) decisions with
+    | Some d -> Error (Printf.sprintf "decided %d, which was never proposed" d)
+    | None -> Ok ()
+  in
+  {
+    name = "trivial";
+    kind = Colorless;
+    gen_inputs = gen_small_ints;
+    validate;
+  }
+
+let approximate ~scale ~eps =
+  let validate ~inputs ~decisions =
+    match inputs with
+    | [] -> Ok ()
+    | i0 :: _ ->
+        let lo = List.fold_left min i0 inputs * scale in
+        let hi = List.fold_left max i0 inputs * scale in
+        let out_of_range = List.find_opt (fun d -> d < lo || d > hi) decisions in
+        let too_far =
+          List.exists
+            (fun d -> List.exists (fun d' -> abs (d - d') > eps) decisions)
+            decisions
+        in
+        if out_of_range <> None then
+          Error
+            (Printf.sprintf "decision %d outside [%d, %d]"
+               (Option.get out_of_range) lo hi)
+        else if too_far then Error (Printf.sprintf "decisions more than %d apart" eps)
+        else Ok ()
+  in
+  {
+    name = Printf.sprintf "approximate(eps=%d/%d)" eps scale;
+    kind = Colorless;
+    gen_inputs = gen_small_ints;
+    validate;
+  }
+
+let renaming ~slots =
+  let gen_inputs ~seed ~n =
+    (* Distinct original names from a sparse space. *)
+    let rng = Svm.Rng.create seed in
+    let rec draw acc remaining =
+      if remaining = 0 then acc
+      else
+        let v = 1 + Svm.Rng.int rng 1_000_000 in
+        if List.mem v acc then draw acc remaining
+        else draw (v :: acc) (remaining - 1)
+    in
+    draw [] n
+  in
+  let validate ~inputs:_ ~decisions =
+    let nd = List.length (distinct decisions) in
+    if nd <> List.length decisions then Error "two processes decided the same name"
+    else
+      match List.find_opt (fun d -> d < 1 || d > slots) decisions with
+      | Some d -> Error (Printf.sprintf "name %d outside [1..%d]" d slots)
+      | None -> Ok ()
+  in
+  {
+    name = Printf.sprintf "renaming(%d)" slots;
+    kind = Colored;
+    gen_inputs;
+    validate;
+  }
+
+let check t ~inputs ~decisions =
+  match t.validate ~inputs ~decisions with
+  | Ok () -> ()
+  | Error msg ->
+      failwith
+        (Printf.sprintf "task %s violated: %s (inputs=[%s] decisions=[%s])"
+           t.name msg
+           (String.concat ";" (List.map string_of_int inputs))
+           (String.concat ";" (List.map string_of_int decisions)))

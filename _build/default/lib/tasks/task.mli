@@ -1,0 +1,50 @@
+(** Decision tasks (paper Section 2.1).
+
+    A task relates input vectors to allowed output vectors. All concrete
+    tasks here are integer-valued. A task is {e colorless} when any
+    proposed value may be proposed by every process and any decided value
+    may be decided by every process — validity then depends only on the
+    {e sets} of inputs and decisions, which is how [validate] is phrased.
+    Colored tasks (renaming) additionally constrain which process decides
+    what; since the paper's colored simulation guarantees distinct
+    simulated origins, distinctness of the decision multiset is the
+    checkable criterion. *)
+
+type kind = Colorless | Colored
+
+type t = {
+  name : string;
+  kind : kind;
+  gen_inputs : seed:int -> n:int -> int list;
+  validate : inputs:int list -> decisions:int list -> (unit, string) result;
+}
+
+val kset : k:int -> t
+(** [k]-set agreement: every decision is some process's input, and at
+    most [k] distinct values are decided. Colorless. Inputs are random
+    small integers. *)
+
+val consensus : t
+(** [kset ~k:1]. *)
+
+val trivial : t
+(** Decide anything you like as long as it is a proposed value (the
+    class-n tasks of the set-consensus hierarchy). Colorless. *)
+
+val approximate : scale:int -> eps:int -> t
+(** Approximate agreement: inputs are small integers; decisions are
+    {e scaled} by [scale] and must lie within
+    [\[min(inputs)*scale, max(inputs)*scale\]] with pairwise distance at
+    most [eps]. Colorless, and — unlike consensus — wait-free solvable
+    in the plain read/write model. *)
+
+val renaming : slots:int -> t
+(** M-renaming with [slots] target names: inputs are distinct original
+    names from a large space; decisions must be distinct values in
+    [1..slots]. Colored. *)
+
+val check : t -> inputs:int list -> decisions:int list -> unit
+(** Like [validate] but raises [Failure] with a readable message. *)
+
+val distinct : int list -> int list
+(** Sorted distinct values (helper shared by validators and tests). *)

@@ -1,0 +1,1 @@
+lib/universal/from_objects.mli: Svm

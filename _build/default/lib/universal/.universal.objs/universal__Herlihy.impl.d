@@ -1,0 +1,1 @@
+lib/universal/herlihy.ml: Array Codec List Op Prog Seq_spec Svm

@@ -1,0 +1,1 @@
+lib/universal/herlihy.mli: Seq_spec Svm

@@ -1,0 +1,1 @@
+lib/universal/lin_check.ml: List Option Seq_spec

@@ -1,0 +1,1 @@
+lib/universal/lin_check.mli: Seq_spec

@@ -1,0 +1,1 @@
+lib/universal/seq_spec.ml: Codec Fmt Format List Svm

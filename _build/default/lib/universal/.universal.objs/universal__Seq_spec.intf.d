@@ -1,0 +1,1 @@
+lib/universal/seq_spec.mli: Format Svm

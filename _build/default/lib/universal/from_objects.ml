@@ -1,0 +1,41 @@
+open Svm
+open Svm.Prog.Syntax
+
+let int_c = Codec.int
+
+let publish ~fam ~key ~pid v = Prog.reg_write int_c (fam ^ ".val") (key @ [ pid ]) v
+
+let read_other ~fam ~key ~pid =
+  let* other = Prog.reg_read int_c (fam ^ ".val") (key @ [ 1 - pid ]) in
+  match other with
+  | Some v -> Prog.return v
+  | None ->
+      (* Unreachable in the protocols below: a process only reads the
+         other's value after losing, and the winner published first. *)
+      failwith "from_objects: winner's value missing"
+
+let cons2_from_ts ~fam ~key ~pid v =
+  if pid < 0 || pid > 1 then invalid_arg "cons2_from_ts: pid must be 0 or 1";
+  let* () = publish ~fam ~key ~pid v in
+  let* won = Prog.ts (fam ^ ".ts") key in
+  if won then Prog.return v else read_other ~fam ~key ~pid
+
+let setup_queue env ~fam ~key =
+  Env.preload_queue env (fam ^ ".q") key [ int_c.Codec.inj 1 ]
+
+let cons2_from_queue ~fam ~key ~pid v =
+  if pid < 0 || pid > 1 then invalid_arg "cons2_from_queue: pid must be 0 or 1";
+  let* () = publish ~fam ~key ~pid v in
+  let* token = Prog.queue_deq int_c (fam ^ ".q") key in
+  match token with
+  | Some _ -> Prog.return v
+  | None -> read_other ~fam ~key ~pid
+
+let consn_from_cas ~fam ~key ~pid:_ v =
+  let* _installed =
+    Prog.cas int_c (fam ^ ".cas") key ~expected:None ~desired:v
+  in
+  let* content = Prog.reg_read int_c (fam ^ ".cas") key in
+  match content with
+  | Some d -> Prog.return d
+  | None -> failwith "consn_from_cas: register empty after CAS"

@@ -1,0 +1,30 @@
+(** Consensus {e from} objects: the consensus-number gallery.
+
+    The paper's Section 1.1 recalls Herlihy's hierarchy: registers have
+    consensus number 1; test&set, queues and stacks have consensus
+    number 2; compare&swap has consensus number infinity. These are the
+    classic protocols realizing the positive side of those numbers —
+    solving consensus among the stated number of processes from one such
+    object plus registers. Each call is one-shot per instance key. *)
+
+val cons2_from_ts :
+  fam:Svm.Op.fam -> key:Svm.Op.key -> pid:int -> int -> int Svm.Prog.t
+(** Consensus for processes [{0, 1}] from one test&set: publish your
+    value, test&set; the winner decides its own value, the loser adopts
+    the winner's (already published) value. *)
+
+val cons2_from_queue :
+  fam:Svm.Op.fam -> key:Svm.Op.key -> pid:int -> int -> int Svm.Prog.t
+(** Consensus for processes [{0, 1}] from one queue pre-filled with a
+    single token (call {!setup_queue} on the environment first):
+    publish, dequeue; token holder wins. *)
+
+val setup_queue : Svm.Env.t -> fam:Svm.Op.fam -> key:Svm.Op.key -> unit
+(** Pre-fill the queue used by {!cons2_from_queue}. *)
+
+val consn_from_cas :
+  fam:Svm.Op.fam -> key:Svm.Op.key -> pid:int -> int -> int Svm.Prog.t
+(** Consensus for {e any} number of processes from one compare&swap
+    register (consensus number infinity; environment must allow CAS):
+    CAS your value into the empty register, then read and decide its
+    content. *)

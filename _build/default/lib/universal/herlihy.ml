@@ -1,0 +1,92 @@
+open Svm
+open Svm.Prog.Syntax
+
+type ('s, 'op, 'res) obj = {
+  spec : ('s, 'op, 'res) Seq_spec.t;
+  announce_fam : Op.fam;
+  cons_fam : Op.fam;
+}
+
+let make spec ~fam =
+  { spec; announce_fam = fam ^ ".ann"; cons_fam = fam ^ ".cons" }
+
+(* Operation ids are (pid, per-process index). *)
+type op_id = int * int
+
+type ('s, 'op, 'res) session = {
+  obj : ('s, 'op, 'res) obj;
+  pid : int;
+  mutable replica : 's;
+  mutable applied : op_id list; (* newest first *)
+  mutable my_results : (op_id * 'res) list;
+  mutable batch_index : int; (* next consensus instance to consume *)
+  mutable my_count : int;
+  mutable my_announces : (op_id * 'op) list; (* oldest first *)
+}
+
+let session obj ~pid =
+  {
+    obj;
+    pid;
+    replica = obj.spec.Seq_spec.init;
+    applied = [];
+    my_results = [];
+    batch_index = 0;
+    my_count = 0;
+    my_announces = [];
+  }
+
+let id_codec : op_id Codec.t = Codec.pair Codec.int Codec.int
+
+let announce_codec (spec : _ Seq_spec.t) =
+  Codec.list (Codec.pair id_codec spec.Seq_spec.op_codec)
+
+let batch_codec = announce_codec
+
+(* Apply one decided batch to the replica, in decided order, recording
+   the result of this session's own operations. Every replica consumes
+   batches in index order, so replicas stay identical. *)
+let apply_batch s batch =
+  List.iter
+    (fun (id, op) ->
+      if not (List.mem id s.applied) then begin
+        let replica, res = s.obj.spec.Seq_spec.apply s.replica op in
+        s.replica <- replica;
+        s.applied <- id :: s.applied;
+        if fst id = s.pid then s.my_results <- (id, res) :: s.my_results
+      end)
+    batch
+
+let invoke (type s op res) (s : (s, op, res) session) (op : op) :
+    res Prog.t =
+  let spec = s.obj.spec in
+  let my_id = (s.pid, s.my_count) in
+  s.my_count <- s.my_count + 1;
+  s.my_announces <- s.my_announces @ [ (my_id, op) ];
+  let* () =
+    Prog.snap_set (announce_codec spec) s.obj.announce_fam [] s.my_announces
+  in
+  Prog.loop
+    (fun () ->
+      match List.assoc_opt my_id s.my_results with
+      | Some res -> Prog.return (`Stop res)
+      | None ->
+          let* cells =
+            Prog.snap_scan (announce_codec spec) s.obj.announce_fam []
+          in
+          let pending =
+            Array.to_list cells
+            |> List.concat_map (function None -> [] | Some l -> l)
+            |> List.filter (fun (id, _) -> not (List.mem id s.applied))
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          let* decided =
+            Prog.cons_propose (batch_codec spec) s.obj.cons_fam
+              [ s.batch_index ] pending
+          in
+          s.batch_index <- s.batch_index + 1;
+          apply_batch s decided;
+          Prog.return (`Again ()))
+    ()
+
+let batches_consumed s = s.batch_index

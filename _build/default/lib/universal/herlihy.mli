@@ -1,0 +1,36 @@
+(** Herlihy's universal construction (paper Section 1.1).
+
+    "Enriching asynchronous read/write shared memory systems with
+    consensus objects is fundamental as these objects make it possible
+    to wait-free implement any concurrent object that has a sequential
+    specification." This module is that construction, state-machine
+    style:
+
+    - every process announces its pending operation in its component of
+      an announce snapshot;
+    - processes repeatedly propose the batch of announced-but-unapplied
+      operations to a sequence of consensus objects [cons\[0\],
+      cons\[1\], ...], and apply the decided batches in order to a local
+      replica — all replicas therefore apply the same sequence;
+    - an invocation returns once its operation appears in a decided
+      batch. Wait-freedom: once an announce is visible, every later
+      proposal includes the operation, so some decided batch does.
+
+    Each consensus instance is accessed by all [n] processes, so the
+    construction needs the model [ASM(n, t, n)] — consensus number [n]
+    is {e universal} for [n] processes, which is the point. *)
+
+type ('s, 'op, 'res) obj
+
+val make : ('s, 'op, 'res) Seq_spec.t -> fam:Svm.Op.fam -> ('s, 'op, 'res) obj
+
+type ('s, 'op, 'res) session
+(** A process's handle: its local replica plus its announce counter.
+    Create one per process {e per run} (it holds run-local state). *)
+
+val session : ('s, 'op, 'res) obj -> pid:int -> ('s, 'op, 'res) session
+val invoke : ('s, 'op, 'res) session -> 'op -> 'res Svm.Prog.t
+
+val batches_consumed : ('s, 'op, 'res) session -> int
+(** How many consensus instances this session has consumed (tests use
+    it to bound the construction's work). *)

@@ -1,0 +1,31 @@
+type ('op, 'res) event = { start : int; finish : int; op : 'op; res : 'res }
+
+(* An event is a candidate to linearize next iff no remaining event
+   finished before it started (otherwise that event must come first). *)
+let candidates remaining =
+  let min_finish =
+    List.fold_left (fun m e -> min m e.finish) max_int remaining
+  in
+  List.filter (fun e -> e.start <= min_finish) remaining
+
+let witness (spec : _ Seq_spec.t) history =
+  let rec go state remaining acc =
+    match remaining with
+    | [] -> Some (List.rev acc)
+    | _ ->
+        let rec try_candidates = function
+          | [] -> None
+          | e :: rest -> (
+              let state', res = spec.Seq_spec.apply state e.op in
+              if res = e.res then
+                let remaining' = List.filter (fun e' -> e' != e) remaining in
+                match go state' remaining' (e :: acc) with
+                | Some w -> Some w
+                | None -> try_candidates rest
+              else try_candidates rest)
+        in
+        try_candidates (candidates remaining)
+  in
+  go spec.Seq_spec.init history []
+
+let check spec history = Option.is_some (witness spec history)

@@ -1,0 +1,22 @@
+(** A linearizability checker (Wing & Gong style).
+
+    Given a concurrent history — invocations with their real-time
+    intervals, operations and results — search for a linearization: a
+    total order of the operations that (a) respects real time (if one
+    invocation finishes before another starts, it comes first) and (b)
+    is a legal sequential execution of the specification producing
+    exactly the observed results.
+
+    Exponential in the worst case; fine for the test-sized histories
+    produced by the universal-construction tests. *)
+
+type ('op, 'res) event = { start : int; finish : int; op : 'op; res : 'res }
+
+val check : ('s, 'op, 'res) Seq_spec.t -> ('op, 'res) event list -> bool
+(** [check spec history] is [true] iff a linearization exists. *)
+
+val witness :
+  ('s, 'op, 'res) Seq_spec.t ->
+  ('op, 'res) event list ->
+  ('op, 'res) event list option
+(** Like {!check} but returns the linearization order. *)

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Adversary Alcotest Core Exec Experiments List Svm Tasks

@@ -1,0 +1,1 @@
+test/test_bg.ml: Adversary Alcotest Codec Core Exec Experiments List Printf Prog Svm Tasks

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array Codec Env Exec Explore List Prog Svm

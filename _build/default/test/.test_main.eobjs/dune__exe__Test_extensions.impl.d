@@ -1,0 +1,1 @@
+test/test_extensions.ml: Adversary Alcotest Array Codec Core Env Exec Experiments Explore Int List Op Printf Prog Shared_objects Svm Tasks Univ

@@ -1,0 +1,1 @@
+test/test_objects.ml: Adversary Alcotest Array Codec Env Exec Fun List Option Printf Prog Shared_objects String Svm

@@ -1,0 +1,1 @@
+test/test_props.ml: Adversary Array Codec Combin Core Env Exec Experiments Fun Int List Option Printf Prog QCheck QCheck_alcotest Shared_objects Svm Tasks

@@ -1,0 +1,1 @@
+test/test_svm.ml: Adversary Alcotest Array Codec Combin Env Exec Fun List Op Option Printf Prog Rng Svm Trace Univ

@@ -1,0 +1,1 @@
+test/test_svm2.ml: Adversary Alcotest Array Codec Env Exec Experiments List Op Option Printf Prog String Svm

@@ -1,0 +1,1 @@
+test/test_universal.ml: Adversary Alcotest Array Codec Env Exec Hashtbl List Op Option Printf Prog Svm Trace Univ Universal

@@ -1,0 +1,259 @@
+(* Native runs of the directly-programmed task algorithms. *)
+
+open Svm
+
+let check = Alcotest.check
+
+let run_task ?(budget = 200_000) ~alg ~task ~seed ~max_crashes () =
+  Experiments.Runner.one_run ~budget ~task ~alg ~seed ~max_crashes ()
+
+let assert_valid_live ~task run =
+  (match Experiments.Runner.validate ~task run with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("validity: " ^ m));
+  check Alcotest.(list int) "nobody blocked" []
+    (Exec.blocked run.Experiments.Runner.result)
+
+(* ------------------------------------------------------------------ *)
+(* kset_read_write                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let kset_rw_sweep () =
+  let alg = Tasks.Algorithms.kset_read_write ~n:5 ~t:2 ~k:3 in
+  let task = Tasks.Task.kset ~k:3 in
+  List.iter
+    (fun seed ->
+      assert_valid_live ~task (run_task ~alg ~task ~seed ~max_crashes:2 ()))
+    (List.init 25 (fun i -> i))
+
+let kset_rw_distinct_bound () =
+  (* Never more than t+1 distinct decisions, even with k larger. *)
+  let alg = Tasks.Algorithms.kset_read_write ~n:6 ~t:2 ~k:5 in
+  let task = Tasks.Task.kset ~k:5 in
+  let max_distinct = ref 0 in
+  List.iter
+    (fun seed ->
+      let r = run_task ~alg ~task ~seed ~max_crashes:2 () in
+      let d =
+        List.length (Tasks.Task.distinct (Experiments.Runner.decisions r))
+      in
+      if d > !max_distinct then max_distinct := d)
+    (List.init 40 (fun i -> i));
+  Alcotest.(check bool) "at most t+1 = 3 distinct" true (!max_distinct <= 3)
+
+let kset_rw_rejects_t_ge_k () =
+  Alcotest.(check bool) "t >= k rejected" true
+    (match Tasks.Algorithms.kset_read_write ~n:5 ~t:3 ~k:3 with
+    | (_ : Core.Algorithm.t) -> false
+    | exception Invalid_argument _ -> true)
+
+let kset_rw_blocks_beyond_resilience () =
+  (* Crash t+1 processes before anyone writes: fewer than n - t inputs
+     ever appear, every survivor spins. *)
+  let alg = Tasks.Algorithms.kset_read_write ~n:4 ~t:1 ~k:2 in
+  let adversary =
+    Adversary.with_crashes
+      (Adversary.round_robin ())
+      [
+        Adversary.Crash_at_local { pid = 0; step = 0 };
+        Adversary.Crash_at_local { pid = 1; step = 0 };
+      ]
+  in
+  let r =
+    Core.Run.run_ints ~budget:5_000 ~alg ~inputs:[ 1; 2; 3; 4 ] ~adversary ()
+  in
+  check Alcotest.(list int) "survivors blocked" [ 2; 3 ] (Exec.blocked r)
+
+(* ------------------------------------------------------------------ *)
+(* consensus                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let consensus_zero_resilient () =
+  let alg = Tasks.Algorithms.consensus_zero_resilient ~n:4 in
+  let task = Tasks.Task.consensus in
+  List.iter
+    (fun seed ->
+      let r = run_task ~alg ~task ~seed ~max_crashes:0 () in
+      assert_valid_live ~task r;
+      check Alcotest.int "all four decide" 4
+        (List.length (Experiments.Runner.decisions r)))
+    (List.init 15 (fun i -> i))
+
+let consensus_direct_with_crashes () =
+  let alg = Tasks.Algorithms.consensus_direct ~n:5 ~t:4 in
+  let task = Tasks.Task.consensus in
+  List.iter
+    (fun seed ->
+      let r = run_task ~alg ~task ~seed ~max_crashes:4 () in
+      assert_valid_live ~task r)
+    (List.init 15 (fun i -> i))
+
+let consensus_direct_decides_first_proposal () =
+  let alg = Tasks.Algorithms.consensus_direct ~n:3 ~t:2 in
+  let r =
+    Core.Run.run_ints ~alg ~inputs:[ 10; 20; 30 ]
+      ~adversary:(Adversary.priority [ 2; 1; 0 ])
+      ()
+  in
+  check Alcotest.(list int) "p2 ran first" [ 30; 30; 30 ] (Exec.decided r)
+
+(* ------------------------------------------------------------------ *)
+(* kset_grouped                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let kset_grouped_sweep () =
+  let alg = Tasks.Algorithms.kset_grouped ~n:6 ~t:4 ~x:2 ~k:3 in
+  let task = Tasks.Task.kset ~k:3 in
+  List.iter
+    (fun seed ->
+      assert_valid_live ~task (run_task ~alg ~task ~seed ~max_crashes:4 ()))
+    (List.init 25 (fun i -> i))
+
+let kset_grouped_distinct_bound () =
+  (* Decisions bounded by floor(t/x) + 1 = 3, tighter than t + 1 = 5. *)
+  let alg = Tasks.Algorithms.kset_grouped ~n:8 ~t:4 ~x:2 ~k:5 in
+  let task = Tasks.Task.kset ~k:5 in
+  let max_distinct = ref 0 in
+  List.iter
+    (fun seed ->
+      let r = run_task ~alg ~task ~seed ~max_crashes:4 () in
+      let d =
+        List.length (Tasks.Task.distinct (Experiments.Runner.decisions r))
+      in
+      if d > !max_distinct then max_distinct := d)
+    (List.init 40 (fun i -> i));
+  Alcotest.(check bool) "at most floor(4/2)+1 = 3 distinct" true
+    (!max_distinct <= 3)
+
+let kset_grouped_requires_divisibility () =
+  Alcotest.(check bool) "x does not divide n" true
+    (match Tasks.Algorithms.kset_grouped ~n:5 ~t:2 ~x:2 ~k:2 with
+    | (_ : Core.Algorithm.t) -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* renaming                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let renaming_sweep () =
+  let n = 6 in
+  let alg = Tasks.Algorithms.renaming_read_write ~n ~t:2 in
+  let task = Tasks.Task.renaming ~slots:((2 * n) - 1) in
+  List.iter
+    (fun seed ->
+      assert_valid_live ~task (run_task ~alg ~task ~seed ~max_crashes:2 ()))
+    (List.init 30 (fun i -> i))
+
+let renaming_wait_free () =
+  (* Even wait-free (t = n-1), renaming terminates and names stay in
+     2n-1. *)
+  let n = 4 in
+  let alg = Tasks.Algorithms.renaming_read_write ~n ~t:(n - 1) in
+  let task = Tasks.Task.renaming ~slots:((2 * n) - 1) in
+  List.iter
+    (fun seed ->
+      assert_valid_live ~task (run_task ~alg ~task ~seed ~max_crashes:(n - 1) ()))
+    (List.init 20 (fun i -> i))
+
+let renaming_contention_hits_high_names () =
+  (* Under a round-robin schedule all processes collide initially, so
+     some process must move beyond name n at least in some schedule. *)
+  let n = 5 in
+  let alg = Tasks.Algorithms.renaming_read_write ~n ~t:0 in
+  let inputs = [ 10; 20; 30; 40; 50 ] in
+  let r =
+    Core.Run.run_ints ~alg ~inputs ~adversary:(Adversary.round_robin ()) ()
+  in
+  let names = Exec.decided r in
+  Alcotest.(check bool) "distinct" true
+    (List.length (Tasks.Task.distinct names) = n);
+  Alcotest.(check bool) "within 2n-1" true
+    (List.for_all (fun v -> v >= 1 && v <= (2 * n) - 1) names)
+
+(* ------------------------------------------------------------------ *)
+(* trivial                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let trivial_decides_own () =
+  let alg = Tasks.Algorithms.trivial ~n:3 ~t:1 in
+  let r =
+    Core.Run.run_ints ~alg ~inputs:[ 7; 8; 9 ]
+      ~adversary:(Adversary.round_robin ())
+      ()
+  in
+  check Alcotest.(list int) "own inputs" [ 7; 8; 9 ] (Exec.decided r)
+
+(* ------------------------------------------------------------------ *)
+(* task definitions                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let task_kset_validate () =
+  let task = Tasks.Task.kset ~k:2 in
+  let v ~decisions =
+    task.Tasks.Task.validate ~inputs:[ 1; 2; 3 ] ~decisions
+  in
+  Alcotest.(check bool) "ok" true (v ~decisions:[ 1; 2; 2 ] = Ok ());
+  Alcotest.(check bool) "too many distinct" true
+    (match v ~decisions:[ 1; 2; 3 ] with Error _ -> true | Ok () -> false);
+  Alcotest.(check bool) "not proposed" true
+    (match v ~decisions:[ 9 ] with Error _ -> true | Ok () -> false);
+  Alcotest.(check bool) "empty decisions ok" true (v ~decisions:[] = Ok ())
+
+let task_renaming_validate () =
+  let task = Tasks.Task.renaming ~slots:7 in
+  let v ~decisions =
+    task.Tasks.Task.validate ~inputs:[ 11; 22; 33 ] ~decisions
+  in
+  Alcotest.(check bool) "ok" true (v ~decisions:[ 1; 7; 3 ] = Ok ());
+  Alcotest.(check bool) "duplicate" true
+    (match v ~decisions:[ 2; 2 ] with Error _ -> true | Ok () -> false);
+  Alcotest.(check bool) "out of range" true
+    (match v ~decisions:[ 8 ] with Error _ -> true | Ok () -> false)
+
+let task_inputs_distinct_for_renaming () =
+  let task = Tasks.Task.renaming ~slots:11 in
+  let inputs = task.Tasks.Task.gen_inputs ~seed:5 ~n:6 in
+  check Alcotest.int "distinct originals" 6
+    (List.length (Tasks.Task.distinct inputs))
+
+let suite =
+  [
+    ( "algorithms.kset_rw",
+      [
+        Alcotest.test_case "validity sweep" `Quick kset_rw_sweep;
+        Alcotest.test_case "distinct bound t+1" `Quick kset_rw_distinct_bound;
+        Alcotest.test_case "rejects t >= k" `Quick kset_rw_rejects_t_ge_k;
+        Alcotest.test_case "blocks beyond resilience" `Quick
+          kset_rw_blocks_beyond_resilience;
+      ] );
+    ( "algorithms.consensus",
+      [
+        Alcotest.test_case "0-resilient" `Quick consensus_zero_resilient;
+        Alcotest.test_case "direct with crashes" `Quick
+          consensus_direct_with_crashes;
+        Alcotest.test_case "first proposal wins" `Quick
+          consensus_direct_decides_first_proposal;
+      ] );
+    ( "algorithms.kset_grouped",
+      [
+        Alcotest.test_case "validity sweep" `Quick kset_grouped_sweep;
+        Alcotest.test_case "distinct bound floor(t/x)+1" `Quick
+          kset_grouped_distinct_bound;
+        Alcotest.test_case "requires x | n" `Quick
+          kset_grouped_requires_divisibility;
+      ] );
+    ( "algorithms.renaming",
+      [
+        Alcotest.test_case "validity sweep" `Quick renaming_sweep;
+        Alcotest.test_case "wait-free" `Quick renaming_wait_free;
+        Alcotest.test_case "contention" `Quick renaming_contention_hits_high_names;
+      ] );
+    ( "algorithms.misc",
+      [
+        Alcotest.test_case "trivial" `Quick trivial_decides_own;
+        Alcotest.test_case "kset validator" `Quick task_kset_validate;
+        Alcotest.test_case "renaming validator" `Quick task_renaming_validate;
+        Alcotest.test_case "renaming inputs distinct" `Quick
+          task_inputs_distinct_for_renaming;
+      ] );
+  ]

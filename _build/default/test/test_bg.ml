@@ -1,0 +1,362 @@
+(* Tests of the simulation engine: classic BG, Section 3, Section 4,
+   chains, colored mode, stats, and failure modes. *)
+
+open Svm
+
+let check = Alcotest.check
+
+let sweep_ok ?budget ~task ~alg ~seeds ~max_crashes () =
+  let s =
+    Experiments.Runner.sweep ?budget ~task ~alg
+      ~seeds:(List.init seeds (fun i -> i + 1))
+      ~max_crashes ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d runs valid+live" seeds)
+    true
+    (s.Experiments.Runner.valid = s.Experiments.Runner.runs
+    && s.Experiments.Runner.live = s.Experiments.Runner.runs)
+
+(* ------------------------------------------------------------------ *)
+(* classic BG                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let classic_valid () =
+  let source = Tasks.Algorithms.kset_read_write ~n:5 ~t:2 ~k:3 in
+  sweep_ok ~budget:400_000 ~task:(Tasks.Task.kset ~k:3)
+    ~alg:(Core.Bg.classic ~source) ~seeds:8 ~max_crashes:2 ()
+
+let classic_shape () =
+  let source = Tasks.Algorithms.kset_read_write ~n:7 ~t:3 ~k:4 in
+  let sim = Core.Bg.classic ~source in
+  Alcotest.(check bool) "target is ASM(4,3,1)" true
+    (Core.Model.equal sim.Core.Algorithm.model (Core.Model.read_write ~n:4 ~t:3))
+
+let classic_rejects_cons_sources () =
+  let source = Tasks.Algorithms.kset_grouped ~n:4 ~t:2 ~x:2 ~k:2 in
+  Alcotest.(check bool) "x > 1 source rejected" true
+    (match Core.Bg.classic ~source with
+    | (_ : Core.Algorithm.t) -> false
+    | exception Invalid_argument _ -> true)
+
+let classic_two_simulators () =
+  (* n=4, t=1: two wait-free simulators. *)
+  let source = Tasks.Algorithms.kset_read_write ~n:4 ~t:1 ~k:2 in
+  sweep_ok ~budget:400_000 ~task:(Tasks.Task.kset ~k:2)
+    ~alg:(Core.Bg.classic ~source) ~seeds:8 ~max_crashes:1 ()
+
+(* ------------------------------------------------------------------ *)
+(* Section 3 (sim_down)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sim_down_valid () =
+  let source = Tasks.Algorithms.kset_grouped ~n:6 ~t:4 ~x:2 ~k:3 in
+  sweep_ok ~budget:500_000 ~task:(Tasks.Task.kset ~k:3)
+    ~alg:(Core.Bg.sim_down ~source ~t:2) ~seeds:8 ~max_crashes:2 ()
+
+let sim_down_to_weaker () =
+  (* Also legal: simulate into a strictly weaker model (t=1 < floor). *)
+  let source = Tasks.Algorithms.kset_grouped ~n:6 ~t:4 ~x:2 ~k:3 in
+  sweep_ok ~budget:500_000 ~task:(Tasks.Task.kset ~k:3)
+    ~alg:(Core.Bg.sim_down ~source ~t:1) ~seeds:4 ~max_crashes:1 ()
+
+let sim_down_rejects_too_strong () =
+  let source = Tasks.Algorithms.kset_grouped ~n:6 ~t:4 ~x:2 ~k:3 in
+  Alcotest.(check bool) "t=3 > floor(4/2) rejected" true
+    (match Core.Bg.sim_down ~source ~t:3 with
+    | (_ : Core.Algorithm.t) -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Section 4 (sim_up)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sim_up_valid () =
+  let source = Tasks.Algorithms.kset_read_write ~n:6 ~t:2 ~k:3 in
+  sweep_ok ~budget:800_000 ~task:(Tasks.Task.kset ~k:3)
+    ~alg:(Core.Bg.sim_up ~source ~t':5 ~x:2) ~seeds:8 ~max_crashes:5 ()
+
+let sim_up_x3 () =
+  let source = Tasks.Algorithms.kset_read_write ~n:6 ~t:1 ~k:2 in
+  sweep_ok ~budget:1_500_000 ~task:(Tasks.Task.kset ~k:2)
+    ~alg:(Core.Bg.sim_up ~source ~t':5 ~x:3) ~seeds:4 ~max_crashes:5 ()
+
+let sim_up_rejects () =
+  let source = Tasks.Algorithms.kset_read_write ~n:6 ~t:1 ~k:2 in
+  Alcotest.(check bool) "floor(4/2)=2 > 1 rejected" true
+    (match Core.Bg.sim_up ~source ~t':4 ~x:2 with
+    | (_ : Core.Algorithm.t) -> false
+    | exception Invalid_argument _ -> true);
+  let grouped = Tasks.Algorithms.kset_grouped ~n:4 ~t:2 ~x:2 ~k:2 in
+  Alcotest.(check bool) "non-read/write source rejected" true
+    (match Core.Bg.sim_up ~source:grouped ~t':2 ~x:2 with
+    | (_ : Core.Algorithm.t) -> false
+    | exception Invalid_argument _ -> true)
+
+let sim_up_consensus_everywhere () =
+  (* x > t' makes every task solvable: consensus via the failure-free
+     algorithm simulated up (power 0). *)
+  let source = Tasks.Algorithms.consensus_zero_resilient ~n:5 in
+  let alg = Core.Bg.sim_up ~source ~t':2 ~x:3 in
+  sweep_ok ~budget:1_500_000 ~task:Tasks.Task.consensus ~alg ~seeds:5
+    ~max_crashes:2 ()
+
+(* ------------------------------------------------------------------ *)
+(* general engine behaviour                                             *)
+(* ------------------------------------------------------------------ *)
+
+let to_model_same_model () =
+  (* Self-simulation: ASM(5,2,1) into itself. *)
+  let source = Tasks.Algorithms.kset_read_write ~n:5 ~t:2 ~k:3 in
+  sweep_ok ~budget:400_000 ~task:(Tasks.Task.kset ~k:3)
+    ~alg:(Core.Bg.to_model ~source ~target:source.Core.Algorithm.model)
+    ~seeds:5 ~max_crashes:2 ()
+
+let generalized_classic () =
+  let source = Tasks.Algorithms.kset_grouped ~n:6 ~t:4 ~x:2 ~k:3 in
+  let sim = Core.Bg.generalized_classic ~source in
+  Alcotest.(check bool) "target ASM(3,2,1)" true
+    (Core.Model.equal sim.Core.Algorithm.model (Core.Model.read_write ~n:3 ~t:2));
+  sweep_ok ~budget:500_000 ~task:(Tasks.Task.kset ~k:3) ~alg:sim ~seeds:5
+    ~max_crashes:2 ()
+
+let unsupported_op_detected () =
+  let model = Core.Model.read_write ~n:2 ~t:1 in
+  let bad =
+    Core.Algorithm.make ~name:"uses-registers" ~model (fun ~pid:_ ~input ->
+        Prog.bind (Prog.reg_write Codec.int "r" [] 1) (fun () ->
+            Prog.return input))
+  in
+  let sim = Core.Bg.classic ~source:bad in
+  Alcotest.(check bool) "Unsupported_op raised at run time" true
+    (match
+       Core.Run.run_ints ~alg:sim ~inputs:[ 1; 2 ]
+         ~adversary:(Adversary.round_robin ())
+         ()
+     with
+    | (_ : int Exec.result) -> false
+    | exception Core.Bg_engine.Unsupported_op _ -> true)
+
+let unchecked_override () =
+  (* With ~unchecked the engine accepts a too-strong target; with more
+     crashes than the source tolerates, correctness may be lost but it
+     must not crash the harness: processes block rather than decide
+     wrongly here. *)
+  let source = Tasks.Algorithms.kset_read_write ~n:4 ~t:1 ~k:2 in
+  let alg =
+    Core.Bg_engine.simulate ~unchecked:true ~source
+      ~target:(Core.Model.read_write ~n:4 ~t:3)
+      ~mode:`Colorless ()
+  in
+  let adversary =
+    Adversary.with_crashes
+      (Adversary.priority [ 0; 1; 2; 3 ])
+      [
+        Experiments.Harness.crash_before_fam ~pid:0 ~prefix:"SA" ~nth:1;
+        Experiments.Harness.crash_before_fam ~pid:1 ~prefix:"SA" ~nth:4;
+        Experiments.Harness.crash_before_fam ~pid:2 ~prefix:"SA" ~nth:7;
+      ]
+  in
+  let inputs = [ 1; 2; 3; 4 ] in
+  let r = Core.Run.run_ints ~budget:100_000 ~alg ~inputs ~adversary () in
+  (* Three mid-propose crashes can block 3 simulated processes, leaving
+     only 1 of the n - t = 3 needed: the run may block, but decided
+     values (if any) must still satisfy the task. *)
+  let decisions = Exec.decided r in
+  Alcotest.(check bool) "any decisions are still valid" true
+    (match
+       (Tasks.Task.kset ~k:2).Tasks.Task.validate ~inputs ~decisions
+     with
+    | Ok () -> true
+    | Error _ -> false)
+
+let stats_recorded () =
+  let source = Tasks.Algorithms.kset_read_write ~n:4 ~t:1 ~k:2 in
+  let stats = Core.Bg_engine.new_stats () in
+  let alg =
+    Core.Bg_engine.simulate ~stats ~source
+      ~target:(Core.Model.read_write ~n:2 ~t:1)
+      ~mode:`Exhaustive ()
+  in
+  let r =
+    Core.Run.run_ints ~budget:200_000 ~alg ~inputs:[ 1; 2 ]
+      ~adversary:(Adversary.round_robin ())
+      ()
+  in
+  (* No crashes: exhaustive simulators finish all 4 threads and decide
+     the thread count. *)
+  check Alcotest.(list int) "both simulators decide count 4" [ 4; 4 ]
+    (Exec.decided r);
+  check Alcotest.(list int) "all simulated decided" [ 0; 1; 2; 3 ]
+    (Core.Bg_engine.decided_processes stats)
+
+(* ------------------------------------------------------------------ *)
+(* chains                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chain_two_hops_fixed () =
+  let source = Tasks.Algorithms.kset_read_write ~n:4 ~t:2 ~k:3 in
+  let alg =
+    Core.Bg.chain ~source
+      ~via:[ Core.Model.read_write ~n:3 ~t:2; Core.Model.make ~n:6 ~t:5 ~x:2 ]
+  in
+  sweep_ok ~budget:3_000_000 ~task:(Tasks.Task.kset ~k:3) ~alg ~seeds:3
+    ~max_crashes:2 ()
+
+let chain_empty_is_identity () =
+  let source = Tasks.Algorithms.trivial ~n:3 ~t:1 in
+  let alg = Core.Bg.chain ~source ~via:[] in
+  Alcotest.(check bool) "same algorithm" true (alg == source)
+
+let figure7_chain_shape () =
+  let source = Tasks.Algorithms.kset_grouped ~n:6 ~t:4 ~x:2 ~k:3 in
+  let via =
+    Core.Bg.figure7_chain ~source ~target:(Core.Model.make ~n:5 ~t:2 ~x:1)
+  in
+  check
+    Alcotest.(list string)
+    "hops"
+    [ "ASM(6,2,1)"; "ASM(3,2,1)"; "ASM(5,2,1)"; "ASM(5,2,1)" ]
+    (List.map Core.Model.to_string via)
+
+let figure7_chain_rejects_inequivalent () =
+  let source = Tasks.Algorithms.kset_grouped ~n:6 ~t:4 ~x:2 ~k:3 in
+  Alcotest.(check bool) "not equivalent" true
+    (match
+       Core.Bg.figure7_chain ~source ~target:(Core.Model.make ~n:5 ~t:1 ~x:1)
+     with
+    | (_ : Core.Model.t list) -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* colored                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let colored_distinct () =
+  let source = Tasks.Algorithms.renaming_read_write ~n:6 ~t:2 in
+  let alg =
+    Core.Bg.colored ~source ~target:(Core.Model.make ~n:4 ~t:2 ~x:2)
+  in
+  sweep_ok ~budget:2_000_000 ~task:(Tasks.Task.renaming ~slots:11) ~alg
+    ~seeds:8 ~max_crashes:2 ()
+
+let colored_colorless_task_too () =
+  (* The colored simulation also carries colorless tasks (distinctness
+     of simulated origin is harmless). *)
+  let source = Tasks.Algorithms.kset_read_write ~n:6 ~t:2 ~k:3 in
+  let alg =
+    Core.Bg.colored ~source ~target:(Core.Model.make ~n:4 ~t:2 ~x:2)
+  in
+  sweep_ok ~budget:2_000_000 ~task:(Tasks.Task.kset ~k:3) ~alg ~seeds:5
+    ~max_crashes:2 ()
+
+(* ------------------------------------------------------------------ *)
+(* engine edge cases                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let single_simulated_process () =
+  (* n = 1 simulated process, wait-free target: degenerate but legal. *)
+  let source = Tasks.Algorithms.trivial ~n:1 ~t:0 in
+  let sim =
+    Core.Bg.to_model ~source ~target:(Core.Model.read_write ~n:3 ~t:0)
+  in
+  let r =
+    Core.Run.run_ints ~alg:sim ~inputs:[ 5; 6; 7 ]
+      ~adversary:(Adversary.round_robin ())
+      ()
+  in
+  (* All simulators decide the agreed input of the sole simulated
+     process — one of their own inputs. *)
+  (match Exec.decided r with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "agreed single value" true
+        (a = b && b = c && List.mem a [ 5; 6; 7 ])
+  | _ -> Alcotest.fail "arity")
+
+let engine_deterministic () =
+  let source = Tasks.Algorithms.kset_read_write ~n:4 ~t:1 ~k:2 in
+  let go () =
+    let alg = Core.Bg.classic ~source in
+    Core.Run.run_ints ~alg ~inputs:[ 3; 1 ]
+      ~adversary:(Adversary.random ~seed:99)
+      ()
+  in
+  let r1 = go () and r2 = go () in
+  check Alcotest.(list int) "same decisions" (Exec.decided r1) (Exec.decided r2);
+  check Alcotest.int "same step count" r1.Exec.total_steps r2.Exec.total_steps
+
+let approx_through_classic () =
+  (* A multi-round colorless task through the classic BG. *)
+  let source =
+    Tasks.Algorithms.approximate_agreement ~n:4 ~t:1 ~rounds:8 ~scale:256
+  in
+  let task = Tasks.Task.approximate ~scale:256 ~eps:4 in
+  sweep_ok ~budget:2_000_000 ~task ~alg:(Core.Bg.classic ~source) ~seeds:4
+    ~max_crashes:1 ()
+
+let colored_same_n () =
+  (* Colored simulation with n' = n (and t' such that the precondition
+     n >= (n'-t')+t holds: 6 >= 6-2+2). *)
+  let source = Tasks.Algorithms.renaming_read_write ~n:6 ~t:2 in
+  let alg =
+    Core.Bg.colored ~source ~target:(Core.Model.make ~n:6 ~t:2 ~x:2)
+  in
+  sweep_ok ~budget:3_000_000 ~task:(Tasks.Task.renaming ~slots:11) ~alg
+    ~seeds:4 ~max_crashes:2 ()
+
+let suite =
+  [
+    ( "bg.classic",
+      [
+        Alcotest.test_case "valid+live" `Quick classic_valid;
+        Alcotest.test_case "target shape" `Quick classic_shape;
+        Alcotest.test_case "rejects consensus sources" `Quick
+          classic_rejects_cons_sources;
+        Alcotest.test_case "two simulators" `Quick classic_two_simulators;
+      ] );
+    ( "bg.section3",
+      [
+        Alcotest.test_case "valid+live" `Quick sim_down_valid;
+        Alcotest.test_case "weaker target" `Quick sim_down_to_weaker;
+        Alcotest.test_case "rejects too strong" `Quick sim_down_rejects_too_strong;
+      ] );
+    ( "bg.section4",
+      [
+        Alcotest.test_case "valid+live x=2" `Quick sim_up_valid;
+        Alcotest.test_case "valid+live x=3" `Quick sim_up_x3;
+        Alcotest.test_case "rejections" `Quick sim_up_rejects;
+        Alcotest.test_case "consensus when x > t'" `Quick
+          sim_up_consensus_everywhere;
+      ] );
+    ( "bg.engine",
+      [
+        Alcotest.test_case "self simulation" `Quick to_model_same_model;
+        Alcotest.test_case "generalized classic" `Quick generalized_classic;
+        Alcotest.test_case "unsupported op" `Quick unsupported_op_detected;
+        Alcotest.test_case "unchecked override" `Quick unchecked_override;
+        Alcotest.test_case "stats" `Quick stats_recorded;
+      ] );
+    ( "bg.chains",
+      [
+        Alcotest.test_case "two hops" `Quick chain_two_hops_fixed;
+        Alcotest.test_case "empty chain" `Quick chain_empty_is_identity;
+        Alcotest.test_case "figure 7 hops" `Quick figure7_chain_shape;
+        Alcotest.test_case "figure 7 rejects" `Quick
+          figure7_chain_rejects_inequivalent;
+      ] );
+    ( "bg.colored",
+      [
+        Alcotest.test_case "renaming distinct" `Quick colored_distinct;
+        Alcotest.test_case "colorless through colored" `Quick
+          colored_colorless_task_too;
+      ] );
+    ( "bg.edge",
+      [
+        Alcotest.test_case "single simulated process" `Quick
+          single_simulated_process;
+        Alcotest.test_case "deterministic" `Quick engine_deterministic;
+        Alcotest.test_case "approximate through classic" `Quick
+          approx_through_classic;
+        Alcotest.test_case "colored same n" `Quick colored_same_n;
+      ] );
+  ]

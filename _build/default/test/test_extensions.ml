@@ -1,0 +1,377 @@
+(* Tests for the extension layers: (m,l)-set agreement objects and the
+   Omega-boosted Paxos consensus. *)
+
+open Svm
+open Svm.Prog.Syntax
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* (m, l)-set agreement objects                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mlset_object_bounds () =
+  (* 6 processes on one (3,2)-set object keyed [2;3;0] would violate
+     ports; over two objects it is fine and each decides <= 2 values. *)
+  let env = Env.create ~nprocs:6 ~x:1 ~allow_kset:true () in
+  let progs =
+    Array.init 6 (fun pid ->
+        Prog.kset_propose Codec.int "mlset" [ 2; 3; pid / 3 ] (100 + pid)
+        |> Prog.map Codec.int.Codec.inj)
+  in
+  let r = Exec.run ~env ~adversary:(Adversary.random ~seed:3) progs in
+  let ds = List.map Codec.int.Codec.prj (Exec.decided r) in
+  let group g = List.filteri (fun i _ -> i / 3 = g) ds in
+  check Alcotest.int "all decided" 6 (List.length ds);
+  List.iter
+    (fun g ->
+      let distinct = List.sort_uniq compare (group g) in
+      Alcotest.(check bool)
+        (Printf.sprintf "group %d decides <= 2 values" g)
+        true
+        (List.length distinct <= 2))
+    [ 0; 1 ]
+
+let mlset_port_discipline () =
+  let env = Env.create ~nprocs:4 ~x:1 ~allow_kset:true () in
+  (* Port bound m = 2: the third distinct accessor must be refused. *)
+  let p pid = Env.apply env ~pid (Op.Kset_propose ("o", [ 1; 2 ], Codec.int.Codec.inj pid)) in
+  ignore (p 0);
+  ignore (p 1);
+  Alcotest.(check bool) "third accessor refused" true
+    (match p 2 with
+    | (_ : Univ.t) -> false
+    | exception Env.Violation _ -> true)
+
+let hr_formula_values () =
+  (* Spot values of the Herlihy-Rajsbaum threshold. *)
+  let f ~t ~m ~l = Tasks.Set_agreement.herlihy_rajsbaum_k ~t ~m ~l in
+  check Alcotest.int "t=5,m=3,l=2" 4 (f ~t:5 ~m:3 ~l:2);
+  check Alcotest.int "t=2,m=3,l=2" 2 (f ~t:2 ~m:3 ~l:2);
+  check Alcotest.int "t=0,m=4,l=3" 1 (f ~t:0 ~m:4 ~l:3);
+  check Alcotest.int "t=7,m=2,l=1" 4 (f ~t:7 ~m:2 ~l:1)
+
+let mlset_algorithm_sweep () =
+  let k = Tasks.Set_agreement.herlihy_rajsbaum_k ~t:3 ~m:3 ~l:2 in
+  let alg = Tasks.Set_agreement.algorithm ~n:6 ~t:3 ~m:3 ~l:2 ~k in
+  let task = Tasks.Task.kset ~k in
+  List.iter
+    (fun seed ->
+      let run =
+        Experiments.Runner.one_run ~allow_kset:true ~task ~alg ~seed
+          ~max_crashes:3 ()
+      in
+      (match Experiments.Runner.validate ~task run with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      check Alcotest.(list int) "live" [] (Exec.blocked run.Experiments.Runner.result))
+    (List.init 25 (fun i -> i))
+
+let mlset_rejections () =
+  let reject f = match f () with
+    | (_ : Core.Algorithm.t) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "m must divide n" true
+    (reject (fun () -> Tasks.Set_agreement.algorithm ~n:5 ~t:2 ~m:3 ~l:2 ~k:3));
+  Alcotest.(check bool) "l <= m" true
+    (reject (fun () -> Tasks.Set_agreement.algorithm ~n:6 ~t:2 ~m:2 ~l:3 ~k:5));
+  Alcotest.(check bool) "k below threshold" true
+    (reject (fun () -> Tasks.Set_agreement.algorithm ~n:6 ~t:5 ~m:3 ~l:2 ~k:3))
+
+(* ------------------------------------------------------------------ *)
+(* Oracles and Paxos                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_query_counting () =
+  let env = Env.create ~nprocs:2 ~x:1 () in
+  let seen = ref [] in
+  Env.set_oracle env "O" (fun ~pid ~query ->
+      seen := (pid, query) :: !seen;
+      Codec.int.Codec.inj query);
+  let prog _pid =
+    let* a = Prog.perform (Op.Oracle_query ("O", [])) in
+    let* b = Prog.perform (Op.Oracle_query ("O", [])) in
+    Prog.return
+      (Codec.(pair int int).Codec.inj
+         (Codec.int.Codec.prj a, Codec.int.Codec.prj b))
+  in
+  let r =
+    Exec.run ~env ~adversary:(Adversary.round_robin ()) (Array.init 2 prog)
+  in
+  List.iter
+    (fun u ->
+      check Alcotest.(pair int int) "per-process query indices" (0, 1)
+        (Codec.(pair int int).Codec.prj u))
+    (Exec.decided r);
+  check Alcotest.int "four queries total" 4 (List.length !seen)
+
+let oracle_unregistered () =
+  let env = Env.create ~nprocs:1 ~x:1 () in
+  Alcotest.(check bool) "missing handler" true
+    (match Env.apply env ~pid:0 (Op.Oracle_query ("nope", [])) with
+    | (_ : Univ.t) -> false
+    | exception Env.Violation _ -> true)
+
+let alpha_sole_proposer_commits () =
+  let env = Env.create ~nprocs:3 ~x:1 () in
+  let paxos = Shared_objects.Paxos.make ~fam:"P" ~nprocs:3 in
+  let prog =
+    let* a =
+      Shared_objects.Paxos.alpha_propose paxos ~pid:0 ~ballot:1
+        (Codec.int.Codec.inj 42)
+    in
+    match a with
+    | Shared_objects.Paxos.Commit v -> Prog.return v
+    | Shared_objects.Paxos.Abort -> Prog.return (Codec.int.Codec.inj (-1))
+  in
+  let r =
+    Exec.run ~env
+      ~adversary:(Adversary.round_robin ())
+      [| prog; Prog.return (Codec.int.Codec.inj 0); Prog.return (Codec.int.Codec.inj 0) |]
+  in
+  (match r.Exec.outcomes.(0) with
+  | Exec.Decided u -> check Alcotest.int "committed own value" 42 (Codec.int.Codec.prj u)
+  | _ -> Alcotest.fail "no outcome")
+
+let alpha_agreement_across_ballots () =
+  (* Sequential ballots by different processes must carry the first
+     committed value forever. *)
+  let env = Env.create ~nprocs:2 ~x:1 () in
+  let paxos = Shared_objects.Paxos.make ~fam:"P" ~nprocs:2 in
+  let propose pid ballot v =
+    let* a = Shared_objects.Paxos.alpha_propose paxos ~pid ~ballot (Codec.int.Codec.inj v) in
+    match a with
+    | Shared_objects.Paxos.Commit u -> Prog.return (Codec.int.Codec.prj u)
+    | Shared_objects.Paxos.Abort -> Prog.return (-1)
+  in
+  let prog0 = Prog.map Codec.int.Codec.inj (propose 0 1 11) in
+  let prog1 =
+    (* Runs after p0 under the priority schedule. *)
+    Prog.map Codec.int.Codec.inj (propose 1 2 22)
+  in
+  let r =
+    Exec.run ~env ~adversary:(Adversary.priority [ 0; 1 ]) [| prog0; prog1 |]
+  in
+  (match Exec.decided r with
+  | [ a; b ] ->
+      check Alcotest.int "first commit" 11 (Codec.int.Codec.prj a);
+      check Alcotest.int "second ballot adopts it" 11 (Codec.int.Codec.prj b)
+  | _ -> Alcotest.fail "arity")
+
+let paxos_consensus_sweep () =
+  List.iter
+    (fun seed ->
+      let env = Env.create ~nprocs:4 ~x:1 () in
+      Env.set_oracle env "OM"
+        (Shared_objects.Paxos.leader_oracle ~stabilize_after:3
+           ~leader:(seed mod 4) ~nprocs:4);
+      let paxos = Shared_objects.Paxos.make ~fam:"P" ~nprocs:4 in
+      let progs =
+        Array.init 4 (fun pid ->
+            Shared_objects.Paxos.consensus paxos ~oracle_fam:"OM" ~pid
+              (Codec.int.Codec.inj (30 + pid)))
+      in
+      let r = Exec.run ~budget:60_000 ~env ~adversary:(Adversary.random ~seed) progs in
+      let ds = List.map Codec.int.Codec.prj (Exec.decided r) in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d" seed)
+        true
+        (List.length ds = 4
+        && List.for_all (fun d -> d = List.hd ds) ds
+        && List.hd ds >= 30 && List.hd ds < 34))
+    (List.init 25 (fun i -> i))
+
+let paxos_explorer_agreement () =
+  (* Exhaustive: 2 processes, both considering themselves leader (a
+     worst-case oracle), up to depth 24: agreement in every schedule. *)
+  let make () =
+    let env = Env.create ~nprocs:2 ~x:1 () in
+    Env.set_oracle env "OM" (fun ~pid ~query:_ -> Codec.int.Codec.inj pid);
+    let paxos = Shared_objects.Paxos.make ~fam:"P" ~nprocs:2 in
+    let progs =
+      Array.init 2 (fun pid ->
+          Shared_objects.Paxos.consensus paxos ~oracle_fam:"OM" ~pid
+            (Codec.int.Codec.inj (50 + pid)))
+    in
+    (env, progs)
+  in
+  let property (run : 'a Explore.run) =
+    let ds =
+      Array.to_list run.Explore.outcomes
+      |> List.filter_map (function
+           | Exec.Decided u -> Some (Codec.int.Codec.prj u)
+           | Exec.Crashed | Exec.Blocked -> None)
+    in
+    match ds with
+    | [] -> Ok ()
+    | d :: rest ->
+        if List.for_all (Int.equal d) rest then Ok () else Error "disagreement"
+  in
+  let r = Explore.exhaustive ~max_steps:22 ~max_runs:400_000 ~make ~property () in
+  Alcotest.(check bool) "no disagreement in any schedule" true
+    (r.Explore.counterexample = None)
+
+(* ------------------------------------------------------------------ *)
+(* Immediate snapshot, adopt-commit, approximate agreement              *)
+(* ------------------------------------------------------------------ *)
+
+let is_views seed nprocs =
+  let is = Shared_objects.Immediate_snapshot.make ~fam:"IS" ~nprocs in
+  let env = Env.create ~nprocs ~x:1 () in
+  let views_codec = Codec.list (Codec.pair Codec.int Codec.int) in
+  let progs =
+    Array.init nprocs (fun i ->
+        Shared_objects.Immediate_snapshot.write_and_snapshot is ~key:[] ~pid:i
+          (Codec.int.Codec.inj (900 + i))
+        |> Prog.map (fun view ->
+               views_codec.Codec.inj
+                 (List.map (fun (j, w) -> (j, Codec.int.Codec.prj w)) view)))
+  in
+  let r = Exec.run ~env ~adversary:(Adversary.random ~seed) progs in
+  Exec.decided r |> List.mapi (fun i u -> (i, views_codec.Codec.prj u))
+
+let immediate_snapshot_properties () =
+  List.iter
+    (fun seed ->
+      let views = is_views seed 5 in
+      let contains v j = List.mem_assoc j v in
+      let subset v1 v2 = List.for_all (fun (j, _) -> contains v2 j) v1 in
+      List.iter
+        (fun (i, vi) ->
+          Alcotest.(check bool) "self" true (contains vi i);
+          Alcotest.(check bool) "values correct" true
+            (List.for_all (fun (j, w) -> w = 900 + j) vi);
+          List.iter
+            (fun (j, vj) ->
+              Alcotest.(check bool) "containment" true
+                (subset vi vj || subset vj vi);
+              if contains vj i then
+                Alcotest.(check bool)
+                  (Printf.sprintf "immediacy %d->%d seed %d" i j seed)
+                  true (subset vi vj))
+            views)
+        views)
+    (List.init 30 (fun i -> i))
+
+let immediate_snapshot_sequential_is_total () =
+  (* Under round-robin, the levels algorithm still returns legal views
+     covering everyone who wrote first. *)
+  let views = is_views 0 3 in
+  Alcotest.(check int) "three views" 3 (List.length views)
+
+let adopt_commit_solo_commits () =
+  let ac = Shared_objects.Adopt_commit.make ~fam:"AC" in
+  let env = Env.create ~nprocs:1 ~x:1 () in
+  let prog =
+    Shared_objects.Adopt_commit.propose ac ~key:[] ~pid:0
+      (Codec.int.Codec.inj 7)
+    |> Prog.map (fun (v, u) ->
+           Codec.(pair bool int).Codec.inj
+             ((v = Shared_objects.Adopt_commit.Commit), Codec.int.Codec.prj u))
+  in
+  let r = Exec.run ~env ~adversary:(Adversary.round_robin ()) [| prog |] in
+  (match Exec.decided r with
+  | [ u ] ->
+      Alcotest.(check (pair bool int)) "solo commits own" (true, 7)
+        (Codec.(pair bool int).Codec.prj u)
+  | _ -> Alcotest.fail "no result")
+
+let adopt_commit_exhaustive () =
+  (* Exhaustive check of commit-agreement for 2 processes with different
+     proposals, over every interleaving. *)
+  let make () =
+    let ac = Shared_objects.Adopt_commit.make ~fam:"AC" in
+    let env = Env.create ~nprocs:2 ~x:1 () in
+    let prog pid =
+      Shared_objects.Adopt_commit.propose ac ~key:[] ~pid
+        (Codec.int.Codec.inj (600 + pid))
+      |> Prog.map (fun (v, u) ->
+             Codec.(pair bool int).Codec.inj
+               ( (v = Shared_objects.Adopt_commit.Commit),
+                 Codec.int.Codec.prj u ))
+    in
+    (env, Array.init 2 prog)
+  in
+  let property (run : 'a Explore.run) =
+    let rs =
+      Array.to_list run.Explore.outcomes
+      |> List.filter_map (function
+           | Exec.Decided u -> Some (Codec.(pair bool int).Codec.prj u)
+           | Exec.Crashed | Exec.Blocked -> None)
+    in
+    let commits = List.filter fst rs in
+    match commits with
+    | [] -> Ok ()
+    | (_, w) :: _ ->
+        if List.for_all (fun (_, v) -> v = w) rs then Ok ()
+        else Error "commit without agreement"
+  in
+  let r = Explore.exhaustive ~max_crashes:1 ~max_steps:10 ~make ~property () in
+  Alcotest.(check bool) "commit-agreement in all schedules" true
+    (r.Explore.counterexample = None)
+
+let approximate_agreement_native () =
+  let scale = 1024 and rounds = 17 in
+  let alg = Tasks.Algorithms.approximate_agreement ~n:5 ~t:4 ~rounds ~scale in
+  let task = Tasks.Task.approximate ~scale ~eps:4 in
+  List.iter
+    (fun seed ->
+      let run =
+        Experiments.Runner.one_run ~task ~alg ~seed ~max_crashes:4 ()
+      in
+      match Experiments.Runner.validate ~task run with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail (Printf.sprintf "seed %d: %s" seed m))
+    (List.init 30 (fun i -> i))
+
+let approximate_agreement_converges_tightly () =
+  (* Inputs 0 and 100: decisions must be within 4/1024 of each other on
+     the scaled axis and inside [0, 102400]. *)
+  let scale = 1024 and rounds = 17 in
+  let alg = Tasks.Algorithms.approximate_agreement ~n:4 ~t:3 ~rounds ~scale in
+  let r =
+    Core.Run.run_ints ~alg ~inputs:[ 0; 100; 0; 100 ]
+      ~adversary:(Adversary.random ~seed:11) ()
+  in
+  let ds = Exec.decided r in
+  Alcotest.(check int) "all decide" 4 (List.length ds);
+  let lo = List.fold_left min max_int ds and hi = List.fold_left max 0 ds in
+  Alcotest.(check bool) "eps-close" true (hi - lo <= 4);
+  Alcotest.(check bool) "in range" true (lo >= 0 && hi <= 100 * scale)
+
+let suite =
+  [
+    ( "extensions.mlset",
+      [
+        Alcotest.test_case "object bounds" `Quick mlset_object_bounds;
+        Alcotest.test_case "port discipline" `Quick mlset_port_discipline;
+        Alcotest.test_case "HR formula" `Quick hr_formula_values;
+        Alcotest.test_case "algorithm sweep" `Quick mlset_algorithm_sweep;
+        Alcotest.test_case "rejections" `Quick mlset_rejections;
+      ] );
+    ( "extensions.objects",
+      [
+        Alcotest.test_case "immediate snapshot properties" `Quick
+          immediate_snapshot_properties;
+        Alcotest.test_case "immediate snapshot total" `Quick
+          immediate_snapshot_sequential_is_total;
+        Alcotest.test_case "adopt-commit solo" `Quick adopt_commit_solo_commits;
+        Alcotest.test_case "adopt-commit exhaustive" `Quick
+          adopt_commit_exhaustive;
+        Alcotest.test_case "approximate native" `Quick
+          approximate_agreement_native;
+        Alcotest.test_case "approximate convergence" `Quick
+          approximate_agreement_converges_tightly;
+      ] );
+    ( "extensions.omega",
+      [
+        Alcotest.test_case "query counting" `Quick oracle_query_counting;
+        Alcotest.test_case "unregistered oracle" `Quick oracle_unregistered;
+        Alcotest.test_case "alpha sole proposer" `Quick alpha_sole_proposer_commits;
+        Alcotest.test_case "alpha cross-ballot agreement" `Quick
+          alpha_agreement_across_ballots;
+        Alcotest.test_case "consensus sweep" `Quick paxos_consensus_sweep;
+        Alcotest.test_case "exhaustive agreement" `Quick paxos_explorer_agreement;
+      ] );
+  ]

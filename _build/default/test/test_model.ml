@@ -1,0 +1,156 @@
+(* Unit tests for the model algebra (Sections 1.2, 5.2-5.5). *)
+
+let check = Alcotest.check
+let m = Core.Model.make
+
+let make_validates () =
+  let rejected f = match f () with
+    | (_ : Core.Model.t) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "t >= n" true (rejected (fun () -> m ~n:3 ~t:3 ~x:1));
+  Alcotest.(check bool) "t < 0" true (rejected (fun () -> m ~n:3 ~t:(-1) ~x:1));
+  Alcotest.(check bool) "x = 0" true (rejected (fun () -> m ~n:3 ~t:1 ~x:0));
+  Alcotest.(check bool) "x > n" true (rejected (fun () -> m ~n:3 ~t:1 ~x:4));
+  Alcotest.(check bool) "n = 0" true (rejected (fun () -> m ~n:0 ~t:0 ~x:1));
+  Alcotest.(check bool) "t = 0 allowed" true
+    (match m ~n:3 ~t:0 ~x:1 with (_ : Core.Model.t) -> true
+     | exception Invalid_argument _ -> false)
+
+let power () =
+  check Alcotest.int "8/1" 8 (Core.Model.power (m ~n:10 ~t:8 ~x:1));
+  check Alcotest.int "8/2" 4 (Core.Model.power (m ~n:10 ~t:8 ~x:2));
+  check Alcotest.int "8/3" 2 (Core.Model.power (m ~n:10 ~t:8 ~x:3));
+  check Alcotest.int "8/4" 2 (Core.Model.power (m ~n:10 ~t:8 ~x:4));
+  check Alcotest.int "8/5" 1 (Core.Model.power (m ~n:10 ~t:8 ~x:5));
+  check Alcotest.int "8/9" 0 (Core.Model.power (m ~n:10 ~t:8 ~x:9));
+  check Alcotest.int "0/1" 0 (Core.Model.power (m ~n:10 ~t:0 ~x:1))
+
+let equivalence () =
+  Alcotest.(check bool) "ASM(10,8,3) ~ ASM(10,8,4)" true
+    (Core.Model.equivalent (m ~n:10 ~t:8 ~x:3) (m ~n:10 ~t:8 ~x:4));
+  Alcotest.(check bool) "ASM(10,8,2) !~ ASM(10,8,3)" false
+    (Core.Model.equivalent (m ~n:10 ~t:8 ~x:2) (m ~n:10 ~t:8 ~x:3));
+  Alcotest.(check bool) "different n, same power" true
+    (Core.Model.equivalent (m ~n:6 ~t:4 ~x:2) (m ~n:50 ~t:2 ~x:1))
+
+let canonical () =
+  let c = Core.Model.canonical (m ~n:10 ~t:8 ~x:3) in
+  Alcotest.(check bool) "ASM(10,2,1)" true (Core.Model.equal c (m ~n:10 ~t:2 ~x:1));
+  Alcotest.(check bool) "canonical idempotent" true
+    (Core.Model.equal (Core.Model.canonical c) c);
+  Alcotest.(check bool) "canonical equivalent" true
+    (Core.Model.equivalent c (m ~n:10 ~t:8 ~x:3));
+  let bg = Core.Model.bg_canonical (m ~n:10 ~t:8 ~x:3) in
+  Alcotest.(check bool) "BG canonical ASM(3,2,1)" true
+    (Core.Model.equal bg (m ~n:3 ~t:2 ~x:1));
+  Alcotest.(check bool) "BG canonical wait-free" true (Core.Model.wait_free bg)
+
+let hierarchy () =
+  Alcotest.(check bool) "ASM(n,3,1) stronger than ASM(n,4,1)" true
+    (Core.Model.stronger (m ~n:8 ~t:3 ~x:1) (m ~n:8 ~t:4 ~x:1));
+  Alcotest.(check bool) "not stronger than itself" false
+    (Core.Model.stronger (m ~n:8 ~t:3 ~x:1) (m ~n:8 ~t:3 ~x:1));
+  Alcotest.(check bool) "x boosts strength across floor boundary" true
+    (Core.Model.stronger (m ~n:8 ~t:4 ~x:2) (m ~n:8 ~t:4 ~x:1))
+
+let windows () =
+  check Alcotest.(pair int int) "t=2 x=3" (6, 8) (Core.Model.window_bounds ~t:2 ~x:3);
+  check Alcotest.(pair int int) "t=0 x=4" (0, 3) (Core.Model.window_bounds ~t:0 ~x:4);
+  check Alcotest.(option int) "window t'=8 x=3" (Some 2)
+    (Core.Model.equivalence_window ~t':8 ~x:3);
+  check Alcotest.(option int) "bad input" None
+    (Core.Model.equivalence_window ~t':(-1) ~x:3);
+  (* window_bounds and equivalence_window are inverse. *)
+  for t = 0 to 6 do
+    for x = 1 to 6 do
+      let lo, hi = Core.Model.window_bounds ~t ~x in
+      for t' = lo to hi do
+        check Alcotest.(option int)
+          (Printf.sprintf "t=%d x=%d t'=%d" t x t')
+          (Some t)
+          (Core.Model.equivalence_window ~t' ~x)
+      done
+    done
+  done
+
+let classes () =
+  let cs = Core.Model.classes_for_t' ~t':8 ~x_max:9 in
+  check Alcotest.int "five classes" 5 (List.length cs);
+  check
+    Alcotest.(list (pair int (list int)))
+    "paper's t'=8 table"
+    [ (8, [ 1 ]); (4, [ 2 ]); (2, [ 3; 4 ]); (1, [ 5; 6; 7; 8 ]); (0, [ 9 ]) ]
+    cs
+
+let classes_cover () =
+  (* Every x appears in exactly one class. *)
+  let cs = Core.Model.classes_for_t' ~t':11 ~x_max:12 in
+  let xs = List.concat_map snd cs in
+  check Alcotest.(list int) "partition covers 1..12" (List.init 12 (fun i -> i + 1))
+    (List.sort compare xs)
+
+let kset_solvable () =
+  let model = m ~n:10 ~t:8 ~x:3 in
+  Alcotest.(check bool) "k=3 > power 2" true (Core.Model.kset_solvable model ~k:3);
+  Alcotest.(check bool) "k=2 = power" false (Core.Model.kset_solvable model ~k:2);
+  (* consensus (k=1) solvable iff power = 0 *)
+  Alcotest.(check bool) "consensus with x > t" true
+    (Core.Model.kset_solvable (m ~n:10 ~t:2 ~x:3) ~k:1);
+  Alcotest.(check bool) "no consensus with x <= t" false
+    (Core.Model.kset_solvable (m ~n:10 ~t:3 ~x:3) ~k:1)
+
+let flags () =
+  Alcotest.(check bool) "wait-free" true (Core.Model.wait_free (m ~n:4 ~t:3 ~x:1));
+  Alcotest.(check bool) "not wait-free" false
+    (Core.Model.wait_free (m ~n:4 ~t:2 ~x:1));
+  Alcotest.(check bool) "x > t solves all" true
+    (Core.Model.solves_all_tasks (m ~n:6 ~t:2 ~x:3));
+  Alcotest.(check bool) "x = t does not" false
+    (Core.Model.solves_all_tasks (m ~n:6 ~t:3 ~x:3))
+
+let simulation_preconditions () =
+  let src = m ~n:6 ~t:4 ~x:2 in
+  Alcotest.(check bool) "down to equal power" true
+    (Core.Model.colorless_simulation_ok ~source:src ~target:(m ~n:6 ~t:2 ~x:1));
+  Alcotest.(check bool) "down to weaker target" true
+    (Core.Model.colorless_simulation_ok ~source:src ~target:(m ~n:6 ~t:1 ~x:1));
+  Alcotest.(check bool) "up to stronger target refused" false
+    (Core.Model.colorless_simulation_ok ~source:src ~target:(m ~n:6 ~t:3 ~x:1));
+  (* colored: Section 5.5's three conditions *)
+  let csrc = m ~n:6 ~t:2 ~x:1 in
+  Alcotest.(check bool) "colored ok" true
+    (Core.Model.colored_simulation_ok ~source:csrc ~target:(m ~n:4 ~t:2 ~x:2));
+  Alcotest.(check bool) "colored x'=1 refused" false
+    (Core.Model.colored_simulation_ok ~source:csrc ~target:(m ~n:4 ~t:2 ~x:1));
+  Alcotest.(check bool) "colored small n refused" false
+    (Core.Model.colored_simulation_ok ~source:csrc ~target:(m ~n:6 ~t:1 ~x:2))
+
+let pp_and_string () =
+  check Alcotest.string "to_string" "ASM(6,4,2)"
+    (Core.Model.to_string (m ~n:6 ~t:4 ~x:2))
+
+let read_write () =
+  Alcotest.(check bool) "read_write x=1" true
+    (Core.Model.equal (Core.Model.read_write ~n:5 ~t:2) (m ~n:5 ~t:2 ~x:1))
+
+let suite =
+  [
+    ( "model",
+      [
+        Alcotest.test_case "validation" `Quick make_validates;
+        Alcotest.test_case "power" `Quick power;
+        Alcotest.test_case "equivalence" `Quick equivalence;
+        Alcotest.test_case "canonical forms" `Quick canonical;
+        Alcotest.test_case "hierarchy" `Quick hierarchy;
+        Alcotest.test_case "windows" `Quick windows;
+        Alcotest.test_case "t'=8 classes" `Quick classes;
+        Alcotest.test_case "classes partition" `Quick classes_cover;
+        Alcotest.test_case "kset solvability" `Quick kset_solvable;
+        Alcotest.test_case "flags" `Quick flags;
+        Alcotest.test_case "simulation preconditions" `Quick
+          simulation_preconditions;
+        Alcotest.test_case "pretty printing" `Quick pp_and_string;
+        Alcotest.test_case "read_write" `Quick read_write;
+      ] );
+  ]

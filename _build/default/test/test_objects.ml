@@ -1,0 +1,311 @@
+(* Unit tests for the shared-object constructions: safe agreement,
+   tournament test&set, x_compete, x_safe_agreement and the Afek
+   snapshot. *)
+
+open Svm
+open Svm.Prog.Syntax
+
+let check = Alcotest.check
+
+let run ?budget ?(x = 2) ?(adversary = Adversary.round_robin ()) ~nprocs make =
+  let env = Env.create ~nprocs ~x () in
+  let progs = Array.init nprocs make in
+  (Exec.run ?budget ~env ~adversary progs, env)
+
+let ints r = List.map Codec.int.Codec.prj (Exec.decided r)
+
+(* ------------------------------------------------------------------ *)
+(* Safe agreement                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sa_participant sa i =
+  let* () =
+    Shared_objects.Safe_agreement.propose sa ~key:[] (Codec.int.Codec.inj i)
+  in
+  Shared_objects.Safe_agreement.decide sa ~key:[]
+
+let sa_single () =
+  let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
+  let r, _ = run ~nprocs:1 ~x:1 (sa_participant sa) in
+  check Alcotest.(list int) "sole proposer decides own value" [ 0 ] (ints r)
+
+let sa_agreement_all_schedules () =
+  (* 3 processes, every seed: same decided value, and it is someone's
+     proposal. *)
+  List.iter
+    (fun seed ->
+      let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
+      let r, _ =
+        run ~nprocs:3 ~x:1 ~adversary:(Adversary.random ~seed) (sa_participant sa)
+      in
+      match ints r with
+      | [ a; b; c ] when a = b && b = c && a >= 0 && a < 3 -> ()
+      | other ->
+          Alcotest.fail
+            (Printf.sprintf "seed %d: bad decisions [%s]" seed
+               (String.concat ";" (List.map string_of_int other))))
+    (List.init 30 (fun i -> i))
+
+let sa_instances_independent () =
+  let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
+  let participant i =
+    let key = [ i mod 2 ] in
+    let* () =
+      Shared_objects.Safe_agreement.propose sa ~key (Codec.int.Codec.inj (10 + i))
+    in
+    Shared_objects.Safe_agreement.decide sa ~key
+  in
+  let r, _ = run ~nprocs:4 ~x:1 participant in
+  match ints r with
+  | [ a; b; c; d ] ->
+      Alcotest.(check bool) "instance 0 agrees" true (a = c && (a = 10 || a = 12));
+      Alcotest.(check bool) "instance 1 agrees" true (b = d && (b = 11 || b = 13))
+  | _ -> Alcotest.fail "wrong arity"
+
+let sa_peek () =
+  let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
+  let r, env = run ~nprocs:2 ~x:1 (sa_participant sa) in
+  ignore r;
+  match Shared_objects.Safe_agreement.peek_decided env sa ~key:[] with
+  | Some v -> Alcotest.(check bool) "peek matches" true (Codec.int.Codec.prj v < 2)
+  | None -> Alcotest.fail "no decided value"
+
+(* ------------------------------------------------------------------ *)
+(* Tournament test&set                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ts_winner_unique () =
+  List.iter
+    (fun nprocs ->
+      List.iter
+        (fun seed ->
+          let ts =
+            Shared_objects.Ts_from_cons.make ~fam:"TS" ~participants:nprocs
+          in
+          let r, _ =
+            run ~nprocs ~adversary:(Adversary.random ~seed) (fun i ->
+                Prog.map Codec.bool.Codec.inj
+                  (Shared_objects.Ts_from_cons.compete ts ~key:[] ~pid:i))
+          in
+          let winners =
+            Exec.decided r |> List.map Codec.bool.Codec.prj
+            |> List.filter Fun.id |> List.length
+          in
+          check Alcotest.int
+            (Printf.sprintf "n=%d seed=%d" nprocs seed)
+            1 winners)
+        [ 1; 2; 3; 4; 5 ])
+    [ 1; 2; 3; 4; 5; 7 ]
+
+let ts_sole_competitor_wins () =
+  let ts = Shared_objects.Ts_from_cons.make ~fam:"TS" ~participants:5 in
+  let r, _ =
+    run ~nprocs:5 (fun i ->
+        if i = 3 then
+          Prog.map Codec.bool.Codec.inj
+            (Shared_objects.Ts_from_cons.compete ts ~key:[] ~pid:i)
+        else Prog.return (Codec.bool.Codec.inj false))
+  in
+  let winners =
+    Exec.decided r |> List.map Codec.bool.Codec.prj |> List.filter Fun.id
+  in
+  check Alcotest.int "sole competitor wins" 1 (List.length winners)
+
+let ts_keys_independent () =
+  let ts = Shared_objects.Ts_from_cons.make ~fam:"TS" ~participants:4 in
+  let r, _ =
+    run ~nprocs:4 (fun i ->
+        Prog.map Codec.bool.Codec.inj
+          (Shared_objects.Ts_from_cons.compete ts ~key:[ i / 2 ] ~pid:i))
+  in
+  let winners =
+    Exec.decided r |> List.map Codec.bool.Codec.prj |> List.filter Fun.id
+  in
+  check Alcotest.int "one winner per key" 2 (List.length winners)
+
+let ts_port_discipline_respected () =
+  (* The tournament must only ever put 2 distinct pids on one consensus
+     object; the environment would raise otherwise. 7 participants makes
+     an unbalanced bracket. *)
+  let ts = Shared_objects.Ts_from_cons.make ~fam:"TS" ~participants:7 in
+  let r, _ =
+    run ~nprocs:7 ~adversary:(Adversary.random ~seed:3) (fun i ->
+        Prog.map Codec.bool.Codec.inj
+          (Shared_objects.Ts_from_cons.compete ts ~key:[] ~pid:i))
+  in
+  check Alcotest.int "all returned" 7 (Exec.decided_count r)
+
+(* ------------------------------------------------------------------ *)
+(* x_compete                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let xc_bound () =
+  List.iter
+    (fun (m, x) ->
+      List.iter
+        (fun seed ->
+          let xc = Shared_objects.X_compete.make ~fam:"XC" ~participants:m ~x in
+          let r, _ =
+            run ~nprocs:m ~adversary:(Adversary.random ~seed) (fun i ->
+                Prog.map Codec.bool.Codec.inj
+                  (Shared_objects.X_compete.compete xc ~key:[] ~pid:i))
+          in
+          let winners =
+            Exec.decided r |> List.map Codec.bool.Codec.prj
+            |> List.filter Fun.id |> List.length
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "m=%d x=%d seed=%d" m x seed)
+            true
+            (winners = min m x))
+        [ 1; 2; 3 ])
+    [ (4, 1); (4, 2); (4, 3); (5, 4); (3, 3) ]
+
+(* ------------------------------------------------------------------ *)
+(* x_safe_agreement                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let xsa_participant xsa i =
+  let* () =
+    Shared_objects.X_safe_agreement.propose xsa ~key:[] ~pid:i
+      (Codec.int.Codec.inj (50 + i))
+  in
+  Shared_objects.X_safe_agreement.decide xsa ~key:[] ~pid:i
+
+let xsa_agreement () =
+  List.iter
+    (fun (m, x) ->
+      List.iter
+        (fun seed ->
+          let xsa =
+            Shared_objects.X_safe_agreement.make ~fam:"XSA" ~participants:m ~x ()
+          in
+          let r, _ =
+            run ~nprocs:m ~x:(max 2 x) ~adversary:(Adversary.random ~seed)
+              (xsa_participant xsa)
+          in
+          let ds = ints r in
+          Alcotest.(check bool)
+            (Printf.sprintf "m=%d x=%d seed=%d" m x seed)
+            true
+            (List.length ds = m
+            && List.for_all (fun d -> d = List.hd ds) ds
+            && List.hd ds >= 50
+            && List.hd ds < 50 + m))
+        [ 1; 2; 3; 4; 5 ])
+    [ (3, 2); (4, 2); (4, 3); (5, 3); (2, 2) ]
+
+let xsa_subsets () =
+  let xsa = Shared_objects.X_safe_agreement.make ~fam:"XSA" ~participants:4 ~x:2 () in
+  check Alcotest.int "C(4,2) subsets" 6
+    (List.length (Shared_objects.X_safe_agreement.subsets xsa))
+
+let xsa_bad_args () =
+  Alcotest.(check bool) "participants < x rejected" true
+    (match Shared_objects.X_safe_agreement.make ~fam:"X" ~participants:2 ~x:3 () with
+    | (_ : Shared_objects.X_safe_agreement.t) -> false
+    | exception Invalid_argument _ -> true)
+
+let xsa_peek () =
+  let xsa = Shared_objects.X_safe_agreement.make ~fam:"XSA" ~participants:3 ~x:2 () in
+  let _, env = run ~nprocs:3 (xsa_participant xsa) in
+  match Shared_objects.X_safe_agreement.peek_decided env xsa ~key:[] with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no decided value"
+
+let xsa_keys_independent () =
+  let xsa = Shared_objects.X_safe_agreement.make ~fam:"XSA" ~participants:4 ~x:2 () in
+  let participant i =
+    let key = [ i mod 2 ] in
+    let* () =
+      Shared_objects.X_safe_agreement.propose xsa ~key ~pid:i
+        (Codec.int.Codec.inj (70 + i))
+    in
+    Shared_objects.X_safe_agreement.decide xsa ~key ~pid:i
+  in
+  let r, _ = run ~nprocs:4 participant in
+  match ints r with
+  | [ a; b; c; d ] ->
+      Alcotest.(check bool) "key 0" true (a = c && (a = 70 || a = 72));
+      Alcotest.(check bool) "key 1" true (b = d && (b = 71 || b = 73))
+  | _ -> Alcotest.fail "wrong arity"
+
+(* ------------------------------------------------------------------ *)
+(* Afek snapshot                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let afek_sequential () =
+  let snap = Shared_objects.Afek_snapshot.make ~fam:"AF" ~nprocs:2 in
+  let prog =
+    let* () =
+      Shared_objects.Afek_snapshot.update snap ~pid:0 (Codec.int.Codec.inj 5)
+    in
+    let* v = Shared_objects.Afek_snapshot.scan snap ~pid:0 in
+    Prog.return
+      (Codec.(arr (option int)).Codec.inj (Array.map (Option.map Codec.int.Codec.prj) v))
+  in
+  let env = Env.create ~nprocs:2 ~x:1 () in
+  let r =
+    Exec.run ~env
+      ~adversary:(Adversary.round_robin ())
+      [| prog; Prog.return (Codec.int.Codec.inj 0) |]
+  in
+  match r.Exec.outcomes.(0) with
+  | Exec.Decided u ->
+      Alcotest.(check (array (option int)))
+        "sees own update" [| Some 5; None |]
+        (Codec.(arr (option int)).Codec.prj u)
+  | _ -> Alcotest.fail "did not decide"
+
+let afek_empty_scan () =
+  let snap = Shared_objects.Afek_snapshot.make ~fam:"AF" ~nprocs:3 in
+  let prog =
+    let* v = Shared_objects.Afek_snapshot.scan snap ~pid:0 in
+    Prog.return (Codec.int.Codec.inj (Array.length v))
+  in
+  let env = Env.create ~nprocs:3 ~x:1 () in
+  let r =
+    Exec.run ~env
+      ~adversary:(Adversary.round_robin ())
+      [| prog;
+         Prog.return (Codec.int.Codec.inj 0);
+         Prog.return (Codec.int.Codec.inj 0);
+      |]
+  in
+  match r.Exec.outcomes.(0) with
+  | Exec.Decided u -> check Alcotest.int "width" 3 (Codec.int.Codec.prj u)
+  | _ -> Alcotest.fail "did not decide"
+
+let suite =
+  [
+    ( "objects.safe_agreement",
+      [
+        Alcotest.test_case "single proposer" `Quick sa_single;
+        Alcotest.test_case "agreement across schedules" `Quick
+          sa_agreement_all_schedules;
+        Alcotest.test_case "instances independent" `Quick sa_instances_independent;
+        Alcotest.test_case "peek" `Quick sa_peek;
+      ] );
+    ( "objects.ts_from_cons",
+      [
+        Alcotest.test_case "unique winner" `Quick ts_winner_unique;
+        Alcotest.test_case "sole competitor" `Quick ts_sole_competitor_wins;
+        Alcotest.test_case "keys independent" `Quick ts_keys_independent;
+        Alcotest.test_case "port discipline" `Quick ts_port_discipline_respected;
+      ] );
+    ( "objects.x_compete",
+      [ Alcotest.test_case "winner bound" `Quick xc_bound ] );
+    ( "objects.x_safe_agreement",
+      [
+        Alcotest.test_case "agreement+validity" `Quick xsa_agreement;
+        Alcotest.test_case "subsets" `Quick xsa_subsets;
+        Alcotest.test_case "bad args" `Quick xsa_bad_args;
+        Alcotest.test_case "peek" `Quick xsa_peek;
+        Alcotest.test_case "keys independent" `Quick xsa_keys_independent;
+      ] );
+    ( "objects.afek_snapshot",
+      [
+        Alcotest.test_case "sequential" `Quick afek_sequential;
+        Alcotest.test_case "empty scan" `Quick afek_empty_scan;
+      ] );
+  ]

@@ -1,0 +1,415 @@
+(* Property-based tests (qcheck): the agreement objects' safety under
+   arbitrary schedules and crash plans, the model algebra's laws, codec
+   roundtrips, and end-to-end task validity of the simulations. *)
+
+open Svm
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let seed_gen = QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 1_000_000)
+
+let model_gen =
+  let open QCheck.Gen in
+  let g =
+    int_range 1 9 >>= fun n ->
+    int_range 0 (n - 1) >>= fun t ->
+    int_range 1 n >>= fun x -> return (n, t, x)
+  in
+  QCheck.make
+    ~print:(fun (n, t, x) -> Printf.sprintf "ASM(%d,%d,%d)" n t x)
+    g
+
+(* ------------------------------------------------------------------ *)
+(* Model algebra laws                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_canonical_equivalent =
+  QCheck.Test.make ~count:200 ~name:"canonical form is equivalent and idempotent"
+    model_gen (fun (n, t, x) ->
+      let m = Core.Model.make ~n ~t ~x in
+      let c = Core.Model.canonical m in
+      Core.Model.equivalent m c
+      && Core.Model.equal (Core.Model.canonical c) c
+      && c.Core.Model.x = 1)
+
+let prop_window_iff =
+  QCheck.Test.make ~count:200 ~name:"window membership iff equivalence"
+    model_gen (fun (n, t', x) ->
+      let m = Core.Model.make ~n ~t:t' ~x in
+      let t = Core.Model.power m in
+      let lo, hi = Core.Model.window_bounds ~t ~x in
+      t' >= lo && t' <= hi)
+
+let prop_equivalence_relation =
+  QCheck.Test.make ~count:200 ~name:"equivalence is symmetric and transitive"
+    (QCheck.triple model_gen model_gen model_gen)
+    (fun ((n1, t1, x1), (n2, t2, x2), (n3, t3, x3)) ->
+      let m1 = Core.Model.make ~n:n1 ~t:t1 ~x:x1 in
+      let m2 = Core.Model.make ~n:n2 ~t:t2 ~x:x2 in
+      let m3 = Core.Model.make ~n:n3 ~t:t3 ~x:x3 in
+      Core.Model.equivalent m1 m1
+      && Core.Model.equivalent m1 m2 = Core.Model.equivalent m2 m1
+      && (not (Core.Model.equivalent m1 m2 && Core.Model.equivalent m2 m3))
+         || Core.Model.equivalent m1 m3)
+
+let prop_kset_boundary =
+  QCheck.Test.make ~count:200 ~name:"k-set solvable iff k > floor(t/x)"
+    model_gen (fun (n, t, x) ->
+      let m = Core.Model.make ~n ~t ~x in
+      let p = Core.Model.power m in
+      Core.Model.kset_solvable m ~k:(p + 1)
+      && (p = 0 || not (Core.Model.kset_solvable m ~k:p)))
+
+let prop_stronger_irreflexive_total =
+  QCheck.Test.make ~count:200 ~name:"hierarchy: exactly one of <, >, ~"
+    (QCheck.pair model_gen model_gen)
+    (fun ((n1, t1, x1), (n2, t2, x2)) ->
+      let m1 = Core.Model.make ~n:n1 ~t:t1 ~x:x1 in
+      let m2 = Core.Model.make ~n:n2 ~t:t2 ~x:x2 in
+      let cases =
+        [
+          Core.Model.stronger m1 m2;
+          Core.Model.stronger m2 m1;
+          Core.Model.equivalent m1 m2;
+        ]
+      in
+      List.length (List.filter Fun.id cases) = 1)
+
+(* ------------------------------------------------------------------ *)
+(* Codec roundtrips                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_codec_roundtrip =
+  let codec =
+    Codec.list (Codec.pair Codec.int (Codec.option (Codec.list Codec.string)))
+  in
+  QCheck.Test.make ~count:300 ~name:"nested codec roundtrip"
+    QCheck.(list (pair int (option (list string))))
+    (fun v -> codec.Codec.prj (codec.Codec.inj v) = v)
+
+let prop_subsets =
+  QCheck.Test.make ~count:100 ~name:"subsets: count, sortedness, distinctness"
+    (QCheck.pair (QCheck.int_range 0 9) (QCheck.int_range 0 9))
+    (fun (n, size) ->
+      let s = Combin.subsets ~n ~size in
+      List.length s = Combin.binomial n size
+      && List.for_all
+           (fun sub ->
+             List.length sub = size && List.sort_uniq compare sub = sub)
+           s
+      && List.length (List.sort_uniq compare s) = List.length s)
+
+(* ------------------------------------------------------------------ *)
+(* Agreement objects under arbitrary schedules                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_agreement ~seed ~nprocs ~crashes ~x make_participant =
+  let env = Env.create ~nprocs ~x () in
+  let adversary =
+    if crashes = 0 then Adversary.random ~seed
+    else
+      Adversary.random_crashes ~within:30 ~seed ~max_crashes:crashes
+        ~nprocs (Adversary.random ~seed)
+  in
+  let progs = Array.init nprocs make_participant in
+  Exec.run ~budget:60_000 ~env ~adversary progs
+
+let prop_safe_agreement_safety =
+  QCheck.Test.make ~count:150
+    ~name:"safe agreement: agreement+validity under random crashes"
+    (QCheck.pair seed_gen (QCheck.int_range 0 2))
+    (fun (seed, crashes) ->
+      let open Prog.Syntax in
+      let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
+      let r =
+        run_agreement ~seed ~nprocs:4 ~crashes ~x:1 (fun i ->
+            let* () =
+              Shared_objects.Safe_agreement.propose sa ~key:[]
+                (Codec.int.Codec.inj i)
+            in
+            Shared_objects.Safe_agreement.decide sa ~key:[])
+      in
+      let ds = List.map Codec.int.Codec.prj (Exec.decided r) in
+      (match ds with
+      | [] -> true
+      | d :: rest -> List.for_all (Int.equal d) rest && d >= 0 && d < 4))
+
+let prop_safe_agreement_termination =
+  QCheck.Test.make ~count:100
+    ~name:"safe agreement: termination without crashes"
+    seed_gen
+    (fun seed ->
+      let open Prog.Syntax in
+      let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
+      let r =
+        run_agreement ~seed ~nprocs:5 ~crashes:0 ~x:1 (fun i ->
+            let* () =
+              Shared_objects.Safe_agreement.propose sa ~key:[]
+                (Codec.int.Codec.inj i)
+            in
+            Shared_objects.Safe_agreement.decide sa ~key:[])
+      in
+      Exec.decided_count r = 5)
+
+let prop_x_safe_agreement =
+  QCheck.Test.make ~count:120
+    ~name:"x_safe_agreement: safety always, termination with < x crashes"
+    (QCheck.pair seed_gen (QCheck.int_range 0 1))
+    (fun (seed, crashes) ->
+      let open Prog.Syntax in
+      let xsa =
+        Shared_objects.X_safe_agreement.make ~fam:"XSA" ~participants:4 ~x:2 ()
+      in
+      let r =
+        run_agreement ~seed ~nprocs:4 ~crashes ~x:2 (fun i ->
+            let* () =
+              Shared_objects.X_safe_agreement.propose xsa ~key:[] ~pid:i
+                (Codec.int.Codec.inj (10 + i))
+            in
+            Shared_objects.X_safe_agreement.decide xsa ~key:[] ~pid:i)
+      in
+      let ds = List.map Codec.int.Codec.prj (Exec.decided r) in
+      let crashed = List.length r.Exec.crashed in
+      let agreement =
+        match ds with
+        | [] -> true
+        | d :: rest -> List.for_all (Int.equal d) rest && d >= 10 && d < 14
+      in
+      (* <= x-1 = 1 crash: everyone correct must decide. *)
+      agreement && List.length ds = 4 - crashed)
+
+let prop_ts_unique_winner =
+  QCheck.Test.make ~count:150 ~name:"tournament test&set: unique winner"
+    (QCheck.pair seed_gen (QCheck.int_range 1 6))
+    (fun (seed, nprocs) ->
+      let ts = Shared_objects.Ts_from_cons.make ~fam:"TS" ~participants:nprocs in
+      let env = Env.create ~nprocs ~x:2 () in
+      let progs =
+        Array.init nprocs (fun i ->
+            Prog.map Codec.bool.Codec.inj
+              (Shared_objects.Ts_from_cons.compete ts ~key:[] ~pid:i))
+      in
+      let r = Exec.run ~env ~adversary:(Adversary.random ~seed) progs in
+      let winners =
+        Exec.decided r |> List.map Codec.bool.Codec.prj |> List.filter Fun.id
+      in
+      List.length winners = 1)
+
+(* ------------------------------------------------------------------ *)
+(* Task validity end-to-end                                             *)
+(* ------------------------------------------------------------------ *)
+
+let prop_kset_rw_validity =
+  let task = Tasks.Task.kset ~k:3 in
+  let alg = Tasks.Algorithms.kset_read_write ~n:5 ~t:2 ~k:3 in
+  QCheck.Test.make ~count:150 ~name:"native k-set validity" seed_gen
+    (fun seed ->
+      let run =
+        Experiments.Runner.one_run ~task ~alg ~seed ~max_crashes:2 ()
+      in
+      Experiments.Runner.validate ~task run = Ok ()
+      && Exec.blocked run.Experiments.Runner.result = [])
+
+let prop_renaming_validity =
+  let task = Tasks.Task.renaming ~slots:11 in
+  let alg = Tasks.Algorithms.renaming_read_write ~n:6 ~t:2 in
+  QCheck.Test.make ~count:100 ~name:"native renaming validity" seed_gen
+    (fun seed ->
+      let run =
+        Experiments.Runner.one_run ~task ~alg ~seed ~max_crashes:2 ()
+      in
+      Experiments.Runner.validate ~task run = Ok ()
+      && Exec.blocked run.Experiments.Runner.result = [])
+
+let prop_bg_classic_validity =
+  let task = Tasks.Task.kset ~k:3 in
+  let source = Tasks.Algorithms.kset_read_write ~n:5 ~t:2 ~k:3 in
+  let alg = Core.Bg.classic ~source in
+  QCheck.Test.make ~count:30 ~name:"BG classic task validity" seed_gen
+    (fun seed ->
+      let run =
+        Experiments.Runner.one_run ~budget:400_000 ~task ~alg ~seed
+          ~max_crashes:2 ()
+      in
+      Experiments.Runner.validate ~task run = Ok ()
+      && Exec.blocked run.Experiments.Runner.result = [])
+
+let prop_sim_up_validity =
+  let task = Tasks.Task.kset ~k:3 in
+  let source = Tasks.Algorithms.kset_read_write ~n:6 ~t:2 ~k:3 in
+  let alg = Core.Bg.sim_up ~source ~t':5 ~x:2 in
+  QCheck.Test.make ~count:20 ~name:"Section 4 simulation task validity"
+    seed_gen (fun seed ->
+      let run =
+        Experiments.Runner.one_run ~budget:900_000 ~task ~alg ~seed
+          ~max_crashes:5 ()
+      in
+      Experiments.Runner.validate ~task run = Ok ()
+      && Exec.blocked run.Experiments.Runner.result = [])
+
+(* ------------------------------------------------------------------ *)
+(* Afek snapshot linearizability signature                              *)
+(* ------------------------------------------------------------------ *)
+
+let prop_afek_views_ordered =
+  QCheck.Test.make ~count:60 ~name:"Afek snapshot views totally ordered"
+    seed_gen
+    (fun seed ->
+      let open Prog.Syntax in
+      let nprocs = 3 in
+      let snap = Shared_objects.Afek_snapshot.make ~fam:"AF" ~nprocs in
+      let views_c = Codec.list (Codec.list (Codec.pair Codec.int Codec.int)) in
+      let worker i =
+        let rec go r acc =
+          if r = 3 then Prog.return (views_c.Codec.inj (List.rev acc))
+          else
+            let* () =
+              Shared_objects.Afek_snapshot.update snap ~pid:i
+                (Codec.int.Codec.inj ((10 * i) + r))
+            in
+            let* view = Shared_objects.Afek_snapshot.scan snap ~pid:i in
+            let decoded =
+              Array.to_list view
+              |> List.mapi (fun j v ->
+                     Option.map (fun u -> (j, Codec.int.Codec.prj u)) v)
+              |> List.filter_map Fun.id
+            in
+            go (r + 1) (decoded :: acc)
+        in
+        go 0 []
+      in
+      let env = Env.create ~nprocs ~x:1 () in
+      let r =
+        Exec.run ~env ~adversary:(Adversary.random ~seed)
+          (Array.init nprocs worker)
+      in
+      let views =
+        Exec.decided r |> List.concat_map (fun u -> views_c.Codec.prj u)
+      in
+      let leq v1 v2 =
+        List.for_all
+          (fun (j, value) ->
+            match List.assoc_opt j v2 with
+            | None -> false
+            | Some value' -> value' >= value)
+          v1
+      in
+      List.for_all
+        (fun v1 -> List.for_all (fun v2 -> leq v1 v2 || leq v2 v1) views)
+        views)
+
+let prop_immediate_snapshot =
+  QCheck.Test.make ~count:80 ~name:"immediate snapshot: containment+immediacy"
+    seed_gen
+    (fun seed ->
+      let open Prog.Syntax in
+      let nprocs = 4 in
+      let is = Shared_objects.Immediate_snapshot.make ~fam:"IS" ~nprocs in
+      let env = Env.create ~nprocs ~x:1 () in
+      let views_codec = Codec.list Codec.int in
+      let progs =
+        Array.init nprocs (fun i ->
+            let* view =
+              Shared_objects.Immediate_snapshot.write_and_snapshot is ~key:[]
+                ~pid:i (Codec.int.Codec.inj i)
+            in
+            Prog.return (views_codec.Codec.inj (List.map fst view)))
+      in
+      let r = Exec.run ~env ~adversary:(Adversary.random ~seed) progs in
+      let views =
+        Exec.decided r
+        |> List.mapi (fun i u -> (i, views_codec.Codec.prj u))
+      in
+      let subset v1 v2 = List.for_all (fun j -> List.mem j v2) v1 in
+      List.for_all
+        (fun (i, vi) ->
+          List.mem i vi
+          && List.for_all
+               (fun (_, vj) ->
+                 (subset vi vj || subset vj vi)
+                 && ((not (List.mem i vj)) || subset vi vj))
+               views)
+        views)
+
+let prop_adopt_commit =
+  QCheck.Test.make ~count:100 ~name:"adopt-commit: commit implies agreement"
+    (QCheck.pair seed_gen (QCheck.int_range 0 1))
+    (fun (seed, spread) ->
+      let ac = Shared_objects.Adopt_commit.make ~fam:"AC" in
+      let env = Env.create ~nprocs:4 ~x:1 () in
+      let res_c = Codec.pair Codec.bool Codec.int in
+      let progs =
+        Array.init 4 (fun i ->
+            let v = if spread = 0 then 5 else 5 + (i mod 2) in
+            Shared_objects.Adopt_commit.propose ac ~key:[] ~pid:i
+              (Codec.int.Codec.inj v)
+            |> Prog.map (fun (verdict, u) ->
+                   res_c.Codec.inj
+                     ( verdict = Shared_objects.Adopt_commit.Commit,
+                       Codec.int.Codec.prj u )))
+      in
+      let r = Exec.run ~env ~adversary:(Adversary.random ~seed) progs in
+      let rs = List.map res_c.Codec.prj (Exec.decided r) in
+      let commits = List.filter fst rs in
+      List.length rs = 4
+      &&
+      match commits with
+      | [] -> true
+      | (_, w) :: _ -> List.for_all (fun (_, v) -> v = w) rs)
+
+let prop_approximate =
+  let scale = 256 and rounds = 12 in
+  let task = Tasks.Task.approximate ~scale ~eps:4 in
+  let alg = Tasks.Algorithms.approximate_agreement ~n:5 ~t:4 ~rounds ~scale in
+  QCheck.Test.make ~count:80 ~name:"approximate agreement validity" seed_gen
+    (fun seed ->
+      let run =
+        Experiments.Runner.one_run ~task ~alg ~seed ~max_crashes:4 ()
+      in
+      Experiments.Runner.validate ~task run = Ok ()
+      && Exec.blocked run.Experiments.Runner.result = [])
+
+let prop_hr_threshold_monotone =
+  QCheck.Test.make ~count:200
+    ~name:"Herlihy-Rajsbaum threshold: monotone in t, antitone in m and l"
+    (QCheck.triple (QCheck.int_range 0 12) (QCheck.int_range 1 6)
+       (QCheck.int_range 1 6))
+    (fun (t, m, l) ->
+      let l = min l m in
+      let f = Tasks.Set_agreement.herlihy_rajsbaum_k in
+      f ~t:(t + 1) ~m ~l >= f ~t ~m ~l
+      && f ~t ~m:(m + 1) ~l <= f ~t ~m ~l
+      && (l < 2 || f ~t ~m ~l:(l - 1) <= f ~t ~m ~l)
+      && f ~t ~m ~l >= 1)
+
+let suite =
+  [
+    ( "properties",
+      List.map to_alcotest
+        [
+          prop_canonical_equivalent;
+          prop_window_iff;
+          prop_equivalence_relation;
+          prop_kset_boundary;
+          prop_stronger_irreflexive_total;
+          prop_codec_roundtrip;
+          prop_subsets;
+          prop_safe_agreement_safety;
+          prop_safe_agreement_termination;
+          prop_x_safe_agreement;
+          prop_ts_unique_winner;
+          prop_kset_rw_validity;
+          prop_renaming_validity;
+          prop_bg_classic_validity;
+          prop_sim_up_validity;
+          prop_afek_views_ordered;
+          prop_immediate_snapshot;
+          prop_adopt_commit;
+          prop_approximate;
+          prop_hr_threshold_monotone;
+        ] );
+  ]

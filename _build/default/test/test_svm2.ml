@@ -1,0 +1,284 @@
+(* Second batch of svm unit tests: program combinators, queues,
+   compare&swap, more adversary specs, and the report plumbing. *)
+
+open Svm
+open Svm.Prog.Syntax
+
+let check = Alcotest.check
+
+let run1 ?(x = 2) ?(allow_cas = false) prog =
+  let env = Env.create ~nprocs:1 ~x ~allow_cas () in
+  let r = Exec.run ~env ~adversary:(Adversary.round_robin ()) [| prog |] in
+  match r.Exec.outcomes.(0) with
+  | Exec.Decided v -> v
+  | Exec.Crashed | Exec.Blocked -> Alcotest.fail "did not decide"
+
+(* ------------------------------------------------------------------ *)
+(* Prog combinators                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prog_iter_order () =
+  let prog =
+    let* () =
+      Prog.iter_list
+        (fun v -> Prog.queue_enq Codec.int "q" [] v)
+        [ 1; 2; 3; 4 ]
+    in
+    let* a = Prog.queue_deq Codec.int "q" [] in
+    let* b = Prog.queue_deq Codec.int "q" [] in
+    Prog.return (Codec.(pair (option int) (option int)).Codec.inj (a, b))
+  in
+  check
+    Alcotest.(pair (option int) (option int))
+    "iteration order preserved" (Some 1, Some 2)
+    (Codec.(pair (option int) (option int)).Codec.prj (run1 prog))
+
+let prog_fold () =
+  let prog =
+    let* sum =
+      Prog.fold_list
+        (fun acc v ->
+          let* () = Prog.yield in
+          Prog.return (acc + v))
+        0 [ 1; 2; 3; 4; 5 ]
+    in
+    Prog.return (Codec.int.Codec.inj sum)
+  in
+  check Alcotest.int "fold sums" 15 (Codec.int.Codec.prj (run1 prog))
+
+let prog_loop_state () =
+  let prog =
+    Prog.loop
+      (fun n ->
+        let* () = Prog.yield in
+        if n >= 10 then Prog.return (`Stop (Codec.int.Codec.inj n))
+        else Prog.return (`Again (n + 2)))
+      0
+  in
+  check Alcotest.int "loop threads state" 10 (Codec.int.Codec.prj (run1 prog))
+
+(* ------------------------------------------------------------------ *)
+(* Queue and CAS semantics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let queue_interleaved_no_duplicates () =
+  (* 2 enqueuers x 3 values, 2 dequeuers x 3 pops: every popped value
+     unique and was enqueued. *)
+  List.iter
+    (fun seed ->
+      let env = Env.create ~nprocs:4 ~x:2 () in
+      let enqueuer base =
+        let* () =
+          Prog.iter_list
+            (fun v -> Prog.queue_enq Codec.int "q" [] v)
+            [ base; base + 1; base + 2 ]
+        in
+        Prog.return ((Codec.list Codec.int).Codec.inj [])
+      in
+      let dequeuer =
+        let rec go n acc =
+          if n = 0 then Prog.return ((Codec.list Codec.int).Codec.inj acc)
+          else
+            let* v = Prog.queue_deq Codec.int "q" [] in
+            match v with
+            | Some v -> go (n - 1) (v :: acc)
+            | None ->
+                let* () = Prog.yield in
+                go n acc
+        in
+        go 3 []
+      in
+      let r =
+        Exec.run ~budget:10_000 ~env
+          ~adversary:(Adversary.random ~seed)
+          [| enqueuer 10; enqueuer 20; dequeuer; dequeuer |]
+      in
+      let popped =
+        Exec.decided r
+        |> List.concat_map (fun u -> (Codec.list Codec.int).Codec.prj u)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: no duplicates, all enqueued" seed)
+        true
+        (List.length (List.sort_uniq compare popped) = List.length popped
+        && List.for_all (fun v -> List.mem v [ 10; 11; 12; 20; 21; 22 ]) popped))
+    (List.init 15 (fun i -> i))
+
+let queue_fifo_per_producer () =
+  (* FIFO: one producer's values come out in order. *)
+  let env = Env.create ~nprocs:1 ~x:2 () in
+  let prog =
+    let* () =
+      Prog.iter_list (fun v -> Prog.queue_enq Codec.int "q" [] v) [ 7; 8; 9 ]
+    in
+    let* a = Prog.queue_deq Codec.int "q" [] in
+    let* b = Prog.queue_deq Codec.int "q" [] in
+    let* c = Prog.queue_deq Codec.int "q" [] in
+    Prog.return
+      ((Codec.list (Codec.option Codec.int)).Codec.inj [ a; b; c ])
+  in
+  let r = Exec.run ~env ~adversary:(Adversary.round_robin ()) [| prog |] in
+  (match Exec.decided r with
+  | [ u ] ->
+      Alcotest.(check (list (option int)))
+        "in order" [ Some 7; Some 8; Some 9 ]
+        ((Codec.list (Codec.option Codec.int)).Codec.prj u)
+  | _ -> Alcotest.fail "no result")
+
+let cas_semantics () =
+  let prog =
+    let* ok1 = Prog.cas Codec.int "r" [] ~expected:None ~desired:5 in
+    let* ok2 = Prog.cas Codec.int "r" [] ~expected:None ~desired:6 in
+    let* ok3 = Prog.cas Codec.int "r" [] ~expected:(Some 5) ~desired:7 in
+    let* v = Prog.reg_read Codec.int "r" [] in
+    Prog.return
+      ((Codec.list Codec.bool).Codec.inj [ ok1; ok2; ok3 ]
+      |> fun l -> Codec.(pair any (option int)).Codec.inj (l, v))
+  in
+  let u = run1 ~allow_cas:true prog in
+  let l, v = Codec.(pair any (option int)).Codec.prj u in
+  check Alcotest.(list bool) "cas outcomes" [ true; false; true ]
+    ((Codec.list Codec.bool).Codec.prj l);
+  check Alcotest.(option int) "final value" (Some 7) v
+
+(* ------------------------------------------------------------------ *)
+(* Adversary specs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let counter_prog rounds =
+  let rec go n =
+    if n = rounds then Prog.return (Codec.int.Codec.inj n)
+    else
+      let* () = Prog.yield in
+      go (n + 1)
+  in
+  go 0
+
+let crash_at_global () =
+  let env = Env.create ~nprocs:2 ~x:1 () in
+  let adversary =
+    Adversary.with_crashes
+      (Adversary.round_robin ())
+      [ Adversary.Crash_at_global { pid = 1; step = 6 } ]
+  in
+  let r = Exec.run ~env ~adversary (Array.init 2 (fun _ -> counter_prog 10)) in
+  check Alcotest.(list int) "p1 crashed" [ 1 ] r.Exec.crashed;
+  Alcotest.(check bool) "p1 executed about 3 ops" true
+    (r.Exec.op_counts.(1) <= 4)
+
+let biased_still_fair () =
+  let env = Env.create ~nprocs:3 ~x:1 () in
+  let adversary = Adversary.biased ~seed:4 ~favourite:0 ~weight:8 in
+  let r = Exec.run ~env ~adversary (Array.init 3 (fun _ -> counter_prog 20)) in
+  check Alcotest.int "everyone decides under bias" 3 (Exec.decided_count r)
+
+let crash_before_op_nth () =
+  let env = Env.create ~nprocs:1 ~x:1 () in
+  let prog =
+    let* () = Prog.snap_set Codec.int "m" [] 1 in
+    let* () = Prog.snap_set Codec.int "m" [] 2 in
+    let* () = Prog.snap_set Codec.int "m" [] 3 in
+    Prog.return (Codec.int.Codec.inj 0)
+  in
+  let adversary =
+    Adversary.with_crashes
+      (Adversary.round_robin ())
+      [
+        Adversary.Crash_before_op
+          { pid = 0; nth = 2; matches = (fun i -> i.Op.kind = Op.Snapshot) };
+      ]
+  in
+  let r = Exec.run ~env ~adversary [| prog |] in
+  check Alcotest.int "two writes landed" 2 r.Exec.op_counts.(0);
+  (match Env.peek_snapshot env "m" [] with
+  | Some a ->
+      check Alcotest.(option int) "last write was 2" (Some 2)
+        (Option.map Codec.int.Codec.prj a.(0))
+  | None -> Alcotest.fail "no snapshot")
+
+(* ------------------------------------------------------------------ *)
+(* Report / registry plumbing                                           *)
+(* ------------------------------------------------------------------ *)
+
+let report_checks () =
+  let c =
+    Experiments.Report.check_eq ~label:"eq" ~pp:string_of_int ~expected:3
+      ~actual:3
+  in
+  Alcotest.(check bool) "eq ok" true c.Experiments.Report.ok;
+  let bad =
+    Experiments.Report.check_eq ~label:"eq" ~pp:string_of_int ~expected:3
+      ~actual:4
+  in
+  Alcotest.(check bool) "eq fail" false bad.Experiments.Report.ok;
+  let rep =
+    {
+      Experiments.Report.id = "X";
+      title = "t";
+      paper = "p";
+      checks = [ c ];
+    }
+  in
+  Alcotest.(check bool) "all_ok" true (Experiments.Report.all_ok rep);
+  Alcotest.(check bool) "markdown has table header" true
+    (let md = Experiments.Report.to_markdown rep in
+     String.length md > 0
+     &&
+     let contains_sub s sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     contains_sub md "| check | status | measured |")
+
+let registry_sane () =
+  let ids = Experiments.Registry.ids () in
+  Alcotest.(check bool) "at least 14 experiments" true (List.length ids >= 14);
+  check Alcotest.int "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) id true
+        (Experiments.Registry.find id <> None))
+    ids
+
+let classes_table_text () =
+  let t = Experiments.Exp_sec54.classes_table ~t':8 ~x_max:9 in
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions ASM(n, 4, 1)" true
+    (contains_sub t "ASM(n, 4, 1)");
+  Alcotest.(check bool) "mentions x in {5, 6, 7, 8}" true
+    (contains_sub t "{5, 6, 7, 8}")
+
+let suite =
+  [
+    ( "svm.prog",
+      [
+        Alcotest.test_case "iter order" `Quick prog_iter_order;
+        Alcotest.test_case "fold" `Quick prog_fold;
+        Alcotest.test_case "loop state" `Quick prog_loop_state;
+      ] );
+    ( "svm.queue_cas",
+      [
+        Alcotest.test_case "interleaved queue" `Quick
+          queue_interleaved_no_duplicates;
+        Alcotest.test_case "fifo order" `Quick queue_fifo_per_producer;
+        Alcotest.test_case "cas semantics" `Quick cas_semantics;
+      ] );
+    ( "svm.adversary2",
+      [
+        Alcotest.test_case "crash at global" `Quick crash_at_global;
+        Alcotest.test_case "biased fairness" `Quick biased_still_fair;
+        Alcotest.test_case "crash before nth op" `Quick crash_before_op_nth;
+      ] );
+    ( "plumbing",
+      [
+        Alcotest.test_case "report" `Quick report_checks;
+        Alcotest.test_case "registry" `Quick registry_sane;
+        Alcotest.test_case "classes table" `Quick classes_table_text;
+      ] );
+  ]

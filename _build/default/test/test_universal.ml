@@ -1,0 +1,334 @@
+(* Tests for the universal construction, the consensus-number gallery
+   and the linearizability checker. *)
+
+open Svm
+open Svm.Prog.Syntax
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Linearizability checker on hand-written histories                   *)
+(* ------------------------------------------------------------------ *)
+
+let ev start finish op res = { Universal.Lin_check.start; finish; op; res }
+
+let lin_accepts_sequential () =
+  let open Universal.Seq_spec in
+  let h =
+    [ ev 0 1 (Enqueue 1) None; ev 2 3 (Enqueue 2) None; ev 4 5 Dequeue (Some 1) ]
+  in
+  Alcotest.(check bool) "fifo ok" true
+    (Universal.Lin_check.check fifo_queue h)
+
+let lin_accepts_concurrent_reorder () =
+  let open Universal.Seq_spec in
+  (* Two overlapping enqueues; a later dequeue sees 2 first: legal only
+     because the enqueues overlap and may linearize in either order. *)
+  let h =
+    [ ev 0 5 (Enqueue 1) None; ev 1 4 (Enqueue 2) None; ev 6 7 Dequeue (Some 2) ]
+  in
+  Alcotest.(check bool) "overlap reorder ok" true
+    (Universal.Lin_check.check fifo_queue h)
+
+let lin_rejects_wrong_result () =
+  let open Universal.Seq_spec in
+  let h = [ ev 0 1 (Enqueue 1) None; ev 2 3 Dequeue (Some 7) ] in
+  Alcotest.(check bool) "wrong dequeue rejected" false
+    (Universal.Lin_check.check fifo_queue h)
+
+let lin_respects_real_time () =
+  let open Universal.Seq_spec in
+  (* enq(1) finished before enq(2) started, so deq must not see 2. *)
+  let h =
+    [ ev 0 1 (Enqueue 1) None; ev 2 3 (Enqueue 2) None; ev 4 5 Dequeue (Some 2) ]
+  in
+  Alcotest.(check bool) "real-time violation rejected" false
+    (Universal.Lin_check.check fifo_queue h)
+
+let lin_witness_order () =
+  let open Universal.Seq_spec in
+  let h = [ ev 2 3 (Enqueue 2) None; ev 0 1 (Enqueue 1) None ] in
+  match Universal.Lin_check.witness fifo_queue h with
+  | Some [ a; b ] ->
+      Alcotest.(check bool) "witness respects real time" true
+        (a.Universal.Lin_check.start = 0 && b.Universal.Lin_check.start = 2)
+  | Some _ | None -> Alcotest.fail "no witness"
+
+(* ------------------------------------------------------------------ *)
+(* Universal construction                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Each process performs its scripted ops through the universal object
+   and returns its results; afterwards we linearize the history using
+   the markers left in the trace. *)
+let run_universal ~spec ~scripts ~seed =
+  let n = Array.length scripts in
+  let env = Env.create ~nprocs:n ~x:n () in
+  let obj = Universal.Herlihy.make spec ~fam:"U" in
+  let sessions = Array.init n (fun pid -> Universal.Herlihy.session obj ~pid) in
+  let res_list_codec = Codec.list spec.Universal.Seq_spec.res_codec in
+  let prog pid =
+    let session = sessions.(pid) in
+    let rec go idx acc = function
+      | [] -> Prog.return (res_list_codec.Codec.inj (List.rev acc))
+      | op :: rest ->
+          let* () = Prog.reg_write Codec.unit "__mark" [ pid; idx; 0 ] () in
+          let* res = Universal.Herlihy.invoke session op in
+          let* () = Prog.reg_write Codec.unit "__mark" [ pid; idx; 1 ] () in
+          go (idx + 1) (res :: acc) rest
+    in
+    go 0 [] scripts.(pid)
+  in
+  let r =
+    Exec.run ~record_trace:true ~budget:500_000 ~env
+      ~adversary:(Adversary.random ~seed) (Array.init n prog)
+  in
+  (r, sessions, res_list_codec)
+
+let intervals_of_trace trace =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match e.Trace.info with
+      | Some { Op.fam = "__mark"; key = [ pid; idx; mark ]; _ } ->
+          let k = (pid, idx) in
+          let s, f = try Hashtbl.find tbl k with Not_found -> (-1, -1) in
+          if mark = 0 then Hashtbl.replace tbl k (e.Trace.step, f)
+          else Hashtbl.replace tbl k (s, e.Trace.step)
+      | Some _ | None -> ())
+    (Trace.events trace);
+  tbl
+
+let history_of_run ~scripts r res_list_codec =
+  let trace = Option.get r.Exec.trace in
+  let tbl = intervals_of_trace trace in
+  let events = ref [] in
+  Array.iteri
+    (fun pid outcome ->
+      match outcome with
+      | Exec.Decided u ->
+          let results = res_list_codec.Codec.prj u in
+          List.iteri
+            (fun idx (op, res) ->
+              let start, finish = Hashtbl.find tbl (pid, idx) in
+              events :=
+                { Universal.Lin_check.start; finish; op; res } :: !events)
+            (List.combine scripts.(pid) results)
+      | Exec.Crashed | Exec.Blocked -> ())
+    r.Exec.outcomes;
+  !events
+
+let universal_queue_linearizable () =
+  let open Universal.Seq_spec in
+  let scripts =
+    [|
+      [ Enqueue 1; Enqueue 2; Dequeue ];
+      [ Dequeue; Enqueue 3 ];
+      [ Dequeue; Dequeue ];
+    |]
+  in
+  List.iter
+    (fun seed ->
+      let r, _, codec = run_universal ~spec:fifo_queue ~scripts ~seed in
+      check Alcotest.int "all decided" 3 (Exec.decided_count r);
+      let history = history_of_run ~scripts r codec in
+      Alcotest.(check bool)
+        (Printf.sprintf "linearizable (seed %d)" seed)
+        true
+        (Universal.Lin_check.check fifo_queue history))
+    (List.init 12 (fun i -> i))
+
+let universal_replicas_agree () =
+  let open Universal.Seq_spec in
+  let scripts = [| [ Enqueue 1 ]; [ Enqueue 2 ]; [ Dequeue ] |] in
+  let r, sessions, _ = run_universal ~spec:fifo_queue ~scripts ~seed:5 in
+  check Alcotest.int "all decided" 3 (Exec.decided_count r);
+  (* After deciding, some replicas may lag (they stop consuming batches
+     once their op is applied) — but applied prefixes must be
+     consistent: one applied list is a suffix-extension of the other. *)
+  let applied =
+    Array.to_list sessions
+    |> List.map (fun s -> Universal.Herlihy.batches_consumed s)
+  in
+  Alcotest.(check bool) "every session consumed >= 1 batch" true
+    (List.for_all (fun b -> b >= 1) applied)
+
+let universal_counter_fetch_add_atomic () =
+  let open Universal.Seq_spec in
+  let scripts = Array.make 3 [ Add 1; Add 1; Add 1 ] in
+  List.iter
+    (fun seed ->
+      let r, _, codec = run_universal ~spec:counter ~scripts ~seed in
+      check Alcotest.int "all decided" 3 (Exec.decided_count r);
+      let previous =
+        Exec.decided r |> List.concat_map (fun u -> codec.Codec.prj u)
+      in
+      (* 9 fetch&adds: the previous values must be exactly 0..8. *)
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "fetch&add previous values (seed %d)" seed)
+        [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ]
+        (List.sort compare previous))
+    (List.init 12 (fun i -> i))
+
+let universal_stack_sequential () =
+  let open Universal.Seq_spec in
+  let scripts = [| [ Push 1; Push 2; Pop; Pop; Pop ] |] in
+  let r, _, codec = run_universal ~spec:lifo_stack ~scripts ~seed:1 in
+  match Exec.decided r with
+  | [ u ] ->
+      Alcotest.(check (list (option int)))
+        "LIFO order" [ None; None; Some 2; Some 1; None ] (codec.Codec.prj u)
+  | _ -> Alcotest.fail "expected one result"
+
+let universal_rmw () =
+  let open Universal.Seq_spec in
+  let scripts =
+    [| [ Write 5; Compare_and_swap (5, 9); Read ]; [ Read ] |]
+  in
+  let r, _, codec = run_universal ~spec:rmw_register ~scripts ~seed:3 in
+  check Alcotest.int "all decided" 2 (Exec.decided_count r);
+  (match Exec.decided r with
+  | [ u0; _ ] ->
+      (match codec.Codec.prj u0 with
+      | [ _; _; Some 9 ] -> ()
+      | other ->
+          Alcotest.fail
+            (Printf.sprintf "p0 results wrong (%d entries)" (List.length other)))
+  | _ -> Alcotest.fail "arity")
+
+let universal_with_crash () =
+  (* A crashed process must not wedge the object for others. *)
+  let open Universal.Seq_spec in
+  let scripts = [| [ Add 1; Add 1 ]; [ Add 1 ]; [ Add 1 ] |] in
+  let n = 3 in
+  let env = Env.create ~nprocs:n ~x:n () in
+  let obj = Universal.Herlihy.make counter ~fam:"U" in
+  let codec = Codec.list counter.res_codec in
+  let prog pid =
+    let session = Universal.Herlihy.session obj ~pid in
+    let rec go acc = function
+      | [] -> Prog.return (codec.Codec.inj (List.rev acc))
+      | op :: rest ->
+          let* res = Universal.Herlihy.invoke session op in
+          go (res :: acc) rest
+    in
+    go [] scripts.(pid)
+  in
+  let adversary =
+    Adversary.with_crashes
+      (Adversary.random ~seed:9)
+      [ Adversary.Crash_at_local { pid = 0; step = 4 } ]
+  in
+  let r = Exec.run ~budget:200_000 ~env ~adversary (Array.init n prog) in
+  check Alcotest.int "survivors decide" 2 (Exec.decided_count r);
+  check Alcotest.(list int) "nobody blocked" [] (Exec.blocked r)
+
+(* ------------------------------------------------------------------ *)
+(* The gallery: consensus from objects                                  *)
+(* ------------------------------------------------------------------ *)
+
+let gallery_agreement ~nprocs ~x ~allow_cas ~setup ~protocol ~label =
+  List.iter
+    (fun seed ->
+      let env = Env.create ~nprocs ~x ~allow_cas () in
+      setup env;
+      let progs =
+        Array.init nprocs (fun pid ->
+            Prog.map Codec.int.Codec.inj (protocol ~pid (100 + pid)))
+      in
+      let r = Exec.run ~env ~adversary:(Adversary.random ~seed) progs in
+      let ds = List.map Codec.int.Codec.prj (Exec.decided r) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s seed %d" label seed)
+        true
+        (List.length ds = nprocs
+        && List.for_all (fun d -> d = List.hd ds) ds
+        && List.hd ds >= 100
+        && List.hd ds < 100 + nprocs))
+    (List.init 20 (fun i -> i))
+
+let cons2_from_ts () =
+  gallery_agreement ~nprocs:2 ~x:2 ~allow_cas:false
+    ~setup:(fun _ -> ())
+    ~protocol:(fun ~pid v ->
+      Universal.From_objects.cons2_from_ts ~fam:"G" ~key:[] ~pid v)
+    ~label:"2-consensus from test&set"
+
+let cons2_from_queue () =
+  gallery_agreement ~nprocs:2 ~x:2 ~allow_cas:false
+    ~setup:(fun env -> Universal.From_objects.setup_queue env ~fam:"G" ~key:[])
+    ~protocol:(fun ~pid v ->
+      Universal.From_objects.cons2_from_queue ~fam:"G" ~key:[] ~pid v)
+    ~label:"2-consensus from a queue"
+
+let consn_from_cas () =
+  gallery_agreement ~nprocs:5 ~x:1 ~allow_cas:true
+    ~setup:(fun _ -> ())
+    ~protocol:(fun ~pid v ->
+      Universal.From_objects.consn_from_cas ~fam:"G" ~key:[] ~pid v)
+    ~label:"n-consensus from compare&swap"
+
+let cas_forbidden_without_flag () =
+  let env = Env.create ~nprocs:2 ~x:2 () in
+  let progs =
+    Array.init 2 (fun pid ->
+        Prog.map Codec.int.Codec.inj
+          (Universal.From_objects.consn_from_cas ~fam:"G" ~key:[] ~pid pid))
+  in
+  Alcotest.(check bool) "CAS refused in finite-x model" true
+    (match Exec.run ~env ~adversary:(Adversary.round_robin ()) progs with
+    | (_ : Univ.t Exec.result) -> false
+    | exception Env.Violation _ -> true)
+
+let queue_semantics () =
+  (* Direct sanity of the native queue: FIFO per interleaved history. *)
+  let env = Env.create ~nprocs:1 ~x:2 () in
+  let prog =
+    let* () = Prog.queue_enq Codec.int "q" [] 1 in
+    let* () = Prog.queue_enq Codec.int "q" [] 2 in
+    let* a = Prog.queue_deq Codec.int "q" [] in
+    let* b = Prog.queue_deq Codec.int "q" [] in
+    let* c = Prog.queue_deq Codec.int "q" [] in
+    Prog.return
+      ((Codec.list (Codec.option Codec.int)).Codec.inj [ a; b; c ])
+  in
+  let r = Exec.run ~env ~adversary:(Adversary.round_robin ()) [| prog |] in
+  match Exec.decided r with
+  | [ u ] ->
+      Alcotest.(check (list (option int)))
+        "FIFO" [ Some 1; Some 2; None ]
+        ((Codec.list (Codec.option Codec.int)).Codec.prj u)
+  | _ -> Alcotest.fail "no result"
+
+let suite =
+  [
+    ( "universal.lin_check",
+      [
+        Alcotest.test_case "accepts sequential" `Quick lin_accepts_sequential;
+        Alcotest.test_case "accepts overlapping reorder" `Quick
+          lin_accepts_concurrent_reorder;
+        Alcotest.test_case "rejects wrong result" `Quick lin_rejects_wrong_result;
+        Alcotest.test_case "respects real time" `Quick lin_respects_real_time;
+        Alcotest.test_case "witness order" `Quick lin_witness_order;
+      ] );
+    ( "universal.construction",
+      [
+        Alcotest.test_case "queue linearizable" `Quick
+          universal_queue_linearizable;
+        Alcotest.test_case "replicas progress" `Quick universal_replicas_agree;
+        Alcotest.test_case "fetch&add atomic" `Quick
+          universal_counter_fetch_add_atomic;
+        Alcotest.test_case "stack LIFO" `Quick universal_stack_sequential;
+        Alcotest.test_case "rmw register" `Quick universal_rmw;
+        Alcotest.test_case "crash tolerant" `Quick universal_with_crash;
+      ] );
+    ( "universal.gallery",
+      [
+        Alcotest.test_case "2-cons from test&set" `Quick cons2_from_ts;
+        Alcotest.test_case "2-cons from queue" `Quick cons2_from_queue;
+        Alcotest.test_case "n-cons from CAS" `Quick consn_from_cas;
+        Alcotest.test_case "CAS needs the flag" `Quick cas_forbidden_without_flag;
+        Alcotest.test_case "native queue FIFO" `Quick queue_semantics;
+      ] );
+  ]
