@@ -1,0 +1,25 @@
+# Build/test entry points with hard timeouts, so a wedged exploration or
+# a blocked run fails the pipeline fast instead of hanging it.
+#
+#   make ci            — what CI runs: typecheck + full test suite
+#   make test-heavy    — includes the exhaustive sweeps (ASMSIM_HEAVY=1)
+
+BUILD_TIMEOUT ?= 120
+TEST_TIMEOUT ?= 150
+
+.PHONY: build check test test-heavy ci
+
+build:
+	dune build
+
+check:
+	timeout $(BUILD_TIMEOUT) dune build @check
+
+test:
+	timeout $(TEST_TIMEOUT) dune runtest
+
+test-heavy:
+	ASMSIM_HEAVY=1 timeout 900 dune runtest --force
+
+ci: check
+	timeout $(TEST_TIMEOUT) dune runtest

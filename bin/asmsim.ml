@@ -249,6 +249,167 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run reproduction experiments")
     Term.(const run $ id $ markdown)
 
+(* ---- sweep ---- *)
+
+let scenario_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "algo" ] ~docv:"SCENARIO"
+        ~doc:
+          (Printf.sprintf "Scenario to sweep: %s."
+             (String.concat ", " (Experiments.Scenario.names ()))))
+
+let pp_violation_line (v : Svm.Monitor.violation) =
+  Format.printf "violation: %s: %s (step %d, p%d)@." v.Svm.Monitor.monitor
+    v.Svm.Monitor.message v.Svm.Monitor.step v.Svm.Monitor.pid
+
+let sweep_cmd =
+  let t =
+    Arg.(
+      value & opt int 1
+      & info [ "t" ] ~docv:"T" ~doc:"Sweep fault schedules of up to T crashes.")
+  in
+  let n =
+    Arg.(
+      value & opt (some int) None
+      & info [ "n" ] ~docv:"N" ~doc:"Override the scenario's process count.")
+  in
+  let window =
+    Arg.(
+      value & opt int 6
+      & info [ "window" ] ~docv:"W"
+          ~doc:"Crash-point op-index window per victim.")
+  in
+  let runs =
+    Arg.(
+      value & opt int 5_000
+      & info [ "runs" ] ~docv:"R" ~doc:"Maximum runs before giving up.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 20_000
+      & info [ "budget" ] ~docv:"B" ~doc:"Per-run step budget.")
+  in
+  let out =
+    Arg.(
+      value & opt string "failure.replay"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the replay artifact of a found violation.")
+  in
+  let run name nprocs t window runs budget out =
+    match Experiments.Scenario.find ?nprocs name with
+    | Error m ->
+        prerr_endline m;
+        exit 2
+    | Ok s ->
+        Format.printf "sweeping %s (n=%d, x=%d): up to %d crash(es), window %d@."
+          s.Experiments.Scenario.name s.Experiments.Scenario.nprocs
+          s.Experiments.Scenario.x t window;
+        let outcome =
+          Experiments.Harness.sweep_scenario ~max_crashes:t ~op_window:window
+            ~max_runs:runs ~budget s
+        in
+        (match outcome.Svm.Explore.found with
+        | None ->
+            Format.printf "no violation in %d runs%s@." outcome.Svm.Explore.runs
+              (if outcome.Svm.Explore.exhausted then
+                 " (run budget hit; coverage partial)"
+               else "; fault box covered")
+        | Some f ->
+            pp_violation_line f.Svm.Explore.violation;
+            Format.printf "found by:  %a@.shrunk to: %a  (%d shrink re-runs)@."
+              Svm.Explore.pp_fault_schedule f.Svm.Explore.fault
+              Svm.Explore.pp_fault_schedule f.Svm.Explore.shrunk
+              f.Svm.Explore.shrink_runs;
+            let oc = open_out out in
+            output_string oc f.Svm.Explore.replay;
+            close_out oc;
+            Format.printf "replay artifact written to %s@." out;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Systematically sweep crash points under online invariant monitors; \
+          on violation, shrink the schedule and write a replay artifact")
+    Term.(const run $ scenario_arg $ n $ t $ window $ runs $ budget $ out)
+
+(* ---- replay ---- *)
+
+let replay_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Replay artifact written by sweep.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 20_000
+      & info [ "budget" ] ~docv:"B" ~doc:"Step budget for the re-run.")
+  in
+  let run file budget =
+    let contents =
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match Svm.Trace.parse_replay contents with
+    | Error m ->
+        Format.eprintf "%s: %s@." file m;
+        exit 2
+    | Ok (meta, decisions) -> (
+        match Experiments.Scenario.of_replay_meta meta with
+        | Error m ->
+            Format.eprintf "%s: %s@." file m;
+            exit 2
+        | Ok s ->
+            Format.printf "replaying %s against %s (n=%d): %d decisions@." file
+              s.Experiments.Scenario.name s.Experiments.Scenario.nprocs
+              (List.length decisions);
+            (match List.assoc_opt "schedule" meta with
+            | Some sched -> Format.printf "recorded fault: %s@." sched
+            | None -> ());
+            let recorded =
+              match
+                (List.assoc_opt "monitor" meta, List.assoc_opt "step" meta)
+              with
+              | Some m, Some st -> Some (m, st)
+              | _ -> None
+            in
+            let result =
+              Svm.Explore.replay ~budget ~make:s.Experiments.Scenario.make
+                ~monitors:s.Experiments.Scenario.monitors decisions
+            in
+            (match (result, recorded) with
+            | Error v, Some (m, st) ->
+                pp_violation_line v;
+                let exact =
+                  String.equal v.Svm.Monitor.monitor m
+                  && String.equal (string_of_int v.Svm.Monitor.step) st
+                in
+                Format.printf "%s@."
+                  (if exact then "reproduced: same monitor at the same step"
+                   else "violation differs from the recorded one")
+            | Error v, None -> pp_violation_line v
+            | Ok _, Some (m, st) ->
+                Format.printf
+                  "run completed cleanly — recorded violation (%s at step %s) \
+                   did NOT reproduce@."
+                  m st
+            | Ok r, None ->
+                Format.printf "run completed cleanly in %d steps@."
+                  r.Svm.Exec.total_steps);
+            if Result.is_error result then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-execute a recorded fault schedule bit-for-bit from a file")
+    Term.(const run $ file $ budget)
+
 let () =
   let doc = "Reproduction of 'The Multiplicative Power of Consensus Numbers'" in
   exit
@@ -262,4 +423,6 @@ let () =
             chain_cmd;
             overhead_cmd;
             experiment_cmd;
+            sweep_cmd;
+            replay_cmd;
           ]))

@@ -3,9 +3,12 @@ open Svm.Prog.Syntax
 
 exception Unsupported_op of string
 
-type stats = { mutable decided_threads : (int * int) list }
+type stats = {
+  mutable decided_threads : (int * int) list;
+  mutable max_engaged : int;
+}
 
-let new_stats () = { decided_threads = [] }
+let new_stats () = { decided_threads = []; max_engaged = 0 }
 
 let decided_processes stats =
   List.sort_uniq compare (List.map snd stats.decided_threads)
@@ -58,9 +61,11 @@ type sim_state = {
   snap_ag : Agreement.t; (* SAFE_AG[j, snapsn], j fixed per key *)
   cons_ag : (string, Agreement.t) Hashtbl.t; (* per simulated cons family *)
   target : Model.t;
+  engaged : int ref; (* agreement proposes this simulator has in flight *)
+  stats : stats option;
 }
 
-let make_state ~me ~n_sim ~target ~mutex1_enabled =
+let make_state ~me ~n_sim ~target ~mutex1_enabled ~stats =
   {
     me;
     n_sim;
@@ -73,7 +78,25 @@ let make_state ~me ~n_sim ~target ~mutex1_enabled =
     snap_ag = Agreement.for_target ~fam:"SA" ~target;
     cons_ag = Hashtbl.create 8;
     target;
+    engaged = ref 0;
+    stats;
   }
+
+(* Online engagement accounting around every agreement propose. With
+   mutex1 the count stays at 1 — the invariant Lemma 1's crash
+   accounting rests on; the AB ablation lets it grow, and [max_engaged]
+   makes that visible to the experiments instead of only its downstream
+   blocking symptom. *)
+let engaged_propose st body =
+  let open Prog.Syntax in
+  st.engaged := !(st.engaged) + 1;
+  (match st.stats with
+  | Some s when !(st.engaged) > s.max_engaged ->
+      s.max_engaged <- !(st.engaged)
+  | Some _ | None -> ());
+  let* r = body () in
+  st.engaged := !(st.engaged) - 1;
+  Prog.return r
 
 (* Agreement objects for simulated consensus families are named after the
    simulated family, so every simulator derives the same object
@@ -153,7 +176,9 @@ let sim_snapshot st j inst =
   let key = [ j; st.snap_sn.(j) ] in
   let* () =
     with_mutex1 st j (fun () ->
-        st.snap_ag.Agreement.propose ~key ~pid:st.me (view_codec.Codec.inj view))
+        engaged_propose st (fun () ->
+            st.snap_ag.Agreement.propose ~key ~pid:st.me
+              (view_codec.Codec.inj view)))
   in
   let* agreed = st.snap_ag.Agreement.decide ~key ~pid:st.me in
   let agreed = view_codec.Codec.prj agreed in
@@ -180,7 +205,9 @@ let sim_x_cons st j (fam, key) v =
       | None ->
           let ag = cons_agreement st fam in
           let* () =
-            with_mutex1 st j (fun () -> ag.Agreement.propose ~key ~pid:st.me v)
+            with_mutex1 st j (fun () ->
+                engaged_propose st (fun () ->
+                    ag.Agreement.propose ~key ~pid:st.me v))
           in
           let* r = ag.Agreement.decide ~key ~pid:st.me in
           Hashtbl.replace st.xres inst r;
@@ -235,7 +262,8 @@ let thread st (source : Algorithm.t) ~my_input j =
   let key = [ j; 0 ] in
   let* () =
     with_mutex1 st j (fun () ->
-        st.snap_ag.Agreement.propose ~key ~pid:st.me my_input)
+        engaged_propose st (fun () ->
+            st.snap_ag.Agreement.propose ~key ~pid:st.me my_input))
   in
   let* input = st.snap_ag.Agreement.decide ~key ~pid:st.me in
   interp st j (source.Algorithm.code ~pid:j ~input)
@@ -348,7 +376,10 @@ let simulate ?(unchecked = false) ?(ablate_mutex1 = false) ?stats
   in
   let n_sim = src_model.Model.n in
   let code ~pid ~input =
-    let st = make_state ~me:pid ~n_sim ~target ~mutex1_enabled:(not ablate_mutex1) in
+    let st =
+      make_state ~me:pid ~n_sim ~target ~mutex1_enabled:(not ablate_mutex1)
+        ~stats
+    in
     let threads =
       Array.init n_sim (fun j -> thread st source ~my_input:input j)
     in

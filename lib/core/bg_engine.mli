@@ -45,6 +45,13 @@ type stats = {
           observed by a simulator, in observation order. The lemma-level
           experiments use this to count which simulated processes were
           blocked (Lemmas 1, 2, 7 and 8). *)
+  mutable max_engaged : int;
+      (** the most agreement [propose]s any single simulator had in
+          flight at once — an online measurement of the mutex1 invariant
+          ("a simulator is engaged in at most one agreement at a time"):
+          1 in any healthy run, more only under the [ablate_mutex1]
+          experiment, where it quantifies how many agreements one crash
+          could block. *)
 }
 
 val new_stats : unit -> stats

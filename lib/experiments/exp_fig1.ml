@@ -72,29 +72,15 @@ let crash_after_propose () =
       (Printf.sprintf "%d/%d correct processes decided, agreement=%b"
          (List.length ds) (n - 1) (Harness.all_equal ds))
 
-(* Random single crash anywhere: agreement/validity must hold among
-   whoever decides. *)
+(* Systematic fault sweep (not a random sample): every <=1-crash
+   placement within the op window, under every stock scheduler, with the
+   agreement/validity monitors watching online. *)
 let sweep_one_crash () =
-  let ok = ref true and detail = ref "" in
-  List.iter
-    (fun seed ->
-      let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
-      let adversary =
-        Adversary.random_crashes ~within:15 ~seed ~max_crashes:1 ~nprocs:n
-          (Adversary.random ~seed)
-      in
-      let r, _ =
-        Harness.run_objects ~budget:20_000 ~nprocs:n ~x:1 ~adversary
-          (participant sa)
-      in
-      let ds = Harness.int_results r in
-      if not (Harness.all_equal ds) then begin
-        ok := false;
-        detail := Printf.sprintf "seed %d: disagreement" seed
-      end)
-    (Harness.seeds 50);
-  Report.check ~label:"agreement under 50 one-crash schedules" ~ok:!ok
-    ~detail:(if !ok then "no disagreement ever observed" else !detail)
+  match Scenario.find ~nprocs:n "safe_agreement" with
+  | Error m -> Report.check ~label:"systematic one-crash sweep" ~ok:false ~detail:m
+  | Ok s ->
+      Harness.sweep_check ~max_crashes:1 ~op_window:8
+        ~label:"agreement+validity under every <=1-crash schedule swept" s
 
 let run () =
   {

@@ -73,8 +73,13 @@ let run () =
           ~label:"40 crash-free schedules, m=5 x=2";
         sweep ~m:6 ~x:3 ~max_crashes:0
           ~label:"40 crash-free schedules, m=6 x=3";
-        sweep ~m:5 ~x:2 ~max_crashes:2
-          ~label:"40 schedules with up to 2 crashes, m=5 x=2";
+        (match Scenario.find ~nprocs:5 "x_compete" with
+        | Error msg ->
+            Report.check ~label:"systematic crash sweep" ~ok:false ~detail:msg
+        | Ok s ->
+            Harness.sweep_check ~max_crashes:2 ~op_window:5
+              ~label:"<= x winners under every <=2-crash schedule swept, m=5"
+              s);
         few_callers ~m:5 ~x:2;
       ];
   }

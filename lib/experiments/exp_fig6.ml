@@ -109,9 +109,22 @@ let run () =
         sweep ~max_crashes:1
           ~label:"40 schedules, 1 crash: object must stay live"
           ~expect_all_live:true;
-        sweep ~max_crashes:2
-          ~label:"40 schedules, 2 crashes: agreement still holds"
-          ~expect_all_live:false;
+        (match Scenario.find ~nprocs:m "x_safe_agreement" with
+        | Error msg ->
+            Report.check ~label:"systematic crash sweep" ~ok:false ~detail:msg
+        | Ok s ->
+            Harness.sweep_check ~max_crashes:2 ~op_window:5
+              ~label:
+                "agreement+validity under every <=2-crash schedule swept, m=5"
+              s);
+        (match Scenario.find ~nprocs:m "x_safe_agreement_first_subset" with
+        | Error msg ->
+            Report.check ~label:"seeded-bug sweep" ~ok:false ~detail:msg
+        | Ok s ->
+            Harness.sweep_check ~max_crashes:2 ~op_window:5
+              ~label:
+                "seeded first-subset ablation: sweeper catches disagreement"
+              s);
         one_owner_crash ();
         all_owners_crash ();
       ];

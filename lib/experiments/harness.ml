@@ -22,6 +22,31 @@ let starts_with ~prefix s =
   String.length s >= String.length prefix
   && String.equal (String.sub s 0 (String.length prefix)) prefix
 
+let sweep_scenario ?max_crashes ?op_window ?max_runs ?budget (s : Scenario.t) =
+  Explore.sweep_crashes ?max_crashes ?op_window ?max_runs ?budget
+    ~meta:(Scenario.sweep_meta s) ~make:s.Scenario.make
+    ~monitors:s.Scenario.monitors ()
+
+let sweep_check ?max_crashes ?op_window ?max_runs ?budget ~label
+    (s : Scenario.t) =
+  let outcome = sweep_scenario ?max_crashes ?op_window ?max_runs ?budget s in
+  let expected = s.Scenario.seeded_bug in
+  match outcome.Explore.found with
+  | None ->
+      Report.check ~label ~ok:(not expected)
+        ~detail:
+          (Printf.sprintf "no violation in %d runs%s" outcome.Explore.runs
+             (if outcome.Explore.exhausted then " (budget hit)"
+              else ", fault box covered"))
+  | Some f ->
+      let v = f.Explore.violation in
+      Report.check ~label ~ok:expected
+        ~detail:
+          (Fmt.str "%s: %s at step %d [%a] (%d runs + %d shrink)"
+             v.Monitor.monitor v.Monitor.message v.Monitor.step
+             Explore.pp_fault_schedule f.Explore.shrunk outcome.Explore.runs
+             f.Explore.shrink_runs)
+
 let crash_before_fam ~pid ~prefix ~nth =
   Adversary.Crash_before_op
     {

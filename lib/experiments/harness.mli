@@ -24,6 +24,29 @@ val blocked_simulated :
 (** Simulated processes decided by no simulator: [{0..n-1}] minus
     {!Core.Bg_engine.decided_processes}. *)
 
+val sweep_scenario :
+  ?max_crashes:int ->
+  ?op_window:int ->
+  ?max_runs:int ->
+  ?budget:int ->
+  Scenario.t ->
+  Svm.Explore.sweep_outcome
+(** Run the systematic crash-point sweeper over a scenario, tagging any
+    replay artifact with the scenario's {!Scenario.sweep_meta}. *)
+
+val sweep_check :
+  ?max_crashes:int ->
+  ?op_window:int ->
+  ?max_runs:int ->
+  ?budget:int ->
+  label:string ->
+  Scenario.t ->
+  Report.check
+(** {!sweep_scenario} as a report check: ok iff a violation was found
+    exactly when the scenario has a seeded bug. The detail carries the
+    shrunk fault schedule and the violation message (or the number of
+    runs swept clean). *)
+
 val crash_before_fam :
   pid:int -> prefix:string -> nth:int -> Svm.Adversary.crash_spec
 (** Crash [pid] just before its [nth] operation on any object family

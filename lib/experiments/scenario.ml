@@ -1,0 +1,215 @@
+open Svm
+open Svm.Prog.Syntax
+
+type t = {
+  name : string;
+  doc : string;
+  seeded_bug : bool;
+  nprocs : int;
+  x : int;
+  make : unit -> Env.t * Univ.t Prog.t array;
+  monitors : unit -> Univ.t Monitor.t list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Monitor kits over int-coded decisions                                *)
+(* ------------------------------------------------------------------ *)
+
+let pp_int u =
+  match Codec.int.Codec.prj u with
+  | v -> string_of_int v
+  | exception Codec.Type_error _ -> "<univ>"
+
+let int_in ~lo ~hi u =
+  match Codec.int.Codec.prj u with
+  | v -> v >= lo && v <= hi
+  | exception Codec.Type_error _ -> false
+
+let agreement_monitors ~lo ~hi () =
+  [
+    Monitor.agreement ~pp:pp_int ();
+    Monitor.validity ~pp:pp_int ~allowed:(int_in ~lo ~hi) ();
+  ]
+
+(* At most [bound] processes decide [true]. *)
+let winners_monitor ~bound () =
+  let wins = ref 0 in
+  Monitor.make ~name:(Printf.sprintf "winners(<=%d)" bound) (function
+    | Monitor.Decided { value; _ }
+      when (match Codec.bool.Codec.prj value with
+           | w -> w
+           | exception Codec.Type_error _ -> false) ->
+        incr wins;
+        if !wins <= bound then Ok ()
+        else Error (Printf.sprintf "%d processes won (bound %d)" !wins bound)
+    | Monitor.Decided _ | Monitor.Op_applied _ | Monitor.Crashed _ -> Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* The systems under test                                               *)
+(* ------------------------------------------------------------------ *)
+
+let safe_agreement ~ablate_no_cancel n =
+  let make () =
+    let env = Env.create ~nprocs:n ~x:1 () in
+    let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
+    let prog i =
+      let* () =
+        if ablate_no_cancel then
+          Shared_objects.Ablations.sa_propose_no_cancel ~fam:"SA" ~key:[]
+            (Codec.int.Codec.inj i)
+        else
+          Shared_objects.Safe_agreement.propose sa ~key:[]
+            (Codec.int.Codec.inj i)
+      in
+      Shared_objects.Safe_agreement.decide sa ~key:[]
+    in
+    (env, Array.init n prog)
+  in
+  (make, agreement_monitors ~lo:0 ~hi:(n - 1))
+
+let x_safe_agreement ~first_subset_only ~x n =
+  let make () =
+    let env = Env.create ~nprocs:n ~x () in
+    let xsa =
+      Shared_objects.X_safe_agreement.make ~first_subset_only ~fam:"XSA"
+        ~participants:n ~x ()
+    in
+    let prog i =
+      let* () =
+        Shared_objects.X_safe_agreement.propose xsa ~key:[] ~pid:i
+          (Codec.int.Codec.inj (10 + i))
+      in
+      Shared_objects.X_safe_agreement.decide xsa ~key:[] ~pid:i
+    in
+    (env, Array.init n prog)
+  in
+  (make, agreement_monitors ~lo:10 ~hi:(10 + n - 1))
+
+let ts_from_cons n =
+  let make () =
+    let env = Env.create ~nprocs:n ~x:2 () in
+    let ts = Shared_objects.Ts_from_cons.make ~fam:"TS" ~participants:n in
+    let prog i =
+      Prog.map Codec.bool.Codec.inj
+        (Shared_objects.Ts_from_cons.compete ts ~key:[] ~pid:i)
+    in
+    (env, Array.init n prog)
+  in
+  (make, fun () -> [ winners_monitor ~bound:1 () ])
+
+let x_compete ~x n =
+  let make () =
+    let env = Env.create ~nprocs:n ~x:2 () in
+    let xc = Shared_objects.X_compete.make ~fam:"XC" ~participants:n ~x in
+    let prog i =
+      Prog.map Codec.bool.Codec.inj
+        (Shared_objects.X_compete.compete xc ~key:[] ~pid:i)
+    in
+    (env, Array.init n prog)
+  in
+  (make, fun () -> [ winners_monitor ~bound:x () ])
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let scenario ~name ~doc ?(seeded_bug = false) ~nprocs ~x build =
+  let make, monitors = build nprocs in
+  { name; doc; seeded_bug; nprocs; x; make; monitors }
+
+let build ?nprocs name =
+  let sized default = match nprocs with Some n -> n | None -> default in
+  let check_min ~min n k =
+    if n < min then
+      Error (Printf.sprintf "scenario %s needs at least %d processes" name min)
+    else Ok (k n)
+  in
+  match name with
+  | "safe_agreement" ->
+      check_min ~min:2 (sized 3) (fun n ->
+          scenario ~name ~doc:"Figure 1 safe agreement: agreement + validity"
+            ~nprocs:n ~x:1 (fun n ->
+              let make, ms = safe_agreement ~ablate_no_cancel:false n in
+              (make, fun () -> ms ())))
+  | "safe_agreement_no_cancel" ->
+      check_min ~min:2 (sized 2) (fun n ->
+          scenario ~name
+            ~doc:
+              "SEEDED BUG: safe agreement stabilizing unconditionally — \
+               disagrees without any crash under an adversarial order"
+            ~seeded_bug:true ~nprocs:n ~x:1 (fun n ->
+              let make, ms = safe_agreement ~ablate_no_cancel:true n in
+              (make, fun () -> ms ())))
+  | "x_safe_agreement" ->
+      check_min ~min:3 (sized 4) (fun n ->
+          scenario ~name
+            ~doc:"Figure 6 x_safe_agreement (x=2): agreement + validity"
+            ~nprocs:n ~x:2 (fun n ->
+              let make, ms = x_safe_agreement ~first_subset_only:false ~x:2 n in
+              (make, fun () -> ms ())))
+  | "x_safe_agreement_first_subset" ->
+      check_min ~min:4 (sized 4) (fun n ->
+          scenario ~name
+            ~doc:
+              "SEEDED BUG: x_safe_agreement owners funnel through only \
+               their first subset — two values once crashes displace the \
+               low-pid owners"
+            ~seeded_bug:true ~nprocs:n ~x:2 (fun n ->
+              let make, ms = x_safe_agreement ~first_subset_only:true ~x:2 n in
+              (make, fun () -> ms ())))
+  | "ts_from_cons" ->
+      check_min ~min:2 (sized 3) (fun n ->
+          scenario ~name
+            ~doc:"tournament test&set from 2-cons: at most one winner"
+            ~nprocs:n ~x:2 (fun n ->
+              let make, ms = ts_from_cons n in
+              (make, fun () -> ms ())))
+  | "x_compete" ->
+      check_min ~min:3 (sized 4) (fun n ->
+          scenario ~name ~doc:"Figure 5 x_compete (x=2): at most x winners"
+            ~nprocs:n ~x:2 (fun n ->
+              let make, ms = x_compete ~x:2 n in
+              (make, fun () -> ms ())))
+  | _ -> Error (Printf.sprintf "unknown scenario %S" name)
+
+let known =
+  [
+    "safe_agreement";
+    "safe_agreement_no_cancel";
+    "x_safe_agreement";
+    "x_safe_agreement_first_subset";
+    "ts_from_cons";
+    "x_compete";
+  ]
+
+let names () = known
+
+let find ?nprocs name =
+  match build ?nprocs name with
+  | Ok s -> Ok s
+  | Error e ->
+      if List.mem name known then Error e
+      else
+        Error
+          (Printf.sprintf "%s (known: %s)" e (String.concat ", " known))
+
+let all () =
+  List.map
+    (fun n -> match build n with Ok s -> s | Error e -> failwith e)
+    known
+
+let sweep_meta s =
+  [
+    ("scenario", s.name);
+    ("nprocs", string_of_int s.nprocs);
+    ("x", string_of_int s.x);
+  ]
+
+let of_replay_meta meta =
+  match List.assoc_opt "scenario" meta with
+  | None -> Error "replay artifact has no scenario metadata"
+  | Some name ->
+      let nprocs =
+        Option.bind (List.assoc_opt "nprocs" meta) int_of_string_opt
+      in
+      find ?nprocs name

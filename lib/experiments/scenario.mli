@@ -1,0 +1,40 @@
+(** Named fault-injection scenarios: what [asmsim sweep] sweeps and what
+    a replay artifact rebuilds.
+
+    A scenario binds a system under test — fresh environment + programs —
+    to the online safety monitors that define "broken" for it. The
+    registry includes the healthy agreement objects (the sweeper proving
+    their safety over the whole fault box) and deliberately seeded bugs
+    (the sweeper finding, shrinking and replaying the violation); the
+    seeded ones are the regression harness for the sweeper itself.
+
+    Replay artifacts produced by {!Svm.Explore.sweep_crashes} via
+    {!sweep_meta} carry the scenario name and size, so
+    [asmsim replay file] can rebuild the exact system and re-drive the
+    recorded schedule against it. *)
+
+type t = {
+  name : string;
+  doc : string;
+  seeded_bug : bool;  (** a violation is expected to exist *)
+  nprocs : int;
+  x : int;  (** the model's consensus-object arity *)
+  make : unit -> Svm.Env.t * Svm.Univ.t Svm.Prog.t array;
+  monitors : unit -> Svm.Univ.t Svm.Monitor.t list;
+}
+
+val all : unit -> t list
+(** Every scenario at its default size. *)
+
+val names : unit -> string list
+
+val find : ?nprocs:int -> string -> (t, string) result
+(** Look up by name, optionally resized to [nprocs] processes. The error
+    lists the known names. *)
+
+val sweep_meta : t -> (string * string) list
+(** Replay-artifact metadata identifying the scenario ([scenario],
+    [nprocs], [x]) — pass as {!Svm.Explore.sweep_crashes}'s [meta]. *)
+
+val of_replay_meta : (string * string) list -> (t, string) result
+(** Rebuild the scenario a replay artifact was recorded against. *)

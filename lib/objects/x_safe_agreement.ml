@@ -8,9 +8,11 @@ type t = {
   set_list : int list list;
   x : int;
   static_owners : bool;
+  first_subset_only : bool;
 }
 
-let make ?(static_owners = false) ~fam ~participants ~x () =
+let make ?(static_owners = false) ?(first_subset_only = false) ~fam
+    ~participants ~x () =
   if x < 1 then invalid_arg "X_safe_agreement.make: x must be >= 1";
   if participants < x then
     invalid_arg "X_safe_agreement.make: need at least x participants";
@@ -21,6 +23,7 @@ let make ?(static_owners = false) ~fam ~participants ~x () =
     set_list = Combin.subsets ~n:participants ~size:x;
     x;
     static_owners;
+    first_subset_only;
   }
 
 (* The decided value is published in what the paper calls the atomic
@@ -59,7 +62,13 @@ let propose t ~key ~pid v =
             let* res =
               Prog.cons_propose Codec.any t.xcons_fam (key @ [ l ]) res
             in
-            scan (l + 1) rest res
+            (* Ablated (first_subset_only): stop at the first subset
+               containing us instead of scanning the whole SET_LIST. Two
+               owners whose first subsets differ then never meet in a
+               common consensus object and can publish different values —
+               Theorem 2's agreement hinges on the full scan. *)
+            if t.first_subset_only then publish t ~key ~pid res
+            else scan (l + 1) rest res
           else scan (l + 1) rest res
     in
     scan 0 t.set_list v

@@ -25,7 +25,13 @@
 type t
 
 val make :
-  ?static_owners:bool -> fam:Svm.Op.fam -> participants:int -> x:int -> unit -> t
+  ?static_owners:bool ->
+  ?first_subset_only:bool ->
+  fam:Svm.Op.fam ->
+  participants:int ->
+  x:int ->
+  unit ->
+  t
 (** [participants] is the process id space (the simulators); instances
     are keyed. [Invalid_argument] if [x < 1] or [participants < x].
 
@@ -35,7 +41,14 @@ val make :
     crash accounting — "if all the x_safe_agreement objects had the same
     set of x owners ... their crashes would crash all the
     x_safe_agreement objects and the simulation could block forever" —
-    and experiment AB exhibits it. *)
+    and experiment AB exhibits it.
+
+    [first_subset_only] is an {e ablation} that breaks agreement itself:
+    an owner funnels its estimate only through the first SET_LIST subset
+    containing it, instead of all of them. Owners whose first subsets
+    differ (possible once crashes steer x_compete away from the lowest
+    pids) can then publish two different values — the seeded safety bug
+    the fault-injection sweeper is demonstrated on. *)
 
 val propose : t -> key:Svm.Op.key -> pid:int -> Svm.Univ.t -> unit Svm.Prog.t
 (** Figure 6 [x_sa_propose(v)]. At most once per pid per instance. *)

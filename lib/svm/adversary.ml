@@ -120,6 +120,28 @@ let with_crashes base specs =
     crashes = base.crashes;
   }
 
+let of_replay ?fallback decisions =
+  let fallback = match fallback with Some f -> f | None -> round_robin () in
+  let remaining = ref decisions in
+  let current () = match !remaining with [] -> None | d :: _ -> Some d in
+  let pick ~runnable ~global_step =
+    match current () with
+    | Some (Trace.Sched p | Trace.Crash p) when List.mem p runnable -> p
+    | Some _ | None -> fallback.pick ~runnable ~global_step
+  in
+  (* The scheduler asks [pick] then [crash_now] exactly once per
+     iteration; the cursor advances in [crash_now], the second call. *)
+  let crash_now ~pid ~local_step ~global_step ~next =
+    match current () with
+    | None -> fallback.crash_now ~pid ~local_step ~global_step ~next
+    | Some d -> (
+        remaining := List.tl !remaining;
+        match d with
+        | Trace.Crash p -> p = pid
+        | Trace.Sched _ -> false)
+  in
+  { name = "replay"; pick; crash_now; crashes = ref 0 }
+
 let random_crashes ?(within = 300) ~seed ~max_crashes ~nprocs base =
   let rng = Rng.create seed in
   let victims = ref [] in

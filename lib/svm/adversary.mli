@@ -36,6 +36,16 @@ val priority : int list -> t
 val biased : seed:int -> favourite:int -> weight:int -> t
 (** Random, but the favourite is [weight] times more likely. *)
 
+val of_replay : ?fallback:t -> Trace.decision list -> t
+(** Re-drive a recorded run: each scheduler iteration consumes one
+    decision — schedule the recorded pid, or crash it. Replaying the
+    decision log of a run against the same programs and a fresh
+    environment reproduces that run bit-for-bit ({!Trace.decisions}).
+    When the log runs out, or a recorded pid is no longer runnable (the
+    programs changed), control falls back to [fallback] (default
+    {!round_robin}) — crash decisions are consumed but not re-applied in
+    that divergent regime. *)
+
 (** {1 Crash plans} *)
 
 type crash_spec =

@@ -13,7 +13,8 @@ type 'a state = Running of 'a Prog.t | Finished of 'a outcome
 let next_op_info (p : 'a Prog.t) =
   match p with Prog.Done _ -> None | Prog.Step (op, _) -> Op.info op
 
-let run ?(budget = 2_000_000) ?(record_trace = false) ~env ~adversary progs =
+let run ?(budget = 2_000_000) ?(record_trace = false) ?(monitors = []) ~env
+    ~adversary progs =
   let n = Array.length progs in
   if n <> Env.nprocs env then
     invalid_arg
@@ -27,6 +28,20 @@ let run ?(budget = 2_000_000) ?(record_trace = false) ~env ~adversary progs =
     match trace with
     | None -> ()
     | Some t -> Trace.add t { Trace.step; pid; info }
+  in
+  let decided d =
+    match trace with None -> () | Some t -> Trace.record_decision t d
+  in
+  let monitor pid step event =
+    List.iter
+      (fun m ->
+        match Monitor.check m event with
+        | Ok () -> ()
+        | Error message ->
+            raise
+              (Monitor.Violation
+                 { Monitor.monitor = Monitor.name m; message; step; pid; trace }))
+      monitors
   in
   let runnable () =
     let acc = ref [] in
@@ -55,16 +70,25 @@ let run ?(budget = 2_000_000) ?(record_trace = false) ~env ~adversary progs =
             then begin
               states.(pid) <- Finished Crashed;
               crashed := pid :: !crashed;
-              record !step pid None
+              decided (Trace.Crash pid);
+              record !step pid None;
+              monitor pid !step (Monitor.Crashed { pid; step = !step })
             end
             else begin
+              decided (Trace.Sched pid);
               match prog with
-              | Prog.Done v -> states.(pid) <- Finished (Decided v)
+              | Prog.Done v ->
+                  states.(pid) <- Finished (Decided v);
+                  monitor pid !step
+                    (Monitor.Decided { pid; step = !step; value = v })
               | Prog.Step (op, k) ->
                   let r = Env.apply env ~pid op in
                   op_counts.(pid) <- op_counts.(pid) + 1;
                   record !step pid (Op.info op);
-                  states.(pid) <- Running (k r)
+                  states.(pid) <- Running (k r);
+                  monitor pid !step
+                    (Monitor.Op_applied
+                       { pid; step = !step; info = Op.info op })
             end);
         incr step
   done;

@@ -22,13 +22,22 @@ type 'a result = {
 val run :
   ?budget:int ->
   ?record_trace:bool ->
+  ?monitors:'a Monitor.t list ->
   env:Env.t ->
   adversary:Adversary.t ->
   'a Prog.t array ->
   'a result
 (** [run ~env ~adversary progs] executes [progs.(i)] as process [i].
     Default [budget] is [2_000_000] steps. The number of programs must
-    equal [Env.nprocs env]. *)
+    equal [Env.nprocs env].
+
+    Each [monitors] entry is consulted after every executed operation,
+    decision and crash; the first failed check aborts the run by raising
+    {!Monitor.Violation}, carrying the live trace when [record_trace] is
+    set. With [record_trace] the result's trace also holds the complete
+    decision log ({!Trace.decisions}), from which {!Adversary.of_replay}
+    reproduces the run bit-for-bit. Monitors are stateful: pass freshly
+    built ones to every run. *)
 
 val decided : 'a result -> 'a list
 (** All decided values, in pid order. *)

@@ -102,3 +102,195 @@ let exhaustive ?(max_crashes = 0) ?(max_runs = 2_000_000) ~max_steps ~make
     counterexample = !counterexample;
     exhausted_budget = !exhausted;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Systematic crash-point sweeping under online monitors                *)
+(* ------------------------------------------------------------------ *)
+
+type fault_schedule = { scheduler : string; crashes : (int * int) list }
+
+let pp_fault_schedule ppf { scheduler; crashes } =
+  Format.fprintf ppf "%s + [%s]" scheduler
+    (String.concat "; "
+       (List.map (fun (pid, op) -> Printf.sprintf "p%d@op%d" pid op) crashes))
+
+type found = {
+  fault : fault_schedule;
+  shrunk : fault_schedule;
+  violation : Monitor.violation;  (** from the run of the shrunk schedule *)
+  shrink_runs : int;
+  replay : string;
+}
+
+type sweep_outcome = {
+  runs : int;
+  found : found option;
+  exhausted : bool;
+}
+
+let default_schedulers ~nprocs =
+  [
+    ("round-robin", fun () -> Adversary.round_robin ());
+    ("priority-asc", fun () -> Adversary.priority (List.init nprocs Fun.id));
+    ( "priority-desc",
+      fun () -> Adversary.priority (List.rev (List.init nprocs Fun.id)) );
+    ("random(1)", fun () -> Adversary.random ~seed:1);
+    ("random(2)", fun () -> Adversary.random ~seed:2);
+  ]
+
+let run_fault ?(budget = 20_000) ~make ~monitors ~scheduler crashes =
+  let env, progs = make () in
+  let specs =
+    List.map (fun (pid, step) -> Adversary.Crash_at_local { pid; step }) crashes
+  in
+  let adversary = Adversary.with_crashes (scheduler ()) specs in
+  match
+    Exec.run ~budget ~record_trace:true ~monitors:(monitors ()) ~env ~adversary
+      progs
+  with
+  | (_ : _ Exec.result) -> None
+  | exception Monitor.Violation v -> Some v
+
+(* Delta-debugging: first drop crash points, then pull the surviving
+   op-indices toward 0, then collapse the scheduler to round-robin. Every
+   candidate is validated by a full re-run; only still-violating
+   candidates are kept, so the result is a genuine violating schedule. *)
+let shrink ?budget ~make ~monitors ~schedulers fault =
+  let runs = ref 0 in
+  let violates ~scheduler crashes =
+    incr runs;
+    run_fault ?budget ~make ~monitors ~scheduler crashes
+  in
+  let scheduler_of name = List.assoc name schedulers in
+  let rec drop_points crashes =
+    let try_without i =
+      List.filteri (fun j _ -> j <> i) crashes
+    in
+    let rec attempt i =
+      if i >= List.length crashes then crashes
+      else
+        let candidate = try_without i in
+        match violates ~scheduler:(scheduler_of fault.scheduler) candidate with
+        | Some _ -> drop_points candidate
+        | None -> attempt (i + 1)
+    in
+    attempt 0
+  in
+  let crashes = drop_points fault.crashes in
+  let lower_indices crashes =
+    List.mapi
+      (fun i (pid, op) ->
+        let rec best cand =
+          if cand >= op then op
+          else
+            let candidate =
+              List.mapi (fun j c -> if j = i then (pid, cand) else c) crashes
+            in
+            match
+              violates ~scheduler:(scheduler_of fault.scheduler) candidate
+            with
+            | Some _ -> cand
+            | None -> best (cand + 1)
+        in
+        (pid, best 0))
+      crashes
+  in
+  let crashes = lower_indices crashes in
+  let scheduler =
+    if fault.scheduler = "round-robin" then "round-robin"
+    else
+      match
+        List.assoc_opt "round-robin" schedulers
+        |> Option.map (fun s -> violates ~scheduler:s crashes)
+      with
+      | Some (Some _) -> "round-robin"
+      | Some None | None -> fault.scheduler
+  in
+  let shrunk = { scheduler; crashes } in
+  match violates ~scheduler:(scheduler_of scheduler) crashes with
+  | Some violation -> (shrunk, violation, !runs)
+  | None ->
+      (* Unreachable: every kept candidate was validated by a re-run. *)
+      assert false
+
+let crash_sets ~nprocs ~max_crashes ~op_window =
+  let rec assignments = function
+    | [] -> [ [] ]
+    | pid :: rest ->
+        let tails = assignments rest in
+        List.concat_map
+          (fun op -> List.map (fun tl -> (pid, op) :: tl) tails)
+          (List.init op_window Fun.id)
+  in
+  let sizes = List.init (max 0 max_crashes) (fun s -> s + 1) in
+  [] (* the crash-free schedule first *)
+  :: List.concat_map
+       (fun size ->
+         Combin.subsets ~n:nprocs ~size |> List.concat_map assignments)
+       sizes
+
+let sweep_crashes ?(max_crashes = 1) ?(op_window = 6) ?(max_runs = 5_000)
+    ?budget ?schedulers ?(meta = []) ~make ~monitors () =
+  let env0, _ = make () in
+  let nprocs = Env.nprocs env0 in
+  let schedulers =
+    match schedulers with
+    | Some s -> s
+    | None -> default_schedulers ~nprocs
+  in
+  let faults = crash_sets ~nprocs ~max_crashes ~op_window in
+  let runs = ref 0 in
+  let found = ref None in
+  let exhausted = ref false in
+  (try
+     List.iter
+       (fun (sched_name, scheduler) ->
+         List.iter
+           (fun crashes ->
+             if !runs >= max_runs then begin
+               exhausted := true;
+               raise Found
+             end;
+             incr runs;
+             match run_fault ?budget ~make ~monitors ~scheduler crashes with
+             | None -> ()
+             | Some _ ->
+                 let fault = { scheduler = sched_name; crashes } in
+                 let shrunk, violation, shrink_runs =
+                   shrink ?budget ~make ~monitors ~schedulers fault
+                 in
+                 let replay =
+                   match violation.Monitor.trace with
+                   | None -> assert false (* run_fault records traces *)
+                   | Some t ->
+                       Trace.to_replay
+                         ~meta:
+                           (meta
+                           @ [
+                               ("monitor", violation.Monitor.monitor);
+                               ("message", violation.Monitor.message);
+                               ( "step",
+                                 string_of_int violation.Monitor.step );
+                               ("pid", string_of_int violation.Monitor.pid);
+                               ( "schedule",
+                                 Format.asprintf "%a" pp_fault_schedule shrunk
+                               );
+                             ])
+                         t
+                 in
+                 found := Some { fault; shrunk; violation; shrink_runs; replay };
+                 raise Found)
+           faults)
+       schedulers
+   with Found -> ());
+  { runs = !runs; found = !found; exhausted = !exhausted }
+
+let replay ?budget ~make ~monitors decisions =
+  let env, progs = make () in
+  let adversary = Adversary.of_replay decisions in
+  match
+    Exec.run ?budget ~record_trace:true ~monitors:(monitors ()) ~env ~adversary
+      progs
+  with
+  | r -> Ok r
+  | exception Monitor.Violation v -> Error v

@@ -50,3 +50,88 @@ val exhaustive :
     depth-first. [make] builds a fresh environment and programs (called
     once; branching copies the environment). Defaults: [max_crashes = 0],
     [max_runs = 2_000_000]. *)
+
+(** {1 Systematic crash-point sweeping}
+
+    Where {!exhaustive} branches over every interleaving (and so only
+    scales to a dozen steps), the sweeper keeps complete runs cheap and
+    enumerates the {e fault dimension} systematically: every set of at
+    most [max_crashes] victims × every per-victim crash op-index below
+    [op_window] × every scheduler, each run under online monitors
+    ({!Exec.run}'s [monitors]). This replaces sampling crash points at
+    random: within the swept box, absence of violations is a fact, not a
+    statistic. *)
+
+type fault_schedule = {
+  scheduler : string;
+  crashes : (int * int) list;  (** (pid, local op-index), as
+                                   [Adversary.Crash_at_local] *)
+}
+
+val pp_fault_schedule : Format.formatter -> fault_schedule -> unit
+
+type found = {
+  fault : fault_schedule;  (** as first encountered by the sweep *)
+  shrunk : fault_schedule;  (** after delta-debugging *)
+  violation : Monitor.violation;
+      (** the violation of the {e shrunk} schedule's run, trace included *)
+  shrink_runs : int;  (** re-runs the shrinker spent *)
+  replay : string;
+      (** replay artifact of the shrunk run ({!Trace.to_replay}), with
+          the violation recorded in its metadata *)
+}
+
+type sweep_outcome = {
+  runs : int;
+  found : found option;
+  exhausted : bool;  (** hit [max_runs] before covering the box *)
+}
+
+val default_schedulers : nprocs:int -> (string * (unit -> Adversary.t)) list
+(** Round-robin, both priority orders, and two seeded random policies —
+    fresh adversaries per call, as scheduling state is per-run. *)
+
+val sweep_crashes :
+  ?max_crashes:int ->
+  ?op_window:int ->
+  ?max_runs:int ->
+  ?budget:int ->
+  ?schedulers:(string * (unit -> Adversary.t)) list ->
+  ?meta:(string * string) list ->
+  make:(unit -> Env.t * 'a Prog.t array) ->
+  monitors:(unit -> 'a Monitor.t list) ->
+  unit ->
+  sweep_outcome
+(** Sweep fault schedules until a monitor violation is found or the box
+    (or [max_runs]) is exhausted. The first violating schedule is shrunk
+    — crash points dropped, op-indices pulled toward 0, scheduler
+    collapsed toward round-robin, each candidate validated by a re-run —
+    and serialized as a replay artifact extended with [meta]. Defaults:
+    [max_crashes = 1], [op_window = 6], [max_runs = 5_000], per-run
+    [budget = 20_000] steps, [schedulers = default_schedulers].
+
+    [make] must build a fresh environment {e and fresh programs} per
+    call (it is called once per run); [monitors] likewise builds fresh
+    monitors. *)
+
+val shrink :
+  ?budget:int ->
+  make:(unit -> Env.t * 'a Prog.t array) ->
+  monitors:(unit -> 'a Monitor.t list) ->
+  schedulers:(string * (unit -> Adversary.t)) list ->
+  fault_schedule ->
+  fault_schedule * Monitor.violation * int
+(** Delta-debug a known-violating fault schedule (its [scheduler] must
+    name an entry of [schedulers]) down to a minimal one; returns the
+    shrunk schedule, its violation, and the number of validation
+    re-runs. *)
+
+val replay :
+  ?budget:int ->
+  make:(unit -> Env.t * 'a Prog.t array) ->
+  monitors:(unit -> 'a Monitor.t list) ->
+  Trace.decision list ->
+  ('a Exec.result, Monitor.violation) Stdlib.result
+(** Re-execute a recorded decision log ({!Adversary.of_replay}) under
+    fresh monitors: [Error] iff the replayed run violates again, with
+    the same step and message when the programs are unchanged. *)

@@ -1,0 +1,150 @@
+type 'a event =
+  | Op_applied of { pid : int; step : int; info : Op.info option }
+  | Decided of { pid : int; step : int; value : 'a }
+  | Crashed of { pid : int; step : int }
+
+type 'a t = { name : string; check : 'a event -> (unit, string) result }
+
+let make ~name check = { name; check }
+let name t = t.name
+let check t ev = t.check ev
+
+type violation = {
+  monitor : string;
+  message : string;
+  step : int;
+  pid : int;
+  trace : Trace.t option;
+}
+
+exception Violation of violation
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] step %d, p%d: %s" v.monitor v.step v.pid v.message
+
+let () =
+  Printexc.register_printer (function
+    | Violation v -> Some (Format.asprintf "Monitor.Violation (%a)" pp_violation v)
+    | _ -> None)
+
+let opaque _ = "<value>"
+
+let agreement ?(eq = ( = )) ?(pp = opaque) () =
+  let first = ref None in
+  make ~name:"agreement" (function
+    | Op_applied _ | Crashed _ -> Ok ()
+    | Decided { pid; value; _ } -> (
+        match !first with
+        | None ->
+            first := Some (pid, value);
+            Ok ()
+        | Some (pid0, v0) ->
+            if eq v0 value then Ok ()
+            else
+              Error
+                (Printf.sprintf "p%d decided %s but p%d decided %s" pid
+                   (pp value) pid0 (pp v0))))
+
+let k_agreement ?(eq = ( = )) ?(pp = opaque) ~k () =
+  let seen = ref [] in
+  make ~name:(Printf.sprintf "%d-agreement" k) (function
+    | Op_applied _ | Crashed _ -> Ok ()
+    | Decided { value; _ } ->
+        if List.exists (fun v -> eq v value) !seen then Ok ()
+        else begin
+          seen := value :: !seen;
+          if List.length !seen <= k then Ok ()
+          else
+            Error
+              (Printf.sprintf "%d distinct decisions (bound %d): [%s]"
+                 (List.length !seen) k
+                 (String.concat "; " (List.rev_map pp !seen)))
+        end)
+
+let validity ?(pp = opaque) ~allowed () =
+  make ~name:"validity" (function
+    | Op_applied _ | Crashed _ -> Ok ()
+    | Decided { value; _ } ->
+        if allowed value then Ok ()
+        else Error (Printf.sprintf "decided %s, not a permitted value" (pp value)))
+
+let crash_bound ~bound () =
+  let crashes = ref 0 in
+  make ~name:(Printf.sprintf "crash-bound(%d)" bound) (function
+    | Op_applied _ | Decided _ -> Ok ()
+    | Crashed _ ->
+        incr crashes;
+        if !crashes <= bound then Ok ()
+        else Error (Printf.sprintf "%d crashes exceed the bound %d" !crashes bound))
+
+let pp_instance (fam, key) =
+  Printf.sprintf "%s[%s]" fam (String.concat ";" (List.map string_of_int key))
+
+let port_discipline ?(kind = Op.Consensus) ~bound () =
+  let accessors : (Op.fam * Op.key, int list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  make
+    ~name:(Printf.sprintf "port-discipline(%s<=%d)" (Op.kind_name kind) bound)
+    (function
+      | Decided _ | Crashed _ | Op_applied { info = None; _ } -> Ok ()
+      | Op_applied { pid; info = Some i; _ } ->
+          if i.Op.kind <> kind then Ok ()
+          else
+            let inst = (i.Op.fam, i.Op.key) in
+            let pids =
+              match Hashtbl.find_opt accessors inst with
+              | Some r -> r
+              | None ->
+                  let r = ref [] in
+                  Hashtbl.add accessors inst r;
+                  r
+            in
+            if List.mem pid !pids then Ok ()
+            else begin
+              pids := pid :: !pids;
+              if List.length !pids <= bound then Ok ()
+              else
+                Error
+                  (Printf.sprintf "%s accessed by %d distinct processes (x=%d)"
+                     (pp_instance inst) (List.length !pids) bound)
+            end)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let crashed_inside ~fam_prefix ?(bound = 1) () =
+  (* Where each live process currently "is": the instance of its latest
+     executed operation. A crash is charged to that instance. *)
+  let at : (int, Op.fam * Op.key) Hashtbl.t = Hashtbl.create 8 in
+  let dead : (Op.fam * Op.key, int ref) Hashtbl.t = Hashtbl.create 8 in
+  make
+    ~name:(Printf.sprintf "crashed-inside(%s<=%d)" fam_prefix bound)
+    (function
+      | Decided _ -> Ok ()
+      | Op_applied { pid; info; _ } ->
+          (match info with
+          | Some i when starts_with ~prefix:fam_prefix i.Op.fam ->
+              Hashtbl.replace at pid (i.Op.fam, i.Op.key)
+          | Some _ -> Hashtbl.remove at pid
+          | None -> ());
+          Ok ()
+      | Crashed { pid; _ } -> (
+          match Hashtbl.find_opt at pid with
+          | None -> Ok ()
+          | Some inst ->
+              let r =
+                match Hashtbl.find_opt dead inst with
+                | Some r -> r
+                | None ->
+                    let r = ref 0 in
+                    Hashtbl.add dead inst r;
+                    r
+              in
+              incr r;
+              if !r <= bound then Ok ()
+              else
+                Error
+                  (Printf.sprintf "%d processes crashed inside %s (bound %d)"
+                     !r (pp_instance inst) bound)))

@@ -1,0 +1,67 @@
+(** Online invariant monitors: safety predicates checked at every step.
+
+    A monitor watches the event stream of one execution — every applied
+    operation, every decision, every crash — and vetoes the run the
+    moment a safety predicate breaks. {!Exec.run} consults its monitors
+    after each step and aborts with {!Violation} carrying the live trace,
+    so a broken invariant surfaces as the exact step that broke it plus a
+    replayable schedule, instead of a post-hoc diff over a finished run.
+
+    Monitors are stateful (they accumulate decided values, crash counts,
+    instance access sets); every builder below returns a {e fresh}
+    monitor, and one monitor must watch at most one run. *)
+
+type 'a event =
+  | Op_applied of { pid : int; step : int; info : Op.info option }
+      (** One atomic operation executed ([info] is [None] for [Yield]). *)
+  | Decided of { pid : int; step : int; value : 'a }
+  | Crashed of { pid : int; step : int }
+
+type 'a t
+
+val make : name:string -> ('a event -> (unit, string) result) -> 'a t
+val name : 'a t -> string
+val check : 'a t -> 'a event -> (unit, string) result
+
+type violation = {
+  monitor : string;
+  message : string;
+  step : int;  (** global step at which the invariant broke *)
+  pid : int;  (** process whose event broke it *)
+  trace : Trace.t option;  (** live trace up to the violation *)
+}
+
+exception Violation of violation
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** {1 Built-in safety predicates}
+
+    [pp] renders decided values in violation messages (default: opaque). *)
+
+val agreement : ?eq:('a -> 'a -> bool) -> ?pp:('a -> string) -> unit -> 'a t
+(** All decided values are equal ([eq] defaults to structural equality). *)
+
+val k_agreement :
+  ?eq:('a -> 'a -> bool) -> ?pp:('a -> string) -> k:int -> unit -> 'a t
+(** At most [k] distinct decided values. *)
+
+val validity : ?pp:('a -> string) -> allowed:('a -> bool) -> unit -> 'a t
+(** Every decided value satisfies [allowed] (e.g. was somebody's input). *)
+
+val crash_bound : bound:int -> unit -> 'a t
+(** At most [bound] crashes — the model's [t]; a run that exceeds it is
+    outside the adversary's contract. *)
+
+val port_discipline : ?kind:Op.kind -> bound:int -> unit -> 'a t
+(** No object instance of [kind] (default [Consensus]) is accessed by
+    more than [bound] distinct processes — the x-concurrency bound of the
+    paper's x-ported objects, checked per (family, key). *)
+
+val crashed_inside : fam_prefix:string -> ?bound:int -> unit -> 'a t
+(** At most [bound] (default 1) processes crash {e inside} any single
+    object instance whose family starts with [fam_prefix] — a process is
+    inside the instance its latest executed operation touched. This is
+    the BG assumption that at most one simulator crashes per safe
+    agreement; running it as a monitor turns "the assumption silently
+    failed" into an abort naming the instance. *)

@@ -1,14 +1,25 @@
 type event = { step : int; pid : int; info : Op.info option }
 
+type decision = Sched of int | Crash of int
+
 type t = {
   limit : int;
   mutable rev_events : event list;
   mutable count : int;
   mutable dropped : int;
+  mutable rev_decisions : decision list;
+  mutable decision_count : int;
 }
 
 let create ?(limit = 100_000) () =
-  { limit; rev_events = []; count = 0; dropped = 0 }
+  {
+    limit;
+    rev_events = [];
+    count = 0;
+    dropped = 0;
+    rev_decisions = [];
+    decision_count = 0;
+  }
 
 let add t e =
   if t.count >= t.limit then begin
@@ -41,3 +52,111 @@ let pp_event ppf { step; pid; info } =
 
 let pp ppf t =
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)
+
+(* ------------------------------------------------------------------ *)
+(* Decisions and replay artifacts                                       *)
+(* ------------------------------------------------------------------ *)
+
+let record_decision t d =
+  t.rev_decisions <- d :: t.rev_decisions;
+  t.decision_count <- t.decision_count + 1
+
+let decisions t = List.rev t.rev_decisions
+let decision_count t = t.decision_count
+
+let pp_decision ppf = function
+  | Sched p -> Format.fprintf ppf "%d" p
+  | Crash p -> Format.fprintf ppf "X%d" p
+
+let decision_token = function
+  | Sched p -> string_of_int p
+  | Crash p -> "X" ^ string_of_int p
+
+let decision_of_token s =
+  let num s =
+    match int_of_string_opt s with
+    | Some p when p >= 0 -> Ok p
+    | Some _ | None -> Error (Printf.sprintf "bad pid %S" s)
+  in
+  if String.length s > 1 && s.[0] = 'X' then
+    Result.map (fun p -> Crash p)
+      (num (String.sub s 1 (String.length s - 1)))
+  else Result.map (fun p -> Sched p) (num s)
+
+(* Artifact format (line-oriented, trailing newline):
+
+     asmsim-replay 1
+     meta <key> <value>          (zero or more)
+     schedule <tok> <tok> ...    (zero or more lines, in order)
+
+   Tokens are [pid] for a scheduling decision and [Xpid] for a crash.
+   Schedule lines are wrapped for readability; concatenation order is
+   the decision order. *)
+
+let magic = "asmsim-replay 1"
+
+let meta_key_ok k =
+  k <> ""
+  && String.for_all
+       (fun c -> not (c = ' ' || c = '\t' || c = '\n' || c = '=' ))
+       k
+
+let to_replay ?(meta = []) t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (k, v) ->
+      if not (meta_key_ok k) then
+        invalid_arg (Printf.sprintf "Trace.to_replay: bad meta key %S" k);
+      if String.contains v '\n' then
+        invalid_arg (Printf.sprintf "Trace.to_replay: newline in meta %S" k);
+      Buffer.add_string buf (Printf.sprintf "meta %s %s\n" k v))
+    meta;
+  let on_line = ref 0 in
+  List.iter
+    (fun d ->
+      if !on_line = 0 then Buffer.add_string buf "schedule"
+      ;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (decision_token d);
+      incr on_line;
+      if !on_line >= 25 then begin
+        Buffer.add_char buf '\n';
+        on_line := 0
+      end)
+    (decisions t);
+  if !on_line > 0 then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let parse_replay s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty replay artifact"
+  | first :: rest ->
+      if String.trim first <> magic then
+        Error (Printf.sprintf "not a replay artifact (expected %S)" magic)
+      else
+        let rec go meta rev_ds = function
+          | [] -> Ok (List.rev meta, List.rev rev_ds)
+          | line :: rest -> (
+              match String.split_on_char ' ' line with
+              | "meta" :: k :: vs -> go ((k, String.concat " " vs) :: meta) rev_ds rest
+              | "schedule" :: toks ->
+                  let rec add rev_ds = function
+                    | [] -> Ok rev_ds
+                    | "" :: toks -> add rev_ds toks
+                    | tok :: toks -> (
+                        match decision_of_token tok with
+                        | Ok d -> add (d :: rev_ds) toks
+                        | Error e -> Error e)
+                  in
+                  (match add rev_ds toks with
+                  | Ok rev_ds -> go meta rev_ds rest
+                  | Error e -> Error e)
+              | _ -> Error (Printf.sprintf "unrecognized line %S" line))
+        in
+        go [] [] rest

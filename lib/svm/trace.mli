@@ -1,7 +1,16 @@
-(** Event traces: the linearization order of a run.
+(** Event traces: the linearization order of a run, plus the decision log
+    that makes the run replayable.
 
     Each executed operation is one event; the order of events is exactly
-    the linearization of the run (operations are atomic steps). *)
+    the linearization of the run (operations are atomic steps).
+
+    Separately from events (which may be truncated to a size limit), a
+    trace records every {e scheduler decision} — which process was picked
+    and whether it crashed — one per scheduler iteration. The decision
+    log is never truncated: it is the complete seed of the run, and
+    {!Adversary.of_replay} can re-drive the scheduler from it
+    bit-for-bit. {!to_replay}/{!parse_replay} serialize it, with optional
+    metadata, as a compact replay artifact. *)
 
 type event = { step : int; pid : int; info : Op.info option }
 (** [info] is [None] for [Yield] steps and for crash events. *)
@@ -20,3 +29,26 @@ val dropped : t -> int
 val length : t -> int
 val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit
+
+(** {1 Scheduler decisions and replay artifacts} *)
+
+type decision =
+  | Sched of int  (** the pid executed (or harvested) one step *)
+  | Crash of int  (** the pid was crashed instead *)
+
+val record_decision : t -> decision -> unit
+val decisions : t -> decision list
+(** In execution order; one per scheduler iteration, never truncated. *)
+
+val decision_count : t -> int
+
+val to_replay : ?meta:(string * string) list -> t -> string
+(** Serialize the decision log as a replay artifact. [meta] entries are
+    free-form [(key, value)] pairs (keys must be non-empty and contain no
+    whitespace or ['=']; values no newlines) recording how to rebuild the
+    run — scenario name, model parameters, the violation reproduced. *)
+
+val parse_replay : string -> ((string * string) list * decision list, string) result
+(** Inverse of {!to_replay}: [(meta, decisions)], or a parse error. *)
+
+val pp_decision : Format.formatter -> decision -> unit

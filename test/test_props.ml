@@ -6,6 +6,13 @@ open Svm
 
 let to_alcotest = QCheck_alcotest.to_alcotest
 
+(* ASMSIM_HEAVY=1 multiplies every qcheck count for exhaustive overnight
+   runs; the default counts keep `dune runtest` well under two minutes. *)
+let count n =
+  match Sys.getenv_opt "ASMSIM_HEAVY" with
+  | None | Some "" | Some "0" -> n
+  | Some _ -> n * 10
+
 (* ------------------------------------------------------------------ *)
 (* Generators                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -28,7 +35,7 @@ let model_gen =
 (* ------------------------------------------------------------------ *)
 
 let prop_canonical_equivalent =
-  QCheck.Test.make ~count:200 ~name:"canonical form is equivalent and idempotent"
+  QCheck.Test.make ~count:(count 200) ~name:"canonical form is equivalent and idempotent"
     model_gen (fun (n, t, x) ->
       let m = Core.Model.make ~n ~t ~x in
       let c = Core.Model.canonical m in
@@ -37,7 +44,7 @@ let prop_canonical_equivalent =
       && c.Core.Model.x = 1)
 
 let prop_window_iff =
-  QCheck.Test.make ~count:200 ~name:"window membership iff equivalence"
+  QCheck.Test.make ~count:(count 200) ~name:"window membership iff equivalence"
     model_gen (fun (n, t', x) ->
       let m = Core.Model.make ~n ~t:t' ~x in
       let t = Core.Model.power m in
@@ -45,7 +52,7 @@ let prop_window_iff =
       t' >= lo && t' <= hi)
 
 let prop_equivalence_relation =
-  QCheck.Test.make ~count:200 ~name:"equivalence is symmetric and transitive"
+  QCheck.Test.make ~count:(count 200) ~name:"equivalence is symmetric and transitive"
     (QCheck.triple model_gen model_gen model_gen)
     (fun ((n1, t1, x1), (n2, t2, x2), (n3, t3, x3)) ->
       let m1 = Core.Model.make ~n:n1 ~t:t1 ~x:x1 in
@@ -57,7 +64,7 @@ let prop_equivalence_relation =
          || Core.Model.equivalent m1 m3)
 
 let prop_kset_boundary =
-  QCheck.Test.make ~count:200 ~name:"k-set solvable iff k > floor(t/x)"
+  QCheck.Test.make ~count:(count 200) ~name:"k-set solvable iff k > floor(t/x)"
     model_gen (fun (n, t, x) ->
       let m = Core.Model.make ~n ~t ~x in
       let p = Core.Model.power m in
@@ -65,7 +72,7 @@ let prop_kset_boundary =
       && (p = 0 || not (Core.Model.kset_solvable m ~k:p)))
 
 let prop_stronger_irreflexive_total =
-  QCheck.Test.make ~count:200 ~name:"hierarchy: exactly one of <, >, ~"
+  QCheck.Test.make ~count:(count 200) ~name:"hierarchy: exactly one of <, >, ~"
     (QCheck.pair model_gen model_gen)
     (fun ((n1, t1, x1), (n2, t2, x2)) ->
       let m1 = Core.Model.make ~n:n1 ~t:t1 ~x:x1 in
@@ -87,12 +94,21 @@ let prop_codec_roundtrip =
   let codec =
     Codec.list (Codec.pair Codec.int (Codec.option (Codec.list Codec.string)))
   in
-  QCheck.Test.make ~count:300 ~name:"nested codec roundtrip"
-    QCheck.(list (pair int (option (list string))))
+  (* Size-bounded generators: QCheck's default nested list/string sizes
+     make this one test dominate the whole suite's runtime. *)
+  let gen =
+    let open QCheck.Gen in
+    list_size (int_bound 10)
+      (pair int
+         (option (list_size (int_bound 8) (string_size (int_bound 16)))))
+  in
+  let print = QCheck.Print.(list (pair int (option (list string)))) in
+  QCheck.Test.make ~count:(count 300) ~name:"nested codec roundtrip"
+    (QCheck.make ~print gen)
     (fun v -> codec.Codec.prj (codec.Codec.inj v) = v)
 
 let prop_subsets =
-  QCheck.Test.make ~count:100 ~name:"subsets: count, sortedness, distinctness"
+  QCheck.Test.make ~count:(count 100) ~name:"subsets: count, sortedness, distinctness"
     (QCheck.pair (QCheck.int_range 0 9) (QCheck.int_range 0 9))
     (fun (n, size) ->
       let s = Combin.subsets ~n ~size in
@@ -119,7 +135,7 @@ let run_agreement ~seed ~nprocs ~crashes ~x make_participant =
   Exec.run ~budget:60_000 ~env ~adversary progs
 
 let prop_safe_agreement_safety =
-  QCheck.Test.make ~count:150
+  QCheck.Test.make ~count:(count 150)
     ~name:"safe agreement: agreement+validity under random crashes"
     (QCheck.pair seed_gen (QCheck.int_range 0 2))
     (fun (seed, crashes) ->
@@ -139,7 +155,7 @@ let prop_safe_agreement_safety =
       | d :: rest -> List.for_all (Int.equal d) rest && d >= 0 && d < 4))
 
 let prop_safe_agreement_termination =
-  QCheck.Test.make ~count:100
+  QCheck.Test.make ~count:(count 100)
     ~name:"safe agreement: termination without crashes"
     seed_gen
     (fun seed ->
@@ -156,7 +172,7 @@ let prop_safe_agreement_termination =
       Exec.decided_count r = 5)
 
 let prop_x_safe_agreement =
-  QCheck.Test.make ~count:120
+  QCheck.Test.make ~count:(count 120)
     ~name:"x_safe_agreement: safety always, termination with < x crashes"
     (QCheck.pair seed_gen (QCheck.int_range 0 1))
     (fun (seed, crashes) ->
@@ -183,7 +199,7 @@ let prop_x_safe_agreement =
       agreement && List.length ds = 4 - crashed)
 
 let prop_ts_unique_winner =
-  QCheck.Test.make ~count:150 ~name:"tournament test&set: unique winner"
+  QCheck.Test.make ~count:(count 150) ~name:"tournament test&set: unique winner"
     (QCheck.pair seed_gen (QCheck.int_range 1 6))
     (fun (seed, nprocs) ->
       let ts = Shared_objects.Ts_from_cons.make ~fam:"TS" ~participants:nprocs in
@@ -206,7 +222,7 @@ let prop_ts_unique_winner =
 let prop_kset_rw_validity =
   let task = Tasks.Task.kset ~k:3 in
   let alg = Tasks.Algorithms.kset_read_write ~n:5 ~t:2 ~k:3 in
-  QCheck.Test.make ~count:150 ~name:"native k-set validity" seed_gen
+  QCheck.Test.make ~count:(count 150) ~name:"native k-set validity" seed_gen
     (fun seed ->
       let run =
         Experiments.Runner.one_run ~task ~alg ~seed ~max_crashes:2 ()
@@ -217,7 +233,7 @@ let prop_kset_rw_validity =
 let prop_renaming_validity =
   let task = Tasks.Task.renaming ~slots:11 in
   let alg = Tasks.Algorithms.renaming_read_write ~n:6 ~t:2 in
-  QCheck.Test.make ~count:100 ~name:"native renaming validity" seed_gen
+  QCheck.Test.make ~count:(count 100) ~name:"native renaming validity" seed_gen
     (fun seed ->
       let run =
         Experiments.Runner.one_run ~task ~alg ~seed ~max_crashes:2 ()
@@ -229,7 +245,7 @@ let prop_bg_classic_validity =
   let task = Tasks.Task.kset ~k:3 in
   let source = Tasks.Algorithms.kset_read_write ~n:5 ~t:2 ~k:3 in
   let alg = Core.Bg.classic ~source in
-  QCheck.Test.make ~count:30 ~name:"BG classic task validity" seed_gen
+  QCheck.Test.make ~count:(count 30) ~name:"BG classic task validity" seed_gen
     (fun seed ->
       let run =
         Experiments.Runner.one_run ~budget:400_000 ~task ~alg ~seed
@@ -242,7 +258,7 @@ let prop_sim_up_validity =
   let task = Tasks.Task.kset ~k:3 in
   let source = Tasks.Algorithms.kset_read_write ~n:6 ~t:2 ~k:3 in
   let alg = Core.Bg.sim_up ~source ~t':5 ~x:2 in
-  QCheck.Test.make ~count:20 ~name:"Section 4 simulation task validity"
+  QCheck.Test.make ~count:(count 20) ~name:"Section 4 simulation task validity"
     seed_gen (fun seed ->
       let run =
         Experiments.Runner.one_run ~budget:900_000 ~task ~alg ~seed
@@ -256,7 +272,7 @@ let prop_sim_up_validity =
 (* ------------------------------------------------------------------ *)
 
 let prop_afek_views_ordered =
-  QCheck.Test.make ~count:60 ~name:"Afek snapshot views totally ordered"
+  QCheck.Test.make ~count:(count 60) ~name:"Afek snapshot views totally ordered"
     seed_gen
     (fun seed ->
       let open Prog.Syntax in
@@ -303,7 +319,7 @@ let prop_afek_views_ordered =
         views)
 
 let prop_immediate_snapshot =
-  QCheck.Test.make ~count:80 ~name:"immediate snapshot: containment+immediacy"
+  QCheck.Test.make ~count:(count 80) ~name:"immediate snapshot: containment+immediacy"
     seed_gen
     (fun seed ->
       let open Prog.Syntax in
@@ -336,7 +352,7 @@ let prop_immediate_snapshot =
         views)
 
 let prop_adopt_commit =
-  QCheck.Test.make ~count:100 ~name:"adopt-commit: commit implies agreement"
+  QCheck.Test.make ~count:(count 100) ~name:"adopt-commit: commit implies agreement"
     (QCheck.pair seed_gen (QCheck.int_range 0 1))
     (fun (seed, spread) ->
       let ac = Shared_objects.Adopt_commit.make ~fam:"AC" in
@@ -365,7 +381,7 @@ let prop_approximate =
   let scale = 256 and rounds = 12 in
   let task = Tasks.Task.approximate ~scale ~eps:4 in
   let alg = Tasks.Algorithms.approximate_agreement ~n:5 ~t:4 ~rounds ~scale in
-  QCheck.Test.make ~count:80 ~name:"approximate agreement validity" seed_gen
+  QCheck.Test.make ~count:(count 80) ~name:"approximate agreement validity" seed_gen
     (fun seed ->
       let run =
         Experiments.Runner.one_run ~task ~alg ~seed ~max_crashes:4 ()
@@ -374,7 +390,7 @@ let prop_approximate =
       && Exec.blocked run.Experiments.Runner.result = [])
 
 let prop_hr_threshold_monotone =
-  QCheck.Test.make ~count:200
+  QCheck.Test.make ~count:(count 200)
     ~name:"Herlihy-Rajsbaum threshold: monotone in t, antitone in m and l"
     (QCheck.triple (QCheck.int_range 0 12) (QCheck.int_range 1 6)
        (QCheck.int_range 1 6))

@@ -1,0 +1,296 @@
+(* Deterministic replay and the fault-injection sweeper.
+
+   - round-trips: record a run's decision log, serialize it to the
+     replay-artifact text format, parse it back, re-drive a fresh run
+     with [Adversary.of_replay] — every observable of the two runs must
+     match bit-for-bit; across several schedulers and algorithms.
+   - monitors: the online invariant monitors fire at the breaking step
+     and stay silent on healthy runs.
+   - acceptance: the sweeper finds the seeded x_safe_agreement
+     first-subset bug, shrinks it, and the written artifact reproduces
+     the identical violation through a file. *)
+
+open Svm
+
+let heavy =
+  match Sys.getenv_opt "ASMSIM_HEAVY" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Round-trips                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_to_string = function
+  | Exec.Decided v -> Printf.sprintf "decided %d" v
+  | Exec.Crashed -> "crashed"
+  | Exec.Blocked -> "blocked"
+
+let check_same_run ~ctx (a : int Exec.result) (b : int Exec.result) =
+  Alcotest.(check (list string))
+    (ctx ^ ": outcomes")
+    (Array.to_list a.Exec.outcomes |> List.map outcome_to_string)
+    (Array.to_list b.Exec.outcomes |> List.map outcome_to_string);
+  Alcotest.(check (list int))
+    (ctx ^ ": op counts")
+    (Array.to_list a.Exec.op_counts)
+    (Array.to_list b.Exec.op_counts);
+  Alcotest.(check (list int)) (ctx ^ ": crash order") a.Exec.crashed b.Exec.crashed;
+  Alcotest.(check int) (ctx ^ ": total steps") a.Exec.total_steps b.Exec.total_steps
+
+let algorithms =
+  [
+    ( "kset(5,2,3)",
+      Tasks.Algorithms.kset_read_write ~n:5 ~t:2 ~k:3,
+      [ 3; 1; 4; 1; 5 ] );
+    ( "renaming(4,2)",
+      Tasks.Algorithms.renaming_read_write ~n:4 ~t:2,
+      [ 7; 2; 9; 4 ] );
+  ]
+
+let schedulers =
+  [
+    ("round-robin", fun () -> Adversary.round_robin ());
+    ("random", fun () -> Adversary.random ~seed:7);
+    ("priority-desc", fun () -> Adversary.priority [ 4; 3; 2; 1; 0 ]);
+    ("biased", fun () -> Adversary.biased ~seed:3 ~favourite:1 ~weight:4);
+  ]
+
+let crash_plan = [ Adversary.Crash_at_local { pid = 0; step = 2 } ]
+
+let test_round_trips () =
+  List.iter
+    (fun (alg_name, alg, inputs) ->
+      List.iter
+        (fun (sched_name, scheduler) ->
+          let ctx = alg_name ^ " / " ^ sched_name in
+          let adversary = Adversary.with_crashes (scheduler ()) crash_plan in
+          let original =
+            Core.Run.run_ints ~budget:100_000 ~record_trace:true ~alg ~inputs
+              ~adversary ()
+          in
+          let trace =
+            match original.Exec.trace with
+            | Some t -> t
+            | None -> Alcotest.fail (ctx ^ ": no trace recorded")
+          in
+          (* Serialize -> parse -> re-drive. *)
+          let artifact = Trace.to_replay ~meta:[ ("alg", alg_name) ] trace in
+          let meta, decisions =
+            match Trace.parse_replay artifact with
+            | Ok md -> md
+            | Error e -> Alcotest.fail (ctx ^ ": parse_replay: " ^ e)
+          in
+          Alcotest.(check (option string))
+            (ctx ^ ": meta survives") (Some alg_name)
+            (List.assoc_opt "alg" meta);
+          Alcotest.(check int)
+            (ctx ^ ": one decision per step")
+            original.Exec.total_steps (List.length decisions);
+          let replayed =
+            Core.Run.run_ints ~budget:100_000 ~record_trace:true ~alg ~inputs
+              ~adversary:(Adversary.of_replay decisions) ()
+          in
+          check_same_run ~ctx original replayed;
+          (* The replayed run's own log is the log it was driven by. *)
+          match replayed.Exec.trace with
+          | None -> Alcotest.fail (ctx ^ ": replay recorded no trace")
+          | Some t ->
+              Alcotest.(check bool)
+                (ctx ^ ": decision log is a fixpoint") true
+                (Trace.decisions t = decisions))
+        schedulers)
+    algorithms
+
+let test_artifact_rejects_garbage () =
+  (match Trace.parse_replay "not a replay\n" with
+  | Ok _ -> Alcotest.fail "accepted a file without the magic line"
+  | Error _ -> ());
+  match Trace.parse_replay "asmsim-replay 1\nschedule 0 Q1\n" with
+  | Ok _ -> Alcotest.fail "accepted a malformed schedule token"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Monitors                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Two processes decide different values: the agreement monitor must
+   abort at the second decide, naming both values. *)
+let test_agreement_monitor_fires () =
+  let env = Env.create ~nprocs:2 ~x:1 () in
+  let progs = [| Prog.return 1; Prog.return 2 |] in
+  match
+    Exec.run ~record_trace:true
+      ~monitors:[ Monitor.agreement ~pp:string_of_int () ]
+      ~env
+      ~adversary:(Adversary.round_robin ())
+      progs
+  with
+  | _ -> Alcotest.fail "disagreement not caught"
+  | exception Monitor.Violation v ->
+      Alcotest.(check string) "monitor name" "agreement" v.Monitor.monitor;
+      Alcotest.(check int) "pid of the second decide" 1 v.Monitor.pid;
+      Alcotest.(check bool) "live trace attached" true
+        (v.Monitor.trace <> None);
+      Alcotest.(check bool) "message names both values" true
+        (let has s sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         has v.Monitor.message "1" && has v.Monitor.message "2")
+
+let test_validity_monitor_fires () =
+  let env = Env.create ~nprocs:1 ~x:1 () in
+  match
+    Exec.run
+      ~monitors:[ Monitor.validity ~allowed:(fun v -> v < 10) () ]
+      ~env
+      ~adversary:(Adversary.round_robin ())
+      [| Prog.return 99 |]
+  with
+  | _ -> Alcotest.fail "invalid decision not caught"
+  | exception Monitor.Violation v ->
+      Alcotest.(check string) "monitor name" "validity" v.Monitor.monitor
+
+let test_crash_bound_monitor () =
+  let env = Env.create ~nprocs:3 ~x:1 () in
+  let spin () =
+    Prog.loop (fun () -> Prog.map (fun () -> `Again ()) Prog.yield) ()
+  in
+  let progs = [| spin (); spin (); spin () |] in
+  let adversary =
+    Adversary.with_crashes (Adversary.round_robin ())
+      [
+        Adversary.Crash_at_local { pid = 0; step = 1 };
+        Adversary.Crash_at_local { pid = 1; step = 1 };
+      ]
+  in
+  match
+    Exec.run ~budget:100 ~monitors:[ Monitor.crash_bound ~bound:1 () ] ~env
+      ~adversary progs
+  with
+  | _ -> Alcotest.fail "second crash not caught"
+  | exception Monitor.Violation v ->
+      Alcotest.(check int) "second crash is the violation" 1 v.Monitor.pid
+
+(* ------------------------------------------------------------------ *)
+(* Sweeper acceptance                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let get_scenario name =
+  match Experiments.Scenario.find name with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+(* Healthy object, whole <=1-crash box: the sweeper must come back
+   empty — no false positives. *)
+let test_sweep_clean_on_healthy () =
+  let s = get_scenario "x_safe_agreement" in
+  let outcome =
+    Experiments.Harness.sweep_scenario ~max_crashes:1
+      ~op_window:(if heavy then 12 else 4)
+      s
+  in
+  (match outcome.Explore.found with
+  | None -> ()
+  | Some f ->
+      Alcotest.fail
+        (Fmt.str "false positive: %a" Monitor.pp_violation f.Explore.violation));
+  Alcotest.(check bool) "box fully covered" false outcome.Explore.exhausted
+
+(* The seeded safe-agreement ablation disagrees without any crash: the
+   sweeper's scheduler dimension alone must find it. *)
+let test_sweep_finds_no_cancel_without_crashes () =
+  let s = get_scenario "safe_agreement_no_cancel" in
+  let outcome = Experiments.Harness.sweep_scenario ~max_crashes:0 s in
+  match outcome.Explore.found with
+  | None -> Alcotest.fail "seeded no-cancel bug not found"
+  | Some f ->
+      Alcotest.(check string)
+        "agreement broke" "agreement"
+        f.Explore.violation.Monitor.monitor;
+      Alcotest.(check (list (pair int int)))
+        "shrunk to zero crash points" []
+        f.Explore.shrunk.Explore.crashes
+
+(* The end-to-end acceptance loop: sweep the seeded x_safe_agreement
+   first-subset bug, shrink, write the artifact to a real file, read it
+   back, rebuild the scenario from its metadata, and reproduce the
+   identical violation. *)
+let test_acceptance_sweep_shrink_replay () =
+  let s = get_scenario "x_safe_agreement_first_subset" in
+  let outcome = Experiments.Harness.sweep_scenario ~max_crashes:2 s in
+  let f =
+    match outcome.Explore.found with
+    | Some f -> f
+    | None -> Alcotest.fail "seeded first-subset bug not found"
+  in
+  let v = f.Explore.violation in
+  Alcotest.(check string) "an agreement violation" "agreement" v.Monitor.monitor;
+  Alcotest.(check bool)
+    "shrunk to at most 2 crash points" true
+    (List.length f.Explore.shrunk.Explore.crashes <= 2);
+  Alcotest.(check bool)
+    "shrinking never grows the schedule" true
+    (List.length f.Explore.shrunk.Explore.crashes
+    <= List.length f.Explore.fault.Explore.crashes);
+  (* Through an actual file, like `asmsim sweep --out` + `asmsim replay`. *)
+  let file = Filename.temp_file "asmsim_test" ".replay" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc f.Explore.replay;
+      close_out oc;
+      let ic = open_in_bin file in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let meta, decisions =
+        match Trace.parse_replay contents with
+        | Ok md -> md
+        | Error e -> Alcotest.fail ("artifact does not parse: " ^ e)
+      in
+      let s' =
+        match Experiments.Scenario.of_replay_meta meta with
+        | Ok s' -> s'
+        | Error e -> Alcotest.fail ("scenario not rebuilt from meta: " ^ e)
+      in
+      Alcotest.(check string)
+        "metadata names the scenario" s.Experiments.Scenario.name
+        s'.Experiments.Scenario.name;
+      match
+        Explore.replay ~make:s'.Experiments.Scenario.make
+          ~monitors:s'.Experiments.Scenario.monitors decisions
+      with
+      | Ok _ -> Alcotest.fail "replay did not reproduce the violation"
+      | Error v' ->
+          Alcotest.(check string)
+            "same monitor" v.Monitor.monitor v'.Monitor.monitor;
+          Alcotest.(check string)
+            "same message" v.Monitor.message v'.Monitor.message;
+          Alcotest.(check int) "same step" v.Monitor.step v'.Monitor.step;
+          Alcotest.(check int) "same pid" v.Monitor.pid v'.Monitor.pid)
+
+let suite =
+  [
+    ( "replay",
+      [
+        Alcotest.test_case "decision-log round-trips, bit-for-bit" `Quick
+          test_round_trips;
+        Alcotest.test_case "artifact parser rejects garbage" `Quick
+          test_artifact_rejects_garbage;
+        Alcotest.test_case "agreement monitor aborts at the breaking step"
+          `Quick test_agreement_monitor_fires;
+        Alcotest.test_case "validity monitor" `Quick test_validity_monitor_fires;
+        Alcotest.test_case "crash-bound monitor" `Quick test_crash_bound_monitor;
+        Alcotest.test_case "sweeper is clean on the healthy object" `Quick
+          test_sweep_clean_on_healthy;
+        Alcotest.test_case "sweeper finds the no-cancel bug with 0 crashes"
+          `Quick test_sweep_finds_no_cancel_without_crashes;
+        Alcotest.test_case "acceptance: sweep, shrink, artifact, exact replay"
+          `Quick test_acceptance_sweep_shrink_replay;
+      ] );
+  ]
