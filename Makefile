@@ -1,13 +1,18 @@
 # Build/test entry points with hard timeouts, so a wedged exploration or
 # a blocked run fails the pipeline fast instead of hanging it.
 #
-#   make ci            — what CI runs: typecheck + full test suite
+#   make ci            — what CI runs: typecheck + full test suite + fault smoke
+#   make ci-heavy      — full box: heavy sweeps under ASMSIM_HEAVY=1
+#   make smoke         — one sweep per fault tier through the real CLI
 #   make test-heavy    — includes the exhaustive sweeps (ASMSIM_HEAVY=1)
+#   make bench-json    — benchmarks as BENCH_svm.json (ns/run + overhead)
 
 BUILD_TIMEOUT ?= 120
 TEST_TIMEOUT ?= 150
+SMOKE_TIMEOUT ?= 60
+ASMSIM = dune exec --no-print-directory bin/asmsim.exe --
 
-.PHONY: build check test test-heavy ci
+.PHONY: build check test test-heavy ci ci-heavy smoke bench-json
 
 build:
 	dune build
@@ -21,5 +26,22 @@ test:
 test-heavy:
 	ASMSIM_HEAVY=1 timeout 900 dune runtest --force
 
+# One scenario per fault tier, through the installed CLI — the fast gate
+# that the whole sweep→monitor→shrink→replay pipeline still closes.
+# The byzantine leg gates on the *expected* integrity violation.
+smoke: build
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) sweep --algo safe_agreement --tiers crash
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) sweep --algo x_safe_agreement_abortable --tiers omission
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) sweep --algo bg_sec4 --tiers recovery --budget 40000
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) sweep --algo x_safe_agreement --tiers byzantine \
+	  --expect-violation --out _build/smoke.replay
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) replay _build/smoke.replay; test $$? -eq 1
+
 ci: check
 	timeout $(TEST_TIMEOUT) dune runtest
+	$(MAKE) smoke
+
+ci-heavy: ci test-heavy
+
+bench-json: build
+	timeout 600 dune exec --no-print-directory bench/main.exe -- --json

@@ -185,9 +185,40 @@ let bench_explorer () =
        ~property:(fun _ -> Ok ())
        ())
 
+(* The sweep-harness overhead pair: the same safe-agreement workload
+   run bare, and run the way the fault sweeper runs it — fault-capable
+   adversary wrapper, online monitors, trace recording — with no fault
+   actually firing, so the difference is pure harness tax. *)
+
+let sweep_overhead_progs () =
+  let env = Env.create ~nprocs:5 ~x:1 () in
+  let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
+  let prog i =
+    let* () =
+      Shared_objects.Safe_agreement.propose sa ~key:[] (Codec.int.Codec.inj i)
+    in
+    Shared_objects.Safe_agreement.decide sa ~key:[]
+  in
+  (env, Array.init 5 prog)
+
+let bench_overhead_plain () =
+  let env, progs = sweep_overhead_progs () in
+  ignore (Exec.run ~env ~adversary:(adversary 3) progs)
+
+let bench_overhead_swept () =
+  let env, progs = sweep_overhead_progs () in
+  let adversary = Adversary.with_faults (adversary 3) [] in
+  let monitors = [ Monitor.agreement (); Monitor.crash_bound ~bound:1 () ] in
+  ignore (Exec.run ~record_trace:true ~monitors ~env ~adversary progs)
+
+let overhead_plain_name = "OV0: safe agreement, bare Exec.run"
+let overhead_swept_name = "OV1: same + fault wrapper, monitors, trace"
+
 let tests =
   Test.make_grouped ~name:"mpcn"
     [
+      Test.make ~name:overhead_plain_name (Staged.stage bench_overhead_plain);
+      Test.make ~name:overhead_swept_name (Staged.stage bench_overhead_swept);
       Test.make ~name:"S0a: native snapshot, 4 procs x 25 rounds"
         (Staged.stage bench_native_snapshot);
       Test.make ~name:"S0b: Afek snapshot from registers, 3 x 8"
@@ -234,11 +265,7 @@ let tests =
         (Staged.stage bench_explorer);
     ]
 
-let () =
-  (* The paper's "table": the Section 5.4 equivalence classes. *)
-  print_string (Experiments.Exp_sec54.classes_table ~t':8 ~x_max:9);
-  print_newline ();
-
+let estimate_table () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -249,16 +276,88 @@ let () =
   in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let names = Test.names tests in
-  Printf.printf "%-56s %14s\n" "benchmark (one complete run)" "time/run";
-  Printf.printf "%s\n" (String.make 72 '-');
-  List.iter
+  List.filter_map
     (fun name ->
       match Hashtbl.find_opt results name with
-      | None -> ()
+      | None -> None
       | Some ols -> (
           match Analyze.OLS.estimates ols with
-          | Some (est :: _) ->
-              Printf.printf "%-56s %11.3f ms\n" name (est /. 1e6)
-          | Some [] | None -> Printf.printf "%-56s %14s\n" name "n/a"))
-    names
+          | Some (est :: _) -> Some (name, est)
+          | Some [] | None -> None))
+    (Test.names tests)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* BENCH_svm.json: per-benchmark ns/run plus the sweep-harness overhead
+   ratio (swept / plain of the OV pair above) — the number CI watches so
+   the fault machinery never silently becomes the bottleneck. *)
+let emit_json estimates =
+  let find name =
+    (* bechamel prefixes the group name ("mpcn/..."). *)
+    List.find_map
+      (fun (n, est) ->
+        if String.length n >= String.length name
+           && String.equal
+                (String.sub n
+                   (String.length n - String.length name)
+                   (String.length name))
+                name
+        then Some est
+        else None)
+      estimates
+  in
+  let ratio =
+    match (find overhead_plain_name, find overhead_swept_name) with
+    | Some p, Some s when p > 0. -> Some (s /. p)
+    | _ -> None
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, est) ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n"
+           (json_escape name) est
+           (if i = List.length estimates - 1 then "" else ",")))
+    estimates;
+  Buffer.add_string b "  ],\n";
+  (match ratio with
+  | Some r ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"sweep_overhead_ratio\": %.3f\n" r)
+  | None -> Buffer.add_string b "  \"sweep_overhead_ratio\": null\n");
+  Buffer.add_string b "}\n";
+  let oc = open_out "BENCH_svm.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  (match ratio with
+  | Some r -> Printf.printf "sweep overhead ratio: %.2fx\n" r
+  | None -> ());
+  print_endline "wrote BENCH_svm.json"
+
+let () =
+  let json = Array.exists (String.equal "--json") Sys.argv in
+  if json then emit_json (estimate_table ())
+  else begin
+    (* The paper's "table": the Section 5.4 equivalence classes. *)
+    print_string (Experiments.Exp_sec54.classes_table ~t':8 ~x_max:9);
+    print_newline ();
+    let estimates = estimate_table () in
+    Printf.printf "%-56s %14s\n" "benchmark (one complete run)" "time/run";
+    Printf.printf "%s\n" (String.make 72 '-');
+    List.iter
+      (fun (name, est) -> Printf.printf "%-56s %11.3f ms\n" name (est /. 1e6))
+      estimates
+  end

@@ -100,7 +100,8 @@ let print_run (task : Tasks.Task.t) (run : Experiments.Runner.run) =
         (match o with
         | Exec.Decided v -> Printf.sprintf "decided %d" v
         | Exec.Crashed -> "crashed"
-        | Exec.Blocked -> "blocked"))
+        | Exec.Blocked -> "blocked"
+        | Exec.Stuck -> "stuck"))
     run.Experiments.Runner.result.Exec.outcomes;
   Format.printf "steps: %d;  validity: %s@."
     run.Experiments.Runner.result.Exec.total_steps
@@ -297,43 +298,94 @@ let sweep_cmd =
       & info [ "out" ] ~docv:"FILE"
           ~doc:"Where to write the replay artifact of a found violation.")
   in
-  let run name nprocs t window runs budget out =
+  let tiers =
+    Arg.(
+      value & opt string "crash"
+      & info [ "tiers" ] ~docv:"KINDS"
+          ~doc:
+            "Comma-separated fault tiers to sweep: any of crash, omission, \
+             recovery, byzantine.")
+  in
+  let expect_violation =
+    Arg.(
+      value & flag
+      & info [ "expect-violation" ]
+          ~doc:
+            "Invert the exit status: succeed (0) iff a violation was found \
+             — for regression-gating known degradations, e.g. a healthy \
+             object under the byzantine tier.")
+  in
+  let run name nprocs t window runs budget out tiers expect_violation =
+    let kinds =
+      String.split_on_char ',' tiers
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match Svm.Adversary.fault_kind_of_name s with
+             | Some k -> k
+             | None ->
+                 Format.eprintf
+                   "unknown fault tier %S (known: crash, omission, recovery, \
+                    byzantine)@."
+                   s;
+                 exit 2)
+    in
     match Experiments.Scenario.find ?nprocs name with
     | Error m ->
         prerr_endline m;
         exit 2
     | Ok s ->
-        Format.printf "sweeping %s (n=%d, x=%d): up to %d crash(es), window %d@."
+        Format.printf
+          "sweeping %s (n=%d, x=%d): up to %d fault(s) of {%s}, window %d@."
           s.Experiments.Scenario.name s.Experiments.Scenario.nprocs
-          s.Experiments.Scenario.x t window;
+          s.Experiments.Scenario.x t
+          (String.concat ","
+             (List.map Svm.Adversary.fault_kind_name kinds))
+          window;
         let outcome =
-          Experiments.Harness.sweep_scenario ~max_crashes:t ~op_window:window
-            ~max_runs:runs ~budget s
+          Experiments.Harness.sweep_scenario ~kinds ~max_faults:t
+            ~op_window:window ~max_runs:runs ~budget s
         in
-        (match outcome.Svm.Explore.found with
-        | None ->
-            Format.printf "no violation in %d runs%s@." outcome.Svm.Explore.runs
-              (if outcome.Svm.Explore.exhausted then
-                 " (run budget hit; coverage partial)"
-               else "; fault box covered")
-        | Some f ->
-            pp_violation_line f.Svm.Explore.violation;
-            Format.printf "found by:  %a@.shrunk to: %a  (%d shrink re-runs)@."
-              Svm.Explore.pp_fault_schedule f.Svm.Explore.fault
-              Svm.Explore.pp_fault_schedule f.Svm.Explore.shrunk
-              f.Svm.Explore.shrink_runs;
-            let oc = open_out out in
-            output_string oc f.Svm.Explore.replay;
-            close_out oc;
-            Format.printf "replay artifact written to %s@." out;
-            exit 1)
+        (match outcome.Svm.Explore.deadlock with
+        | None -> ()
+        | Some d ->
+            Format.printf
+              "deadlock finding: every process halted without deciding under \
+               %a@."
+              Svm.Explore.pp_fault_schedule d);
+        let violated =
+          match outcome.Svm.Explore.found with
+          | None ->
+              Format.printf "no violation in %d runs%s@."
+                outcome.Svm.Explore.runs
+                (if outcome.Svm.Explore.exhausted then
+                   " (run budget hit; coverage partial)"
+                 else "; fault box covered");
+              false
+          | Some f ->
+              pp_violation_line f.Svm.Explore.violation;
+              Format.printf
+                "found by:  %a@.shrunk to: %a  (%d shrink re-runs)@."
+                Svm.Explore.pp_fault_schedule f.Svm.Explore.fault
+                Svm.Explore.pp_fault_schedule f.Svm.Explore.shrunk
+                f.Svm.Explore.shrink_runs;
+              let oc = open_out out in
+              output_string oc f.Svm.Explore.replay;
+              close_out oc;
+              Format.printf "replay artifact written to %s@." out;
+              true
+        in
+        if violated <> expect_violation then exit 1
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
-         "Systematically sweep crash points under online invariant monitors; \
-          on violation, shrink the schedule and write a replay artifact")
-    Term.(const run $ scenario_arg $ n $ t $ window $ runs $ budget $ out)
+         "Systematically sweep fault points (crash-stop, omission, \
+          crash-recovery, byzantine) under online invariant monitors; on \
+          violation, shrink the schedule and write a replay artifact")
+    Term.(
+      const run $ scenario_arg $ n $ t $ window $ runs $ budget $ out $ tiers
+      $ expect_violation)
 
 (* ---- replay ---- *)
 
@@ -358,8 +410,8 @@ let replay_cmd =
       s
     in
     match Svm.Trace.parse_replay contents with
-    | Error m ->
-        Format.eprintf "%s: %s@." file m;
+    | Error e ->
+        Format.eprintf "%s: %a@." file Svm.Trace.pp_parse_error e;
         exit 2
     | Ok (meta, decisions) -> (
         match Experiments.Scenario.of_replay_meta meta with

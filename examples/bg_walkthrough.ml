@@ -37,7 +37,8 @@ let () =
         (match o with
         | Exec.Decided v -> Printf.sprintf "decided %d" v
         | Exec.Crashed -> "crashed"
-        | Exec.Blocked -> "blocked"))
+        | Exec.Blocked -> "blocked"
+        | Exec.Stuck -> "stuck"))
     r.Exec.outcomes;
   Format.printf
     "@.every simulator decided a value proposed by some simulator, with at \
@@ -58,5 +59,6 @@ let () =
         (match o with
         | Exec.Decided v -> Printf.sprintf "decided %d" v
         | Exec.Crashed -> "crashed"
-        | Exec.Blocked -> "blocked"))
+        | Exec.Blocked -> "blocked"
+        | Exec.Stuck -> "stuck"))
     r.Exec.outcomes

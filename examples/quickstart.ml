@@ -15,7 +15,8 @@ let pp_result label (r : int Exec.result) =
         (match o with
         | Exec.Decided v -> Printf.sprintf "decided %d" v
         | Exec.Crashed -> "crashed"
-        | Exec.Blocked -> "blocked"))
+        | Exec.Blocked -> "blocked"
+        | Exec.Stuck -> "stuck"))
     r.Exec.outcomes;
   Format.printf "  (%d atomic steps)@.@." r.Exec.total_steps
 

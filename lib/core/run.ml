@@ -17,6 +17,7 @@ let map_outcome f = function
   | Exec.Decided v -> Exec.Decided (f v)
   | Exec.Crashed -> Exec.Crashed
   | Exec.Blocked -> Exec.Blocked
+  | Exec.Stuck -> Exec.Stuck
 
 let run_ints ?budget ?record_trace ?allow_kset ~alg ~inputs ~adversary () =
   let inputs = Array.of_list (List.map Codec.int.Codec.inj inputs) in
@@ -26,5 +27,7 @@ let run_ints ?budget ?record_trace ?allow_kset ~alg ~inputs ~adversary () =
     op_counts = r.Exec.op_counts;
     total_steps = r.Exec.total_steps;
     crashed = r.Exec.crashed;
+    stuck = r.Exec.stuck;
+    restarts = r.Exec.restarts;
     trace = r.Exec.trace;
   }

@@ -5,7 +5,7 @@ let decided_ints (run : 'a Explore.run) =
   Array.to_list run.Explore.outcomes
   |> List.filter_map (function
        | Exec.Decided u -> Some (Codec.int.Codec.prj u)
-       | Exec.Crashed | Exec.Blocked -> None)
+       | Exec.Crashed | Exec.Blocked | Exec.Stuck -> None)
 
 let agreement_validity ~lo ~hi run =
   let ds = decided_ints run in
@@ -58,7 +58,7 @@ let sa_termination () =
     if run.Explore.truncated then Ok ()
     else if
       Array.for_all
-        (function Exec.Decided _ -> true | Exec.Crashed | Exec.Blocked -> false)
+        (function Exec.Decided _ -> true | Exec.Crashed | Exec.Blocked | Exec.Stuck -> false)
         run.Explore.outcomes
     then Ok ()
     else Error "complete crash-free run without full termination"
@@ -109,7 +109,7 @@ let winners run =
   Array.to_list run.Explore.outcomes
   |> List.filter_map (function
        | Exec.Decided u -> Some (Codec.bool.Codec.prj u)
-       | Exec.Crashed | Exec.Blocked -> None)
+       | Exec.Crashed | Exec.Blocked | Exec.Stuck -> None)
   |> List.filter Fun.id |> List.length
 
 let ts_exhaustive () =

@@ -1,0 +1,21 @@
+(** Experiment FT — scenario family F8: the generalized fault model.
+
+    Sweeps every simulation-bearing scenario (the agreement objects, the
+    abortable x_safe_agreement, and the whole §3/§4 BG simulations)
+    under each fault tier systematically, with expected verdicts:
+
+    - {e omission}: zero safety violations — hangs degrade liveness
+      only;
+    - {e crash-recovery}: zero safety violations for the
+      consensus-funneled constructions (x_safe_agreement and both BG
+      simulations) — but an {e expected} agreement violation for plain
+      safe_agreement, whose Figure 1 cancel mechanism is not idempotent
+      under re-proposal (the sweeper finds and shrinks it);
+    - {e Byzantine} on safe_agreement: contained — forged values poison
+      readers (stuck on decode), no honest process adopts one;
+    - {e Byzantine} on x_safe_agreement: expected violation — the
+      any-coded publish register lets a forged value reach honest
+      deciders, and the decided-value-integrity monitor must catch,
+      shrink and replay it. *)
+
+val run : unit -> Report.t

@@ -79,7 +79,7 @@ let sweep_one_crash () =
   match Scenario.find ~nprocs:n "safe_agreement" with
   | Error m -> Report.check ~label:"systematic one-crash sweep" ~ok:false ~detail:m
   | Ok s ->
-      Harness.sweep_check ~max_crashes:1 ~op_window:8
+      Harness.sweep_check ~max_faults:1 ~op_window:8
         ~label:"agreement+validity under every <=1-crash schedule swept" s
 
 let run () =

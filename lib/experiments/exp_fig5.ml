@@ -77,7 +77,7 @@ let run () =
         | Error msg ->
             Report.check ~label:"systematic crash sweep" ~ok:false ~detail:msg
         | Ok s ->
-            Harness.sweep_check ~max_crashes:2 ~op_window:5
+            Harness.sweep_check ~max_faults:2 ~op_window:5
               ~label:"<= x winners under every <=2-crash schedule swept, m=5"
               s);
         few_callers ~m:5 ~x:2;

@@ -113,7 +113,7 @@ let run () =
         | Error msg ->
             Report.check ~label:"systematic crash sweep" ~ok:false ~detail:msg
         | Ok s ->
-            Harness.sweep_check ~max_crashes:2 ~op_window:5
+            Harness.sweep_check ~max_faults:2 ~op_window:5
               ~label:
                 "agreement+validity under every <=2-crash schedule swept, m=5"
               s);
@@ -121,7 +121,7 @@ let run () =
         | Error msg ->
             Report.check ~label:"seeded-bug sweep" ~ok:false ~detail:msg
         | Ok s ->
-            Harness.sweep_check ~max_crashes:2 ~op_window:5
+            Harness.sweep_check ~max_faults:2 ~op_window:5
               ~label:
                 "seeded first-subset ablation: sweeper catches disagreement"
               s);

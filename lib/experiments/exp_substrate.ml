@@ -137,7 +137,7 @@ let immediate_snapshot_checks () =
         |> List.filter_map (fun (i, o) ->
                match o with
                | Exec.Decided u -> Some (i, views_codec.Codec.prj u)
-               | Exec.Crashed | Exec.Blocked -> None)
+               | Exec.Crashed | Exec.Blocked | Exec.Stuck -> None)
       in
       let contains view j = List.mem_assoc j view in
       let subset v1 v2 = List.for_all (fun (j, _) -> contains v2 j) v1 in

@@ -22,30 +22,44 @@ let starts_with ~prefix s =
   String.length s >= String.length prefix
   && String.equal (String.sub s 0 (String.length prefix)) prefix
 
-let sweep_scenario ?max_crashes ?op_window ?max_runs ?budget (s : Scenario.t) =
-  Explore.sweep_crashes ?max_crashes ?op_window ?max_runs ?budget
+let sweep_scenario ?kinds ?max_faults ?op_window ?max_runs ?budget
+    (s : Scenario.t) =
+  Explore.sweep_faults ?kinds ?max_faults ?op_window ?max_runs ?budget
     ~meta:(Scenario.sweep_meta s) ~make:s.Scenario.make
     ~monitors:s.Scenario.monitors ()
 
-let sweep_check ?max_crashes ?op_window ?max_runs ?budget ~label
-    (s : Scenario.t) =
-  let outcome = sweep_scenario ?max_crashes ?op_window ?max_runs ?budget s in
-  let expected = s.Scenario.seeded_bug in
+let sweep_check ?kinds ?max_faults ?op_window ?max_runs ?budget
+    ?expect_violation ~label (s : Scenario.t) =
+  let outcome =
+    sweep_scenario ?kinds ?max_faults ?op_window ?max_runs ?budget s
+  in
+  let expected =
+    match expect_violation with
+    | Some e -> e
+    | None -> s.Scenario.seeded_bug
+  in
+  let deadlock_note =
+    match outcome.Explore.deadlock with
+    | None -> ""
+    | Some d ->
+        Fmt.str "; deadlock finding under [%a]" Explore.pp_fault_schedule d
+  in
   match outcome.Explore.found with
   | None ->
       Report.check ~label ~ok:(not expected)
         ~detail:
-          (Printf.sprintf "no violation in %d runs%s" outcome.Explore.runs
+          (Printf.sprintf "no violation in %d runs%s%s" outcome.Explore.runs
              (if outcome.Explore.exhausted then " (budget hit)"
-              else ", fault box covered"))
+              else ", fault box covered")
+             deadlock_note)
   | Some f ->
       let v = f.Explore.violation in
       Report.check ~label ~ok:expected
         ~detail:
-          (Fmt.str "%s: %s at step %d [%a] (%d runs + %d shrink)"
+          (Fmt.str "%s: %s at step %d [%a] (%d runs + %d shrink)%s"
              v.Monitor.monitor v.Monitor.message v.Monitor.step
              Explore.pp_fault_schedule f.Explore.shrunk outcome.Explore.runs
-             f.Explore.shrink_runs)
+             f.Explore.shrink_runs deadlock_note)
 
 let crash_before_fam ~pid ~prefix ~nth =
   Adversary.Crash_before_op

@@ -25,27 +25,33 @@ val blocked_simulated :
     {!Core.Bg_engine.decided_processes}. *)
 
 val sweep_scenario :
-  ?max_crashes:int ->
+  ?kinds:Svm.Adversary.fault_kind list ->
+  ?max_faults:int ->
   ?op_window:int ->
   ?max_runs:int ->
   ?budget:int ->
   Scenario.t ->
   Svm.Explore.sweep_outcome
-(** Run the systematic crash-point sweeper over a scenario, tagging any
-    replay artifact with the scenario's {!Scenario.sweep_meta}. *)
+(** Run the systematic fault-point sweeper over a scenario, tagging any
+    replay artifact with the scenario's {!Scenario.sweep_meta}. [kinds]
+    defaults to crash-stop only, like {!Svm.Explore.sweep_faults}. *)
 
 val sweep_check :
-  ?max_crashes:int ->
+  ?kinds:Svm.Adversary.fault_kind list ->
+  ?max_faults:int ->
   ?op_window:int ->
   ?max_runs:int ->
   ?budget:int ->
+  ?expect_violation:bool ->
   label:string ->
   Scenario.t ->
   Report.check
 (** {!sweep_scenario} as a report check: ok iff a violation was found
-    exactly when the scenario has a seeded bug. The detail carries the
-    shrunk fault schedule and the violation message (or the number of
-    runs swept clean). *)
+    exactly when expected — by default when the scenario has a seeded
+    bug; [expect_violation] overrides, e.g. for a healthy object whose
+    safety provably degrades under a Byzantine tier. The detail carries
+    the shrunk fault schedule, the violation message (or the number of
+    runs swept clean), and any deadlock finding. *)
 
 val crash_before_fam :
   pid:int -> prefix:string -> nth:int -> Svm.Adversary.crash_spec

@@ -14,6 +14,7 @@ let all =
     ("AB", "ablations: necessity of each ingredient", Exp_ablation.run);
     ("UC", "consensus numbers: universality and hierarchy", Exp_universal.run);
     ("EX", "exhaustive schedule exploration", Exp_explore.run);
+    ("FT", "generalized fault model (scenario family F8)", Exp_faults.run);
     ("SA", "k-set from (m,l)-set objects", Exp_mlset.run);
     ("FD", "failure-detector boosting (Omega)", Exp_omega.run);
     ("SC", "cost shape of the simulations", Exp_scale.run);

@@ -25,10 +25,14 @@ let int_in ~lo ~hi u =
   | v -> v >= lo && v <= hi
   | exception Codec.Type_error _ -> false
 
+(* [decided_value_integrity] instead of plain [validity]: identical on
+   crash-only runs (no Corrupted events), and under Byzantine sweeps it
+   checks exactly the degradation claim — no honest process adopts a
+   forged value — without charging a Byzantine pid's own "decision". *)
 let agreement_monitors ~lo ~hi () =
   [
     Monitor.agreement ~pp:pp_int ();
-    Monitor.validity ~pp:pp_int ~allowed:(int_in ~lo ~hi) ();
+    Monitor.decided_value_integrity ~pp:pp_int ~allowed:(int_in ~lo ~hi) ();
   ]
 
 (* At most [bound] processes decide [true]. *)
@@ -42,7 +46,43 @@ let winners_monitor ~bound () =
         incr wins;
         if !wins <= bound then Ok ()
         else Error (Printf.sprintf "%d processes won (bound %d)" !wins bound)
-    | Monitor.Decided _ | Monitor.Op_applied _ | Monitor.Crashed _ -> Ok ())
+    | Monitor.Decided _ | Monitor.Op_applied _ | Monitor.Crashed _
+    | Monitor.Stalled _ | Monitor.Restarted _ | Monitor.Corrupted _ ->
+        Ok ())
+
+(* Agreement among the processes that actually decided a value, with a
+   designated sentinel meaning "aborted / rerouted" excluded: an abort
+   is an explicit refusal, not a decision, so it must never count as a
+   disagreement — that is the graceful-degradation contract of
+   [X_safe_agreement.decide_abortable]. Byzantine deciders are excluded
+   like in [decided_value_integrity]. *)
+let agreement_except ~sentinel () =
+  let byz : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let first = ref None in
+  Monitor.make ~name:(Printf.sprintf "agreement-except(%d)" sentinel)
+    (function
+    | Monitor.Op_applied _ | Monitor.Crashed _ | Monitor.Stalled _
+    | Monitor.Restarted _ ->
+        Ok ()
+    | Monitor.Corrupted { pid; _ } ->
+        Hashtbl.replace byz pid ();
+        Ok ()
+    | Monitor.Decided { pid; value; _ } -> (
+        match Codec.int.Codec.prj value with
+        | exception Codec.Type_error _ -> Ok ()
+        | v when v = sentinel -> Ok ()
+        | _ when Hashtbl.mem byz pid -> Ok ()
+        | v -> (
+            match !first with
+            | None ->
+                first := Some (pid, v);
+                Ok ()
+            | Some (pid0, v0) ->
+                if v0 = v then Ok ()
+                else
+                  Error
+                    (Printf.sprintf "p%d decided %d but p%d decided %d" pid v
+                       pid0 v0))))
 
 (* ------------------------------------------------------------------ *)
 (* The systems under test                                               *)
@@ -96,6 +136,81 @@ let ts_from_cons n =
     (env, Array.init n prog)
   in
   (make, fun () -> [ winners_monitor ~bound:1 () ])
+
+let abort_sentinel = 999
+
+let x_safe_agreement_abortable ~x n =
+  let lo = 10 and hi = 10 + n - 1 in
+  let make () =
+    let env = Env.create ~nprocs:n ~x () in
+    let xsa =
+      Shared_objects.X_safe_agreement.make ~fam:"XSA" ~participants:n ~x ()
+    in
+    let prog i =
+      let* () =
+        Shared_objects.X_safe_agreement.propose xsa ~key:[] ~pid:i
+          (Codec.int.Codec.inj (10 + i))
+      in
+      let* r =
+        (* Patience well above an owner's propose length (competition +
+           full SET_LIST scan), so under a fair scheduler healthy
+           instances never abort; a hung owner makes every decider
+           abort within [patience] scans instead of spinning forever. *)
+        Shared_objects.X_safe_agreement.decide_abortable xsa ~key:[] ~pid:i
+          ~patience:60
+      in
+      match r with
+      | `Decided v -> Prog.return v
+      | `Aborted -> Prog.return (Codec.int.Codec.inj abort_sentinel)
+    in
+    (env, Array.init n prog)
+  in
+  let monitors () =
+    [
+      agreement_except ~sentinel:abort_sentinel ();
+      Monitor.decided_value_integrity ~pp:pp_int
+        ~allowed:(fun u ->
+          int_in ~lo ~hi u
+          ||
+          match Codec.int.Codec.prj u with
+          | v -> v = abort_sentinel
+          | exception Codec.Type_error _ -> false)
+        ();
+    ]
+  in
+  (make, monitors)
+
+(* BG simulations as sweepable scenarios (§3 sim_down, §4 sim_up). The
+   simulator keeps its local state in refs allocated when [code] is
+   applied, so the program handed to the executor is built behind a
+   leading [Yield]: a crash-recovery restart re-executes the Yield and
+   re-applies [code], rebuilding the simulator's local state from
+   scratch — local state lost, shared memory kept, which is exactly the
+   restart contract. *)
+let bg_scenario ~mk_alg ~k () =
+  let make () =
+    let alg = mk_alg () in
+    let n = Core.Algorithm.n alg in
+    let env =
+      Env.create ~nprocs:n ~x:alg.Core.Algorithm.model.Core.Model.x ()
+    in
+    let prog pid =
+      let* () = Prog.yield in
+      alg.Core.Algorithm.code ~pid ~input:(Codec.int.Codec.inj (10 + pid))
+    in
+    (env, Array.init n prog)
+  in
+  let monitors n () =
+    [
+      Monitor.k_agreement ~pp:pp_int ~k ();
+      Monitor.decided_value_integrity ~pp:pp_int
+        ~allowed:(int_in ~lo:10 ~hi:(10 + n - 1))
+        ();
+      Monitor.stall_bound ~fam_prefix:"SA" ();
+      Monitor.stall_bound ~fam_prefix:"XSA:" ();
+    ]
+  in
+  (make, monitors)
 
 let x_compete ~x n =
   let make () =
@@ -157,6 +272,55 @@ let build ?nprocs name =
             ~seeded_bug:true ~nprocs:n ~x:2 (fun n ->
               let make, ms = x_safe_agreement ~first_subset_only:true ~x:2 n in
               (make, fun () -> ms ())))
+  | "x_safe_agreement_abortable" ->
+      check_min ~min:3 (sized 4) (fun n ->
+          scenario ~name
+            ~doc:
+              "x_safe_agreement with abortable decide: a hung instance is \
+               detected via the arbiter register and refused, never decided"
+            ~nprocs:n ~x:2 (fun n ->
+              let make, ms = x_safe_agreement_abortable ~x:2 n in
+              (make, fun () -> ms ())))
+  | "bg_sec3" ->
+      let mk_alg () =
+        Core.Bg.sim_down
+          ~source:(Tasks.Algorithms.kset_grouped ~n:4 ~t:2 ~x:2 ~k:2)
+          ~t:1
+      in
+      let alg = mk_alg () in
+      let make, monitors = bg_scenario ~mk_alg ~k:2 () in
+      Ok
+        {
+          name;
+          doc =
+            "Section 3 simulation: 2-set agreement of ASM(4,2,2) run \
+             through sim_down in ASM(4,1,1)";
+          seeded_bug = false;
+          nprocs = Core.Algorithm.n alg;
+          x = alg.Core.Algorithm.model.Core.Model.x;
+          make;
+          monitors = monitors (Core.Algorithm.n alg);
+        }
+  | "bg_sec4" ->
+      let mk_alg () =
+        Core.Bg.sim_up
+          ~source:(Tasks.Algorithms.kset_read_write ~n:3 ~t:1 ~k:2)
+          ~t':2 ~x:2
+      in
+      let alg = mk_alg () in
+      let make, monitors = bg_scenario ~mk_alg ~k:2 () in
+      Ok
+        {
+          name;
+          doc =
+            "Section 4 simulation: 2-set agreement of ASM(3,1,1) run \
+             through sim_up (x_safe_agreement based) in ASM(3,2,2)";
+          seeded_bug = false;
+          nprocs = Core.Algorithm.n alg;
+          x = alg.Core.Algorithm.model.Core.Model.x;
+          make;
+          monitors = monitors (Core.Algorithm.n alg);
+        }
   | "ts_from_cons" ->
       check_min ~min:2 (sized 3) (fun n ->
           scenario ~name
@@ -178,6 +342,9 @@ let known =
     "safe_agreement_no_cancel";
     "x_safe_agreement";
     "x_safe_agreement_first_subset";
+    "x_safe_agreement_abortable";
+    "bg_sec3";
+    "bg_sec4";
     "ts_from_cons";
     "x_compete";
   ]

@@ -4,9 +4,16 @@
     A scenario binds a system under test — fresh environment + programs —
     to the online safety monitors that define "broken" for it. The
     registry includes the healthy agreement objects (the sweeper proving
-    their safety over the whole fault box) and deliberately seeded bugs
-    (the sweeper finding, shrinking and replaying the violation); the
-    seeded ones are the regression harness for the sweeper itself.
+    their safety over the whole fault box), deliberately seeded bugs
+    (the sweeper finding, shrinking and replaying the violation — the
+    regression harness for the sweeper itself), the abortable
+    x_safe_agreement variant ([x_safe_agreement_abortable], graceful
+    degradation against hung ports), and the paper's simulations run
+    whole under fault injection ([bg_sec3], [bg_sec4] — the §3 and §4
+    BG simulations of a 2-set-agreement task; their monitors check
+    k-agreement, decided-value integrity, and the per-instance
+    [stall_bound] blocking account, which is sound for sweeps with at
+    most one injected fault).
 
     Replay artifacts produced by {!Svm.Explore.sweep_crashes} via
     {!sweep_meta} carry the scenario name and size, so

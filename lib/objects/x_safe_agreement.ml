@@ -5,6 +5,7 @@ type t = {
   compete : X_compete.t;
   xcons_fam : Op.fam;
   val_fam : Op.fam;
+  abort_fam : Op.fam;
   set_list : int list list;
   x : int;
   static_owners : bool;
@@ -20,6 +21,7 @@ let make ?(static_owners = false) ?(first_subset_only = false) ~fam
     compete = X_compete.make ~fam:(fam ^ ".ts") ~participants ~x;
     xcons_fam = fam ^ ".xcons";
     val_fam = fam ^ ".val";
+    abort_fam = fam ^ ".abort";
     set_list = Combin.subsets ~n:participants ~size:x;
     x;
     static_owners;
@@ -81,6 +83,36 @@ let decide t ~key ~pid:_ =
       | Some v -> Prog.return (`Stop v)
       | None -> Prog.return (`Again ()))
     ()
+
+(* Graceful degradation under responsive omission (the §4 cancel
+   semantics): [decide] above spins forever when every owner hangs
+   inside [propose]. The abortable variant adds an {e arbiter register}
+   per instance. A decider that has scanned [patience] times without
+   seeing a published value raises the abort flag and reroutes; any
+   process already convinced the instance is dead ([cancel]) trips the
+   same flag, so one detection aborts every waiting port. Safety is
+   untouched: aborting never invents a value — [`Aborted] is an explicit
+   refusal the caller must reroute around, exactly the BG account where
+   a blocked instance stalls a simulator but never corrupts decisions. *)
+
+let cancel t ~key = Prog.reg_write Codec.bool t.abort_fam key true
+
+let decide_abortable t ~key ~pid:_ ~patience =
+  Prog.loop
+    (fun scans ->
+      let* published = read_published t ~key in
+      match published with
+      | Some v -> Prog.return (`Stop (`Decided v))
+      | None -> (
+          let* aborted = Prog.reg_read Codec.bool t.abort_fam key in
+          match aborted with
+          | Some true -> Prog.return (`Stop `Aborted)
+          | Some false | None ->
+              if scans >= patience then
+                let* () = cancel t ~key in
+                Prog.return (`Stop `Aborted)
+              else Prog.return (`Again (scans + 1))))
+    0
 
 let subsets t = t.set_list
 

@@ -57,6 +57,27 @@ val decide : t -> key:Svm.Op.key -> pid:int -> Svm.Univ.t Svm.Prog.t
 (** Figure 6 [x_sa_decide()]: wait (spinning one scan per step) until the
     decided value is published, then return it. *)
 
+val decide_abortable :
+  t ->
+  key:Svm.Op.key ->
+  pid:int ->
+  patience:int ->
+  [ `Decided of Svm.Univ.t | `Aborted ] Svm.Prog.t
+(** [decide] with graceful degradation against hung ports (responsive
+    omission): scan at most [patience] times; if no value is published by
+    then, or any process has already cancelled the instance, return
+    [`Aborted] — trip the instance's arbiter register on the way out so
+    every other waiting decider aborts promptly too. Never invents a
+    value: the caller reroutes around the dead instance, per the §4
+    cancel semantics. Pick [patience] comfortably above the owners'
+    propose length so healthy instances are never aborted under a fair
+    scheduler (an unfair scheduler can still starve an owner — an abort
+    is then a liveness refusal, not a safety violation). *)
+
+val cancel : t -> key:Svm.Op.key -> unit Svm.Prog.t
+(** Declare the instance dead via the arbiter path: every current and
+    future [decide_abortable] on it returns [`Aborted] within one scan. *)
+
 val subsets : t -> int list list
 (** The SET_LIST this instance family scans (for tests). *)
 

@@ -1,21 +1,59 @@
+exception Deadlock
+
+type fault_kind = Crash_stop | Omission | Crash_recovery | Byzantine
+
+let fault_kind_name = function
+  | Crash_stop -> "crash"
+  | Omission -> "omission"
+  | Crash_recovery -> "recovery"
+  | Byzantine -> "byzantine"
+
+let fault_kind_of_name = function
+  | "crash" | "crash-stop" -> Some Crash_stop
+  | "omission" | "omit" -> Some Omission
+  | "recovery" | "crash-recovery" | "restart" -> Some Crash_recovery
+  | "byzantine" | "byz" -> Some Byzantine
+  | _ -> None
+
+let pp_fault_kind ppf k = Format.pp_print_string ppf (fault_kind_name k)
+
 type t = {
   name : string;
   pick : runnable:int list -> global_step:int -> int;
-  crash_now :
-    pid:int -> local_step:int -> global_step:int -> next:Op.info option -> bool;
+  fault_now :
+    pid:int ->
+    local_step:int ->
+    global_step:int ->
+    next:Op.info option ->
+    fault_kind option;
   crashes : int ref;
 }
 
 let name t = t.name
-let pick t = t.pick
+
+let pick t ~runnable ~global_step =
+  if runnable = [] then raise Deadlock;
+  t.pick ~runnable ~global_step
+
+let fault_now t ~pid ~local_step ~global_step ~next =
+  let f = t.fault_now ~pid ~local_step ~global_step ~next in
+  (match f with Some Crash_stop -> incr t.crashes | Some _ | None -> ());
+  f
 
 let crash_now t ~pid ~local_step ~global_step ~next =
-  let c = t.crash_now ~pid ~local_step ~global_step ~next in
-  if c then incr t.crashes;
-  c
+  match fault_now t ~pid ~local_step ~global_step ~next with
+  | Some Crash_stop -> true
+  | Some _ | None -> false
 
 let crash_count t = !(t.crashes)
-let no_crash ~pid:_ ~local_step:_ ~global_step:_ ~next:_ = false
+let no_fault ~pid:_ ~local_step:_ ~global_step:_ ~next:_ = None
+
+(* The adversary's corrupt value for a Byzantine step: derived from the
+   schedule position alone, so a replay of the same decision log
+   reproduces identical corrupt values. The offset keeps it far outside
+   any input range the scenarios use. *)
+let byz_value ~pid ~global_step =
+  Codec.int.Codec.inj (1_000_000_000 + (global_step * 1_000) + pid)
 
 let round_robin () =
   let last = ref (-1) in
@@ -24,12 +62,12 @@ let round_robin () =
     let chosen =
       match after with
       | p :: _ -> p
-      | [] -> ( match runnable with p :: _ -> p | [] -> assert false)
+      | [] -> ( match runnable with p :: _ -> p | [] -> raise Deadlock)
     in
     last := chosen;
     chosen
   in
-  { name = "round-robin"; pick; crash_now = no_crash; crashes = ref 0 }
+  { name = "round-robin"; pick; fault_now = no_fault; crashes = ref 0 }
 
 let random ~seed =
   let rng = Rng.create seed in
@@ -39,7 +77,7 @@ let random ~seed =
   {
     name = Printf.sprintf "random(%d)" seed;
     pick;
-    crash_now = no_crash;
+    fault_now = no_fault;
     crashes = ref 0;
   }
 
@@ -53,13 +91,13 @@ let priority order =
   in
   let pick ~runnable ~global_step:_ =
     match runnable with
-    | [] -> assert false
+    | [] -> raise Deadlock
     | first :: rest ->
         List.fold_left
           (fun best p -> if rank p < rank best then p else best)
           first rest
   in
-  { name = "priority"; pick; crash_now = no_crash; crashes = ref 0 }
+  { name = "priority"; pick; fault_now = no_fault; crashes = ref 0 }
 
 let biased ~seed ~favourite ~weight =
   let rng = Rng.create seed in
@@ -74,7 +112,7 @@ let biased ~seed ~favourite ~weight =
   {
     name = Printf.sprintf "biased(%d,fav=%d)" seed favourite;
     pick;
-    crash_now = no_crash;
+    fault_now = no_fault;
     crashes = ref 0;
   }
 
@@ -83,16 +121,20 @@ type crash_spec =
   | Crash_at_global of { pid : int; step : int }
   | Crash_before_op of { pid : int; nth : int; matches : Op.info -> bool }
 
-let with_crashes base specs =
+type fault_spec = { kind : fault_kind; trigger : crash_spec }
+
+let with_faults base specs =
   (* Mutable per-spec state: fired flag, and a match counter for
-     [Crash_before_op]. *)
+     [Crash_before_op] triggers. A fired Byzantine spec latches its pid:
+     from the trigger on, every step of that pid is a Byzantine step. *)
   let states = List.map (fun spec -> (spec, ref false, ref 0)) specs in
-  let crash_now ~pid ~local_step ~global_step ~next =
-    let fires (spec, fired, seen) =
+  let byz : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let fault_now ~pid ~local_step ~global_step ~next =
+    let fires ({ trigger; _ }, fired, seen) =
       if !fired then false
       else
         let hit =
-          match spec with
+          match trigger with
           | Crash_at_local c -> c.pid = pid && c.step = local_step
           | Crash_at_global c -> c.pid = pid && global_step >= c.step
           | Crash_before_op c -> (
@@ -110,37 +152,70 @@ let with_crashes base specs =
     in
     (* Evaluate all specs so match counters advance even when another
        spec fires first. *)
-    List.fold_left (fun acc st -> fires st || acc) false states
-    || base.crash_now ~pid ~local_step ~global_step ~next
+    let fired_kinds =
+      List.filter_map
+        (fun ((spec, _, _) as st) -> if fires st then Some spec.kind else None)
+        states
+    in
+    List.iter
+      (function Byzantine -> Hashtbl.replace byz pid () | _ -> ())
+      fired_kinds;
+    let candidates =
+      fired_kinds
+      @ Option.to_list (base.fault_now ~pid ~local_step ~global_step ~next)
+    in
+    let has k = List.mem k candidates in
+    if has Crash_stop then Some Crash_stop
+    else if has Omission then Some Omission
+    else if has Crash_recovery then Some Crash_recovery
+    else if has Byzantine || Hashtbl.mem byz pid then Some Byzantine
+    else None
   in
   {
-    name = base.name ^ "+crashes";
+    name = base.name ^ "+faults";
     pick = base.pick;
-    crash_now;
+    fault_now;
     crashes = base.crashes;
   }
+
+let with_crashes base specs =
+  let adv =
+    with_faults base
+      (List.map (fun trigger -> { kind = Crash_stop; trigger }) specs)
+  in
+  { adv with name = base.name ^ "+crashes" }
 
 let of_replay ?fallback decisions =
   let fallback = match fallback with Some f -> f | None -> round_robin () in
   let remaining = ref decisions in
   let current () = match !remaining with [] -> None | d :: _ -> Some d in
+  let decision_pid = function
+    | Trace.Sched p | Trace.Crash p | Trace.Omit p | Trace.Restart p
+    | Trace.Byz p ->
+        p
+  in
   let pick ~runnable ~global_step =
     match current () with
-    | Some (Trace.Sched p | Trace.Crash p) when List.mem p runnable -> p
+    | Some d when List.mem (decision_pid d) runnable -> decision_pid d
     | Some _ | None -> fallback.pick ~runnable ~global_step
   in
-  (* The scheduler asks [pick] then [crash_now] exactly once per
-     iteration; the cursor advances in [crash_now], the second call. *)
-  let crash_now ~pid ~local_step ~global_step ~next =
+  (* The scheduler asks [pick] then [fault_now] exactly once per
+     iteration; the cursor advances in [fault_now], the second call. *)
+  let fault_now ~pid ~local_step ~global_step ~next =
     match current () with
-    | None -> fallback.crash_now ~pid ~local_step ~global_step ~next
+    | None -> fallback.fault_now ~pid ~local_step ~global_step ~next
     | Some d -> (
         remaining := List.tl !remaining;
-        match d with
-        | Trace.Crash p -> p = pid
-        | Trace.Sched _ -> false)
+        if decision_pid d <> pid then None
+        else
+          match d with
+          | Trace.Sched _ -> None
+          | Trace.Crash _ -> Some Crash_stop
+          | Trace.Omit _ -> Some Omission
+          | Trace.Restart _ -> Some Crash_recovery
+          | Trace.Byz _ -> Some Byzantine)
   in
-  { name = "replay"; pick; crash_now; crashes = ref 0 }
+  { name = "replay"; pick; fault_now; crashes = ref 0 }
 
 let random_crashes ?(within = 300) ~seed ~max_crashes ~nprocs base =
   let rng = Rng.create seed in

@@ -1,10 +1,12 @@
-type 'a outcome = Decided of 'a | Crashed | Blocked
+type 'a outcome = Decided of 'a | Crashed | Blocked | Stuck
 
 type 'a result = {
   outcomes : 'a outcome array;
   op_counts : int array;
   total_steps : int;
   crashed : int list;
+  stuck : int list;
+  restarts : int list;
   trace : Trace.t option;
 }
 
@@ -23,6 +25,9 @@ let run ?(budget = 2_000_000) ?(record_trace = false) ?(monitors = []) ~env
   let states = Array.map (fun p -> Running p) progs in
   let op_counts = Array.make n 0 in
   let crashed = ref [] in
+  let stuck = ref [] in
+  let restarts = ref [] in
+  let byz_active = ref false in
   let trace = if record_trace then Some (Trace.create ()) else None in
   let record step pid info =
     match trace with
@@ -54,6 +59,19 @@ let run ?(budget = 2_000_000) ?(record_trace = false) ?(monitors = []) ~env
   in
   let step = ref 0 in
   let continue = ref true in
+  (* Advance [pid] past one executed operation. A continuation may choke
+     decoding a Byzantine value planted earlier ([Codec.Type_error]); the
+     poisoned process halts — stuck, deterministically — rather than
+     aborting the run. Only tolerated once corruption happened: on
+     fault-free runs a decode error is a real bug and propagates. *)
+  let advance pid k r info =
+    match k r with
+    | next -> states.(pid) <- Running next
+    | exception Codec.Type_error _ when !byz_active ->
+        states.(pid) <- Finished Stuck;
+        stuck := pid :: !stuck;
+        monitor pid !step (Monitor.Stalled { pid; step = !step; info })
+  in
   while !continue && !step < budget do
     match runnable () with
     | [] -> continue := false
@@ -62,34 +80,68 @@ let run ?(budget = 2_000_000) ?(record_trace = false) ?(monitors = []) ~env
         (match states.(pid) with
         | Finished _ ->
             invalid_arg "Exec.run: adversary picked a non-runnable process"
-        | Running prog ->
+        | Running prog -> (
             let next = next_op_info prog in
-            if
-              Adversary.crash_now adversary ~pid ~local_step:op_counts.(pid)
+            let fault =
+              Adversary.fault_now adversary ~pid ~local_step:op_counts.(pid)
                 ~global_step:!step ~next
-            then begin
-              states.(pid) <- Finished Crashed;
-              crashed := pid :: !crashed;
-              decided (Trace.Crash pid);
-              record !step pid None;
-              monitor pid !step (Monitor.Crashed { pid; step = !step })
-            end
-            else begin
-              decided (Trace.Sched pid);
-              match prog with
-              | Prog.Done v ->
-                  states.(pid) <- Finished (Decided v);
-                  monitor pid !step
-                    (Monitor.Decided { pid; step = !step; value = v })
-              | Prog.Step (op, k) ->
-                  let r = Env.apply env ~pid op in
-                  op_counts.(pid) <- op_counts.(pid) + 1;
-                  record !step pid (Op.info op);
-                  states.(pid) <- Running (k r);
-                  monitor pid !step
-                    (Monitor.Op_applied
-                       { pid; step = !step; info = Op.info op })
-            end);
+            in
+            match fault with
+            | Some Adversary.Crash_stop ->
+                states.(pid) <- Finished Crashed;
+                crashed := pid :: !crashed;
+                decided (Trace.Crash pid);
+                record !step pid None;
+                monitor pid !step (Monitor.Crashed { pid; step = !step })
+            | Some Adversary.Omission ->
+                states.(pid) <- Finished Stuck;
+                stuck := pid :: !stuck;
+                decided (Trace.Omit pid);
+                record !step pid None;
+                monitor pid !step
+                  (Monitor.Stalled { pid; step = !step; info = next })
+            | Some Adversary.Crash_recovery ->
+                (* Local [Prog] state is lost; shared memory survives.
+                   The pending operation does not execute. *)
+                states.(pid) <- Running progs.(pid);
+                restarts := pid :: !restarts;
+                decided (Trace.Restart pid);
+                record !step pid None;
+                monitor pid !step (Monitor.Restarted { pid; step = !step })
+            | (Some Adversary.Byzantine | None) as fault -> (
+                match prog with
+                | Prog.Done v ->
+                    decided (Trace.Sched pid);
+                    states.(pid) <- Finished (Decided v);
+                    monitor pid !step
+                      (Monitor.Decided { pid; step = !step; value = v })
+                | Prog.Step (op, k) -> (
+                    let info = Op.info op in
+                    let corrupted =
+                      match fault with
+                      | Some Adversary.Byzantine ->
+                          Op.corrupt op
+                            (Adversary.byz_value ~pid ~global_step:!step)
+                      | _ -> None
+                    in
+                    match corrupted with
+                    | Some op' ->
+                        byz_active := true;
+                        decided (Trace.Byz pid);
+                        let r = Env.apply env ~pid op' in
+                        op_counts.(pid) <- op_counts.(pid) + 1;
+                        record !step pid info;
+                        monitor pid !step
+                          (Monitor.Corrupted { pid; step = !step; info });
+                        advance pid k r info
+                    | None ->
+                        decided (Trace.Sched pid);
+                        let r = Env.apply env ~pid op in
+                        op_counts.(pid) <- op_counts.(pid) + 1;
+                        record !step pid info;
+                        monitor pid !step
+                          (Monitor.Op_applied { pid; step = !step; info });
+                        advance pid k r info))));
         incr step
   done;
   let outcomes =
@@ -102,19 +154,25 @@ let run ?(budget = 2_000_000) ?(record_trace = false) ?(monitors = []) ~env
     op_counts;
     total_steps = !step;
     crashed = List.rev !crashed;
+    stuck = List.rev !stuck;
+    restarts = List.rev !restarts;
     trace;
   }
 
 let decided r =
   Array.to_list r.outcomes
-  |> List.filter_map (function Decided v -> Some v | Crashed | Blocked -> None)
+  |> List.filter_map (function
+       | Decided v -> Some v
+       | Crashed | Blocked | Stuck -> None)
 
 let decided_count r = List.length (decided r)
 
 let blocked r =
   let acc = ref [] in
   Array.iteri
-    (fun i -> function Blocked -> acc := i :: !acc | Decided _ | Crashed -> ())
+    (fun i -> function
+      | Blocked -> acc := i :: !acc
+      | Decided _ | Crashed | Stuck -> ())
     r.outcomes;
   List.rev !acc
 
@@ -122,3 +180,4 @@ let outcome_name = function
   | Decided _ -> "decided"
   | Crashed -> "crashed"
   | Blocked -> "blocked"
+  | Stuck -> "stuck"

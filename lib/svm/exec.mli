@@ -2,20 +2,37 @@
     adversary.
 
     One call to {!run} is one execution of the distributed system. Each
-    iteration the adversary picks a runnable process; the process either
-    crashes (if the crash plan says so) or executes exactly one atomic
-    operation against the environment. The run ends when every process has
-    decided or crashed, or when the step budget is exhausted — remaining
-    live processes are then reported as [Blocked], which is how the
+    iteration the adversary picks a runnable process; the process then
+    either executes exactly one atomic operation against the
+    environment, or suffers the fault the adversary's plan dictates
+    ({!Adversary.fault_now}): crash-stop, responsive omission (the
+    operation hangs — the process is [Stuck]), crash-recovery (local
+    program state reset to the initial program; shared memory survives),
+    or a Byzantine value fault (the operation executes with a corrupted
+    value). The run ends when every process has decided, crashed or got
+    stuck, or when the step budget is exhausted — remaining live
+    processes are then reported as [Blocked], which is how the
     experiments detect the permanent blocking the paper reasons about. *)
 
-type 'a outcome = Decided of 'a | Crashed | Blocked
+type 'a outcome =
+  | Decided of 'a
+  | Crashed
+  | Blocked  (** still running when the budget ran out *)
+  | Stuck
+      (** halted on a hung operation (responsive omission), or poisoned
+          by an undecodable Byzantine value — present in the system but
+          never taking another step *)
 
 type 'a result = {
   outcomes : 'a outcome array;
-  op_counts : int array;  (** operations executed per process *)
+  op_counts : int array;
+      (** operations executed per process, cumulative across restarts *)
   total_steps : int;
   crashed : int list;  (** pids, in crash order *)
+  stuck : int list;  (** pids stuck by omission or poisoning, in order *)
+  restarts : int list;
+      (** pids restarted by crash-recovery faults, in order; a pid
+          appears once per restart *)
   trace : Trace.t option;
 }
 
@@ -32,12 +49,14 @@ val run :
     equal [Env.nprocs env].
 
     Each [monitors] entry is consulted after every executed operation,
-    decision and crash; the first failed check aborts the run by raising
+    decision and fault; the first failed check aborts the run by raising
     {!Monitor.Violation}, carrying the live trace when [record_trace] is
     set. With [record_trace] the result's trace also holds the complete
-    decision log ({!Trace.decisions}), from which {!Adversary.of_replay}
-    reproduces the run bit-for-bit. Monitors are stateful: pass freshly
-    built ones to every run. *)
+    decision log ({!Trace.decisions}) — fault decisions included — from
+    which {!Adversary.of_replay} reproduces the run bit-for-bit (a
+    Byzantine value is a deterministic function of the schedule
+    position, {!Adversary.byz_value}). Monitors are stateful: pass
+    freshly built ones to every run. *)
 
 val decided : 'a result -> 'a list
 (** All decided values, in pid order. *)

@@ -104,15 +104,23 @@ let exhaustive ?(max_crashes = 0) ?(max_runs = 2_000_000) ~max_steps ~make
   }
 
 (* ------------------------------------------------------------------ *)
-(* Systematic crash-point sweeping under online monitors                *)
+(* Systematic fault-box sweeping under online monitors                  *)
 (* ------------------------------------------------------------------ *)
 
-type fault_schedule = { scheduler : string; crashes : (int * int) list }
+type fault_point = { victim : int; op : int; kind : Adversary.fault_kind }
 
-let pp_fault_schedule ppf { scheduler; crashes } =
+type fault_schedule = { scheduler : string; faults : fault_point list }
+
+let pp_fault_point ppf { victim; op; kind } =
+  Format.fprintf ppf "p%d@op%d%s" victim op
+    (match kind with
+    | Adversary.Crash_stop -> ""
+    | k -> ":" ^ Adversary.fault_kind_name k)
+
+let pp_fault_schedule ppf { scheduler; faults } =
   Format.fprintf ppf "%s + [%s]" scheduler
     (String.concat "; "
-       (List.map (fun (pid, op) -> Printf.sprintf "p%d@op%d" pid op) crashes))
+       (List.map (Format.asprintf "%a" pp_fault_point) faults))
 
 type found = {
   fault : fault_schedule;
@@ -125,6 +133,7 @@ type found = {
 type sweep_outcome = {
   runs : int;
   found : found option;
+  deadlock : fault_schedule option;
   exhausted : bool;
 }
 
@@ -138,99 +147,129 @@ let default_schedulers ~nprocs =
     ("random(2)", fun () -> Adversary.random ~seed:2);
   ]
 
-let run_fault ?(budget = 20_000) ~make ~monitors ~scheduler crashes =
+type verdict = Clean | Deadlocked | Violating of Monitor.violation
+
+let run_fault ?(budget = 20_000) ~make ~monitors ~scheduler faults =
   let env, progs = make () in
   let specs =
-    List.map (fun (pid, step) -> Adversary.Crash_at_local { pid; step }) crashes
+    List.map
+      (fun { victim; op; kind } ->
+        {
+          Adversary.kind;
+          trigger = Adversary.Crash_at_local { pid = victim; step = op };
+        })
+      faults
   in
-  let adversary = Adversary.with_crashes (scheduler ()) specs in
+  let adversary = Adversary.with_faults (scheduler ()) specs in
   match
     Exec.run ~budget ~record_trace:true ~monitors:(monitors ()) ~env ~adversary
       progs
   with
-  | (_ : _ Exec.result) -> None
-  | exception Monitor.Violation v -> Some v
+  | r ->
+      (* "All processes stuck" is a finding of the omission tier, not a
+         crash of the checker: the run ended with nobody decided and
+         nobody even runnable. *)
+      let halted =
+        Array.for_all
+          (function
+            | Exec.Crashed | Exec.Stuck -> true
+            | Exec.Decided _ | Exec.Blocked -> false)
+          r.Exec.outcomes
+      in
+      if halted && r.Exec.stuck <> [] then Deadlocked else Clean
+  | exception Monitor.Violation v -> Violating v
+  | exception Adversary.Deadlock -> Deadlocked
 
-(* Delta-debugging: first drop crash points, then pull the surviving
-   op-indices toward 0, then collapse the scheduler to round-robin. Every
-   candidate is validated by a full re-run; only still-violating
-   candidates are kept, so the result is a genuine violating schedule. *)
-let shrink ?budget ~make ~monitors ~schedulers fault =
+(* Delta-debugging: drop fault points, then weaken surviving fault kinds
+   toward plain crash-stop, then pull the op-indices toward 0, then
+   collapse the scheduler to round-robin. Every candidate is validated by
+   a full re-run and the last accepted (schedule, violation) pair is
+   carried through, so the result is a genuine violating schedule with
+   its own violation — no trailing re-run, no unreachable branch. *)
+let shrink ?budget ~make ~monitors ~schedulers fault violation0 =
   let runs = ref 0 in
-  let violates ~scheduler crashes =
+  let best = ref (fault, violation0) in
+  let violates ~scheduler_name faults =
     incr runs;
-    run_fault ?budget ~make ~monitors ~scheduler crashes
+    let scheduler = List.assoc scheduler_name schedulers in
+    match run_fault ?budget ~make ~monitors ~scheduler faults with
+    | Violating v ->
+        best := ({ scheduler = scheduler_name; faults }, v);
+        true
+    | Clean | Deadlocked -> false
   in
-  let scheduler_of name = List.assoc name schedulers in
-  let rec drop_points crashes =
-    let try_without i =
-      List.filteri (fun j _ -> j <> i) crashes
-    in
+  let sched = fault.scheduler in
+  let rec drop_points faults =
     let rec attempt i =
-      if i >= List.length crashes then crashes
+      if i >= List.length faults then faults
       else
-        let candidate = try_without i in
-        match violates ~scheduler:(scheduler_of fault.scheduler) candidate with
-        | Some _ -> drop_points candidate
-        | None -> attempt (i + 1)
+        let candidate = List.filteri (fun j _ -> j <> i) faults in
+        if violates ~scheduler_name:sched candidate then drop_points candidate
+        else attempt (i + 1)
     in
     attempt 0
   in
-  let crashes = drop_points fault.crashes in
-  let lower_indices crashes =
+  let faults = drop_points fault.faults in
+  let weaken_kinds faults =
     List.mapi
-      (fun i (pid, op) ->
-        let rec best cand =
-          if cand >= op then op
+      (fun i p ->
+        if p.kind = Adversary.Crash_stop then p
+        else
+          let weakened = { p with kind = Adversary.Crash_stop } in
+          let candidate =
+            List.mapi (fun j q -> if j = i then weakened else q) faults
+          in
+          if violates ~scheduler_name:sched candidate then weakened else p)
+      faults
+  in
+  let faults = weaken_kinds faults in
+  let lower_indices faults =
+    List.mapi
+      (fun i p ->
+        let rec lowest cand =
+          if cand >= p.op then p
           else
             let candidate =
-              List.mapi (fun j c -> if j = i then (pid, cand) else c) crashes
+              List.mapi
+                (fun j q -> if j = i then { p with op = cand } else q)
+                faults
             in
-            match
-              violates ~scheduler:(scheduler_of fault.scheduler) candidate
-            with
-            | Some _ -> cand
-            | None -> best (cand + 1)
+            if violates ~scheduler_name:sched candidate then { p with op = cand }
+            else lowest (cand + 1)
         in
-        (pid, best 0))
-      crashes
+        lowest 0)
+      faults
   in
-  let crashes = lower_indices crashes in
-  let scheduler =
-    if fault.scheduler = "round-robin" then "round-robin"
-    else
-      match
-        List.assoc_opt "round-robin" schedulers
-        |> Option.map (fun s -> violates ~scheduler:s crashes)
-      with
-      | Some (Some _) -> "round-robin"
-      | Some None | None -> fault.scheduler
-  in
-  let shrunk = { scheduler; crashes } in
-  match violates ~scheduler:(scheduler_of scheduler) crashes with
-  | Some violation -> (shrunk, violation, !runs)
-  | None ->
-      (* Unreachable: every kept candidate was validated by a re-run. *)
-      assert false
+  let faults = lower_indices faults in
+  (if sched <> "round-robin" && List.mem_assoc "round-robin" schedulers then
+     ignore (violates ~scheduler_name:"round-robin" faults : bool));
+  let shrunk, violation = !best in
+  (shrunk, violation, !runs)
 
-let crash_sets ~nprocs ~max_crashes ~op_window =
+let fault_sets ~nprocs ~kinds ~max_faults ~op_window =
+  let kinds = match kinds with [] -> [ Adversary.Crash_stop ] | ks -> ks in
   let rec assignments = function
     | [] -> [ [] ]
     | pid :: rest ->
         let tails = assignments rest in
         List.concat_map
-          (fun op -> List.map (fun tl -> (pid, op) :: tl) tails)
-          (List.init op_window Fun.id)
+          (fun kind ->
+            List.concat_map
+              (fun op ->
+                List.map (fun tl -> { victim = pid; op; kind } :: tl) tails)
+              (List.init op_window Fun.id))
+          kinds
   in
-  let sizes = List.init (max 0 max_crashes) (fun s -> s + 1) in
-  [] (* the crash-free schedule first *)
+  let sizes = List.init (max 0 max_faults) (fun s -> s + 1) in
+  [] (* the fault-free schedule first *)
   :: List.concat_map
        (fun size ->
          Combin.subsets ~n:nprocs ~size |> List.concat_map assignments)
        sizes
 
-let sweep_crashes ?(max_crashes = 1) ?(op_window = 6) ?(max_runs = 5_000)
-    ?budget ?schedulers ?(meta = []) ~make ~monitors () =
+let sweep_faults ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
+    ?(op_window = 6) ?(max_runs = 5_000) ?budget ?schedulers ?(meta = [])
+    ~make ~monitors () =
   let env0, _ = make () in
   let nprocs = Env.nprocs env0 in
   let schedulers =
@@ -238,52 +277,68 @@ let sweep_crashes ?(max_crashes = 1) ?(op_window = 6) ?(max_runs = 5_000)
     | Some s -> s
     | None -> default_schedulers ~nprocs
   in
-  let faults = crash_sets ~nprocs ~max_crashes ~op_window in
+  let fault_box = fault_sets ~nprocs ~kinds ~max_faults ~op_window in
   let runs = ref 0 in
   let found = ref None in
+  let deadlock = ref None in
   let exhausted = ref false in
   (try
      List.iter
        (fun (sched_name, scheduler) ->
          List.iter
-           (fun crashes ->
+           (fun faults ->
              if !runs >= max_runs then begin
                exhausted := true;
                raise Found
              end;
              incr runs;
-             match run_fault ?budget ~make ~monitors ~scheduler crashes with
-             | None -> ()
-             | Some _ ->
-                 let fault = { scheduler = sched_name; crashes } in
+             match run_fault ?budget ~make ~monitors ~scheduler faults with
+             | Clean -> ()
+             | Deadlocked ->
+                 if !deadlock = None then
+                   deadlock := Some { scheduler = sched_name; faults }
+             | Violating v ->
+                 let fault = { scheduler = sched_name; faults } in
                  let shrunk, violation, shrink_runs =
-                   shrink ?budget ~make ~monitors ~schedulers fault
+                   shrink ?budget ~make ~monitors ~schedulers fault v
                  in
                  let replay =
-                   match violation.Monitor.trace with
-                   | None -> assert false (* run_fault records traces *)
-                   | Some t ->
-                       Trace.to_replay
-                         ~meta:
-                           (meta
-                           @ [
-                               ("monitor", violation.Monitor.monitor);
-                               ("message", violation.Monitor.message);
-                               ( "step",
-                                 string_of_int violation.Monitor.step );
-                               ("pid", string_of_int violation.Monitor.pid);
-                               ( "schedule",
-                                 Format.asprintf "%a" pp_fault_schedule shrunk
-                               );
-                             ])
-                         t
+                   let t =
+                     match violation.Monitor.trace with
+                     | Some t -> t
+                     | None -> Trace.create () (* run_fault records traces *)
+                   in
+                   Trace.to_replay
+                     ~meta:
+                       (meta
+                       @ [
+                           ("monitor", violation.Monitor.monitor);
+                           ("message", violation.Monitor.message);
+                           ("step", string_of_int violation.Monitor.step);
+                           ("pid", string_of_int violation.Monitor.pid);
+                           ( "schedule",
+                             Format.asprintf "%a" pp_fault_schedule shrunk );
+                         ])
+                     t
                  in
                  found := Some { fault; shrunk; violation; shrink_runs; replay };
                  raise Found)
-           faults)
+           fault_box)
        schedulers
    with Found -> ());
-  { runs = !runs; found = !found; exhausted = !exhausted }
+  {
+    runs = !runs;
+    found = !found;
+    deadlock = !deadlock;
+    exhausted = !exhausted;
+  }
+
+let sweep_crashes ?max_crashes ?op_window ?max_runs ?budget ?schedulers ?meta
+    ~make ~monitors () =
+  sweep_faults
+    ~kinds:[ Adversary.Crash_stop ]
+    ?max_faults:max_crashes ?op_window ?max_runs ?budget ?schedulers ?meta
+    ~make ~monitors ()
 
 let replay ?budget ~make ~monitors decisions =
   let env, progs = make () in

@@ -51,23 +51,26 @@ val exhaustive :
     once; branching copies the environment). Defaults: [max_crashes = 0],
     [max_runs = 2_000_000]. *)
 
-(** {1 Systematic crash-point sweeping}
+(** {1 Systematic fault-box sweeping}
 
     Where {!exhaustive} branches over every interleaving (and so only
     scales to a dozen steps), the sweeper keeps complete runs cheap and
     enumerates the {e fault dimension} systematically: every set of at
-    most [max_crashes] victims × every per-victim crash op-index below
-    [op_window] × every scheduler, each run under online monitors
-    ({!Exec.run}'s [monitors]). This replaces sampling crash points at
-    random: within the swept box, absence of violations is a fact, not a
-    statistic. *)
+    most [max_faults] victims × every fault kind in [kinds] × every
+    per-victim op-index below [op_window] × every scheduler, each run
+    under online monitors ({!Exec.run}'s [monitors]). This replaces
+    sampling faults at random: within the swept box, absence of
+    violations is a fact, not a statistic. *)
 
-type fault_schedule = {
-  scheduler : string;
-  crashes : (int * int) list;  (** (pid, local op-index), as
-                                   [Adversary.Crash_at_local] *)
+type fault_point = {
+  victim : int;
+  op : int;  (** local op-index, as [Adversary.Crash_at_local] trigger *)
+  kind : Adversary.fault_kind;
 }
 
+type fault_schedule = { scheduler : string; faults : fault_point list }
+
+val pp_fault_point : Format.formatter -> fault_point -> unit
 val pp_fault_schedule : Format.formatter -> fault_schedule -> unit
 
 type found = {
@@ -84,12 +87,54 @@ type found = {
 type sweep_outcome = {
   runs : int;
   found : found option;
+  deadlock : fault_schedule option;
+      (** first schedule, if any, under which {e every} process halted
+          without deciding (all crashed or stuck, at least one stuck) —
+          a typed finding of the omission tier, not a checker failure;
+          the sweep continues past it *)
   exhausted : bool;  (** hit [max_runs] before covering the box *)
 }
+
+type verdict = Clean | Deadlocked | Violating of Monitor.violation
+
+val run_fault :
+  ?budget:int ->
+  make:(unit -> Env.t * 'a Prog.t array) ->
+  monitors:(unit -> 'a Monitor.t list) ->
+  scheduler:(unit -> Adversary.t) ->
+  fault_point list ->
+  verdict
+(** One run under one fault schedule: the monitors' verdict, with
+    "everybody halted without deciding" reported as [Deadlocked]. *)
 
 val default_schedulers : nprocs:int -> (string * (unit -> Adversary.t)) list
 (** Round-robin, both priority orders, and two seeded random policies —
     fresh adversaries per call, as scheduling state is per-run. *)
+
+val sweep_faults :
+  ?kinds:Adversary.fault_kind list ->
+  ?max_faults:int ->
+  ?op_window:int ->
+  ?max_runs:int ->
+  ?budget:int ->
+  ?schedulers:(string * (unit -> Adversary.t)) list ->
+  ?meta:(string * string) list ->
+  make:(unit -> Env.t * 'a Prog.t array) ->
+  monitors:(unit -> 'a Monitor.t list) ->
+  unit ->
+  sweep_outcome
+(** Sweep the product fault box until a monitor violation is found or
+    the box (or [max_runs]) is exhausted. The first violating schedule
+    is shrunk — fault points dropped, kinds weakened toward crash-stop,
+    op-indices pulled toward 0, scheduler collapsed toward round-robin,
+    each candidate validated by a re-run — and serialized as a replay
+    artifact extended with [meta]. Defaults: [kinds = \[Crash_stop\]],
+    [max_faults = 1], [op_window = 6], [max_runs = 5_000], per-run
+    [budget = 20_000] steps, [schedulers = default_schedulers].
+
+    [make] must build a fresh environment {e and fresh programs} per
+    call (it is called once per run); [monitors] likewise builds fresh
+    monitors. *)
 
 val sweep_crashes :
   ?max_crashes:int ->
@@ -102,17 +147,7 @@ val sweep_crashes :
   monitors:(unit -> 'a Monitor.t list) ->
   unit ->
   sweep_outcome
-(** Sweep fault schedules until a monitor violation is found or the box
-    (or [max_runs]) is exhausted. The first violating schedule is shrunk
-    — crash points dropped, op-indices pulled toward 0, scheduler
-    collapsed toward round-robin, each candidate validated by a re-run —
-    and serialized as a replay artifact extended with [meta]. Defaults:
-    [max_crashes = 1], [op_window = 6], [max_runs = 5_000], per-run
-    [budget = 20_000] steps, [schedulers = default_schedulers].
-
-    [make] must build a fresh environment {e and fresh programs} per
-    call (it is called once per run); [monitors] likewise builds fresh
-    monitors. *)
+(** {!sweep_faults} over the crash-stop tier only. *)
 
 val shrink :
   ?budget:int ->
@@ -120,10 +155,12 @@ val shrink :
   monitors:(unit -> 'a Monitor.t list) ->
   schedulers:(string * (unit -> Adversary.t)) list ->
   fault_schedule ->
+  Monitor.violation ->
   fault_schedule * Monitor.violation * int
 (** Delta-debug a known-violating fault schedule (its [scheduler] must
-    name an entry of [schedulers]) down to a minimal one; returns the
-    shrunk schedule, its violation, and the number of validation
+    name an entry of [schedulers]; the violation is the one its own run
+    produced) down to a minimal one; returns the shrunk schedule, the
+    violation of the shrunk schedule's run, and the number of validation
     re-runs. *)
 
 val replay :

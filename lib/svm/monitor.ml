@@ -2,6 +2,9 @@ type 'a event =
   | Op_applied of { pid : int; step : int; info : Op.info option }
   | Decided of { pid : int; step : int; value : 'a }
   | Crashed of { pid : int; step : int }
+  | Stalled of { pid : int; step : int; info : Op.info option }
+  | Restarted of { pid : int; step : int }
+  | Corrupted of { pid : int; step : int; info : Op.info option }
 
 type 'a t = { name : string; check : 'a event -> (unit, string) result }
 
@@ -32,7 +35,7 @@ let opaque _ = "<value>"
 let agreement ?(eq = ( = )) ?(pp = opaque) () =
   let first = ref None in
   make ~name:"agreement" (function
-    | Op_applied _ | Crashed _ -> Ok ()
+    | Op_applied _ | Crashed _ | Stalled _ | Restarted _ | Corrupted _ -> Ok ()
     | Decided { pid; value; _ } -> (
         match !first with
         | None ->
@@ -48,7 +51,7 @@ let agreement ?(eq = ( = )) ?(pp = opaque) () =
 let k_agreement ?(eq = ( = )) ?(pp = opaque) ~k () =
   let seen = ref [] in
   make ~name:(Printf.sprintf "%d-agreement" k) (function
-    | Op_applied _ | Crashed _ -> Ok ()
+    | Op_applied _ | Crashed _ | Stalled _ | Restarted _ | Corrupted _ -> Ok ()
     | Decided { value; _ } ->
         if List.exists (fun v -> eq v value) !seen then Ok ()
         else begin
@@ -63,15 +66,40 @@ let k_agreement ?(eq = ( = )) ?(pp = opaque) ~k () =
 
 let validity ?(pp = opaque) ~allowed () =
   make ~name:"validity" (function
-    | Op_applied _ | Crashed _ -> Ok ()
+    | Op_applied _ | Crashed _ | Stalled _ | Restarted _ | Corrupted _ -> Ok ()
     | Decided { value; _ } ->
         if allowed value then Ok ()
         else Error (Printf.sprintf "decided %s, not a permitted value" (pp value)))
 
+let decided_value_integrity ?(pp = opaque) ~allowed () =
+  (* Validity restricted to honest processes: pids seen corrupting a
+     value are Byzantine and their own "decisions" are excluded — what
+     must hold is that no {e honest} process adopts a forged value. *)
+  let byz : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  make ~name:"decided-value-integrity" (function
+    | Op_applied _ | Crashed _ | Stalled _ | Restarted _ -> Ok ()
+    | Corrupted { pid; _ } ->
+        Hashtbl.replace byz pid ();
+        Ok ()
+    | Decided { pid; value; _ } ->
+        if Hashtbl.mem byz pid then Ok ()
+        else if allowed value then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "honest p%d decided %s, not a permitted value (Byzantine \
+                writers: %s)"
+               pid (pp value)
+               (match Hashtbl.fold (fun p () acc -> p :: acc) byz [] with
+               | [] -> "none"
+               | ps ->
+                   String.concat ","
+                     (List.map (Printf.sprintf "p%d") (List.sort compare ps)))))
+
 let crash_bound ~bound () =
   let crashes = ref 0 in
   make ~name:(Printf.sprintf "crash-bound(%d)" bound) (function
-    | Op_applied _ | Decided _ -> Ok ()
+    | Op_applied _ | Decided _ | Stalled _ | Restarted _ | Corrupted _ -> Ok ()
     | Crashed _ ->
         incr crashes;
         if !crashes <= bound then Ok ()
@@ -87,8 +115,12 @@ let port_discipline ?(kind = Op.Consensus) ~bound () =
   make
     ~name:(Printf.sprintf "port-discipline(%s<=%d)" (Op.kind_name kind) bound)
     (function
-      | Decided _ | Crashed _ | Op_applied { info = None; _ } -> Ok ()
-      | Op_applied { pid; info = Some i; _ } ->
+      | Decided _ | Crashed _ | Stalled _ | Restarted _
+      | Op_applied { info = None; _ }
+      | Corrupted { info = None; _ } ->
+          Ok ()
+      | Op_applied { pid; info = Some i; _ }
+      | Corrupted { pid; info = Some i; _ } ->
           if i.Op.kind <> kind then Ok ()
           else
             let inst = (i.Op.fam, i.Op.key) in
@@ -114,37 +146,84 @@ let starts_with ~prefix s =
   String.length s >= String.length prefix
   && String.equal (String.sub s 0 (String.length prefix)) prefix
 
-let crashed_inside ~fam_prefix ?(bound = 1) () =
-  (* Where each live process currently "is": the instance of its latest
-     executed operation. A crash is charged to that instance. *)
+(* Where each live process currently "is": the instance of its latest
+   executed operation, when that instance's family matches the prefix.
+   Shared by [crashed_inside] and [stall_bound]. *)
+let position_tracker ~fam_prefix =
   let at : (int, Op.fam * Op.key) Hashtbl.t = Hashtbl.create 8 in
+  let track = function
+    | Op_applied { pid; info; _ } | Corrupted { pid; info; _ } -> (
+        match info with
+        | Some i when starts_with ~prefix:fam_prefix i.Op.fam ->
+            Hashtbl.replace at pid (i.Op.fam, i.Op.key)
+        | Some _ -> Hashtbl.remove at pid
+        | None -> ())
+    | Restarted { pid; _ } ->
+        (* A restarted process re-runs from the top: it is no longer
+           inside any instance. *)
+        Hashtbl.remove at pid
+    | Decided _ | Crashed _ | Stalled _ -> ()
+  in
+  (at, track)
+
+let charge_instance dead ~bound ~what inst =
+  let r =
+    match Hashtbl.find_opt dead inst with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add dead inst r;
+        r
+  in
+  incr r;
+  if !r <= bound then Ok ()
+  else
+    Error
+      (Printf.sprintf "%d processes %s inside %s (bound %d)" !r what
+         (pp_instance inst) bound)
+
+let crashed_inside ~fam_prefix ?(bound = 1) () =
+  let at, track = position_tracker ~fam_prefix in
   let dead : (Op.fam * Op.key, int ref) Hashtbl.t = Hashtbl.create 8 in
   make
     ~name:(Printf.sprintf "crashed-inside(%s<=%d)" fam_prefix bound)
-    (function
-      | Decided _ -> Ok ()
-      | Op_applied { pid; info; _ } ->
-          (match info with
-          | Some i when starts_with ~prefix:fam_prefix i.Op.fam ->
-              Hashtbl.replace at pid (i.Op.fam, i.Op.key)
-          | Some _ -> Hashtbl.remove at pid
-          | None -> ());
+    (fun ev ->
+      track ev;
+      match ev with
+      | Decided _ | Op_applied _ | Stalled _ | Restarted _ | Corrupted _ ->
           Ok ()
       | Crashed { pid; _ } -> (
           match Hashtbl.find_opt at pid with
           | None -> Ok ()
-          | Some inst ->
-              let r =
-                match Hashtbl.find_opt dead inst with
-                | Some r -> r
-                | None ->
-                    let r = ref 0 in
-                    Hashtbl.add dead inst r;
-                    r
-              in
-              incr r;
-              if !r <= bound then Ok ()
-              else
-                Error
-                  (Printf.sprintf "%d processes crashed inside %s (bound %d)"
-                     !r (pp_instance inst) bound)))
+          | Some inst -> charge_instance dead ~bound ~what:"crashed" inst))
+
+let stall_bound ~fam_prefix ?(bound = 1) () =
+  (* The BG blocking account, generalized to omission: a process that
+     halts — crash or stuck operation — while inside an instance of the
+     family blocks it; at most [bound] processes may be lost to any one
+     instance. For a [Stalled] process, the hanging operation itself
+     names the instance when it matches the prefix. *)
+  let at, track = position_tracker ~fam_prefix in
+  let dead : (Op.fam * Op.key, int ref) Hashtbl.t = Hashtbl.create 8 in
+  make
+    ~name:(Printf.sprintf "stall-bound(%s<=%d)" fam_prefix bound)
+    (fun ev ->
+      match ev with
+      | Decided _ | Op_applied _ | Restarted _ | Corrupted _ ->
+          track ev;
+          Ok ()
+      | Crashed { pid; _ } -> (
+          match Hashtbl.find_opt at pid with
+          | None -> Ok ()
+          | Some inst -> charge_instance dead ~bound ~what:"halted" inst)
+      | Stalled { pid; info; _ } -> (
+          let inst =
+            match info with
+            | Some i when starts_with ~prefix:fam_prefix i.Op.fam ->
+                Some (i.Op.fam, i.Op.key)
+            | Some _ -> None
+            | None -> Hashtbl.find_opt at pid
+          in
+          match inst with
+          | None -> Ok ()
+          | Some inst -> charge_instance dead ~bound ~what:"halted" inst))

@@ -16,6 +16,18 @@ type 'a event =
       (** One atomic operation executed ([info] is [None] for [Yield]). *)
   | Decided of { pid : int; step : int; value : 'a }
   | Crashed of { pid : int; step : int }
+  | Stalled of { pid : int; step : int; info : Op.info option }
+      (** The pid's next operation ([info]) hangs forever — responsive
+          omission; the process is stuck from here on, not crashed. Also
+          emitted when a process is poisoned by a Byzantine value it
+          cannot decode. *)
+  | Restarted of { pid : int; step : int }
+      (** Crash-recovery: the pid lost its local program state and
+          re-runs from the top; shared memory survives. *)
+  | Corrupted of { pid : int; step : int; info : Op.info option }
+      (** One atomic operation executed {e with a Byzantine value}: the
+          written/proposed value was replaced by the adversary's. Emitted
+          instead of [Op_applied] for that step. *)
 
 type 'a t
 
@@ -65,3 +77,20 @@ val crashed_inside : fam_prefix:string -> ?bound:int -> unit -> 'a t
     the BG assumption that at most one simulator crashes per safe
     agreement; running it as a monitor turns "the assumption silently
     failed" into an abort naming the instance. *)
+
+val stall_bound : fam_prefix:string -> ?bound:int -> unit -> 'a t
+(** {!crashed_inside} generalized to the omission tier: at most [bound]
+    (default 1) processes are {e halted} — crashed, or stuck on a hung
+    operation — inside any single instance whose family starts with
+    [fam_prefix]. For a stalled process the hanging operation itself
+    names the instance. This is the BG blocking account under responsive
+    omission: a blocked agreement instance stalls at most one simulator. *)
+
+val decided_value_integrity :
+  ?pp:('a -> string) -> allowed:('a -> bool) -> unit -> 'a t
+(** {!validity} restricted to honest processes: every value decided by a
+    process that never executed a corrupted operation must satisfy
+    [allowed]. Byzantine writers (pids seen in [Corrupted] events) are
+    excluded — their "decisions" are meaningless — so the monitor checks
+    exactly the graceful-degradation claim: no honest process adopts a
+    forged value. On fault-free runs it coincides with {!validity}. *)

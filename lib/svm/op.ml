@@ -41,6 +41,17 @@ let info (type a) (op : a t) =
   | Oracle_query (fam, key) -> Some { kind = Oracle; fam; key }
   | Yield -> None
 
+let corrupt (type a) (op : a t) (v : Univ.t) : a t option =
+  match op with
+  | Reg_write (fam, key, _) -> Some (Reg_write (fam, key, v))
+  | Snap_set (fam, key, _) -> Some (Snap_set (fam, key, v))
+  | Cons_propose (fam, key, _) -> Some (Cons_propose (fam, key, v))
+  | Kset_propose (fam, key, _) -> Some (Kset_propose (fam, key, v))
+  | Queue_enq (fam, key, _) -> Some (Queue_enq (fam, key, v))
+  | Reg_read _ | Snap_scan _ | Ts _ | Queue_deq _ | Cas _ | Oracle_query _
+  | Yield ->
+      None
+
 let kind_name = function
   | Register -> "register"
   | Snapshot -> "snapshot"

@@ -62,5 +62,11 @@ type _ t =
 val info : 'a t -> info option
 (** [info op] is the object the operation touches; [None] for [Yield]. *)
 
+val corrupt : 'a t -> Univ.t -> 'a t option
+(** [corrupt op v] is [op] with its written/proposed value replaced by
+    [v] — the Byzantine value-fault transformation. [None] when [op]
+    carries no value (reads, scans, test&set, CAS, oracle, yield): such
+    operations execute unchanged even under a Byzantine process. *)
+
 val kind_name : kind -> string
 val pp_info : Format.formatter -> info -> unit

@@ -1,6 +1,11 @@
 type event = { step : int; pid : int; info : Op.info option }
 
-type decision = Sched of int | Crash of int
+type decision =
+  | Sched of int
+  | Crash of int
+  | Omit of int
+  | Restart of int
+  | Byz of int
 
 type t = {
   limit : int;
@@ -64,13 +69,14 @@ let record_decision t d =
 let decisions t = List.rev t.rev_decisions
 let decision_count t = t.decision_count
 
-let pp_decision ppf = function
-  | Sched p -> Format.fprintf ppf "%d" p
-  | Crash p -> Format.fprintf ppf "X%d" p
-
 let decision_token = function
   | Sched p -> string_of_int p
   | Crash p -> "X" ^ string_of_int p
+  | Omit p -> "H" ^ string_of_int p
+  | Restart p -> "R" ^ string_of_int p
+  | Byz p -> "B" ^ string_of_int p
+
+let pp_decision ppf d = Format.pp_print_string ppf (decision_token d)
 
 let decision_of_token s =
   let num s =
@@ -78,22 +84,33 @@ let decision_of_token s =
     | Some p when p >= 0 -> Ok p
     | Some _ | None -> Error (Printf.sprintf "bad pid %S" s)
   in
-  if String.length s > 1 && s.[0] = 'X' then
-    Result.map (fun p -> Crash p)
-      (num (String.sub s 1 (String.length s - 1)))
+  let tagged mk = Result.map mk (num (String.sub s 1 (String.length s - 1))) in
+  if String.length s > 1 then
+    match s.[0] with
+    | 'X' -> tagged (fun p -> Crash p)
+    | 'H' -> tagged (fun p -> Omit p)
+    | 'R' -> tagged (fun p -> Restart p)
+    | 'B' -> tagged (fun p -> Byz p)
+    | _ -> Result.map (fun p -> Sched p) (num s)
   else Result.map (fun p -> Sched p) (num s)
 
 (* Artifact format (line-oriented, trailing newline):
 
-     asmsim-replay 1
+     asmsim-replay 2
      meta <key> <value>          (zero or more)
      schedule <tok> <tok> ...    (zero or more lines, in order)
+     end <count>
 
-   Tokens are [pid] for a scheduling decision and [Xpid] for a crash.
-   Schedule lines are wrapped for readability; concatenation order is
-   the decision order. *)
+   Tokens are [pid] for a scheduling decision and [Xpid] / [Hpid] /
+   [Rpid] / [Bpid] for a crash / omission hang / restart / Byzantine
+   step of that pid. Schedule lines are wrapped for readability;
+   concatenation order is the decision order. The [end] trailer carries
+   the decision count so a truncated artifact is detected rather than
+   silently replayed short. Version-1 artifacts (crash-stop only, no
+   trailer) are still accepted. *)
 
-let magic = "asmsim-replay 1"
+let magic = "asmsim-replay 2"
+let magic_v1 = "asmsim-replay 1"
 
 let meta_key_ok k =
   k <> ""
@@ -127,36 +144,96 @@ let to_replay ?(meta = []) t =
       end)
     (decisions t);
   if !on_line > 0 then Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "end %d\n" (decision_count t));
   Buffer.contents buf
 
+type parse_error = { line : int; message : string }
+
+let pp_parse_error ppf e =
+  Format.fprintf ppf "line %d: %s" e.line e.message
+
 let parse_replay s =
+  (* Keep 1-based line numbers through the blank-line filter so errors
+     point into the artifact as the user sees it. *)
   let lines =
     String.split_on_char '\n' s
-    |> List.filter (fun l -> String.trim l <> "")
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter (fun (_, l) -> String.trim l <> "")
   in
+  let last_line = List.fold_left (fun _ (n, _) -> n) 1 lines in
   match lines with
-  | [] -> Error "empty replay artifact"
-  | first :: rest ->
-      if String.trim first <> magic then
-        Error (Printf.sprintf "not a replay artifact (expected %S)" magic)
+  | [] -> Error { line = 1; message = "empty replay artifact" }
+  | (ln, first) :: rest ->
+      let header = String.trim first in
+      if header <> magic && header <> magic_v1 then
+        Error
+          {
+            line = ln;
+            message =
+              Printf.sprintf "not a replay artifact (expected %S)" magic;
+          }
       else
-        let rec go meta rev_ds = function
-          | [] -> Ok (List.rev meta, List.rev rev_ds)
-          | line :: rest -> (
-              match String.split_on_char ' ' line with
-              | "meta" :: k :: vs -> go ((k, String.concat " " vs) :: meta) rev_ds rest
+        let v2 = header = magic in
+        let rec go meta rev_ds count = function
+          | [] ->
+              if v2 then
+                Error
+                  {
+                    line = last_line;
+                    message =
+                      "truncated artifact: missing \"end <count>\" trailer";
+                  }
+              else Ok (List.rev meta, List.rev rev_ds)
+          | (ln, line) :: rest -> (
+              match String.split_on_char ' ' (String.trim line) with
+              | "meta" :: k :: vs ->
+                  go ((k, String.concat " " vs) :: meta) rev_ds count rest
               | "schedule" :: toks ->
-                  let rec add rev_ds = function
-                    | [] -> Ok rev_ds
-                    | "" :: toks -> add rev_ds toks
+                  let rec add rev_ds count = function
+                    | [] -> Ok (rev_ds, count)
+                    | "" :: toks -> add rev_ds count toks
                     | tok :: toks -> (
                         match decision_of_token tok with
-                        | Ok d -> add (d :: rev_ds) toks
-                        | Error e -> Error e)
+                        | Ok d -> add (d :: rev_ds) (count + 1) toks
+                        | Error e -> Error { line = ln; message = e })
                   in
-                  (match add rev_ds toks with
-                  | Ok rev_ds -> go meta rev_ds rest
+                  (match add rev_ds count toks with
+                  | Ok (rev_ds, count) -> go meta rev_ds count rest
                   | Error e -> Error e)
-              | _ -> Error (Printf.sprintf "unrecognized line %S" line))
+              | [ "end"; n ] -> (
+                  match int_of_string_opt n with
+                  | None ->
+                      Error
+                        {
+                          line = ln;
+                          message = Printf.sprintf "bad end count %S" n;
+                        }
+                  | Some n when n <> count ->
+                      Error
+                        {
+                          line = ln;
+                          message =
+                            Printf.sprintf
+                              "truncated artifact: end says %d decisions, \
+                               found %d"
+                              n count;
+                        }
+                  | Some _ -> (
+                      match rest with
+                      | [] -> Ok (List.rev meta, List.rev rev_ds)
+                      | (ln, line) :: _ ->
+                          Error
+                            {
+                              line = ln;
+                              message =
+                                Printf.sprintf
+                                  "trailing line after end trailer: %S" line;
+                            }))
+              | _ ->
+                  Error
+                    {
+                      line = ln;
+                      message = Printf.sprintf "unrecognized line %S" line;
+                    })
         in
-        go [] [] rest
+        go [] [] 0 rest

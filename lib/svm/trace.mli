@@ -35,6 +35,17 @@ val pp : Format.formatter -> t -> unit
 type decision =
   | Sched of int  (** the pid executed (or harvested) one step *)
   | Crash of int  (** the pid was crashed instead *)
+  | Omit of int
+      (** responsive omission: the pid's next operation hangs forever —
+          the process is stuck from this point on, not crashed *)
+  | Restart of int
+      (** crash-recovery: the pid lost its local program state at this
+          step boundary and re-runs its program from the top; shared
+          memory survives *)
+  | Byz of int
+      (** the pid executed one operation with its written/proposed value
+          replaced by the adversary's (deterministic, schedule-derived)
+          corrupt value *)
 
 val record_decision : t -> decision -> unit
 val decisions : t -> decision list
@@ -46,9 +57,20 @@ val to_replay : ?meta:(string * string) list -> t -> string
 (** Serialize the decision log as a replay artifact. [meta] entries are
     free-form [(key, value)] pairs (keys must be non-empty and contain no
     whitespace or ['=']; values no newlines) recording how to rebuild the
-    run — scenario name, model parameters, the violation reproduced. *)
+    run — scenario name, model parameters, the violation reproduced. The
+    artifact ends with an [end <count>] trailer so truncation is
+    detectable. *)
 
-val parse_replay : string -> ((string * string) list * decision list, string) result
-(** Inverse of {!to_replay}: [(meta, decisions)], or a parse error. *)
+type parse_error = { line : int; message : string }
+(** A malformed artifact, pointing at the offending (1-based) line. *)
+
+val pp_parse_error : Format.formatter -> parse_error -> unit
+
+val parse_replay :
+  string -> ((string * string) list * decision list, parse_error) result
+(** Inverse of {!to_replay}: [(meta, decisions)], or a typed parse error
+    with the line number. Rejects unknown lines, bad tokens, and
+    truncated artifacts (missing or mismatching [end] trailer).
+    Version-1 artifacts (no trailer) are still accepted. *)
 
 val pp_decision : Format.formatter -> decision -> unit

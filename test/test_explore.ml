@@ -96,7 +96,7 @@ let branches_isolated () =
       Array.to_list run.Explore.outcomes
       |> List.filter_map (function
            | Exec.Decided u -> Some (Codec.int.Codec.prj u)
-           | Exec.Crashed | Exec.Blocked -> None)
+           | Exec.Crashed | Exec.Blocked | Exec.Stuck -> None)
     in
     if List.for_all (fun s -> s >= 1 && s <= 3) sums then Ok ()
     else Error "state leaked across branches"

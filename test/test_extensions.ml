@@ -201,7 +201,7 @@ let paxos_explorer_agreement () =
       Array.to_list run.Explore.outcomes
       |> List.filter_map (function
            | Exec.Decided u -> Some (Codec.int.Codec.prj u)
-           | Exec.Crashed | Exec.Blocked -> None)
+           | Exec.Crashed | Exec.Blocked | Exec.Stuck -> None)
     in
     match ds with
     | [] -> Ok ()
@@ -298,7 +298,7 @@ let adopt_commit_exhaustive () =
       Array.to_list run.Explore.outcomes
       |> List.filter_map (function
            | Exec.Decided u -> Some (Codec.(pair bool int).Codec.prj u)
-           | Exec.Crashed | Exec.Blocked -> None)
+           | Exec.Crashed | Exec.Blocked | Exec.Stuck -> None)
     in
     let commits = List.filter fst rs in
     match commits with

@@ -3,4 +3,5 @@ let () =
     (Test_svm.suite @ Test_svm2.suite @ Test_explore.suite @ Test_objects.suite
    @ Test_model.suite @ Test_algorithms.suite @ Test_bg.suite
    @ Test_universal.suite @ Test_extensions.suite @ Test_adversary.suite
-   @ Test_replay.suite @ Test_props.suite)
+   @ Test_replay.suite @ Test_monitors.suite @ Test_faults.suite
+   @ Test_props.suite)

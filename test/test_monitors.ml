@@ -1,0 +1,296 @@
+(* Every monitor combinator, twice: a healthy run it must stay silent
+   on, and a minimal breaking run it must abort — including the
+   fault-taxonomy monitors (stall_bound, decided_value_integrity), which
+   are driven through real injected faults, not synthetic events. *)
+
+open Svm
+open Svm.Prog.Syntax
+
+let rr () = Adversary.round_robin ()
+
+let run ?budget ?(nprocs = 2) ?(x = 1) ?(adversary = rr ()) ~monitors progs =
+  let env = Env.create ~nprocs ~x () in
+  Exec.run ?budget ~record_trace:true ~monitors ~env ~adversary progs
+
+let expect_clean ?budget ?nprocs ?x ?adversary ~monitors progs =
+  match run ?budget ?nprocs ?x ?adversary ~monitors progs with
+  | (_ : int Exec.result) -> ()
+  | exception Monitor.Violation v ->
+      Alcotest.fail
+        (Printf.sprintf "healthy run flagged: %s: %s" v.Monitor.monitor
+           v.Monitor.message)
+
+let expect_violation ?budget ?nprocs ?x ?adversary ~monitors ~monitor_name
+    progs =
+  match run ?budget ?nprocs ?x ?adversary ~monitors progs with
+  | (_ : int Exec.result) ->
+      Alcotest.fail (monitor_name ^ ": breaking run not flagged")
+  | exception Monitor.Violation v ->
+      Alcotest.(check string) "monitor name" monitor_name v.Monitor.monitor;
+      v
+
+(* Spin forever (crash/stall fodder). *)
+let spin () =
+  Prog.loop (fun () -> Prog.map (fun () -> `Again ()) Prog.yield) ()
+
+(* ------------------------------------------------------------------ *)
+(* agreement                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let agreement_healthy () =
+  expect_clean
+    ~monitors:[ Monitor.agreement () ]
+    [| Prog.return 7; Prog.return 7 |]
+
+let agreement_breaks () =
+  let v =
+    expect_violation
+      ~monitors:[ Monitor.agreement () ]
+      ~monitor_name:"agreement"
+      [| Prog.return 1; Prog.return 2 |]
+  in
+  Alcotest.(check int) "flagged at the second decide" 1 v.Monitor.pid
+
+(* ------------------------------------------------------------------ *)
+(* k_agreement                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let k_agreement_healthy () =
+  expect_clean ~nprocs:3
+    ~monitors:[ Monitor.k_agreement ~k:2 () ]
+    [| Prog.return 1; Prog.return 2; Prog.return 1 |]
+
+let k_agreement_breaks () =
+  ignore
+    (expect_violation ~nprocs:3
+       ~monitors:[ Monitor.k_agreement ~k:2 () ]
+       ~monitor_name:"2-agreement"
+       [| Prog.return 1; Prog.return 2; Prog.return 3 |])
+
+(* ------------------------------------------------------------------ *)
+(* validity                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let validity_healthy () =
+  expect_clean ~nprocs:1
+    ~monitors:[ Monitor.validity ~allowed:(fun v -> v < 10) () ]
+    [| Prog.return 9 |]
+
+let validity_breaks () =
+  ignore
+    (expect_violation ~nprocs:1
+       ~monitors:[ Monitor.validity ~allowed:(fun v -> v < 10) () ]
+       ~monitor_name:"validity" [| Prog.return 99 |])
+
+(* ------------------------------------------------------------------ *)
+(* crash_bound                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let crash_plan specs = Adversary.with_crashes (rr ()) specs
+
+let crash_bound_healthy () =
+  expect_clean ~budget:50 ~nprocs:2
+    ~adversary:
+      (crash_plan [ Adversary.Crash_at_local { pid = 0; step = 1 } ])
+    ~monitors:[ Monitor.crash_bound ~bound:1 () ]
+    [| spin (); Prog.return 0 |]
+
+let crash_bound_breaks () =
+  ignore
+    (expect_violation ~budget:50 ~nprocs:2
+       ~adversary:
+         (crash_plan
+            [
+              Adversary.Crash_at_local { pid = 0; step = 1 };
+              Adversary.Crash_at_local { pid = 1; step = 1 };
+            ])
+       ~monitors:[ Monitor.crash_bound ~bound:1 () ]
+       ~monitor_name:"crash-bound(1)"
+       [| spin (); spin () |])
+
+(* ------------------------------------------------------------------ *)
+(* port_discipline                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let propose_and_return v =
+  let* _ = Prog.cons_propose Codec.int "C" [] v in
+  Prog.return v
+
+let port_discipline_healthy () =
+  expect_clean ~nprocs:2 ~x:2
+    ~monitors:[ Monitor.port_discipline ~bound:2 () ]
+    [| propose_and_return 1; propose_and_return 2 |]
+
+let port_discipline_breaks () =
+  ignore
+    (expect_violation ~nprocs:2 ~x:2
+       ~monitors:[ Monitor.port_discipline ~bound:1 () ]
+       ~monitor_name:"port-discipline(consensus<=1)"
+       [| propose_and_return 1; propose_and_return 2 |])
+
+(* ------------------------------------------------------------------ *)
+(* crashed_inside                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Op 0 touches the agreement family, op 1 leaves it; crashing at local
+   step 1 kills the process while inside "AG", at step 2 outside it. *)
+let touch_ag_then_leave i =
+  let* () = Prog.snap_set Codec.int "AG" [] i in
+  let* () = Prog.snap_set Codec.int "ELSEWHERE" [] i in
+  Prog.map (fun () -> i) (spin ())
+
+let crashed_inside_healthy () =
+  expect_clean ~budget:60 ~nprocs:2
+    ~adversary:
+      (crash_plan
+         [
+           Adversary.Crash_at_local { pid = 0; step = 2 };
+           (* p0 left AG *)
+           Adversary.Crash_at_local { pid = 1; step = 1 };
+           (* only p1 dies inside *)
+         ])
+    ~monitors:[ Monitor.crashed_inside ~fam_prefix:"AG" () ]
+    [| touch_ag_then_leave 0; touch_ag_then_leave 1 |]
+
+let crashed_inside_breaks () =
+  let v =
+    expect_violation ~budget:60 ~nprocs:2
+      ~adversary:
+        (crash_plan
+           [
+             Adversary.Crash_at_local { pid = 0; step = 1 };
+             Adversary.Crash_at_local { pid = 1; step = 1 };
+           ])
+      ~monitors:[ Monitor.crashed_inside ~fam_prefix:"AG" () ]
+      ~monitor_name:"crashed-inside(AG<=1)"
+      [| touch_ag_then_leave 0; touch_ag_then_leave 1 |]
+  in
+  Alcotest.(check bool) "message names the instance" true
+    (let m = v.Monitor.message in
+     let has sub =
+       let n = String.length sub in
+       let rec go i =
+         i + n <= String.length m && (String.sub m i n = sub || go (i + 1))
+       in
+       go 0
+     in
+     has "AG")
+
+(* ------------------------------------------------------------------ *)
+(* stall_bound                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fault kind pid step =
+  { Adversary.kind; trigger = Adversary.Crash_at_local { pid; step } }
+
+let faults specs = Adversary.with_faults (rr ()) specs
+
+(* Two processes hung (responsive omission) on their "AG" operation:
+   the blocking account (at most one simulator halted per instance) is
+   violated; one hung process is fine. *)
+let stall_bound_healthy () =
+  expect_clean ~budget:60 ~nprocs:2
+    ~adversary:(faults [ fault Adversary.Omission 0 0 ])
+    ~monitors:[ Monitor.stall_bound ~fam_prefix:"AG" () ]
+    [| touch_ag_then_leave 0; Prog.return 1 |]
+
+let stall_bound_breaks () =
+  ignore
+    (expect_violation ~budget:60 ~nprocs:2
+       ~adversary:
+         (faults
+            [ fault Adversary.Omission 0 0; fault Adversary.Omission 1 0 ])
+       ~monitors:[ Monitor.stall_bound ~fam_prefix:"AG" () ]
+       ~monitor_name:"stall-bound(AG<=1)"
+       [| touch_ag_then_leave 0; touch_ag_then_leave 1 |])
+
+(* A crash inside the instance counts against the same bound as a hang:
+   mixing one of each must also fire. *)
+let stall_bound_counts_crashes () =
+  ignore
+    (expect_violation ~budget:60 ~nprocs:2
+       ~adversary:
+         (faults
+            [ fault Adversary.Omission 0 0; fault Adversary.Crash_stop 1 1 ])
+       ~monitors:[ Monitor.stall_bound ~fam_prefix:"AG" () ]
+       ~monitor_name:"stall-bound(AG<=1)"
+       [| touch_ag_then_leave 0; touch_ag_then_leave 1 |])
+
+(* ------------------------------------------------------------------ *)
+(* decided_value_integrity                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* p0 publishes, p1 adopts whatever it reads as its decision. Honest
+   runs decide 5; a Byzantine p0 plants a forged value that honest p1
+   then adopts — the integrity monitor must flag p1's decision (and not
+   p0's own, which is excluded as Byzantine). *)
+let publisher =
+  let* () = Prog.snap_set Codec.int "M" [] 5 in
+  Prog.return 5
+
+let adopter =
+  Prog.loop
+    (fun () ->
+      let* cells = Prog.snap_scan Codec.int "M" [] in
+      match cells.(0) with
+      | Some v -> Prog.return (`Stop v)
+      | None -> Prog.return (`Again ()))
+    ()
+
+let integrity_monitors () =
+  [ Monitor.decided_value_integrity ~allowed:(fun v -> v < 100) () ]
+
+let integrity_healthy () =
+  expect_clean ~monitors:(integrity_monitors ()) [| publisher; adopter |]
+
+let integrity_breaks () =
+  let v =
+    expect_violation
+      ~adversary:(faults [ fault Adversary.Byzantine 0 0 ])
+      ~monitors:(integrity_monitors ())
+      ~monitor_name:"decided-value-integrity"
+      [| publisher; adopter |]
+  in
+  Alcotest.(check int) "the honest adopter is the flagged pid" 1 v.Monitor.pid
+
+(* The Byzantine process's own decision is excluded: with only p0 (and
+   its forged self-decision) in range of the monitor, the run is clean
+   degradation, not a violation. *)
+let integrity_excludes_byzantine () =
+  expect_clean
+    ~adversary:(faults [ fault Adversary.Byzantine 0 0 ])
+    ~monitors:(integrity_monitors ())
+    [| publisher; Prog.return 5 |]
+
+let suite =
+  [
+    ( "monitors",
+      [
+        Alcotest.test_case "agreement: healthy" `Quick agreement_healthy;
+        Alcotest.test_case "agreement: breaks" `Quick agreement_breaks;
+        Alcotest.test_case "k-agreement: healthy" `Quick k_agreement_healthy;
+        Alcotest.test_case "k-agreement: breaks" `Quick k_agreement_breaks;
+        Alcotest.test_case "validity: healthy" `Quick validity_healthy;
+        Alcotest.test_case "validity: breaks" `Quick validity_breaks;
+        Alcotest.test_case "crash-bound: healthy" `Quick crash_bound_healthy;
+        Alcotest.test_case "crash-bound: breaks" `Quick crash_bound_breaks;
+        Alcotest.test_case "port-discipline: healthy" `Quick
+          port_discipline_healthy;
+        Alcotest.test_case "port-discipline: breaks" `Quick
+          port_discipline_breaks;
+        Alcotest.test_case "crashed-inside: healthy" `Quick
+          crashed_inside_healthy;
+        Alcotest.test_case "crashed-inside: breaks" `Quick
+          crashed_inside_breaks;
+        Alcotest.test_case "stall-bound: healthy" `Quick stall_bound_healthy;
+        Alcotest.test_case "stall-bound: breaks on two hangs" `Quick
+          stall_bound_breaks;
+        Alcotest.test_case "stall-bound: hang + crash also breaks" `Quick
+          stall_bound_counts_crashes;
+        Alcotest.test_case "integrity: healthy" `Quick integrity_healthy;
+        Alcotest.test_case "integrity: honest adoption flagged" `Quick
+          integrity_breaks;
+        Alcotest.test_case "integrity: Byzantine's own decision excluded"
+          `Quick integrity_excludes_byzantine;
+      ] );
+  ]

@@ -25,6 +25,7 @@ let outcome_to_string = function
   | Exec.Decided v -> Printf.sprintf "decided %d" v
   | Exec.Crashed -> "crashed"
   | Exec.Blocked -> "blocked"
+  | Exec.Stuck -> "stuck"
 
 let check_same_run ~ctx (a : int Exec.result) (b : int Exec.result) =
   Alcotest.(check (list string))
@@ -79,7 +80,10 @@ let test_round_trips () =
           let meta, decisions =
             match Trace.parse_replay artifact with
             | Ok md -> md
-            | Error e -> Alcotest.fail (ctx ^ ": parse_replay: " ^ e)
+            | Error e ->
+                Alcotest.fail
+                  (ctx ^ ": parse_replay: "
+                  ^ Format.asprintf "%a" Trace.pp_parse_error e)
           in
           Alcotest.(check (option string))
             (ctx ^ ": meta survives") (Some alg_name)
@@ -190,7 +194,7 @@ let get_scenario name =
 let test_sweep_clean_on_healthy () =
   let s = get_scenario "x_safe_agreement" in
   let outcome =
-    Experiments.Harness.sweep_scenario ~max_crashes:1
+    Experiments.Harness.sweep_scenario ~max_faults:1
       ~op_window:(if heavy then 12 else 4)
       s
   in
@@ -205,16 +209,16 @@ let test_sweep_clean_on_healthy () =
    sweeper's scheduler dimension alone must find it. *)
 let test_sweep_finds_no_cancel_without_crashes () =
   let s = get_scenario "safe_agreement_no_cancel" in
-  let outcome = Experiments.Harness.sweep_scenario ~max_crashes:0 s in
+  let outcome = Experiments.Harness.sweep_scenario ~max_faults:0 s in
   match outcome.Explore.found with
   | None -> Alcotest.fail "seeded no-cancel bug not found"
   | Some f ->
       Alcotest.(check string)
         "agreement broke" "agreement"
         f.Explore.violation.Monitor.monitor;
-      Alcotest.(check (list (pair int int)))
-        "shrunk to zero crash points" []
-        f.Explore.shrunk.Explore.crashes
+      Alcotest.(check int)
+        "shrunk to zero fault points" 0
+        (List.length f.Explore.shrunk.Explore.faults)
 
 (* The end-to-end acceptance loop: sweep the seeded x_safe_agreement
    first-subset bug, shrink, write the artifact to a real file, read it
@@ -222,7 +226,7 @@ let test_sweep_finds_no_cancel_without_crashes () =
    identical violation. *)
 let test_acceptance_sweep_shrink_replay () =
   let s = get_scenario "x_safe_agreement_first_subset" in
-  let outcome = Experiments.Harness.sweep_scenario ~max_crashes:2 s in
+  let outcome = Experiments.Harness.sweep_scenario ~max_faults:2 s in
   let f =
     match outcome.Explore.found with
     | Some f -> f
@@ -232,11 +236,11 @@ let test_acceptance_sweep_shrink_replay () =
   Alcotest.(check string) "an agreement violation" "agreement" v.Monitor.monitor;
   Alcotest.(check bool)
     "shrunk to at most 2 crash points" true
-    (List.length f.Explore.shrunk.Explore.crashes <= 2);
+    (List.length f.Explore.shrunk.Explore.faults <= 2);
   Alcotest.(check bool)
     "shrinking never grows the schedule" true
-    (List.length f.Explore.shrunk.Explore.crashes
-    <= List.length f.Explore.fault.Explore.crashes);
+    (List.length f.Explore.shrunk.Explore.faults
+    <= List.length f.Explore.fault.Explore.faults);
   (* Through an actual file, like `asmsim sweep --out` + `asmsim replay`. *)
   let file = Filename.temp_file "asmsim_test" ".replay" in
   Fun.protect
@@ -251,7 +255,10 @@ let test_acceptance_sweep_shrink_replay () =
       let meta, decisions =
         match Trace.parse_replay contents with
         | Ok md -> md
-        | Error e -> Alcotest.fail ("artifact does not parse: " ^ e)
+        | Error e ->
+            Alcotest.fail
+              ("artifact does not parse: "
+              ^ Format.asprintf "%a" Trace.pp_parse_error e)
       in
       let s' =
         match Experiments.Scenario.of_replay_meta meta with

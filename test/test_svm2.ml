@@ -11,7 +11,7 @@ let run1 ?(x = 2) ?(allow_cas = false) prog =
   let r = Exec.run ~env ~adversary:(Adversary.round_robin ()) [| prog |] in
   match r.Exec.outcomes.(0) with
   | Exec.Decided v -> v
-  | Exec.Crashed | Exec.Blocked -> Alcotest.fail "did not decide"
+  | Exec.Crashed | Exec.Blocked | Exec.Stuck -> Alcotest.fail "did not decide"
 
 (* ------------------------------------------------------------------ *)
 (* Prog combinators                                                     *)

@@ -114,7 +114,7 @@ let history_of_run ~scripts r res_list_codec =
               events :=
                 { Universal.Lin_check.start; finish; op; res } :: !events)
             (List.combine scripts.(pid) results)
-      | Exec.Crashed | Exec.Blocked -> ())
+      | Exec.Crashed | Exec.Blocked | Exec.Stuck -> ())
     r.Exec.outcomes;
   !events
 
