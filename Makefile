@@ -4,6 +4,7 @@
 #   make ci            — what CI runs: typecheck + full test suite + fault smoke
 #   make ci-heavy      — full box: heavy sweeps under ASMSIM_HEAVY=1
 #   make smoke         — one sweep per fault tier through the real CLI
+#   make smoke-trace   — sweep a seeded bug, export + validate its Chrome trace
 #   make test-heavy    — includes the exhaustive sweeps (ASMSIM_HEAVY=1)
 #   make bench-json    — benchmarks as BENCH_svm.json (ns/run + overhead)
 
@@ -12,7 +13,7 @@ TEST_TIMEOUT ?= 150
 SMOKE_TIMEOUT ?= 60
 ASMSIM = dune exec --no-print-directory bin/asmsim.exe --
 
-.PHONY: build check test test-heavy ci ci-heavy smoke bench-json
+.PHONY: build check test test-heavy ci ci-heavy smoke smoke-trace bench-json
 
 build:
 	dune build
@@ -37,9 +38,21 @@ smoke: build
 	  --expect-violation --out _build/smoke.replay
 	timeout $(SMOKE_TIMEOUT) $(ASMSIM) replay _build/smoke.replay; test $$? -eq 1
 
+# The observability pipeline end to end: sweep a seeded bug, export the
+# shrunk replay as a Chrome trace, validate the JSON (well-formed, a
+# span per live pid, the fault instant present), and snapshot metrics.
+smoke-trace: build
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) sweep --algo x_safe_agreement_first_subset \
+	  --expect-violation --out _build/prof.replay
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) trace _build/prof.replay --format=chrome \
+	  --out _build/prof.json
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) trace-check _build/prof.json --require-instants
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) stats _build/prof.replay --out _build/prof.stats.json
+
 ci: check
 	timeout $(TEST_TIMEOUT) dune runtest
 	$(MAKE) smoke
+	$(MAKE) smoke-trace
 
 ci-heavy: ci test-heavy
 

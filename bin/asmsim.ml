@@ -5,7 +5,16 @@
      canonical   canonical form of one model
      run-task    run a task algorithm natively under a seeded adversary
      simulate    run it under a simulation into another model
-     experiment  run one experiment (or all) and print the report *)
+     experiment  run one experiment (or all) and print the report
+     sweep       systematic fault sweeping under monitors
+     replay      re-execute a replay artifact bit-for-bit
+     trace       export a replay artifact as a timeline (chrome/text/csv)
+     trace-check validate a Chrome trace export (CI)
+     stats       metrics snapshot of a replayed or fresh run
+
+   Exit codes of the replay family: 0 clean, 1 violation reproduced
+   (or invariant failed), 2 unreadable artifact/unknown scenario,
+   3 replay diverged from the recorded violation. *)
 
 open Cmdliner
 
@@ -343,8 +352,13 @@ let sweep_cmd =
              (List.map Svm.Adversary.fault_kind_name kinds))
           window;
         let outcome =
+          (* Heartbeat on stderr so long sweeps are never silent. *)
           Experiments.Harness.sweep_scenario ~kinds ~max_faults:t
-            ~op_window:window ~max_runs:runs ~budget s
+            ~op_window:window ~max_runs:runs ~budget
+            ~on_progress:(fun ~runs ->
+              if runs mod 1_000 = 0 then
+                Format.eprintf "... %d runs swept@." runs)
+            s
         in
         (match outcome.Svm.Explore.deadlock with
         | None -> ()
@@ -436,31 +450,288 @@ let replay_cmd =
               Svm.Explore.replay ~budget ~make:s.Experiments.Scenario.make
                 ~monitors:s.Experiments.Scenario.monitors decisions
             in
-            (match (result, recorded) with
+            (* 0 clean, 1 violation reproduced, 3 diverged from the
+               recorded violation (wrong monitor/step, or recorded but
+               absent). Distinct from 2 = unreadable artifact above. *)
+            match (result, recorded) with
             | Error v, Some (m, st) ->
                 pp_violation_line v;
                 let exact =
                   String.equal v.Svm.Monitor.monitor m
                   && String.equal (string_of_int v.Svm.Monitor.step) st
                 in
-                Format.printf "%s@."
-                  (if exact then "reproduced: same monitor at the same step"
-                   else "violation differs from the recorded one")
-            | Error v, None -> pp_violation_line v
+                if exact then begin
+                  Format.printf "reproduced: same monitor at the same step@.";
+                  exit 1
+                end
+                else begin
+                  Format.printf
+                    "replay DIVERGED: violation differs from the recorded one \
+                     (%s at step %s)@."
+                    m st;
+                  exit 3
+                end
+            | Error v, None ->
+                pp_violation_line v;
+                exit 1
             | Ok _, Some (m, st) ->
                 Format.printf
-                  "run completed cleanly — recorded violation (%s at step %s) \
-                   did NOT reproduce@."
-                  m st
+                  "replay DIVERGED: run completed cleanly — recorded violation \
+                   (%s at step %s) did NOT reproduce@."
+                  m st;
+                exit 3
             | Ok r, None ->
                 Format.printf "run completed cleanly in %d steps@."
-                  r.Svm.Exec.total_steps);
-            if Result.is_error result then exit 1)
+                  r.Svm.Exec.total_steps)
   in
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Re-execute a recorded fault schedule bit-for-bit from a file")
     Term.(const run $ file $ budget)
+
+(* ---- trace / trace-check / stats ---- *)
+
+let read_file file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_out out s =
+  match out with
+  | None -> print_string s
+  | Some file ->
+      let oc = open_out file in
+      output_string oc s;
+      close_out oc;
+      Format.eprintf "written to %s@." file
+
+(* Load a replay artifact and re-execute it, returning the scenario, its
+   metadata and the recorded trace of the re-run. Exits 2 on unreadable
+   artifacts or unknown scenarios, like [replay]. *)
+let replay_for_trace ~budget file =
+  let contents = read_file file in
+  match Svm.Trace.parse_replay contents with
+  | Error e ->
+      Format.eprintf "%s: %a@." file Svm.Trace.pp_parse_error e;
+      exit 2
+  | Ok (meta, decisions) -> (
+      match Experiments.Scenario.of_replay_meta meta with
+      | Error m ->
+          Format.eprintf "%s: %s@." file m;
+          exit 2
+      | Ok s ->
+          let metrics = Svm.Metrics.create () in
+          let result =
+            Svm.Explore.replay ~budget ~metrics
+              ~make:s.Experiments.Scenario.make
+              ~monitors:s.Experiments.Scenario.monitors decisions
+          in
+          let trace =
+            match result with
+            | Ok r -> r.Svm.Exec.trace
+            | Error v -> v.Svm.Monitor.trace
+          in
+          (s, meta, result, trace, metrics))
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+
+let budget_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "budget" ] ~docv:"B" ~doc:"Step budget for the re-run.")
+
+let trace_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Replay artifact written by sweep.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("text", `Text); ("csv", `Csv) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: chrome, text, csv.")
+  in
+  let allow_partial =
+    Arg.(
+      value & flag
+      & info [ "allow-partial" ]
+          ~doc:
+            "Export a Chrome trace even when the recorded event buffer was \
+             truncated (the JSON is annotated with the dropped count).")
+  in
+  let run file format allow_partial budget out =
+    let s, meta, result, trace, _ = replay_for_trace ~budget file in
+    let trace =
+      match trace with
+      | Some t -> t
+      | None ->
+          Format.eprintf "%s: replay recorded no trace@." file;
+          exit 2
+    in
+    let tl =
+      Svm.Timeline.of_trace ~nprocs:s.Experiments.Scenario.nprocs trace
+    in
+    if tl.Svm.Timeline.dropped > 0 then
+      Format.eprintf
+        "warning: trace truncated — %d earlier events dropped, timeline \
+         covers the kept suffix@."
+        tl.Svm.Timeline.dropped;
+    (match result with
+    | Error v ->
+        Format.eprintf "note: replay violates %s at step %d (as recorded)@."
+          v.Svm.Monitor.monitor v.Svm.Monitor.step
+    | Ok _ -> ());
+    match format with
+    | `Text -> write_out out (Svm.Timeline.to_text tl)
+    | `Csv -> write_out out (Svm.Timeline.to_csv tl)
+    | `Chrome ->
+        if tl.Svm.Timeline.dropped > 0 && not allow_partial then begin
+          Format.eprintf
+            "refusing --format=chrome on a truncated trace (%d events \
+             dropped): the timeline would silently look complete; pass \
+             --allow-partial to export anyway@."
+            tl.Svm.Timeline.dropped;
+          exit 1
+        end;
+        let extra =
+          ("scenario", s.Experiments.Scenario.name)
+          :: ("artifact", file)
+          :: (match List.assoc_opt "schedule" meta with
+             | Some sched -> [ ("schedule", sched) ]
+             | None -> [])
+        in
+        write_out out
+          (Svm.Json.to_string ~pretty:true
+             (Svm.Timeline.to_chrome ~meta:extra tl)
+          ^ "\n")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Re-execute a replay artifact and export its timeline (Chrome \
+          trace_event JSON for chrome://tracing or Perfetto, plain text, or \
+          CSV), with the happens-before critical path and hottest instances")
+    Term.(
+      const run $ file $ format $ allow_partial $ budget_arg 20_000 $ out_arg)
+
+let trace_check_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Chrome trace JSON written by trace.")
+  in
+  let require_instants =
+    Arg.(
+      value & flag
+      & info [ "require-instants" ]
+          ~doc:"Fail unless the trace contains at least one fault instant.")
+  in
+  let run file require_instants =
+    match Svm.Json.of_string (read_file file) with
+    | Error e ->
+        Format.eprintf "%s: not JSON: %s@." file e;
+        exit 2
+    | Ok json -> (
+        match Svm.Timeline.validate_chrome json with
+        | Error e ->
+            Format.eprintf "%s: invalid chrome trace: %s@." file e;
+            exit 1
+        | Ok s ->
+            Format.printf
+              "%s: %d events; spans per pid: [%s]; %d fault instant(s); %d \
+               dropped@."
+              file s.Svm.Timeline.events
+              (String.concat "; "
+                 (List.map
+                    (fun (pid, n) -> Printf.sprintf "p%d:%d" pid n)
+                    s.Svm.Timeline.spans_per_pid))
+              s.Svm.Timeline.instants s.Svm.Timeline.dropped;
+            if require_instants && s.Svm.Timeline.instants = 0 then begin
+              Format.eprintf "%s: no fault instants recorded@." file;
+              exit 1
+            end)
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a Chrome trace export: well-formed events, instant count \
+          matching the metadata, a span for every live process")
+    Term.(const run $ file $ require_instants)
+
+let stats_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Replay artifact to re-run under metrics.")
+  in
+  let algo =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "algo" ] ~docv:"SCENARIO"
+          ~doc:"Run a registered scenario fresh instead of a replay artifact.")
+  in
+  let wall =
+    Arg.(
+      value & flag
+      & info [ "wall-clock" ]
+          ~doc:
+            "Include the non-deterministic wall-clock section (snapshots are \
+             then not replay-comparable).")
+  in
+  let run file algo wall budget out =
+    let snapshot_of metrics =
+      Svm.Metrics.snapshot_string ~pretty:true metrics ^ "\n"
+    in
+    match (file, algo) with
+    | Some file, None ->
+        let _, _, result, _, metrics = replay_for_trace ~budget file in
+        (match result with
+        | Error v ->
+            Format.eprintf "note: replay violates %s at step %d@."
+              v.Svm.Monitor.monitor v.Svm.Monitor.step
+        | Ok _ -> ());
+        write_out out (snapshot_of metrics)
+    | None, Some name -> (
+        match Experiments.Scenario.find name with
+        | Error m ->
+            prerr_endline m;
+            exit 2
+        | Ok s ->
+            let metrics = Svm.Metrics.create ~wall_clock:wall () in
+            let env, progs = s.Experiments.Scenario.make () in
+            (match
+               Svm.Exec.run ~budget ~metrics
+                 ~monitors:(s.Experiments.Scenario.monitors ())
+                 ~env
+                 ~adversary:(Svm.Adversary.round_robin ())
+                 progs
+             with
+            | (_ : Svm.Univ.t Svm.Exec.result) -> ()
+            | exception Svm.Monitor.Violation v ->
+                Format.eprintf "note: run violates %s at step %d@."
+                  v.Svm.Monitor.monitor v.Svm.Monitor.step);
+            write_out out (snapshot_of metrics))
+    | Some _, Some _ | None, None ->
+        Format.eprintf "stats: pass exactly one of FILE or --algo@.";
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Metrics snapshot (JSON) of a run: replay an artifact under a \
+          registry, or run a registered scenario fresh")
+    Term.(const run $ file $ algo $ wall $ budget_arg 50_000 $ out_arg)
 
 let () =
   let doc = "Reproduction of 'The Multiplicative Power of Consensus Numbers'" in
@@ -477,4 +748,7 @@ let () =
             experiment_cmd;
             sweep_cmd;
             replay_cmd;
+            trace_cmd;
+            trace_check_cmd;
+            stats_cmd;
           ]))

@@ -13,6 +13,18 @@ let new_stats () = { decided_threads = []; max_engaged = 0 }
 let decided_processes stats =
   List.sort_uniq compare (List.map snd stats.decided_threads)
 
+(* Fold engine-level counters into a run's metrics snapshot, so the
+   simulator's mutex1 invariant measurement travels with the rest of the
+   telemetry instead of living in a side structure. *)
+let fold_metrics m stats =
+  Metrics.set_max (Metrics.gauge m "bg.max_engaged") stats.max_engaged;
+  Metrics.incr
+    ~by:(List.length stats.decided_threads)
+    (Metrics.counter m "bg.decided_threads");
+  Metrics.incr
+    ~by:(List.length (decided_processes stats))
+    (Metrics.counter m "bg.decided_processes")
+
 let record_decision stats ~sim ~thread =
   match stats with
   | None -> ()

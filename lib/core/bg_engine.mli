@@ -59,6 +59,12 @@ val new_stats : unit -> stats
 val decided_processes : stats -> int list
 (** Distinct simulated processes decided at some simulator (sorted). *)
 
+val fold_metrics : Svm.Metrics.t -> stats -> unit
+(** Fold the engine stats into a metrics registry: [bg.max_engaged]
+    (max gauge — the online mutex1 measurement), [bg.decided_threads]
+    and [bg.decided_processes] (counters), so one snapshot carries both
+    the executor's and the simulation engine's telemetry. *)
+
 val simulate :
   ?unchecked:bool ->
   ?ablate_mutex1:bool ->

@@ -1,7 +1,7 @@
 open Svm
 
-let run ?budget ?record_trace ?allow_kset ~(alg : Algorithm.t) ~inputs
-    ~adversary () =
+let run ?budget ?record_trace ?allow_kset ?metrics ~(alg : Algorithm.t)
+    ~inputs ~adversary () =
   let n = Algorithm.n alg in
   if Array.length inputs <> n then
     invalid_arg
@@ -11,7 +11,7 @@ let run ?budget ?record_trace ?allow_kset ~(alg : Algorithm.t) ~inputs
   let progs =
     Array.init n (fun pid -> alg.Algorithm.code ~pid ~input:inputs.(pid))
   in
-  Exec.run ?budget ?record_trace ~env ~adversary progs
+  Exec.run ?budget ?record_trace ?metrics ~env ~adversary progs
 
 let map_outcome f = function
   | Exec.Decided v -> Exec.Decided (f v)
@@ -19,9 +19,12 @@ let map_outcome f = function
   | Exec.Blocked -> Exec.Blocked
   | Exec.Stuck -> Exec.Stuck
 
-let run_ints ?budget ?record_trace ?allow_kset ~alg ~inputs ~adversary () =
+let run_ints ?budget ?record_trace ?allow_kset ?metrics ~alg ~inputs ~adversary
+    () =
   let inputs = Array.of_list (List.map Codec.int.Codec.inj inputs) in
-  let r = run ?budget ?record_trace ?allow_kset ~alg ~inputs ~adversary () in
+  let r =
+    run ?budget ?record_trace ?allow_kset ?metrics ~alg ~inputs ~adversary ()
+  in
   {
     Exec.outcomes = Array.map (map_outcome Codec.int.Codec.prj) r.Exec.outcomes;
     op_counts = r.Exec.op_counts;

@@ -4,6 +4,7 @@ val run :
   ?budget:int ->
   ?record_trace:bool ->
   ?allow_kset:bool ->
+  ?metrics:Svm.Metrics.t ->
   alg:Algorithm.t ->
   inputs:Svm.Univ.t array ->
   adversary:Svm.Adversary.t ->
@@ -17,6 +18,7 @@ val run_ints :
   ?budget:int ->
   ?record_trace:bool ->
   ?allow_kset:bool ->
+  ?metrics:Svm.Metrics.t ->
   alg:Algorithm.t ->
   inputs:int list ->
   adversary:Svm.Adversary.t ->

@@ -163,6 +163,7 @@ let run () =
       "Design choices the paper motivates: Figure 1's cancellation, the \
        single-propose mutex (Section 3.2.3), and dynamic owners for \
        x_safe_agreement (Section 4.3).";
+    metrics = [];
     checks =
       [
         no_cancel_disagrees ();

@@ -181,6 +181,7 @@ let run () =
        building blocks are universally quantified over schedules; within \
        a bounded scope we check them against every schedule, not a \
        sample.";
+    metrics = [];
     checks =
       [
         sa_safety ~nprocs:2 ~max_crashes:1 ~max_steps:12 ();

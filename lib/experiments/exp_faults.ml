@@ -57,6 +57,7 @@ let run () =
        show where they degrade gracefully (omission, crash-recovery, \
        Byzantine-contained) and where they provably cannot \
        (Byzantine values past an any-coded register).";
+    metrics = [];
     checks =
       [
         omission_clean "safe_agreement";

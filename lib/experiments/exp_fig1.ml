@@ -89,6 +89,7 @@ let run () =
     paper =
       "Termination if no crash during propose; agreement; validity \
        (Section 3.1).";
+    metrics = [];
     checks =
       [
         sweep_no_crash ();

@@ -59,6 +59,7 @@ let run () =
        tasks: a 2-resilient 5-process 3-set algorithm runs wait-free on \
        3 simulators; a crashed simulator blocks at most one simulated \
        process (Lemmas 1-2 with x = 1).";
+    metrics = [];
     checks =
       [
         sweeps ~max_crashes:0 ~label:"15 crash-free schedules: valid + live";

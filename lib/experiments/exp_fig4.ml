@@ -95,6 +95,7 @@ let run () =
        most x simulated processes (Lemma 1) and each correct simulator \
        computes decisions of at least n - t' simulated processes \
        (Lemma 2).";
+    metrics = [];
     checks =
       [
         sweeps ~max_crashes:0 ~label:"12 crash-free schedules: valid + live";

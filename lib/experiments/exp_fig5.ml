@@ -67,6 +67,7 @@ let run () =
     paper =
       "X_T&S returns true to at most x simulators; if x or fewer invoke \
        it, the ones that do not crash all obtain true (Section 4.3).";
+    metrics = [];
     checks =
       [
         sweep ~m:5 ~x:2 ~max_crashes:0

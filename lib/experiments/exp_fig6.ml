@@ -102,6 +102,7 @@ let run () =
     paper =
       "Termination if at most x-1 processes crash during x_sa_propose; \
        agreement; validity (Section 4.2).";
+    metrics = [];
     checks =
       [
         sweep ~max_crashes:0 ~label:"40 crash-free schedules (m=5, x=2)"

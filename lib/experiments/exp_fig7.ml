@@ -58,5 +58,6 @@ let run () =
     paper =
       "ASM(n1,t1,x1) ~ ASM(n2,t2,x2) when floor(t1/x1) = floor(t2/x2), \
        via ASM(n1,t,1), ASM(t+1,t,1) and ASM(n2,t,1) (Section 5.3).";
+    metrics = [];
     checks = arrows () @ [ composition () ];
   }

@@ -58,6 +58,7 @@ let run () =
       "With (m,l)-set agreement objects, k-set agreement is solvable iff \
        k >= l*floor((t+1)/m) + min(l, (t+1) mod m) (Herlihy & Rajsbaum, \
        the paper's reference [22]).";
+    metrics = [];
     checks =
       [
         formula_specializations ();

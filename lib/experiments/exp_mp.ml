@@ -71,6 +71,7 @@ let run () =
       "ASM(n, t', x) ~ ASM(n, t, 1) iff t*x <= t' <= t*x + (x - 1); \
        increasing x without crossing a floor boundary adds no power \
        (Section 5.4).";
+    metrics = [];
     checks =
       [ algebra (); edge ~t':lo; edge ~t':hi; beyond_window (); useless_boost () ];
   }

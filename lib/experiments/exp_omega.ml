@@ -122,6 +122,7 @@ let run () =
       "Omega_x is the weakest failure detector to boost ASM(n, n-1, x) \
        to consensus number x+1 (Guerraoui & Kuznetsov); for x = 1, \
        Omega = Omega_1 makes consensus solvable wait-free from registers.";
+    metrics = [];
     checks =
       [
         boosted_consensus ();

@@ -1,0 +1,17 @@
+(** Experiment PROF — telemetry profiles of the headline simulations.
+
+    Runs the Theorem 1 simulation (F4: [ASM(6,4,2)] in [ASM(6,2,1)])
+    and two Theorem 3 simulations (S4a: [ASM(6,2,1)] in [ASM(6,4,2)];
+    S4b: [ASM(6,2,1)] in [ASM(6,5,3)]) under a {!Svm.Metrics} registry
+    and a recorded trace, folds the BG engine stats into the registry,
+    and derives the {!Svm.Timeline} causality summary.
+
+    Checks, per profile: two identical runs snapshot byte-identically
+    (the determinism rule), the online mutex1 reading [bg.max_engaged]
+    is 1, per-instance contention ([obj.pids.*]) stays within the
+    process count, and the happens-before critical path is a genuine
+    lower bound ([1 <= critical path <= spans], parallelism [>= 1]).
+    The report carries one compact metrics snapshot per profile with
+    the hottest-instances contention table. *)
+
+val run : unit -> Report.t

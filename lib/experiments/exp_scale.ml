@@ -78,5 +78,6 @@ let run () =
     paper =
       "No claim in the paper (the reductions are computability tools); \
        measured so the blow-up per simulation level is on record.";
+    metrics = [];
     checks = growth_checks () @ [ composition_check () ];
   }

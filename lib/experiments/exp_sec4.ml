@@ -130,6 +130,7 @@ let run () =
        blocking one simulated process costs x simulator crashes \
        (Lemma 7), and at least n - t simulated processes decide \
        (Lemma 8).";
+    metrics = [];
     checks =
       [
         sweeps ~max_crashes:0 ~label:"12 crash-free schedules: valid + live";

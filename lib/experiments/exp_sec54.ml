@@ -88,6 +88,7 @@ let run () =
        canonical form ASM(n, t, 1); for t' = 8 there are exactly 5 \
        classes; a task with set consensus number k is solvable in \
        ASM(n, t, x) iff k > floor(t/x).";
+    metrics = [];
     checks =
       [
         t8_classes ();

@@ -44,6 +44,7 @@ let run () =
        simulated in ASM(n',t',x') when x' > 1, floor(t/x) >= \
        floor(t'/x') and n >= max(n', (n'-t')+t); test&set objects let \
        each simulator decide the value of a different simulated process.";
+    metrics = [];
     checks =
       [
         native ();

@@ -227,6 +227,7 @@ let run () =
       "The base model's snapshot memory is implementable from read/write \
        registers (reference [1]); test&set is implementable from \
        consensus number 2 objects (reference [19]).";
+    metrics = [];
     checks =
       afek_checks ()
       @ [ ts_checks (); immediate_snapshot_checks (); adopt_commit_checks () ];

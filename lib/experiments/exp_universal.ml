@@ -98,6 +98,7 @@ let run () =
       "Objects with consensus number >= x are universal in systems of at \
        most x processes (Herlihy); test&set and queues have consensus \
        number 2; compare&swap has consensus number infinity.";
+    metrics = [];
     checks =
       [
         universal_counter ();

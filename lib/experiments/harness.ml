@@ -22,10 +22,10 @@ let starts_with ~prefix s =
   String.length s >= String.length prefix
   && String.equal (String.sub s 0 (String.length prefix)) prefix
 
-let sweep_scenario ?kinds ?max_faults ?op_window ?max_runs ?budget
-    (s : Scenario.t) =
-  Explore.sweep_faults ?kinds ?max_faults ?op_window ?max_runs ?budget
-    ~meta:(Scenario.sweep_meta s) ~make:s.Scenario.make
+let sweep_scenario ?kinds ?max_faults ?op_window ?max_runs ?budget ?metrics
+    ?on_progress (s : Scenario.t) =
+  Explore.sweep_faults ?kinds ?max_faults ?op_window ?max_runs ?budget ?metrics
+    ?on_progress ~meta:(Scenario.sweep_meta s) ~make:s.Scenario.make
     ~monitors:s.Scenario.monitors ()
 
 let sweep_check ?kinds ?max_faults ?op_window ?max_runs ?budget

@@ -30,11 +30,14 @@ val sweep_scenario :
   ?op_window:int ->
   ?max_runs:int ->
   ?budget:int ->
+  ?metrics:Svm.Metrics.t ->
+  ?on_progress:(runs:int -> unit) ->
   Scenario.t ->
   Svm.Explore.sweep_outcome
 (** Run the systematic fault-point sweeper over a scenario, tagging any
     replay artifact with the scenario's {!Scenario.sweep_meta}. [kinds]
-    defaults to crash-stop only, like {!Svm.Explore.sweep_faults}. *)
+    defaults to crash-stop only, like {!Svm.Explore.sweep_faults};
+    [metrics] and [on_progress] are handed through to the sweeper. *)
 
 val sweep_check :
   ?kinds:Svm.Adversary.fault_kind list ->

@@ -18,6 +18,7 @@ let all =
     ("SA", "k-set from (m,l)-set objects", Exp_mlset.run);
     ("FD", "failure-detector boosting (Omega)", Exp_omega.run);
     ("SC", "cost shape of the simulations", Exp_scale.run);
+    ("PROF", "telemetry profile of the simulations", Exp_profile.run);
   ]
 
 let find id =

@@ -1,6 +1,12 @@
 type check = { label : string; ok : bool; detail : string }
 
-type t = { id : string; title : string; paper : string; checks : check list }
+type t = {
+  id : string;
+  title : string;
+  paper : string;
+  metrics : (string * string) list;
+  checks : check list;
+}
 
 let check ~label ~ok ~detail = { label; ok; detail }
 
@@ -21,7 +27,12 @@ let pp ppf t =
       Format.fprintf ppf "  [%s] %-52s %s@."
         (if c.ok then "PASS" else "FAIL")
         c.label c.detail)
-    t.checks
+    t.checks;
+  List.iter
+    (fun (name, json) ->
+      Format.fprintf ppf "  metrics snapshot %s (%d bytes)@." name
+        (String.length json))
+    t.metrics
 
 let pp_summary_line ppf t =
   let pass = List.length (List.filter (fun c -> c.ok) t.checks) in
@@ -41,4 +52,15 @@ let to_markdown t =
            c.detail))
     t.checks;
   Buffer.add_string b "\n";
+  List.iter
+    (fun (name, json) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "<details><summary>metrics snapshot: %s</summary>\n\n\
+            ```json\n\
+            %s\n\
+            ```\n\n\
+            </details>\n\n"
+           name json))
+    t.metrics;
   Buffer.contents b

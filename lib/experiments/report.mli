@@ -7,6 +7,9 @@ type t = {
   id : string;  (** e.g. "F1" *)
   title : string;
   paper : string;  (** the paper's claim being reproduced *)
+  metrics : (string * string) list;
+      (** named {!Svm.Metrics} snapshots ([name, JSON]) gathered while the
+          experiment ran; rendered as collapsible blocks in Markdown *)
   checks : check list;
 }
 

@@ -15,8 +15,24 @@ type 'a state = Running of 'a Prog.t | Finished of 'a outcome
 let next_op_info (p : 'a Prog.t) =
   match p with Prog.Done _ -> None | Prog.Step (op, _) -> Op.info op
 
-let run ?(budget = 2_000_000) ?(record_trace = false) ?(monitors = []) ~env
-    ~adversary progs =
+let outcome_name = function
+  | Decided _ -> "decided"
+  | Crashed -> "crashed"
+  | Blocked -> "blocked"
+  | Stuck -> "stuck"
+
+(* Per-object telemetry accumulated during one run when a metrics
+   registry is present: access count and the distinct pids seen per
+   instance. Flushed into registry counters/gauges at the end of the
+   run, so the per-op cost is one hashtable upsert. *)
+type obj_stat = { mutable ops : int; mutable pids : int list }
+
+let instance_label (info : Op.info) =
+  Printf.sprintf "%s[%s]" info.Op.fam
+    (String.concat ";" (List.map string_of_int info.Op.key))
+
+let run ?(budget = 2_000_000) ?(record_trace = false) ?(monitors = []) ?metrics
+    ~env ~adversary progs =
   let n = Array.length progs in
   if n <> Env.nprocs env then
     invalid_arg
@@ -29,6 +45,47 @@ let run ?(budget = 2_000_000) ?(record_trace = false) ?(monitors = []) ~env
   let restarts = ref [] in
   let byz_active = ref false in
   let trace = if record_trace then Some (Trace.create ()) else None in
+  (* Telemetry: all per-op state lives behind the [metrics] option — the
+     metrics-off path allocates nothing per op (guarded by the same
+     match that the trace recorder uses). *)
+  let mstate =
+    match metrics with
+    | None -> None
+    | Some m -> Some (m, Hashtbl.create 32, Array.make n 0)
+  in
+  let note_op pid info corrupted =
+    match mstate with
+    | None -> ()
+    | Some (m, objs, _) -> (
+        (match info with
+        | None -> Metrics.incr (Metrics.counter m "op.yield")
+        | Some i ->
+            Metrics.incr
+              (Metrics.counter m ("op." ^ Op.kind_name i.Op.kind));
+            let s =
+              match Hashtbl.find_opt objs (i.Op.fam, i.Op.key) with
+              | Some s -> s
+              | None ->
+                  let s = { ops = 0; pids = [] } in
+                  Hashtbl.add objs (i.Op.fam, i.Op.key) s;
+                  s
+            in
+            s.ops <- s.ops + 1;
+            if not (List.mem pid s.pids) then s.pids <- pid :: s.pids);
+        if corrupted then Metrics.incr (Metrics.counter m "op.corrupted"))
+  in
+  let note_sched pid =
+    match mstate with
+    | None -> ()
+    | Some (_, _, scheds) -> scheds.(pid) <- scheds.(pid) + 1
+  in
+  let note_fault kind =
+    match mstate with
+    | None -> ()
+    | Some (m, _, _) ->
+        Metrics.incr
+          (Metrics.counter m ("fault." ^ Adversary.fault_kind_name kind))
+  in
   let record step pid info =
     match trace with
     | None -> ()
@@ -59,6 +116,39 @@ let run ?(budget = 2_000_000) ?(record_trace = false) ?(monitors = []) ~env
   in
   let step = ref 0 in
   let continue = ref true in
+  (* Flush the accumulated telemetry into the registry. Called on normal
+     completion and before a monitor violation propagates, so a
+     violating replay still snapshots its partial run (deterministically:
+     the same replay violates at the same step with the same tallies). *)
+  let flush_metrics () =
+    match mstate with
+    | None -> ()
+    | Some (m, objs, scheds) ->
+        Metrics.incr (Metrics.counter m "run.count");
+        Metrics.observe (Metrics.histogram m "run.steps") !step;
+        let ops_h = Metrics.histogram m "proc.ops" in
+        let steps_h = Metrics.histogram m "proc.steps" in
+        for pid = 0 to n - 1 do
+          Metrics.observe ops_h op_counts.(pid);
+          Metrics.observe steps_h scheds.(pid)
+        done;
+        Array.iter
+          (fun s ->
+            let o = match s with Running _ -> Blocked | Finished o -> o in
+            Metrics.incr (Metrics.counter m ("outcome." ^ outcome_name o)))
+          states;
+        (* Deterministic flush order: instances sorted by label. *)
+        Hashtbl.fold
+          (fun (fam, key) s acc ->
+            (instance_label { Op.kind = Op.Register; fam; key }, s) :: acc)
+          objs []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.iter (fun (label, s) ->
+               Metrics.incr ~by:s.ops (Metrics.counter m ("obj.ops." ^ label));
+               Metrics.set_max
+                 (Metrics.gauge m ("obj.pids." ^ label))
+                 (List.length s.pids))
+  in
   (* Advance [pid] past one executed operation. A continuation may choke
      decoding a Byzantine value planted earlier ([Codec.Type_error]); the
      poisoned process halts — stuck, deterministically — rather than
@@ -72,11 +162,13 @@ let run ?(budget = 2_000_000) ?(record_trace = false) ?(monitors = []) ~env
         stuck := pid :: !stuck;
         monitor pid !step (Monitor.Stalled { pid; step = !step; info })
   in
-  while !continue && !step < budget do
+  (try
+     while !continue && !step < budget do
     match runnable () with
     | [] -> continue := false
     | live ->
         let pid = Adversary.pick adversary ~runnable:live ~global_step:!step in
+        note_sched pid;
         (match states.(pid) with
         | Finished _ ->
             invalid_arg "Exec.run: adversary picked a non-runnable process"
@@ -89,12 +181,14 @@ let run ?(budget = 2_000_000) ?(record_trace = false) ?(monitors = []) ~env
             match fault with
             | Some Adversary.Crash_stop ->
                 states.(pid) <- Finished Crashed;
+                note_fault Adversary.Crash_stop;
                 crashed := pid :: !crashed;
                 decided (Trace.Crash pid);
                 record !step pid None;
                 monitor pid !step (Monitor.Crashed { pid; step = !step })
             | Some Adversary.Omission ->
                 states.(pid) <- Finished Stuck;
+                note_fault Adversary.Omission;
                 stuck := pid :: !stuck;
                 decided (Trace.Omit pid);
                 record !step pid None;
@@ -104,6 +198,7 @@ let run ?(budget = 2_000_000) ?(record_trace = false) ?(monitors = []) ~env
                 (* Local [Prog] state is lost; shared memory survives.
                    The pending operation does not execute. *)
                 states.(pid) <- Running progs.(pid);
+                note_fault Adversary.Crash_recovery;
                 restarts := pid :: !restarts;
                 decided (Trace.Restart pid);
                 record !step pid None;
@@ -127,6 +222,8 @@ let run ?(budget = 2_000_000) ?(record_trace = false) ?(monitors = []) ~env
                     match corrupted with
                     | Some op' ->
                         byz_active := true;
+                        note_fault Adversary.Byzantine;
+                        note_op pid info true;
                         decided (Trace.Byz pid);
                         let r = Env.apply env ~pid op' in
                         op_counts.(pid) <- op_counts.(pid) + 1;
@@ -135,6 +232,7 @@ let run ?(budget = 2_000_000) ?(record_trace = false) ?(monitors = []) ~env
                           (Monitor.Corrupted { pid; step = !step; info });
                         advance pid k r info
                     | None ->
+                        note_op pid info false;
                         decided (Trace.Sched pid);
                         let r = Env.apply env ~pid op in
                         op_counts.(pid) <- op_counts.(pid) + 1;
@@ -143,7 +241,11 @@ let run ?(budget = 2_000_000) ?(record_trace = false) ?(monitors = []) ~env
                           (Monitor.Op_applied { pid; step = !step; info });
                         advance pid k r info))));
         incr step
-  done;
+     done
+   with Monitor.Violation _ as e ->
+     flush_metrics ();
+     raise e);
+  flush_metrics ();
   let outcomes =
     Array.map
       (function Running _ -> Blocked | Finished o -> o)
@@ -175,9 +277,3 @@ let blocked r =
       | Decided _ | Crashed | Stuck -> ())
     r.outcomes;
   List.rev !acc
-
-let outcome_name = function
-  | Decided _ -> "decided"
-  | Crashed -> "crashed"
-  | Blocked -> "blocked"
-  | Stuck -> "stuck"

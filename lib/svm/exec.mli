@@ -40,6 +40,7 @@ val run :
   ?budget:int ->
   ?record_trace:bool ->
   ?monitors:'a Monitor.t list ->
+  ?metrics:Metrics.t ->
   env:Env.t ->
   adversary:Adversary.t ->
   'a Prog.t array ->
@@ -47,6 +48,17 @@ val run :
 (** [run ~env ~adversary progs] executes [progs.(i)] as process [i].
     Default [budget] is [2_000_000] steps. The number of programs must
     equal [Env.nprocs env].
+
+    With [metrics], the run records into the registry: per-kind op
+    counters ([op.<kind>], [op.yield], [op.corrupted]), fault tallies
+    ([fault.<kind>]), outcome tallies ([outcome.<name>]), per-process
+    op and scheduling-step histograms ([proc.ops], [proc.steps]), the
+    run-length histogram ([run.steps]) and, per touched object
+    instance, access counts ([obj.ops.<fam>\[key\]]) and contention —
+    distinct accessing pids — ([obj.pids.<fam>\[key\]], a max gauge).
+    Everything is keyed on step counts, so two replays of one decision
+    log snapshot identically; without [metrics] no per-op telemetry
+    state is allocated at all.
 
     Each [monitors] entry is consulted after every executed operation,
     decision and fault; the first failed check aborts the run by raising

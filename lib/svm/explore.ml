@@ -24,8 +24,16 @@ let schedule_string rev_choices =
 
 exception Found
 
-let exhaustive ?(max_crashes = 0) ?(max_runs = 2_000_000) ~max_steps ~make
-    ~property () =
+let note metrics name =
+  match metrics with
+  | None -> ()
+  | Some m -> Metrics.incr (Metrics.counter m name)
+
+let heartbeat on_progress runs =
+  match on_progress with None -> () | Some f -> f ~runs
+
+let exhaustive ?(max_crashes = 0) ?(max_runs = 2_000_000) ?metrics ?on_progress
+    ~max_steps ~make ~property () =
   let env0, progs = make () in
   let explored = ref 0 in
   let counterexample = ref None in
@@ -48,10 +56,14 @@ let exhaustive ?(max_crashes = 0) ?(max_runs = 2_000_000) ~max_steps ~make
       }
     in
     incr explored;
+    note metrics "explore.runs";
+    if truncated then note metrics "explore.truncated";
+    heartbeat on_progress !explored;
     (match property run with
     | Ok () -> ()
     | Error msg ->
         counterexample := Some (run, msg);
+        note metrics "explore.counterexamples";
         raise Found);
     if !explored >= max_runs then begin
       exhausted := true;
@@ -269,7 +281,7 @@ let fault_sets ~nprocs ~kinds ~max_faults ~op_window =
 
 let sweep_faults ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
     ?(op_window = 6) ?(max_runs = 5_000) ?budget ?schedulers ?(meta = [])
-    ~make ~monitors () =
+    ?metrics ?on_progress ~make ~monitors () =
   let env0, _ = make () in
   let nprocs = Env.nprocs env0 in
   let schedulers =
@@ -292,16 +304,25 @@ let sweep_faults ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
                raise Found
              end;
              incr runs;
+             note metrics "sweep.runs";
+             heartbeat on_progress !runs;
              match run_fault ?budget ~make ~monitors ~scheduler faults with
-             | Clean -> ()
+             | Clean -> note metrics "sweep.verdict.clean"
              | Deadlocked ->
+                 note metrics "sweep.verdict.deadlocked";
                  if !deadlock = None then
                    deadlock := Some { scheduler = sched_name; faults }
              | Violating v ->
+                 note metrics "sweep.verdict.violating";
                  let fault = { scheduler = sched_name; faults } in
                  let shrunk, violation, shrink_runs =
                    shrink ?budget ~make ~monitors ~schedulers fault v
                  in
+                 (match metrics with
+                 | None -> ()
+                 | Some m ->
+                     Metrics.incr ~by:shrink_runs
+                       (Metrics.counter m "sweep.shrink_runs"));
                  let replay =
                    let t =
                      match violation.Monitor.trace with
@@ -334,18 +355,18 @@ let sweep_faults ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
   }
 
 let sweep_crashes ?max_crashes ?op_window ?max_runs ?budget ?schedulers ?meta
-    ~make ~monitors () =
+    ?metrics ?on_progress ~make ~monitors () =
   sweep_faults
     ~kinds:[ Adversary.Crash_stop ]
     ?max_faults:max_crashes ?op_window ?max_runs ?budget ?schedulers ?meta
-    ~make ~monitors ()
+    ?metrics ?on_progress ~make ~monitors ()
 
-let replay ?budget ~make ~monitors decisions =
+let replay ?budget ?metrics ~make ~monitors decisions =
   let env, progs = make () in
   let adversary = Adversary.of_replay decisions in
   match
-    Exec.run ?budget ~record_trace:true ~monitors:(monitors ()) ~env ~adversary
-      progs
+    Exec.run ?budget ~record_trace:true ~monitors:(monitors ()) ?metrics ~env
+      ~adversary progs
   with
   | r -> Ok r
   | exception Monitor.Violation v -> Error v

@@ -41,6 +41,8 @@ type 'a result = {
 val exhaustive :
   ?max_crashes:int ->
   ?max_runs:int ->
+  ?metrics:Metrics.t ->
+  ?on_progress:(runs:int -> unit) ->
   max_steps:int ->
   make:(unit -> Env.t * 'a Prog.t array) ->
   property:('a run -> (unit, string) Stdlib.result) ->
@@ -49,7 +51,12 @@ val exhaustive :
 (** [exhaustive ~max_steps ~make ~property ()] enumerates schedules
     depth-first. [make] builds a fresh environment and programs (called
     once; branching copies the environment). Defaults: [max_crashes = 0],
-    [max_runs = 2_000_000]. *)
+    [max_runs = 2_000_000].
+
+    [metrics] counts completed runs ([explore.runs]), truncated runs
+    ([explore.truncated]) and counterexamples found;
+    [on_progress ~runs] fires after every completed run — throttle in
+    the callback (e.g. [if runs mod 1000 = 0 then ...]). *)
 
 (** {1 Systematic fault-box sweeping}
 
@@ -119,6 +126,8 @@ val sweep_faults :
   ?budget:int ->
   ?schedulers:(string * (unit -> Adversary.t)) list ->
   ?meta:(string * string) list ->
+  ?metrics:Metrics.t ->
+  ?on_progress:(runs:int -> unit) ->
   make:(unit -> Env.t * 'a Prog.t array) ->
   monitors:(unit -> 'a Monitor.t list) ->
   unit ->
@@ -134,7 +143,13 @@ val sweep_faults :
 
     [make] must build a fresh environment {e and fresh programs} per
     call (it is called once per run); [monitors] likewise builds fresh
-    monitors. *)
+    monitors.
+
+    [metrics] tallies runs per verdict ([sweep.runs],
+    [sweep.verdict.clean/deadlocked/violating]) and the shrinker's
+    validation re-runs ([sweep.shrink_runs]); [on_progress ~runs] is
+    the sweep's heartbeat, fired once per run so long sweeps are never
+    silent. *)
 
 val sweep_crashes :
   ?max_crashes:int ->
@@ -143,6 +158,8 @@ val sweep_crashes :
   ?budget:int ->
   ?schedulers:(string * (unit -> Adversary.t)) list ->
   ?meta:(string * string) list ->
+  ?metrics:Metrics.t ->
+  ?on_progress:(runs:int -> unit) ->
   make:(unit -> Env.t * 'a Prog.t array) ->
   monitors:(unit -> 'a Monitor.t list) ->
   unit ->
@@ -165,10 +182,13 @@ val shrink :
 
 val replay :
   ?budget:int ->
+  ?metrics:Metrics.t ->
   make:(unit -> Env.t * 'a Prog.t array) ->
   monitors:(unit -> 'a Monitor.t list) ->
   Trace.decision list ->
   ('a Exec.result, Monitor.violation) Stdlib.result
 (** Re-execute a recorded decision log ({!Adversary.of_replay}) under
     fresh monitors: [Error] iff the replayed run violates again, with
-    the same step and message when the programs are unchanged. *)
+    the same step and message when the programs are unchanged.
+    [metrics] is handed to {!Exec.run} — replaying one artifact twice
+    into two fresh registries snapshots byte-identically. *)

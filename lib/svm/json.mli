@@ -1,0 +1,31 @@
+(** Minimal zero-dependency JSON: just enough for metrics snapshots,
+    Chrome trace exports and the CI-side validation of both.
+
+    Emission is deterministic — object members print in the order given,
+    so building snapshots from sorted associations yields byte-stable
+    output ({!Metrics.snapshot} relies on this). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [pretty] indents by two spaces (stable layout,
+    suitable for committed artifacts). *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON value; [Error] carries the byte
+    offset of the failure. Numbers parse as [Int] when they are exact
+    OCaml ints, [Float] otherwise. *)
+
+val member : string -> t -> t option
+(** First member of that name, on objects. *)
+
+val to_list : t -> t list option
+val to_int : t -> int option
+val to_str : t -> string option

@@ -1,0 +1,177 @@
+(* Telemetry registry. Determinism rule: every value stored here derives
+   from step counts, op counts and run outcomes — never from wall-clock
+   time — unless the registry was created with [~wall_clock:true]. Replay
+   comparisons ("two replays of one artifact snapshot identically") rely
+   on this, so the wall section is opt-in and clearly separated. *)
+
+type counter = int ref
+
+type gauge = int ref
+
+(* Log-bucketed histogram: bucket 0 holds values <= 0, bucket i >= 1
+   holds [2^(i-1), 2^i). An OCaml int never exceeds 2^62 - 1, so 63
+   buckets cover the whole range. *)
+let nbuckets = 63
+
+type histogram = {
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  buckets : int array;
+}
+
+type t = {
+  wall_clock : bool;
+  created_at : float; (* Sys.time at creation; read only when wall_clock *)
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create ?(wall_clock = false) () =
+  {
+    wall_clock;
+    created_at = (if wall_clock then Sys.time () else 0.);
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let wall_clock t = t.wall_clock
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      let c = ref 0 in
+      Hashtbl.add t.counters name c;
+      c
+
+let incr ?(by = 1) c = c := !c + by
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some c -> !c | None -> 0
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g
+  | None ->
+      let g = ref 0 in
+      Hashtbl.add t.gauges name g;
+      g
+
+let set g v = g := v
+
+let set_max g v = if v > !g then g := v
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.gauges name with Some g -> !g | None -> 0
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec go v i = if v = 0 then i else go (v lsr 1) (i + 1) in
+    let b = go v 0 in
+    if b >= nbuckets then nbuckets - 1 else b
+  end
+
+let bucket_lo i = if i <= 0 then 0 else 1 lsl (i - 1)
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          count = 0;
+          sum = 0;
+          min_v = max_int;
+          max_v = min_int;
+          buckets = Array.make nbuckets 0;
+        }
+      in
+      Hashtbl.add t.histograms name h;
+      h
+
+let observe h v =
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let histogram_count t name =
+  match Hashtbl.find_opt t.histograms name with Some h -> h.count | None -> 0
+
+let histogram_sum t name =
+  match Hashtbl.find_opt t.histograms name with Some h -> h.sum | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_assoc tbl value =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (k, v) -> (k, value v))
+
+let counters t = sorted_assoc t.counters (fun c -> !c)
+let gauges t = sorted_assoc t.gauges (fun g -> !g)
+
+let histograms t =
+  sorted_assoc t.histograms (fun h ->
+      let buckets = ref [] in
+      for i = nbuckets - 1 downto 0 do
+        if h.buckets.(i) > 0 then buckets := (i, h.buckets.(i)) :: !buckets
+      done;
+      ( (h.count, h.sum),
+        (if h.count = 0 then (0, 0) else (h.min_v, h.max_v)),
+        !buckets ))
+
+let hist_json ((count, sum), (min_v, max_v), buckets) =
+  Json.Obj
+    [
+      ("count", Json.Int count);
+      ("sum", Json.Int sum);
+      ("min", Json.Int min_v);
+      ("max", Json.Int max_v);
+      ( "buckets",
+        Json.Obj
+          (List.map
+             (fun (i, n) -> (string_of_int (bucket_lo i), Json.Int n))
+             buckets) );
+    ]
+
+let snapshot t =
+  let base =
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)) );
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (gauges t)));
+      ( "histograms",
+        Json.Obj (List.map (fun (k, h) -> (k, hist_json h)) (histograms t)) );
+    ]
+  in
+  let wall =
+    if t.wall_clock then
+      [
+        ( "wall",
+          Json.Obj
+            [
+              ( "elapsed_ns",
+                Json.Int
+                  (int_of_float ((Sys.time () -. t.created_at) *. 1e9)) );
+            ] );
+      ]
+    else []
+  in
+  Json.Obj (base @ wall)
+
+let snapshot_string ?pretty t = Json.to_string ?pretty (snapshot t)
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.histograms

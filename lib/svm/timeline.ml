@@ -1,0 +1,432 @@
+type span = { step : int; pid : int; info : Op.info; corrupted : bool }
+
+type fault = Crash | Omit | Restart
+
+type instant = { step : int; pid : int; fault : fault }
+
+type t = {
+  spans : span list;
+  instants : instant list;
+  nprocs : int;
+  dropped : int;
+  decisions : int;
+}
+
+let fault_name = function
+  | Crash -> "crash"
+  | Omit -> "omission"
+  | Restart -> "restart"
+
+let of_trace ?nprocs trace =
+  let decisions = Array.of_list (Trace.decisions trace) in
+  let decision_at step =
+    if step >= 0 && step < Array.length decisions then Some decisions.(step)
+    else None
+  in
+  let spans = ref [] and instants = ref [] in
+  let max_pid = ref (-1) in
+  List.iter
+    (fun { Trace.step; pid; info } ->
+      if pid > !max_pid then max_pid := pid;
+      match info with
+      | Some info ->
+          let corrupted =
+            match decision_at step with
+            | Some (Trace.Byz _) -> true
+            | Some _ | None -> false
+          in
+          spans := { step; pid; info; corrupted } :: !spans
+      | None ->
+          (* Faults record an event without op info; the decision log
+             names the fault kind. An info-less event whose decision is
+             a plain [Sched] has no standard source — render it as a
+             restart-free crash marker only when the log says so. *)
+          let fault =
+            match decision_at step with
+            | Some (Trace.Crash _) -> Some Crash
+            | Some (Trace.Omit _) -> Some Omit
+            | Some (Trace.Restart _) -> Some Restart
+            | Some (Trace.Sched _ | Trace.Byz _) | None -> None
+          in
+          Option.iter
+            (fun fault -> instants := { step; pid; fault } :: !instants)
+            fault)
+    (Trace.events trace);
+  (* Byzantine onset is a decision with an op event; surface the first
+     corruption of each pid as an instant too so the fault is visible as
+     a marker, not only as span shading. *)
+  let nprocs =
+    match nprocs with Some n -> n | None -> !max_pid + 1
+  in
+  {
+    spans = List.rev !spans;
+    instants = List.rev !instants;
+    nprocs;
+    dropped = Trace.dropped trace;
+    decisions = Array.length decisions;
+  }
+
+let pids t =
+  let seen = Hashtbl.create 8 in
+  List.iter (fun (s : span) -> Hashtbl.replace seen s.pid ()) t.spans;
+  List.iter (fun (i : instant) -> Hashtbl.replace seen i.pid ()) t.instants;
+  Hashtbl.fold (fun p () acc -> p :: acc) seen [] |> List.sort compare
+
+let instance_name (info : Op.info) =
+  Printf.sprintf "%s[%s]" info.Op.fam
+    (String.concat ";" (List.map string_of_int info.Op.key))
+
+let span_name s =
+  Printf.sprintf "%s %s"
+    (Op.kind_name s.info.Op.kind)
+    (instance_name s.info)
+
+(* ------------------------------------------------------------------ *)
+(* Causality: happens-before from program order + per-object access      *)
+(* order; each span costs one step, so the critical path length is the   *)
+(* minimum number of sequential steps any schedule must spend.           *)
+(* ------------------------------------------------------------------ *)
+
+type hot_instance = {
+  instance : string;
+  accesses : int;
+  distinct_pids : int;
+  on_critical_path : int;
+}
+
+type causality = {
+  span_count : int;
+  critical_path : int;
+  parallelism : float;
+  hot : hot_instance list;
+}
+
+let causality ?(top = 8) t =
+  let by_pid : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let by_obj : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let acc : (string, int ref * (int, unit) Hashtbl.t * int ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let critical = ref 0 in
+  let count = ref 0 in
+  List.iter
+    (fun (s : span) ->
+      incr count;
+      let obj = instance_name s.info in
+      let d_pid = Option.value ~default:0 (Hashtbl.find_opt by_pid s.pid) in
+      let d_obj = Option.value ~default:0 (Hashtbl.find_opt by_obj obj) in
+      let d = 1 + max d_pid d_obj in
+      Hashtbl.replace by_pid s.pid d;
+      Hashtbl.replace by_obj obj d;
+      if d > !critical then critical := d;
+      let ops, pids, path =
+        match Hashtbl.find_opt acc obj with
+        | Some entry -> entry
+        | None ->
+            let entry = (ref 0, Hashtbl.create 4, ref 0) in
+            Hashtbl.add acc obj entry;
+            entry
+      in
+      Stdlib.incr ops;
+      Hashtbl.replace pids s.pid ();
+      (* A span extends the critical path through this object when its
+         depth came from the object chain rather than program order. *)
+      if d_obj >= d_pid && d_obj > 0 then Stdlib.incr path)
+    t.spans;
+  let hot =
+    Hashtbl.fold
+      (fun instance (ops, pids, path) l ->
+        {
+          instance;
+          accesses = !ops;
+          distinct_pids = Hashtbl.length pids;
+          on_critical_path = !path;
+        }
+        :: l)
+      acc []
+    |> List.sort (fun a b ->
+           match compare b.accesses a.accesses with
+           | 0 -> String.compare a.instance b.instance
+           | c -> c)
+  in
+  let hot = List.filteri (fun i _ -> i < top) hot in
+  {
+    span_count = !count;
+    critical_path = !critical;
+    parallelism =
+      (if !critical = 0 then 1.
+       else float_of_int !count /. float_of_int !critical);
+    hot;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                            *)
+(* ------------------------------------------------------------------ *)
+
+let to_chrome ?(meta = []) t =
+  let thread_meta pid =
+    Json.Obj
+      [
+        ("ph", Json.String "M");
+        ("pid", Json.Int 0);
+        ("tid", Json.Int pid);
+        ("name", Json.String "thread_name");
+        ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "p%d" pid)) ]);
+      ]
+  in
+  let span_event (s : span) =
+    Json.Obj
+      ([
+         ("ph", Json.String "X");
+         ("pid", Json.Int 0);
+         ("tid", Json.Int s.pid);
+         ("ts", Json.Int s.step);
+         ("dur", Json.Int 1);
+         ("name", Json.String (span_name s));
+         ( "args",
+           Json.Obj
+             ([
+                ("kind", Json.String (Op.kind_name s.info.Op.kind));
+                ("instance", Json.String (instance_name s.info));
+              ]
+             @ if s.corrupted then [ ("corrupted", Json.Bool true) ] else []) );
+       ]
+      @ if s.corrupted then [ ("cname", Json.String "terrible") ] else [])
+  in
+  let instant_event (i : instant) =
+    Json.Obj
+      [
+        ("ph", Json.String "i");
+        ("pid", Json.Int 0);
+        ("tid", Json.Int i.pid);
+        ("ts", Json.Int i.step);
+        ("s", Json.String "t");
+        ("name", Json.String (Printf.sprintf "%s p%d" (fault_name i.fault) i.pid));
+        ("args", Json.Obj [ ("fault", Json.String (fault_name i.fault)) ]);
+      ]
+  in
+  let c = causality t in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List
+          (List.map thread_meta (List.init t.nprocs Fun.id)
+          @ List.map span_event t.spans
+          @ List.map instant_event t.instants) );
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          ([
+             ("nprocs", Json.Int t.nprocs);
+             ("spans", Json.Int c.span_count);
+             ("fault_instants", Json.Int (List.length t.instants));
+             ("dropped_events", Json.Int t.dropped);
+             ("decisions", Json.Int t.decisions);
+             ("critical_path", Json.Int c.critical_path);
+           ]
+          @ List.map (fun (k, v) -> (k, Json.String v)) meta) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Text and CSV                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let to_text t =
+  let b = Buffer.create 4096 in
+  if t.dropped > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "WARNING: trace truncated — %d earlier events dropped; timeline is \
+          partial\n"
+         t.dropped);
+  Buffer.add_string b
+    (Printf.sprintf "timeline: %d processes, %d spans, %d fault instants\n"
+       t.nprocs (List.length t.spans)
+       (List.length t.instants));
+  let cells =
+    List.map
+      (fun (s : span) ->
+        ( s.step,
+          s.pid,
+          Printf.sprintf "%s%s" (span_name s)
+            (if s.corrupted then " [BYZ]" else "") ))
+      t.spans
+    @ List.map
+        (fun (i : instant) ->
+          (i.step, i.pid, Printf.sprintf "** %s **" (fault_name i.fault)))
+        t.instants
+    |> List.sort compare
+  in
+  List.iter
+    (fun (step, pid, label) ->
+      Buffer.add_string b (Printf.sprintf "%6d  p%-3d %s\n" step pid label))
+    cells;
+  let c = causality t in
+  Buffer.add_string b
+    (Printf.sprintf
+       "\ncausality: %d spans, critical path %d steps, parallelism %.2fx\n"
+       c.span_count c.critical_path c.parallelism);
+  Buffer.add_string b "hottest instances (accesses, distinct pids, critical):\n";
+  List.iter
+    (fun h ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-28s %6d %4d %6d\n" h.instance h.accesses
+           h.distinct_pids h.on_critical_path))
+    c.hot;
+  Buffer.contents b
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let b = Buffer.create 4096 in
+  if t.dropped > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "# truncated: %d earlier events dropped\n" t.dropped);
+  Buffer.add_string b "step,pid,event,kind,instance,corrupted\n";
+  let rows =
+    List.map
+      (fun (s : span) ->
+        ( s.step,
+          s.pid,
+          Printf.sprintf "%d,%d,op,%s,%s,%b" s.step s.pid
+            (csv_escape (Op.kind_name s.info.Op.kind))
+            (csv_escape (instance_name s.info))
+            s.corrupted ))
+      t.spans
+    @ List.map
+        (fun (i : instant) ->
+          ( i.step,
+            i.pid,
+            Printf.sprintf "%d,%d,%s,,," i.step i.pid (fault_name i.fault) ))
+        t.instants
+    |> List.sort compare
+  in
+  List.iter (fun (_, _, row) -> Buffer.add_string b (row ^ "\n")) rows;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Chrome-export validation (the CI side)                               *)
+(* ------------------------------------------------------------------ *)
+
+type chrome_summary = {
+  events : int;
+  spans_per_pid : (int * int) list;  (** (tid, span count), sorted *)
+  instants : int;
+  recorded_faults : int;  (** otherData.fault_instants *)
+  dropped : int;
+}
+
+let validate_chrome json =
+  let ( let* ) r f = Result.bind r f in
+  let require what = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing %s" what)
+  in
+  let* events =
+    require "traceEvents array"
+      (Option.bind (Json.member "traceEvents" json) Json.to_list)
+  in
+  let spans : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let live : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let instants = ref 0 in
+  let* () =
+    List.fold_left
+      (fun acc ev ->
+        let* () = acc in
+        let* ph =
+          require "event ph" (Option.bind (Json.member "ph" ev) Json.to_str)
+        in
+        let* tid =
+          require "event tid" (Option.bind (Json.member "tid" ev) Json.to_int)
+        in
+        let* _name =
+          require "event name" (Option.bind (Json.member "name" ev) Json.to_str)
+        in
+        match ph with
+        | "X" ->
+            let* _ts =
+              require "span ts" (Option.bind (Json.member "ts" ev) Json.to_int)
+            in
+            let* _dur =
+              require "span dur"
+                (Option.bind (Json.member "dur" ev) Json.to_int)
+            in
+            Hashtbl.replace spans tid
+              (1 + Option.value ~default:0 (Hashtbl.find_opt spans tid));
+            Hashtbl.replace live tid ();
+            Ok ()
+        | "i" ->
+            Stdlib.incr instants;
+            (* A faulted pid is not live: it need not have spans. *)
+            Hashtbl.remove live tid;
+            Ok ()
+        | "M" -> Ok ()
+        | ph -> Error (Printf.sprintf "unknown event phase %S" ph))
+      (Ok ()) events
+  in
+  let other k =
+    Option.value ~default:0
+      (Option.bind
+         (Option.bind (Json.member "otherData" json) (Json.member k))
+         Json.to_int)
+  in
+  let nprocs = other "nprocs" in
+  let recorded_faults = other "fault_instants" in
+  let dropped = other "dropped_events" in
+  let* () =
+    if recorded_faults <> !instants then
+      Error
+        (Printf.sprintf "otherData says %d fault instants, found %d"
+           recorded_faults !instants)
+    else Ok ()
+  in
+  (* Every live pid — declared by metadata, never marked faulted — must
+     have at least one span, unless the trace admits truncation. *)
+  let* () =
+    if dropped > 0 then Ok ()
+    else
+      let missing = ref [] in
+      for pid = nprocs - 1 downto 0 do
+        if Hashtbl.mem live pid && not (Hashtbl.mem spans pid) then
+          missing := pid :: !missing
+      done;
+      (* [live] only contains pids with spans, so this can only trip for
+         metadata-declared pids: re-derive liveness from metadata. *)
+      let faulted : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun ev ->
+          match Option.bind (Json.member "ph" ev) Json.to_str with
+          | Some "i" -> (
+              match Option.bind (Json.member "tid" ev) Json.to_int with
+              | Some tid -> Hashtbl.replace faulted tid ()
+              | None -> ())
+          | _ -> ())
+        events;
+      for pid = nprocs - 1 downto 0 do
+        if
+          (not (Hashtbl.mem faulted pid))
+          && (not (Hashtbl.mem spans pid))
+          && not (List.mem pid !missing)
+        then missing := pid :: !missing
+      done;
+      match !missing with
+      | [] -> Ok ()
+      | pids ->
+          Error
+            (Printf.sprintf "live pid(s) without any span: %s"
+               (String.concat ","
+                  (List.map (Printf.sprintf "p%d") (List.sort compare pids))))
+  in
+  Ok
+    {
+      events = List.length events;
+      spans_per_pid =
+        Hashtbl.fold (fun tid n acc -> (tid, n) :: acc) spans []
+        |> List.sort compare;
+      instants = !instants;
+      recorded_faults;
+      dropped;
+    }

@@ -1,0 +1,95 @@
+(** Trace timelines: convert a recorded {!Trace.t} into loadable
+    profiles — Chrome [trace_event] JSON (one track per process, one
+    span per operation, instant markers for faults), plain text, or CSV
+    — plus a causality pass deriving happens-before order and the run's
+    critical path.
+
+    The happens-before relation is the union of program order (spans of
+    one pid) and per-object access order (operations are atomic, so the
+    trace's linearization order per instance is exactly the order they
+    took effect). With every span costing one step, the longest chain is
+    the minimum number of {e sequential} steps any schedule of this run
+    must spend — the measurable face of the step-complexity claims. *)
+
+type span = {
+  step : int;  (** global step (one scheduler iteration = 1 time unit) *)
+  pid : int;
+  info : Op.info;
+  corrupted : bool;  (** executed under a Byzantine value fault *)
+}
+
+type fault = Crash | Omit | Restart
+
+type instant = { step : int; pid : int; fault : fault }
+
+type t = {
+  spans : span list;  (** in step order *)
+  instants : instant list;  (** fault markers, in step order *)
+  nprocs : int;
+  dropped : int;  (** events lost to trace truncation ({!Trace.dropped}) *)
+  decisions : int;
+}
+
+val of_trace : ?nprocs:int -> Trace.t -> t
+(** Build a timeline from a recorded trace. Fault kinds come from the
+    decision log (never truncated); [nprocs] overrides the inferred
+    process count (max pid + 1) when the run has silent processes. *)
+
+val pids : t -> int list
+(** Distinct pids with at least one span or instant, sorted. *)
+
+val fault_name : fault -> string
+val instance_name : Op.info -> string
+
+(** {1 Causality} *)
+
+type hot_instance = {
+  instance : string;
+  accesses : int;
+  distinct_pids : int;  (** contention: how many processes touched it *)
+  on_critical_path : int;
+      (** spans whose happens-before depth ran through this instance *)
+}
+
+type causality = {
+  span_count : int;
+  critical_path : int;  (** longest happens-before chain, in steps *)
+  parallelism : float;  (** span_count / critical_path *)
+  hot : hot_instance list;  (** by accesses, descending; bounded *)
+}
+
+val causality : ?top:int -> t -> causality
+(** [top] bounds the hottest-instances list (default 8). *)
+
+(** {1 Exports} *)
+
+val to_chrome : ?meta:(string * string) list -> t -> Json.t
+(** Chrome [trace_event] JSON (load in chrome://tracing or Perfetto):
+    thread-name metadata for all [nprocs] tracks, one ["X"] complete
+    event per span ([ts] = step, [dur] = 1), one ["i"] instant per
+    fault. [otherData] carries span/instant/dropped counts, the
+    critical-path length and any extra [meta] strings — a truncated
+    trace is thereby {e annotated}, never silently completed. *)
+
+val to_text : t -> string
+(** Human timeline plus the causality summary and hottest-instances
+    table; truncation is flagged in the header. *)
+
+val to_csv : t -> string
+(** [step,pid,event,kind,instance,corrupted] rows; truncation becomes a
+    leading comment line. *)
+
+(** {1 Validation} *)
+
+type chrome_summary = {
+  events : int;
+  spans_per_pid : (int * int) list;
+  instants : int;
+  recorded_faults : int;
+  dropped : int;
+}
+
+val validate_chrome : Json.t -> (chrome_summary, string) result
+(** The CI-side check of a Chrome export: structurally well-formed
+    events, instant count matching [otherData], and — on untruncated
+    traces — at least one span for every live (never-faulted) pid. *)

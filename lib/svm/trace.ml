@@ -56,6 +56,12 @@ let pp_event ppf { step; pid; info } =
   | None -> Format.fprintf ppf "%6d  q%-3d (yield)" step pid
 
 let pp ppf t =
+  (* Truncation must be visible: a trace that silently renders only its
+     tail reads as a complete (and wrong) timeline. *)
+  if t.dropped > 0 then
+    Format.fprintf ppf
+      "[trace truncated: %d earlier events dropped, %d kept]@." t.dropped
+      t.count;
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)
 
 (* ------------------------------------------------------------------ *)

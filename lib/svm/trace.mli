@@ -28,7 +28,11 @@ val events : t -> event list
 val dropped : t -> int
 val length : t -> int
 val pp_event : Format.formatter -> event -> unit
+
 val pp : Format.formatter -> t -> unit
+(** Prints the kept events; a truncated trace is announced by a leading
+    [\[trace truncated: ...\]] line rather than rendered as if it were
+    complete. *)
 
 (** {1 Scheduler decisions and replay artifacts} *)
 

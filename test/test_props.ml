@@ -378,7 +378,11 @@ let prop_adopt_commit =
       | (_, w) :: _ -> List.for_all (fun (_, v) -> v = w) rs)
 
 let prop_approximate =
-  let scale = 256 and rounds = 12 in
+  (* Inputs span up to 99, so the initial spread is <= 99 * scale; each
+     round at best halves it (plus 1 of integer-midpoint truncation), so
+     reaching eps = 4 needs 2^rounds >= 99 * scale / 2 — 12 rounds were
+     too few (spread ~6.2 left) and failed under adversarial schedules. *)
+  let scale = 256 and rounds = 16 in
   let task = Tasks.Task.approximate ~scale ~eps:4 in
   let alg = Tasks.Algorithms.approximate_agreement ~n:5 ~t:4 ~rounds ~scale in
   QCheck.Test.make ~count:(count 80) ~name:"approximate agreement validity" seed_gen

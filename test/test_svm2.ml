@@ -216,6 +216,7 @@ let report_checks () =
       Experiments.Report.id = "X";
       title = "t";
       paper = "p";
+      metrics = [];
       checks = [ c ];
     }
   in

@@ -1,0 +1,187 @@
+(* Timelines (Svm.Timeline): trace -> spans/instants, the causality
+   pass, the Chrome export and its validator, and truncation honesty.
+
+   Uses a real recorded run (safe agreement under an injected crash) so
+   the decision log and event list correlate exactly as in production,
+   plus hand-built traces for the truncation edge cases. *)
+
+open Svm
+open Svm.Prog.Syntax
+
+let sa_make () =
+  let env = Env.create ~nprocs:3 ~x:1 () in
+  let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
+  let prog i =
+    let* () =
+      Shared_objects.Safe_agreement.propose sa ~key:[] (Codec.int.Codec.inj i)
+    in
+    Shared_objects.Safe_agreement.decide sa ~key:[]
+  in
+  (env, Array.init 3 prog)
+
+let crashed_run () =
+  let env, progs = sa_make () in
+  (* Crash p1 before its first operation: it never enters the protocol,
+     so the others still decide and the run terminates. *)
+  let adversary =
+    Adversary.with_faults
+      (Adversary.round_robin ())
+      [
+        {
+          Adversary.kind = Adversary.Crash_stop;
+          trigger = Adversary.Crash_at_local { pid = 1; step = 0 };
+        };
+      ]
+  in
+  let r = Exec.run ~budget:10_000 ~record_trace:true ~env ~adversary progs in
+  match r.Exec.trace with
+  | Some t -> (r, t)
+  | None -> Alcotest.fail "no trace recorded"
+
+let test_of_trace () =
+  let r, trace = crashed_run () in
+  let tl = Timeline.of_trace ~nprocs:3 trace in
+  Alcotest.(check int) "nprocs" 3 tl.Timeline.nprocs;
+  Alcotest.(check int) "nothing dropped" 0 tl.Timeline.dropped;
+  (* One span per executed operation: op_counts sums over live pids. *)
+  let ops = Array.fold_left ( + ) 0 r.Exec.op_counts in
+  Alcotest.(check int) "one span per op" ops (List.length tl.Timeline.spans);
+  (match tl.Timeline.instants with
+  | [ i ] ->
+      Alcotest.(check int) "crash instant pid" 1 i.Timeline.pid;
+      Alcotest.(check string)
+        "crash instant kind" "crash"
+        (Timeline.fault_name i.Timeline.fault)
+  | l -> Alcotest.failf "expected 1 instant, got %d" (List.length l));
+  Alcotest.(check (list int)) "pids cover the run" [ 0; 1; 2 ]
+    (Timeline.pids tl)
+
+let test_causality () =
+  let _, trace = crashed_run () in
+  let tl = Timeline.of_trace ~nprocs:3 trace in
+  let c = Timeline.causality tl in
+  Alcotest.(check int) "span count" (List.length tl.Timeline.spans)
+    c.Timeline.span_count;
+  Alcotest.(check bool) "critical path within [1, spans]" true
+    (c.Timeline.critical_path >= 1
+    && c.Timeline.critical_path <= c.Timeline.span_count);
+  Alcotest.(check bool) "parallelism >= 1" true (c.Timeline.parallelism >= 1.0);
+  match c.Timeline.hot with
+  | [] -> Alcotest.fail "no hot instances on a run that touched objects"
+  | h :: _ ->
+      Alcotest.(check bool) "hottest instance was accessed" true
+        (h.Timeline.accesses >= 1);
+      Alcotest.(check bool) "contention bounded by nprocs" true
+        (h.Timeline.distinct_pids >= 1 && h.Timeline.distinct_pids <= 3)
+
+let test_chrome_roundtrip () =
+  let _, trace = crashed_run () in
+  let tl = Timeline.of_trace ~nprocs:3 trace in
+  let json = Timeline.to_chrome ~meta:[ ("scenario", "test") ] tl in
+  (* The export must survive its own serialization... *)
+  let reparsed =
+    match Json.of_string (Json.to_string ~pretty:true json) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "chrome JSON does not reparse: %s" e
+  in
+  (* ... and satisfy the CI validator. *)
+  match Timeline.validate_chrome reparsed with
+  | Error e -> Alcotest.failf "validator rejects a fresh export: %s" e
+  | Ok s ->
+      Alcotest.(check int) "one fault instant" 1 s.Timeline.instants;
+      Alcotest.(check int) "nothing dropped" 0 s.Timeline.dropped;
+      List.iter
+        (fun pid ->
+          match List.assoc_opt pid s.Timeline.spans_per_pid with
+          | Some n when n >= 1 -> ()
+          | _ -> Alcotest.failf "pid %d has no spans in the export" pid)
+        [ 0; 2 ]
+
+let test_validator_rejects_malformed () =
+  let check_rejected name json =
+    match Timeline.validate_chrome json with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "validator accepted %s" name
+  in
+  check_rejected "a non-object" (Json.List []);
+  check_rejected "missing traceEvents" (Json.Obj [ ("foo", Json.Int 1) ]);
+  check_rejected "event without ph"
+    (Json.Obj
+       [ ("traceEvents", Json.List [ Json.Obj [ ("tid", Json.Int 0) ] ]) ]);
+  (* An "X" span without ts/dur is structurally broken. *)
+  check_rejected "span without ts"
+    (Json.Obj
+       [
+         ( "traceEvents",
+           Json.List
+             [
+               Json.Obj
+                 [
+                   ("ph", Json.String "X");
+                   ("tid", Json.Int 0);
+                   ("name", Json.String "op");
+                 ];
+             ] );
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Truncation honesty                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let truncated_trace () =
+  (* A tiny event buffer: the run outgrows it, so earlier events drop
+     while the decision log stays complete. *)
+  let t = Trace.create ~limit:4 () in
+  let info = Some { Op.kind = Op.Register; fam = "R"; key = [] } in
+  for step = 0 to 9 do
+    Trace.record_decision t (Trace.Sched (step mod 2));
+    Trace.add t { Trace.step; pid = step mod 2; info }
+  done;
+  t
+
+let test_truncated_timeline () =
+  let t = truncated_trace () in
+  Alcotest.(check bool) "trace reports drops" true (Trace.dropped t > 0);
+  let tl = Timeline.of_trace ~nprocs:2 t in
+  Alcotest.(check int) "dropped propagates" (Trace.dropped t)
+    tl.Timeline.dropped;
+  (* Every export flags the truncation instead of looking complete. *)
+  let text = Timeline.to_text tl in
+  let csv = Timeline.to_csv tl in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "text warns" true (contains text "truncated");
+  Alcotest.(check bool) "csv warns" true (contains csv "truncated");
+  let chrome = Timeline.to_chrome tl in
+  match Timeline.validate_chrome chrome with
+  | Error e -> Alcotest.failf "validator rejects annotated truncation: %s" e
+  | Ok s ->
+      Alcotest.(check int) "chrome carries the dropped count"
+        tl.Timeline.dropped s.Timeline.dropped
+
+let test_trace_pp_truncation () =
+  let t = truncated_trace () in
+  let s = Format.asprintf "%a" Trace.pp t in
+  Alcotest.(check bool) "Trace.pp announces truncation" true
+    (String.length s > 0 && String.sub s 0 1 = "[")
+
+let suite =
+  [
+    ( "timeline",
+      [
+        Alcotest.test_case "trace -> spans + instants" `Quick test_of_trace;
+        Alcotest.test_case "causality: critical path and hot instances"
+          `Quick test_causality;
+        Alcotest.test_case "chrome export round-trips the validator" `Quick
+          test_chrome_roundtrip;
+        Alcotest.test_case "validator rejects malformed traces" `Quick
+          test_validator_rejects_malformed;
+        Alcotest.test_case "truncation is flagged in every export" `Quick
+          test_truncated_timeline;
+        Alcotest.test_case "Trace.pp announces truncation" `Quick
+          test_trace_pp_truncation;
+      ] );
+  ]
