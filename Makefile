@@ -7,13 +7,16 @@
 #   make smoke-trace   — sweep a seeded bug, export + validate its Chrome trace
 #   make test-heavy    — includes the exhaustive sweeps (ASMSIM_HEAVY=1)
 #   make bench-json    — benchmarks as BENCH_svm.json (ns/run + overhead)
+#   make bench-gate    — re-time the EX explorer family, fail if any row
+#                        regressed >1.5x against the committed BENCH_svm.json
 
 BUILD_TIMEOUT ?= 120
 TEST_TIMEOUT ?= 150
 SMOKE_TIMEOUT ?= 60
 ASMSIM = dune exec --no-print-directory bin/asmsim.exe --
 
-.PHONY: build check test test-heavy ci ci-heavy smoke smoke-trace bench-json
+.PHONY: build check test test-heavy ci ci-heavy smoke smoke-trace bench-json \
+	bench-gate explore-determinism
 
 build:
 	dune build
@@ -53,8 +56,20 @@ ci: check
 	timeout $(TEST_TIMEOUT) dune runtest
 	$(MAKE) smoke
 	$(MAKE) smoke-trace
+	$(MAKE) explore-determinism
+
+# The parallel explorer must reach the same verdict at jobs=4 as at
+# jobs=1, through the real CLI: find the seeded bug both ways.
+explore-determinism: build
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) explore --algo safe_agreement_no_cancel \
+	  --expect-violation --jobs 1
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) explore --algo safe_agreement_no_cancel \
+	  --expect-violation --jobs 4
 
 ci-heavy: ci test-heavy
 
 bench-json: build
 	timeout 600 dune exec --no-print-directory bench/main.exe -- --json
+
+bench-gate: build
+	timeout 300 dune exec --no-print-directory bench/main.exe -- --gate BENCH_svm.json

@@ -168,22 +168,65 @@ let bench_mlset () =
             mlset_alg.Core.Algorithm.code ~pid
               ~input:(Codec.int.Codec.inj (2 * pid)))))
 
-let bench_explorer () =
+(* The EX family: one explorer workload (safe agreement, 3 procs, one
+   crash allowed, depth 12) timed under each engine configuration, so
+   the committed JSON records where the exploration time goes —
+   copy-per-branch baseline, undo journal alone, journal + pruning, and
+   the parallel frontier split at 1 and 4 jobs.  [explore_speedup_ratio]
+   (EX / EXp4) is the number the bench gate watches. *)
+
+let explore_depth = 12
+let explore_crashes = 1
+
+let explore_make () =
   let sa = Shared_objects.Safe_agreement.make ~fam:"SA" in
-  let make () =
-    let env = Env.create ~nprocs:2 ~x:1 () in
-    let prog i =
-      let* () =
-        Shared_objects.Safe_agreement.propose sa ~key:[] (Codec.int.Codec.inj i)
-      in
-      Shared_objects.Safe_agreement.decide sa ~key:[]
+  let env = Env.create ~nprocs:3 ~x:1 () in
+  let prog i =
+    let* () =
+      Shared_objects.Safe_agreement.propose sa ~key:[] (Codec.int.Codec.inj i)
     in
-    (env, Array.init 2 prog)
+    Shared_objects.Safe_agreement.decide sa ~key:[]
   in
+  (env, Array.init 3 prog)
+
+let explore_ok _ = Ok ()
+
+let bench_explore_copy () =
   ignore
-    (Explore.exhaustive ~max_crashes:1 ~max_steps:12 ~make
-       ~property:(fun _ -> Ok ())
-       ())
+    (Explore.exhaustive_copy ~max_crashes:explore_crashes
+       ~max_steps:explore_depth ~make:explore_make ~property:explore_ok ())
+
+let bench_explore_journal () =
+  ignore
+    (Explore.exhaustive ~max_crashes:explore_crashes ~dedup:false
+       ~frontier_depth:explore_depth ~max_steps:explore_depth
+       ~make:explore_make ~property:explore_ok ())
+
+let bench_explore_dedup () =
+  ignore
+    (Explore.exhaustive ~max_crashes:explore_crashes
+       ~frontier_depth:explore_depth ~max_steps:explore_depth
+       ~make:explore_make ~property:explore_ok ())
+
+let bench_explore_par jobs () =
+  ignore
+    (Explore.exhaustive ~max_crashes:explore_crashes ~jobs
+       ~max_steps:explore_depth ~make:explore_make ~property:explore_ok ())
+
+let ex_name = "EX: explorer baseline, copy-per-branch, sa(3) depth 12"
+let exu_name = "EXu: explorer, undo journal, no dedup"
+let exd_name = "EXd: explorer, journal + fingerprint dedup"
+let exp1_name = "EXp1: dedup + frontier split, jobs=1"
+let exp4_name = "EXp4: dedup + frontier split, jobs=4"
+
+let explore_family =
+  [
+    (ex_name, bench_explore_copy);
+    (exu_name, bench_explore_journal);
+    (exd_name, bench_explore_dedup);
+    (exp1_name, bench_explore_par 1);
+    (exp4_name, bench_explore_par 4);
+  ]
 
 (* The sweep-harness overhead pair: the same safe-agreement workload
    run bare, and run the way the fault sweeper runs it — fault-capable
@@ -225,7 +268,7 @@ let overhead_metrics_name = "OV2: same + metrics registry"
 
 let tests =
   Test.make_grouped ~name:"mpcn"
-    [
+    ([
       Test.make ~name:overhead_plain_name (Staged.stage bench_overhead_plain);
       Test.make ~name:overhead_swept_name (Staged.stage bench_overhead_swept);
       Test.make ~name:overhead_metrics_name
@@ -272,9 +315,10 @@ let tests =
         (Staged.stage bench_paxos);
       Test.make ~name:"SA: k-set from (3,2)-set objects, n=6"
         (Staged.stage bench_mlset);
-      Test.make ~name:"EX: exhaustive explorer, 4570 schedules"
-        (Staged.stage bench_explorer);
     ]
+    @ List.map
+        (fun (name, body) -> Test.make ~name (Staged.stage body))
+        explore_family)
 
 let estimate_table () =
   let ols =
@@ -341,6 +385,13 @@ let emit_json estimates =
     | Some s, Some m when s > 0. -> Some (m /. s)
     | _ -> None
   in
+  (* EX / EXp4: what the full engine rebuild buys over the old
+     copy-per-branch explorer on the same workload. *)
+  let explore_ratio =
+    match (find ex_name, find exp4_name) with
+    | Some base, Some par when par > 0. -> Some (base /. par)
+    | _ -> None
+  in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"benchmarks\": [\n";
   List.iteri
@@ -359,8 +410,13 @@ let emit_json estimates =
   (match metrics_ratio with
   | Some r ->
       Buffer.add_string b
-        (Printf.sprintf "  \"metrics_overhead_ratio\": %.3f\n" r)
-  | None -> Buffer.add_string b "  \"metrics_overhead_ratio\": null\n");
+        (Printf.sprintf "  \"metrics_overhead_ratio\": %.3f,\n" r)
+  | None -> Buffer.add_string b "  \"metrics_overhead_ratio\": null,\n");
+  (match explore_ratio with
+  | Some r ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"explore_speedup_ratio\": %.3f\n" r)
+  | None -> Buffer.add_string b "  \"explore_speedup_ratio\": null\n");
   Buffer.add_string b "}\n";
   let oc = open_out "BENCH_svm.json" in
   output_string oc (Buffer.contents b);
@@ -371,9 +427,84 @@ let emit_json estimates =
   (match metrics_ratio with
   | Some r -> Printf.printf "metrics overhead ratio: %.2fx\n" r
   | None -> ());
+  (match explore_ratio with
+  | Some r -> Printf.printf "explore speedup ratio: %.2fx\n" r
+  | None -> ());
   print_endline "wrote BENCH_svm.json"
 
+(* --gate FILE: the EX regression gate. Re-times the EX family (best of
+   two wall-clock runs per row — the bodies run long enough for that to
+   be a stable estimate, and the second run absorbs warm-up effects the
+   committed bechamel numbers do not pay) and fails if any row regressed
+   more than 1.5x against the committed BENCH_svm.json. Only the explore
+   rows are gated: they are the ones this engine exists for, and the
+   only rows slow enough for wall-clock timing to be trustworthy. *)
+
+let gate_slack = 1.5
+
+let committed_ns json name =
+  let open Svm.Json in
+  match Option.bind (member "benchmarks" json) to_list with
+  | None -> None
+  | Some rows ->
+      List.find_map
+        (fun row ->
+          match Option.bind (member "name" row) to_str with
+          | Some n when String.ends_with ~suffix:name n -> (
+              match member "ns_per_run" row with
+              | Some (Float f) -> Some f
+              | Some (Int i) -> Some (float_of_int i)
+              | _ -> None)
+          | _ -> None)
+        rows
+
+let gate_against file =
+  let txt = In_channel.with_open_text file In_channel.input_all in
+  let json =
+    match Svm.Json.of_string txt with
+    | Ok j -> j
+    | Error e ->
+        Printf.eprintf "bench gate: cannot parse %s: %s\n" file e;
+        exit 2
+  in
+  let failed = ref false in
+  List.iter
+    (fun (name, body) ->
+      match committed_ns json name with
+      | None ->
+          Printf.eprintf "bench gate: no committed row for %s in %s\n" name
+            file;
+          exit 2
+      | Some committed ->
+          let once () =
+            let t0 = Unix.gettimeofday () in
+            body ();
+            (Unix.gettimeofday () -. t0) *. 1e9
+          in
+          let measured = Float.min (once ()) (once ()) in
+          let r = measured /. committed in
+          let ok = r <= gate_slack in
+          if not ok then failed := true;
+          Printf.printf "%-56s %9.1f ms vs %9.1f ms  %.2fx  %s\n" name
+            (measured /. 1e6) (committed /. 1e6) r
+            (if ok then "ok" else "REGRESSED"))
+    explore_family;
+  if !failed then begin
+    Printf.eprintf "bench gate: EX family regressed beyond %.1fx\n" gate_slack;
+    exit 1
+  end
+  else Printf.printf "bench gate: EX family within %.1fx of %s\n" gate_slack file
+
 let () =
+  let gate = ref None in
+  Array.iteri
+    (fun i a ->
+      if String.equal a "--gate" && i + 1 < Array.length Sys.argv then
+        gate := Some Sys.argv.(i + 1))
+    Sys.argv;
+  match !gate with
+  | Some file -> gate_against file
+  | None ->
   let json = Array.exists (String.equal "--json") Sys.argv in
   if json then emit_json (estimate_table ())
   else begin

@@ -7,6 +7,7 @@
      simulate    run it under a simulation into another model
      experiment  run one experiment (or all) and print the report
      sweep       systematic fault sweeping under monitors
+     explore     exhaustive schedule enumeration with pruning
      replay      re-execute a replay artifact bit-for-bit
      trace       export a replay artifact as a timeline (chrome/text/csv)
      trace-check validate a Chrome trace export (CI)
@@ -324,7 +325,15 @@ let sweep_cmd =
              — for regression-gating known degradations, e.g. a healthy \
              object under the byzantine tier.")
   in
-  let run name nprocs t window runs budget out tiers expect_violation =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"J"
+          ~doc:
+            "Fan runs out over J domains (capped at the core count). \
+             Outcomes are identical at any job count.")
+  in
+  let run name nprocs t window runs budget out tiers expect_violation jobs =
     let kinds =
       String.split_on_char ',' tiers
       |> List.map String.trim
@@ -354,7 +363,7 @@ let sweep_cmd =
         let outcome =
           (* Heartbeat on stderr so long sweeps are never silent. *)
           Experiments.Harness.sweep_scenario ~kinds ~max_faults:t
-            ~op_window:window ~max_runs:runs ~budget
+            ~op_window:window ~max_runs:runs ~budget ~jobs
             ~on_progress:(fun ~runs ->
               if runs mod 1_000 = 0 then
                 Format.eprintf "... %d runs swept@." runs)
@@ -399,6 +408,119 @@ let sweep_cmd =
           violation, shrink the schedule and write a replay artifact")
     Term.(
       const run $ scenario_arg $ n $ t $ window $ runs $ budget $ out $ tiers
+      $ expect_violation $ jobs)
+
+(* ---- explore ---- *)
+
+let explore_cmd =
+  let steps =
+    Arg.(
+      value & opt (some int) None
+      & info [ "steps" ] ~docv:"D"
+          ~doc:
+            "Depth bound (scheduler choices); defaults to the scenario's \
+             own exploration depth.")
+  in
+  let crashes =
+    Arg.(
+      value & opt int 0
+      & info [ "crashes" ] ~docv:"C" ~doc:"Crash budget per run.")
+  in
+  let n =
+    Arg.(
+      value & opt (some int) None
+      & info [ "n" ] ~docv:"N" ~doc:"Override the scenario's process count.")
+  in
+  let runs =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "runs" ] ~docv:"R" ~doc:"Maximum runs before giving up.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"J"
+          ~doc:
+            "Fan subtree tasks out over J domains (capped at the core \
+             count). Results are identical at any job count.")
+  in
+  let no_dedup =
+    Arg.(
+      value & flag
+      & info [ "no-dedup" ]
+          ~doc:
+            "Disable state-fingerprint deduplication and sleep-set \
+             commutation pruning: enumerate every interleaving.")
+  in
+  let expect_violation =
+    Arg.(
+      value & flag
+      & info [ "expect-violation" ]
+          ~doc:"Invert the exit status: succeed (0) iff a counterexample \
+                was found.")
+  in
+  let run name nprocs steps crashes runs jobs no_dedup expect_violation =
+    match Experiments.Scenario.find ?nprocs name with
+    | Error m ->
+        prerr_endline m;
+        exit 2
+    | Ok s ->
+        let depth =
+          match steps with
+          | Some d -> d
+          | None -> s.Experiments.Scenario.explore_steps
+        in
+        Format.printf
+          "exploring %s (n=%d, x=%d): depth %d, %d crash(es), dedup %s, \
+           jobs %d@."
+          s.Experiments.Scenario.name s.Experiments.Scenario.nprocs
+          s.Experiments.Scenario.x depth crashes
+          (if no_dedup then "off" else "on")
+          jobs;
+        let result =
+          Experiments.Harness.explore_scenario ~max_crashes:crashes
+            ~max_runs:runs ~max_steps:depth ~jobs ~dedup:(not no_dedup)
+            ~on_progress:(fun ~runs ->
+              if runs mod 100_000 = 0 then
+                Format.eprintf "... %d runs explored@." runs)
+            s
+        in
+        (match result with
+        | Error m ->
+            prerr_endline m;
+            exit 2
+        | Ok r ->
+            Format.printf "explored %d run(s), pruned %d state(s) + %d \
+                           commuting transition(s)%s@."
+              r.Svm.Explore.explored r.Svm.Explore.pruned_states
+              r.Svm.Explore.pruned_commutes
+              (if r.Svm.Explore.exhausted_budget then
+                 " (run budget hit; coverage partial)"
+               else "");
+            let violated =
+              match r.Svm.Explore.counterexample with
+              | None ->
+                  Format.printf "no counterexample within scope@.";
+                  false
+              | Some (run, msg) ->
+                  Format.printf
+                    "counterexample: %s@.schedule: %s%s@.crashed: [%s]@." msg
+                    run.Svm.Explore.schedule
+                    (if run.Svm.Explore.truncated then " (truncated)" else "")
+                    (String.concat ";"
+                       (List.map string_of_int run.Svm.Explore.crashed));
+                  true
+            in
+            if violated <> expect_violation then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively enumerate schedules (and crash placements) of a \
+          scenario up to a depth bound, with state-fingerprint \
+          deduplication, commutation pruning and multicore fan-out")
+    Term.(
+      const run $ scenario_arg $ n $ steps $ crashes $ runs $ jobs $ no_dedup
       $ expect_violation)
 
 (* ---- replay ---- *)
@@ -747,6 +869,7 @@ let () =
             overhead_cmd;
             experiment_cmd;
             sweep_cmd;
+            explore_cmd;
             replay_cmd;
             trace_cmd;
             trace_check_cmd;

@@ -7,6 +7,12 @@ let decided_ints (run : 'a Explore.run) =
        | Exec.Decided u -> Some (Codec.int.Codec.prj u)
        | Exec.Crashed | Exec.Blocked | Exec.Stuck -> None)
 
+(* Scope line for a clean result: how many representative runs were
+   checked and how much of the tree the prunings discharged. *)
+let scope (r : 'a Explore.result) =
+  Printf.sprintf "%d runs (pruned %d states, %d commutes)" r.Explore.explored
+    r.Explore.pruned_states r.Explore.pruned_commutes
+
 let agreement_validity ~lo ~hi run =
   let ds = decided_ints run in
   match ds with
@@ -48,7 +54,7 @@ let sa_safety ~nprocs ~max_crashes ~max_steps () =
     ~ok:(r.Explore.counterexample = None && not r.Explore.exhausted_budget)
     ~detail:
       (match r.Explore.counterexample with
-      | None -> Printf.sprintf "%d schedules, agreement+validity hold" r.Explore.explored
+      | None -> Printf.sprintf "%s, agreement+validity hold" (scope r)
       | Some (run, msg) ->
           Printf.sprintf "COUNTEREXAMPLE %s: %s" run.Explore.schedule msg)
 
@@ -69,7 +75,7 @@ let sa_termination () =
   Report.check
     ~label:"safe agreement: crash-free termination in all complete runs"
     ~ok:(r.Explore.counterexample = None)
-    ~detail:(Printf.sprintf "%d schedules" r.Explore.explored)
+    ~detail:(scope r)
 
 (* The explorer finds the ablation's bug on its own. The minimal
    counterexample needs a process with a smaller id to propose after
@@ -132,7 +138,7 @@ let ts_exhaustive () =
   Report.check
     ~label:"tournament test&set: <=1 winner in ALL schedules (3 procs, 1 crash)"
     ~ok:(r.Explore.counterexample = None && not r.Explore.exhausted_budget)
-    ~detail:(Printf.sprintf "%d schedules" r.Explore.explored)
+    ~detail:(scope r)
 
 let x_compete_exhaustive () =
   let make () =
@@ -151,7 +157,7 @@ let x_compete_exhaustive () =
   let r = Explore.exhaustive ~max_steps:14 ~make ~property () in
   Report.check ~label:"x_compete: <=x winners in ALL schedules (3 procs, x=2)"
     ~ok:(r.Explore.counterexample = None && not r.Explore.exhausted_budget)
-    ~detail:(Printf.sprintf "%d schedules" r.Explore.explored)
+    ~detail:(scope r)
 
 let cons2_from_ts_exhaustive () =
   let make () =
@@ -170,7 +176,45 @@ let cons2_from_ts_exhaustive () =
   Report.check
     ~label:"2-cons from test&set: agreement in ALL schedules (<=1 crash)"
     ~ok:(r.Explore.counterexample = None && not r.Explore.exhausted_budget)
-    ~detail:(Printf.sprintf "%d schedules" r.Explore.explored)
+    ~detail:(scope r)
+
+(* ------------------------------------------------------------------ *)
+(* Deeper bounds through the scenario registry                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The pruned engine pays for itself in scope: bounds that were out of
+   reach for the copy-per-branch explorer. Both rows drive the
+   registered scenarios through [Harness.explore_scenario], i.e. the
+   exact path [asmsim explore] uses. *)
+
+let scenario_deeper ~label ~name ?nprocs ~extra_steps ?(max_crashes = 0) () =
+  match Scenario.find ?nprocs name with
+  | Error e -> Report.check ~label ~ok:false ~detail:e
+  | Ok s -> (
+      let max_steps = s.Scenario.explore_steps + extra_steps in
+      match
+        Harness.explore_scenario ~max_crashes ~max_steps s
+      with
+      | Error e -> Report.check ~label ~ok:false ~detail:e
+      | Ok r ->
+          Report.check ~label
+            ~ok:(r.Explore.counterexample = None && not r.Explore.exhausted_budget)
+            ~detail:
+              (match r.Explore.counterexample with
+              | None -> Printf.sprintf "depth %d: %s" max_steps (scope r)
+              | Some (run, msg) ->
+                  Printf.sprintf "COUNTEREXAMPLE %s: %s" run.Explore.schedule
+                    msg))
+
+let xsa_deeper () =
+  scenario_deeper
+    ~label:"x_safe_agreement: ALL schedules two steps past the default bound"
+    ~name:"x_safe_agreement" ~extra_steps:2 ()
+
+let sa_two_crash_budget () =
+  scenario_deeper
+    ~label:"safe agreement: ALL schedules, 3 procs, 2-crash budget, depth 12"
+    ~name:"safe_agreement" ~nprocs:3 ~extra_steps:0 ~max_crashes:2 ()
 
 let run () =
   {
@@ -191,5 +235,7 @@ let run () =
         ts_exhaustive ();
         x_compete_exhaustive ();
         cons2_from_ts_exhaustive ();
+        xsa_deeper ();
+        sa_two_crash_budget ();
       ];
   }

@@ -23,10 +23,27 @@ let starts_with ~prefix s =
   && String.equal (String.sub s 0 (String.length prefix)) prefix
 
 let sweep_scenario ?kinds ?max_faults ?op_window ?max_runs ?budget ?metrics
-    ?on_progress (s : Scenario.t) =
+    ?on_progress ?jobs (s : Scenario.t) =
   Explore.sweep_faults ?kinds ?max_faults ?op_window ?max_runs ?budget ?metrics
-    ?on_progress ~meta:(Scenario.sweep_meta s) ~make:s.Scenario.make
+    ?on_progress ?jobs ~meta:(Scenario.sweep_meta s) ~make:s.Scenario.make
     ~monitors:s.Scenario.monitors ()
+
+let explore_scenario ?max_crashes ?max_runs ?max_steps ?metrics ?on_progress
+    ?jobs ?dedup (s : Scenario.t) =
+  if not s.Scenario.explorable then
+    Error
+      (Printf.sprintf
+         "scenario %s is not explorable: its programs keep state in refs \
+          outside the environment"
+         s.Scenario.name)
+  else
+    let max_steps =
+      match max_steps with Some d -> d | None -> s.Scenario.explore_steps
+    in
+    Ok
+      (Explore.exhaustive ?max_crashes ?max_runs ?metrics ?on_progress ?jobs
+         ?dedup ~max_steps ~make:s.Scenario.make
+         ~property:s.Scenario.exhaustive_property ())
 
 let sweep_check ?kinds ?max_faults ?op_window ?max_runs ?budget
     ?expect_violation ~label (s : Scenario.t) =

@@ -32,12 +32,29 @@ val sweep_scenario :
   ?budget:int ->
   ?metrics:Svm.Metrics.t ->
   ?on_progress:(runs:int -> unit) ->
+  ?jobs:int ->
   Scenario.t ->
   Svm.Explore.sweep_outcome
 (** Run the systematic fault-point sweeper over a scenario, tagging any
     replay artifact with the scenario's {!Scenario.sweep_meta}. [kinds]
     defaults to crash-stop only, like {!Svm.Explore.sweep_faults};
-    [metrics] and [on_progress] are handed through to the sweeper. *)
+    [metrics], [on_progress] and [jobs] are handed through to the
+    sweeper (outcomes are identical at any job count). *)
+
+val explore_scenario :
+  ?max_crashes:int ->
+  ?max_runs:int ->
+  ?max_steps:int ->
+  ?metrics:Svm.Metrics.t ->
+  ?on_progress:(runs:int -> unit) ->
+  ?jobs:int ->
+  ?dedup:bool ->
+  Scenario.t ->
+  (Svm.Univ.t Svm.Explore.result, string) result
+(** Exhaustively explore a scenario against its
+    {!Scenario.exhaustive_property}, at depth [max_steps] (default: the
+    scenario's [explore_steps]). [Error] when the scenario is not
+    {!Scenario.t.explorable}. *)
 
 val sweep_check :
   ?kinds:Svm.Adversary.fault_kind list ->

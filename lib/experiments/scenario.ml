@@ -9,7 +9,56 @@ type t = {
   x : int;
   make : unit -> Env.t * Univ.t Prog.t array;
   monitors : unit -> Univ.t Monitor.t list;
+  explorable : bool;
+  explore_steps : int;
+  exhaustive_property : Univ.t Explore.run -> (unit, string) Stdlib.result;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive-exploration properties (pure functions of the run record) *)
+(* ------------------------------------------------------------------ *)
+
+let decided_ints run =
+  Array.to_list run.Explore.outcomes
+  |> List.filter_map (function
+       | Exec.Decided u -> Some (Codec.int.Codec.prj u)
+       | Exec.Crashed | Exec.Blocked | Exec.Stuck -> None)
+
+let agreement_property ~lo ~hi run =
+  let ds = decided_ints run in
+  if List.exists (fun v -> v < lo || v > hi) ds then
+    Error "validity: decided value outside the proposed range"
+  else
+    match ds with
+    | [] -> Ok ()
+    | d :: rest ->
+        if List.for_all (fun v -> v = d) rest then Ok ()
+        else Error "agreement: two distinct values decided"
+
+let agreement_except_property ~sentinel ~lo ~hi run =
+  let ds = decided_ints run in
+  if List.exists (fun v -> v <> sentinel && (v < lo || v > hi)) ds then
+    Error "validity: decided value outside the proposed range"
+  else
+    match List.filter (fun v -> v <> sentinel) ds with
+    | [] -> Ok ()
+    | d :: rest ->
+        if List.for_all (fun v -> v = d) rest then Ok ()
+        else Error "agreement: two distinct values decided"
+
+let winners_property ~bound run =
+  let wins =
+    Array.to_list run.Explore.outcomes
+    |> List.filter (function
+         | Exec.Decided u -> (
+             match Codec.bool.Codec.prj u with
+             | w -> w
+             | exception Codec.Type_error _ -> false)
+         | Exec.Crashed | Exec.Blocked | Exec.Stuck -> false)
+    |> List.length
+  in
+  if wins <= bound then Ok ()
+  else Error (Printf.sprintf "%d processes won (bound %d)" wins bound)
 
 (* ------------------------------------------------------------------ *)
 (* Monitor kits over int-coded decisions                                *)
@@ -228,9 +277,21 @@ let x_compete ~x n =
 (* Registry                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let scenario ~name ~doc ?(seeded_bug = false) ~nprocs ~x build =
+let scenario ~name ~doc ?(seeded_bug = false) ~nprocs ~x ~explore_steps
+    ~property build =
   let make, monitors = build nprocs in
-  { name; doc; seeded_bug; nprocs; x; make; monitors }
+  {
+    name;
+    doc;
+    seeded_bug;
+    nprocs;
+    x;
+    make;
+    monitors;
+    explorable = true;
+    explore_steps;
+    exhaustive_property = property nprocs;
+  }
 
 let build ?nprocs name =
   let sized default = match nprocs with Some n -> n | None -> default in
@@ -243,7 +304,9 @@ let build ?nprocs name =
   | "safe_agreement" ->
       check_min ~min:2 (sized 3) (fun n ->
           scenario ~name ~doc:"Figure 1 safe agreement: agreement + validity"
-            ~nprocs:n ~x:1 (fun n ->
+            ~nprocs:n ~x:1 ~explore_steps:12
+            ~property:(fun n -> agreement_property ~lo:0 ~hi:(n - 1))
+            (fun n ->
               let make, ms = safe_agreement ~ablate_no_cancel:false n in
               (make, fun () -> ms ())))
   | "safe_agreement_no_cancel" ->
@@ -252,14 +315,18 @@ let build ?nprocs name =
             ~doc:
               "SEEDED BUG: safe agreement stabilizing unconditionally — \
                disagrees without any crash under an adversarial order"
-            ~seeded_bug:true ~nprocs:n ~x:1 (fun n ->
+            ~seeded_bug:true ~nprocs:n ~x:1 ~explore_steps:10
+            ~property:(fun n -> agreement_property ~lo:0 ~hi:(n - 1))
+            (fun n ->
               let make, ms = safe_agreement ~ablate_no_cancel:true n in
               (make, fun () -> ms ())))
   | "x_safe_agreement" ->
       check_min ~min:3 (sized 4) (fun n ->
           scenario ~name
             ~doc:"Figure 6 x_safe_agreement (x=2): agreement + validity"
-            ~nprocs:n ~x:2 (fun n ->
+            ~nprocs:n ~x:2 ~explore_steps:10
+            ~property:(fun n -> agreement_property ~lo:10 ~hi:(10 + n - 1))
+            (fun n ->
               let make, ms = x_safe_agreement ~first_subset_only:false ~x:2 n in
               (make, fun () -> ms ())))
   | "x_safe_agreement_first_subset" ->
@@ -269,7 +336,9 @@ let build ?nprocs name =
               "SEEDED BUG: x_safe_agreement owners funnel through only \
                their first subset — two values once crashes displace the \
                low-pid owners"
-            ~seeded_bug:true ~nprocs:n ~x:2 (fun n ->
+            ~seeded_bug:true ~nprocs:n ~x:2 ~explore_steps:10
+            ~property:(fun n -> agreement_property ~lo:10 ~hi:(10 + n - 1))
+            (fun n ->
               let make, ms = x_safe_agreement ~first_subset_only:true ~x:2 n in
               (make, fun () -> ms ())))
   | "x_safe_agreement_abortable" ->
@@ -278,7 +347,11 @@ let build ?nprocs name =
             ~doc:
               "x_safe_agreement with abortable decide: a hung instance is \
                detected via the arbiter register and refused, never decided"
-            ~nprocs:n ~x:2 (fun n ->
+            ~nprocs:n ~x:2 ~explore_steps:10
+            ~property:(fun n ->
+              agreement_except_property ~sentinel:abort_sentinel ~lo:10
+                ~hi:(10 + n - 1))
+            (fun n ->
               let make, ms = x_safe_agreement_abortable ~x:2 n in
               (make, fun () -> ms ())))
   | "bg_sec3" ->
@@ -300,6 +373,11 @@ let build ?nprocs name =
           x = alg.Core.Algorithm.model.Core.Model.x;
           make;
           monitors = monitors (Core.Algorithm.n alg);
+          (* simulator state lives in refs, not the environment: the
+             explorer's closed-program requirement does not hold *)
+          explorable = false;
+          explore_steps = 0;
+          exhaustive_property = (fun _ -> Ok ());
         }
   | "bg_sec4" ->
       let mk_alg () =
@@ -320,18 +398,25 @@ let build ?nprocs name =
           x = alg.Core.Algorithm.model.Core.Model.x;
           make;
           monitors = monitors (Core.Algorithm.n alg);
+          explorable = false;
+          explore_steps = 0;
+          exhaustive_property = (fun _ -> Ok ());
         }
   | "ts_from_cons" ->
       check_min ~min:2 (sized 3) (fun n ->
           scenario ~name
             ~doc:"tournament test&set from 2-cons: at most one winner"
-            ~nprocs:n ~x:2 (fun n ->
+            ~nprocs:n ~x:2 ~explore_steps:12
+            ~property:(fun _ -> winners_property ~bound:1)
+            (fun n ->
               let make, ms = ts_from_cons n in
               (make, fun () -> ms ())))
   | "x_compete" ->
       check_min ~min:3 (sized 4) (fun n ->
           scenario ~name ~doc:"Figure 5 x_compete (x=2): at most x winners"
-            ~nprocs:n ~x:2 (fun n ->
+            ~nprocs:n ~x:2 ~explore_steps:12
+            ~property:(fun _ -> winners_property ~bound:2)
+            (fun n ->
               let make, ms = x_compete ~x:2 n in
               (make, fun () -> ms ())))
   | _ -> Error (Printf.sprintf "unknown scenario %S" name)

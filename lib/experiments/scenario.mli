@@ -28,6 +28,18 @@ type t = {
   x : int;  (** the model's consensus-object arity *)
   make : unit -> Svm.Env.t * Svm.Univ.t Svm.Prog.t array;
   monitors : unit -> Svm.Univ.t Svm.Monitor.t list;
+  explorable : bool;
+      (** whether {!Svm.Explore.exhaustive} applies: the programs must be
+          closed (state in the environment and continuations only) — the
+          BG simulations keep simulator state in refs and are not *)
+  explore_steps : int;
+      (** default depth bound for exhaustive exploration of this
+          scenario (0 when not [explorable]) *)
+  exhaustive_property :
+    Svm.Univ.t Svm.Explore.run -> (unit, string) Stdlib.result;
+      (** the scenario's safety property as a pure function of the run
+          record (never of [schedule]), safe on truncated runs — the
+          contract {!Svm.Explore.exhaustive}'s prunings require *)
 }
 
 val all : unit -> t list

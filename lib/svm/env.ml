@@ -31,6 +31,21 @@ type instance =
 
 type oracle = pid:int -> query:int -> Univ.t
 
+(* One logged mutation. Each entry carries the pre-mutation value and a
+   direct pointer to the mutated cell, so undoing is a single store. *)
+type undo =
+  | U_reg of Univ.t option ref * Univ.t option
+  | U_snap of Univ.t option array * int * Univ.t option
+  | U_ts of bool ref * bool
+  | U_cons_decided of cons_state * Univ.t option
+  | U_cons_accessors of cons_state * int list
+  | U_kset_values of kset_state * Univ.t list
+  | U_kset_accessors of kset_state * int list
+  | U_queue of Univ.t list ref * Univ.t list
+  | U_create of Key.t (* instance lazily created; undo removes it *)
+  | U_oracle of (Op.fam * int, int) Hashtbl.t * (Op.fam * int) * int option
+  | U_oracle_tbl (* oracle_queries table materialised; undo drops it *)
+
 type t = {
   nprocs : int;
   x : int;
@@ -39,6 +54,8 @@ type t = {
   instances : instance Tbl.t;
   oracles : (Op.fam, oracle) Hashtbl.t;
   mutable oracle_queries : (Op.fam * int, int) Hashtbl.t option;
+  mutable journaling : bool;
+  mutable journal : undo list;
 }
 
 let create ~nprocs ~x ?(allow_kset = false) ?(allow_cas = false) () =
@@ -52,10 +69,65 @@ let create ~nprocs ~x ?(allow_kset = false) ?(allow_cas = false) () =
     instances = Tbl.create 64;
     oracles = Hashtbl.create 4;
     oracle_queries = None;
+    journaling = false;
+    journal = [];
   }
 
 let nprocs t = t.nprocs
 let x t = t.x
+
+(* ------------------------------------------------------------------ *)
+(* Undo journal                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The journal is a cons-list that only ever grows at the head while
+   journaling is on. A checkpoint is the list value at that moment, so
+   rollback pops (undoing each mutation) until the current list is
+   physically the checkpoint again — rolling back k steps costs O(k)
+   instead of the O(store) deep copy it replaces. *)
+type checkpoint = undo list
+
+let log t u = if t.journaling then t.journal <- u :: t.journal
+
+let enable_journal t =
+  t.journaling <- true;
+  t.journal <- []
+
+let disable_journal t =
+  t.journaling <- false;
+  t.journal <- []
+
+let checkpoint t =
+  if not t.journaling then invalid_arg "Env.checkpoint: journaling is off";
+  t.journal
+
+let undo1 t = function
+  | U_reg (r, v) -> r := v
+  | U_snap (a, i, v) -> a.(i) <- v
+  | U_ts (r, v) -> r := v
+  | U_cons_decided (c, v) -> c.decided <- v
+  | U_cons_accessors (c, l) -> c.accessors <- l
+  | U_kset_values (s, l) -> s.values <- l
+  | U_kset_accessors (s, l) -> s.accessors <- l
+  | U_queue (q, l) -> q := l
+  | U_create key -> Tbl.remove t.instances key
+  | U_oracle (tbl, k, None) -> Hashtbl.remove tbl k
+  | U_oracle (tbl, k, Some v) -> Hashtbl.replace tbl k v
+  | U_oracle_tbl -> t.oracle_queries <- None
+
+let rollback t (cp : checkpoint) =
+  if not t.journaling then invalid_arg "Env.rollback: journaling is off";
+  let rec go () =
+    if t.journal != cp then
+      match t.journal with
+      | [] ->
+          invalid_arg "Env.rollback: checkpoint is not a suffix of the journal"
+      | u :: rest ->
+          undo1 t u;
+          t.journal <- rest;
+          go ()
+  in
+  go ()
 
 let violation fmt = Format.kasprintf (fun s -> raise (Violation s)) fmt
 
@@ -69,6 +141,7 @@ let find t (info : Op.info) (make : unit -> instance) =
   | None ->
       let i = make () in
       Tbl.add t.instances key i;
+      log t (U_create key);
       i
 
 let register t info =
@@ -145,15 +218,20 @@ let apply (type r) t ~pid (op : r Op.t) : r =
   match op with
   | Op.Yield -> ()
   | Op.Reg_read _ -> !(register t (the_info op))
-  | Op.Reg_write (_, _, v) -> register t (the_info op) := Some v
+  | Op.Reg_write (_, _, v) ->
+      let r = register t (the_info op) in
+      log t (U_reg (r, !r));
+      r := Some v
   | Op.Snap_set (_, _, v) ->
       let a = snapshot t (the_info op) in
+      log t (U_snap (a, pid, a.(pid)));
       a.(pid) <- Some v
   | Op.Snap_scan _ -> Array.copy (snapshot t (the_info op))
   | Op.Ts _ ->
       let r = ts t (the_info op) in
       if !r then false
       else begin
+        log t (U_ts (r, false));
         r := true;
         true
       end
@@ -168,11 +246,13 @@ let apply (type r) t ~pid (op : r Op.t) : r =
             Op.pp_info info pid
             (List.length c.accessors + 1)
             t.x;
+        log t (U_cons_accessors (c, c.accessors));
         c.accessors <- pid :: c.accessors
       end;
       (match c.decided with
       | Some d -> d
       | None ->
+          log t (U_cons_decided (c, None));
           c.decided <- Some v;
           v)
   | Op.Kset_propose (_, _, v) ->
@@ -186,9 +266,11 @@ let apply (type r) t ~pid (op : r Op.t) : r =
               violation
                 "(m,l)-set object %a: port discipline violated (m = %d)"
                 Op.pp_info info m;
+            log t (U_kset_accessors (s, s.accessors));
             s.accessors <- pid :: s.accessors
           end);
       if List.length s.values < s.k then begin
+        log t (U_kset_values (s, s.values));
         s.values <- v :: s.values;
         v
       end
@@ -197,12 +279,14 @@ let apply (type r) t ~pid (op : r Op.t) : r =
       end
   | Op.Queue_enq (_, _, v) ->
       let q = queue t (the_info op) in
+      log t (U_queue (q, !q));
       q := !q @ [ v ]
   | Op.Queue_deq _ -> (
       let q = queue t (the_info op) in
       match !q with
       | [] -> None
       | head :: rest ->
+          log t (U_queue (q, !q));
           q := rest;
           Some head)
   | Op.Oracle_query (fam, _) -> (
@@ -216,12 +300,14 @@ let apply (type r) t ~pid (op : r Op.t) : r =
             | None ->
                 let c = Hashtbl.create 8 in
                 t.oracle_queries <- Some c;
+                log t U_oracle_tbl;
                 c
           in
           let k = (fam, pid) in
-          let q = Option.value ~default:0 (Hashtbl.find_opt counts k) in
-          Hashtbl.replace counts k (q + 1);
-          f ~pid ~query:q)
+          let q = Hashtbl.find_opt counts k in
+          log t (U_oracle (counts, k, q));
+          Hashtbl.replace counts k (Option.value ~default:0 q + 1);
+          f ~pid ~query:(Option.value ~default:0 q))
   | Op.Cas (_, _, expected, desired) ->
       if not t.allow_cas then
         violation
@@ -230,6 +316,7 @@ let apply (type r) t ~pid (op : r Op.t) : r =
           Op.pp_info (the_info op);
       let r = register t (the_info op) in
       if !r = expected then begin
+        log t (U_reg (r, !r));
         r := Some desired;
         true
       end
@@ -266,7 +353,90 @@ let copy t =
   let instances = Tbl.create (Tbl.length t.instances) in
   Tbl.iter (fun k i -> Tbl.add instances k (copy_instance i)) t.instances;
   let oracle_queries = Option.map Hashtbl.copy t.oracle_queries in
-  { t with instances; oracle_queries }
+  (* The journal references the *original* store's cells; a copy starts
+     with journaling off rather than share (or replay) those pointers. *)
+  { t with instances; oracle_queries; journaling = false; journal = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Canonical state (fingerprinting)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A pure value determining the store's future behaviour. Two soundness
+   rules make fingerprints insensitive to access history:
+
+   - instances still in their default state are dropped, because a
+     default instance is observationally identical to one not yet
+     created (lazy creation order cannot split equivalent states);
+   - accessor lists are sorted: the store only ever asks "is pid a
+     member" / "how many", i.e. set semantics.
+
+   k-set [values] keep their order: the head decides once the object is
+   full, so order is real state. *)
+
+type canonical_instance =
+  | C_register of Univ.t
+  | C_snapshot of Univ.t option list
+  | C_ts
+  | C_cons of Univ.t option * int list
+  | C_kset of Univ.t list * int list
+  | C_queue of Univ.t list
+
+type canonical = {
+  c_instances : ((Op.fam * Op.key) * canonical_instance) list;
+  c_oracle_queries : ((Op.fam * int) * int) list;
+}
+
+let canon_instance = function
+  | I_register { contents = None } -> None
+  | I_register { contents = Some v } -> Some (C_register v)
+  | I_snapshot a ->
+      if Array.for_all Option.is_none a then None
+      else Some (C_snapshot (Array.to_list a))
+  | I_ts { contents = false } -> None
+  | I_ts { contents = true } -> Some C_ts
+  | I_cons { decided = None; accessors = [] } -> None
+  | I_cons { decided; accessors } ->
+      Some (C_cons (decided, List.sort compare accessors))
+  | I_kset { values = []; accessors = []; _ } -> None
+  | I_kset { values; accessors; _ } ->
+      Some (C_kset (values, List.sort compare accessors))
+  | I_queue { contents = [] } -> None
+  | I_queue { contents = vs } -> Some (C_queue vs)
+
+let canonical t =
+  let c_instances =
+    Tbl.fold
+      (fun key i acc ->
+        match canon_instance i with None -> acc | Some c -> (key, c) :: acc)
+      t.instances []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let c_oracle_queries =
+    match t.oracle_queries with
+    | None -> []
+    | Some tbl ->
+        Hashtbl.fold
+          (fun k v acc -> if v = 0 then acc else (k, v) :: acc)
+          tbl []
+        |> List.sort compare
+  in
+  { c_instances; c_oracle_queries }
+
+let state_hash t = Hashtbl.hash_param 1000 1000 (canonical t)
+let observationally_equal a b = canonical a = canonical b
+
+let prewarm t infos =
+  List.iter
+    (fun (info : Op.info) ->
+      match info.kind with
+      | Op.Register -> ignore (register t info)
+      | Op.Snapshot -> ignore (snapshot t info)
+      | Op.Test_and_set -> ignore (ts t info)
+      | Op.Consensus -> ignore (cons t info)
+      | Op.Kset -> ignore (kset t info)
+      | Op.Queue -> ignore (queue t info)
+      | Op.Oracle -> ())
+    infos
 
 let set_oracle t fam f = Hashtbl.replace t.oracles fam f
 

@@ -46,8 +46,60 @@ val cons_accessors : t -> Op.fam -> Op.key -> int list
 val instance_count : t -> int
 
 val copy : t -> t
-(** A deep copy of the whole object store. The exhaustive explorer
-    ({!Explore}) uses it to branch over scheduling choices. *)
+(** A deep copy of the whole object store. Journaling state is not
+    copied: the copy starts with journaling off. *)
+
+(** {1 Undo journal}
+
+    Copy-free backtracking for the exhaustive explorer: with journaling
+    on, every mutation performed by {!apply} (including lazy instance
+    creation) is logged, and {!rollback} undoes back to a checkpoint in
+    time proportional to the steps taken since — not to the size of the
+    store. *)
+
+type checkpoint
+
+val enable_journal : t -> unit
+(** Start journaling mutations (clears any previous journal). *)
+
+val disable_journal : t -> unit
+(** Stop journaling and drop the journal. Outstanding checkpoints
+    become invalid. *)
+
+val checkpoint : t -> checkpoint
+(** The current journal position. Raises [Invalid_argument] if
+    journaling is off. *)
+
+val rollback : t -> checkpoint -> unit
+(** Undo every mutation logged since the checkpoint was taken.
+    Checkpoints must be rolled back innermost-first; rolling back to a
+    checkpoint invalidates all checkpoints taken after it. *)
+
+(** {1 Canonical state (fingerprinting)}
+
+    A pure value capturing everything that determines the store's
+    future behaviour. Instances still in their default state are
+    dropped (a default instance is observationally identical to one not
+    yet created, so lazy creation order cannot split equivalent
+    states), and accessor sets are sorted. Supports polymorphic
+    equality and [Hashtbl.hash]. *)
+
+type canonical
+
+val canonical : t -> canonical
+
+val state_hash : t -> int
+(** [Hashtbl.hash] of {!canonical}, with depth limits large enough to
+    cover the whole store. Stable within a process run. *)
+
+val observationally_equal : t -> t -> bool
+(** Equality of {!canonical} forms. *)
+
+val prewarm : t -> Op.info list -> unit
+(** Eagerly create the instances the given ops would touch. Not needed
+    for fingerprint stability (default-state instances are dropped from
+    {!canonical}), but lets a scenario pin its object set up front.
+    Oracle infos are ignored. *)
 
 val set_oracle : t -> Op.fam -> (pid:int -> query:int -> Univ.t) -> unit
 (** Install a failure-detector oracle: [Oracle_query] operations on

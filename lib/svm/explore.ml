@@ -9,6 +9,8 @@ type 'a result = {
   explored : int;
   counterexample : ('a run * string) option;
   exhausted_budget : bool;
+  pruned_states : int;
+  pruned_commutes : int;
 }
 
 type 'a pstate = Running of 'a Prog.t | Done of 'a | Crashed
@@ -29,11 +31,557 @@ let note metrics name =
   | None -> ()
   | Some m -> Metrics.incr (Metrics.counter m name)
 
+let note_by metrics name by =
+  match metrics with
+  | None -> ()
+  | Some m -> Metrics.incr ~by (Metrics.counter m name)
+
 let heartbeat on_progress runs =
   match on_progress with None -> () | Some f -> f ~runs
 
+(* ------------------------------------------------------------------ *)
+(* Fingerprints: op-result histories and canonical state keys           *)
+(* ------------------------------------------------------------------ *)
+
+(* A process's continuation is a closure, so it cannot be compared — but
+   programs are deterministic values, so the continuation is a function
+   of the sequence of op results the process has received. Histories of
+   encoded results therefore stand in for continuations in state keys.
+   The encoding is typed per op constructor: two histories can only
+   compare equal position-by-position, and equal prefixes imply the next
+   op (hence the next result's type) is the same, so the comparison
+   never confuses values of different types. *)
+type enc =
+  | E_unit
+  | E_bool of bool
+  | E_univ of Univ.t
+  | E_univ_opt of Univ.t option
+  | E_scan of Univ.t option list
+
+let encode_result : type r. r Op.t -> r -> enc =
+ fun op r ->
+  match op with
+  | Op.Reg_read _ -> E_univ_opt r
+  | Op.Reg_write _ -> E_unit
+  | Op.Snap_set _ -> E_unit
+  | Op.Snap_scan _ -> E_scan (Array.to_list r)
+  | Op.Ts _ -> E_bool r
+  | Op.Cons_propose _ -> E_univ r
+  | Op.Kset_propose _ -> E_univ r
+  | Op.Queue_enq _ -> E_unit
+  | Op.Queue_deq _ -> E_univ_opt r
+  | Op.Cas _ -> E_bool r
+  | Op.Oracle_query _ -> E_univ r
+  | Op.Yield -> E_unit
+
+(* What a process's next operation touches; the basis of the
+   commutation (independence) relation. Oracle queries are keyed by the
+   querying pid because the environment tracks per-(family, pid) query
+   counts — two different processes querying the same oracle touch
+   different cells. *)
+type footprint =
+  | F_none
+  | F_read of Op.fam * Op.key
+  | F_write of Op.fam * Op.key
+  | F_oracle of Op.fam * int
+
+let footprint (type a) ~pid (prog : a Prog.t) =
+  match prog with
+  | Prog.Done _ -> F_none
+  | Prog.Step (op, _) -> (
+      match op with
+      | Op.Yield -> F_none
+      | Op.Reg_read (f, k) -> F_read (f, k)
+      | Op.Snap_scan (f, k) -> F_read (f, k)
+      | Op.Oracle_query (f, _) -> F_oracle (f, pid)
+      | _ -> (
+          match Op.info op with
+          | Some i -> F_write (i.Op.fam, i.Op.key)
+          | None -> F_none))
+
+let fp_indep a b =
+  match (a, b) with
+  | F_none, _ | _, F_none -> true
+  | F_oracle (f1, p1), F_oracle (f2, p2) -> not (String.equal f1 f2 && p1 = p2)
+  | F_oracle _, _ | _, F_oracle _ -> true
+  | F_read _, F_read _ -> true
+  | (F_read (f1, k1) | F_write (f1, k1)), (F_read (f2, k2) | F_write (f2, k2))
+    ->
+      not (String.equal f1 f2 && k1 = k2)
+
+(* Which sleeping transitions survive executing [Step t_pid] (whose
+   pre-execution footprint is [fp_t])? A sleeping process has not moved
+   since it entered the sleep set, so its footprint is read off its
+   current state. Crashing commutes with another process's step (same
+   final state, same crash order) but never with another crash (the
+   [crashed] list records crash order, which properties may observe). *)
+let sleep_filter states fp_t t_pid sleep =
+  List.filter
+    (fun u ->
+      match u with
+      | Crash q -> q <> t_pid
+      | Step q -> (
+          q <> t_pid
+          &&
+          match states.(q) with
+          | Running p -> fp_indep (footprint ~pid:q p) fp_t
+          | Done _ | Crashed -> false))
+    sleep
+
+let sleep_filter_crash t_pid sleep =
+  List.filter
+    (fun u -> match u with Crash _ -> false | Step q -> q <> t_pid)
+    sleep
+
+(* The visited-state key. Everything that determines the remainder of a
+   run's record is in here: remaining depth budget (via [k_depth]),
+   crash order so far, each process's status (with its op-result history
+   standing in for its continuation), the canonical store, and the sleep
+   set (a state revisited with a different sleep set explores a
+   different transition subset, so it must not be deduplicated against
+   the first visit — including the sleep set in the key is the standard
+   conservative fix). Only the schedule string falls outside the key,
+   which is why properties must not read it (see the .mli). *)
+type 'a proc_key = K_running of enc list | K_done of 'a | K_crashed
+
+type 'a vkey = {
+  k_depth : int;
+  k_crashed : int list;
+  k_procs : 'a proc_key array;
+  k_env : Env.canonical;
+  k_sleep : choice list;
+}
+
+type 'a visited = (int, 'a vkey list) Hashtbl.t
+
+(* Strong structural hash up front, exact (polymorphic) equality on the
+   bucket — collisions cost a comparison, never a wrong answer. *)
+let seen_or_add (tbl : 'a visited) (key : 'a vkey) =
+  let h = Hashtbl.hash_param 1000 1000 key in
+  match Hashtbl.find_opt tbl h with
+  | Some keys when List.exists (fun k -> k = key) keys -> true
+  | Some keys ->
+      Hashtbl.replace tbl h (key :: keys);
+      false
+  | None ->
+      Hashtbl.add tbl h [ key ];
+      false
+
+(* ------------------------------------------------------------------ *)
+(* The DFS engine (undo-journal based, shared by all phases)            *)
+(* ------------------------------------------------------------------ *)
+
+type 'a ctx = {
+  env : Env.t;
+  states : 'a pstate array;
+  histories : enc list array;
+  max_steps : int;
+  max_crashes : int;
+  property : 'a run -> (unit, string) Stdlib.result;
+  visited : 'a visited option; (* None = dedup and sleep sets off *)
+  run_cap : int;
+  metrics : Metrics.t option; (* per-task registry, merged by the caller *)
+  mutable runs : int;
+  mutable truncated : int;
+  mutable cex : ('a run * string) option;
+  mutable pruned_states : int;
+  mutable pruned_commutes : int;
+  mutable exhausted : bool;
+}
+
+exception Task_stop
+exception Phase_stop
+
+let make_key ctx depth rev_crashed sleep =
+  {
+    k_depth = depth;
+    k_crashed = rev_crashed;
+    k_procs =
+      Array.mapi
+        (fun i s ->
+          match s with
+          | Running _ -> K_running ctx.histories.(i)
+          | Done v -> K_done v
+          | Crashed -> K_crashed)
+        ctx.states;
+    k_env = Env.canonical ctx.env;
+    k_sleep = List.sort compare sleep;
+  }
+
+let mk_run ctx ~truncated rev_crashed rev_choices =
+  let outcomes =
+    Array.map
+      (function
+        | Running _ -> Exec.Blocked
+        | Done v -> Exec.Decided v
+        | Crashed -> Exec.Crashed)
+      ctx.states
+  in
+  {
+    outcomes;
+    crashed = List.rev rev_crashed;
+    truncated;
+    schedule = schedule_string rev_choices;
+  }
+
+(* Account one completed (or depth-truncated) run inside a task. *)
+let finish ctx ~truncated rev_crashed rev_choices =
+  let run = mk_run ctx ~truncated rev_crashed rev_choices in
+  ctx.runs <- ctx.runs + 1;
+  note ctx.metrics "explore.runs";
+  if truncated then begin
+    ctx.truncated <- ctx.truncated + 1;
+    note ctx.metrics "explore.truncated"
+  end;
+  (match ctx.property run with
+  | Ok () -> ()
+  | Error msg ->
+      ctx.cex <- Some (run, msg);
+      note ctx.metrics "explore.counterexamples";
+      raise Task_stop);
+  if ctx.runs >= ctx.run_cap then begin
+    ctx.exhausted <- true;
+    raise Task_stop
+  end
+
+(* Depth-first over choices, mutating [ctx.env] in place and undoing via
+   the journal. [frontier = Some (fd, capture)] stops expansion at depth
+   [fd] and hands the node to [capture] instead (phase A); [on_run] is
+   called for every terminal node that survives deduplication. *)
+let rec dfs ctx ~frontier ~on_run depth crashes rev_crashed rev_choices sleep =
+  let live =
+    let rec go i acc =
+      if i < 0 then acc
+      else
+        go (i - 1)
+          (match ctx.states.(i) with
+          | Running _ -> i :: acc
+          | Done _ | Crashed -> acc)
+    in
+    go (Array.length ctx.states - 1) []
+  in
+  if live = [] || depth >= ctx.max_steps then begin
+    (* Terminal. The sleep set is irrelevant here (no transitions), so
+       key terminals with an empty one: equal end states reached under
+       different sleep sets are still one run record. *)
+    match ctx.visited with
+    | Some tbl when seen_or_add tbl (make_key ctx depth rev_crashed []) ->
+        ctx.pruned_states <- ctx.pruned_states + 1
+    | _ -> on_run ~truncated:(live <> []) rev_crashed rev_choices
+  end
+  else
+    match ctx.visited with
+    | Some tbl when seen_or_add tbl (make_key ctx depth rev_crashed sleep) ->
+        ctx.pruned_states <- ctx.pruned_states + 1
+    | _ -> (
+        match frontier with
+        | Some (fd, capture) when depth >= fd ->
+            capture ~depth ~crashes ~rev_crashed ~rev_choices ~sleep
+        | _ ->
+            let sleep = ref sleep in
+            let sleeping t =
+              ctx.visited <> None && List.mem t !sleep
+            in
+            List.iter
+              (fun pid ->
+                (* Branch 1: pid executes one operation. *)
+                (match ctx.states.(pid) with
+                | Running prog ->
+                    let t = Step pid in
+                    if sleeping t then
+                      ctx.pruned_commutes <- ctx.pruned_commutes + 1
+                    else begin
+                      let fp_t = footprint ~pid prog in
+                      let cp = Env.checkpoint ctx.env in
+                      let saved_h = ctx.histories.(pid) in
+                      (match prog with
+                      | Prog.Done v -> ctx.states.(pid) <- Done v
+                      | Prog.Step (op, k) ->
+                          let r = Env.apply ctx.env ~pid op in
+                          ctx.histories.(pid) <-
+                            encode_result op r :: saved_h;
+                          ctx.states.(pid) <- Running (k r));
+                      let child_sleep =
+                        if ctx.visited = None then []
+                        else sleep_filter ctx.states fp_t pid !sleep
+                      in
+                      dfs ctx ~frontier ~on_run (depth + 1) crashes rev_crashed
+                        (t :: rev_choices) child_sleep;
+                      Env.rollback ctx.env cp;
+                      ctx.states.(pid) <- Running prog;
+                      ctx.histories.(pid) <- saved_h;
+                      if ctx.visited <> None then sleep := t :: !sleep
+                    end
+                | Done _ | Crashed -> assert false);
+                (* Branch 2: pid crashes instead. *)
+                if crashes < ctx.max_crashes then begin
+                  let t = Crash pid in
+                  if sleeping t then
+                    ctx.pruned_commutes <- ctx.pruned_commutes + 1
+                  else begin
+                    let saved = ctx.states.(pid) in
+                    ctx.states.(pid) <- Crashed;
+                    let child_sleep =
+                      if ctx.visited = None then []
+                      else sleep_filter_crash pid !sleep
+                    in
+                    dfs ctx ~frontier ~on_run (depth + 1) (crashes + 1)
+                      (pid :: rev_crashed) (t :: rev_choices) child_sleep;
+                    ctx.states.(pid) <- saved;
+                    if ctx.visited <> None then sleep := t :: !sleep
+                  end
+                end)
+              live)
+
+(* ------------------------------------------------------------------ *)
+(* Frontier tasks and deterministic merging                             *)
+(* ------------------------------------------------------------------ *)
+
+type 'a task_result = {
+  t_runs : int;
+  t_truncated : int;
+  t_cex : ('a run * string) option;
+  t_pruned_states : int;
+  t_pruned_commutes : int;
+  t_exhausted : bool;
+  t_metrics : Metrics.t option;
+}
+
+(* A subtree root captured at the frontier: a private copy of the store
+   plus everything needed to resume the DFS exactly where phase A left
+   off. Workers own their subtree outright, so no cross-domain sharing
+   of mutable state ever happens. *)
+type 'a subtree = {
+  s_env : Env.t;
+  s_states : 'a pstate array;
+  s_histories : enc list array;
+  s_depth : int;
+  s_crashes : int;
+  s_rev_crashed : int list;
+  s_rev_choices : choice list;
+  s_sleep : choice list;
+}
+
+type 'a task = T_leaf of 'a task_result | T_subtree of 'a subtree
+
+let fresh_ctx ~env ~states ~histories ~max_steps ~max_crashes ~property ~dedup
+    ~run_cap ~with_metrics =
+  {
+    env;
+    states;
+    histories;
+    max_steps;
+    max_crashes;
+    property;
+    visited = (if dedup then Some (Hashtbl.create 512) else None);
+    run_cap;
+    metrics = (if with_metrics then Some (Metrics.create ()) else None);
+    runs = 0;
+    truncated = 0;
+    cex = None;
+    pruned_states = 0;
+    pruned_commutes = 0;
+    exhausted = false;
+  }
+
+let task_result_of_ctx ctx =
+  note_by ctx.metrics "explore.pruned_states" ctx.pruned_states;
+  note_by ctx.metrics "explore.pruned_commutes" ctx.pruned_commutes;
+  {
+    t_runs = ctx.runs;
+    t_truncated = ctx.truncated;
+    t_cex = ctx.cex;
+    t_pruned_states = ctx.pruned_states;
+    t_pruned_commutes = ctx.pruned_commutes;
+    t_exhausted = ctx.exhausted;
+    t_metrics = ctx.metrics;
+  }
+
+(* Explore one captured subtree to completion. The subtree's state is
+   never consumed: the DFS works on copies of the process arrays and
+   rolls the (task-private) environment back to its root on every exit
+   path, so running the same subtree twice gives the same answer — the
+   merge relies on this to recompute any task the pool skipped. *)
+let run_subtree ~dedup ~max_steps ~max_crashes ~run_cap ~property ~with_metrics
+    (s : 'a subtree) =
+  Env.enable_journal s.s_env;
+  let cp0 = Env.checkpoint s.s_env in
+  let ctx =
+    fresh_ctx ~env:s.s_env ~states:(Array.copy s.s_states)
+      ~histories:(Array.copy s.s_histories) ~max_steps ~max_crashes ~property
+      ~dedup ~run_cap ~with_metrics
+  in
+  (try
+     dfs ctx ~frontier:None ~on_run:(finish ctx) s.s_depth s.s_crashes
+       s.s_rev_crashed s.s_rev_choices s.s_sleep
+   with Task_stop -> Env.rollback s.s_env cp0);
+  Env.disable_journal s.s_env;
+  task_result_of_ctx ctx
+
+(* Phase A: walk the tree sequentially down to [frontier_depth], with
+   the same dedup/sleep machinery, emitting work in DFS order — runs
+   completing above the frontier come out as already-resolved leaf
+   tasks, frontier nodes as subtree tasks. The frontier depth must not
+   depend on [jobs], or different job counts would slice the tree
+   differently; it never does. *)
+let explore_tasks ~dedup ~frontier_depth ~max_steps ~max_crashes ~max_runs
+    ~property ~make () =
+  let env0, progs = make () in
+  Env.enable_journal env0;
+  let n = Array.length progs in
+  let ctx =
+    fresh_ctx ~env:env0
+      ~states:(Array.map (fun p -> Running p) progs)
+      ~histories:(Array.make n []) ~max_steps ~max_crashes ~property ~dedup
+      ~run_cap:max_int ~with_metrics:false
+  in
+  let emitted = ref [] in
+  let n_emitted = ref 0 in
+  let emit e =
+    emitted := e :: !emitted;
+    incr n_emitted;
+    (* Every task yields at least one run, so after [max_runs] tasks the
+       merge can never include another: stop splitting. *)
+    if !n_emitted >= max_runs then raise Phase_stop
+  in
+  let on_run ~truncated rev_crashed rev_choices =
+    let run = mk_run ctx ~truncated rev_crashed rev_choices in
+    let cex =
+      match property run with Ok () -> None | Error msg -> Some (run, msg)
+    in
+    emit
+      (T_leaf
+         {
+           t_runs = 1;
+           t_truncated = (if truncated then 1 else 0);
+           t_cex = cex;
+           t_pruned_states = 0;
+           t_pruned_commutes = 0;
+           t_exhausted = false;
+           t_metrics = None;
+         });
+    (* Any task after a counterexample can never be merged. *)
+    if cex <> None then raise Phase_stop
+  in
+  let capture ~depth ~crashes ~rev_crashed ~rev_choices ~sleep =
+    emit
+      (T_subtree
+         {
+           s_env = Env.copy ctx.env;
+           s_states = Array.copy ctx.states;
+           s_histories = Array.copy ctx.histories;
+           s_depth = depth;
+           s_crashes = crashes;
+           s_rev_crashed = rev_crashed;
+           s_rev_choices = rev_choices;
+           s_sleep = sleep;
+         })
+  in
+  (try
+     dfs ctx ~frontier:(Some (frontier_depth, capture)) ~on_run 0 0 [] [] []
+   with Phase_stop -> ());
+  Env.disable_journal env0;
+  (Array.of_list (List.rev !emitted), ctx.pruned_states, ctx.pruned_commutes)
+
 let exhaustive ?(max_crashes = 0) ?(max_runs = 2_000_000) ?metrics ?on_progress
+    ?(jobs = 1) ?oversubscribe ?(dedup = true) ?(frontier_depth = 3)
     ~max_steps ~make ~property () =
+  let with_metrics = metrics <> None in
+  let tasks, phase_pruned_states, phase_pruned_commutes =
+    explore_tasks ~dedup ~frontier_depth ~max_steps ~max_crashes ~max_runs
+      ~property ~make ()
+  in
+  let ntasks = Array.length tasks in
+  (* Lowest task index with a counterexample found so far: the merge
+     stops there, so any task beyond it is dead work and workers skip
+     it. Monotonically decreasing, hence safe to race on. *)
+  let best_cex = Atomic.make max_int in
+  let rec note_cex i =
+    let cur = Atomic.get best_cex in
+    if i < cur && not (Atomic.compare_and_set best_cex cur i) then note_cex i
+  in
+  let run_task i =
+    match tasks.(i) with
+    | T_leaf r ->
+        if r.t_cex <> None then note_cex i;
+        r
+    | T_subtree s ->
+        let r =
+          run_subtree ~dedup ~max_steps ~max_crashes ~run_cap:max_runs
+            ~property ~with_metrics s
+        in
+        if r.t_cex <> None then note_cex i;
+        r
+  in
+  let results =
+    Par.run ~jobs ?oversubscribe
+      ~skip:(fun i -> i > Atomic.get best_cex)
+      ~tasks:ntasks run_task
+  in
+  (* Merge strictly in task (= DFS) order. Budget and counterexample
+     cut-offs are decided here, from per-task totals, so the outcome is
+     a pure function of the task results — identical at any job count. *)
+  let explored = ref 0 in
+  let truncated = ref 0 in
+  let pruned_s = ref phase_pruned_states in
+  let pruned_c = ref phase_pruned_commutes in
+  let cex = ref None in
+  let exhausted = ref false in
+  (try
+     for i = 0 to ntasks - 1 do
+       if !explored >= max_runs then begin
+         exhausted := true;
+         raise Found
+       end;
+       let r =
+         match results.(i) with Some r -> r | None -> run_task i
+       in
+       explored := !explored + r.t_runs;
+       truncated := !truncated + r.t_truncated;
+       pruned_s := !pruned_s + r.t_pruned_states;
+       pruned_c := !pruned_c + r.t_pruned_commutes;
+       (match (metrics, r.t_metrics) with
+       | Some m, Some worker -> Metrics.merge ~into:m worker
+       | Some m, None ->
+           (* resolved leaf: account its single run directly *)
+           Metrics.incr ~by:r.t_runs (Metrics.counter m "explore.runs");
+           if r.t_truncated > 0 then
+             Metrics.incr ~by:r.t_truncated
+               (Metrics.counter m "explore.truncated");
+           if r.t_cex <> None then
+             Metrics.incr (Metrics.counter m "explore.counterexamples")
+       | None, _ -> ());
+       heartbeat on_progress !explored;
+       (match r.t_cex with
+       | Some c ->
+           cex := Some c;
+           raise Found
+       | None -> ());
+       if r.t_exhausted then begin
+         exhausted := true;
+         raise Found
+       end
+     done;
+     if !explored >= max_runs then exhausted := true
+   with Found -> ());
+  note_by metrics "explore.pruned_states" phase_pruned_states;
+  note_by metrics "explore.pruned_commutes" phase_pruned_commutes;
+  {
+    explored = !explored;
+    counterexample = !cex;
+    exhausted_budget = !exhausted;
+    pruned_states = !pruned_s;
+    pruned_commutes = !pruned_c;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reference engine: the original copy-per-branch DFS                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Kept verbatim as the baseline the bench's EX row measures speedups
+   against, and as a differential oracle for the journal engine. *)
+let exhaustive_copy ?(max_crashes = 0) ?(max_runs = 2_000_000) ~max_steps ~make
+    ~property () =
   let env0, progs = make () in
   let explored = ref 0 in
   let counterexample = ref None in
@@ -56,22 +604,16 @@ let exhaustive ?(max_crashes = 0) ?(max_runs = 2_000_000) ?metrics ?on_progress
       }
     in
     incr explored;
-    note metrics "explore.runs";
-    if truncated then note metrics "explore.truncated";
-    heartbeat on_progress !explored;
     (match property run with
     | Ok () -> ()
     | Error msg ->
         counterexample := Some (run, msg);
-        note metrics "explore.counterexamples";
         raise Found);
     if !explored >= max_runs then begin
       exhausted := true;
       raise Found
     end
   in
-  (* Depth-first over choices. [states] is immutable per node (arrays are
-     copied when branching); [env] is copied when branching. *)
   let rec dfs env states depth crashes crashed rev_choices =
     let live =
       Array.to_list states
@@ -84,7 +626,6 @@ let exhaustive ?(max_crashes = 0) ?(max_runs = 2_000_000) ?metrics ?on_progress
     else
       List.iter
         (fun pid ->
-          (* Branch 1: pid executes one operation. *)
           (match states.(pid) with
           | Running prog ->
               let env' = Env.copy env in
@@ -97,7 +638,6 @@ let exhaustive ?(max_crashes = 0) ?(max_runs = 2_000_000) ?metrics ?on_progress
               dfs env' states' (depth + 1) crashes crashed
                 (Step pid :: rev_choices)
           | Done _ | Crashed -> assert false);
-          (* Branch 2: pid crashes instead. *)
           if crashes < max_crashes then begin
             let states' = Array.copy states in
             states'.(pid) <- Crashed;
@@ -113,6 +653,8 @@ let exhaustive ?(max_crashes = 0) ?(max_runs = 2_000_000) ?metrics ?on_progress
     explored = !explored;
     counterexample = !counterexample;
     exhausted_budget = !exhausted;
+    pruned_states = 0;
+    pruned_commutes = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -193,35 +735,46 @@ let run_fault ?(budget = 20_000) ~make ~monitors ~scheduler faults =
   | exception Adversary.Deadlock -> Deadlocked
 
 (* Delta-debugging: drop fault points, then weaken surviving fault kinds
-   toward plain crash-stop, then pull the op-indices toward 0, then
-   collapse the scheduler to round-robin. Every candidate is validated by
-   a full re-run and the last accepted (schedule, violation) pair is
-   carried through, so the result is a genuine violating schedule with
-   its own violation — no trailing re-run, no unreachable branch. *)
+   toward plain crash-stop, then pull the op-indices toward 0, then try
+   collapsing the scheduler to round-robin. The scheduler is resolved
+   once up front, every candidate — including the scheduler collapse —
+   is validated through the same [attempt] path, and the last accepted
+   (schedule, violation) pair is carried through, so the result is a
+   genuine violating schedule with its own violation. *)
 let shrink ?budget ~make ~monitors ~schedulers fault violation0 =
   let runs = ref 0 in
   let best = ref (fault, violation0) in
-  let violates ~scheduler_name faults =
+  let resolve name =
+    match List.assoc_opt name schedulers with
+    | Some s -> Some (name, s)
+    | None -> None
+  in
+  let attempt (name, scheduler) faults =
     incr runs;
-    let scheduler = List.assoc scheduler_name schedulers in
     match run_fault ?budget ~make ~monitors ~scheduler faults with
     | Violating v ->
-        best := ({ scheduler = scheduler_name; faults }, v);
+        best := ({ scheduler = name; faults }, v);
         true
     | Clean | Deadlocked -> false
   in
-  let sched = fault.scheduler in
+  let sched =
+    match resolve fault.scheduler with
+    | Some s -> s
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Explore.shrink: scheduler %S is not in schedulers"
+             fault.scheduler)
+  in
+  let violates faults = attempt sched faults in
   let rec drop_points faults =
-    let rec attempt i =
+    let rec try_drop i =
       if i >= List.length faults then faults
       else
         let candidate = List.filteri (fun j _ -> j <> i) faults in
-        if violates ~scheduler_name:sched candidate then drop_points candidate
-        else attempt (i + 1)
+        if violates candidate then drop_points candidate else try_drop (i + 1)
     in
-    attempt 0
+    try_drop 0
   in
-  let faults = drop_points fault.faults in
   let weaken_kinds faults =
     List.mapi
       (fun i p ->
@@ -231,10 +784,9 @@ let shrink ?budget ~make ~monitors ~schedulers fault violation0 =
           let candidate =
             List.mapi (fun j q -> if j = i then weakened else q) faults
           in
-          if violates ~scheduler_name:sched candidate then weakened else p)
+          if violates candidate then weakened else p)
       faults
   in
-  let faults = weaken_kinds faults in
   let lower_indices faults =
     List.mapi
       (fun i p ->
@@ -246,15 +798,17 @@ let shrink ?budget ~make ~monitors ~schedulers fault violation0 =
                 (fun j q -> if j = i then { p with op = cand } else q)
                 faults
             in
-            if violates ~scheduler_name:sched candidate then { p with op = cand }
+            if violates candidate then { p with op = cand }
             else lowest (cand + 1)
         in
         lowest 0)
       faults
   in
-  let faults = lower_indices faults in
-  (if sched <> "round-robin" && List.mem_assoc "round-robin" schedulers then
-     ignore (violates ~scheduler_name:"round-robin" faults : bool));
+  let faults = lower_indices (weaken_kinds (drop_points fault.faults)) in
+  (if fault.scheduler <> "round-robin" then
+     match resolve "round-robin" with
+     | Some rr -> ignore (attempt rr faults : bool)
+     | None -> ());
   let shrunk, violation = !best in
   (shrunk, violation, !runs)
 
@@ -281,7 +835,7 @@ let fault_sets ~nprocs ~kinds ~max_faults ~op_window =
 
 let sweep_faults ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
     ?(op_window = 6) ?(max_runs = 5_000) ?budget ?schedulers ?(meta = [])
-    ?metrics ?on_progress ~make ~monitors () =
+    ?metrics ?on_progress ?(jobs = 1) ?oversubscribe ~make ~monitors () =
   let env0, _ = make () in
   let nprocs = Env.nprocs env0 in
   let schedulers =
@@ -290,62 +844,95 @@ let sweep_faults ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
     | None -> default_schedulers ~nprocs
   in
   let fault_box = fault_sets ~nprocs ~kinds ~max_faults ~op_window in
+  (* Flatten the scheduler × fault-set product into run descriptors in
+     sweep order; each descriptor is one independent run (fresh env,
+     programs, monitors, adversary), so runs parallelise with no shared
+     state and the merge below reads verdicts back in sweep order —
+     byte-identical outcomes at any job count. *)
+  let descriptors =
+    List.concat_map
+      (fun (sched_name, scheduler) ->
+        List.map (fun faults -> (sched_name, scheduler, faults)) fault_box)
+      schedulers
+    |> Array.of_list
+  in
+  let total = Array.length descriptors in
+  let n_dispatch = min total max_runs in
+  let best = Atomic.make max_int in
+  let rec note_violating i =
+    let cur = Atomic.get best in
+    if i < cur && not (Atomic.compare_and_set best cur i) then
+      note_violating i
+  in
+  let run_one i =
+    let _, scheduler, faults = descriptors.(i) in
+    if jobs = 1 then heartbeat on_progress (i + 1);
+    match run_fault ?budget ~make ~monitors ~scheduler faults with
+    | Violating _ as v ->
+        note_violating i;
+        v
+    | v -> v
+  in
+  let results =
+    Par.run ~jobs ?oversubscribe
+      ~skip:(fun i -> i > Atomic.get best)
+      ~tasks:n_dispatch run_one
+  in
   let runs = ref 0 in
   let found = ref None in
   let deadlock = ref None in
   let exhausted = ref false in
   (try
-     List.iter
-       (fun (sched_name, scheduler) ->
-         List.iter
-           (fun faults ->
-             if !runs >= max_runs then begin
-               exhausted := true;
-               raise Found
-             end;
-             incr runs;
-             note metrics "sweep.runs";
-             heartbeat on_progress !runs;
-             match run_fault ?budget ~make ~monitors ~scheduler faults with
-             | Clean -> note metrics "sweep.verdict.clean"
-             | Deadlocked ->
-                 note metrics "sweep.verdict.deadlocked";
-                 if !deadlock = None then
-                   deadlock := Some { scheduler = sched_name; faults }
-             | Violating v ->
-                 note metrics "sweep.verdict.violating";
-                 let fault = { scheduler = sched_name; faults } in
-                 let shrunk, violation, shrink_runs =
-                   shrink ?budget ~make ~monitors ~schedulers fault v
-                 in
-                 (match metrics with
-                 | None -> ()
-                 | Some m ->
-                     Metrics.incr ~by:shrink_runs
-                       (Metrics.counter m "sweep.shrink_runs"));
-                 let replay =
-                   let t =
-                     match violation.Monitor.trace with
-                     | Some t -> t
-                     | None -> Trace.create () (* run_fault records traces *)
-                   in
-                   Trace.to_replay
-                     ~meta:
-                       (meta
-                       @ [
-                           ("monitor", violation.Monitor.monitor);
-                           ("message", violation.Monitor.message);
-                           ("step", string_of_int violation.Monitor.step);
-                           ("pid", string_of_int violation.Monitor.pid);
-                           ( "schedule",
-                             Format.asprintf "%a" pp_fault_schedule shrunk );
-                         ])
-                     t
-                 in
-                 found := Some { fault; shrunk; violation; shrink_runs; replay };
-                 raise Found)
-           fault_box)
-       schedulers
+     for i = 0 to n_dispatch - 1 do
+       let verdict =
+         match results.(i) with
+         | Some v -> v
+         | None ->
+             (* skipped past the first violation; only reachable if the
+                merge still needs it, and re-running is deterministic *)
+             let _, scheduler, faults = descriptors.(i) in
+             run_fault ?budget ~make ~monitors ~scheduler faults
+       in
+       incr runs;
+       note metrics "sweep.runs";
+       if jobs > 1 then heartbeat on_progress !runs;
+       let sched_name, _, faults = descriptors.(i) in
+       match verdict with
+       | Clean -> note metrics "sweep.verdict.clean"
+       | Deadlocked ->
+           note metrics "sweep.verdict.deadlocked";
+           if !deadlock = None then
+             deadlock := Some { scheduler = sched_name; faults }
+       | Violating v ->
+           note metrics "sweep.verdict.violating";
+           let fault = { scheduler = sched_name; faults } in
+           let shrunk, violation, shrink_runs =
+             shrink ?budget ~make ~monitors ~schedulers fault v
+           in
+           note_by metrics "sweep.shrink_runs" shrink_runs;
+           let replay =
+             let t =
+               match violation.Monitor.trace with
+               | Some t -> t
+               | None -> Trace.create () (* run_fault records traces *)
+             in
+             Trace.to_replay
+               ~meta:
+                 (meta
+                 @ [
+                     ("monitor", violation.Monitor.monitor);
+                     ("message", violation.Monitor.message);
+                     ("step", string_of_int violation.Monitor.step);
+                     ("pid", string_of_int violation.Monitor.pid);
+                     ( "schedule",
+                       Format.asprintf "%a" pp_fault_schedule shrunk );
+                   ])
+               t
+           in
+           found := Some { fault; shrunk; violation; shrink_runs; replay };
+           raise Found
+     done;
+     if total > max_runs then exhausted := true
    with Found -> ());
   {
     runs = !runs;
@@ -355,11 +942,11 @@ let sweep_faults ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
   }
 
 let sweep_crashes ?max_crashes ?op_window ?max_runs ?budget ?schedulers ?meta
-    ?metrics ?on_progress ~make ~monitors () =
+    ?metrics ?on_progress ?jobs ?oversubscribe ~make ~monitors () =
   sweep_faults
     ~kinds:[ Adversary.Crash_stop ]
     ?max_faults:max_crashes ?op_window ?max_runs ?budget ?schedulers ?meta
-    ?metrics ?on_progress ~make ~monitors ()
+    ?metrics ?on_progress ?jobs ?oversubscribe ~make ~monitors ()
 
 let replay ?budget ?metrics ~make ~monitors decisions =
   let env, progs = make () in

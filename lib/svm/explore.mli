@@ -8,14 +8,35 @@
 
     The explorer branches, at every step, over which live process
     executes its next operation and — if the crash budget allows — over
-    crashing a process instead. Branches share nothing: the environment
-    is deep-copied ({!Env.copy}) and program continuations are pure
-    values.
+    crashing a process instead. The engine explores copy-free: one
+    environment is mutated in place and rolled back through an undo
+    journal ({!Env.checkpoint}/{!Env.rollback}) when backtracking, and
+    two prunings cut the tree without changing what it proves:
+
+    - {b state-fingerprint deduplication} — a canonical key of the
+      store ({!Env.canonical}), each process's op-result history (a
+      stand-in for its continuation), the crash order and the remaining
+      depth budget; a revisited key re-proves nothing and is skipped
+      ([pruned_states]);
+    - {b sleep-set commutation} — two enabled operations touching
+      different instances (or only reading the same one) commute, so
+      only one order of each commuting pair is explored
+      ([pruned_commutes]).
+
+    Both prunings preserve the set of {e run records} reachable up to
+    reordering of commuting steps. They are sound for properties that
+    are functions of the run record only — outcomes, crash list,
+    truncation — and do {b not} inspect [schedule] (the one field that
+    distinguishes equivalent interleavings). Pass [~dedup:false] to get
+    the plain full enumeration.
 
     Requirement: programs must be {e closed} — all their state lives in
     the environment or in the continuation, never in captured mutable
     refs (all the object protocols of this repository qualify; the BG
     simulator processes do not, as their simulator state is in refs).
+    Oracle handlers must likewise be pure functions of [(pid, query)] —
+    every handler in this repository is — since the dedup key tracks
+    only the per-process query counts, not handler closure state.
 
     Runs that exceed [max_steps] are reported with [Blocked] outcomes for
     the still-running processes; the property is consulted on them too,
@@ -36,6 +57,10 @@ type 'a result = {
   exhausted_budget : bool;
       (** stopped early because [max_runs] was reached — coverage is then
           partial, like a random sweep *)
+  pruned_states : int;
+      (** subtrees skipped because their root state was already visited *)
+  pruned_commutes : int;
+      (** transitions skipped by the sleep-set commutation rule *)
 }
 
 val exhaustive :
@@ -43,6 +68,10 @@ val exhaustive :
   ?max_runs:int ->
   ?metrics:Metrics.t ->
   ?on_progress:(runs:int -> unit) ->
+  ?jobs:int ->
+  ?oversubscribe:bool ->
+  ?dedup:bool ->
+  ?frontier_depth:int ->
   max_steps:int ->
   make:(unit -> Env.t * 'a Prog.t array) ->
   property:('a run -> (unit, string) Stdlib.result) ->
@@ -50,13 +79,45 @@ val exhaustive :
   'a result
 (** [exhaustive ~max_steps ~make ~property ()] enumerates schedules
     depth-first. [make] builds a fresh environment and programs (called
-    once; branching copies the environment). Defaults: [max_crashes = 0],
-    [max_runs = 2_000_000].
+    once). Defaults: [max_crashes = 0], [max_runs = 2_000_000],
+    [jobs = 1], [dedup = true], [frontier_depth = 3].
+
+    {b Parallelism and determinism.} The schedule tree is first walked
+    sequentially down to [frontier_depth]; each frontier node becomes an
+    independent task (with a private {!Env.copy}) and the tasks are
+    fanned out over [jobs] domains ({!Par.run}). Results are merged
+    strictly in DFS task order, each task deduplicates against its own
+    visited table, and the frontier split does not depend on [jobs] —
+    so [explored], the counterexample (always the DFS-first one), both
+    pruned counts and the [metrics] increments are {e identical for
+    every value of [jobs]}. Per-worker registries are folded with
+    {!Metrics.merge}. [property] runs on worker domains: it must be
+    pure (a function of the run record), which the soundness contract
+    above already requires.
+
+    [dedup:false] disables both the visited table and sleep sets — the
+    engine then enumerates exactly the same runs, in the same order, as
+    the reference engine {!exhaustive_copy}.
 
     [metrics] counts completed runs ([explore.runs]), truncated runs
-    ([explore.truncated]) and counterexamples found;
-    [on_progress ~runs] fires after every completed run — throttle in
-    the callback (e.g. [if runs mod 1000 = 0 then ...]). *)
+    ([explore.truncated]), counterexamples found, and the two pruning
+    tallies ([explore.pruned_states], [explore.pruned_commutes]);
+    [on_progress ~runs] fires as tasks merge — heartbeat timing is not
+    part of the determinism contract. *)
+
+val exhaustive_copy :
+  ?max_crashes:int ->
+  ?max_runs:int ->
+  max_steps:int ->
+  make:(unit -> Env.t * 'a Prog.t array) ->
+  property:('a run -> (unit, string) Stdlib.result) ->
+  unit ->
+  'a result
+(** The original copy-per-branch engine, kept as the measured baseline
+    of the bench's [EX] row and as a differential oracle for the journal
+    engine: no journal, no pruning, no parallelism — every branch deep
+    copies the environment and the state array. Its [pruned_states] and
+    [pruned_commutes] are always 0. *)
 
 (** {1 Systematic fault-box sweeping}
 
@@ -128,6 +189,8 @@ val sweep_faults :
   ?meta:(string * string) list ->
   ?metrics:Metrics.t ->
   ?on_progress:(runs:int -> unit) ->
+  ?jobs:int ->
+  ?oversubscribe:bool ->
   make:(unit -> Env.t * 'a Prog.t array) ->
   monitors:(unit -> 'a Monitor.t list) ->
   unit ->
@@ -139,7 +202,18 @@ val sweep_faults :
     each candidate validated by a re-run — and serialized as a replay
     artifact extended with [meta]. Defaults: [kinds = \[Crash_stop\]],
     [max_faults = 1], [op_window = 6], [max_runs = 5_000], per-run
-    [budget = 20_000] steps, [schedulers = default_schedulers].
+    [budget = 20_000] steps, [schedulers = default_schedulers],
+    [jobs = 1].
+
+    {b Parallelism and determinism.} Each (scheduler, fault-set) cell is
+    one independent run — fresh environment, programs, monitors and
+    adversary — so runs execute concurrently on [jobs] domains and
+    verdicts are read back in sweep order. The reported outcome, the
+    found/shrunk schedules, the replay artifact and every [metrics]
+    increment are identical for every value of [jobs]; shrinking always
+    happens sequentially after the merge. Only [on_progress] timing
+    differs (fired per run live when [jobs = 1], at merge otherwise) —
+    heartbeat timing is not part of the determinism contract.
 
     [make] must build a fresh environment {e and fresh programs} per
     call (it is called once per run); [monitors] likewise builds fresh
@@ -160,6 +234,8 @@ val sweep_crashes :
   ?meta:(string * string) list ->
   ?metrics:Metrics.t ->
   ?on_progress:(runs:int -> unit) ->
+  ?jobs:int ->
+  ?oversubscribe:bool ->
   make:(unit -> Env.t * 'a Prog.t array) ->
   monitors:(unit -> 'a Monitor.t list) ->
   unit ->
@@ -174,11 +250,12 @@ val shrink :
   fault_schedule ->
   Monitor.violation ->
   fault_schedule * Monitor.violation * int
-(** Delta-debug a known-violating fault schedule (its [scheduler] must
-    name an entry of [schedulers]; the violation is the one its own run
-    produced) down to a minimal one; returns the shrunk schedule, the
-    violation of the shrunk schedule's run, and the number of validation
-    re-runs. *)
+(** Delta-debug a known-violating fault schedule down to a minimal one;
+    returns the shrunk schedule, the violation of the shrunk schedule's
+    run, and the number of validation re-runs. The schedule's
+    [scheduler] must name an entry of [schedulers] (resolved once up
+    front, [Invalid_argument] otherwise); the violation passed in is
+    the one its own run produced. *)
 
 val replay :
   ?budget:int ->

@@ -171,6 +171,28 @@ let snapshot t =
 
 let snapshot_string ?pretty t = Json.to_string ?pretty (snapshot t)
 
+(* Fold a worker registry into an accumulator: counters and histogram
+   mass add, gauges keep the max (every gauge producer in this codebase
+   is high-watermark shaped). Merge order therefore cannot change the
+   result, which is what makes parallel sweeps snapshot-identical to
+   sequential ones. *)
+let merge ~into src =
+  Hashtbl.iter (fun name c -> incr ~by:!c (counter into name)) src.counters;
+  Hashtbl.iter (fun name g -> set_max (gauge into name) !g) src.gauges;
+  Hashtbl.iter
+    (fun name h ->
+      let dst = histogram into name in
+      dst.count <- dst.count + h.count;
+      dst.sum <- dst.sum + h.sum;
+      if h.count > 0 then begin
+        if h.min_v < dst.min_v then dst.min_v <- h.min_v;
+        if h.max_v > dst.max_v then dst.max_v <- h.max_v
+      end;
+      Array.iteri
+        (fun i n -> if n > 0 then dst.buckets.(i) <- dst.buckets.(i) + n)
+        h.buckets)
+    src.histograms
+
 let reset t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.gauges;

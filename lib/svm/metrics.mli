@@ -83,4 +83,11 @@ val snapshot : t -> Json.t
 
 val snapshot_string : ?pretty:bool -> t -> string
 
+val merge : into:t -> t -> unit
+(** Fold [src] into [into]: counters and histograms add (count, sum,
+    buckets; min/max combine), gauges keep the maximum. Commutative and
+    associative, so merging per-worker registries in any order yields
+    the same snapshot — parallel sweeps rely on this to match the
+    sequential registry byte for byte. *)
+
 val reset : t -> unit

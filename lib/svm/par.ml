@@ -1,0 +1,62 @@
+(* A minimal work-sharing pool over stdlib [Domain] — no dependencies.
+   Tasks are indexed [0 .. tasks-1] and handed out through one atomic
+   counter; each worker loops "claim next index, run it" until the
+   counter runs past the end. Results land in per-index slots (disjoint
+   writes, so no synchronisation beyond the final joins is needed).
+
+   Determinism note: the pool makes no ordering promises between tasks
+   — callers that need deterministic output must make each task's
+   result independent of the others and merge in task-index order, as
+   [Explore] does. *)
+
+let run (type a) ~jobs ?(oversubscribe = false)
+    ?(skip = fun (_ : int) -> false) ~tasks (f : int -> a) : a option array =
+  if jobs < 1 then invalid_arg "Par.run: jobs must be >= 1";
+  if tasks < 0 then invalid_arg "Par.run: tasks must be >= 0";
+  (* Never run more domains than the machine has cores: oversubscribed
+     domains only add stop-the-world GC synchronisation. Callers' results
+     cannot tell the difference (they must already be jobs-agnostic), so
+     the cap is safe; [oversubscribe] bypasses it for tests that need the
+     multi-domain code paths exercised regardless of the host. *)
+  let jobs =
+    if oversubscribe then jobs
+    else min jobs (Domain.recommended_domain_count ())
+  in
+  let results : a option array = Array.make (max tasks 1) None in
+  if tasks = 0 then [||]
+  else if jobs = 1 || tasks = 1 then begin
+    for i = 0 to tasks - 1 do
+      if not (skip i) then results.(i) <- Some (f i)
+    done;
+    results
+  end
+  else begin
+    let next = Atomic.make 0 in
+    let failure : (int * exn) option Atomic.t = Atomic.make None in
+    (* Keep the failure with the smallest task index so the exception
+       that propagates does not depend on worker timing. *)
+    let rec note_failure i exn =
+      match Atomic.get failure with
+      | Some (j, _) when j <= i -> ()
+      | cur ->
+          if not (Atomic.compare_and_set failure cur (Some (i, exn))) then
+            note_failure i exn
+    in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= tasks || Atomic.get failure <> None then continue := false
+        else if not (skip i) then (
+          match f i with
+          | v -> results.(i) <- Some v
+          | exception exn -> note_failure i exn)
+      done
+    in
+    let n = min jobs tasks in
+    let domains = Array.init (n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (match Atomic.get failure with Some (_, exn) -> raise exn | None -> ());
+    results
+  end

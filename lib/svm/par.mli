@@ -1,0 +1,33 @@
+(** A zero-dependency work-sharing pool over stdlib [Domain].
+
+    Tasks are indexed [0 .. tasks-1] and claimed through one atomic
+    counter; with [jobs = 1] (or a single task) everything runs inline
+    on the calling domain in index order, so the sequential path spawns
+    nothing.
+
+    The pool promises nothing about the order tasks run in. Callers
+    needing deterministic output must make each task independent and
+    merge results in task-index order ({!Explore} does exactly this).
+
+    Must not be called from inside one of its own workers. *)
+
+val run :
+  jobs:int ->
+  ?oversubscribe:bool ->
+  ?skip:(int -> bool) ->
+  tasks:int ->
+  (int -> 'a) ->
+  'a option array
+(** [run ~jobs ~tasks f] evaluates [f i] for each [i] in
+    [0 .. tasks-1] on up to [jobs] domains (the caller counts as one)
+    and returns the results slot-per-task. [jobs] is capped at
+    [Domain.recommended_domain_count ()] — extra domains on a saturated
+    machine only add GC synchronisation — unless [oversubscribe] is set
+    (default false; meant for tests that must exercise the multi-domain
+    paths on any host). A slot is [None] iff the task was skipped:
+    [skip i] is consulted when the task is claimed — use it with an
+    [Atomic.t] bound for cooperative early abort.
+
+    If a task raises, workers stop claiming new tasks and the exception
+    with the smallest task index is re-raised after all domains join,
+    so the propagated exception does not depend on worker timing. *)

@@ -24,12 +24,23 @@ let ok_prop _ = Ok ()
    choices each: C(a+b, a). *)
 let counts_two_procs () =
   let r =
-    Explore.exhaustive ~max_steps:20 ~make:(make_yields [| 2; 2 |])
-      ~property:ok_prop ()
+    Explore.exhaustive ~dedup:false ~max_steps:20
+      ~make:(make_yields [| 2; 2 |]) ~property:ok_prop ()
   in
   check Alcotest.int "C(6,3) = 20" 20 r.Explore.explored;
   Alcotest.(check bool) "no counterexample" true (r.Explore.counterexample = None);
-  Alcotest.(check bool) "not exhausted" false r.Explore.exhausted_budget
+  Alcotest.(check bool) "not exhausted" false r.Explore.exhausted_budget;
+  check Alcotest.int "nothing pruned without dedup" 0
+    (r.Explore.pruned_states + r.Explore.pruned_commutes);
+  (* Two processes that never touch shared state commute everywhere:
+     with pruning on, one representative interleaving proves them all. *)
+  let p =
+    Explore.exhaustive ~max_steps:20 ~make:(make_yields [| 2; 2 |])
+      ~property:ok_prop ()
+  in
+  check Alcotest.int "pruned to one representative" 1 p.Explore.explored;
+  Alcotest.(check bool) "pruning accounted" true
+    (p.Explore.pruned_states + p.Explore.pruned_commutes > 0)
 
 let counts_with_crash () =
   (* One process, one op: schedules are [S;S], [S;X], [X]. *)
@@ -67,7 +78,7 @@ let truncation_flag () =
 
 let budget_flag () =
   let r =
-    Explore.exhaustive ~max_runs:5 ~max_steps:30
+    Explore.exhaustive ~dedup:false ~max_runs:5 ~max_steps:30
       ~make:(make_yields [| 3; 3; 3 |])
       ~property:ok_prop ()
   in

@@ -1,0 +1,213 @@
+(* The parallel explorer's determinism contract, and the copy-free
+   machinery under it: jobs ∈ {1, 2, 4} must produce identical results
+   and byte-identical merged metrics; the undo journal must restore the
+   exact pre-checkpoint state; canonical fingerprints must not depend on
+   instance creation order; dedup must never change a verdict. *)
+
+open Svm
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* jobs determinism on the seeded bugs                                  *)
+(* ------------------------------------------------------------------ *)
+
+let scenario name =
+  match Experiments.Scenario.find name with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+(* [oversubscribe] so the multi-domain code paths really run even on a
+   single-core CI host (Par.run otherwise caps jobs at the machine). *)
+let run_jobs ~jobs ~max_crashes (s : Experiments.Scenario.t) =
+  let metrics = Metrics.create ~wall_clock:false () in
+  let r =
+    Explore.exhaustive ~jobs ~oversubscribe:true ~max_crashes
+      ~max_steps:s.Experiments.Scenario.explore_steps ~metrics
+      ~make:s.Experiments.Scenario.make
+      ~property:s.Experiments.Scenario.exhaustive_property ()
+  in
+  (r, Metrics.snapshot_string metrics)
+
+let cex_repr = function
+  | None -> "none"
+  | Some (run, msg) ->
+      Printf.sprintf "%s | %s | crashed=[%s] | truncated=%b"
+        run.Explore.schedule msg
+        (String.concat ";" (List.map string_of_int run.Explore.crashed))
+        run.Explore.truncated
+
+let same_results label ((r1 : Univ.t Explore.result), m1) (r2, m2) =
+  check Alcotest.int (label ^ ": explored") r1.Explore.explored
+    r2.Explore.explored;
+  check Alcotest.int (label ^ ": pruned states") r1.Explore.pruned_states
+    r2.Explore.pruned_states;
+  check Alcotest.int (label ^ ": pruned commutes") r1.Explore.pruned_commutes
+    r2.Explore.pruned_commutes;
+  Alcotest.(check bool)
+    (label ^ ": exhausted")
+    r1.Explore.exhausted_budget r2.Explore.exhausted_budget;
+  check Alcotest.string
+    (label ^ ": counterexample")
+    (cex_repr r1.Explore.counterexample)
+    (cex_repr r2.Explore.counterexample);
+  check Alcotest.string (label ^ ": metrics snapshot") m1 m2
+
+let jobs_determinism ~name ~max_crashes ~expect_cex () =
+  let s = scenario name in
+  let ((base_r, _) as base) = run_jobs ~jobs:1 ~max_crashes s in
+  List.iter
+    (fun jobs ->
+      same_results
+        (Printf.sprintf "%s jobs=%d" name jobs)
+        base
+        (run_jobs ~jobs ~max_crashes s))
+    [ 2; 4 ];
+  if expect_cex then
+    Alcotest.(check bool)
+      (name ^ ": seeded bug found")
+      true
+      (base_r.Explore.counterexample <> None)
+
+let no_cancel_jobs () =
+  jobs_determinism ~name:"safe_agreement_no_cancel" ~max_crashes:0
+    ~expect_cex:true ()
+
+let first_subset_jobs () =
+  (* Crash branching included: the first-subset bug's exploration at its
+     default depth must merge identically at any job count. *)
+  jobs_determinism ~name:"x_safe_agreement_first_subset" ~max_crashes:1
+    ~expect_cex:false ()
+
+(* ------------------------------------------------------------------ *)
+(* undo-journal rollback property                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A small alphabet over every journaled op kind: two families, two
+   keys, values and pids derived from the code, nothing that needs
+   allow_cas/allow_kset or an oracle handler. *)
+let apply_op env code =
+  let pid = (code lsr 5) land 1 in
+  (* The family name carries the op kind (the environment enforces one
+     kind per (fam, key)) plus one variation bit; two keys per family. *)
+  let fam =
+    (match code mod 8 with
+    | 0 | 1 -> "R"
+    | 2 | 3 -> "S"
+    | 4 -> "T"
+    | 5 -> "C"
+    | _ -> "Q")
+    ^ if code land 1 = 0 then "a" else "b"
+  in
+  let key = [ (code lsr 1) land 1 ] in
+  let v = Codec.int.Codec.inj (code lsr 3) in
+  match code mod 8 with
+  | 0 -> Env.apply env ~pid (Op.Reg_write (fam, key, v))
+  | 1 -> ignore (Env.apply env ~pid (Op.Reg_read (fam, key)))
+  | 2 -> Env.apply env ~pid (Op.Snap_set (fam, key, v))
+  | 3 -> ignore (Env.apply env ~pid (Op.Snap_scan (fam, key)))
+  | 4 -> ignore (Env.apply env ~pid (Op.Ts (fam, key)))
+  | 5 -> ignore (Env.apply env ~pid (Op.Cons_propose (fam, key, v)))
+  | 6 -> Env.apply env ~pid (Op.Queue_enq (fam, key, v))
+  | _ -> ignore (Env.apply env ~pid (Op.Queue_deq (fam, key)))
+
+let undo_log_roundtrip =
+  QCheck.Test.make ~count:300
+    ~name:"journal rollback restores the exact pre-checkpoint state"
+    QCheck.(pair (list (int_bound 2048)) (list (int_bound 2048)))
+    (fun (prefix, suffix) ->
+      let env = Env.create ~nprocs:2 ~x:2 () in
+      Env.enable_journal env;
+      List.iter (apply_op env) prefix;
+      let cp = Env.checkpoint env in
+      List.iter (apply_op env) suffix;
+      Env.rollback env cp;
+      let fresh = Env.create ~nprocs:2 ~x:2 () in
+      List.iter (apply_op fresh) prefix;
+      Env.observationally_equal env fresh
+      && Env.state_hash env = Env.state_hash fresh)
+
+(* ------------------------------------------------------------------ *)
+(* canonical fingerprints vs. instance creation order                   *)
+(* ------------------------------------------------------------------ *)
+
+let prewarm_hash_stable () =
+  let infos =
+    [
+      { Op.kind = Op.Register; fam = "R"; key = [ 0 ] };
+      { Op.kind = Op.Snapshot; fam = "S"; key = [] };
+      { Op.kind = Op.Queue; fam = "Q"; key = [ 1 ] };
+    ]
+  in
+  let w_reg env =
+    Env.apply env ~pid:0 (Op.Reg_write ("R", [ 0 ], Codec.int.Codec.inj 7))
+  in
+  let w_snap env =
+    Env.apply env ~pid:1 (Op.Snap_set ("S", [], Codec.int.Codec.inj 9))
+  in
+  let w_q env =
+    Env.apply env ~pid:0 (Op.Queue_enq ("Q", [ 1 ], Codec.int.Codec.inj 3))
+  in
+  let build ~warm order =
+    let env = Env.create ~nprocs:2 ~x:2 () in
+    if warm then Env.prewarm env infos;
+    List.iter (fun f -> f env) order;
+    Env.state_hash env
+  in
+  let h0 = build ~warm:true [ w_reg; w_snap; w_q ] in
+  List.iter
+    (fun order ->
+      check Alcotest.int "permuted access order, same fingerprint" h0
+        (build ~warm:true order))
+    [ [ w_snap; w_q; w_reg ]; [ w_q; w_reg; w_snap ]; [ w_snap; w_reg; w_q ] ];
+  check Alcotest.int "prewarm does not change the fingerprint" h0
+    (build ~warm:false [ w_q; w_snap; w_reg ]);
+  check Alcotest.int "untouched prewarmed instances are dropped"
+    (build ~warm:false []) (build ~warm:true [])
+
+(* ------------------------------------------------------------------ *)
+(* dedup never changes a verdict                                        *)
+(* ------------------------------------------------------------------ *)
+
+let dedup_verdict_parity () =
+  Experiments.Scenario.all ()
+  |> List.iter (fun (s : Experiments.Scenario.t) ->
+         if s.Experiments.Scenario.explorable then begin
+           (* Full enumeration bound: keep the dedup-off run cheap for
+              the wider scenarios without losing the seeded-bug depths
+              of the 2-process ones. *)
+           let max_steps =
+             min s.Experiments.Scenario.explore_steps
+               (if s.Experiments.Scenario.nprocs >= 4 then 8 else 10)
+           in
+           let run dedup =
+             Explore.exhaustive ~dedup ~max_steps
+               ~make:s.Experiments.Scenario.make
+               ~property:s.Experiments.Scenario.exhaustive_property ()
+           in
+           let verdict (r : Univ.t Explore.result) =
+             match r.Explore.counterexample with
+             | None -> "ok"
+             | Some (_, msg) -> "cex: " ^ msg
+           in
+           check Alcotest.string
+             (s.Experiments.Scenario.name ^ ": dedup preserves the verdict")
+             (verdict (run false))
+             (verdict (run true))
+         end)
+
+let suite =
+  [
+    ( "explore-par",
+      [
+        Alcotest.test_case "no_cancel: jobs 1/2/4 identical" `Quick
+          no_cancel_jobs;
+        Alcotest.test_case "first_subset: jobs 1/2/4 identical" `Quick
+          first_subset_jobs;
+        Alcotest.test_case "canonical hash ignores creation order" `Quick
+          prewarm_hash_stable;
+        Alcotest.test_case "dedup on/off verdict parity" `Quick
+          dedup_verdict_parity;
+        QCheck_alcotest.to_alcotest undo_log_roundtrip;
+      ] );
+  ]
