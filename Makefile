@@ -5,18 +5,21 @@
 #   make ci-heavy      — full box: heavy sweeps under ASMSIM_HEAVY=1
 #   make smoke         — one sweep per fault tier through the real CLI
 #   make smoke-trace   — sweep a seeded bug, export + validate its Chrome trace
+#   make smoke-dist    — multi-process runs (with a chaos-killed worker) must
+#                        be byte-identical to in-process runs
 #   make test-heavy    — includes the exhaustive sweeps (ASMSIM_HEAVY=1)
 #   make bench-json    — benchmarks as BENCH_svm.json (ns/run + overhead)
-#   make bench-gate    — re-time the EX explorer family, fail if any row
-#                        regressed >1.5x against the committed BENCH_svm.json
+#   make bench-gate    — re-time the EX explorer and DIST coordinator families,
+#                        fail if any row regressed >1.5x against the committed
+#                        BENCH_svm.json
 
 BUILD_TIMEOUT ?= 120
 TEST_TIMEOUT ?= 150
 SMOKE_TIMEOUT ?= 60
 ASMSIM = dune exec --no-print-directory bin/asmsim.exe --
 
-.PHONY: build check test test-heavy ci ci-heavy smoke smoke-trace bench-json \
-	bench-gate explore-determinism
+.PHONY: build check test test-heavy ci ci-heavy smoke smoke-trace smoke-dist \
+	bench-json bench-gate explore-determinism
 
 build:
 	dune build
@@ -52,10 +55,33 @@ smoke-trace: build
 	timeout $(SMOKE_TIMEOUT) $(ASMSIM) trace-check _build/prof.json --require-instants
 	timeout $(SMOKE_TIMEOUT) $(ASMSIM) stats _build/prof.replay --out _build/prof.stats.json
 
+# The distributed coordinator through the real CLI: the same seeded-bug
+# sweep run in-process and across 2 worker processes — one of which is
+# chaos-SIGKILLed mid-shard — must print the same stdout and write a
+# byte-identical replay artifact; the grep proves the kill really fired
+# (all [dist] chatter goes to stderr, which is why stdout diffs clean).
+# Then the same identity for the exhaustive explorer.
+smoke-dist: build
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) sweep --algo safe_agreement_no_cancel \
+	  --expect-violation --out _build/dist.replay > _build/dist-a.out
+	cp _build/dist.replay _build/dist-a.replay
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) sweep --algo safe_agreement_no_cancel \
+	  --expect-violation --dist 2 --shard-size 5 --chaos-kill-shard 0 \
+	  --out _build/dist.replay > _build/dist-b.out 2> _build/dist-b.err
+	diff _build/dist-a.out _build/dist-b.out
+	diff _build/dist-a.replay _build/dist.replay
+	grep -q chaos _build/dist-b.err
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) explore --algo safe_agreement_no_cancel \
+	  --crashes 1 --expect-violation > _build/dist-c.out
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) explore --algo safe_agreement_no_cancel \
+	  --crashes 1 --expect-violation --dist 2 --shard-size 7 > _build/dist-d.out
+	diff _build/dist-c.out _build/dist-d.out
+
 ci: check
 	timeout $(TEST_TIMEOUT) dune runtest
 	$(MAKE) smoke
 	$(MAKE) smoke-trace
+	$(MAKE) smoke-dist
 	$(MAKE) explore-determinism
 
 # The parallel explorer must reach the same verdict at jobs=4 as at

@@ -266,6 +266,55 @@ let overhead_plain_name = "OV0: safe agreement, bare Exec.run"
 let overhead_swept_name = "OV1: same + fault wrapper, monitors, trace"
 let overhead_metrics_name = "OV2: same + metrics registry"
 
+(* The DIST family: one fault sweep run in-process (SW0) and through
+   the multi-process coordinator at 1, 2 and 4 workers — forked worker
+   binaries, length-prefixed frames over socketpairs, in-order merge.
+   [dist_overhead_ratio] (DIST1 / SW0) is the per-run tax of the whole
+   process machinery at its least favourable point (one worker, so no
+   parallelism to hide behind); the bench gate watches the absolute
+   row times so a protocol change that bloats framing or handshaking
+   shows up in CI. *)
+
+let dist_scenario =
+  match Experiments.Scenario.find "safe_agreement" with
+  | Ok s -> s
+  | Error e -> failwith e
+
+let dist_runs = 400
+
+let bench_sweep_inproc () =
+  ignore
+    (Experiments.Harness.sweep_scenario ~max_runs:dist_runs dist_scenario)
+
+let dist_config workers =
+  {
+    (Dist.Coordinator.default_config ~workers
+       ~exe:"_build/default/bin/asmsim.exe" ())
+    with
+    Dist.Coordinator.shard_size = Some 8;
+  }
+
+let bench_sweep_dist workers () =
+  match
+    Experiments.Harness.sweep_scenario_dist ~max_runs:dist_runs
+      (dist_config workers) dist_scenario
+  with
+  | Ok _ -> ()
+  | Error e -> failwith e
+
+let sw0_name = "SW0: fault sweep, safe agreement, in-process"
+let dist1_name = "DIST1: same sweep, coordinator + 1 worker process"
+let dist2_name = "DIST2: same sweep, 2 worker processes"
+let dist4_name = "DIST4: same sweep, 4 worker processes"
+
+let dist_family =
+  [
+    (sw0_name, bench_sweep_inproc);
+    (dist1_name, bench_sweep_dist 1);
+    (dist2_name, bench_sweep_dist 2);
+    (dist4_name, bench_sweep_dist 4);
+  ]
+
 let tests =
   Test.make_grouped ~name:"mpcn"
     ([
@@ -318,7 +367,7 @@ let tests =
     ]
     @ List.map
         (fun (name, body) -> Test.make ~name (Staged.stage body))
-        explore_family)
+        (explore_family @ dist_family))
 
 let estimate_table () =
   let ols =
@@ -392,6 +441,13 @@ let emit_json estimates =
     | Some base, Some par when par > 0. -> Some (base /. par)
     | _ -> None
   in
+  (* DIST1 / SW0: the full process-coordination tax — fork, handshake,
+     frame, merge — with one worker, so nothing amortizes it. *)
+  let dist_ratio =
+    match (find sw0_name, find dist1_name) with
+    | Some base, Some dist when base > 0. -> Some (dist /. base)
+    | _ -> None
+  in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"benchmarks\": [\n";
   List.iteri
@@ -415,8 +471,13 @@ let emit_json estimates =
   (match explore_ratio with
   | Some r ->
       Buffer.add_string b
-        (Printf.sprintf "  \"explore_speedup_ratio\": %.3f\n" r)
-  | None -> Buffer.add_string b "  \"explore_speedup_ratio\": null\n");
+        (Printf.sprintf "  \"explore_speedup_ratio\": %.3f,\n" r)
+  | None -> Buffer.add_string b "  \"explore_speedup_ratio\": null,\n");
+  (match dist_ratio with
+  | Some r ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"dist_overhead_ratio\": %.3f\n" r)
+  | None -> Buffer.add_string b "  \"dist_overhead_ratio\": null\n");
   Buffer.add_string b "}\n";
   let oc = open_out "BENCH_svm.json" in
   output_string oc (Buffer.contents b);
@@ -430,15 +491,19 @@ let emit_json estimates =
   (match explore_ratio with
   | Some r -> Printf.printf "explore speedup ratio: %.2fx\n" r
   | None -> ());
+  (match dist_ratio with
+  | Some r -> Printf.printf "dist overhead ratio: %.2fx\n" r
+  | None -> ());
   print_endline "wrote BENCH_svm.json"
 
-(* --gate FILE: the EX regression gate. Re-times the EX family (best of
-   two wall-clock runs per row — the bodies run long enough for that to
-   be a stable estimate, and the second run absorbs warm-up effects the
-   committed bechamel numbers do not pay) and fails if any row regressed
-   more than 1.5x against the committed BENCH_svm.json. Only the explore
-   rows are gated: they are the ones this engine exists for, and the
-   only rows slow enough for wall-clock timing to be trustworthy. *)
+(* --gate FILE: the regression gate. Re-times the EX and DIST families
+   (best of two wall-clock runs per row — the bodies run long enough
+   for that to be a stable estimate, and the second run absorbs warm-up
+   effects the committed bechamel numbers do not pay) and fails if any
+   row regressed more than 1.5x against the committed BENCH_svm.json.
+   Only those rows are gated: they are the ones the explorer engine and
+   the process coordinator exist for, and the only rows slow enough for
+   wall-clock timing to be trustworthy. *)
 
 let gate_slack = 1.5
 
@@ -488,12 +553,15 @@ let gate_against file =
           Printf.printf "%-56s %9.1f ms vs %9.1f ms  %.2fx  %s\n" name
             (measured /. 1e6) (committed /. 1e6) r
             (if ok then "ok" else "REGRESSED"))
-    explore_family;
+    (explore_family @ dist_family);
   if !failed then begin
-    Printf.eprintf "bench gate: EX family regressed beyond %.1fx\n" gate_slack;
+    Printf.eprintf "bench gate: EX/DIST families regressed beyond %.1fx\n"
+      gate_slack;
     exit 1
   end
-  else Printf.printf "bench gate: EX family within %.1fx of %s\n" gate_slack file
+  else
+    Printf.printf "bench gate: EX/DIST families within %.1fx of %s\n"
+      gate_slack file
 
 let () =
   let gate = ref None in

@@ -12,10 +12,19 @@
      trace       export a replay artifact as a timeline (chrome/text/csv)
      trace-check validate a Chrome trace export (CI)
      stats       metrics snapshot of a replayed or fresh run
+     serve       list or resume journalled distributed jobs
+     work        worker-process mode of the distributed runner (internal)
 
-   Exit codes of the replay family: 0 clean, 1 violation reproduced
-   (or invariant failed), 2 unreadable artifact/unknown scenario,
-   3 replay diverged from the recorded violation. *)
+   Exit codes, uniform across every subcommand:
+     0  clean — the command ran and found nothing adverse (under
+        --expect-violation: the expected finding was found)
+     1  finding — a violation, counterexample, failed experiment check,
+        or reproduced replay violation (inverted by --expect-violation)
+     2  usage or input error — unknown subcommand, flag, scenario, task
+        or experiment id; unreadable artifact or journal
+     3  internal error — unexpected exception, replay divergence from
+        the recorded violation, broken worker protocol, hostile shard,
+        or any distributed-run failure *)
 
 open Cmdliner
 
@@ -128,7 +137,7 @@ let run_task_cmd =
     match parse_task ~n ~t task with
     | Error m ->
         prerr_endline m;
-        exit 1
+        exit 2
     | Ok (task, alg) ->
         let r =
           Experiments.Runner.one_run ~task ~alg ~seed ~max_crashes:crashes ()
@@ -159,7 +168,7 @@ let simulate_cmd =
     match parse_task ~n ~t task with
     | Error m ->
         prerr_endline m;
-        exit 1
+        exit 2
     | Ok (task, source) ->
         let alg =
           if colored then Core.Bg.colored ~source ~target
@@ -192,7 +201,7 @@ let chain_cmd =
     match parse_task ~n ~t task with
     | Error m ->
         prerr_endline m;
-        exit 1
+        exit 2
     | Ok (task, source) ->
         let via = Core.Bg.figure7_chain ~source ~target in
         Format.printf "Figure 7 chain: %s"
@@ -240,7 +249,7 @@ let experiment_cmd =
         | None ->
             Format.eprintf "unknown experiment %s (have: %s)@." id
               (String.concat ", " (Experiments.Registry.ids ()));
-            exit 1
+            exit 2
     in
     List.iter
       (fun r ->
@@ -274,6 +283,139 @@ let scenario_arg =
 let pp_violation_line (v : Svm.Monitor.violation) =
   Format.printf "violation: %s: %s (step %d, p%d)@." v.Svm.Monitor.monitor
     v.Svm.Monitor.message v.Svm.Monitor.step v.Svm.Monitor.pid
+
+(* ---- distributed-execution options, shared by sweep and explore ---- *)
+
+let dist_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "dist" ] ~docv:"W"
+        ~doc:
+          "Shard the work across W worker OS processes (0 = in-process). \
+           Output is bit-for-bit identical to the in-process run; --jobs is \
+           ignored. Completed shards are journalled under --journal-dir so a \
+           killed run can be picked up with --resume.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"JOB"
+        ~doc:
+          "Resume the journalled distributed job JOB, re-running only its \
+           unfinished shards (requires --dist; the other parameters must \
+           describe the same job).")
+
+let shard_timeout_arg =
+  Arg.(
+    value & opt float 120.
+    & info [ "shard-timeout" ] ~docv:"SEC"
+        ~doc:
+          "Kill a worker that sits on one shard longer than SEC seconds; \
+           the shard is reassigned.")
+
+let shard_size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shard-size" ] ~docv:"CELLS"
+        ~doc:
+          "Cells per shard (default: derived from the work size and the \
+           worker count).")
+
+let chaos_kill_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos-kill-shard" ] ~docv:"K"
+        ~doc:
+          "Fault-injection hook: SIGKILL the worker assigned shard K, once, \
+           right after the assignment — the run must still produce identical \
+           output.")
+
+let journal_dir_arg =
+  Arg.(
+    value
+    & opt string Dist.Journal.default_dir
+    & info [ "journal-dir" ] ~docv:"DIR"
+        ~doc:"Where distributed jobs journal their completed shards.")
+
+let dist_log s = Format.eprintf "[dist] %s@." s
+
+let dist_config ~dist ~shard_timeout ~shard_size ~chaos ~journal_dir ~resume =
+  let base = Dist.Coordinator.default_config ~workers:dist () in
+  {
+    base with
+    Dist.Coordinator.shard_timeout;
+    shard_size;
+    chaos_kill_shard = Option.map (fun k -> (k, 1)) chaos;
+    journal_dir = Some journal_dir;
+    resume;
+    log = Some dist_log;
+  }
+
+(* Coordinator chatter goes to stderr: stdout of a --dist run must stay
+   diffable against the in-process run's. *)
+let print_dist_stats (st : Dist.Coordinator.stats) =
+  Format.eprintf
+    "[dist] job %s: %d shard(s) of %d cell(s); %d resumed, %d executed; %d \
+     worker(s) spawned, %d killed, %d reassignment(s)@."
+    (Option.value st.Dist.Coordinator.job_id ~default:"-")
+    st.Dist.Coordinator.shards st.Dist.Coordinator.shard_size
+    st.Dist.Coordinator.resumed st.Dist.Coordinator.executed
+    st.Dist.Coordinator.spawned st.Dist.Coordinator.killed
+    st.Dist.Coordinator.reassigned
+
+let suspend_note id =
+  Format.eprintf "[dist] job %s suspended; pick it up with --resume %s@." id id
+
+(* ---- outcome printers, shared by the in-process and --dist paths and
+   by serve; each returns whether a finding was printed ---- *)
+
+let print_sweep_outcome ~out (outcome : Svm.Explore.sweep_outcome) =
+  (match outcome.Svm.Explore.deadlock with
+  | None -> ()
+  | Some d ->
+      Format.printf
+        "deadlock finding: every process halted without deciding under %a@."
+        Svm.Explore.pp_fault_schedule d);
+  match outcome.Svm.Explore.found with
+  | None ->
+      Format.printf "no violation in %d runs%s@." outcome.Svm.Explore.runs
+        (if outcome.Svm.Explore.exhausted then
+           " (run budget hit; coverage partial)"
+         else "; fault box covered");
+      false
+  | Some f ->
+      pp_violation_line f.Svm.Explore.violation;
+      Format.printf "found by:  %a@.shrunk to: %a  (%d shrink re-runs)@."
+        Svm.Explore.pp_fault_schedule f.Svm.Explore.fault
+        Svm.Explore.pp_fault_schedule f.Svm.Explore.shrunk
+        f.Svm.Explore.shrink_runs;
+      let oc = open_out out in
+      output_string oc f.Svm.Explore.replay;
+      close_out oc;
+      Format.printf "replay artifact written to %s@." out;
+      true
+
+let print_explore_result (r : Svm.Univ.t Svm.Explore.result) =
+  Format.printf
+    "explored %d run(s), pruned %d state(s) + %d commuting transition(s)%s@."
+    r.Svm.Explore.explored r.Svm.Explore.pruned_states
+    r.Svm.Explore.pruned_commutes
+    (if r.Svm.Explore.exhausted_budget then
+       " (run budget hit; coverage partial)"
+     else "");
+  match r.Svm.Explore.counterexample with
+  | None ->
+      Format.printf "no counterexample within scope@.";
+      false
+  | Some (run, msg) ->
+      Format.printf "counterexample: %s@.schedule: %s%s@.crashed: [%s]@." msg
+        run.Svm.Explore.schedule
+        (if run.Svm.Explore.truncated then " (truncated)" else "")
+        (String.concat ";" (List.map string_of_int run.Svm.Explore.crashed));
+      true
 
 let sweep_cmd =
   let t =
@@ -333,7 +475,8 @@ let sweep_cmd =
             "Fan runs out over J domains (capped at the core count). \
              Outcomes are identical at any job count.")
   in
-  let run name nprocs t window runs budget out tiers expect_violation jobs =
+  let run name nprocs t window runs budget out tiers expect_violation jobs
+      dist resume shard_timeout shard_size chaos journal_dir =
     let kinds =
       String.split_on_char ',' tiers
       |> List.map String.trim
@@ -360,44 +503,36 @@ let sweep_cmd =
           (String.concat ","
              (List.map Svm.Adversary.fault_kind_name kinds))
           window;
+        (* Heartbeat on stderr so long sweeps are never silent. *)
+        let on_progress ~runs =
+          if runs mod 1_000 = 0 then Format.eprintf "... %d runs swept@." runs
+        in
         let outcome =
-          (* Heartbeat on stderr so long sweeps are never silent. *)
-          Experiments.Harness.sweep_scenario ~kinds ~max_faults:t
-            ~op_window:window ~max_runs:runs ~budget ~jobs
-            ~on_progress:(fun ~runs ->
-              if runs mod 1_000 = 0 then
-                Format.eprintf "... %d runs swept@." runs)
-            s
+          if dist > 0 then begin
+            let config =
+              dist_config ~dist ~shard_timeout ~shard_size ~chaos ~journal_dir
+                ~resume
+            in
+            match
+              Experiments.Harness.sweep_scenario_dist ~kinds ~max_faults:t
+                ~op_window:window ~max_runs:runs ~budget ~on_progress config s
+            with
+            | Error m ->
+                Format.eprintf "sweep --dist failed: %s@." m;
+                exit 3
+            | Ok (Dist.Coordinator.Suspended id, stats) ->
+                print_dist_stats stats;
+                suspend_note id;
+                exit 0
+            | Ok (Dist.Coordinator.Complete outcome, stats) ->
+                print_dist_stats stats;
+                outcome
+          end
+          else
+            Experiments.Harness.sweep_scenario ~kinds ~max_faults:t
+              ~op_window:window ~max_runs:runs ~budget ~jobs ~on_progress s
         in
-        (match outcome.Svm.Explore.deadlock with
-        | None -> ()
-        | Some d ->
-            Format.printf
-              "deadlock finding: every process halted without deciding under \
-               %a@."
-              Svm.Explore.pp_fault_schedule d);
-        let violated =
-          match outcome.Svm.Explore.found with
-          | None ->
-              Format.printf "no violation in %d runs%s@."
-                outcome.Svm.Explore.runs
-                (if outcome.Svm.Explore.exhausted then
-                   " (run budget hit; coverage partial)"
-                 else "; fault box covered");
-              false
-          | Some f ->
-              pp_violation_line f.Svm.Explore.violation;
-              Format.printf
-                "found by:  %a@.shrunk to: %a  (%d shrink re-runs)@."
-                Svm.Explore.pp_fault_schedule f.Svm.Explore.fault
-                Svm.Explore.pp_fault_schedule f.Svm.Explore.shrunk
-                f.Svm.Explore.shrink_runs;
-              let oc = open_out out in
-              output_string oc f.Svm.Explore.replay;
-              close_out oc;
-              Format.printf "replay artifact written to %s@." out;
-              true
-        in
+        let violated = print_sweep_outcome ~out outcome in
         if violated <> expect_violation then exit 1
   in
   Cmd.v
@@ -408,7 +543,8 @@ let sweep_cmd =
           violation, shrink the schedule and write a replay artifact")
     Term.(
       const run $ scenario_arg $ n $ t $ window $ runs $ budget $ out $ tiers
-      $ expect_violation $ jobs)
+      $ expect_violation $ jobs $ dist_arg $ resume_arg $ shard_timeout_arg
+      $ shard_size_arg $ chaos_kill_arg $ journal_dir_arg)
 
 (* ---- explore ---- *)
 
@@ -459,7 +595,8 @@ let explore_cmd =
           ~doc:"Invert the exit status: succeed (0) iff a counterexample \
                 was found.")
   in
-  let run name nprocs steps crashes runs jobs no_dedup expect_violation =
+  let run name nprocs steps crashes runs jobs no_dedup expect_violation dist
+      resume shard_timeout shard_size chaos journal_dir =
     match Experiments.Scenario.find ?nprocs name with
     | Error m ->
         prerr_endline m;
@@ -470,47 +607,57 @@ let explore_cmd =
           | Some d -> d
           | None -> s.Experiments.Scenario.explore_steps
         in
+        (* The header always shows the in-process job count (1 under
+           --dist): stdout must diff clean against the --jobs 1 run. *)
         Format.printf
           "exploring %s (n=%d, x=%d): depth %d, %d crash(es), dedup %s, \
            jobs %d@."
           s.Experiments.Scenario.name s.Experiments.Scenario.nprocs
           s.Experiments.Scenario.x depth crashes
           (if no_dedup then "off" else "on")
-          jobs;
+          (if dist > 0 then 1 else jobs);
+        let on_progress ~runs =
+          if runs mod 100_000 = 0 then
+            Format.eprintf "... %d runs explored@." runs
+        in
         let result =
-          Experiments.Harness.explore_scenario ~max_crashes:crashes
-            ~max_runs:runs ~max_steps:depth ~jobs ~dedup:(not no_dedup)
-            ~on_progress:(fun ~runs ->
-              if runs mod 100_000 = 0 then
-                Format.eprintf "... %d runs explored@." runs)
-            s
+          if dist > 0 then begin
+            if not s.Experiments.Scenario.explorable then begin
+              Format.eprintf "scenario %s is not explorable@."
+                s.Experiments.Scenario.name;
+              exit 2
+            end;
+            let config =
+              dist_config ~dist ~shard_timeout ~shard_size ~chaos ~journal_dir
+                ~resume
+            in
+            match
+              Experiments.Harness.explore_scenario_dist ~max_crashes:crashes
+                ~max_runs:runs ~max_steps:depth ~dedup:(not no_dedup)
+                ~on_progress config s
+            with
+            | Error m ->
+                Format.eprintf "explore --dist failed: %s@." m;
+                exit 3
+            | Ok (Dist.Coordinator.Suspended id, stats) ->
+                print_dist_stats stats;
+                suspend_note id;
+                exit 0
+            | Ok (Dist.Coordinator.Complete r, stats) ->
+                print_dist_stats stats;
+                Ok r
+          end
+          else
+            Experiments.Harness.explore_scenario ~max_crashes:crashes
+              ~max_runs:runs ~max_steps:depth ~jobs ~dedup:(not no_dedup)
+              ~on_progress s
         in
         (match result with
         | Error m ->
             prerr_endline m;
             exit 2
         | Ok r ->
-            Format.printf "explored %d run(s), pruned %d state(s) + %d \
-                           commuting transition(s)%s@."
-              r.Svm.Explore.explored r.Svm.Explore.pruned_states
-              r.Svm.Explore.pruned_commutes
-              (if r.Svm.Explore.exhausted_budget then
-                 " (run budget hit; coverage partial)"
-               else "");
-            let violated =
-              match r.Svm.Explore.counterexample with
-              | None ->
-                  Format.printf "no counterexample within scope@.";
-                  false
-              | Some (run, msg) ->
-                  Format.printf
-                    "counterexample: %s@.schedule: %s%s@.crashed: [%s]@." msg
-                    run.Svm.Explore.schedule
-                    (if run.Svm.Explore.truncated then " (truncated)" else "")
-                    (String.concat ";"
-                       (List.map string_of_int run.Svm.Explore.crashed));
-                  true
-            in
+            let violated = print_explore_result r in
             if violated <> expect_violation then exit 1)
   in
   Cmd.v
@@ -518,10 +665,12 @@ let explore_cmd =
        ~doc:
          "Exhaustively enumerate schedules (and crash placements) of a \
           scenario up to a depth bound, with state-fingerprint \
-          deduplication, commutation pruning and multicore fan-out")
+          deduplication, commutation pruning and multicore fan-out — \
+          in-process domains (--jobs) or worker processes (--dist)")
     Term.(
       const run $ scenario_arg $ n $ steps $ crashes $ runs $ jobs $ no_dedup
-      $ expect_violation)
+      $ expect_violation $ dist_arg $ resume_arg $ shard_timeout_arg
+      $ shard_size_arg $ chaos_kill_arg $ journal_dir_arg)
 
 (* ---- replay ---- *)
 
@@ -855,23 +1004,128 @@ let stats_cmd =
           registry, or run a registered scenario fresh")
     Term.(const run $ file $ algo $ wall $ budget_arg 50_000 $ out_arg)
 
+(* ---- work (internal) / serve ---- *)
+
+let work_cmd =
+  let run () =
+    exit
+      (Dist.Worker.serve ~lookup:Experiments.Harness.dist_instance Unix.stdin
+         Unix.stdout)
+  in
+  Cmd.v
+    (Cmd.info "work"
+       ~doc:
+         "Worker-process mode of the distributed runner (internal): speak \
+          the length-prefixed frame protocol on stdin/stdout. Spawned by \
+          --dist and by serve; not meant to be run by hand.")
+    Term.(const run $ const ())
+
+let serve_cmd =
+  let list_flag =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List journalled job ids and exit.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"JOB" ~doc:"Journalled job id to resume.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"W" ~doc:"Worker processes to run under.")
+  in
+  let out =
+    Arg.(
+      value & opt string "failure.replay"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the replay artifact of a found violation.")
+  in
+  let run list_flag resume workers shard_timeout journal_dir out =
+    if list_flag then
+      List.iter print_endline (Dist.Journal.list_ids ~dir:journal_dir ())
+    else
+      match resume with
+      | None ->
+          Format.eprintf "serve: pass --resume JOB or --list@.";
+          exit 2
+      | Some id -> (
+          match Dist.Journal.load ~dir:journal_dir id with
+          | Error m ->
+              prerr_endline m;
+              exit 2
+          | Ok l -> (
+              let config =
+                {
+                  (Dist.Coordinator.default_config ~workers ()) with
+                  Dist.Coordinator.shard_timeout;
+                  journal_dir = Some journal_dir;
+                  resume = Some id;
+                  log = Some dist_log;
+                }
+              in
+              (* The job itself comes from the journal — serve needs no
+                 re-statement of the sweep/explore parameters. *)
+              match
+                Experiments.Harness.run_job_dist config l.Dist.Journal.l_job
+              with
+              | Error m ->
+                  Format.eprintf "serve: %s@." m;
+                  exit 3
+              | Ok (`Sweep (Dist.Coordinator.Complete outcome, stats)) ->
+                  print_dist_stats stats;
+                  if print_sweep_outcome ~out outcome then exit 1
+              | Ok (`Explore (Dist.Coordinator.Complete r, stats)) ->
+                  print_dist_stats stats;
+                  if print_explore_result r then exit 1
+              | Ok
+                  ( `Sweep (Dist.Coordinator.Suspended sid, stats)
+                  | `Explore (Dist.Coordinator.Suspended sid, stats) ) ->
+                  print_dist_stats stats;
+                  suspend_note sid))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Manage journalled distributed jobs: list them, or resume one \
+          (finished shards are restored from the journal, only the rest \
+          re-run)")
+    Term.(
+      const run $ list_flag $ resume $ workers $ shard_timeout_arg
+      $ journal_dir_arg $ out)
+
 let () =
   let doc = "Reproduction of 'The Multiplicative Power of Consensus Numbers'" in
-  exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "asmsim" ~doc)
-          [
-            classes_cmd;
-            canonical_cmd;
-            run_task_cmd;
-            simulate_cmd;
-            chain_cmd;
-            overhead_cmd;
-            experiment_cmd;
-            sweep_cmd;
-            explore_cmd;
-            replay_cmd;
-            trace_cmd;
-            trace_check_cmd;
-            stats_cmd;
-          ]))
+  let group =
+    Cmd.group (Cmd.info "asmsim" ~doc)
+      [
+        classes_cmd;
+        canonical_cmd;
+        run_task_cmd;
+        simulate_cmd;
+        chain_cmd;
+        overhead_cmd;
+        experiment_cmd;
+        sweep_cmd;
+        explore_cmd;
+        replay_cmd;
+        trace_cmd;
+        trace_check_cmd;
+        stats_cmd;
+        serve_cmd;
+        work_cmd;
+      ]
+  in
+  (* One exit-code convention for every subcommand: 0 clean, 1 finding
+     (the bodies call [exit 1] themselves), 2 usage/parse errors — both
+     cmdliner's own and the bodies' [exit 2] — and 3 for anything that
+     escapes as an exception. *)
+  match Cmd.eval_value ~catch:false group with
+  | Ok _ -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 3
+  | exception e ->
+      Format.eprintf "asmsim: internal error: %s@." (Printexc.to_string e);
+      exit 3

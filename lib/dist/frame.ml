@@ -1,0 +1,146 @@
+type error =
+  | Closed
+  | Truncated of int
+  | Oversized of int
+  | Bad_json of string
+
+let pp_error ppf = function
+  | Closed -> Format.fprintf ppf "connection closed"
+  | Truncated n ->
+      Format.fprintf ppf "connection closed mid-frame (%d byte(s) received)" n
+  | Oversized n ->
+      Format.fprintf ppf "frame payload of %d bytes exceeds the cap" n
+  | Bad_json m -> Format.fprintf ppf "frame payload is not JSON: %s" m
+
+let default_max_len = 16 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let encode v =
+  let payload = Svm.Json.to_string v in
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b 4 n;
+  b
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let w =
+      try Unix.write fd b off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (off + w) (len - w)
+  end
+
+let write fd v =
+  let b = encode v in
+  write_all fd b 0 (Bytes.length b)
+
+(* ------------------------------------------------------------------ *)
+(* Blocking reads                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Read up to [len] bytes into [b], returning how many arrived before
+   EOF (may be short only at EOF). *)
+let read_full fd b len =
+  let rec go off =
+    if off >= len then off
+    else
+      match Unix.read fd b off (len - off) with
+      | 0 -> off
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let be32 b =
+  (Char.code (Bytes.get b 0) lsl 24)
+  lor (Char.code (Bytes.get b 1) lsl 16)
+  lor (Char.code (Bytes.get b 2) lsl 8)
+  lor Char.code (Bytes.get b 3)
+
+let read ?(max_len = default_max_len) fd =
+  let hdr = Bytes.create 4 in
+  match read_full fd hdr 4 with
+  | 0 -> Error Closed
+  | k when k < 4 -> Error (Truncated k)
+  | _ ->
+      let len = be32 hdr in
+      if len > max_len then Error (Oversized len)
+      else
+        let payload = Bytes.create len in
+        let k = read_full fd payload len in
+        if k < len then Error (Truncated (4 + k))
+        else begin
+          match Svm.Json.of_string (Bytes.unsafe_to_string payload) with
+          | Ok v -> Ok v
+          | Error m -> Error (Bad_json m)
+        end
+
+(* ------------------------------------------------------------------ *)
+(* Incremental decoding                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type decoder = {
+  d_max : int;
+  mutable buf : Bytes.t;
+  mutable start : int;  (* consumed prefix *)
+  mutable len : int;  (* valid bytes at buf.[start .. start+len) *)
+}
+
+let decoder ?(max_len = default_max_len) () =
+  { d_max = max_len; buf = Bytes.create 4096; start = 0; len = 0 }
+
+let pending d = d.len
+
+let ensure d extra =
+  let cap = Bytes.length d.buf in
+  if d.start + d.len + extra > cap then begin
+    (* compact first; grow only if the data itself outgrew the buffer *)
+    if d.start > 0 then begin
+      Bytes.blit d.buf d.start d.buf 0 d.len;
+      d.start <- 0
+    end;
+    if d.len + extra > cap then begin
+      let cap' =
+        let rec fit c = if c >= d.len + extra then c else fit (2 * c) in
+        fit (2 * cap)
+      in
+      let buf' = Bytes.create cap' in
+      Bytes.blit d.buf 0 buf' 0 d.len;
+      d.buf <- buf'
+    end
+  end
+
+let feed d src n =
+  ensure d n;
+  Bytes.blit src 0 d.buf (d.start + d.len) n;
+  d.len <- d.len + n
+
+let be32_at b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let next d =
+  if d.len < 4 then Ok None
+  else
+    let len = be32_at d.buf d.start in
+    if len > d.d_max then Error (Oversized len)
+    else if d.len < 4 + len then Ok None
+    else begin
+      let payload = Bytes.sub_string d.buf (d.start + 4) len in
+      d.start <- d.start + 4 + len;
+      d.len <- d.len - (4 + len);
+      if d.len = 0 then d.start <- 0;
+      match Svm.Json.of_string payload with
+      | Ok v -> Ok (Some v)
+      | Error m -> Error (Bad_json m)
+    end

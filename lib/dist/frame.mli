@@ -1,0 +1,53 @@
+(** Length-prefixed JSON frames over file descriptors — the wire layer
+    of the coordinator/worker protocol.
+
+    A frame is a 4-byte big-endian payload length followed by that many
+    bytes of compact {!Svm.Json}. The layer is hardened for untrusted
+    peers: payload size is capped {e before} allocation, and every
+    failure mode is a typed [error] — reading never raises and never
+    allocates unboundedly, whatever bytes arrive. *)
+
+type error =
+  | Closed  (** peer closed cleanly at a frame boundary *)
+  | Truncated of int
+      (** peer closed mid-frame, with that many bytes of it received *)
+  | Oversized of int  (** declared payload length exceeds the cap *)
+  | Bad_json of string  (** payload is not a JSON value *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val default_max_len : int
+(** Payload cap: 16 MiB. Far above any real shard result (a few KiB),
+    far below anything that could OOM the coordinator. *)
+
+val write : Unix.file_descr -> Svm.Json.t -> unit
+(** Encode and write one frame, looping over short writes. Raises
+    [Unix.Unix_error] (e.g. [EPIPE]) if the peer is gone — callers
+    ignore SIGPIPE and treat the exception as peer death. *)
+
+(** {1 Blocking reads (worker side)} *)
+
+val read : ?max_len:int -> Unix.file_descr -> (Svm.Json.t, error) result
+(** Read exactly one frame, blocking until it is complete. *)
+
+(** {1 Incremental decoding (coordinator side)}
+
+    The coordinator multiplexes many workers under [Unix.select], so it
+    cannot block on any one of them: it feeds whatever bytes arrived
+    into a per-worker decoder and drains complete frames. *)
+
+type decoder
+
+val decoder : ?max_len:int -> unit -> decoder
+
+val feed : decoder -> bytes -> int -> unit
+(** [feed d buf n] appends the first [n] bytes of [buf]. *)
+
+val next : decoder -> (Svm.Json.t option, error) result
+(** Next complete frame, [Ok None] if more bytes are needed. Drain with
+    repeated calls until [Ok None]. [Error] (oversized or bad JSON)
+    poisons the stream — the peer is not speaking the protocol. *)
+
+val pending : decoder -> int
+(** Buffered bytes not yet part of a returned frame — non-zero at EOF
+    means the peer died mid-frame. *)

@@ -1,0 +1,154 @@
+module Json = Svm.Json
+
+let default_dir = ".asmsim-jobs"
+
+type t = { j_id : string; j_oc : out_channel }
+
+let id t = t.j_id
+
+(* Fresh ids must only be unique enough to not collide on one machine:
+   wall-clock second + pid + an in-process counter. *)
+let counter = ref 0
+
+let fresh_id () =
+  incr counter;
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d%02d%02d-%02d%02d%02d-p%d-%d" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec (Unix.getpid ()) !counter
+
+let mkdir_p path =
+  if not (Sys.file_exists path) then Unix.mkdir path 0o755
+
+let journal_file ~dir id = Filename.concat (Filename.concat dir id) "journal.jsonl"
+
+let write_line t v =
+  output_string t.j_oc (Json.to_string v);
+  output_char t.j_oc '\n';
+  flush t.j_oc
+
+let create ?(dir = default_dir) ~job ~cells ~shard_size () =
+  mkdir_p dir;
+  let j_id = fresh_id () in
+  mkdir_p (Filename.concat dir j_id);
+  let j_oc = open_out_gen [ Open_creat; Open_wronly; Open_trunc ] 0o644
+      (journal_file ~dir j_id)
+  in
+  let t = { j_id; j_oc } in
+  write_line t
+    (Json.Obj
+       [
+         ("v", Json.Int 1);
+         ("job", Proto.job_to_json job);
+         ("cells", Json.Int cells);
+         ("shard_size", Json.Int shard_size);
+       ]);
+  t
+
+let reopen ?(dir = default_dir) j_id =
+  let file = journal_file ~dir j_id in
+  if not (Sys.file_exists file) then
+    Error (Printf.sprintf "no journal for job %s under %s" j_id dir)
+  else
+    Ok { j_id; j_oc = open_out_gen [ Open_append; Open_wronly ] 0o644 file }
+
+let append_shard t ~shard ~payload =
+  write_line t
+    (Json.Obj [ ("shard", Json.Int shard); ("payload", payload) ])
+
+let append_hostile t ~shard =
+  write_line t (Json.Obj [ ("hostile", Json.Int shard) ])
+
+let close t = close_out t.j_oc
+
+type loaded = {
+  l_job : Proto.job;
+  l_cells : int;
+  l_shard_size : int;
+  l_done : (int * Svm.Json.t) list;
+  l_hostile : int list;
+}
+
+let read_lines file =
+  let ic = open_in_bin file in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let load ?(dir = default_dir) j_id =
+  let file = journal_file ~dir j_id in
+  if not (Sys.file_exists file) then
+    Error (Printf.sprintf "no journal for job %s under %s" j_id dir)
+  else
+    match read_lines file with
+    | [] -> Error (Printf.sprintf "journal of job %s is empty" j_id)
+    | header :: rest -> (
+        match Json.of_string header with
+        | Error m ->
+            Error (Printf.sprintf "journal of job %s: corrupt header: %s" j_id m)
+        | Ok h -> (
+            let int_field name =
+              Option.bind (Json.member name h) Json.to_int
+            in
+            match
+              (Json.member "job" h, int_field "cells", int_field "shard_size")
+            with
+            | Some jv, Some l_cells, Some l_shard_size -> (
+                match Proto.job_of_json jv with
+                | Error m ->
+                    Error
+                      (Printf.sprintf "journal of job %s: bad job record: %s"
+                         j_id m)
+                | Ok l_job ->
+                    (* Body lines append-only; stop at the first corrupt
+                       line — it can only be the interrupted last write. *)
+                    let done_rev = ref [] in
+                    let hostile_rev = ref [] in
+                    (try
+                       List.iter
+                         (fun line ->
+                           match Json.of_string line with
+                           | Error _ -> raise Exit
+                           | Ok v -> (
+                               match
+                                 ( Json.member "shard" v,
+                                   Json.member "payload" v,
+                                   Json.member "hostile" v )
+                               with
+                               | Some s, Some payload, _ -> (
+                                   match Json.to_int s with
+                                   | Some shard ->
+                                       done_rev := (shard, payload) :: !done_rev
+                                   | None -> raise Exit)
+                               | _, _, Some hs -> (
+                                   match Json.to_int hs with
+                                   | Some shard ->
+                                       hostile_rev := shard :: !hostile_rev
+                                   | None -> raise Exit)
+                               | _ -> raise Exit))
+                         rest
+                     with Exit -> ());
+                    Ok
+                      {
+                        l_job;
+                        l_cells;
+                        l_shard_size;
+                        l_done = List.rev !done_rev;
+                        l_hostile = List.rev !hostile_rev;
+                      })
+            | _ ->
+                Error
+                  (Printf.sprintf "journal of job %s: malformed header" j_id)))
+
+let list_ids ?(dir = default_dir) () =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun id ->
+           Sys.file_exists (journal_file ~dir id))
+    |> List.sort String.compare

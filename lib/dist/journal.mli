@@ -1,0 +1,48 @@
+(** Append-only job journals: crash-tolerant coordinator state.
+
+    A journal is a directory [<dir>/<job-id>/] holding one
+    [journal.jsonl] file: a header line recording the job, its cell
+    count and the shard size, followed by one line per completed shard
+    (carrying the shard's result payload) and per hostile shard. Lines
+    are flushed as written, so a coordinator killed at any instant
+    leaves a journal whose intact prefix is a set of {e finished}
+    shards — resuming re-runs only the rest. {!load} tolerates a
+    truncated final line (the one the dying coordinator was writing).
+
+    Shard indices are only meaningful against the recorded shard size,
+    which is why it is in the header: a resumed run re-shards the plan
+    identically instead of re-deriving a size from its own worker
+    count. *)
+
+val default_dir : string
+(** [".asmsim-jobs"], relative to the working directory. *)
+
+type t
+(** An open journal, owned by one coordinator. *)
+
+val create :
+  ?dir:string -> job:Proto.job -> cells:int -> shard_size:int -> unit -> t
+(** Create [<dir>/<fresh-id>/journal.jsonl] and write the header. *)
+
+val reopen : ?dir:string -> string -> (t, string) result
+(** Open an existing journal for appending (resume). *)
+
+val id : t -> string
+val append_shard : t -> shard:int -> payload:Svm.Json.t -> unit
+val append_hostile : t -> shard:int -> unit
+val close : t -> unit
+
+type loaded = {
+  l_job : Proto.job;
+  l_cells : int;
+  l_shard_size : int;
+  l_done : (int * Svm.Json.t) list;  (** completed shards, oldest first *)
+  l_hostile : int list;
+}
+
+val load : ?dir:string -> string -> (loaded, string) result
+(** Parse a journal. Corrupt trailing data (an interrupted final write)
+    is ignored; a corrupt header or missing file is an [Error]. *)
+
+val list_ids : ?dir:string -> unit -> string list
+(** Job ids present under [dir], sorted. *)

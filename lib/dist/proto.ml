@@ -1,0 +1,256 @@
+module Json = Svm.Json
+
+type sweep_params = {
+  sw_tiers : string list;
+  sw_max_faults : int;
+  sw_op_window : int;
+  sw_max_runs : int;
+  sw_budget : int option;
+}
+
+type explore_params = {
+  ex_max_steps : int;
+  ex_max_crashes : int;
+  ex_max_runs : int;
+  ex_dedup : bool;
+}
+
+type mode = Sweep of sweep_params | Explore of explore_params
+
+type job = { scenario : string; nprocs : int option; mode : mode }
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let opt_int = function None -> Json.Null | Some i -> Json.Int i
+
+let job_to_json j =
+  let mode_fields =
+    match j.mode with
+    | Sweep p ->
+        [
+          ("mode", Json.String "sweep");
+          ("tiers", Json.List (List.map (fun s -> Json.String s) p.sw_tiers));
+          ("max_faults", Json.Int p.sw_max_faults);
+          ("op_window", Json.Int p.sw_op_window);
+          ("max_runs", Json.Int p.sw_max_runs);
+          ("budget", opt_int p.sw_budget);
+        ]
+    | Explore p ->
+        [
+          ("mode", Json.String "explore");
+          ("max_steps", Json.Int p.ex_max_steps);
+          ("max_crashes", Json.Int p.ex_max_crashes);
+          ("max_runs", Json.Int p.ex_max_runs);
+          ("dedup", Json.Bool p.ex_dedup);
+        ]
+  in
+  Json.Obj
+    (("scenario", Json.String j.scenario)
+    :: ("nprocs", opt_int j.nprocs)
+    :: mode_fields)
+
+let job_fingerprint j = Json.to_string (job_to_json j)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let field name conv v =
+  match Json.member name v with
+  | Some f -> (
+      match conv f with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let opt_int_field name v =
+  match Json.member name v with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Int i) -> Ok (Some i)
+  | Some _ -> Error (Printf.sprintf "field %S must be an int or null" name)
+
+let to_bool = function Json.Bool b -> Some b | _ -> None
+
+let job_of_json v =
+  let* scenario = field "scenario" Json.to_str v in
+  let* nprocs = opt_int_field "nprocs" v in
+  let* mode_name = field "mode" Json.to_str v in
+  match mode_name with
+  | "sweep" ->
+      let* tiers = field "tiers" Json.to_list v in
+      let* sw_tiers =
+        List.fold_right
+          (fun t acc ->
+            let* acc = acc in
+            match Json.to_str t with
+            | Some s -> Ok (s :: acc)
+            | None -> Error "tiers must be strings")
+          tiers (Ok [])
+      in
+      let* sw_max_faults = field "max_faults" Json.to_int v in
+      let* sw_op_window = field "op_window" Json.to_int v in
+      let* sw_max_runs = field "max_runs" Json.to_int v in
+      let* sw_budget = opt_int_field "budget" v in
+      Ok
+        {
+          scenario;
+          nprocs;
+          mode =
+            Sweep { sw_tiers; sw_max_faults; sw_op_window; sw_max_runs; sw_budget };
+        }
+  | "explore" ->
+      let* ex_max_steps = field "max_steps" Json.to_int v in
+      let* ex_max_crashes = field "max_crashes" Json.to_int v in
+      let* ex_max_runs = field "max_runs" Json.to_int v in
+      let* ex_dedup = field "dedup" to_bool v in
+      Ok
+        {
+          scenario;
+          nprocs;
+          mode = Explore { ex_max_steps; ex_max_crashes; ex_max_runs; ex_dedup };
+        }
+  | m -> Error (Printf.sprintf "unknown mode %S" m)
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type to_worker =
+  | Hello of job
+  | Assign of { shard : int; lo : int; hi : int }
+  | Ping
+  | Shutdown
+
+type from_worker =
+  | Hello_ok of { cells : int }
+  | Hello_err of string
+  | Pong
+  | Progress of { shard : int; completed : int }
+  | Result of { shard : int; payload : Svm.Json.t }
+
+let to_worker_to_json = function
+  | Hello job -> Json.Obj [ ("t", Json.String "hello"); ("job", job_to_json job) ]
+  | Assign { shard; lo; hi } ->
+      Json.Obj
+        [
+          ("t", Json.String "assign");
+          ("shard", Json.Int shard);
+          ("lo", Json.Int lo);
+          ("hi", Json.Int hi);
+        ]
+  | Ping -> Json.Obj [ ("t", Json.String "ping") ]
+  | Shutdown -> Json.Obj [ ("t", Json.String "shutdown") ]
+
+let to_worker_of_json v =
+  let* t = field "t" Json.to_str v in
+  match t with
+  | "hello" -> (
+      match Json.member "job" v with
+      | Some j ->
+          let* job = job_of_json j in
+          Ok (Hello job)
+      | None -> Error "hello without a job")
+  | "assign" ->
+      let* shard = field "shard" Json.to_int v in
+      let* lo = field "lo" Json.to_int v in
+      let* hi = field "hi" Json.to_int v in
+      if shard < 0 || lo < 0 || hi < lo then Error "assign range is malformed"
+      else Ok (Assign { shard; lo; hi })
+  | "ping" -> Ok Ping
+  | "shutdown" -> Ok Shutdown
+  | t -> Error (Printf.sprintf "unknown coordinator message %S" t)
+
+let from_worker_to_json = function
+  | Hello_ok { cells } ->
+      Json.Obj [ ("t", Json.String "hello-ok"); ("cells", Json.Int cells) ]
+  | Hello_err msg ->
+      Json.Obj [ ("t", Json.String "hello-err"); ("msg", Json.String msg) ]
+  | Pong -> Json.Obj [ ("t", Json.String "pong") ]
+  | Progress { shard; completed } ->
+      Json.Obj
+        [
+          ("t", Json.String "progress");
+          ("shard", Json.Int shard);
+          ("completed", Json.Int completed);
+        ]
+  | Result { shard; payload } ->
+      Json.Obj
+        [ ("t", Json.String "result"); ("shard", Json.Int shard);
+          ("payload", payload);
+        ]
+
+let from_worker_of_json v =
+  let* t = field "t" Json.to_str v in
+  match t with
+  | "hello-ok" ->
+      let* cells = field "cells" Json.to_int v in
+      Ok (Hello_ok { cells })
+  | "hello-err" ->
+      let* msg = field "msg" Json.to_str v in
+      Ok (Hello_err msg)
+  | "pong" -> Ok Pong
+  | "progress" ->
+      let* shard = field "shard" Json.to_int v in
+      let* completed = field "completed" Json.to_int v in
+      Ok (Progress { shard; completed })
+  | "result" -> (
+      let* shard = field "shard" Json.to_int v in
+      match Json.member "payload" v with
+      | Some payload -> Ok (Result { shard; payload })
+      | None -> Error "result without a payload")
+  | t -> Error (Printf.sprintf "unknown worker message %S" t)
+
+(* ------------------------------------------------------------------ *)
+(* Shard payloads                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tag_of_verdict = function
+  | Svm.Explore.Clean -> 'C'
+  | Svm.Explore.Deadlocked -> 'D'
+  | Svm.Explore.Violating _ -> 'V'
+
+let verdict_tag_ok = function 'C' | 'D' | 'V' -> true | _ -> false
+
+let bool_int b = Json.Int (if b then 1 else 0)
+
+let summary_to_json (s : Svm.Explore.task_summary) =
+  Json.List
+    [
+      bool_int s.Svm.Explore.ts_leaf;
+      Json.Int s.Svm.Explore.ts_runs;
+      Json.Int s.Svm.Explore.ts_truncated;
+      bool_int s.Svm.Explore.ts_cex;
+      Json.Int s.Svm.Explore.ts_pruned_states;
+      Json.Int s.Svm.Explore.ts_pruned_commutes;
+      bool_int s.Svm.Explore.ts_exhausted;
+    ]
+
+let summary_of_json v =
+  match Json.to_list v with
+  | Some
+      [
+        Json.Int leaf;
+        Json.Int runs;
+        Json.Int truncated;
+        Json.Int cex;
+        Json.Int pruned_states;
+        Json.Int pruned_commutes;
+        Json.Int exhausted;
+      ]
+    when runs >= 0 && truncated >= 0 && pruned_states >= 0
+         && pruned_commutes >= 0 ->
+      Ok
+        {
+          Svm.Explore.ts_leaf = leaf <> 0;
+          ts_runs = runs;
+          ts_truncated = truncated;
+          ts_cex = cex <> 0;
+          ts_pruned_states = pruned_states;
+          ts_pruned_commutes = pruned_commutes;
+          ts_exhausted = exhausted <> 0;
+        }
+  | _ -> Error "task summary must be a list of seven ints"

@@ -1,0 +1,87 @@
+(** Message vocabulary of the coordinator/worker protocol.
+
+    The protocol leans entirely on determinism: a job description names
+    a scenario plus the sweep/explore parameters, and {e both} sides
+    independently expand it into the same {!Svm.Explore.sweep_plan} or
+    {!Svm.Explore.plan} (planning is a pure function of the
+    parameters). Nothing structural ever crosses the wire — a shard is
+    a half-open index range into the shared plan, and a shard result is
+    the minimal plain data the deterministic merge needs: one verdict
+    tag per sweep cell, or one seven-field summary per explore task.
+    Counterexamples, violations and replay artifacts are {e never}
+    serialized; the coordinator recovers them by re-running the single
+    finding cell locally.
+
+    All decoders are total and return [result] — worker input is wire
+    bytes from an arbitrary peer. *)
+
+type sweep_params = {
+  sw_tiers : string list;  (** fault kind names ({!Svm.Adversary}) *)
+  sw_max_faults : int;
+  sw_op_window : int;
+  sw_max_runs : int;
+  sw_budget : int option;
+}
+
+type explore_params = {
+  ex_max_steps : int;
+  ex_max_crashes : int;
+  ex_max_runs : int;
+  ex_dedup : bool;
+}
+
+type mode = Sweep of sweep_params | Explore of explore_params
+
+type job = {
+  scenario : string;  (** registered scenario name *)
+  nprocs : int option;  (** process-count override, already resolved *)
+  mode : mode;
+}
+
+val job_to_json : job -> Svm.Json.t
+val job_of_json : Svm.Json.t -> (job, string) result
+
+val job_fingerprint : job -> string
+(** Canonical one-line encoding, used to match a [--resume] request
+    against the job recorded in a journal. *)
+
+(** {1 Messages} *)
+
+type to_worker =
+  | Hello of job  (** first frame; the worker builds its plan from it *)
+  | Assign of { shard : int; lo : int; hi : int }
+      (** compute cells/tasks [lo..hi-1] of the plan *)
+  | Ping  (** liveness probe; answer [Pong] even mid-shard *)
+  | Shutdown  (** exit cleanly *)
+
+type from_worker =
+  | Hello_ok of { cells : int }
+      (** plan built; [cells] must match the coordinator's own count —
+          a mismatch means the two sides computed different plans and
+          determinism is broken, so the coordinator aborts *)
+  | Hello_err of string  (** the job does not resolve to a plan *)
+  | Pong
+  | Progress of { shard : int; completed : int }
+      (** heartbeat emitted every few cells of a long shard *)
+  | Result of { shard : int; payload : Svm.Json.t }
+
+val to_worker_to_json : to_worker -> Svm.Json.t
+val to_worker_of_json : Svm.Json.t -> (to_worker, string) result
+val from_worker_to_json : from_worker -> Svm.Json.t
+val from_worker_of_json : Svm.Json.t -> (from_worker, string) result
+
+(** {1 Shard payload codecs} *)
+
+val tag_of_verdict : Svm.Explore.verdict -> char
+(** ['C'] clean, ['D'] deadlocked, ['V'] violating. A sweep shard's
+    payload is the string of tags for its cell range; the violation
+    payload itself stays behind — the coordinator re-runs the cell. *)
+
+val verdict_tag_ok : char -> bool
+
+val summary_to_json : Svm.Explore.task_summary -> Svm.Json.t
+(** Seven ints: leaf, runs, truncated, cex, pruned states, pruned
+    commutes, exhausted. An explore shard's payload is the list of
+    summaries for its task range. *)
+
+val summary_of_json : Svm.Json.t -> (Svm.Explore.task_summary, string) result

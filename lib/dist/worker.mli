@@ -1,0 +1,30 @@
+(** The worker side of the protocol: a blocking serve loop over a pair
+    of file descriptors (the coordinator wires a socketpair end to the
+    worker's stdin and stdout, so [asmsim work] passes exactly those).
+
+    A worker is stateless between shards and owns nothing durable: it
+    builds its plan from the [Hello] job, computes whatever index
+    ranges it is assigned, and ships plain-data results. Killing one at
+    any instant loses nothing but the in-flight shard, which the
+    coordinator reassigns — that is the whole point. *)
+
+type instance =
+  | Sweep_instance of Svm.Univ.t Svm.Explore.sweep_plan
+  | Explore_instance of Svm.Univ.t Svm.Explore.plan
+
+val serve :
+  lookup:(Proto.job -> (instance, string) result) ->
+  Unix.file_descr ->
+  Unix.file_descr ->
+  int
+(** [serve ~lookup in_fd out_fd] speaks the protocol until shutdown and
+    returns the process exit code: 0 on a clean [Shutdown] (or the
+    coordinator closing the connection — an orphaned worker must die,
+    not linger), 2 on a protocol violation or a job that [lookup]
+    rejects, 3 on an internal error. [lookup] is injected so this
+    library needs no knowledge of the scenario registry (the CLI passes
+    the experiments-layer resolver).
+
+    Long shards stay observable: every few cells the worker emits a
+    [Progress] heartbeat and polls for control frames, answering [Ping]
+    and honouring [Shutdown] mid-shard. *)

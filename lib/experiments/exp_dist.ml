@@ -1,0 +1,209 @@
+open Svm
+
+(* The claims worth a report: the coordinator's outputs are the
+   in-process outputs (bit for bit — outcome, replay artifact, metrics),
+   worker deaths degrade only the bookkeeping, a shard that keeps
+   killing workers is reported rather than retried forever, and a
+   journalled job resumes without re-running finished shards. All runs
+   fork real worker processes of this very binary. *)
+
+let scenario name =
+  match Scenario.find name with
+  | Ok s -> Ok s
+  | Error e -> Error e
+
+let config ?(workers = 2) ?journal_dir ?resume ?chaos ?stop_after
+    ?(max_retries = 2) () =
+  {
+    (Dist.Coordinator.default_config ~workers ()) with
+    Dist.Coordinator.shard_size = Some 7;
+    backoff = 0.01;
+    journal_dir;
+    resume;
+    chaos_kill_shard = chaos;
+    stop_after_shards = stop_after;
+    max_retries;
+  }
+
+(* One string capturing everything the sweep produced, replay artifact
+   included: equality of these strings is the identity claim. *)
+let sweep_repr (o : Explore.sweep_outcome) =
+  let found =
+    match o.Explore.found with
+    | None -> "clean"
+    | Some f ->
+        Format.asprintf "%s@%d, artifact %d bytes"
+          f.Explore.violation.Monitor.monitor f.Explore.violation.Monitor.step
+          (String.length f.Explore.replay)
+  in
+  Printf.sprintf "%d runs, %s" o.Explore.runs found
+
+let sweep_pair s cfg =
+  let metrics = Metrics.create ~wall_clock:false () in
+  let base = Harness.sweep_scenario ~metrics s in
+  let base_snap = Metrics.snapshot_string metrics in
+  let metrics' = Metrics.create ~wall_clock:false () in
+  match Harness.sweep_scenario_dist ~metrics:metrics' cfg s with
+  | Error m -> Error m
+  | Ok (Dist.Coordinator.Suspended _, _) -> Error "suspended unexpectedly"
+  | Ok (Dist.Coordinator.Complete o, stats) ->
+      let identical =
+        (* The full artifact strings are compared, not just the summary. *)
+        base.Explore.found = o.Explore.found
+        && sweep_repr base = sweep_repr o
+        && String.equal base_snap (Metrics.snapshot_string metrics')
+      in
+      Ok (base, o, stats, identical)
+
+let identity_at workers =
+  let label =
+    Printf.sprintf "identity: %d worker process(es) vs in-process" workers
+  in
+  match scenario "safe_agreement_no_cancel" with
+  | Error e -> Report.check ~label ~ok:false ~detail:e
+  | Ok s -> (
+      match sweep_pair s (config ~workers ()) with
+      | Error m -> Report.check ~label ~ok:false ~detail:m
+      | Ok (base, _, stats, identical) ->
+          Report.check ~label ~ok:identical
+            ~detail:
+              (Printf.sprintf
+                 "%s; outcome, replay artifact and metrics byte-identical \
+                  across %d shard(s)"
+                 (sweep_repr base) stats.Dist.Coordinator.shards))
+
+let explore_identity () =
+  let label = "identity: exhaustive explorer, 2 workers vs in-process" in
+  match scenario "safe_agreement_no_cancel" with
+  | Error e -> Report.check ~label ~ok:false ~detail:e
+  | Ok s -> (
+      let metrics = Metrics.create ~wall_clock:false () in
+      match Harness.explore_scenario ~max_crashes:1 ~metrics s with
+      | Error m -> Report.check ~label ~ok:false ~detail:m
+      | Ok base -> (
+          let base_snap = Metrics.snapshot_string metrics in
+          let metrics' = Metrics.create ~wall_clock:false () in
+          match
+            Harness.explore_scenario_dist ~max_crashes:1 ~metrics:metrics'
+              { (config ()) with Dist.Coordinator.shard_size = Some 9 }
+              s
+          with
+          | Error m -> Report.check ~label ~ok:false ~detail:m
+          | Ok (Dist.Coordinator.Suspended _, _) ->
+              Report.check ~label ~ok:false ~detail:"suspended unexpectedly"
+          | Ok (Dist.Coordinator.Complete r, _) ->
+              Report.check ~label
+                ~ok:
+                  (base.Explore.counterexample = r.Explore.counterexample
+                  && base.Explore.explored = r.Explore.explored
+                  && String.equal base_snap (Metrics.snapshot_string metrics'))
+                ~detail:
+                  (Printf.sprintf
+                     "%d runs, counterexample and metrics identical"
+                     base.Explore.explored)))
+
+(* The degradation table: SIGKILL the worker holding shard 0, k times
+   in a row. The outcome must never change; only the stats may. *)
+let degradation k =
+  let label = Printf.sprintf "crash-tolerance: %d worker kill(s) mid-shard" k in
+  match scenario "safe_agreement_no_cancel" with
+  | Error e -> Report.check ~label ~ok:false ~detail:e
+  | Ok s -> (
+      match
+        sweep_pair s (config ~chaos:(0, k) ~max_retries:k ())
+      with
+      | Error m -> Report.check ~label ~ok:false ~detail:m
+      | Ok (_, _, stats, identical) ->
+          let enough = stats.Dist.Coordinator.killed >= k in
+          Report.check ~label
+            ~ok:(identical && enough)
+            ~detail:
+              (Printf.sprintf
+                 "outcome identical; %d spawned, %d killed, %d reassignment(s)"
+                 stats.Dist.Coordinator.spawned stats.Dist.Coordinator.killed
+                 stats.Dist.Coordinator.reassigned))
+
+let hostile () =
+  let label = "hostile shard: reported after max_retries, never retried forever" in
+  match scenario "safe_agreement_no_cancel" with
+  | Error e -> Report.check ~label ~ok:false ~detail:e
+  | Ok s -> (
+      match
+        Harness.sweep_scenario_dist
+          (config ~chaos:(0, 99) ~max_retries:1 ())
+          s
+      with
+      | Ok _ ->
+          Report.check ~label ~ok:false
+            ~detail:"a shard that kills every worker succeeded"
+      | Error m ->
+          let mentions =
+            let n = String.length m in
+            let rec go i =
+              i + 7 <= n && (String.equal (String.sub m i 7) "hostile" || go (i + 1))
+            in
+            go 0
+          in
+          Report.check ~label ~ok:mentions ~detail:m)
+
+let fresh_dir () =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "asmsim-exp-dist-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let resume () =
+  let label = "resume: journalled job restarts without re-running shards" in
+  match scenario "safe_agreement_no_cancel" with
+  | Error e -> Report.check ~label ~ok:false ~detail:e
+  | Ok s -> (
+      let dir = fresh_dir () in
+      match
+        Harness.sweep_scenario_dist
+          (config ~journal_dir:dir ~stop_after:1 ())
+          s
+      with
+      | Ok (Dist.Coordinator.Suspended id, _) -> (
+          match
+            sweep_pair s (config ~journal_dir:dir ~resume:id ())
+          with
+          | Error m -> Report.check ~label ~ok:false ~detail:m
+          | Ok (_, _, stats, identical) ->
+              Report.check ~label
+                ~ok:(identical && stats.Dist.Coordinator.resumed >= 1)
+                ~detail:
+                  (Printf.sprintf
+                     "%d shard(s) restored from the journal, %d executed; \
+                      outcome identical to in-process"
+                     stats.Dist.Coordinator.resumed
+                     stats.Dist.Coordinator.executed))
+      | Ok _ -> Report.check ~label ~ok:false ~detail:"session 1 did not suspend"
+      | Error m -> Report.check ~label ~ok:false ~detail:m)
+
+let run () =
+  {
+    Report.id = "DIST";
+    title = "multi-process distribution: identity, crash-tolerance, resume";
+    paper =
+      "No paper claim. Infrastructure validation: sharding the sweeps \
+       and explorations across worker processes is an implementation \
+       detail, so every distributed run must produce exactly the \
+       artifacts of the in-process run — under worker crashes and \
+       across coordinator restarts included.";
+    metrics = [];
+    checks =
+      [
+        identity_at 1;
+        identity_at 2;
+        identity_at 4;
+        explore_identity ();
+        degradation 1;
+        degradation 2;
+        degradation 3;
+        hostile ();
+        resume ();
+      ];
+  }

@@ -78,6 +78,128 @@ let sweep_check ?kinds ?max_faults ?op_window ?max_runs ?budget
              Explore.pp_fault_schedule f.Explore.shrunk outcome.Explore.runs
              f.Explore.shrink_runs deadlock_note)
 
+(* {2 Distributed execution}
+
+   A job must round-trip through {!Dist.Proto} carrying everything the
+   plan depends on, so both helpers resolve every default to a concrete
+   value here, at job-build time — a worker re-expanding the job on the
+   other side of the wire cannot then disagree with the coordinator. *)
+
+let sweep_job ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
+    ?(op_window = 6) ?(max_runs = 5_000) ?budget (s : Scenario.t) =
+  {
+    Dist.Proto.scenario = s.Scenario.name;
+    nprocs = Some s.Scenario.nprocs;
+    mode =
+      Dist.Proto.Sweep
+        {
+          sw_tiers = List.map Adversary.fault_kind_name kinds;
+          sw_max_faults = max_faults;
+          sw_op_window = op_window;
+          sw_max_runs = max_runs;
+          sw_budget = budget;
+        };
+  }
+
+let explore_job ?(max_crashes = 0) ?(max_runs = 2_000_000) ?(dedup = true)
+    ?max_steps (s : Scenario.t) =
+  let max_steps =
+    match max_steps with Some d -> d | None -> s.Scenario.explore_steps
+  in
+  {
+    Dist.Proto.scenario = s.Scenario.name;
+    nprocs = Some s.Scenario.nprocs;
+    mode =
+      Dist.Proto.Explore
+        {
+          ex_max_steps = max_steps;
+          ex_max_crashes = max_crashes;
+          ex_max_runs = max_runs;
+          ex_dedup = dedup;
+        };
+  }
+
+let dist_instance (job : Dist.Proto.job) =
+  match
+    Scenario.find ?nprocs:job.Dist.Proto.nprocs job.Dist.Proto.scenario
+  with
+  | Error m -> Error m
+  | Ok s -> (
+      match job.Dist.Proto.mode with
+      | Dist.Proto.Sweep p -> (
+          let kinds =
+            List.fold_left
+              (fun acc name ->
+                match (acc, Adversary.fault_kind_of_name name) with
+                | Error m, _ -> Error m
+                | Ok _, None ->
+                    Error (Printf.sprintf "unknown fault tier %s" name)
+                | Ok ks, Some k -> Ok (k :: ks))
+              (Ok []) p.Dist.Proto.sw_tiers
+          in
+          match kinds with
+          | Error m -> Error m
+          | Ok kinds_rev ->
+              Ok
+                (Dist.Worker.Sweep_instance
+                   (Explore.sweep_plan ~kinds:(List.rev kinds_rev)
+                      ~max_faults:p.Dist.Proto.sw_max_faults
+                      ~op_window:p.Dist.Proto.sw_op_window
+                      ~max_runs:p.Dist.Proto.sw_max_runs
+                      ?budget:p.Dist.Proto.sw_budget
+                      ~meta:(Scenario.sweep_meta s) ~make:s.Scenario.make
+                      ~monitors:s.Scenario.monitors ())))
+      | Dist.Proto.Explore p ->
+          if not s.Scenario.explorable then
+            Error
+              (Printf.sprintf
+                 "scenario %s is not explorable: its programs keep state in \
+                  refs outside the environment"
+                 s.Scenario.name)
+          else
+            Ok
+              (Dist.Worker.Explore_instance
+                 (Explore.plan ~max_crashes:p.Dist.Proto.ex_max_crashes
+                    ~max_runs:p.Dist.Proto.ex_max_runs
+                    ~dedup:p.Dist.Proto.ex_dedup
+                    ~max_steps:p.Dist.Proto.ex_max_steps ~make:s.Scenario.make
+                    ~property:s.Scenario.exhaustive_property ())))
+
+type dist_result =
+  [ `Sweep of
+    Explore.sweep_outcome Dist.Coordinator.outcome * Dist.Coordinator.stats
+  | `Explore of
+    Univ.t Explore.result Dist.Coordinator.outcome * Dist.Coordinator.stats ]
+
+let run_job_dist ?metrics ?on_progress config (job : Dist.Proto.job) :
+    (dist_result, string) result =
+  match dist_instance job with
+  | Error m -> Error m
+  | Ok (Dist.Worker.Sweep_instance plan) ->
+      Result.map
+        (fun (o, st) -> `Sweep (o, st))
+        (Dist.Coordinator.sweep ?metrics ?on_progress config ~job ~plan ())
+  | Ok (Dist.Worker.Explore_instance plan) ->
+      Result.map
+        (fun (o, st) -> `Explore (o, st))
+        (Dist.Coordinator.explore ?metrics ?on_progress config ~job ~plan ())
+
+let sweep_scenario_dist ?kinds ?max_faults ?op_window ?max_runs ?budget
+    ?metrics ?on_progress config (s : Scenario.t) =
+  let job = sweep_job ?kinds ?max_faults ?op_window ?max_runs ?budget s in
+  match run_job_dist ?metrics ?on_progress config job with
+  | Error m -> Error m
+  | Ok (`Sweep r) -> Ok r
+  | Ok (`Explore _) -> Error "internal: sweep job resolved to an explore plan"
+
+let explore_scenario_dist ?max_crashes ?max_runs ?max_steps ?dedup ?metrics
+    ?on_progress config (s : Scenario.t) =
+  let job = explore_job ?max_crashes ?max_runs ?dedup ?max_steps s in
+  match run_job_dist ?metrics ?on_progress config job with
+  | Error m -> Error m
+  | Ok (`Explore r) -> Ok r
+  | Ok (`Sweep _) -> Error "internal: explore job resolved to a sweep plan"
+
 let crash_before_fam ~pid ~prefix ~nth =
   Adversary.Crash_before_op
     {

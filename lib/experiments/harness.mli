@@ -73,6 +73,90 @@ val sweep_check :
     the shrunk fault schedule, the violation message (or the number of
     runs swept clean), and any deadlock finding. *)
 
+(** {1 Distributed execution}
+
+    The glue between the scenario registry and [Dist]: building jobs
+    (with every default resolved to a concrete value, so a worker
+    re-expanding the job cannot disagree with the coordinator),
+    resolving jobs back to worker instances, and coordinator-side
+    wrappers mirroring {!sweep_scenario} / {!explore_scenario}. *)
+
+val sweep_job :
+  ?kinds:Svm.Adversary.fault_kind list ->
+  ?max_faults:int ->
+  ?op_window:int ->
+  ?max_runs:int ->
+  ?budget:int ->
+  Scenario.t ->
+  Dist.Proto.job
+(** Same defaults as {!sweep_scenario}. *)
+
+val explore_job :
+  ?max_crashes:int ->
+  ?max_runs:int ->
+  ?dedup:bool ->
+  ?max_steps:int ->
+  Scenario.t ->
+  Dist.Proto.job
+(** Same defaults as {!explore_scenario} (in particular [max_steps]
+    defaults to the scenario's [explore_steps]). *)
+
+val dist_instance : Dist.Proto.job -> (Dist.Worker.instance, string) result
+(** Resolve a job to a worker instance: look the scenario up (with the
+    job's process-count override), expand the plan. This is the [lookup]
+    the [asmsim work] subcommand passes to {!Dist.Worker.serve}, and
+    the coordinator wrappers below derive their own plan through it too
+    — both sides of the wire expand the same job the same way. *)
+
+type dist_result =
+  [ `Sweep of
+    Svm.Explore.sweep_outcome Dist.Coordinator.outcome
+    * Dist.Coordinator.stats
+  | `Explore of
+    Svm.Univ.t Svm.Explore.result Dist.Coordinator.outcome
+    * Dist.Coordinator.stats ]
+
+val run_job_dist :
+  ?metrics:Svm.Metrics.t ->
+  ?on_progress:(runs:int -> unit) ->
+  Dist.Coordinator.config ->
+  Dist.Proto.job ->
+  (dist_result, string) result
+(** Run any job under the coordinator — the entry point for resuming a
+    journalled job whose mode is only known at run time. *)
+
+val sweep_scenario_dist :
+  ?kinds:Svm.Adversary.fault_kind list ->
+  ?max_faults:int ->
+  ?op_window:int ->
+  ?max_runs:int ->
+  ?budget:int ->
+  ?metrics:Svm.Metrics.t ->
+  ?on_progress:(runs:int -> unit) ->
+  Dist.Coordinator.config ->
+  Scenario.t ->
+  ( Svm.Explore.sweep_outcome Dist.Coordinator.outcome
+    * Dist.Coordinator.stats,
+    string )
+  result
+(** {!sweep_scenario} across worker processes: same outcome, same
+    replay artifact, same metrics increments — bit for bit. *)
+
+val explore_scenario_dist :
+  ?max_crashes:int ->
+  ?max_runs:int ->
+  ?max_steps:int ->
+  ?dedup:bool ->
+  ?metrics:Svm.Metrics.t ->
+  ?on_progress:(runs:int -> unit) ->
+  Dist.Coordinator.config ->
+  Scenario.t ->
+  ( Svm.Univ.t Svm.Explore.result Dist.Coordinator.outcome
+    * Dist.Coordinator.stats,
+    string )
+  result
+(** {!explore_scenario} across worker processes. *)
+
 val crash_before_fam :
   pid:int -> prefix:string -> nth:int -> Svm.Adversary.crash_spec
 (** Crash [pid] just before its [nth] operation on any object family

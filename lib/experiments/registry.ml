@@ -19,6 +19,8 @@ let all =
     ("FD", "failure-detector boosting (Omega)", Exp_omega.run);
     ("SC", "cost shape of the simulations", Exp_scale.run);
     ("PROF", "telemetry profile of the simulations", Exp_profile.run);
+    ("DIST", "multi-process distribution: identity, crash-tolerance, resume",
+     Exp_dist.run);
   ]
 
 let find id =

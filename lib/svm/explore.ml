@@ -180,7 +180,6 @@ type 'a ctx = {
   property : 'a run -> (unit, string) Stdlib.result;
   visited : 'a visited option; (* None = dedup and sleep sets off *)
   run_cap : int;
-  metrics : Metrics.t option; (* per-task registry, merged by the caller *)
   mutable runs : int;
   mutable truncated : int;
   mutable cex : ('a run * string) option;
@@ -224,20 +223,18 @@ let mk_run ctx ~truncated rev_crashed rev_choices =
     schedule = schedule_string rev_choices;
   }
 
-(* Account one completed (or depth-truncated) run inside a task. *)
+(* Account one completed (or depth-truncated) run inside a task. Tasks
+   carry no registry of their own — the merge accounts metrics from the
+   per-task summaries, which is what lets a remote worker ship seven
+   integers instead of a registry and still merge byte-identically. *)
 let finish ctx ~truncated rev_crashed rev_choices =
   let run = mk_run ctx ~truncated rev_crashed rev_choices in
   ctx.runs <- ctx.runs + 1;
-  note ctx.metrics "explore.runs";
-  if truncated then begin
-    ctx.truncated <- ctx.truncated + 1;
-    note ctx.metrics "explore.truncated"
-  end;
+  if truncated then ctx.truncated <- ctx.truncated + 1;
   (match ctx.property run with
   | Ok () -> ()
   | Error msg ->
       ctx.cex <- Some (run, msg);
-      note ctx.metrics "explore.counterexamples";
       raise Task_stop);
   if ctx.runs >= ctx.run_cap then begin
     ctx.exhausted <- true;
@@ -344,7 +341,6 @@ type 'a task_result = {
   t_pruned_states : int;
   t_pruned_commutes : int;
   t_exhausted : bool;
-  t_metrics : Metrics.t option;
 }
 
 (* A subtree root captured at the frontier: a private copy of the store
@@ -365,7 +361,7 @@ type 'a subtree = {
 type 'a task = T_leaf of 'a task_result | T_subtree of 'a subtree
 
 let fresh_ctx ~env ~states ~histories ~max_steps ~max_crashes ~property ~dedup
-    ~run_cap ~with_metrics =
+    ~run_cap =
   {
     env;
     states;
@@ -375,7 +371,6 @@ let fresh_ctx ~env ~states ~histories ~max_steps ~max_crashes ~property ~dedup
     property;
     visited = (if dedup then Some (Hashtbl.create 512) else None);
     run_cap;
-    metrics = (if with_metrics then Some (Metrics.create ()) else None);
     runs = 0;
     truncated = 0;
     cex = None;
@@ -385,8 +380,6 @@ let fresh_ctx ~env ~states ~histories ~max_steps ~max_crashes ~property ~dedup
   }
 
 let task_result_of_ctx ctx =
-  note_by ctx.metrics "explore.pruned_states" ctx.pruned_states;
-  note_by ctx.metrics "explore.pruned_commutes" ctx.pruned_commutes;
   {
     t_runs = ctx.runs;
     t_truncated = ctx.truncated;
@@ -394,7 +387,6 @@ let task_result_of_ctx ctx =
     t_pruned_states = ctx.pruned_states;
     t_pruned_commutes = ctx.pruned_commutes;
     t_exhausted = ctx.exhausted;
-    t_metrics = ctx.metrics;
   }
 
 (* Explore one captured subtree to completion. The subtree's state is
@@ -402,14 +394,14 @@ let task_result_of_ctx ctx =
    rolls the (task-private) environment back to its root on every exit
    path, so running the same subtree twice gives the same answer — the
    merge relies on this to recompute any task the pool skipped. *)
-let run_subtree ~dedup ~max_steps ~max_crashes ~run_cap ~property ~with_metrics
+let run_subtree ~dedup ~max_steps ~max_crashes ~run_cap ~property
     (s : 'a subtree) =
   Env.enable_journal s.s_env;
   let cp0 = Env.checkpoint s.s_env in
   let ctx =
     fresh_ctx ~env:s.s_env ~states:(Array.copy s.s_states)
       ~histories:(Array.copy s.s_histories) ~max_steps ~max_crashes ~property
-      ~dedup ~run_cap ~with_metrics
+      ~dedup ~run_cap
   in
   (try
      dfs ctx ~frontier:None ~on_run:(finish ctx) s.s_depth s.s_crashes
@@ -433,7 +425,7 @@ let explore_tasks ~dedup ~frontier_depth ~max_steps ~max_crashes ~max_runs
     fresh_ctx ~env:env0
       ~states:(Array.map (fun p -> Running p) progs)
       ~histories:(Array.make n []) ~max_steps ~max_crashes ~property ~dedup
-      ~run_cap:max_int ~with_metrics:false
+      ~run_cap:max_int
   in
   let emitted = ref [] in
   let n_emitted = ref 0 in
@@ -458,7 +450,6 @@ let explore_tasks ~dedup ~frontier_depth ~max_steps ~max_crashes ~max_runs
            t_pruned_states = 0;
            t_pruned_commutes = 0;
            t_exhausted = false;
-           t_metrics = None;
          });
     (* Any task after a counterexample can never be merged. *)
     if cex <> None then raise Phase_stop
@@ -483,15 +474,169 @@ let explore_tasks ~dedup ~frontier_depth ~max_steps ~max_crashes ~max_runs
   Env.disable_journal env0;
   (Array.of_list (List.rev !emitted), ctx.pruned_states, ctx.pruned_commutes)
 
-let exhaustive ?(max_crashes = 0) ?(max_runs = 2_000_000) ?metrics ?on_progress
-    ?(jobs = 1) ?oversubscribe ?(dedup = true) ?(frontier_depth = 3)
-    ~max_steps ~make ~property () =
-  let with_metrics = metrics <> None in
+(* ------------------------------------------------------------------ *)
+(* Sharding hooks: a plan is the jobs-independent slicing of the tree   *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything the merge needs, computed once. The plan is built by the
+   same phase-A walk regardless of who executes the tasks (in-process
+   domains, or worker processes in [Dist]); because phase A is
+   deterministic, a coordinator and its re-exec'd workers construct the
+   very same plan from the same parameters, and a task index is a
+   complete description of a unit of work. *)
+type 'a plan = {
+  pl_tasks : 'a task array;
+  pl_phase_pruned_states : int;
+  pl_phase_pruned_commutes : int;
+  pl_dedup : bool;
+  pl_max_steps : int;
+  pl_max_crashes : int;
+  pl_max_runs : int;
+  pl_property : 'a run -> (unit, string) Stdlib.result;
+}
+
+let plan ?(max_crashes = 0) ?(max_runs = 2_000_000) ?(dedup = true)
+    ?(frontier_depth = 3) ~max_steps ~make ~property () =
   let tasks, phase_pruned_states, phase_pruned_commutes =
     explore_tasks ~dedup ~frontier_depth ~max_steps ~max_crashes ~max_runs
       ~property ~make ()
   in
-  let ntasks = Array.length tasks in
+  {
+    pl_tasks = tasks;
+    pl_phase_pruned_states = phase_pruned_states;
+    pl_phase_pruned_commutes = phase_pruned_commutes;
+    pl_dedup = dedup;
+    pl_max_steps = max_steps;
+    pl_max_crashes = max_crashes;
+    pl_max_runs = max_runs;
+    pl_property = property;
+  }
+
+let plan_tasks p = Array.length p.pl_tasks
+
+type task_summary = {
+  ts_leaf : bool;
+  ts_runs : int;
+  ts_truncated : int;
+  ts_cex : bool;
+  ts_pruned_states : int;
+  ts_pruned_commutes : int;
+  ts_exhausted : bool;
+}
+
+let summary_of_result ~leaf (r : 'a task_result) =
+  {
+    ts_leaf = leaf;
+    ts_runs = r.t_runs;
+    ts_truncated = r.t_truncated;
+    ts_cex = r.t_cex <> None;
+    ts_pruned_states = r.t_pruned_states;
+    ts_pruned_commutes = r.t_pruned_commutes;
+    ts_exhausted = r.t_exhausted;
+  }
+
+(* Execute one task of the plan. Leaves were resolved during phase A;
+   subtrees are re-runnable any number of times (see [run_subtree]), so
+   a skipped or remotely-computed task can always be recomputed here. *)
+let task_outcome p i =
+  match p.pl_tasks.(i) with
+  | T_leaf r -> (summary_of_result ~leaf:true r, r.t_cex)
+  | T_subtree s ->
+      let r =
+        run_subtree ~dedup:p.pl_dedup ~max_steps:p.pl_max_steps
+          ~max_crashes:p.pl_max_crashes ~run_cap:p.pl_max_runs
+          ~property:p.pl_property s
+      in
+      (summary_of_result ~leaf:false r, r.t_cex)
+
+(* Merge strictly in task (= DFS) order. Budget and counterexample
+   cut-offs are decided here, from per-task totals, so the outcome is a
+   pure function of the summaries — identical at any job count, and
+   identical whether summaries came from domains or worker processes.
+   [outcome_of] must supply the full counterexample for tasks whose
+   summary says [ts_cex]; a caller holding only a remote summary re-runs
+   that task locally ([task_outcome] is deterministic). Metrics are
+   accounted from the summaries: leaves always create [explore.runs]
+   (their single run), subtrees create run counters only when non-zero
+   but always create both pruning counters — mirroring what a per-task
+   registry used to record, so snapshots are stable across versions. *)
+let merge_plan ?metrics ?on_progress p ~outcome_of =
+  let ntasks = Array.length p.pl_tasks in
+  let explored = ref 0 in
+  let truncated = ref 0 in
+  let pruned_s = ref p.pl_phase_pruned_states in
+  let pruned_c = ref p.pl_phase_pruned_commutes in
+  let cex = ref None in
+  let exhausted = ref false in
+  (try
+     for i = 0 to ntasks - 1 do
+       if !explored >= p.pl_max_runs then begin
+         exhausted := true;
+         raise Found
+       end;
+       let (s : task_summary), c = outcome_of i in
+       explored := !explored + s.ts_runs;
+       truncated := !truncated + s.ts_truncated;
+       pruned_s := !pruned_s + s.ts_pruned_states;
+       pruned_c := !pruned_c + s.ts_pruned_commutes;
+       (match metrics with
+       | Some m ->
+           if s.ts_leaf then begin
+             Metrics.incr ~by:s.ts_runs (Metrics.counter m "explore.runs");
+             if s.ts_truncated > 0 then
+               Metrics.incr ~by:s.ts_truncated
+                 (Metrics.counter m "explore.truncated");
+             if s.ts_cex then
+               Metrics.incr (Metrics.counter m "explore.counterexamples")
+           end
+           else begin
+             if s.ts_runs > 0 then
+               Metrics.incr ~by:s.ts_runs (Metrics.counter m "explore.runs");
+             if s.ts_truncated > 0 then
+               Metrics.incr ~by:s.ts_truncated
+                 (Metrics.counter m "explore.truncated");
+             if s.ts_cex then
+               Metrics.incr (Metrics.counter m "explore.counterexamples");
+             Metrics.incr ~by:s.ts_pruned_states
+               (Metrics.counter m "explore.pruned_states");
+             Metrics.incr ~by:s.ts_pruned_commutes
+               (Metrics.counter m "explore.pruned_commutes")
+           end
+       | None -> ());
+       heartbeat on_progress !explored;
+       if s.ts_cex then begin
+         (match c with
+         | Some c -> cex := Some c
+         | None ->
+             (* the summary says this task found the counterexample, so a
+                local deterministic re-run recovers the full record *)
+             cex := snd (task_outcome p i));
+         raise Found
+       end;
+       if s.ts_exhausted then begin
+         exhausted := true;
+         raise Found
+       end
+     done;
+     if !explored >= p.pl_max_runs then exhausted := true
+   with Found -> ());
+  note_by metrics "explore.pruned_states" p.pl_phase_pruned_states;
+  note_by metrics "explore.pruned_commutes" p.pl_phase_pruned_commutes;
+  {
+    explored = !explored;
+    counterexample = !cex;
+    exhausted_budget = !exhausted;
+    pruned_states = !pruned_s;
+    pruned_commutes = !pruned_c;
+  }
+
+let exhaustive ?max_crashes ?max_runs ?metrics ?on_progress ?(jobs = 1)
+    ?oversubscribe ?dedup ?frontier_depth ~max_steps ~make ~property () =
+  let p =
+    plan ?max_crashes ?max_runs ?dedup ?frontier_depth ~max_steps ~make
+      ~property ()
+  in
+  let ntasks = plan_tasks p in
   (* Lowest task index with a counterexample found so far: the merge
      stops there, so any task beyond it is dead work and workers skip
      it. Monotonically decreasing, hence safe to race on. *)
@@ -501,78 +646,17 @@ let exhaustive ?(max_crashes = 0) ?(max_runs = 2_000_000) ?metrics ?on_progress
     if i < cur && not (Atomic.compare_and_set best_cex cur i) then note_cex i
   in
   let run_task i =
-    match tasks.(i) with
-    | T_leaf r ->
-        if r.t_cex <> None then note_cex i;
-        r
-    | T_subtree s ->
-        let r =
-          run_subtree ~dedup ~max_steps ~max_crashes ~run_cap:max_runs
-            ~property ~with_metrics s
-        in
-        if r.t_cex <> None then note_cex i;
-        r
+    let ((s, _) as outcome) = task_outcome p i in
+    if s.ts_cex then note_cex i;
+    outcome
   in
   let results =
     Par.run ~jobs ?oversubscribe
       ~skip:(fun i -> i > Atomic.get best_cex)
       ~tasks:ntasks run_task
   in
-  (* Merge strictly in task (= DFS) order. Budget and counterexample
-     cut-offs are decided here, from per-task totals, so the outcome is
-     a pure function of the task results — identical at any job count. *)
-  let explored = ref 0 in
-  let truncated = ref 0 in
-  let pruned_s = ref phase_pruned_states in
-  let pruned_c = ref phase_pruned_commutes in
-  let cex = ref None in
-  let exhausted = ref false in
-  (try
-     for i = 0 to ntasks - 1 do
-       if !explored >= max_runs then begin
-         exhausted := true;
-         raise Found
-       end;
-       let r =
-         match results.(i) with Some r -> r | None -> run_task i
-       in
-       explored := !explored + r.t_runs;
-       truncated := !truncated + r.t_truncated;
-       pruned_s := !pruned_s + r.t_pruned_states;
-       pruned_c := !pruned_c + r.t_pruned_commutes;
-       (match (metrics, r.t_metrics) with
-       | Some m, Some worker -> Metrics.merge ~into:m worker
-       | Some m, None ->
-           (* resolved leaf: account its single run directly *)
-           Metrics.incr ~by:r.t_runs (Metrics.counter m "explore.runs");
-           if r.t_truncated > 0 then
-             Metrics.incr ~by:r.t_truncated
-               (Metrics.counter m "explore.truncated");
-           if r.t_cex <> None then
-             Metrics.incr (Metrics.counter m "explore.counterexamples")
-       | None, _ -> ());
-       heartbeat on_progress !explored;
-       (match r.t_cex with
-       | Some c ->
-           cex := Some c;
-           raise Found
-       | None -> ());
-       if r.t_exhausted then begin
-         exhausted := true;
-         raise Found
-       end
-     done;
-     if !explored >= max_runs then exhausted := true
-   with Found -> ());
-  note_by metrics "explore.pruned_states" phase_pruned_states;
-  note_by metrics "explore.pruned_commutes" phase_pruned_commutes;
-  {
-    explored = !explored;
-    counterexample = !cex;
-    exhausted_budget = !exhausted;
-    pruned_states = !pruned_s;
-    pruned_commutes = !pruned_c;
-  }
+  merge_plan ?metrics ?on_progress p ~outcome_of:(fun i ->
+      match results.(i) with Some r -> r | None -> task_outcome p i)
 
 (* ------------------------------------------------------------------ *)
 (* Reference engine: the original copy-per-branch DFS                   *)
@@ -833,9 +917,27 @@ let fault_sets ~nprocs ~kinds ~max_faults ~op_window =
          Combin.subsets ~n:nprocs ~size |> List.concat_map assignments)
        sizes
 
-let sweep_faults ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
+(* ------------------------------------------------------------------ *)
+(* Sweep sharding hooks: the cell grid and the in-order merge           *)
+(* ------------------------------------------------------------------ *)
+
+(* The flattened scheduler × fault-set product, in sweep order. Like an
+   exploration {!plan}, the grid is a pure function of the sweep
+   parameters: a coordinator and its worker processes enumerate the
+   same descriptors, so a cell index fully identifies one run. *)
+type 'a sweep_plan = {
+  sp_make : unit -> Env.t * 'a Prog.t array;
+  sp_monitors : unit -> 'a Monitor.t list;
+  sp_schedulers : (string * (unit -> Adversary.t)) list;
+  sp_descriptors : (string * (unit -> Adversary.t) * fault_point list) array;
+  sp_budget : int option;
+  sp_meta : (string * string) list;
+  sp_max_runs : int;
+}
+
+let sweep_plan ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
     ?(op_window = 6) ?(max_runs = 5_000) ?budget ?schedulers ?(meta = [])
-    ?metrics ?on_progress ?(jobs = 1) ?oversubscribe ~make ~monitors () =
+    ~make ~monitors () =
   let env0, _ = make () in
   let nprocs = Env.nprocs env0 in
   let schedulers =
@@ -847,8 +949,8 @@ let sweep_faults ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
   (* Flatten the scheduler × fault-set product into run descriptors in
      sweep order; each descriptor is one independent run (fresh env,
      programs, monitors, adversary), so runs parallelise with no shared
-     state and the merge below reads verdicts back in sweep order —
-     byte-identical outcomes at any job count. *)
+     state and the merge reads verdicts back in sweep order —
+     byte-identical outcomes at any job or worker count. *)
   let descriptors =
     List.concat_map
       (fun (sched_name, scheduler) ->
@@ -856,47 +958,46 @@ let sweep_faults ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
       schedulers
     |> Array.of_list
   in
-  let total = Array.length descriptors in
-  let n_dispatch = min total max_runs in
-  let best = Atomic.make max_int in
-  let rec note_violating i =
-    let cur = Atomic.get best in
-    if i < cur && not (Atomic.compare_and_set best cur i) then
-      note_violating i
-  in
-  let run_one i =
-    let _, scheduler, faults = descriptors.(i) in
-    if jobs = 1 then heartbeat on_progress (i + 1);
-    match run_fault ?budget ~make ~monitors ~scheduler faults with
-    | Violating _ as v ->
-        note_violating i;
-        v
-    | v -> v
-  in
-  let results =
-    Par.run ~jobs ?oversubscribe
-      ~skip:(fun i -> i > Atomic.get best)
-      ~tasks:n_dispatch run_one
-  in
+  {
+    sp_make = make;
+    sp_monitors = monitors;
+    sp_schedulers = schedulers;
+    sp_descriptors = descriptors;
+    sp_budget = budget;
+    sp_meta = meta;
+    sp_max_runs = max_runs;
+  }
+
+let sweep_cells p = min (Array.length p.sp_descriptors) p.sp_max_runs
+
+let sweep_cell p i =
+  let _, scheduler, faults = p.sp_descriptors.(i) in
+  run_fault ?budget:p.sp_budget ~make:p.sp_make ~monitors:p.sp_monitors
+    ~scheduler faults
+
+let sweep_cell_schedule p i =
+  let sched_name, _, faults = p.sp_descriptors.(i) in
+  { scheduler = sched_name; faults }
+
+(* In-order merge of per-cell verdicts. [verdict_of] may be backed by
+   in-process results or by tags shipped from worker processes; a
+   remote [Violating] carries no violation payload, so such callers map
+   the tag back through {!sweep_cell} (deterministic) before merging —
+   which is also why shrinking always happens here, locally, after the
+   merge. *)
+let sweep_merge ?metrics ?on_progress p ~verdict_of =
+  let n_dispatch = sweep_cells p in
   let runs = ref 0 in
   let found = ref None in
   let deadlock = ref None in
   let exhausted = ref false in
   (try
      for i = 0 to n_dispatch - 1 do
-       let verdict =
-         match results.(i) with
-         | Some v -> v
-         | None ->
-             (* skipped past the first violation; only reachable if the
-                merge still needs it, and re-running is deterministic *)
-             let _, scheduler, faults = descriptors.(i) in
-             run_fault ?budget ~make ~monitors ~scheduler faults
-       in
+       let verdict = verdict_of i in
        incr runs;
        note metrics "sweep.runs";
-       if jobs > 1 then heartbeat on_progress !runs;
-       let sched_name, _, faults = descriptors.(i) in
+       heartbeat on_progress !runs;
+       let sched_name, _, faults = p.sp_descriptors.(i) in
        match verdict with
        | Clean -> note metrics "sweep.verdict.clean"
        | Deadlocked ->
@@ -907,7 +1008,8 @@ let sweep_faults ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
            note metrics "sweep.verdict.violating";
            let fault = { scheduler = sched_name; faults } in
            let shrunk, violation, shrink_runs =
-             shrink ?budget ~make ~monitors ~schedulers fault v
+             shrink ?budget:p.sp_budget ~make:p.sp_make ~monitors:p.sp_monitors
+               ~schedulers:p.sp_schedulers fault v
            in
            note_by metrics "sweep.shrink_runs" shrink_runs;
            let replay =
@@ -918,7 +1020,7 @@ let sweep_faults ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
              in
              Trace.to_replay
                ~meta:
-                 (meta
+                 (p.sp_meta
                  @ [
                      ("monitor", violation.Monitor.monitor);
                      ("message", violation.Monitor.message);
@@ -932,7 +1034,7 @@ let sweep_faults ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
            found := Some { fault; shrunk; violation; shrink_runs; replay };
            raise Found
      done;
-     if total > max_runs then exhausted := true
+     if Array.length p.sp_descriptors > p.sp_max_runs then exhausted := true
    with Found -> ());
   {
     runs = !runs;
@@ -940,6 +1042,40 @@ let sweep_faults ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
     deadlock = !deadlock;
     exhausted = !exhausted;
   }
+
+let sweep_faults ?kinds ?max_faults ?op_window ?max_runs ?budget ?schedulers
+    ?meta ?metrics ?on_progress ?(jobs = 1) ?oversubscribe ~make ~monitors ()
+    =
+  let p =
+    sweep_plan ?kinds ?max_faults ?op_window ?max_runs ?budget ?schedulers
+      ?meta ~make ~monitors ()
+  in
+  let n_dispatch = sweep_cells p in
+  let best = Atomic.make max_int in
+  let rec note_violating i =
+    let cur = Atomic.get best in
+    if i < cur && not (Atomic.compare_and_set best cur i) then
+      note_violating i
+  in
+  let run_one i =
+    match sweep_cell p i with
+    | Violating _ as v ->
+        note_violating i;
+        v
+    | v -> v
+  in
+  let results =
+    Par.run ~jobs ?oversubscribe
+      ~skip:(fun i -> i > Atomic.get best)
+      ~tasks:n_dispatch run_one
+  in
+  sweep_merge ?metrics ?on_progress p ~verdict_of:(fun i ->
+      match results.(i) with
+      | Some v -> v
+      | None ->
+          (* skipped past the first violation; only reachable if the
+             merge still needs it, and re-running is deterministic *)
+          sweep_cell p i)
 
 let sweep_crashes ?max_crashes ?op_window ?max_runs ?budget ?schedulers ?meta
     ?metrics ?on_progress ?jobs ?oversubscribe ~make ~monitors () =

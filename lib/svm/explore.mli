@@ -269,3 +269,117 @@ val replay :
     the same step and message when the programs are unchanged.
     [metrics] is handed to {!Exec.run} — replaying one artifact twice
     into two fresh registries snapshots byte-identically. *)
+
+(** {1 Sharding hooks}
+
+    {!exhaustive} and {!sweep_faults} are thin compositions of three
+    stages exposed here so other executors — in particular the
+    multi-process coordinator in [Dist] — can run the middle stage
+    elsewhere while sharing the first and last verbatim:
+
+    + {b plan}: slice the work into indexed units (frontier tasks, or
+      sweep cells). Planning is a deterministic function of the
+      parameters alone — two processes given the same parameters build
+      the same plan, so an index fully identifies a unit of work across
+      a process boundary.
+    + {b execute}: run units by index, anywhere, in any order, any
+      number of times ({!task_outcome} and {!sweep_cell} are
+      deterministic and re-runnable — the property a coordinator leans
+      on when a worker dies mid-shard and the shard is reassigned).
+    + {b merge}: fold outcomes strictly in index order. All cut-offs
+      (budget, first counterexample) and all [metrics] accounting
+      happen here, from plain-data summaries, so the merged outcome is
+      a pure function of the plan — identical for in-process domains,
+      worker processes, or any mix, at any concurrency. *)
+
+type 'a plan
+(** A sliced exploration: frontier tasks in DFS order plus the merge
+    parameters. *)
+
+val plan :
+  ?max_crashes:int ->
+  ?max_runs:int ->
+  ?dedup:bool ->
+  ?frontier_depth:int ->
+  max_steps:int ->
+  make:(unit -> Env.t * 'a Prog.t array) ->
+  property:('a run -> (unit, string) Stdlib.result) ->
+  unit ->
+  'a plan
+(** Phase A of {!exhaustive}: walk the tree to [frontier_depth] and
+    capture tasks. Same defaults as {!exhaustive}. *)
+
+val plan_tasks : 'a plan -> int
+(** Number of tasks in the plan. *)
+
+type task_summary = {
+  ts_leaf : bool;  (** resolved during planning, above the frontier *)
+  ts_runs : int;
+  ts_truncated : int;
+  ts_cex : bool;  (** this task found the (DFS-first) counterexample *)
+  ts_pruned_states : int;
+  ts_pruned_commutes : int;
+  ts_exhausted : bool;  (** hit the per-task run cap *)
+}
+(** Plain-data result of one task — everything the merge needs except
+    the counterexample record itself, and exactly what [Dist] workers
+    ship over the wire. *)
+
+val task_outcome : 'a plan -> int -> task_summary * ('a run * string) option
+(** Execute task [i]: its summary, plus the full counterexample when
+    [ts_cex]. Deterministic and re-runnable — subtrees never consume
+    their captured root state. *)
+
+val merge_plan :
+  ?metrics:Metrics.t ->
+  ?on_progress:(runs:int -> unit) ->
+  'a plan ->
+  outcome_of:(int -> task_summary * ('a run * string) option) ->
+  'a result
+(** Fold task outcomes in task order into a {!result} — the exact merge
+    {!exhaustive} performs. [outcome_of] is consulted once per task, in
+    order, until a cut-off; if it returns [ts_cex = true] with no
+    counterexample record (a summary from a remote worker), the merge
+    recovers the record by re-running that task locally. *)
+
+type 'a sweep_plan
+(** A sliced fault sweep: the scheduler × fault-set grid in sweep order
+    plus the merge parameters. *)
+
+val sweep_plan :
+  ?kinds:Adversary.fault_kind list ->
+  ?max_faults:int ->
+  ?op_window:int ->
+  ?max_runs:int ->
+  ?budget:int ->
+  ?schedulers:(string * (unit -> Adversary.t)) list ->
+  ?meta:(string * string) list ->
+  make:(unit -> Env.t * 'a Prog.t array) ->
+  monitors:(unit -> 'a Monitor.t list) ->
+  unit ->
+  'a sweep_plan
+(** Enumerate the sweep grid. Same defaults as {!sweep_faults}. *)
+
+val sweep_cells : 'a sweep_plan -> int
+(** Number of cells actually dispatched: the grid size capped at
+    [max_runs]. *)
+
+val sweep_cell : 'a sweep_plan -> int -> verdict
+(** Run cell [i] (fresh environment, programs, monitors, adversary).
+    Deterministic and re-runnable. *)
+
+val sweep_cell_schedule : 'a sweep_plan -> int -> fault_schedule
+(** The (scheduler, fault-set) pair of cell [i], for display. *)
+
+val sweep_merge :
+  ?metrics:Metrics.t ->
+  ?on_progress:(runs:int -> unit) ->
+  'a sweep_plan ->
+  verdict_of:(int -> verdict) ->
+  sweep_outcome
+(** Fold per-cell verdicts in sweep order into a {!sweep_outcome} — the
+    exact merge {!sweep_faults} performs, including shrinking the first
+    violation and serializing its replay artifact (always locally,
+    after the merge). A caller holding only a remote [Violating] tag
+    must map it through {!sweep_cell} to recover the violation before
+    handing it to [verdict_of]. *)

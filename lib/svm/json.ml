@@ -30,6 +30,9 @@ let rec emit b = function
   | Bool true -> Buffer.add_string b "true"
   | Bool false -> Buffer.add_string b "false"
   | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f when not (Float.is_finite f) ->
+      (* JSON has no nan/infinity literal; null keeps emission total. *)
+      Buffer.add_string b "null"
   | Float f ->
       if Float.is_integer f && Float.abs f < 1e15 then
         Buffer.add_string b (Printf.sprintf "%.1f" f)
@@ -102,6 +105,11 @@ let to_string ?(pretty = false) v =
 (* ------------------------------------------------------------------ *)
 
 exception Parse of int * string
+
+(* Wire inputs are untrusted (Dist workers feed us raw frames), so the
+   parser must stay total: nesting is capped rather than letting the
+   recursive descent exhaust the OCaml stack. *)
+let max_depth = 512
 
 let of_string s =
   let n = String.length s in
@@ -201,10 +209,12 @@ let of_string s =
     | Some i -> Int i
     | None -> (
         match float_of_string_opt lit with
-        | Some f -> Float f
+        | Some f when Float.is_finite f -> Float f
+        | Some _ -> fail (Printf.sprintf "non-finite number %S" lit)
         | None -> fail (Printf.sprintf "bad number %S" lit))
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -221,7 +231,7 @@ let of_string s =
         end
         else
           let rec items acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -246,7 +256,7 @@ let of_string s =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -262,7 +272,7 @@ let of_string s =
     | Some c -> fail (Printf.sprintf "unexpected character %c" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage after JSON value";
     v
@@ -270,6 +280,7 @@ let of_string s =
   | v -> Ok v
   | exception Parse (at, msg) ->
       Error (Printf.sprintf "offset %d: %s" at msg)
+  | exception Stack_overflow -> Error "offset 0: input too deeply nested"
 
 (* ------------------------------------------------------------------ *)
 (* Accessors                                                            *)

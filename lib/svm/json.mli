@@ -16,12 +16,20 @@ type t =
 
 val to_string : ?pretty:bool -> t -> string
 (** Compact by default; [pretty] indents by two spaces (stable layout,
-    suitable for committed artifacts). *)
+    suitable for committed artifacts). Non-finite [Float]s emit as
+    [null] — JSON has no literal for them and emission must be total. *)
 
 val of_string : string -> (t, string) result
 (** Strict parse of a complete JSON value; [Error] carries the byte
     offset of the failure. Numbers parse as [Int] when they are exact
-    OCaml ints, [Float] otherwise. *)
+    OCaml ints, [Float] otherwise; non-finite literals (["1e999"]) are
+    rejected. Total on arbitrary input: nesting deeper than
+    {!max_depth} is a parse error, never a [Stack_overflow], so the
+    parser is safe on untrusted wire bytes (the [Dist] frame layer
+    bounds input {e size} before it reaches here). *)
+
+val max_depth : int
+(** Maximum container nesting accepted by {!of_string} (512). *)
 
 val member : string -> t -> t option
 (** First member of that name, on objects. *)

@@ -1,0 +1,58 @@
+(* The one exit-code convention of the asmsim binary, asserted against
+   the real executable: 0 clean, 1 finding, 2 usage-or-input error,
+   3 internal/distributed failure. Every row forks ../bin/asmsim.exe
+   (a dune dep of this test) through /bin/sh. *)
+
+let exe = Unix.realpath "../bin/asmsim.exe"
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let run_case args =
+  let cmd = Printf.sprintf "%s %s >/dev/null 2>&1" (Filename.quote exe) args in
+  match Unix.system cmd with
+  | Unix.WEXITED code -> code
+  | Unix.WSIGNALED s -> Alcotest.failf "killed by signal %d" s
+  | Unix.WSTOPPED s -> Alcotest.failf "stopped by signal %d" s
+
+let table =
+  [
+    (* 0 — clean *)
+    ("canonical 3,1,1", 0);
+    ("classes -t 4 --x-max 5", 0);
+    ("sweep --algo safe_agreement --runs 200 --out " ^ tmp "cli0.replay", 0);
+    ( "sweep --algo safe_agreement_no_cancel --expect-violation --out "
+      ^ tmp "cli1.replay",
+      0 );
+    (* 1 — finding *)
+    ("sweep --algo safe_agreement_no_cancel --out " ^ tmp "cli2.replay", 1);
+    ("explore --algo safe_agreement_no_cancel --crashes 1", 1);
+    (* 2 — usage or input error *)
+    ("definitely-not-a-subcommand", 2);
+    ("canonical", 2);
+    ("canonical not-a-model", 2);
+    ("sweep --algo safe_agreement --no-such-flag", 2);
+    ("run-task --task nope", 2);
+    ("simulate --task nope --target 3,1,1", 2);
+    ("experiment NO_SUCH_EXPERIMENT", 2);
+    ("sweep --algo no_such_scenario", 2);
+    ("sweep --algo safe_agreement --tiers gamma-rays", 2);
+    ("explore --algo no_such_scenario", 2);
+    ("replay /no/such/file.replay", 2);
+    ("serve --resume no-such-job --journal-dir /tmp/asmsim-cli-nojobs", 2);
+    ("stats", 2);
+    (* 3 — internal / distributed failure *)
+    ( "sweep --algo safe_agreement_no_cancel --dist 2 --resume no-such-job \
+       --journal-dir /tmp/asmsim-cli-nojobs --out " ^ tmp "cli3.replay",
+      3 );
+  ]
+
+let exit_codes () =
+  List.iter
+    (fun (args, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "asmsim %s" args)
+        expected (run_case args))
+    table
+
+let suite =
+  [ ("cli-exit", [ Alcotest.test_case "exit-code table" `Quick exit_codes ]) ]

@@ -1,0 +1,290 @@
+(* The distributed runner's whole contract in three claims:
+
+   1. identity — a --dist run's outcome, replay artifact and metrics
+      snapshot are byte-identical to the in-process run's, at any
+      worker count;
+   2. crash-tolerance — SIGKILLing workers mid-run changes nothing but
+      the stats (the shard is re-dealt; shards that keep killing
+      workers are reported hostile, not retried forever);
+   3. resumability — a coordinator stopped mid-job restarts from its
+      journal without re-running completed shards.
+
+   Workers are real forked processes of the real binary (dune's [deps]
+   places ../bin/asmsim.exe next to this test's cwd). *)
+
+open Svm
+
+let check = Alcotest.check
+let exe = "../bin/asmsim.exe"
+
+let contains_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let scenario name =
+  match Experiments.Scenario.find name with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+let config ?(workers = 2) ?shard_size ?journal_dir ?resume ?chaos ?stop_after
+    ?(max_retries = 2) () =
+  let base = Dist.Coordinator.default_config ~workers ~exe () in
+  {
+    base with
+    Dist.Coordinator.shard_size;
+    journal_dir;
+    resume;
+    chaos_kill_shard = chaos;
+    stop_after_shards = stop_after;
+    max_retries;
+    backoff = 0.01;
+  }
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "asmsim-dist-test-%d-%d" (Unix.getpid ()) !counter)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+(* ------------------------------------------------------------------ *)
+(* sweep identity                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_repr (o : Explore.sweep_outcome) =
+  let found =
+    match o.Explore.found with
+    | None -> "none"
+    | Some f ->
+        Format.asprintf "%a >> %a | %s@%d | shrink=%d | artifact=<<%s>>"
+          Explore.pp_fault_schedule f.Explore.fault Explore.pp_fault_schedule
+          f.Explore.shrunk f.Explore.violation.Monitor.monitor
+          f.Explore.violation.Monitor.step f.Explore.shrink_runs
+          f.Explore.replay
+  in
+  let deadlock =
+    match o.Explore.deadlock with
+    | None -> "none"
+    | Some d -> Format.asprintf "%a" Explore.pp_fault_schedule d
+  in
+  Printf.sprintf "runs=%d exhausted=%b deadlock=%s found=%s" o.Explore.runs
+    o.Explore.exhausted deadlock found
+
+let sweep_inproc s =
+  let metrics = Metrics.create ~wall_clock:false () in
+  let o = Experiments.Harness.sweep_scenario ~metrics s in
+  (sweep_repr o, Metrics.snapshot_string metrics)
+
+let sweep_dist cfg s =
+  let metrics = Metrics.create ~wall_clock:false () in
+  match Experiments.Harness.sweep_scenario_dist ~metrics cfg s with
+  | Error m -> Alcotest.failf "dist sweep failed: %s" m
+  | Ok (Dist.Coordinator.Suspended _, _) ->
+      Alcotest.fail "dist sweep suspended unexpectedly"
+  | Ok (Dist.Coordinator.Complete o, stats) ->
+      ((sweep_repr o, Metrics.snapshot_string metrics), stats)
+
+let sweep_identity name () =
+  let s = scenario name in
+  let base = sweep_inproc s in
+  List.iter
+    (fun workers ->
+      let got, _ =
+        sweep_dist (config ~workers ~shard_size:7 ()) s
+      in
+      let label p = Printf.sprintf "%s, %d workers: %s" name workers p in
+      check Alcotest.string (label "outcome + artifact") (fst base) (fst got);
+      check Alcotest.string (label "metrics snapshot") (snd base) (snd got))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* explore identity                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let explore_repr (r : Univ.t Explore.result) =
+  let cex =
+    match r.Explore.counterexample with
+    | None -> "none"
+    | Some (run, msg) ->
+        Printf.sprintf "%s | %s | crashed=[%s] | truncated=%b"
+          run.Explore.schedule msg
+          (String.concat ";" (List.map string_of_int run.Explore.crashed))
+          run.Explore.truncated
+  in
+  Printf.sprintf "explored=%d pruned=%d+%d exhausted=%b cex=%s"
+    r.Explore.explored r.Explore.pruned_states r.Explore.pruned_commutes
+    r.Explore.exhausted_budget cex
+
+let explore_inproc ~max_crashes s =
+  let metrics = Metrics.create ~wall_clock:false () in
+  match Experiments.Harness.explore_scenario ~max_crashes ~metrics s with
+  | Error m -> Alcotest.fail m
+  | Ok r -> (explore_repr r, Metrics.snapshot_string metrics)
+
+let explore_dist ~max_crashes cfg s =
+  let metrics = Metrics.create ~wall_clock:false () in
+  match Experiments.Harness.explore_scenario_dist ~max_crashes ~metrics cfg s with
+  | Error m -> Alcotest.failf "dist explore failed: %s" m
+  | Ok (Dist.Coordinator.Suspended _, _) ->
+      Alcotest.fail "dist explore suspended unexpectedly"
+  | Ok (Dist.Coordinator.Complete r, stats) ->
+      ((explore_repr r, Metrics.snapshot_string metrics), stats)
+
+let explore_identity name ~max_crashes () =
+  let s = scenario name in
+  let base = explore_inproc ~max_crashes s in
+  List.iter
+    (fun workers ->
+      let got, _ =
+        explore_dist ~max_crashes (config ~workers ~shard_size:9 ()) s
+      in
+      let label p = Printf.sprintf "%s, %d workers: %s" name workers p in
+      check Alcotest.string (label "result") (fst base) (fst got);
+      check Alcotest.string (label "metrics snapshot") (snd base) (snd got))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* crash-tolerance                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_identical () =
+  let s = scenario "safe_agreement_no_cancel" in
+  let base = sweep_inproc s in
+  let got, stats =
+    sweep_dist (config ~shard_size:7 ~chaos:(0, 1) ()) s
+  in
+  check Alcotest.string "outcome despite a SIGKILLed worker" (fst base)
+    (fst got);
+  check Alcotest.string "metrics despite a SIGKILLed worker" (snd base)
+    (snd got);
+  Alcotest.(check bool) "a worker really was killed" true
+    (stats.Dist.Coordinator.killed >= 1);
+  Alcotest.(check bool) "the shard really was reassigned" true
+    (stats.Dist.Coordinator.reassigned >= 1);
+  Alcotest.(check bool) "a replacement worker was spawned" true
+    (stats.Dist.Coordinator.spawned >= 3)
+
+let chaos_explore_identical () =
+  let s = scenario "safe_agreement_no_cancel" in
+  let base = explore_inproc ~max_crashes:1 s in
+  let got, stats =
+    explore_dist ~max_crashes:1
+      (config ~shard_size:9 ~chaos:(1, 1) ())
+      s
+  in
+  check Alcotest.string "explore outcome despite a SIGKILLed worker"
+    (fst base) (fst got);
+  check Alcotest.string "explore metrics despite a SIGKILLed worker"
+    (snd base) (snd got);
+  Alcotest.(check bool) "a worker really was killed" true
+    (stats.Dist.Coordinator.killed >= 1)
+
+let hostile_shard () =
+  let s = scenario "safe_agreement_no_cancel" in
+  match
+    Experiments.Harness.sweep_scenario_dist
+      (config ~shard_size:7 ~chaos:(0, 99) ~max_retries:1 ())
+      s
+  with
+  | Ok _ -> Alcotest.fail "a shard that kills every worker must not succeed"
+  | Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions hostility: %S" m)
+        true (contains_sub m "hostile")
+
+(* ------------------------------------------------------------------ *)
+(* resume from the journal                                              *)
+(* ------------------------------------------------------------------ *)
+
+let resume_no_rerun () =
+  let s = scenario "safe_agreement_no_cancel" in
+  let dir = fresh_dir () in
+  let base = sweep_inproc s in
+  (* Session 1: journal on, stop after a single shard result. *)
+  let metrics1 = Metrics.create ~wall_clock:false () in
+  let id, first_executed =
+    match
+      Experiments.Harness.sweep_scenario_dist ~metrics:metrics1
+        (config ~shard_size:7 ~journal_dir:dir
+           ~stop_after:1 ())
+        s
+    with
+    | Error m -> Alcotest.failf "session 1 failed: %s" m
+    | Ok (Dist.Coordinator.Complete _, _) ->
+        Alcotest.fail "session 1 was supposed to suspend"
+    | Ok (Dist.Coordinator.Suspended id, stats) ->
+        (id, stats.Dist.Coordinator.executed)
+  in
+  check Alcotest.int "session 1 executed exactly one shard" 1 first_executed;
+  (* Session 2: resume; finished shards restored, not re-run. *)
+  let got, stats =
+    sweep_dist
+      (config ~shard_size:7 ~journal_dir:dir ~resume:id ())
+      s
+  in
+  check Alcotest.int "session 2 restored session 1's shard" first_executed
+    stats.Dist.Coordinator.resumed;
+  Alcotest.(check bool)
+    "session 2 did not re-run the restored shard" true
+    (stats.Dist.Coordinator.executed + stats.Dist.Coordinator.resumed
+    <= stats.Dist.Coordinator.shards);
+  check Alcotest.string "resumed outcome identical to in-process" (fst base)
+    (fst got);
+  check Alcotest.string "resumed metrics identical to in-process" (snd base)
+    (snd got)
+
+let resume_rejects_other_job () =
+  let s = scenario "safe_agreement_no_cancel" in
+  let dir = fresh_dir () in
+  let id =
+    match
+      Experiments.Harness.sweep_scenario_dist
+        (config ~shard_size:7 ~journal_dir:dir
+           ~stop_after:1 ())
+        s
+    with
+    | Ok (Dist.Coordinator.Suspended id, _) -> id
+    | _ -> Alcotest.fail "setup run was supposed to suspend"
+  in
+  (* Same id, different parameters: the fingerprint check must refuse. *)
+  match
+    Experiments.Harness.sweep_scenario_dist ~max_faults:2
+      (config ~shard_size:7 ~journal_dir:dir ~resume:id ())
+      s
+  with
+  | Ok _ -> Alcotest.fail "resume under different parameters must fail"
+  | Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions the mismatch: %S" m)
+        true
+        (contains_sub m "different job")
+
+let suite =
+  [
+    ( "dist",
+      [
+        Alcotest.test_case "sweep identity (seeded bug 1)" `Quick
+          (sweep_identity "safe_agreement_no_cancel");
+        Alcotest.test_case "sweep identity (seeded bug 2)" `Quick
+          (sweep_identity "x_safe_agreement_first_subset");
+        Alcotest.test_case "explore identity (seeded bug 1)" `Quick
+          (explore_identity "safe_agreement_no_cancel" ~max_crashes:1);
+        Alcotest.test_case "worker SIGKILL changes nothing (sweep)" `Quick
+          chaos_identical;
+        Alcotest.test_case "worker SIGKILL changes nothing (explore)" `Quick
+          chaos_explore_identical;
+        Alcotest.test_case "hostile shard is reported, not retried forever"
+          `Quick hostile_shard;
+        Alcotest.test_case "resume runs no shard twice" `Quick resume_no_rerun;
+        Alcotest.test_case "resume refuses a different job" `Quick
+          resume_rejects_other_job;
+      ] );
+  ]

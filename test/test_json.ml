@@ -1,0 +1,165 @@
+(* Svm.Json as a wire codec: the dist protocol feeds it bytes from
+   arbitrary peers, so parsing must be total — typed errors on
+   malformed, truncated, non-finite and absurdly nested input, never an
+   exception and never an unbounded allocation — and printing must
+   round-trip everything the protocol emits. *)
+
+open Svm
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* generators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let scalar_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      return Json.Null;
+      map (fun b -> Json.Bool b) bool;
+      map (fun i -> Json.Int i) int;
+      (* Finite floats only: the emitter maps non-finite to null. *)
+      map (fun f -> Json.Float f) (float_bound_inclusive 1e9);
+      map (fun s -> Json.String s) (string_size (int_bound 20));
+    ]
+
+let json_gen =
+  let open QCheck.Gen in
+  sized_size (int_bound 4) @@ fix (fun self n ->
+      if n = 0 then scalar_gen
+      else
+        frequency
+          [
+            (2, scalar_gen);
+            ( 1,
+              map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2)))
+            );
+            ( 1,
+              map
+                (fun kvs -> Json.Obj kvs)
+                (list_size (int_bound 4)
+                   (pair (string_size (int_bound 8)) (self (n / 2)))) );
+          ])
+
+let json_arb = QCheck.make ~print:Json.to_string json_gen
+
+(* ------------------------------------------------------------------ *)
+(* properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec canon = function
+  (* What a round-trip is allowed to change: nothing. (Floats with an
+     integral value print as "x.0" and re-parse as Float, so even those
+     survive; duplicate object keys are kept as-is by the parser.) *)
+  | (Json.Null | Json.Bool _ | Json.Int _ | Json.String _) as v -> v
+  | Json.Float f -> Json.Float f
+  | Json.List l -> Json.List (List.map canon l)
+  | Json.Obj kvs -> Json.Obj (List.map (fun (k, v) -> (k, canon v)) kvs)
+
+let roundtrip =
+  QCheck.Test.make ~count:500 ~name:"to_string |> of_string round-trips"
+    json_arb (fun v ->
+      match Json.of_string (Json.to_string v) with
+      | Ok v' -> canon v = canon v'
+      | Error e -> QCheck.Test.fail_reportf "did not parse back: %s" e)
+
+let pretty_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"pretty printing parses back too"
+    json_arb (fun v ->
+      match Json.of_string (Json.to_string ~pretty:true v) with
+      | Ok v' -> canon v = canon v'
+      | Error e -> QCheck.Test.fail_reportf "did not parse back: %s" e)
+
+(* Arbitrary bytes — and mutilated valid documents — must produce a
+   typed result, never an exception. *)
+let no_raise_on_garbage =
+  QCheck.Test.make ~count:1000 ~name:"of_string never raises on garbage"
+    QCheck.(string_gen QCheck.Gen.char)
+    (fun s ->
+      match Json.of_string s with Ok _ | Error _ -> true)
+
+let no_raise_on_truncated =
+  QCheck.Test.make ~count:500 ~name:"of_string never raises on truncations"
+    QCheck.(pair json_arb small_nat)
+    (fun (v, k) ->
+      let s = Json.to_string v in
+      let s = String.sub s 0 (min k (String.length s)) in
+      match Json.of_string s with Ok _ | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* hostile-input unit cases                                             *)
+(* ------------------------------------------------------------------ *)
+
+let is_error what = function
+  | Error _ -> ()
+  | Ok v ->
+      Alcotest.failf "%s unexpectedly parsed as %s" what (Json.to_string v)
+
+let deep_nesting () =
+  (* 100k unclosed brackets: a naive recursive-descent parser blows the
+     stack here. Must come back as a typed error, fast. *)
+  is_error "100k open brackets" (Json.of_string (String.make 100_000 '['));
+  is_error "100k open braces" (Json.of_string (String.make 100_000 '{'));
+  let deep_closed =
+    String.make 2_000 '[' ^ "1" ^ String.make 2_000 ']'
+  in
+  is_error "2k-deep closed nesting" (Json.of_string deep_closed);
+  (* ... while nesting below the cap still parses. *)
+  let ok_depth = Json.max_depth - 2 in
+  let shallow = String.make ok_depth '[' ^ "1" ^ String.make ok_depth ']' in
+  match Json.of_string shallow with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "nesting below the cap rejected: %s" e
+
+let non_finite () =
+  is_error "1e999" (Json.of_string "1e999");
+  is_error "-1e999" (Json.of_string "[-1e999]");
+  (* Literal forms of non-finite numbers are not JSON at all. *)
+  is_error "nan" (Json.of_string "nan");
+  is_error "inf" (Json.of_string "inf");
+  (* And the emitter never produces them: non-finite floats go to null,
+     so emitted output always re-parses. *)
+  Alcotest.(check string)
+    "nan emits null" "null"
+    (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string)
+    "inf emits null" "[null]"
+    (Json.to_string (Json.List [ Json.Float Float.infinity ]))
+
+let malformed_table () =
+  List.iter
+    (fun s -> is_error (Printf.sprintf "%S" s) (Json.of_string s))
+    [
+      "";
+      "   ";
+      "{";
+      "}";
+      "[1,";
+      "[1 2]";
+      "{\"a\":}";
+      "{\"a\" 1}";
+      "{a:1}";
+      "\"unterminated";
+      "\"bad escape \\q\"";
+      "tru";
+      "truefalse";
+      "- 1";
+      "[1],";
+      "{\"a\":1}{\"b\":2}";
+      "\xff\xfe";
+    ]
+
+let suite =
+  [
+    ( "json-wire",
+      [
+        Alcotest.test_case "hostile nesting depth" `Quick deep_nesting;
+        Alcotest.test_case "non-finite numbers" `Quick non_finite;
+        Alcotest.test_case "malformed-input table" `Quick malformed_table;
+        to_alcotest roundtrip;
+        to_alcotest pretty_roundtrip;
+        to_alcotest no_raise_on_garbage;
+        to_alcotest no_raise_on_truncated;
+      ] );
+  ]
