@@ -7,11 +7,13 @@
 #   make smoke-trace   — sweep a seeded bug, export + validate its Chrome trace
 #   make smoke-dist    — multi-process runs (with a chaos-killed worker) must
 #                        be byte-identical to in-process runs
+#   make smoke-net     — the TCP service: serve + chaos-net remote workers,
+#                        byte-identical to in-process; SIGTERM drains to 0
 #   make test-heavy    — includes the exhaustive sweeps (ASMSIM_HEAVY=1)
 #   make bench-json    — benchmarks as BENCH_svm.json (ns/run + overhead)
-#   make bench-gate    — re-time the EX explorer and DIST coordinator families,
-#                        fail if any row regressed >1.5x against the committed
-#                        BENCH_svm.json
+#   make bench-gate    — re-time the EX explorer, DIST coordinator and NET
+#                        service families, fail if any row regressed >1.5x
+#                        against the committed BENCH_svm.json
 
 BUILD_TIMEOUT ?= 120
 TEST_TIMEOUT ?= 150
@@ -19,6 +21,7 @@ SMOKE_TIMEOUT ?= 60
 ASMSIM = dune exec --no-print-directory bin/asmsim.exe --
 
 .PHONY: build check test test-heavy ci ci-heavy smoke smoke-trace smoke-dist \
+	smoke-net \
 	bench-json bench-gate explore-determinism
 
 build:
@@ -77,11 +80,47 @@ smoke-dist: build
 	  --crashes 1 --expect-violation --dist 2 --shard-size 7 > _build/dist-d.out
 	diff _build/dist-c.out _build/dist-d.out
 
+# The network service end to end, through the real CLI: the same
+# seeded-bug sweep run in-process and over loopback TCP — a serve
+# daemon and two remote workers, each sabotaging its own writes with a
+# different --chaos-net fault — must print the same stdout and write a
+# byte-identical replay artifact. The greps prove the chaos really
+# fired, and `wait` proves SIGTERM drained the server to exit 0.
+smoke-net: build
+	rm -rf _build/netsmoke && mkdir -p _build/netsmoke
+	set -e; \
+	BIN=_build/default/bin/asmsim.exe; D=_build/netsmoke; \
+	timeout $(SMOKE_TIMEOUT) $$BIN sweep --algo safe_agreement_no_cancel \
+	  --expect-violation --out $$D/net.replay > $$D/a.out; \
+	cp $$D/net.replay $$D/a.replay; \
+	timeout $(SMOKE_TIMEOUT) $$BIN serve --listen 127.0.0.1:0 \
+	  --journal-dir $$D/jobs --metrics-out $$D/srv.metrics.json \
+	  2> $$D/srv.err & SRV=$$!; \
+	for i in $$(seq 1 100); do \
+	  grep -q 'listening on port' $$D/srv.err 2>/dev/null && break; sleep 0.1; \
+	done; \
+	PORT=$$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' $$D/srv.err | head -1); \
+	timeout $(SMOKE_TIMEOUT) $$BIN work --connect 127.0.0.1:$$PORT \
+	  --chaos-net drop --chaos-every 3 2> $$D/w1.err & \
+	timeout $(SMOKE_TIMEOUT) $$BIN work --connect 127.0.0.1:$$PORT \
+	  --chaos-net truncate --chaos-every 5 2> $$D/w2.err & \
+	sleep 0.3; \
+	timeout $(SMOKE_TIMEOUT) $$BIN sweep --algo safe_agreement_no_cancel \
+	  --expect-violation --connect 127.0.0.1:$$PORT \
+	  --out $$D/net.replay > $$D/b.out 2> $$D/b.err; \
+	kill -TERM $$SRV; wait $$SRV; \
+	diff $$D/a.out $$D/b.out; \
+	diff $$D/a.replay $$D/net.replay; \
+	grep -l chaos $$D/w1.err $$D/w2.err > /dev/null; \
+	grep -q draining $$D/srv.err; \
+	grep -q net_shards_executed_total $$D/srv.metrics.json
+
 ci: check
 	timeout $(TEST_TIMEOUT) dune runtest
 	$(MAKE) smoke
 	$(MAKE) smoke-trace
 	$(MAKE) smoke-dist
+	$(MAKE) smoke-net
 	$(MAKE) explore-determinism
 
 # The parallel explorer must reach the same verdict at jobs=4 as at

@@ -315,6 +315,118 @@ let dist_family =
     (dist4_name, bench_sweep_dist 4);
   ]
 
+(* The NET family: the same sweep submitted to a loopback TCP service
+   with one remote worker — handshake, framed submit, shard stream,
+   journal, local merge. The server and worker start once and are
+   reused across iterations, so NET1 prices the per-job protocol cost
+   rather than process startup; [net_overhead_ratio] (NET1 / SW0) is
+   the tax of going through the socket instead of the in-process
+   sweep. *)
+
+let net_exe = "_build/default/bin/asmsim.exe"
+let net_errfile = "_build/bench-net-server.err"
+let net_state : int option ref = ref None
+
+let net_read_err () =
+  match In_channel.with_open_bin net_errfile In_channel.input_all with
+  | s -> s
+  | exception Sys_error _ -> ""
+
+let net_scrape_port s =
+  let marker = "listening on port " in
+  let mn = String.length marker in
+  let rec find i =
+    if i + mn > String.length s then None
+    else if String.sub s i mn = marker then Some (i + mn)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some digits ->
+      let j = ref digits in
+      while !j < String.length s && s.[!j] >= '0' && s.[!j] <= '9' do
+        incr j
+      done;
+      if !j > digits then
+        Some (int_of_string (String.sub s digits (!j - digits)))
+      else None
+
+let net_port () =
+  match !net_state with
+  | Some port -> port
+  | None ->
+      let errfd =
+        Unix.openfile net_errfile
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+          0o644
+      in
+      let srv =
+        Unix.create_process net_exe
+          [|
+            net_exe;
+            "serve";
+            "--listen";
+            "127.0.0.1:0";
+            "--journal-dir";
+            "_build/bench-net-jobs";
+          |]
+          Unix.stdin Unix.stdout errfd
+      in
+      Unix.close errfd;
+      let rec await tries =
+        if tries = 0 then failwith "bench: net server never bound"
+        else
+          match net_scrape_port (net_read_err ()) with
+          | Some port -> port
+          | None ->
+              Unix.sleepf 0.02;
+              await (tries - 1)
+      in
+      let port = await 500 in
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      let wrk =
+        Unix.create_process net_exe
+          [| net_exe; "work"; "--connect"; Printf.sprintf "127.0.0.1:%d" port |]
+          Unix.stdin devnull devnull
+      in
+      Unix.close devnull;
+      at_exit (fun () ->
+          List.iter
+            (fun pid ->
+              (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+              try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+            [ wrk; srv ]);
+      net_state := Some port;
+      port
+
+let net_client_config =
+  lazy
+    {
+      (Dist.Client.default_config
+         ~fingerprint:(Experiments.Harness.registry_fingerprint ())
+         ())
+      with
+      Dist.Client.backoff_base = 0.01;
+    }
+
+let bench_sweep_net () =
+  let port = net_port () in
+  let job =
+    Experiments.Harness.sweep_job ~max_runs:dist_runs dist_scenario
+  in
+  match
+    Experiments.Harness.submit_job_net
+      (Lazy.force net_client_config)
+      job
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  with
+  | Ok (Dist.Client.Finished _, _) -> ()
+  | Ok (Dist.Client.Suspended _, _) -> failwith "bench: net job suspended"
+  | Error e -> failwith e
+
+let net1_name = "NET1: same sweep, TCP service + 1 remote worker"
+let net_family = [ (net1_name, bench_sweep_net) ]
+
 let tests =
   Test.make_grouped ~name:"mpcn"
     ([
@@ -367,7 +479,7 @@ let tests =
     ]
     @ List.map
         (fun (name, body) -> Test.make ~name (Staged.stage body))
-        (explore_family @ dist_family))
+        (explore_family @ dist_family @ net_family))
 
 let estimate_table () =
   let ols =
@@ -448,6 +560,13 @@ let emit_json estimates =
     | Some base, Some dist when base > 0. -> Some (dist /. base)
     | _ -> None
   in
+  (* NET1 / SW0: the same tax paid over loopback TCP — handshake,
+     framed submit, journal, shard stream — with one remote worker. *)
+  let net_ratio =
+    match (find sw0_name, find net1_name) with
+    | Some base, Some net when base > 0. -> Some (net /. base)
+    | _ -> None
+  in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"benchmarks\": [\n";
   List.iteri
@@ -476,8 +595,13 @@ let emit_json estimates =
   (match dist_ratio with
   | Some r ->
       Buffer.add_string b
-        (Printf.sprintf "  \"dist_overhead_ratio\": %.3f\n" r)
-  | None -> Buffer.add_string b "  \"dist_overhead_ratio\": null\n");
+        (Printf.sprintf "  \"dist_overhead_ratio\": %.3f,\n" r)
+  | None -> Buffer.add_string b "  \"dist_overhead_ratio\": null,\n");
+  (match net_ratio with
+  | Some r ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"net_overhead_ratio\": %.3f\n" r)
+  | None -> Buffer.add_string b "  \"net_overhead_ratio\": null\n");
   Buffer.add_string b "}\n";
   let oc = open_out "BENCH_svm.json" in
   output_string oc (Buffer.contents b);
@@ -494,9 +618,12 @@ let emit_json estimates =
   (match dist_ratio with
   | Some r -> Printf.printf "dist overhead ratio: %.2fx\n" r
   | None -> ());
+  (match net_ratio with
+  | Some r -> Printf.printf "net overhead ratio: %.2fx\n" r
+  | None -> ());
   print_endline "wrote BENCH_svm.json"
 
-(* --gate FILE: the regression gate. Re-times the EX and DIST families
+(* --gate FILE: the regression gate. Re-times the EX, DIST and NET families
    (best of two wall-clock runs per row — the bodies run long enough
    for that to be a stable estimate, and the second run absorbs warm-up
    effects the committed bechamel numbers do not pay) and fails if any
@@ -553,14 +680,14 @@ let gate_against file =
           Printf.printf "%-56s %9.1f ms vs %9.1f ms  %.2fx  %s\n" name
             (measured /. 1e6) (committed /. 1e6) r
             (if ok then "ok" else "REGRESSED"))
-    (explore_family @ dist_family);
+    (explore_family @ dist_family @ net_family);
   if !failed then begin
-    Printf.eprintf "bench gate: EX/DIST families regressed beyond %.1fx\n"
-      gate_slack;
+    Printf.eprintf
+      "bench gate: EX/DIST/NET families regressed beyond %.1fx\n" gate_slack;
     exit 1
   end
   else
-    Printf.printf "bench gate: EX/DIST families within %.1fx of %s\n"
+    Printf.printf "bench gate: EX/DIST/NET families within %.1fx of %s\n"
       gate_slack file
 
 let () =

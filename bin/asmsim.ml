@@ -369,6 +369,53 @@ let print_dist_stats (st : Dist.Coordinator.stats) =
 let suspend_note id =
   Format.eprintf "[dist] job %s suspended; pick it up with --resume %s@." id id
 
+(* ---- network service plumbing, shared by sweep/explore --connect,
+   work --connect and serve --listen; like [dist] chatter it all goes
+   to stderr so stdout stays byte-diffable against in-process runs ---- *)
+
+let net_log s = Format.eprintf "[net] %s@." s
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Submit the job to a running `asmsim serve --listen' daemon \
+           instead of executing locally. Shard payloads stream back and \
+           merge locally, so output is bit-for-bit identical to the \
+           in-process run. With --resume JOB, continue a job the server \
+           suspended while draining.")
+
+let parse_addr_or_die s =
+  match Dist.Net.parse_addr s with
+  | Ok a -> a
+  | Error m ->
+      prerr_endline m;
+      exit 2
+
+let client_config () =
+  {
+    (Dist.Client.default_config
+       ~fingerprint:(Experiments.Harness.registry_fingerprint ())
+       ())
+    with
+    Dist.Client.log = Some net_log;
+  }
+
+let print_net_stats (st : Dist.Client.stats) =
+  Format.eprintf
+    "[net] job %s: %d shard(s) of %d cell(s); %d resumed, %d executed; %d \
+     reconnect(s)@."
+    st.Dist.Client.job_id st.Dist.Client.shards st.Dist.Client.shard_size
+    st.Dist.Client.resumed st.Dist.Client.executed st.Dist.Client.reconnects
+
+let net_suspend_note id =
+  Format.eprintf
+    "[net] job %s suspended (server draining); resubmit with --connect \
+     ... --resume %s@."
+    id id
+
 (* ---- outcome printers, shared by the in-process and --dist paths and
    by serve; each returns whether a finding was printed ---- *)
 
@@ -476,7 +523,7 @@ let sweep_cmd =
              Outcomes are identical at any job count.")
   in
   let run name nprocs t window runs budget out tiers expect_violation jobs
-      dist resume shard_timeout shard_size chaos journal_dir =
+      dist resume shard_timeout shard_size chaos journal_dir connect =
     let kinds =
       String.split_on_char ',' tiers
       |> List.map String.trim
@@ -529,8 +576,37 @@ let sweep_cmd =
                 outcome
           end
           else
-            Experiments.Harness.sweep_scenario ~kinds ~max_faults:t
-              ~op_window:window ~max_runs:runs ~budget ~jobs ~on_progress s
+            match connect with
+            | Some addrstr -> begin
+                let addr = parse_addr_or_die addrstr in
+                let job =
+                  Experiments.Harness.sweep_job ~kinds ~max_faults:t
+                    ~op_window:window ~max_runs:runs ~budget s
+                in
+                match
+                  Experiments.Harness.submit_job_net ?resume
+                    (client_config ()) job addr
+                with
+                | Error m ->
+                    Format.eprintf "sweep --connect failed: %s@." m;
+                    exit 3
+                | Ok (Dist.Client.Suspended id, stats) ->
+                    print_net_stats stats;
+                    net_suspend_note id;
+                    exit 0
+                | Ok (Dist.Client.Finished (Dist.Client.Sweep_outcome o), stats)
+                  ->
+                    print_net_stats stats;
+                    o
+                | Ok (Dist.Client.Finished (Dist.Client.Explore_outcome _), _)
+                  ->
+                    Format.eprintf
+                      "sweep --connect: server streamed an explore result@.";
+                    exit 3
+              end
+            | None ->
+                Experiments.Harness.sweep_scenario ~kinds ~max_faults:t
+                  ~op_window:window ~max_runs:runs ~budget ~jobs ~on_progress s
         in
         let violated = print_sweep_outcome ~out outcome in
         if violated <> expect_violation then exit 1
@@ -544,7 +620,7 @@ let sweep_cmd =
     Term.(
       const run $ scenario_arg $ n $ t $ window $ runs $ budget $ out $ tiers
       $ expect_violation $ jobs $ dist_arg $ resume_arg $ shard_timeout_arg
-      $ shard_size_arg $ chaos_kill_arg $ journal_dir_arg)
+      $ shard_size_arg $ chaos_kill_arg $ journal_dir_arg $ connect_arg)
 
 (* ---- explore ---- *)
 
@@ -596,7 +672,7 @@ let explore_cmd =
                 was found.")
   in
   let run name nprocs steps crashes runs jobs no_dedup expect_violation dist
-      resume shard_timeout shard_size chaos journal_dir =
+      resume shard_timeout shard_size chaos journal_dir connect =
     match Experiments.Scenario.find ?nprocs name with
     | Error m ->
         prerr_endline m;
@@ -615,7 +691,7 @@ let explore_cmd =
           s.Experiments.Scenario.name s.Experiments.Scenario.nprocs
           s.Experiments.Scenario.x depth crashes
           (if no_dedup then "off" else "on")
-          (if dist > 0 then 1 else jobs);
+          (if dist > 0 || connect <> None then 1 else jobs);
         let on_progress ~runs =
           if runs mod 100_000 = 0 then
             Format.eprintf "... %d runs explored@." runs
@@ -648,9 +724,43 @@ let explore_cmd =
                 Ok r
           end
           else
-            Experiments.Harness.explore_scenario ~max_crashes:crashes
-              ~max_runs:runs ~max_steps:depth ~jobs ~dedup:(not no_dedup)
-              ~on_progress s
+            match connect with
+            | Some addrstr -> begin
+                if not s.Experiments.Scenario.explorable then begin
+                  Format.eprintf "scenario %s is not explorable@."
+                    s.Experiments.Scenario.name;
+                  exit 2
+                end;
+                let addr = parse_addr_or_die addrstr in
+                let job =
+                  Experiments.Harness.explore_job ~max_crashes:crashes
+                    ~max_runs:runs ~max_steps:depth ~dedup:(not no_dedup) s
+                in
+                match
+                  Experiments.Harness.submit_job_net ?resume
+                    (client_config ()) job addr
+                with
+                | Error m ->
+                    Format.eprintf "explore --connect failed: %s@." m;
+                    exit 3
+                | Ok (Dist.Client.Suspended id, stats) ->
+                    print_net_stats stats;
+                    net_suspend_note id;
+                    exit 0
+                | Ok
+                    (Dist.Client.Finished (Dist.Client.Explore_outcome r), stats)
+                  ->
+                    print_net_stats stats;
+                    Ok r
+                | Ok (Dist.Client.Finished (Dist.Client.Sweep_outcome _), _) ->
+                    Format.eprintf
+                      "explore --connect: server streamed a sweep result@.";
+                    exit 3
+              end
+            | None ->
+                Experiments.Harness.explore_scenario ~max_crashes:crashes
+                  ~max_runs:runs ~max_steps:depth ~jobs ~dedup:(not no_dedup)
+                  ~on_progress s
         in
         (match result with
         | Error m ->
@@ -670,7 +780,7 @@ let explore_cmd =
     Term.(
       const run $ scenario_arg $ n $ steps $ crashes $ runs $ jobs $ no_dedup
       $ expect_violation $ dist_arg $ resume_arg $ shard_timeout_arg
-      $ shard_size_arg $ chaos_kill_arg $ journal_dir_arg)
+      $ shard_size_arg $ chaos_kill_arg $ journal_dir_arg $ connect_arg)
 
 (* ---- replay ---- *)
 
@@ -1007,18 +1117,74 @@ let stats_cmd =
 (* ---- work (internal) / serve ---- *)
 
 let work_cmd =
-  let run () =
-    exit
-      (Dist.Worker.serve ~lookup:Experiments.Harness.dist_instance Unix.stdin
-         Unix.stdout)
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Pull shards from an `asmsim serve --listen' daemon over TCP \
+             instead of speaking frames on stdin/stdout. Reconnects with \
+             jittered exponential backoff when the link drops; exits 0 on \
+             a server-initiated shutdown.")
+  in
+  let chaos_net =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos-net" ] ~docv:"MODE"
+          ~doc:
+            "Fault-injection harness for --connect: sabotage the write \
+             path every few frames. MODE is one of drop, delay, truncate, \
+             garbage — results must stay identical to a clean run.")
+  in
+  let chaos_every =
+    Arg.(
+      value & opt int 7
+      & info [ "chaos-every" ] ~docv:"N"
+          ~doc:"Fire the --chaos-net fault on every Nth frame written.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 8
+      & info [ "retries" ] ~docv:"R"
+          ~doc:
+            "Consecutive failed connection attempts before giving up \
+             (--connect).")
+  in
+  let run connect chaos_net chaos_every retries =
+    match connect with
+    | None ->
+        exit
+          (Dist.Worker.serve ~lookup:Experiments.Harness.dist_instance
+             Unix.stdin Unix.stdout)
+    | Some addrstr ->
+        let addr = parse_addr_or_die addrstr in
+        let chaos =
+          match chaos_net with
+          | None -> None
+          | Some name -> (
+              match Dist.Net.chaos_mode_of_string name with
+              | Ok mode -> Some (Dist.Net.chaos ~every:chaos_every mode)
+              | Error m ->
+                  prerr_endline m;
+                  exit 2)
+        in
+        let cfg =
+          { (client_config ()) with Dist.Client.chaos; max_failures = retries }
+        in
+        exit
+          (Dist.Client.worker_loop cfg
+             ~lookup:Experiments.Harness.dist_instance addr)
   in
   Cmd.v
     (Cmd.info "work"
        ~doc:
-         "Worker-process mode of the distributed runner (internal): speak \
-          the length-prefixed frame protocol on stdin/stdout. Spawned by \
-          --dist and by serve; not meant to be run by hand.")
-    Term.(const run $ const ())
+         "Worker-process mode of the distributed runner: speak the \
+          length-prefixed frame protocol on stdin/stdout (internal, \
+          spawned by --dist), or pull shards from a network service with \
+          --connect.")
+    Term.(const run $ connect $ chaos_net $ chaos_every $ retries)
 
 let serve_cmd =
   let list_flag =
@@ -1043,58 +1209,159 @@ let serve_cmd =
       & info [ "out" ] ~docv:"FILE"
           ~doc:"Where to write the replay artifact of a found violation.")
   in
-  let run list_flag resume workers shard_timeout journal_dir out =
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Run as a long-lived TCP verification service: accept job \
+             submissions from `sweep/explore --connect' clients and deal \
+             their shards to `work --connect' workers. Bind PORT 0 to let \
+             the kernel pick (the bound port is printed to stderr). \
+             SIGTERM drains gracefully: stop accepting, checkpoint \
+             in-flight work, exit 0.")
+  in
+  let fsync =
+    Arg.(
+      value & flag
+      & info [ "fsync" ]
+          ~doc:
+            "fsync job journals on every checkpoint (--listen): shards \
+             survive a machine crash, not just a process crash.")
+  in
+  let heartbeat =
+    Arg.(
+      value & opt float 20.
+      & info [ "heartbeat-timeout" ] ~docv:"SEC"
+          ~doc:
+            "Declare a silent network peer dead after SEC seconds \
+             (--listen); a ping is sent at SEC/2.")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 10
+      & info [ "max-retries" ] ~docv:"K"
+          ~doc:
+            "Re-deal a lost shard at most K times before declaring it \
+             hostile and failing the job (--listen).")
+  in
+  let rate_limit =
+    Arg.(
+      value & opt int (64 * 1024 * 1024)
+      & info [ "rate-limit" ] ~docv:"BYTES"
+          ~doc:
+            "Cut a peer that sends more than BYTES per second (--listen); \
+             a slow-loris defense on top of the frame-size cap and the \
+             incomplete-frame deadline.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON snapshot of the service's counters (connections, \
+             handshake rejects, shard retries, queue depth) to FILE after \
+             the drain (--listen).")
+  in
+  let run list_flag resume workers shard_timeout journal_dir out listen fsync
+      heartbeat max_retries rate_limit metrics_out shard_size =
     if list_flag then
       List.iter print_endline (Dist.Journal.list_ids ~dir:journal_dir ())
     else
-      match resume with
-      | None ->
-          Format.eprintf "serve: pass --resume JOB or --list@.";
-          exit 2
-      | Some id -> (
-          match Dist.Journal.load ~dir:journal_dir id with
-          | Error m ->
-              prerr_endline m;
-              exit 2
-          | Ok l -> (
-              let config =
-                {
-                  (Dist.Coordinator.default_config ~workers ()) with
-                  Dist.Coordinator.shard_timeout;
-                  journal_dir = Some journal_dir;
-                  resume = Some id;
-                  log = Some dist_log;
-                }
-              in
-              (* The job itself comes from the journal — serve needs no
-                 re-statement of the sweep/explore parameters. *)
-              match
-                Experiments.Harness.run_job_dist config l.Dist.Journal.l_job
+      match listen with
+      | Some addrstr -> (
+          let addr = parse_addr_or_die addrstr in
+          let metrics = Svm.Metrics.create ~wall_clock:false () in
+          let cfg =
+            {
+              (Dist.Queue.default_config
+                 ~fingerprint:(Experiments.Harness.registry_fingerprint ())
+                 ())
               with
+              Dist.Queue.shard_size;
+              shard_timeout;
+              heartbeat_timeout = heartbeat;
+              max_retries;
+              rate_limit;
+              journal_dir;
+              fsync;
+              log = Some net_log;
+              metrics = Some metrics;
+            }
+          in
+          match
+            Dist.Queue.serve
+              ~on_listen:(fun port ->
+                Format.eprintf "[net] listening on port %d@." port)
+              cfg ~lookup:Experiments.Harness.dist_instance addr
+          with
+          | Ok () -> (
+              Format.eprintf "[net] drained; journals are resumable@.";
+              match metrics_out with
+              | None -> ()
+              | Some file ->
+                  let oc = open_out file in
+                  output_string oc
+                    (Svm.Metrics.snapshot_string ~pretty:true metrics);
+                  output_char oc '\n';
+                  close_out oc)
+          | Error m ->
+              Format.eprintf "serve: %s@." m;
+              exit 3)
+      | None -> (
+          match resume with
+          | None ->
+              Format.eprintf "serve: pass --listen ADDR, --resume JOB or \
+                              --list@.";
+              exit 2
+          | Some id -> (
+              match Dist.Journal.load ~dir:journal_dir id with
               | Error m ->
-                  Format.eprintf "serve: %s@." m;
-                  exit 3
-              | Ok (`Sweep (Dist.Coordinator.Complete outcome, stats)) ->
-                  print_dist_stats stats;
-                  if print_sweep_outcome ~out outcome then exit 1
-              | Ok (`Explore (Dist.Coordinator.Complete r, stats)) ->
-                  print_dist_stats stats;
-                  if print_explore_result r then exit 1
-              | Ok
-                  ( `Sweep (Dist.Coordinator.Suspended sid, stats)
-                  | `Explore (Dist.Coordinator.Suspended sid, stats) ) ->
-                  print_dist_stats stats;
-                  suspend_note sid))
+                  prerr_endline m;
+                  exit 2
+              | Ok l -> (
+                  let config =
+                    {
+                      (Dist.Coordinator.default_config ~workers ()) with
+                      Dist.Coordinator.shard_timeout;
+                      journal_dir = Some journal_dir;
+                      resume = Some id;
+                      log = Some dist_log;
+                    }
+                  in
+                  (* The job itself comes from the journal — serve needs no
+                     re-statement of the sweep/explore parameters. *)
+                  match
+                    Experiments.Harness.run_job_dist config
+                      l.Dist.Journal.l_job
+                  with
+                  | Error m ->
+                      Format.eprintf "serve: %s@." m;
+                      exit 3
+                  | Ok (`Sweep (Dist.Coordinator.Complete outcome, stats)) ->
+                      print_dist_stats stats;
+                      if print_sweep_outcome ~out outcome then exit 1
+                  | Ok (`Explore (Dist.Coordinator.Complete r, stats)) ->
+                      print_dist_stats stats;
+                      if print_explore_result r then exit 1
+                  | Ok
+                      ( `Sweep (Dist.Coordinator.Suspended sid, stats)
+                      | `Explore (Dist.Coordinator.Suspended sid, stats) ) ->
+                      print_dist_stats stats;
+                      suspend_note sid)))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Manage journalled distributed jobs: list them, or resume one \
-          (finished shards are restored from the journal, only the rest \
-          re-run)")
+         "Run the network verification service (--listen), or manage \
+          journalled distributed jobs: list them, or resume one (finished \
+          shards are restored from the journal, only the rest re-run)")
     Term.(
       const run $ list_flag $ resume $ workers $ shard_timeout_arg
-      $ journal_dir_arg $ out)
+      $ journal_dir_arg $ out $ listen $ fsync $ heartbeat $ max_retries
+      $ rate_limit $ metrics_out $ shard_size_arg)
 
 let () =
   let doc = "Reproduction of 'The Multiplicative Power of Consensus Numbers'" in

@@ -1,0 +1,311 @@
+module Json = Svm.Json
+
+type config = {
+  fingerprint : string;
+  chaos : Net.chaos option;
+  max_failures : int;
+  backoff_base : float;
+  backoff_cap : float;
+  dial_timeout : float;
+  read_timeout : float;
+  log : (string -> unit) option;
+}
+
+let default_config ~fingerprint () =
+  {
+    fingerprint;
+    chaos = None;
+    max_failures = 8;
+    backoff_base = 0.2;
+    backoff_cap = 5.0;
+    dial_timeout = 10.;
+    read_timeout = 60.;
+    log = None;
+  }
+
+let logf cfg fmt =
+  Printf.ksprintf (fun s -> match cfg.log with Some f -> f s | None -> ()) fmt
+
+(* A connection-level failure: close, back off, reconnect. *)
+exception Link of string
+
+(* Clean end of service with this process exit code. *)
+exception Quit of int
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let frame_error e = Link (Format.asprintf "%a" Frame.pp_error e)
+
+(* Back off before reconnect attempt [failures] (1-based), full-jitter. *)
+let backoff cfg rng failures =
+  if failures > 0 then
+    Unix.sleepf
+      (Policy.reconnect_delay ~base:cfg.backoff_base ~cap:cfg.backoff_cap
+         ~attempt:(failures - 1)
+         ~rand:(Random.State.float rng 1.0))
+
+(* Dial + handshake, driving the shared bounded-reconnect state.
+   [session fd] runs until it raises [Link] (reconnect) or [Quit]. *)
+let connect_loop cfg ~role addr session =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let rng = Random.State.make_self_init () in
+  let failures = ref 0 in
+  let rec go () =
+    if !failures > cfg.max_failures then begin
+      logf cfg "giving up after %d consecutive connection failures" !failures;
+      Error
+        (Printf.sprintf "no usable connection after %d attempts" !failures)
+    end
+    else begin
+      backoff cfg rng !failures;
+      match Net.dial ~timeout:cfg.dial_timeout addr with
+      | Error m ->
+          incr failures;
+          logf cfg "connect failed (%s); attempt %d" m !failures;
+          go ()
+      | Ok fd -> (
+          match
+            Net.client_handshake fd ~role ~fingerprint:cfg.fingerprint
+          with
+          | Error (Net.Hs_rejected m) ->
+              close_quiet fd;
+              Error (Printf.sprintf "server rejected us: %s" m)
+          | Error (Net.Hs_link m) ->
+              close_quiet fd;
+              incr failures;
+              logf cfg "handshake failed (%s); attempt %d" m !failures;
+              go ()
+          | Ok () -> (
+              failures := 0;
+              match session fd with
+              | () ->
+                  close_quiet fd;
+                  incr failures;
+                  go ()
+              | exception Link m ->
+                  close_quiet fd;
+                  incr failures;
+                  logf cfg "link lost (%s); reconnecting" m;
+                  go ()
+              | exception Quit code ->
+                  close_quiet fd;
+                  Ok code
+              | exception exn ->
+                  close_quiet fd;
+                  raise exn))
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Remote worker                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let worker_send cfg fd msg =
+  try Net.chaos_write ?chaos:cfg.chaos fd (Proto.net_from_worker_to_json msg)
+  with
+  | Net.Chaos_cut -> raise (Link "chaos cut the connection")
+  | Unix.Unix_error (e, _, _) -> raise (Link (Unix.error_message e))
+
+let worker_recv cfg fd =
+  match Frame.read ~timeout:cfg.read_timeout fd with
+  | Ok v -> (
+      match Proto.net_to_worker_of_json v with
+      | Ok m -> m
+      | Error m -> raise (Link ("undecodable server frame: " ^ m)))
+  | Error e -> raise (frame_error e)
+
+let worker_session cfg ~lookup fd =
+  let jobs : (string, Worker.instance) Hashtbl.t = Hashtbl.create 4 in
+  let open_job jid job =
+    match Hashtbl.find_opt jobs jid with
+    | Some inst ->
+        worker_send cfg fd
+          (Proto.Nf_job_ok { jid; cells = Worker.cells_of_instance inst })
+    | None -> (
+        match lookup job with
+        | Ok inst ->
+            Hashtbl.replace jobs jid inst;
+            logf cfg "opened job %s (%d cells)" jid
+              (Worker.cells_of_instance inst);
+            worker_send cfg fd
+              (Proto.Nf_job_ok { jid; cells = Worker.cells_of_instance inst })
+        | Error msg ->
+            logf cfg "cannot open job %s: %s" jid msg;
+            worker_send cfg fd (Proto.Nf_job_err { jid; msg }))
+  in
+  (* Between cells of a long shard, answer pings (and honour shutdown)
+     so the server's heartbeats survive slow compute. *)
+  let poll_control () =
+    match Unix.select [ fd ] [] [] 0.0 with
+    | [], _, _ -> ()
+    | _ -> (
+        match worker_recv cfg fd with
+        | Proto.Nw_ping -> worker_send cfg fd Proto.Nf_pong
+        | Proto.Nw_shutdown -> raise (Quit 0)
+        | Proto.Nw_job { jid; job } -> open_job jid job
+        | Proto.Nw_assign _ -> raise (Link "assigned a shard while busy"))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let rec loop () =
+    (match worker_recv cfg fd with
+    | Proto.Nw_ping -> worker_send cfg fd Proto.Nf_pong
+    | Proto.Nw_shutdown -> raise (Quit 0)
+    | Proto.Nw_job { jid; job } -> open_job jid job
+    | Proto.Nw_assign { jid; shard; lo; hi } -> (
+        match Hashtbl.find_opt jobs jid with
+        | None -> raise (Link "assigned a job we never opened")
+        | Some inst ->
+            let tick completed =
+              worker_send cfg fd (Proto.Nf_progress { jid; shard; completed });
+              poll_control ()
+            in
+            let payload = Worker.compute_shard inst ~lo ~hi ~tick in
+            worker_send cfg fd (Proto.Nf_result { jid; shard; payload })));
+    loop ()
+  in
+  loop ()
+
+let worker_loop cfg ~lookup addr =
+  match
+    connect_loop cfg ~role:Proto.Worker_role addr (fun fd ->
+        worker_session cfg ~lookup fd)
+  with
+  | Ok code -> code
+  | Error m ->
+      logf cfg "%s" m;
+      1
+
+(* ------------------------------------------------------------------ *)
+(* Submitting client                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type outcome =
+  | Sweep_outcome of Svm.Explore.sweep_outcome
+  | Explore_outcome of Svm.Univ.t Svm.Explore.result
+
+type submission = Finished of outcome | Suspended of string
+
+type stats = {
+  job_id : string;
+  shards : int;
+  shard_size : int;
+  resumed : int;
+  executed : int;
+  reconnects : int;
+}
+
+(* Terminal job verdicts cross the reconnect loop as exceptions. *)
+exception Done of int * int  (* executed, resumed *)
+exception Refused of string
+exception Draining
+
+let client_send fd msg =
+  try Frame.write fd (Proto.client_to_server_to_json msg)
+  with Unix.Unix_error (e, _, _) -> raise (Link (Unix.error_message e))
+
+let client_recv cfg fd =
+  match Frame.read ~timeout:cfg.read_timeout fd with
+  | Ok v -> (
+      match Proto.server_to_client_of_json v with
+      | Ok m -> m
+      | Error m -> raise (Link ("undecodable server frame: " ^ m)))
+  | Error e -> raise (frame_error e)
+
+let submit ?metrics ?resume cfg ~instance ~job addr =
+  let units = Worker.cells_of_instance instance in
+  let check =
+    match instance with
+    | Worker.Sweep_instance _ -> Proto.check_sweep_payload
+    | Worker.Explore_instance _ -> Proto.check_explore_payload
+  in
+  (* Survives reconnects: once accepted, later sessions resume by id
+     and re-receive the journalled backlog (idempotent stores). *)
+  let jid = ref resume in
+  let shard_size = ref 0 in
+  let payloads = ref [||] in
+  let reconnects = ref (-1) in
+  let session fd =
+    incr reconnects;
+    client_send fd (Proto.Cs_submit { job; resume = !jid });
+    let rec loop () =
+      (match client_recv cfg fd with
+      | Proto.Sc_ping -> client_send fd Proto.Cs_pong
+      | Proto.Sc_rejected m -> raise (Refused m)
+      | Proto.Sc_failed m -> raise (Refused m)
+      | Proto.Sc_draining -> raise Draining
+      | Proto.Sc_done { executed; resumed } -> raise (Done (executed, resumed))
+      | Proto.Sc_accepted { jid = j; cells; shard_size = ss } ->
+          if cells <> units then
+            raise
+              (Refused
+                 (Printf.sprintf
+                    "server planned %d cells but the local plan has %d — \
+                     registries disagree"
+                    cells units));
+          (match !jid with
+          | Some prev when prev <> j ->
+              raise (Refused (Printf.sprintf "server renamed job %s to %s" prev j))
+          | _ -> ());
+          jid := Some j;
+          if !payloads = [||] then begin
+            shard_size := ss;
+            let nshards = if units = 0 then 0 else (units + ss - 1) / ss in
+            payloads := Array.make nshards None
+          end
+          else if ss <> !shard_size then
+            raise
+              (Refused
+                 (Printf.sprintf "job %s shard size changed from %d to %d" j
+                    !shard_size ss))
+      | Proto.Sc_shard { shard; payload } ->
+          if shard >= 0 && shard < Array.length !payloads then begin
+            let lo = shard * !shard_size in
+            let hi = min units ((shard + 1) * !shard_size) in
+            match check ~lo ~hi payload with
+            | Ok _ -> !payloads.(shard) <- Some payload
+            | Error m -> raise (Link ("bad shard payload from server: " ^ m))
+          end);
+      loop ()
+    in
+    loop ()
+  in
+  let finish verdict =
+    let executed, resumed =
+      match verdict with `Done (e, r) -> (e, r) | `Drain -> (0, 0)
+    in
+    let stats jid =
+      {
+        job_id = jid;
+        shards = Array.length !payloads;
+        shard_size = !shard_size;
+        resumed;
+        executed;
+        reconnects = max 0 !reconnects;
+      }
+    in
+    match (verdict, !jid) with
+    | `Drain, Some id -> Ok (Suspended id, stats id)
+    | `Drain, None -> Error "server is draining"
+    | `Done _, None -> Error "finished without a job id"
+    | `Done _, Some id ->
+        let outcome =
+          match instance with
+          | Worker.Sweep_instance p ->
+              Sweep_outcome
+                (Merge.sweep ?metrics p ~shard_size:!shard_size
+                   ~payloads:!payloads)
+          | Worker.Explore_instance p ->
+              Explore_outcome
+                (Merge.explore ?metrics p ~shard_size:!shard_size
+                   ~payloads:!payloads)
+        in
+        Ok (Finished outcome, stats id)
+  in
+  match connect_loop cfg ~role:Proto.Client_role addr session with
+  | Ok _ -> Error "server shut the session down before the job finished"
+  | Error m -> Error m
+  | exception Done (e, r) -> finish (`Done (e, r))
+  | exception Draining -> finish `Drain
+  | exception Refused m -> Error m

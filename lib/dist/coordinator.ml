@@ -114,17 +114,22 @@ let rec reap pid =
 let shard_failed e sh =
   sh.sh_attempts <- sh.sh_attempts + 1;
   e.st_reassigned <- e.st_reassigned + 1;
-  if sh.sh_attempts > e.cfg.max_retries then begin
-    Option.iter (fun j -> Journal.append_hostile j ~shard:sh.sh_id) e.journal;
-    raise
-      (Fatal
-         (Printf.sprintf "shard %d [%d,%d) is hostile: it took down %d workers"
-            sh.sh_id sh.sh_lo sh.sh_hi sh.sh_attempts))
-  end;
-  sh.sh_state <- Pending;
-  sh.sh_not_before <-
-    now () +. (e.cfg.backoff *. (2. ** float_of_int (sh.sh_attempts - 1)));
-  logf e "shard %d back in the queue (lost attempt %d)" sh.sh_id sh.sh_attempts
+  match
+    Policy.retry ~max_retries:e.cfg.max_retries ~base:e.cfg.backoff
+      ~attempts:sh.sh_attempts
+  with
+  | Policy.Hostile ->
+      Option.iter (fun j -> Journal.append_hostile j ~shard:sh.sh_id) e.journal;
+      raise
+        (Fatal
+           (Printf.sprintf
+              "shard %d [%d,%d) is hostile: it took down %d workers" sh.sh_id
+              sh.sh_lo sh.sh_hi sh.sh_attempts))
+  | Policy.Requeue delay ->
+      sh.sh_state <- Pending;
+      sh.sh_not_before <- now () +. delay;
+      logf e "shard %d back in the queue (lost attempt %d)" sh.sh_id
+        sh.sh_attempts
 
 let worker_dead e w ~reason =
   if w.w_alive then begin
@@ -310,12 +315,13 @@ let check_timers e =
         | _ -> ());
         if w.w_alive then begin
           let silent = t -. w.w_last in
-          if silent > e.cfg.heartbeat_timeout then
-            kill_worker e w ~reason:"heartbeat timeout"
-          else if silent > e.cfg.heartbeat_timeout /. 2. && not w.w_pinged
-          then begin
-            if send_to e w Proto.Ping then w.w_pinged <- true
-          end
+          match
+            Policy.heartbeat ~timeout:e.cfg.heartbeat_timeout ~silent
+              ~pinged:w.w_pinged
+          with
+          | Policy.Dead -> kill_worker e w ~reason:"heartbeat timeout"
+          | Policy.Ping -> if send_to e w Proto.Ping then w.w_pinged <- true
+          | Policy.Wait -> ()
         end
       end)
     e.live
@@ -344,8 +350,9 @@ let next_timeout e =
       | Busy { deadline; _ } -> note (deadline -. t)
       | _ -> ());
       let silent = t -. w.w_last in
-      note (e.cfg.heartbeat_timeout -. silent);
-      if not w.w_pinged then note ((e.cfg.heartbeat_timeout /. 2.) -. silent))
+      note
+        (Policy.heartbeat_deadline ~timeout:e.cfg.heartbeat_timeout ~silent
+           ~pinged:w.w_pinged))
     e.live;
   Array.iter
     (fun sh ->
@@ -540,116 +547,32 @@ let execute cfg ~job ~units ~check =
         | `Fatal m -> Error m)
   end
 
-(* {2 Mode wrappers} *)
+(* {2 Mode wrappers}
 
-let sweep_check ~lo ~hi payload =
-  match payload with
-  | Json.String s ->
-      let n = hi - lo in
-      if String.length s <> n then
-        Error
-          (Printf.sprintf "expected %d verdict tags, got %d" n
-             (String.length s))
-      else begin
-        let finding = ref None in
-        let bad = ref None in
-        String.iteri
-          (fun i c ->
-            if not (Proto.verdict_tag_ok c) then begin
-              if !bad = None then bad := Some c
-            end
-            else if c = 'V' && !finding = None then finding := Some (lo + i))
-          s;
-        match !bad with
-        | Some c -> Error (Printf.sprintf "bad verdict tag %C" c)
-        | None -> Ok !finding
-      end
-  | _ -> Error "sweep shard payload must be a tag string"
+   Payload validation and the payload→outcome fold both live in shared
+   modules ({!Proto.check_sweep_payload} / {!Merge}) so the TCP queue
+   and client reuse the exact same code paths. *)
 
 let sweep ?metrics ?on_progress cfg ~job ~plan () =
   let units = Svm.Explore.sweep_cells plan in
-  match execute cfg ~job ~units ~check:sweep_check with
+  match execute cfg ~job ~units ~check:Proto.check_sweep_payload with
   | Error m -> Error m
   | Ok (`Suspended id, _, stats) -> Ok (Suspended id, stats)
   | Ok (`Complete, payloads, stats) ->
-      let tags = Array.make units ' ' in
-      Array.iteri
-        (fun shard p ->
-          match p with
-          | Some (Json.String s) ->
-              let lo = shard * stats.shard_size in
-              String.iteri (fun i c -> tags.(lo + i) <- c) s
-          | _ -> ())
-        payloads;
-      let verdict_of i =
-        match tags.(i) with
-        | 'C' -> Svm.Explore.Clean
-        | 'D' -> Svm.Explore.Deadlocked
-        | _ ->
-            (* 'V', or a cell past the cut whose shard was never dealt:
-               recompute locally — deterministic either way, and for 'V'
-               this recovers the violation record the wire elides. *)
-            Svm.Explore.sweep_cell plan i
-      in
       let outcome =
-        Svm.Explore.sweep_merge ?metrics ?on_progress plan ~verdict_of
+        Merge.sweep ?metrics ?on_progress plan ~shard_size:stats.shard_size
+          ~payloads
       in
       Ok (Complete outcome, stats)
 
-let explore_check ~lo ~hi payload =
-  match payload with
-  | Json.List l ->
-      let n = hi - lo in
-      if List.length l <> n then
-        Error
-          (Printf.sprintf "expected %d task summaries, got %d" n
-             (List.length l))
-      else begin
-        let rec go i finding = function
-          | [] -> Ok finding
-          | v :: rest -> (
-              match Proto.summary_of_json v with
-              | Error m -> Error m
-              | Ok s ->
-                  let finding =
-                    if
-                      finding = None
-                      && (s.Svm.Explore.ts_cex || s.Svm.Explore.ts_exhausted)
-                    then Some (lo + i)
-                    else finding
-                  in
-                  go (i + 1) finding rest)
-        in
-        go 0 None l
-      end
-  | _ -> Error "explore shard payload must be a summary list"
-
 let explore ?metrics ?on_progress cfg ~job ~plan () =
   let units = Svm.Explore.plan_tasks plan in
-  match execute cfg ~job ~units ~check:explore_check with
+  match execute cfg ~job ~units ~check:Proto.check_explore_payload with
   | Error m -> Error m
   | Ok (`Suspended id, _, stats) -> Ok (Suspended id, stats)
   | Ok (`Complete, payloads, stats) ->
-      let summaries = Array.make units None in
-      Array.iteri
-        (fun shard p ->
-          match p with
-          | Some (Json.List l) ->
-              let lo = shard * stats.shard_size in
-              List.iteri
-                (fun i v ->
-                  match Proto.summary_of_json v with
-                  | Ok s -> summaries.(lo + i) <- Some s
-                  | Error _ -> ())
-                l
-          | _ -> ())
-        payloads;
-      let outcome_of i =
-        match summaries.(i) with
-        | Some s -> (s, None)
-        | None -> Svm.Explore.task_outcome plan i
-      in
       let result =
-        Svm.Explore.merge_plan ?metrics ?on_progress plan ~outcome_of
+        Merge.explore ?metrics ?on_progress plan ~shard_size:stats.shard_size
+          ~payloads
       in
       Ok (Complete result, stats)

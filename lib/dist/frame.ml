@@ -3,6 +3,7 @@ type error =
   | Truncated of int
   | Oversized of int
   | Bad_json of string
+  | Stalled of int
 
 let pp_error ppf = function
   | Closed -> Format.fprintf ppf "connection closed"
@@ -11,6 +12,9 @@ let pp_error ppf = function
   | Oversized n ->
       Format.fprintf ppf "frame payload of %d bytes exceeds the cap" n
   | Bad_json m -> Format.fprintf ppf "frame payload is not JSON: %s" m
+  | Stalled n ->
+      Format.fprintf ppf
+        "frame incomplete past its deadline (%d byte(s) received)" n
 
 let default_max_len = 16 * 1024 * 1024
 
@@ -46,42 +50,62 @@ let write fd v =
 (* Blocking reads                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Read up to [len] bytes into [b], returning how many arrived before
-   EOF (may be short only at EOF). *)
-let read_full fd b len =
-  let rec go off =
-    if off >= len then off
-    else
-      match Unix.read fd b off (len - off) with
-      | 0 -> off
-      | k -> go (off + k)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-  in
-  go 0
-
 let be32 b =
   (Char.code (Bytes.get b 0) lsl 24)
   lor (Char.code (Bytes.get b 1) lsl 16)
   lor (Char.code (Bytes.get b 2) lsl 8)
   lor Char.code (Bytes.get b 3)
 
-let read ?(max_len = default_max_len) fd =
+(* Block until [fd] is readable or the absolute [deadline] passes;
+   [false] means the deadline won. *)
+let wait_readable fd deadline =
+  match deadline with
+  | None -> true
+  | Some dl ->
+      let rec go () =
+        let left = dl -. Unix.gettimeofday () in
+        if left <= 0. then false
+        else
+          match Unix.select [ fd ] [] [] left with
+          | [], _, _ -> go ()
+          | _ -> true
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      in
+      go ()
+
+let read ?(max_len = default_max_len) ?timeout fd =
+  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+  (* Read exactly [len] bytes into [b], or report how many arrived
+     before EOF or the deadline. *)
+  let read_full b len =
+    let rec go off =
+      if off >= len then `Full
+      else if not (wait_readable fd deadline) then `Stalled off
+      else
+        match Unix.read fd b off (len - off) with
+        | 0 -> `Eof off
+        | k -> go (off + k)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    in
+    go 0
+  in
   let hdr = Bytes.create 4 in
-  match read_full fd hdr 4 with
-  | 0 -> Error Closed
-  | k when k < 4 -> Error (Truncated k)
-  | _ ->
+  match read_full hdr 4 with
+  | `Eof 0 -> Error Closed
+  | `Eof k -> Error (Truncated k)
+  | `Stalled k -> Error (Stalled k)
+  | `Full -> (
       let len = be32 hdr in
       if len > max_len then Error (Oversized len)
       else
         let payload = Bytes.create len in
-        let k = read_full fd payload len in
-        if k < len then Error (Truncated (4 + k))
-        else begin
-          match Svm.Json.of_string (Bytes.unsafe_to_string payload) with
-          | Ok v -> Ok v
-          | Error m -> Error (Bad_json m)
-        end
+        match read_full payload len with
+        | `Eof k -> Error (Truncated (4 + k))
+        | `Stalled k -> Error (Stalled (4 + k))
+        | `Full -> (
+            match Svm.Json.of_string (Bytes.unsafe_to_string payload) with
+            | Ok v -> Ok v
+            | Error m -> Error (Bad_json m)))
 
 (* ------------------------------------------------------------------ *)
 (* Incremental decoding                                                 *)
@@ -89,13 +113,24 @@ let read ?(max_len = default_max_len) fd =
 
 type decoder = {
   d_max : int;
+  d_stall : float option;  (* seconds allowed to complete a frame *)
   mutable buf : Bytes.t;
   mutable start : int;  (* consumed prefix *)
   mutable len : int;  (* valid bytes at buf.[start .. start+len) *)
+  mutable frame_since : float option;
+      (* when the first byte of the currently-incomplete frame arrived;
+         [None] whenever the buffer sits at a frame boundary *)
 }
 
-let decoder ?(max_len = default_max_len) () =
-  { d_max = max_len; buf = Bytes.create 4096; start = 0; len = 0 }
+let decoder ?(max_len = default_max_len) ?stall_timeout () =
+  {
+    d_max = max_len;
+    d_stall = stall_timeout;
+    buf = Bytes.create 4096;
+    start = 0;
+    len = 0;
+    frame_since = None;
+  }
 
 let pending d = d.len
 
@@ -118,10 +153,11 @@ let ensure d extra =
     end
   end
 
-let feed d src n =
+let feed ?now d src n =
   ensure d n;
   Bytes.blit src 0 d.buf (d.start + d.len) n;
-  d.len <- d.len + n
+  d.len <- d.len + n;
+  if d.len > 0 && d.frame_since = None then d.frame_since <- now
 
 let be32_at b off =
   (Char.code (Bytes.get b off) lsl 24)
@@ -129,17 +165,32 @@ let be32_at b off =
   lor (Char.code (Bytes.get b (off + 2)) lsl 8)
   lor Char.code (Bytes.get b (off + 3))
 
-let next d =
-  if d.len < 4 then Ok None
+(* An incomplete frame has overstayed its deadline when the decoder was
+   given a stall timeout, the caller supplies the clock, and the first
+   byte of the pending frame is older than the allowance. Whole frames
+   drained promptly never trip this — the clock restarts at every frame
+   boundary. *)
+let stalled d ~now =
+  match (d.d_stall, d.frame_since, now) with
+  | Some allow, Some since, Some now -> now -. since > allow
+  | _ -> false
+
+let next ?now d =
+  if d.len < 4 then if stalled d ~now then Error (Stalled d.len) else Ok None
   else
     let len = be32_at d.buf d.start in
     if len > d.d_max then Error (Oversized len)
-    else if d.len < 4 + len then Ok None
+    else if d.len < 4 + len then
+      if stalled d ~now then Error (Stalled d.len) else Ok None
     else begin
       let payload = Bytes.sub_string d.buf (d.start + 4) len in
       d.start <- d.start + 4 + len;
       d.len <- d.len - (4 + len);
-      if d.len = 0 then d.start <- 0;
+      if d.len = 0 then begin
+        d.start <- 0;
+        d.frame_since <- None
+      end
+      else d.frame_since <- now;
       match Svm.Json.of_string payload with
       | Ok v -> Ok (Some v)
       | Error m -> Error (Bad_json m)

@@ -3,9 +3,10 @@
 
     A frame is a 4-byte big-endian payload length followed by that many
     bytes of compact {!Svm.Json}. The layer is hardened for untrusted
-    peers: payload size is capped {e before} allocation, and every
-    failure mode is a typed [error] — reading never raises and never
-    allocates unboundedly, whatever bytes arrive. *)
+    peers: payload size is capped {e before} allocation, an incomplete
+    frame can be put on a deadline instead of being waited on forever,
+    and every failure mode is a typed [error] — reading never raises
+    and never allocates unboundedly, whatever bytes arrive. *)
 
 type error =
   | Closed  (** peer closed cleanly at a frame boundary *)
@@ -13,12 +14,19 @@ type error =
       (** peer closed mid-frame, with that many bytes of it received *)
   | Oversized of int  (** declared payload length exceeds the cap *)
   | Bad_json of string  (** payload is not a JSON value *)
+  | Stalled of int
+      (** frame still incomplete past its deadline, with that many
+          bytes of it received — a slow-loris peer, not a slow link *)
 
 val pp_error : Format.formatter -> error -> unit
 
 val default_max_len : int
 (** Payload cap: 16 MiB. Far above any real shard result (a few KiB),
     far below anything that could OOM the coordinator. *)
+
+val encode : Svm.Json.t -> bytes
+(** The exact bytes {!write} would send — header plus payload. Exposed
+    for the chaos harness, which needs to send {e partial} frames. *)
 
 val write : Unix.file_descr -> Svm.Json.t -> unit
 (** Encode and write one frame, looping over short writes. Raises
@@ -27,8 +35,12 @@ val write : Unix.file_descr -> Svm.Json.t -> unit
 
 (** {1 Blocking reads (worker side)} *)
 
-val read : ?max_len:int -> Unix.file_descr -> (Svm.Json.t, error) result
-(** Read exactly one frame, blocking until it is complete. *)
+val read :
+  ?max_len:int -> ?timeout:float -> Unix.file_descr -> (Svm.Json.t, error) result
+(** Read exactly one frame, blocking until it is complete. With
+    [timeout], the whole frame must arrive within that many seconds or
+    the read fails with [Stalled] — the worker-side defense against a
+    coordinator (or an impostor) that opens a frame and goes quiet. *)
 
 (** {1 Incremental decoding (coordinator side)}
 
@@ -38,15 +50,22 @@ val read : ?max_len:int -> Unix.file_descr -> (Svm.Json.t, error) result
 
 type decoder
 
-val decoder : ?max_len:int -> unit -> decoder
+val decoder : ?max_len:int -> ?stall_timeout:float -> unit -> decoder
+(** With [stall_timeout], an incomplete frame older than that many
+    seconds makes {!next} fail with [Stalled] — provided the caller
+    passes its clock to {!feed} and {!next}. Without it (or without a
+    clock) incomplete frames simply wait, as a trusted local socketpair
+    may. *)
 
-val feed : decoder -> bytes -> int -> unit
-(** [feed d buf n] appends the first [n] bytes of [buf]. *)
+val feed : ?now:float -> decoder -> bytes -> int -> unit
+(** [feed d buf n] appends the first [n] bytes of [buf]. [now] stamps
+    the start of a frame for the stall deadline. *)
 
-val next : decoder -> (Svm.Json.t option, error) result
+val next : ?now:float -> decoder -> (Svm.Json.t option, error) result
 (** Next complete frame, [Ok None] if more bytes are needed. Drain with
-    repeated calls until [Ok None]. [Error] (oversized or bad JSON)
-    poisons the stream — the peer is not speaking the protocol. *)
+    repeated calls until [Ok None]. [Error] (oversized, bad JSON, or a
+    stalled incomplete frame) poisons the stream — the peer is not
+    speaking the protocol. *)
 
 val pending : decoder -> int
 (** Buffered bytes not yet part of a returned frame — non-zero at EOF

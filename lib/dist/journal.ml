@@ -2,7 +2,7 @@ module Json = Svm.Json
 
 let default_dir = ".asmsim-jobs"
 
-type t = { j_id : string; j_oc : out_channel }
+type t = { j_id : string; j_oc : out_channel; j_fsync : bool }
 
 let id t = t.j_id
 
@@ -25,16 +25,17 @@ let journal_file ~dir id = Filename.concat (Filename.concat dir id) "journal.jso
 let write_line t v =
   output_string t.j_oc (Json.to_string v);
   output_char t.j_oc '\n';
-  flush t.j_oc
+  flush t.j_oc;
+  if t.j_fsync then Unix.fsync (Unix.descr_of_out_channel t.j_oc)
 
-let create ?(dir = default_dir) ~job ~cells ~shard_size () =
+let create ?(dir = default_dir) ?(fsync = false) ~job ~cells ~shard_size () =
   mkdir_p dir;
   let j_id = fresh_id () in
   mkdir_p (Filename.concat dir j_id);
   let j_oc = open_out_gen [ Open_creat; Open_wronly; Open_trunc ] 0o644
       (journal_file ~dir j_id)
   in
-  let t = { j_id; j_oc } in
+  let t = { j_id; j_oc; j_fsync = fsync } in
   write_line t
     (Json.Obj
        [
@@ -45,12 +46,39 @@ let create ?(dir = default_dir) ~job ~cells ~shard_size () =
        ]);
   t
 
-let reopen ?(dir = default_dir) j_id =
+let read_file file =
+  let ic = open_in_bin file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* A record exists only once its newline does: a torn final line (the
+   append a crash interrupted) is not part of the journal. *)
+let complete_prefix_len s =
+  match String.rindex_opt s '\n' with None -> 0 | Some i -> i + 1
+
+let reopen ?(dir = default_dir) ?(fsync = false) j_id =
   let file = journal_file ~dir j_id in
   if not (Sys.file_exists file) then
     Error (Printf.sprintf "no journal for job %s under %s" j_id dir)
-  else
-    Ok { j_id; j_oc = open_out_gen [ Open_append; Open_wronly ] 0o644 file }
+  else begin
+    (* Appending after a torn line would weld the next record onto it,
+       corrupting both; cut back to the last record boundary first. *)
+    let s = read_file file in
+    let valid = complete_prefix_len s in
+    if valid < String.length s then begin
+      let fd = Unix.openfile file [ Unix.O_WRONLY ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> Unix.ftruncate fd valid)
+    end;
+    Ok
+      {
+        j_id;
+        j_oc = open_out_gen [ Open_append; Open_wronly ] 0o644 file;
+        j_fsync = fsync;
+      }
+  end
 
 let append_shard t ~shard ~payload =
   write_line t
@@ -69,23 +97,18 @@ type loaded = {
   l_hostile : int list;
 }
 
-let read_lines file =
-  let ic = open_in_bin file in
-  let rec go acc =
-    match input_line ic with
-    | line -> go (line :: acc)
-    | exception End_of_file ->
-        close_in ic;
-        List.rev acc
-  in
-  go []
+(* Same boundary rule as {!reopen}: a torn final line is invisible. *)
+let complete_lines s =
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some i -> String.split_on_char '\n' (String.sub s 0 i)
 
 let load ?(dir = default_dir) j_id =
   let file = journal_file ~dir j_id in
   if not (Sys.file_exists file) then
     Error (Printf.sprintf "no journal for job %s under %s" j_id dir)
   else
-    match read_lines file with
+    match complete_lines (read_file file) with
     | [] -> Error (Printf.sprintf "journal of job %s is empty" j_id)
     | header :: rest -> (
         match Json.of_string header with

@@ -21,11 +21,23 @@ type t
 (** An open journal, owned by one coordinator. *)
 
 val create :
-  ?dir:string -> job:Proto.job -> cells:int -> shard_size:int -> unit -> t
-(** Create [<dir>/<fresh-id>/journal.jsonl] and write the header. *)
+  ?dir:string ->
+  ?fsync:bool ->
+  job:Proto.job ->
+  cells:int ->
+  shard_size:int ->
+  unit ->
+  t
+(** Create [<dir>/<fresh-id>/journal.jsonl] and write the header. With
+    [fsync] (default [false]), every appended line is [fsync]ed —
+    checkpoints then survive power loss, not just process death, at the
+    cost of a disk round-trip per shard. *)
 
-val reopen : ?dir:string -> string -> (t, string) result
-(** Open an existing journal for appending (resume). *)
+val reopen : ?dir:string -> ?fsync:bool -> string -> (t, string) result
+(** Open an existing journal for appending (resume). A torn final line
+    — the append a crash interrupted — is truncated away first, so new
+    records always start at a record boundary instead of being welded
+    onto the torn tail. *)
 
 val id : t -> string
 val append_shard : t -> shard:int -> payload:Svm.Json.t -> unit
@@ -41,8 +53,9 @@ type loaded = {
 }
 
 val load : ?dir:string -> string -> (loaded, string) result
-(** Parse a journal. Corrupt trailing data (an interrupted final write)
-    is ignored; a corrupt header or missing file is an [Error]. *)
+(** Parse a journal. Corrupt trailing data (an interrupted final write,
+    whether torn mid-line or newline-terminated garbage) is ignored; a
+    corrupt header or missing file is an [Error]. *)
 
 val list_ids : ?dir:string -> unit -> string list
 (** Job ids present under [dir], sorted. *)

@@ -1,0 +1,180 @@
+(* TCP plumbing shared by the serve daemon and its remote peers:
+   address parsing, listening, dialing with a deadline, the client side
+   of the handshake, and the network chaos harness. *)
+
+(* ------------------------------------------------------------------ *)
+(* Addresses                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_addr s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "%S: expected HOST:PORT" s)
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | None -> Error (Printf.sprintf "%S: port %S is not a number" s port)
+      | Some p when p < 0 || p > 65535 ->
+          Error (Printf.sprintf "%S: port %d out of range" s p)
+      | Some p -> (
+          let resolve () =
+            if host = "" || host = "*" then Unix.inet_addr_any
+            else
+              match Unix.inet_addr_of_string host with
+              | ip -> ip
+              | exception Failure _ -> (
+                  match Unix.gethostbyname host with
+                  | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+                  | h -> h.Unix.h_addr_list.(0))
+          in
+          match resolve () with
+          | ip -> Ok (Unix.ADDR_INET (ip, p))
+          | exception Not_found ->
+              Error (Printf.sprintf "%S: cannot resolve host %S" s host)))
+
+let string_of_sockaddr = function
+  | Unix.ADDR_INET (ip, p) ->
+      Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) p
+  | Unix.ADDR_UNIX p -> p
+
+(* ------------------------------------------------------------------ *)
+(* Listening and dialing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let listen ?(backlog = 64) addr =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.set_close_on_exec fd;
+     Unix.bind fd addr;
+     Unix.listen fd backlog
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> 0
+  in
+  (fd, port)
+
+let dial ?(timeout = 10.) addr =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let fail msg =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error msg
+  in
+  try
+    Unix.set_close_on_exec fd;
+    Unix.set_nonblock fd;
+    (match Unix.connect fd addr with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+      -> ());
+    (* The connect completes (or fails) when the socket turns writable. *)
+    match Unix.select [] [ fd ] [] timeout with
+    | _, [], _ -> fail "connect timed out"
+    | _ -> (
+        match Unix.getsockopt_error fd with
+        | Some err -> fail (Unix.error_message err)
+        | None ->
+            Unix.clear_nonblock fd;
+            Ok fd)
+  with
+  | Unix.Unix_error (err, _, _) -> fail (Unix.error_message err)
+  | exn ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise exn
+
+(* ------------------------------------------------------------------ *)
+(* Chaos harness                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type chaos_mode = Drop | Delay | Truncate | Garbage
+
+let chaos_mode_name = function
+  | Drop -> "drop"
+  | Delay -> "delay"
+  | Truncate -> "truncate"
+  | Garbage -> "garbage"
+
+let chaos_mode_of_string = function
+  | "drop" -> Ok Drop
+  | "delay" -> Ok Delay
+  | "truncate" -> Ok Truncate
+  | "garbage" -> Ok Garbage
+  | s -> Error (Printf.sprintf "unknown chaos mode %S" s)
+
+type chaos = { c_mode : chaos_mode; c_every : int; mutable c_count : int }
+
+let chaos ?(every = 7) mode = { c_mode = mode; c_every = max 1 every; c_count = 0 }
+
+exception Chaos_cut
+
+let write_raw fd b off len =
+  let rec go off len =
+    if len > 0 then begin
+      let w =
+        try Unix.write fd b off len
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      go (off + w) (len - w)
+    end
+  in
+  go off len
+
+let garbage_bytes = Bytes.of_string (String.init 64 (fun i -> Char.chr (0xc0 lor (i land 0x3f))))
+
+let cut fd =
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  raise Chaos_cut
+
+let chaos_write ?chaos fd v =
+  match chaos with
+  | None -> Frame.write fd v
+  | Some c ->
+      c.c_count <- c.c_count + 1;
+      if c.c_count mod c.c_every <> 0 then Frame.write fd v
+      else begin
+        match c.c_mode with
+        | Drop -> cut fd
+        | Delay ->
+            Unix.sleepf 0.05;
+            Frame.write fd v
+        | Truncate ->
+            let b = Frame.encode v in
+            write_raw fd b 0 (max 1 (Bytes.length b / 2));
+            cut fd
+        | Garbage ->
+            write_raw fd garbage_bytes 0 (Bytes.length garbage_bytes);
+            cut fd
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Handshake (connecting side)                                          *)
+(* ------------------------------------------------------------------ *)
+
+type handshake_error =
+  | Hs_rejected of string  (** typed refusal: retrying is pointless *)
+  | Hs_link of string  (** the link failed; retrying may succeed *)
+
+let client_handshake ?(timeout = 10.) fd ~role ~fingerprint =
+  match
+    Frame.write fd
+      (Proto.hello_to_json
+         {
+           Proto.h_version = Proto.net_version;
+           h_role = role;
+           h_fingerprint = fingerprint;
+         })
+  with
+  | exception Unix.Unix_error (err, _, _) ->
+      Error (Hs_link (Unix.error_message err))
+  | () -> (
+      match Frame.read ~timeout fd with
+      | Error e -> Error (Hs_link (Format.asprintf "%a" Frame.pp_error e))
+      | Ok v -> (
+          match Proto.welcome_of_json v with
+          | Error m -> Error (Hs_link ("bad welcome frame: " ^ m))
+          | Ok Proto.Welcome -> Ok ()
+          | Ok (Proto.Rejected m) -> Error (Hs_rejected m)))

@@ -1,0 +1,65 @@
+(** TCP plumbing for the network service: addresses, listening, dialing
+    with a deadline, the connecting side of the {!Proto.hello}
+    handshake, and the network chaos harness used to prove the service
+    fault-tolerant. *)
+
+(** {1 Addresses} *)
+
+val parse_addr : string -> (Unix.sockaddr, string) result
+(** Parse ["HOST:PORT"]. An empty host or ["*"] means any interface;
+    otherwise a dotted quad or a resolvable name. Port [0] is allowed
+    for listening (the kernel picks; {!listen} reports it). *)
+
+val string_of_sockaddr : Unix.sockaddr -> string
+
+(** {1 Listening and dialing} *)
+
+val listen : ?backlog:int -> Unix.sockaddr -> Unix.file_descr * int
+(** Bind + listen with [SO_REUSEADDR]; returns the socket and the
+    {e actual} bound port (meaningful when asked for port 0). Raises
+    [Unix.Unix_error] if the address is taken or not bindable. *)
+
+val dial : ?timeout:float -> Unix.sockaddr -> (Unix.file_descr, string) result
+(** Blocking connect bounded by [timeout] (default 10s) — a dead or
+    black-holed address fails instead of hanging the caller. *)
+
+(** {1 Chaos harness}
+
+    Fault injection on a peer's {e write} path, for proving end-to-end
+    results are unaffected by a misbehaving network. Every [every]-th
+    write (deterministic counter, no clocks) the chosen fault fires:
+    [Drop] cuts the connection; [Delay] stalls 50ms then writes;
+    [Truncate] sends half the frame then cuts; [Garbage] sends bytes
+    that are not a frame then cuts. Cuts raise {!Chaos_cut}, which the
+    reconnecting worker treats exactly like a failed link. *)
+
+type chaos_mode = Drop | Delay | Truncate | Garbage
+
+val chaos_mode_name : chaos_mode -> string
+val chaos_mode_of_string : string -> (chaos_mode, string) result
+
+type chaos
+
+val chaos : ?every:int -> chaos_mode -> chaos
+(** A fresh injection counter; [every] defaults to 7. *)
+
+exception Chaos_cut
+
+val chaos_write : ?chaos:chaos -> Unix.file_descr -> Svm.Json.t -> unit
+(** {!Frame.write} with optional fault injection. *)
+
+(** {1 Handshake} *)
+
+type handshake_error =
+  | Hs_rejected of string  (** typed refusal: retrying is pointless *)
+  | Hs_link of string  (** the link failed; retrying may succeed *)
+
+val client_handshake :
+  ?timeout:float ->
+  Unix.file_descr ->
+  role:Proto.role ->
+  fingerprint:string ->
+  (unit, handshake_error) result
+(** Introduce ourselves and await the verdict, both bounded by
+    [timeout] (default 10s). [Hs_rejected] carries the server's typed
+    reason (version skew, fingerprint mismatch, draining). *)

@@ -254,3 +254,334 @@ let summary_of_json v =
           ts_exhausted = exhausted <> 0;
         }
   | _ -> Error "task summary must be a list of seven ints"
+
+(* ------------------------------------------------------------------ *)
+(* Shard payload validation                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Validate a sweep shard payload for cells [lo, hi): one verdict tag
+   per cell. [Ok (Some i)] is the absolute index of the first violating
+   cell — the merge cut. Total: worker payloads are wire data. *)
+let check_sweep_payload ~lo ~hi payload =
+  match payload with
+  | Json.String s ->
+      let n = hi - lo in
+      if String.length s <> n then
+        Error
+          (Printf.sprintf "expected %d verdict tags, got %d" n
+             (String.length s))
+      else begin
+        let finding = ref None in
+        let bad = ref None in
+        String.iteri
+          (fun i c ->
+            if not (verdict_tag_ok c) then begin
+              if !bad = None then bad := Some c
+            end
+            else if c = 'V' && !finding = None then finding := Some (lo + i))
+          s;
+        match !bad with
+        | Some c -> Error (Printf.sprintf "bad verdict tag %C" c)
+        | None -> Ok !finding
+      end
+  | _ -> Error "sweep shard payload must be a tag string"
+
+(* Same for an explore shard: one task summary per task in [lo, hi);
+   the cut is the first task that found a counterexample or hit its
+   budget. *)
+let check_explore_payload ~lo ~hi payload =
+  match payload with
+  | Json.List l ->
+      let n = hi - lo in
+      if List.length l <> n then
+        Error
+          (Printf.sprintf "expected %d task summaries, got %d" n
+             (List.length l))
+      else begin
+        let rec go i finding = function
+          | [] -> Ok finding
+          | v :: rest -> (
+              match summary_of_json v with
+              | Error m -> Error m
+              | Ok s ->
+                  let finding =
+                    if
+                      finding = None
+                      && (s.Svm.Explore.ts_cex || s.Svm.Explore.ts_exhausted)
+                    then Some (lo + i)
+                    else finding
+                  in
+                  go (i + 1) finding rest)
+        in
+        go 0 None l
+      end
+  | _ -> Error "explore shard payload must be a summary list"
+
+(* ------------------------------------------------------------------ *)
+(* Network handshake                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let net_magic = "asmsim-net"
+let net_version = 1
+
+type role = Worker_role | Client_role
+
+let role_name = function Worker_role -> "worker" | Client_role -> "client"
+
+type hello = { h_version : int; h_role : role; h_fingerprint : string }
+
+let hello_to_json h =
+  Json.Obj
+    [
+      ("magic", Json.String net_magic);
+      ("version", Json.Int h.h_version);
+      ("role", Json.String (role_name h.h_role));
+      ("fingerprint", Json.String h.h_fingerprint);
+    ]
+
+let hello_of_json v =
+  let* magic = field "magic" Json.to_str v in
+  if not (String.equal magic net_magic) then
+    Error (Printf.sprintf "bad magic %S" magic)
+  else
+    let* h_version = field "version" Json.to_int v in
+    let* role = field "role" Json.to_str v in
+    let* h_fingerprint = field "fingerprint" Json.to_str v in
+    match role with
+    | "worker" -> Ok { h_version; h_role = Worker_role; h_fingerprint }
+    | "client" -> Ok { h_version; h_role = Client_role; h_fingerprint }
+    | r -> Error (Printf.sprintf "unknown role %S" r)
+
+type welcome = Welcome | Rejected of string
+
+let welcome_to_json = function
+  | Welcome ->
+      Json.Obj
+        [ ("t", Json.String "welcome"); ("version", Json.Int net_version) ]
+  | Rejected reason ->
+      Json.Obj [ ("t", Json.String "reject"); ("reason", Json.String reason) ]
+
+let welcome_of_json v =
+  let* t = field "t" Json.to_str v in
+  match t with
+  | "welcome" -> Ok Welcome
+  | "reject" ->
+      let* reason = field "reason" Json.to_str v in
+      Ok (Rejected reason)
+  | t -> Error (Printf.sprintf "unknown handshake reply %S" t)
+
+(* ------------------------------------------------------------------ *)
+(* Network worker session (job-tagged)                                  *)
+(* ------------------------------------------------------------------ *)
+
+type net_to_worker =
+  | Nw_job of { jid : string; job : job }
+  | Nw_assign of { jid : string; shard : int; lo : int; hi : int }
+  | Nw_ping
+  | Nw_shutdown
+
+type net_from_worker =
+  | Nf_job_ok of { jid : string; cells : int }
+  | Nf_job_err of { jid : string; msg : string }
+  | Nf_pong
+  | Nf_progress of { jid : string; shard : int; completed : int }
+  | Nf_result of { jid : string; shard : int; payload : Svm.Json.t }
+
+let net_to_worker_to_json = function
+  | Nw_job { jid; job } ->
+      Json.Obj
+        [
+          ("t", Json.String "job");
+          ("jid", Json.String jid);
+          ("job", job_to_json job);
+        ]
+  | Nw_assign { jid; shard; lo; hi } ->
+      Json.Obj
+        [
+          ("t", Json.String "assign");
+          ("jid", Json.String jid);
+          ("shard", Json.Int shard);
+          ("lo", Json.Int lo);
+          ("hi", Json.Int hi);
+        ]
+  | Nw_ping -> Json.Obj [ ("t", Json.String "ping") ]
+  | Nw_shutdown -> Json.Obj [ ("t", Json.String "shutdown") ]
+
+let net_to_worker_of_json v =
+  let* t = field "t" Json.to_str v in
+  match t with
+  | "job" -> (
+      let* jid = field "jid" Json.to_str v in
+      match Json.member "job" v with
+      | Some j ->
+          let* job = job_of_json j in
+          Ok (Nw_job { jid; job })
+      | None -> Error "job frame without a job")
+  | "assign" ->
+      let* jid = field "jid" Json.to_str v in
+      let* shard = field "shard" Json.to_int v in
+      let* lo = field "lo" Json.to_int v in
+      let* hi = field "hi" Json.to_int v in
+      if shard < 0 || lo < 0 || hi < lo then Error "assign range is malformed"
+      else Ok (Nw_assign { jid; shard; lo; hi })
+  | "ping" -> Ok Nw_ping
+  | "shutdown" -> Ok Nw_shutdown
+  | t -> Error (Printf.sprintf "unknown server message %S" t)
+
+let net_from_worker_to_json = function
+  | Nf_job_ok { jid; cells } ->
+      Json.Obj
+        [
+          ("t", Json.String "job-ok");
+          ("jid", Json.String jid);
+          ("cells", Json.Int cells);
+        ]
+  | Nf_job_err { jid; msg } ->
+      Json.Obj
+        [
+          ("t", Json.String "job-err");
+          ("jid", Json.String jid);
+          ("msg", Json.String msg);
+        ]
+  | Nf_pong -> Json.Obj [ ("t", Json.String "pong") ]
+  | Nf_progress { jid; shard; completed } ->
+      Json.Obj
+        [
+          ("t", Json.String "progress");
+          ("jid", Json.String jid);
+          ("shard", Json.Int shard);
+          ("completed", Json.Int completed);
+        ]
+  | Nf_result { jid; shard; payload } ->
+      Json.Obj
+        [
+          ("t", Json.String "result");
+          ("jid", Json.String jid);
+          ("shard", Json.Int shard);
+          ("payload", payload);
+        ]
+
+let net_from_worker_of_json v =
+  let* t = field "t" Json.to_str v in
+  match t with
+  | "job-ok" ->
+      let* jid = field "jid" Json.to_str v in
+      let* cells = field "cells" Json.to_int v in
+      Ok (Nf_job_ok { jid; cells })
+  | "job-err" ->
+      let* jid = field "jid" Json.to_str v in
+      let* msg = field "msg" Json.to_str v in
+      Ok (Nf_job_err { jid; msg })
+  | "pong" -> Ok Nf_pong
+  | "progress" ->
+      let* jid = field "jid" Json.to_str v in
+      let* shard = field "shard" Json.to_int v in
+      let* completed = field "completed" Json.to_int v in
+      Ok (Nf_progress { jid; shard; completed })
+  | "result" -> (
+      let* jid = field "jid" Json.to_str v in
+      let* shard = field "shard" Json.to_int v in
+      match Json.member "payload" v with
+      | Some payload -> Ok (Nf_result { jid; shard; payload })
+      | None -> Error "result without a payload")
+  | t -> Error (Printf.sprintf "unknown worker message %S" t)
+
+(* ------------------------------------------------------------------ *)
+(* Network client session                                               *)
+(* ------------------------------------------------------------------ *)
+
+type client_to_server =
+  | Cs_submit of { job : job; resume : string option }
+  | Cs_pong
+
+type server_to_client =
+  | Sc_accepted of { jid : string; cells : int; shard_size : int }
+  | Sc_rejected of string
+  | Sc_shard of { shard : int; payload : Svm.Json.t }
+  | Sc_done of { executed : int; resumed : int }
+  | Sc_failed of string
+  | Sc_draining
+  | Sc_ping
+
+let client_to_server_to_json = function
+  | Cs_submit { job; resume } ->
+      Json.Obj
+        [
+          ("t", Json.String "submit");
+          ("job", job_to_json job);
+          ( "resume",
+            match resume with None -> Json.Null | Some id -> Json.String id );
+        ]
+  | Cs_pong -> Json.Obj [ ("t", Json.String "pong") ]
+
+let client_to_server_of_json v =
+  let* t = field "t" Json.to_str v in
+  match t with
+  | "submit" -> (
+      match Json.member "job" v with
+      | None -> Error "submit without a job"
+      | Some j -> (
+          let* job = job_of_json j in
+          match Json.member "resume" v with
+          | None | Some Json.Null -> Ok (Cs_submit { job; resume = None })
+          | Some (Json.String id) -> Ok (Cs_submit { job; resume = Some id })
+          | Some _ -> Error "resume must be a job id or null"))
+  | "pong" -> Ok Cs_pong
+  | t -> Error (Printf.sprintf "unknown client message %S" t)
+
+let server_to_client_to_json = function
+  | Sc_accepted { jid; cells; shard_size } ->
+      Json.Obj
+        [
+          ("t", Json.String "accepted");
+          ("jid", Json.String jid);
+          ("cells", Json.Int cells);
+          ("shard_size", Json.Int shard_size);
+        ]
+  | Sc_rejected reason ->
+      Json.Obj [ ("t", Json.String "rejected"); ("reason", Json.String reason) ]
+  | Sc_shard { shard; payload } ->
+      Json.Obj
+        [
+          ("t", Json.String "shard");
+          ("shard", Json.Int shard);
+          ("payload", payload);
+        ]
+  | Sc_done { executed; resumed } ->
+      Json.Obj
+        [
+          ("t", Json.String "done");
+          ("executed", Json.Int executed);
+          ("resumed", Json.Int resumed);
+        ]
+  | Sc_failed msg ->
+      Json.Obj [ ("t", Json.String "failed"); ("msg", Json.String msg) ]
+  | Sc_draining -> Json.Obj [ ("t", Json.String "draining") ]
+  | Sc_ping -> Json.Obj [ ("t", Json.String "ping") ]
+
+let server_to_client_of_json v =
+  let* t = field "t" Json.to_str v in
+  match t with
+  | "accepted" ->
+      let* jid = field "jid" Json.to_str v in
+      let* cells = field "cells" Json.to_int v in
+      let* shard_size = field "shard_size" Json.to_int v in
+      Ok (Sc_accepted { jid; cells; shard_size })
+  | "rejected" ->
+      let* reason = field "reason" Json.to_str v in
+      Ok (Sc_rejected reason)
+  | "shard" -> (
+      let* shard = field "shard" Json.to_int v in
+      match Json.member "payload" v with
+      | Some payload -> Ok (Sc_shard { shard; payload })
+      | None -> Error "shard without a payload")
+  | "done" ->
+      let* executed = field "executed" Json.to_int v in
+      let* resumed = field "resumed" Json.to_int v in
+      Ok (Sc_done { executed; resumed })
+  | "failed" ->
+      let* msg = field "msg" Json.to_str v in
+      Ok (Sc_failed msg)
+  | "draining" -> Ok Sc_draining
+  | "ping" -> Ok Sc_ping
+  | t -> Error (Printf.sprintf "unknown server reply %S" t)

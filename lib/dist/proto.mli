@@ -85,3 +85,102 @@ val summary_to_json : Svm.Explore.task_summary -> Svm.Json.t
     summaries for its task range. *)
 
 val summary_of_json : Svm.Json.t -> (Svm.Explore.task_summary, string) result
+
+(** {1 Shard payload validation}
+
+    Total validators over wire payloads, shared by the fork coordinator
+    and the TCP job queue. [Ok (Some i)] reports the absolute index of
+    the first merge-stopping finding inside the shard. *)
+
+val check_sweep_payload :
+  lo:int -> hi:int -> Svm.Json.t -> (int option, string) result
+
+val check_explore_payload :
+  lo:int -> hi:int -> Svm.Json.t -> (int option, string) result
+
+(** {1 Network handshake}
+
+    The first frame on any TCP connection, in either direction of
+    dialing: the connecting side introduces itself with magic, protocol
+    version, role and its registry fingerprint; the server answers
+    [Welcome] or a typed [Rejected] and closes. A peer that speaks
+    anything else — or nothing, past the handshake deadline — is cut
+    without ever touching a job. *)
+
+val net_magic : string
+val net_version : int
+
+type role = Worker_role | Client_role
+
+val role_name : role -> string
+
+type hello = {
+  h_version : int;
+  h_role : role;
+  h_fingerprint : string;
+      (** scenario-registry fingerprint: both sides must expand a job
+          into the identical plan, so a worker built against a
+          different registry is rejected at the door instead of
+          breaking determinism mid-job *)
+}
+
+val hello_to_json : hello -> Svm.Json.t
+val hello_of_json : Svm.Json.t -> (hello, string) result
+
+type welcome = Welcome | Rejected of string
+
+val welcome_to_json : welcome -> Svm.Json.t
+val welcome_of_json : Svm.Json.t -> (welcome, string) result
+
+(** {1 Network worker session}
+
+    Like the socketpair protocol, but job-tagged: a TCP worker serves
+    many jobs over one connection, opening each on first assignment. *)
+
+type net_to_worker =
+  | Nw_job of { jid : string; job : job }
+      (** expand this job; reply [Nf_job_ok] with the plan size *)
+  | Nw_assign of { jid : string; shard : int; lo : int; hi : int }
+  | Nw_ping
+  | Nw_shutdown
+
+type net_from_worker =
+  | Nf_job_ok of { jid : string; cells : int }
+  | Nf_job_err of { jid : string; msg : string }
+  | Nf_pong
+  | Nf_progress of { jid : string; shard : int; completed : int }
+  | Nf_result of { jid : string; shard : int; payload : Svm.Json.t }
+
+val net_to_worker_to_json : net_to_worker -> Svm.Json.t
+val net_to_worker_of_json : Svm.Json.t -> (net_to_worker, string) result
+val net_from_worker_to_json : net_from_worker -> Svm.Json.t
+val net_from_worker_of_json : Svm.Json.t -> (net_from_worker, string) result
+
+(** {1 Network client session}
+
+    A client submits one fully-resolved job (optionally resuming a
+    journalled job id) and then receives every completed shard payload
+    — journal-restored ones first — followed by a terminal [Sc_done],
+    [Sc_failed] or [Sc_draining]. The client merges locally with the
+    same {!Svm.Explore} merge the in-process path uses, which is what
+    makes its stdout and artifacts byte-identical. *)
+
+type client_to_server =
+  | Cs_submit of { job : job; resume : string option }
+  | Cs_pong
+
+type server_to_client =
+  | Sc_accepted of { jid : string; cells : int; shard_size : int }
+  | Sc_rejected of string
+  | Sc_shard of { shard : int; payload : Svm.Json.t }
+  | Sc_done of { executed : int; resumed : int }
+  | Sc_failed of string
+  | Sc_draining
+      (** server is draining on SIGTERM; the job is checkpointed in its
+          journal and resumable by id *)
+  | Sc_ping
+
+val client_to_server_to_json : client_to_server -> Svm.Json.t
+val client_to_server_of_json : Svm.Json.t -> (client_to_server, string) result
+val server_to_client_to_json : server_to_client -> Svm.Json.t
+val server_to_client_of_json : Svm.Json.t -> (server_to_client, string) result

@@ -1,0 +1,867 @@
+module Json = Svm.Json
+module Metrics = Svm.Metrics
+
+type config = {
+  fingerprint : string;
+  shard_size : int option;
+  shard_timeout : float;
+  heartbeat_timeout : float;
+  handshake_timeout : float;
+  frame_stall_timeout : float;
+  rate_limit : int;
+  max_retries : int;
+  backoff : float;
+  journal_dir : string;
+  fsync : bool;
+  log : (string -> unit) option;
+  metrics : Metrics.t option;
+}
+
+let default_config ~fingerprint () =
+  {
+    fingerprint;
+    shard_size = None;
+    shard_timeout = 120.;
+    heartbeat_timeout = 20.;
+    handshake_timeout = 5.;
+    frame_stall_timeout = 10.;
+    rate_limit = 64 * 1024 * 1024;
+    (* Remote workers under chaos lose shards routinely; the hostile
+       bound must stay a pathology detector, not a chaos tripwire. *)
+    max_retries = 10;
+    backoff = 0.05;
+    journal_dir = Journal.default_dir;
+    fsync = false;
+    log = None;
+    metrics = None;
+  }
+
+(* {2 State} *)
+
+type wstate = W_idle | W_busy of { jid : string; shard : int; deadline : float }
+
+type wsess = {
+  ws_announced : (string, unit) Hashtbl.t;
+  ws_acked : (string, unit) Hashtbl.t;
+  mutable ws_state : wstate;
+}
+
+type csess = { mutable cs_watching : string option }
+
+type psort = Pending of float | Worker_peer of wsess | Client_peer of csess
+
+type peer = {
+  p_id : int;
+  p_fd : Unix.file_descr;
+  p_dec : Frame.decoder;
+  p_name : string;
+  mutable p_sort : psort;
+  mutable p_last : float;
+  mutable p_pinged : bool;
+  mutable p_alive : bool;
+  mutable p_win_start : float;
+  mutable p_win_bytes : int;
+}
+
+type shard_state = Sh_pending | Sh_running of int | Sh_done
+
+type shard = {
+  sh_id : int;
+  sh_lo : int;
+  sh_hi : int;
+  mutable sh_state : shard_state;
+  mutable sh_not_before : float;
+  mutable sh_attempts : int;
+}
+
+type job = {
+  jb_id : string;
+  jb_job : Proto.job;
+  jb_fp : string;
+  jb_units : int;
+  jb_shard_size : int;
+  jb_check : lo:int -> hi:int -> Json.t -> (int option, string) result;
+  jb_shards : shard array;
+  jb_payloads : Json.t option array;
+  jb_journal : Journal.t;
+  mutable jb_cut : int;
+  mutable jb_resumed : int;
+  mutable jb_executed : int;
+  mutable jb_watchers : int list;
+}
+
+type engine = {
+  cfg : config;
+  lookup : Proto.job -> (Worker.instance, string) result;
+  listener : Unix.file_descr;
+  term : bool ref;
+  jobs : (string, job) Hashtbl.t;
+  mutable order : string list;  (** active job ids, FIFO arrival order *)
+  mutable peers : peer list;
+  mutable next_pid : int;
+  mutable draining : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+let logf e fmt =
+  Printf.ksprintf
+    (fun s -> match e.cfg.log with Some f -> f s | None -> ())
+    fmt
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+let find_peer e pid = List.find_opt (fun p -> p.p_id = pid) e.peers
+
+let gauge_peers e =
+  Metrics.record e.cfg.metrics "net_peers" (List.length e.peers);
+  Metrics.record e.cfg.metrics "net_jobs_active" (Hashtbl.length e.jobs)
+
+let queue_depth e =
+  Hashtbl.fold
+    (fun _ jb acc ->
+      Array.fold_left
+        (fun acc sh ->
+          if sh.sh_state <> Sh_done && sh.sh_lo <= jb.jb_cut then acc + 1
+          else acc)
+        acc jb.jb_shards)
+    e.jobs 0
+
+(* {2 Peer lifecycle, shard loss, job verdicts}
+
+   These are mutually recursive: losing a peer requeues its shard,
+   which can turn a job hostile, which notifies watcher clients, whose
+   writes can fail and lose further peers. *)
+
+let rec peer_gone e p ~reason =
+  if p.p_alive then begin
+    p.p_alive <- false;
+    e.peers <- List.filter (fun x -> x.p_id <> p.p_id) e.peers;
+    close_quiet p.p_fd;
+    logf e "%s is gone: %s" p.p_name reason;
+    gauge_peers e;
+    match p.p_sort with
+    | Pending _ -> ()
+    | Client_peer c -> (
+        match c.cs_watching with
+        | None -> ()
+        | Some jid -> (
+            c.cs_watching <- None;
+            match Hashtbl.find_opt e.jobs jid with
+            | None -> ()
+            | Some jb ->
+                jb.jb_watchers <-
+                  List.filter (fun id -> id <> p.p_id) jb.jb_watchers))
+    | Worker_peer w -> (
+        match w.ws_state with
+        | W_idle -> ()
+        | W_busy { jid; shard; _ } -> shard_lost e ~jid ~shard)
+  end
+
+and shard_lost e ~jid ~shard =
+  match Hashtbl.find_opt e.jobs jid with
+  | None -> ()
+  | Some jb -> (
+      let sh = jb.jb_shards.(shard) in
+      match sh.sh_state with
+      | Sh_running _ -> (
+          sh.sh_attempts <- sh.sh_attempts + 1;
+          Metrics.bump e.cfg.metrics "net_shard_retries_total";
+          match
+            Policy.retry ~max_retries:e.cfg.max_retries ~base:e.cfg.backoff
+              ~attempts:sh.sh_attempts
+          with
+          | Policy.Requeue delay ->
+              sh.sh_state <- Sh_pending;
+              sh.sh_not_before <- now () +. delay;
+              logf e "job %s shard %d back in the queue (lost attempt %d)" jid
+                sh.sh_id sh.sh_attempts
+          | Policy.Hostile ->
+              Journal.append_hostile jb.jb_journal ~shard:sh.sh_id;
+              job_over e jb
+                (`Failed
+                  (Printf.sprintf
+                     "shard %d [%d,%d) is hostile: it took down %d workers"
+                     sh.sh_id sh.sh_lo sh.sh_hi sh.sh_attempts)))
+      | Sh_pending | Sh_done -> ())
+
+and send_client e p msg =
+  if p.p_alive then begin
+    try Frame.write p.p_fd (Proto.server_to_client_to_json msg)
+    with Unix.Unix_error (err, _, _) ->
+      peer_gone e p ~reason:("write failed: " ^ Unix.error_message err)
+  end
+
+and job_over e jb verdict =
+  let msg =
+    match verdict with
+    | `Done -> Proto.Sc_done { executed = jb.jb_executed; resumed = jb.jb_resumed }
+    | `Failed m ->
+        logf e "job %s failed: %s" jb.jb_id m;
+        Proto.Sc_failed m
+  in
+  let watchers = jb.jb_watchers in
+  jb.jb_watchers <- [];
+  Hashtbl.remove e.jobs jb.jb_id;
+  e.order <- List.filter (fun id -> id <> jb.jb_id) e.order;
+  Journal.close jb.jb_journal;
+  gauge_peers e;
+  List.iter
+    (fun pid ->
+      match find_peer e pid with
+      | None -> ()
+      | Some p ->
+          (match p.p_sort with
+          | Client_peer c -> c.cs_watching <- None
+          | _ -> ());
+          send_client e p msg)
+    watchers;
+  if verdict = `Done then
+    logf e "job %s complete: %d shard(s) executed, %d resumed" jb.jb_id
+      jb.jb_executed jb.jb_resumed
+
+let send_worker e p msg =
+  if p.p_alive then begin
+    try Frame.write p.p_fd (Proto.net_to_worker_to_json msg)
+    with Unix.Unix_error (err, _, _) ->
+      peer_gone e p ~reason:("write failed: " ^ Unix.error_message err)
+  end
+
+let job_maybe_done e jb =
+  let remaining =
+    Array.fold_left
+      (fun acc sh ->
+        if sh.sh_state <> Sh_done && sh.sh_lo <= jb.jb_cut then acc + 1
+        else acc)
+      0 jb.jb_shards
+  in
+  if remaining = 0 then job_over e jb `Done
+
+(* {2 Jobs} *)
+
+let announce e jb =
+  List.iter
+    (fun p ->
+      match p.p_sort with
+      | Worker_peer w when not (Hashtbl.mem w.ws_announced jb.jb_id) ->
+          Hashtbl.replace w.ws_announced jb.jb_id ();
+          send_worker e p (Proto.Nw_job { jid = jb.jb_id; job = jb.jb_job })
+      | _ -> ())
+    e.peers
+
+let make_job ~id ~job ~units ~shard_size ~check ~journal =
+  let nshards = if units = 0 then 0 else (units + shard_size - 1) / shard_size in
+  {
+    jb_id = id;
+    jb_job = job;
+    jb_fp = Proto.job_fingerprint job;
+    jb_units = units;
+    jb_shard_size = shard_size;
+    jb_check = check;
+    jb_shards =
+      Array.init nshards (fun i ->
+          {
+            sh_id = i;
+            sh_lo = i * shard_size;
+            sh_hi = min units ((i + 1) * shard_size);
+            sh_state = Sh_pending;
+            sh_not_before = 0.;
+            sh_attempts = 0;
+          });
+    jb_payloads = Array.make nshards None;
+    jb_journal = journal;
+    jb_cut = max_int;
+    jb_resumed = 0;
+    jb_executed = 0;
+    jb_watchers = [];
+  }
+
+let register e jb =
+  Hashtbl.replace e.jobs jb.jb_id jb;
+  e.order <- e.order @ [ jb.jb_id ];
+  Metrics.bump e.cfg.metrics "net_jobs_total";
+  gauge_peers e;
+  announce e jb
+
+(* Accept a validated shard payload into the job: journal it, store it,
+   stream it to the watchers, advance the finding cut. *)
+let shard_done e jb ~shard ~payload ~finding ~restored =
+  let sh = jb.jb_shards.(shard) in
+  sh.sh_state <- Sh_done;
+  jb.jb_payloads.(shard) <- Some payload;
+  if restored then jb.jb_resumed <- jb.jb_resumed + 1
+  else begin
+    Journal.append_shard jb.jb_journal ~shard ~payload;
+    jb.jb_executed <- jb.jb_executed + 1;
+    Metrics.bump e.cfg.metrics "net_shards_executed_total"
+  end;
+  (match finding with
+  | Some abs when abs < jb.jb_cut ->
+      jb.jb_cut <- abs;
+      logf e "job %s: finding at cell %d (shard %d); cutting the tail"
+        jb.jb_id abs shard
+  | _ -> ());
+  List.iter
+    (fun pid ->
+      match find_peer e pid with
+      | Some p -> send_client e p (Proto.Sc_shard { shard; payload })
+      | None -> ())
+    jb.jb_watchers
+
+let attach e p c jb =
+  c.cs_watching <- Some jb.jb_id;
+  jb.jb_watchers <- p.p_id :: jb.jb_watchers;
+  send_client e p
+    (Proto.Sc_accepted
+       { jid = jb.jb_id; cells = jb.jb_units; shard_size = jb.jb_shard_size });
+  Array.iteri
+    (fun i sh ->
+      if p.p_alive && sh.sh_state = Sh_done then
+        match jb.jb_payloads.(i) with
+        | Some payload -> send_client e p (Proto.Sc_shard { shard = i; payload })
+        | None -> ())
+    jb.jb_shards;
+  job_maybe_done e jb
+
+let reject_client e p msg =
+  send_client e p (Proto.Sc_rejected msg);
+  peer_gone e p ~reason:("submit rejected: " ^ msg)
+
+let default_shard_size e ~units =
+  match e.cfg.shard_size with
+  | Some s -> max 1 s
+  | None ->
+      let workers =
+        List.fold_left
+          (fun acc p ->
+            match p.p_sort with Worker_peer _ -> acc + 1 | _ -> acc)
+          0 e.peers
+      in
+      let workers = max 1 workers in
+      if units = 0 then 1
+      else min 256 (max 1 ((units + (workers * 8) - 1) / (workers * 8)))
+
+let handle_submit e p c ~job ~resume =
+  if c.cs_watching <> None then
+    peer_gone e p ~reason:"second submit on one connection"
+  else if e.draining then reject_client e p "server is draining"
+  else
+    match e.lookup job with
+    | Error m -> reject_client e p ("cannot expand job: " ^ m)
+    | Ok inst -> (
+        let units = Worker.cells_of_instance inst in
+        let check =
+          match inst with
+          | Worker.Sweep_instance _ -> Proto.check_sweep_payload
+          | Worker.Explore_instance _ -> Proto.check_explore_payload
+        in
+        let fp = Proto.job_fingerprint job in
+        match resume with
+        | Some id -> (
+            match Hashtbl.find_opt e.jobs id with
+            | Some jb ->
+                if jb.jb_fp <> fp then
+                  reject_client e p
+                    (Printf.sprintf "job %s is a different job description" id)
+                else attach e p c jb
+            | None -> (
+                (* Not live: revive it from its journal. *)
+                match Journal.load ~dir:e.cfg.journal_dir id with
+                | Error m -> reject_client e p m
+                | Ok l ->
+                    if Proto.job_fingerprint l.l_job <> fp then
+                      reject_client e p
+                        (Printf.sprintf
+                           "job %s was journalled for a different job \
+                            description"
+                           id)
+                    else if l.l_cells <> units then
+                      reject_client e p
+                        (Printf.sprintf
+                           "job %s journalled %d cells, the plan has %d" id
+                           l.l_cells units)
+                    else if l.l_hostile <> [] then
+                      reject_client e p
+                        (Printf.sprintf
+                           "job %s recorded shard %d as hostile; not resumable"
+                           id (List.hd l.l_hostile))
+                    else (
+                      match
+                        Journal.reopen ~dir:e.cfg.journal_dir
+                          ~fsync:e.cfg.fsync id
+                      with
+                      | Error m -> reject_client e p m
+                      | Ok journal ->
+                          let jb =
+                            make_job ~id ~job ~units
+                              ~shard_size:l.l_shard_size ~check ~journal
+                          in
+                          List.iter
+                            (fun (shard, payload) ->
+                              let n = Array.length jb.jb_shards in
+                              if
+                                shard >= 0 && shard < n
+                                && jb.jb_shards.(shard).sh_state <> Sh_done
+                              then
+                                match
+                                  check ~lo:jb.jb_shards.(shard).sh_lo
+                                    ~hi:jb.jb_shards.(shard).sh_hi payload
+                                with
+                                | Ok finding ->
+                                    shard_done e jb ~shard ~payload ~finding
+                                      ~restored:true
+                                | Error _ -> ())
+                            l.l_done;
+                          register e jb;
+                          logf e "job %s revived from its journal (%d shard(s) \
+                                  restored)"
+                            id jb.jb_resumed;
+                          attach e p c jb)))
+        | None -> (
+            (* Coalesce identical submissions onto the live job. *)
+            let existing =
+              List.find_map
+                (fun id ->
+                  match Hashtbl.find_opt e.jobs id with
+                  | Some jb when jb.jb_fp = fp && jb.jb_units = units ->
+                      Some jb
+                  | _ -> None)
+                e.order
+            in
+            match existing with
+            | Some jb ->
+                logf e "coalescing submit onto live job %s" jb.jb_id;
+                attach e p c jb
+            | None -> (
+                let shard_size = default_shard_size e ~units in
+                match
+                  Journal.create ~dir:e.cfg.journal_dir ~fsync:e.cfg.fsync
+                    ~job ~cells:units ~shard_size ()
+                with
+                | exception exn ->
+                    reject_client e p
+                      ("cannot create journal: " ^ Printexc.to_string exn)
+                | journal ->
+                    let jb =
+                      make_job ~id:(Journal.id journal) ~job ~units
+                        ~shard_size ~check ~journal
+                    in
+                    register e jb;
+                    logf e "job %s accepted: %d cell(s) in %d shard(s)"
+                      jb.jb_id units
+                      (Array.length jb.jb_shards);
+                    attach e p c jb)))
+
+(* {2 Worker messages} *)
+
+let handle_worker_msg e p w msg =
+  match msg with
+  | Proto.Nf_pong -> ()
+  | Proto.Nf_progress _ -> ()
+  | Proto.Nf_job_ok { jid; cells } -> (
+      match Hashtbl.find_opt e.jobs jid with
+      | None -> ()
+      | Some jb ->
+          if cells <> jb.jb_units then
+            peer_gone e p
+              ~reason:
+                (Printf.sprintf
+                   "planned %d cells for job %s but the server planned %d — \
+                    registries disagree"
+                   cells jid jb.jb_units)
+          else Hashtbl.replace w.ws_acked jid ())
+  | Proto.Nf_job_err { jid; msg } ->
+      (* The fingerprint matched, so both sides must expand the job the
+         same way; a rejection here means they do not. *)
+      peer_gone e p ~reason:(Printf.sprintf "rejected job %s: %s" jid msg)
+  | Proto.Nf_result { jid; shard; payload } -> (
+      match Hashtbl.find_opt e.jobs jid with
+      | None -> (
+          (* The job ended while the result was in flight: stale. *)
+          match w.ws_state with
+          | W_busy { jid = j; shard = s; _ } when j = jid && s = shard ->
+              w.ws_state <- W_idle
+          | _ -> ())
+      | Some jb ->
+          if shard < 0 || shard >= Array.length jb.jb_shards then
+            peer_gone e p ~reason:"result for an unknown shard"
+          else begin
+            let sh = jb.jb_shards.(shard) in
+            let owned =
+              match (sh.sh_state, w.ws_state) with
+              | Sh_running pid, W_busy { jid = j; shard = s; _ } ->
+                  pid = p.p_id && j = jid && s = shard
+              | _ -> false
+            in
+            if not owned then
+              peer_gone e p ~reason:"result for a shard it does not own"
+            else
+              match jb.jb_check ~lo:sh.sh_lo ~hi:sh.sh_hi payload with
+              | Error m ->
+                  (* Leave the worker busy so its death requeues the
+                     shard through the ordinary loss path. *)
+                  peer_gone e p
+                    ~reason:
+                      (Printf.sprintf "bad payload for job %s shard %d: %s"
+                         jid shard m)
+              | Ok finding ->
+                  w.ws_state <- W_idle;
+                  shard_done e jb ~shard ~payload ~finding ~restored:false;
+                  job_maybe_done e jb
+          end)
+
+(* {2 Handshake} *)
+
+let handle_hello e p v =
+  let reject msg =
+    Metrics.bump e.cfg.metrics "net_handshake_rejects_total";
+    (if p.p_alive then
+       try Frame.write p.p_fd (Proto.welcome_to_json (Proto.Rejected msg))
+       with Unix.Unix_error _ -> ());
+    peer_gone e p ~reason:("handshake rejected: " ^ msg)
+  in
+  match Proto.hello_of_json v with
+  | Error m -> reject ("bad hello: " ^ m)
+  | Ok h ->
+      if e.draining then reject "server is draining"
+      else if h.Proto.h_version <> Proto.net_version then
+        reject
+          (Printf.sprintf "protocol version %d unsupported (this server \
+                           speaks %d)"
+             h.Proto.h_version Proto.net_version)
+      else if h.Proto.h_fingerprint <> e.cfg.fingerprint then
+        reject "scenario-registry fingerprint mismatch"
+      else begin
+        (try Frame.write p.p_fd (Proto.welcome_to_json Proto.Welcome)
+         with Unix.Unix_error (err, _, _) ->
+           peer_gone e p ~reason:("write failed: " ^ Unix.error_message err));
+        if p.p_alive then begin
+          (match h.Proto.h_role with
+          | Proto.Worker_role ->
+              let w =
+                {
+                  ws_announced = Hashtbl.create 4;
+                  ws_acked = Hashtbl.create 4;
+                  ws_state = W_idle;
+                }
+              in
+              p.p_sort <- Worker_peer w;
+              Metrics.bump e.cfg.metrics "net_workers_total";
+              logf e "%s joined as a worker" p.p_name;
+              (* Catch it up on every live job. *)
+              List.iter
+                (fun jid ->
+                  match Hashtbl.find_opt e.jobs jid with
+                  | Some jb ->
+                      Hashtbl.replace w.ws_announced jid ();
+                      send_worker e p (Proto.Nw_job { jid; job = jb.jb_job })
+                  | None -> ())
+                e.order
+          | Proto.Client_role ->
+              p.p_sort <- Client_peer { cs_watching = None };
+              Metrics.bump e.cfg.metrics "net_clients_total";
+              logf e "%s joined as a client" p.p_name)
+        end
+      end
+
+(* {2 Frame pump} *)
+
+let handle_frame e p v =
+  match p.p_sort with
+  | Pending _ -> handle_hello e p v
+  | Worker_peer w -> (
+      match Proto.net_from_worker_of_json v with
+      | Ok msg -> handle_worker_msg e p w msg
+      | Error m -> peer_gone e p ~reason:("undecodable message: " ^ m))
+  | Client_peer c -> (
+      match Proto.client_to_server_of_json v with
+      | Ok Proto.Cs_pong -> ()
+      | Ok (Proto.Cs_submit { job; resume }) -> handle_submit e p c ~job ~resume
+      | Error m -> peer_gone e p ~reason:("undecodable message: " ^ m))
+
+let read_buf = Bytes.create 65536
+
+let rec drain_frames e p =
+  if p.p_alive then
+    match Frame.next ~now:(now ()) p.p_dec with
+    | Ok None -> ()
+    | Ok (Some v) ->
+        handle_frame e p v;
+        drain_frames e p
+    | Error err ->
+        peer_gone e p ~reason:(Format.asprintf "%a" Frame.pp_error err)
+
+let handle_readable e p =
+  match Unix.read p.p_fd read_buf 0 (Bytes.length read_buf) with
+  | 0 -> peer_gone e p ~reason:"closed its end"
+  | n ->
+      let t = now () in
+      p.p_last <- t;
+      p.p_pinged <- false;
+      let (win_start, win_bytes), over =
+        Policy.rate_check ~limit_per_s:e.cfg.rate_limit
+          ~window_start:p.p_win_start ~window_bytes:p.p_win_bytes ~arrived:n
+          ~now:t
+      in
+      p.p_win_start <- win_start;
+      p.p_win_bytes <- win_bytes;
+      if over then peer_gone e p ~reason:"byte-rate cap exceeded"
+      else begin
+        Frame.feed ~now:t p.p_dec read_buf n;
+        drain_frames e p
+      end
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      peer_gone e p ~reason:"connection reset"
+
+(* {2 Scheduling, timers} *)
+
+let deal e =
+  if not e.draining then begin
+    let t = now () in
+    let eligible jb sh =
+      sh.sh_state = Sh_pending && sh.sh_not_before <= t && sh.sh_lo <= jb.jb_cut
+    in
+    let next_shard_for w =
+      (* FIFO over jobs, in-order over shards, gated on this worker
+         having acked the job's plan. *)
+      List.find_map
+        (fun jid ->
+          match Hashtbl.find_opt e.jobs jid with
+          | Some jb when Hashtbl.mem w.ws_acked jid ->
+              Array.find_opt (eligible jb) jb.jb_shards
+              |> Option.map (fun sh -> (jb, sh))
+          | _ -> None)
+        e.order
+    in
+    List.iter
+      (fun p ->
+        match p.p_sort with
+        | Worker_peer w when p.p_alive && w.ws_state = W_idle -> (
+            match next_shard_for w with
+            | None -> ()
+            | Some (jb, sh) ->
+                send_worker e p
+                  (Proto.Nw_assign
+                     {
+                       jid = jb.jb_id;
+                       shard = sh.sh_id;
+                       lo = sh.sh_lo;
+                       hi = sh.sh_hi;
+                     });
+                if p.p_alive then begin
+                  sh.sh_state <- Sh_running p.p_id;
+                  w.ws_state <-
+                    W_busy
+                      {
+                        jid = jb.jb_id;
+                        shard = sh.sh_id;
+                        deadline = t +. e.cfg.shard_timeout;
+                      }
+                end)
+        | _ -> ())
+      e.peers;
+    Metrics.record e.cfg.metrics "net_queue_depth" (queue_depth e)
+  end
+
+let check_timers e =
+  let t = now () in
+  List.iter
+    (fun p ->
+      if p.p_alive then
+        match p.p_sort with
+        | Pending deadline ->
+            if t > deadline then peer_gone e p ~reason:"handshake timeout"
+        | Worker_peer w -> (
+            (match w.ws_state with
+            | W_busy { jid; shard; deadline } when t > deadline ->
+                peer_gone e p
+                  ~reason:
+                    (Printf.sprintf "job %s shard %d timed out" jid shard)
+            | _ -> ());
+            if p.p_alive then
+              match
+                Policy.heartbeat ~timeout:e.cfg.heartbeat_timeout
+                  ~silent:(t -. p.p_last) ~pinged:p.p_pinged
+              with
+              | Policy.Dead -> peer_gone e p ~reason:"heartbeat timeout"
+              | Policy.Ping ->
+                  send_worker e p Proto.Nw_ping;
+                  p.p_pinged <- true
+              | Policy.Wait -> ())
+        | Client_peer _ -> (
+            match
+              Policy.heartbeat ~timeout:e.cfg.heartbeat_timeout
+                ~silent:(t -. p.p_last) ~pinged:p.p_pinged
+            with
+            | Policy.Dead -> peer_gone e p ~reason:"heartbeat timeout"
+            | Policy.Ping ->
+                send_client e p Proto.Sc_ping;
+                p.p_pinged <- true
+            | Policy.Wait -> ()))
+    e.peers
+
+let next_timeout e =
+  let t = now () in
+  let d = ref 1.0 in
+  let note x = if x < !d then d := Float.max x 0.01 in
+  List.iter
+    (fun p ->
+      (match p.p_sort with
+      | Pending deadline -> note (deadline -. t)
+      | Worker_peer w -> (
+          match w.ws_state with
+          | W_busy { deadline; _ } -> note (deadline -. t)
+          | W_idle -> ())
+      | Client_peer _ -> ());
+      match p.p_sort with
+      | Pending _ -> ()
+      | _ ->
+          note
+            (Policy.heartbeat_deadline ~timeout:e.cfg.heartbeat_timeout
+               ~silent:(t -. p.p_last) ~pinged:p.p_pinged))
+    e.peers;
+  Hashtbl.iter
+    (fun _ jb ->
+      Array.iter
+        (fun sh ->
+          if sh.sh_state = Sh_pending && sh.sh_not_before > t then
+            note (sh.sh_not_before -. t))
+        jb.jb_shards)
+    e.jobs;
+  !d
+
+let accept_peers e =
+  let rec go () =
+    match Unix.accept e.listener with
+    | fd, addr ->
+        Unix.set_close_on_exec fd;
+        let p =
+          {
+            p_id = e.next_pid;
+            p_fd = fd;
+            p_dec =
+              Frame.decoder ~stall_timeout:e.cfg.frame_stall_timeout ();
+            p_name =
+              Printf.sprintf "peer %d (%s)" e.next_pid
+                (Net.string_of_sockaddr addr);
+            p_sort = Pending (now () +. e.cfg.handshake_timeout);
+            p_last = now ();
+            p_pinged = false;
+            p_alive = true;
+            p_win_start = now ();
+            p_win_bytes = 0;
+          }
+        in
+        e.next_pid <- e.next_pid + 1;
+        e.peers <- e.peers @ [ p ];
+        Metrics.bump e.cfg.metrics "net_connections_total";
+        gauge_peers e;
+        logf e "%s connected" p.p_name;
+        go ()
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> go ()
+  in
+  go ()
+
+(* {2 Drain and main loop} *)
+
+let begin_drain e =
+  e.draining <- true;
+  logf e "draining: no new connections or shards; checkpointing in-flight work";
+  close_quiet e.listener;
+  (* Tell every client now: their jobs are journalled and resumable. *)
+  List.iter
+    (fun p ->
+      match p.p_sort with
+      | Client_peer _ -> send_client e p Proto.Sc_draining
+      | _ -> ())
+    e.peers
+
+let in_flight e =
+  Hashtbl.fold
+    (fun _ jb acc ->
+      Array.fold_left
+        (fun acc sh ->
+          match sh.sh_state with Sh_running _ -> acc + 1 | _ -> acc)
+        acc jb.jb_shards)
+    e.jobs 0
+
+let shutdown e =
+  List.iter
+    (fun p ->
+      match p.p_sort with
+      | Worker_peer _ -> send_worker e p Proto.Nw_shutdown
+      | _ -> ())
+    e.peers;
+  List.iter (fun p -> close_quiet p.p_fd) e.peers;
+  e.peers <- [];
+  Hashtbl.iter (fun _ jb -> Journal.close jb.jb_journal) e.jobs;
+  Hashtbl.reset e.jobs;
+  e.order <- []
+
+let rec loop e =
+  if !(e.term) && not e.draining then begin_drain e;
+  if e.draining && in_flight e = 0 then shutdown e
+  else begin
+    deal e;
+    let fds =
+      (if e.draining then [] else [ e.listener ])
+      @ List.filter_map
+          (fun p -> if p.p_alive then Some p.p_fd else None)
+          e.peers
+    in
+    let readable, _, _ =
+      match Unix.select fds [] [] (next_timeout e) with
+      | r -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if (not e.draining) && List.mem e.listener readable then accept_peers e;
+    let snapshot = e.peers in
+    List.iter
+      (fun p -> if p.p_alive && List.mem p.p_fd readable then
+          handle_readable e p)
+      snapshot;
+    check_timers e;
+    loop e
+  end
+
+let serve ?on_listen cfg ~lookup addr =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  match Net.listen addr with
+  | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Printf.sprintf "cannot listen on %s: %s"
+           (Net.string_of_sockaddr addr)
+           (Unix.error_message err))
+  | listener, port ->
+      Unix.set_nonblock listener;
+      Option.iter (fun f -> f port) on_listen;
+      let term = ref false in
+      let prev_term =
+        Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> term := true))
+      in
+      let e =
+        {
+          cfg;
+          lookup;
+          listener;
+          term;
+          jobs = Hashtbl.create 8;
+          order = [];
+          peers = [];
+          next_pid = 0;
+          draining = false;
+        }
+      in
+      let result =
+        match loop e with
+        | () -> Ok ()
+        | exception exn ->
+            shutdown e;
+            close_quiet listener;
+            Error (Printexc.to_string exn)
+      in
+      Sys.set_signal Sys.sigterm prev_term;
+      result

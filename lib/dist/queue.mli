@@ -1,0 +1,51 @@
+(** The [asmsim serve] engine: a single-threaded TCP job queue that
+    accepts many concurrent sweep/explore submissions, deals their
+    shards to remote workers, journals every completed shard, and
+    streams the payloads back to the submitting clients — which merge
+    locally, so results stay byte-identical to in-process runs.
+
+    Robustness posture, all on one [Unix.select] loop:
+    - handshake deadline and a typed reject for version or registry
+      fingerprint skew — a wrong peer is told why and cut, never hung;
+    - per-peer frame stall deadlines ({!Frame.decoder}'s
+      [stall_timeout]) and byte-rate caps ({!Policy.rate_check}) on top
+      of the frame size cap — slow-loris and flooding peers are cut;
+    - heartbeats with the {!Policy.heartbeat} half-timeout ping, shard
+      deadlines, and {!Policy.retry} backoff/hostile handling exactly
+      like the fork coordinator;
+    - every accepted shard is journalled before it is streamed, so
+      SIGTERM drains gracefully: stop accepting, let in-flight shards
+      finish and checkpoint, tell clients [Sc_draining] (their job id
+      resumes the work later), then exit cleanly. *)
+
+type config = {
+  fingerprint : string;  (** scenario-registry fingerprint to enforce *)
+  shard_size : int option;  (** fixed shard size; default scales to workers *)
+  shard_timeout : float;
+  heartbeat_timeout : float;
+  handshake_timeout : float;
+  frame_stall_timeout : float;  (** deadline for completing one frame *)
+  rate_limit : int;  (** per-peer inbound bytes per second *)
+  max_retries : int;  (** shard attempts before it is declared hostile *)
+  backoff : float;  (** base of the exponential re-deal delay *)
+  journal_dir : string;
+  fsync : bool;  (** fsync journals on every checkpoint *)
+  log : (string -> unit) option;
+  metrics : Svm.Metrics.t option;
+      (** connection / retry / queue-depth counters land here *)
+}
+
+val default_config : fingerprint:string -> unit -> config
+
+val serve :
+  ?on_listen:(int -> unit) ->
+  config ->
+  lookup:(Proto.job -> (Worker.instance, string) result) ->
+  Unix.sockaddr ->
+  (unit, string) result
+(** Run the service until SIGTERM completes a graceful drain ([Ok ()]).
+    [on_listen] receives the actual bound port (bind to port 0 in
+    tests). [lookup] expands submitted jobs — the server plans each job
+    itself to know its cell count and validate worker payloads, and
+    rejects submissions it cannot expand. [Error] is reserved for a
+    broken listen address or an internal failure. *)

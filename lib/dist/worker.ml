@@ -37,12 +37,12 @@ let cells_of_instance = function
   | Sweep_instance p -> Svm.Explore.sweep_cells p
   | Explore_instance p -> Svm.Explore.plan_tasks p
 
-let compute_shard instance in_fd out_fd ~shard ~lo ~hi =
+(* Compute one shard's payload, transport-free: [tick completed] fires
+   every {!heartbeat_every} cells so the caller can emit progress and
+   poll control frames, whatever its wire is. *)
+let compute_shard instance ~lo ~hi ~tick =
   let tick i =
-    if (i - lo + 1) mod heartbeat_every = 0 then begin
-      send out_fd (Proto.Progress { shard; completed = i - lo + 1 });
-      poll_control in_fd out_fd
-    end
+    if (i - lo + 1) mod heartbeat_every = 0 then tick (i - lo + 1)
   in
   match instance with
   | Sweep_instance p ->
@@ -86,7 +86,11 @@ let serve ~lookup in_fd out_fd =
       | Proto.Hello _ -> raise (Quit 2)
       | Proto.Assign { shard; lo; hi } ->
           if hi > cells then raise (Quit 2);
-          let payload = compute_shard instance in_fd out_fd ~shard ~lo ~hi in
+          let tick completed =
+            send out_fd (Proto.Progress { shard; completed });
+            poll_control in_fd out_fd
+          in
+          let payload = compute_shard instance ~lo ~hi ~tick in
           send out_fd (Proto.Result { shard; payload }));
       loop ()
     in

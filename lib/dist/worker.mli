@@ -12,6 +12,18 @@ type instance =
   | Sweep_instance of Svm.Univ.t Svm.Explore.sweep_plan
   | Explore_instance of Svm.Univ.t Svm.Explore.plan
 
+val cells_of_instance : instance -> int
+(** Dispatch units in the instance's plan — what [Hello_ok] reports. *)
+
+val compute_shard :
+  instance -> lo:int -> hi:int -> tick:(int -> unit) -> Svm.Json.t
+(** Compute the wire payload for cells [lo, hi): the verdict-tag string
+    of a sweep or the summary list of an explore. Transport-free —
+    [tick completed] fires every few cells so the caller can emit
+    progress heartbeats and poll its own control channel (it may raise
+    to abandon the shard). Shared by the socketpair serve loop below
+    and the TCP {!Client}. *)
+
 val serve :
   lookup:(Proto.job -> (instance, string) result) ->
   Unix.file_descr ->

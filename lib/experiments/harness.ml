@@ -200,6 +200,27 @@ let explore_scenario_dist ?max_crashes ?max_runs ?max_steps ?dedup ?metrics
   | Ok (`Explore r) -> Ok r
   | Ok (`Sweep _) -> Error "internal: explore job resolved to a sweep plan"
 
+(* {2 Network service}
+
+   The handshake fingerprint digests the scenario registry (plus the
+   protocol version): two binaries that would expand some job into
+   different plans must disagree on it, so they are rejected at the
+   door instead of corrupting a job mid-flight. *)
+
+let registry_fingerprint () =
+  let h =
+    List.fold_left
+      (fun acc name -> Hashtbl.hash (acc, name))
+      (Hashtbl.hash ("asmsim-net", Dist.Proto.net_version))
+      (Scenario.names ())
+  in
+  Printf.sprintf "v%d:%08x" Dist.Proto.net_version (h land 0xffffffff)
+
+let submit_job_net ?metrics ?resume cfg (job : Dist.Proto.job) addr =
+  match dist_instance job with
+  | Error m -> Error m
+  | Ok instance -> Dist.Client.submit ?metrics ?resume cfg ~instance ~job addr
+
 let crash_before_fam ~pid ~prefix ~nth =
   Adversary.Crash_before_op
     {

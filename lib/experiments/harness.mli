@@ -157,6 +157,24 @@ val explore_scenario_dist :
   result
 (** {!explore_scenario} across worker processes. *)
 
+val registry_fingerprint : unit -> string
+(** Digest of the scenario registry and the network protocol version,
+    exchanged in the {!Dist.Net} handshake: two binaries that could
+    expand a job into different plans disagree on it and are rejected
+    at connect time instead of corrupting a job mid-flight. *)
+
+val submit_job_net :
+  ?metrics:Svm.Metrics.t ->
+  ?resume:string ->
+  Dist.Client.config ->
+  Dist.Proto.job ->
+  Unix.sockaddr ->
+  (Dist.Client.submission * Dist.Client.stats, string) result
+(** Submit a job to an [asmsim serve] daemon: expand the plan locally
+    (via {!dist_instance}, so the server's cell count is cross-checked)
+    and merge the shard stream with {!Dist.Client.submit} — output is
+    byte-identical to the in-process run. *)
+
 val crash_before_fam :
   pid:int -> prefix:string -> nth:int -> Svm.Adversary.crash_spec
 (** Crash [pid] just before its [nth] operation on any object family

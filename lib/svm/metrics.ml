@@ -68,6 +68,18 @@ let set_max g v = if v > !g then g := v
 let gauge_value t name =
   match Hashtbl.find_opt t.gauges name with Some g -> !g | None -> 0
 
+(* Optional-registry conveniences, for producers (the network service)
+   whose instrumentation is a [?metrics] that is usually [None]. *)
+
+let bump ?(by = 1) t name =
+  match t with None -> () | Some t -> incr ~by (counter t name)
+
+let record t name v =
+  match t with None -> () | Some t -> set (gauge t name) v
+
+let record_max t name v =
+  match t with None -> () | Some t -> set_max (gauge t name) v
+
 let bucket_of v =
   if v <= 0 then 0
   else begin

@@ -47,6 +47,22 @@ val set_max : gauge -> int -> unit
 
 val gauge_value : t -> string -> int
 
+(** {1 Optional-registry conveniences}
+
+    For producers whose instrumentation hangs off a [?metrics] that is
+    usually [None] — the network service counts connections, retries
+    and queue depth this way without forcing every caller to thread a
+    registry. *)
+
+val bump : ?by:int -> t option -> string -> unit
+(** Increment a counter by name; no-op on [None]. *)
+
+val record : t option -> string -> int -> unit
+(** Set a gauge by name; no-op on [None]. *)
+
+val record_max : t option -> string -> int -> unit
+(** Max-set a gauge by name; no-op on [None]. *)
+
 (** {1 Histograms}
 
     Log-bucketed: bucket 0 holds values [<= 0]; bucket [i >= 1] holds

@@ -267,6 +267,157 @@ let resume_rejects_other_job () =
         true
         (contains_sub m "different job")
 
+(* ------------------------------------------------------------------ *)
+(* retry/heartbeat policy — the pure decisions behind both the fork
+   coordinator and the TCP queue, pinned exactly                        *)
+(* ------------------------------------------------------------------ *)
+
+let policy_backoff_schedule () =
+  (* attempt k re-deals after base * 2^(k-1): the documented schedule,
+     value by value. *)
+  List.iter
+    (fun (attempt, expect) ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "delay before attempt %d" attempt)
+        expect
+        (Dist.Policy.backoff_delay ~base:0.05 ~attempt))
+    [ (0, 0.); (1, 0.05); (2, 0.1); (3, 0.2); (4, 0.4); (5, 0.8) ];
+  match Dist.Policy.retry ~max_retries:3 ~base:0.05 ~attempts:2 with
+  | Dist.Policy.Requeue d -> check (Alcotest.float 1e-9) "requeue delay" 0.1 d
+  | Dist.Policy.Hostile -> Alcotest.fail "attempt 2 of 3 must requeue"
+
+let policy_hostile_after_k_plus_1 () =
+  (* max_retries = k: kills 1..k are retried; the k+1th kill makes the
+     shard hostile — never retried forever. *)
+  let k = 2 in
+  for attempts = 1 to k do
+    match Dist.Policy.retry ~max_retries:k ~base:0.01 ~attempts with
+    | Dist.Policy.Requeue _ -> ()
+    | Dist.Policy.Hostile ->
+        Alcotest.failf "kill %d of max %d must still requeue" attempts k
+  done;
+  match Dist.Policy.retry ~max_retries:k ~base:0.01 ~attempts:(k + 1) with
+  | Dist.Policy.Hostile -> ()
+  | Dist.Policy.Requeue _ ->
+      Alcotest.failf "kill %d must be hostile (k+1 kills)" (k + 1)
+
+let policy_heartbeat_edges () =
+  let hb ~silent ~pinged =
+    Dist.Policy.heartbeat ~timeout:20. ~silent ~pinged
+  in
+  (* quiet < timeout/2: leave the peer alone *)
+  (match hb ~silent:9.9 ~pinged:false with
+  | Dist.Policy.Wait -> ()
+  | _ -> Alcotest.fail "under half the timeout: wait");
+  (* past the half-timeout edge: ping once... *)
+  (match hb ~silent:10.1 ~pinged:false with
+  | Dist.Policy.Ping -> ()
+  | _ -> Alcotest.fail "past half the timeout, unpinged: ping");
+  (* ...and only once *)
+  (match hb ~silent:10.1 ~pinged:true with
+  | Dist.Policy.Wait -> ()
+  | _ -> Alcotest.fail "already pinged: wait for the pong");
+  (* past the full timeout the peer is dead, pinged or not *)
+  (match hb ~silent:20.1 ~pinged:true with
+  | Dist.Policy.Dead -> ()
+  | _ -> Alcotest.fail "past the timeout: dead");
+  match hb ~silent:20.1 ~pinged:false with
+  | Dist.Policy.Dead -> ()
+  | _ -> Alcotest.fail "past the timeout without a ping: still dead"
+
+let policy_reconnect_jitter () =
+  (* growth up to the cap, with rand pinned to 1.0 *)
+  List.iter
+    (fun (attempt, expect) ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "reconnect delay, attempt %d" attempt)
+        expect
+        (Dist.Policy.reconnect_delay ~base:0.2 ~cap:5.0 ~attempt ~rand:1.0))
+    [ (0, 0.2); (1, 0.4); (2, 0.8); (3, 1.6); (4, 3.2); (5, 5.0); (9, 5.0) ];
+  (* jitter scales the delay but never below the 10% floor *)
+  check (Alcotest.float 1e-9) "jitter floor" 0.02
+    (Dist.Policy.reconnect_delay ~base:0.2 ~cap:5.0 ~attempt:0 ~rand:0.0)
+
+(* ------------------------------------------------------------------ *)
+(* journal crash-safety: a torn final line is recovered from, both by
+   the reader and by a resuming writer                                  *)
+(* ------------------------------------------------------------------ *)
+
+let journal_path dir id =
+  Filename.concat (Filename.concat dir id) "journal.jsonl"
+
+let journal_setup () =
+  let s = scenario "safe_agreement_no_cancel" in
+  let dir = fresh_dir () in
+  let job = Experiments.Harness.sweep_job s in
+  let j = Dist.Journal.create ~dir ~job ~cells:65 ~shard_size:7 () in
+  Dist.Journal.append_shard j ~shard:0 ~payload:(Json.String "CCCCCCC");
+  Dist.Journal.append_shard j ~shard:1 ~payload:(Json.String "DDDDDDD");
+  Dist.Journal.close j;
+  (dir, Dist.Journal.id j)
+
+let tear_final_line dir id =
+  (* Chop bytes off the end, past the last record's newline: what a
+     crash mid-append leaves on disk. *)
+  let p = journal_path dir id in
+  let ic = open_in_bin p in
+  let n = in_channel_length ic in
+  close_in ic;
+  let fd = Unix.openfile p [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (n - 3);
+  Unix.close fd
+
+let journal_torn_line_load () =
+  let dir, id = journal_setup () in
+  tear_final_line dir id;
+  match Dist.Journal.load ~dir id with
+  | Error m -> Alcotest.failf "torn journal must still load: %s" m
+  | Ok l ->
+      (* The torn record is dropped; the complete prefix survives. *)
+      check Alcotest.int "complete shards recovered" 1
+        (List.length l.Dist.Journal.l_done);
+      (match l.Dist.Journal.l_done with
+      | [ (0, Json.String "CCCCCCC") ] -> ()
+      | _ -> Alcotest.fail "wrong shard recovered from the torn journal");
+      check Alcotest.int "cells metadata intact" 65 l.Dist.Journal.l_cells
+
+let journal_torn_line_reopen () =
+  let dir, id = journal_setup () in
+  tear_final_line dir id;
+  (* Reopen must truncate the torn tail and append cleanly after it. *)
+  (match Dist.Journal.reopen ~dir id with
+  | Error m -> Alcotest.failf "torn journal must reopen: %s" m
+  | Ok j ->
+      Dist.Journal.append_shard j ~shard:1 ~payload:(Json.String "VVVVVVV");
+      Dist.Journal.close j);
+  match Dist.Journal.load ~dir id with
+  | Error m -> Alcotest.failf "journal unreadable after reopen: %s" m
+  | Ok l -> (
+      check Alcotest.int "both shards present after repair" 2
+        (List.length l.Dist.Journal.l_done);
+      match List.assoc_opt 1 l.Dist.Journal.l_done with
+      | Some (Json.String "VVVVVVV") -> ()
+      | _ -> Alcotest.fail "the re-appended shard must replace the torn one")
+
+let journal_fsync_flag () =
+  (* The fsync path must write the same bytes as the buffered path. *)
+  let s = scenario "safe_agreement_no_cancel" in
+  let job = Experiments.Harness.sweep_job s in
+  let write dir fsync =
+    let j = Dist.Journal.create ~dir ~fsync ~job ~cells:65 ~shard_size:7 () in
+    Dist.Journal.append_shard j ~shard:0 ~payload:(Json.String "CCCCCCC");
+    Dist.Journal.append_hostile j ~shard:3;
+    Dist.Journal.close j;
+    let ic = open_in_bin (journal_path dir (Dist.Journal.id j)) in
+    let n = in_channel_length ic in
+    let contents = really_input_string ic n in
+    close_in ic;
+    contents
+  in
+  check Alcotest.string "fsync changes durability, not bytes"
+    (write (fresh_dir ()) false)
+    (write (fresh_dir ()) true)
+
 let suite =
   [
     ( "dist",
@@ -286,5 +437,19 @@ let suite =
         Alcotest.test_case "resume runs no shard twice" `Quick resume_no_rerun;
         Alcotest.test_case "resume refuses a different job" `Quick
           resume_rejects_other_job;
+        Alcotest.test_case "retry backoff schedule is exact" `Quick
+          policy_backoff_schedule;
+        Alcotest.test_case "shard is hostile after k+1 kills" `Quick
+          policy_hostile_after_k_plus_1;
+        Alcotest.test_case "heartbeat pings at half-timeout, once" `Quick
+          policy_heartbeat_edges;
+        Alcotest.test_case "reconnect backoff: growth, cap, jitter floor"
+          `Quick policy_reconnect_jitter;
+        Alcotest.test_case "journal survives a torn final line" `Quick
+          journal_torn_line_load;
+        Alcotest.test_case "journal reopen truncates the torn tail" `Quick
+          journal_torn_line_reopen;
+        Alcotest.test_case "journal --fsync writes identical bytes" `Quick
+          journal_fsync_flag;
       ] );
   ]

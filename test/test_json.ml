@@ -150,6 +150,129 @@ let malformed_table () =
       "\xff\xfe";
     ]
 
+(* ------------------------------------------------------------------ *)
+(* the frame layer over the codec: incremental decoding must be
+   insensitive to how a peer's writes chunk the byte stream, and an
+   incomplete frame must die on its stall deadline — with a pinned
+   clock, so the tests are exact, not sleep-based                       *)
+(* ------------------------------------------------------------------ *)
+
+let encode_all vs =
+  String.concat ""
+    (List.map (fun v -> Bytes.to_string (Dist.Frame.encode v)) vs)
+
+(* Drain every complete frame; any decoder error fails the test. *)
+let drain dec =
+  let rec go acc =
+    match Dist.Frame.next dec with
+    | Ok (Some v) -> go (v :: acc)
+    | Ok None -> List.rev acc
+    | Error e -> Alcotest.failf "decoder error: %a" Dist.Frame.pp_error e
+  in
+  go []
+
+let frames_equal vs got =
+  Alcotest.(check (list string))
+    "decoded frames"
+    (List.map Json.to_string vs)
+    (List.map Json.to_string got)
+
+let frame_byte_at_a_time () =
+  let vs =
+    [
+      Json.Null;
+      Json.Int 42;
+      Json.String "shard";
+      Json.List [ Json.Int 1; Json.Bool false; Json.String "" ];
+      Json.Obj [ ("payload", Json.List [ Json.Int 7 ]); ("v", Json.Null) ];
+    ]
+  in
+  let wire = encode_all vs in
+  let dec = Dist.Frame.decoder () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      Dist.Frame.feed dec (Bytes.make 1 c) 1;
+      got := !got @ drain dec)
+    wire;
+  frames_equal vs !got;
+  Alcotest.(check int) "no leftover bytes" 0 (Dist.Frame.pending dec)
+
+(* Interleaved partial writes: the same frames, cut wherever the chunk
+   schedule says — a syscall boundary is never a frame boundary. *)
+let frame_chunking =
+  QCheck.Test.make ~count:300 ~name:"frame decoding is chunk-insensitive"
+    QCheck.(pair (small_list json_arb) (small_list small_nat))
+    (fun (vs, cuts) ->
+      let wire = encode_all vs in
+      let n = String.length wire in
+      let cuts = List.map (fun c -> 1 + (c mod 9)) (if cuts = [] then [ 3 ] else cuts) in
+      let dec = Dist.Frame.decoder () in
+      let got = ref [] in
+      let rec go i k =
+        if i < n then begin
+          let len = min (List.nth cuts (k mod List.length cuts)) (n - i) in
+          Dist.Frame.feed dec (Bytes.of_string (String.sub wire i len)) len;
+          got := !got @ drain dec;
+          go (i + len) (k + 1)
+        end
+      in
+      go 0 0;
+      List.map Json.to_string !got = List.map (fun v -> Json.to_string (canon v)) vs
+      && Dist.Frame.pending dec = 0)
+
+let frame_stall_deadline () =
+  let dec = Dist.Frame.decoder ~stall_timeout:5.0 () in
+  let wire = Dist.Frame.encode (Json.String "slow-loris") in
+  let part = Bytes.length wire - 1 in
+  Dist.Frame.feed ~now:0.0 dec wire part;
+  (match Dist.Frame.next ~now:4.9 dec with
+  | Ok None -> ()
+  | Ok (Some _) | Error _ ->
+      Alcotest.fail "incomplete frame inside its deadline must just wait");
+  match Dist.Frame.next ~now:5.1 dec with
+  | Error (Dist.Frame.Stalled n) ->
+      Alcotest.(check int) "received byte count reported" part n
+  | Ok _ | Error _ ->
+      Alcotest.fail "incomplete frame past its deadline must be Stalled"
+
+let frame_stall_restarts_at_boundary () =
+  (* The deadline clocks one frame, not the connection: a prompt frame
+     drained at t=100 must not inherit the age of one fed at t=0. *)
+  let dec = Dist.Frame.decoder ~stall_timeout:5.0 () in
+  let a = Dist.Frame.encode (Json.Int 1) in
+  Dist.Frame.feed ~now:0.0 dec a (Bytes.length a);
+  (match Dist.Frame.next ~now:100.0 dec with
+  | Ok (Some (Json.Int 1)) -> ()
+  | _ -> Alcotest.fail "complete frame must decode regardless of age");
+  let b = Dist.Frame.encode (Json.Int 2) in
+  Dist.Frame.feed ~now:100.0 dec b 3;
+  (match Dist.Frame.next ~now:104.0 dec with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "fresh frame's deadline starts at its first byte");
+  Dist.Frame.feed ~now:104.0 dec
+    (Bytes.sub b 3 (Bytes.length b - 3))
+    (Bytes.length b - 3);
+  match Dist.Frame.next ~now:104.5 dec with
+  | Ok (Some (Json.Int 2)) -> ()
+  | _ -> Alcotest.fail "completed frame must decode inside the deadline"
+
+(* Garbage after the length header must come back as a typed Bad_json,
+   and an absurd declared length as Oversized — never an exception. *)
+let frame_hostile_bytes () =
+  let dec = Dist.Frame.decoder () in
+  let junk = Bytes.of_string "\x00\x00\x00\x04@#$%" in
+  Dist.Frame.feed dec junk (Bytes.length junk);
+  (match Dist.Frame.next dec with
+  | Error (Dist.Frame.Bad_json _) -> ()
+  | _ -> Alcotest.fail "non-JSON payload must be Bad_json");
+  let dec = Dist.Frame.decoder ~max_len:1024 () in
+  let huge = Bytes.of_string "\x7f\xff\xff\xff" in
+  Dist.Frame.feed dec huge 4;
+  match Dist.Frame.next dec with
+  | Error (Dist.Frame.Oversized _) -> ()
+  | _ -> Alcotest.fail "oversized declared length must be rejected"
+
 let suite =
   [
     ( "json-wire",
@@ -161,5 +284,14 @@ let suite =
         to_alcotest pretty_roundtrip;
         to_alcotest no_raise_on_garbage;
         to_alcotest no_raise_on_truncated;
+        Alcotest.test_case "frame decoder, byte at a time" `Quick
+          frame_byte_at_a_time;
+        to_alcotest frame_chunking;
+        Alcotest.test_case "frame stall deadline (pinned clock)" `Quick
+          frame_stall_deadline;
+        Alcotest.test_case "frame stall clock restarts per frame" `Quick
+          frame_stall_restarts_at_boundary;
+        Alcotest.test_case "frame hostile bytes are typed errors" `Quick
+          frame_hostile_bytes;
       ] );
   ]

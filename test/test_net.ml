@@ -1,0 +1,455 @@
+(* The network service's contract, loopback edition:
+
+   1. gatekeeping — a peer with the wrong protocol version or registry
+      fingerprint gets a typed rejection and a closed socket, never a
+      hang;
+   2. identity — a job submitted over TCP and computed by remote
+      workers merges to the same outcome and metrics snapshot as the
+      in-process run, even when every worker sabotages its own writes
+      (the chaos harness);
+   3. drain — SIGTERM makes the server checkpoint, tell the client
+      [Sc_draining], and exit 0; the suspended job id resumes against a
+      restarted server and still matches the in-process run.
+
+   The server runs as a forked child of this test (library API, port 0,
+   the bound port crossing back over a pipe); workers are real forked
+   processes of the real binary, exactly as in production. *)
+
+open Svm
+
+let check = Alcotest.check
+let exe = "../bin/asmsim.exe"
+
+let scenario name =
+  match Experiments.Scenario.find name with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "asmsim-net-test-%d-%d" (Unix.getpid ()) !counter)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let fingerprint () = Experiments.Harness.registry_fingerprint ()
+
+(* ------------------------------------------------------------------ *)
+(* process plumbing — everything through [Unix.create_process]: other
+   suites create domains, after which [Unix.fork] is off the table      *)
+(* ------------------------------------------------------------------ *)
+
+let read_file_opt p =
+  match open_in_bin p with
+  | exception Sys_error _ -> ""
+  | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+
+(* Start the real binary as a server on 127.0.0.1:0 and scrape the
+   bound port from its "[net] listening on port N" stderr line. *)
+let start_server ?shard_size ~dir () =
+  let errfile = Filename.concat dir "server.err" in
+  let errfd =
+    Unix.openfile errfile [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let args =
+    [ exe; "serve"; "--listen"; "127.0.0.1:0"; "--journal-dir"; dir ]
+    @
+    match shard_size with
+    | None -> []
+    | Some n -> [ "--shard-size"; string_of_int n ]
+  in
+  let pid =
+    Unix.create_process exe (Array.of_list args) Unix.stdin Unix.stdout errfd
+  in
+  Unix.close errfd;
+  let marker = "listening on port " in
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec await () =
+    let s = read_file_opt errfile in
+    let mn = String.length marker in
+    let rec find i =
+      if i + mn > String.length s then None
+      else if String.sub s i mn = marker then Some (i + mn)
+      else find (i + 1)
+    in
+    match find 0 with
+    | Some digits ->
+        let j = ref digits in
+        while
+          !j < String.length s && s.[!j] >= '0' && s.[!j] <= '9'
+        do
+          incr j
+        done;
+        if !j > digits then
+          int_of_string (String.sub s digits (!j - digits))
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "server never finished printing its port"
+        else (
+          Unix.sleepf 0.02;
+          await ())
+    | None ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.failf "server never bound; stderr: %s" s
+        else (
+          Unix.sleepf 0.02;
+          await ())
+  in
+  (pid, await ())
+
+(* SIGTERM [target] after [delay] seconds, from a helper process, so
+   the test can sit inside a blocking submit meanwhile. *)
+let kill_after ~delay target =
+  Unix.create_process "/bin/sh"
+    [|
+      "/bin/sh";
+      "-c";
+      Printf.sprintf "sleep %g; kill -TERM %d 2>/dev/null" delay target;
+    |]
+    Unix.stdin Unix.stdout Unix.stderr
+
+(* SIGKILL [target] as soon as its stderr shows it joined a job, from a
+   helper process, so the kill lands mid-run while the test sits in a
+   blocking submit. *)
+let kill_once_joined ~err target =
+  Unix.create_process "/bin/sh"
+    [|
+      "/bin/sh";
+      "-c";
+      Printf.sprintf
+        "for i in $(seq 1 250); do grep -q 'opened job' %s 2>/dev/null && \
+         kill -KILL %d 2>/dev/null && exit 0; sleep 0.02; done"
+        (Filename.quote err) target;
+    |]
+    Unix.stdin Unix.stdout Unix.stderr
+
+(* A real worker process of the real binary, stderr captured so tests
+   can prove the chaos harness actually fired. *)
+let start_worker ?chaos ~err port =
+  let args =
+    [ exe; "work"; "--connect"; Printf.sprintf "127.0.0.1:%d" port ]
+    @ (match chaos with
+      | None -> []
+      | Some (mode, every) ->
+          [ "--chaos-net"; mode; "--chaos-every"; string_of_int every ])
+  in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let errfd =
+    Unix.openfile err [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let pid =
+    Unix.create_process exe (Array.of_list args) Unix.stdin devnull errfd
+  in
+  Unix.close devnull;
+  Unix.close errfd;
+  pid
+
+let kill_quiet pid signal = try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+let reap pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error _ -> Unix.WEXITED (-1)
+
+let read_file p =
+  let ic = open_in_bin p in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let contains_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let client_config () =
+  {
+    (Dist.Client.default_config ~fingerprint:(fingerprint ()) ()) with
+    Dist.Client.backoff_base = 0.02;
+    dial_timeout = 5.;
+    read_timeout = 30.;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* in-process reference                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_repr (o : Explore.sweep_outcome) =
+  let found =
+    match o.Explore.found with
+    | None -> "none"
+    | Some f ->
+        Format.asprintf "%a >> %a | %s@%d | shrink=%d | artifact=<<%s>>"
+          Explore.pp_fault_schedule f.Explore.fault Explore.pp_fault_schedule
+          f.Explore.shrunk f.Explore.violation.Monitor.monitor
+          f.Explore.violation.Monitor.step f.Explore.shrink_runs
+          f.Explore.replay
+  in
+  Printf.sprintf "runs=%d exhausted=%b found=%s" o.Explore.runs
+    o.Explore.exhausted found
+
+let sweep_inproc s =
+  let metrics = Metrics.create ~wall_clock:false () in
+  let o = Experiments.Harness.sweep_scenario ~metrics s in
+  (sweep_repr o, Metrics.snapshot_string metrics)
+
+let submit_sweep ?resume cfg s port =
+  let metrics = Metrics.create ~wall_clock:false () in
+  let job = Experiments.Harness.sweep_job s in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  match Experiments.Harness.submit_job_net ~metrics ?resume cfg job addr with
+  | Error m -> Alcotest.failf "submit failed: %s" m
+  | Ok (sub, stats) -> (sub, stats, metrics)
+
+(* ------------------------------------------------------------------ *)
+(* gatekeeping                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let reject_fingerprint_skew () =
+  let dir = fresh_dir () in
+  let srv, port = start_server ~dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_quiet srv Sys.sigterm;
+      ignore (reap srv))
+    (fun () ->
+      let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+      match Dist.Net.dial ~timeout:5. addr with
+      | Error m -> Alcotest.failf "dial failed: %s" m
+      | Ok fd -> (
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              match
+                Dist.Net.client_handshake fd ~role:Dist.Proto.Worker_role
+                  ~fingerprint:"someone-else's-registry"
+              with
+              | Error (Dist.Net.Hs_rejected m) ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "rejection names the fingerprint: %S" m)
+                    true
+                    (contains_sub m "fingerprint")
+              | Error (Dist.Net.Hs_link m) ->
+                  Alcotest.failf "expected a typed rejection, got link: %s" m
+              | Ok () -> Alcotest.fail "fingerprint skew must be rejected")))
+
+let reject_version_skew () =
+  let dir = fresh_dir () in
+  let srv, port = start_server ~dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_quiet srv Sys.sigterm;
+      ignore (reap srv))
+    (fun () ->
+      let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+      match Dist.Net.dial ~timeout:5. addr with
+      | Error m -> Alcotest.failf "dial failed: %s" m
+      | Ok fd ->
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              (* Hand-craft a hello from the future. *)
+              Dist.Frame.write fd
+                (Dist.Proto.hello_to_json
+                   {
+                     Dist.Proto.h_version = Dist.Proto.net_version + 1;
+                     h_role = Dist.Proto.Worker_role;
+                     h_fingerprint = fingerprint ();
+                   });
+              match Dist.Frame.read ~timeout:5. fd with
+              | Error e ->
+                  Alcotest.failf "no reply to a wrong-version hello: %a"
+                    Dist.Frame.pp_error e
+              | Ok v -> (
+                  match Dist.Proto.welcome_of_json v with
+                  | Ok (Dist.Proto.Rejected m) ->
+                      Alcotest.(check bool)
+                        (Printf.sprintf "rejection names the version: %S" m)
+                        true (contains_sub m "version")
+                  | Ok Dist.Proto.Welcome ->
+                      Alcotest.fail "version skew must be rejected"
+                  | Error m -> Alcotest.failf "unreadable welcome: %s" m)))
+
+(* ------------------------------------------------------------------ *)
+(* identity over TCP, clean and under chaos                             *)
+(* ------------------------------------------------------------------ *)
+
+let net_identity ~chaos () =
+  let s = scenario "safe_agreement_no_cancel" in
+  let base = sweep_inproc s in
+  let dir = fresh_dir () in
+  let srv, port = start_server ~shard_size:5 ~dir () in
+  let errs =
+    List.map (fun i -> Filename.concat dir (Printf.sprintf "w%d.err" i)) [ 1; 2 ]
+  in
+  let workers = List.map (fun err -> start_worker ?chaos ~err port) errs in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun pid -> kill_quiet pid Sys.sigkill) workers;
+      kill_quiet srv Sys.sigterm;
+      List.iter (fun pid -> ignore (reap pid)) workers;
+      ignore (reap srv))
+    (fun () ->
+      let sub, stats, metrics = submit_sweep (client_config ()) s port in
+      (match sub with
+      | Dist.Client.Suspended _ ->
+          Alcotest.fail "job suspended without a drain"
+      | Dist.Client.Finished (Dist.Client.Explore_outcome _) ->
+          Alcotest.fail "sweep came back as an explore result"
+      | Dist.Client.Finished (Dist.Client.Sweep_outcome o) ->
+          check Alcotest.string "outcome identical over TCP" (fst base)
+            (sweep_repr o);
+          check Alcotest.string "metrics identical over TCP" (snd base)
+            (Metrics.snapshot_string metrics));
+      Alcotest.(check bool) "shards were executed remotely" true
+        (stats.Dist.Client.executed > 0);
+      if chaos <> None then begin
+        (* The harness must actually have fired — otherwise this test
+           proves nothing about fault tolerance. *)
+        let fired =
+          List.exists (fun err -> contains_sub (read_file err) "chaos") errs
+        in
+        Alcotest.(check bool) "chaos really cut connections" true fired
+      end)
+
+let net_identity_clean = net_identity ~chaos:None
+
+let net_identity_chaos = net_identity ~chaos:(Some ("drop", 3))
+
+(* The acceptance bar from the issue: 4 remote workers, chaos drop on
+   every one of them, one SIGKILLed mid-run — the server must reassign
+   the lost shard and the merged result must still be byte-identical.
+   shard_size=1 stretches the run so the kill has a wide window. *)
+let net_identity_chaos_kill () =
+  let s = scenario "safe_agreement_no_cancel" in
+  let base = sweep_inproc s in
+  let dir = fresh_dir () in
+  let srv, port = start_server ~shard_size:1 ~dir () in
+  let errs =
+    List.map
+      (fun i -> Filename.concat dir (Printf.sprintf "kw%d.err" i))
+      [ 1; 2; 3; 4 ]
+  in
+  let workers =
+    List.map (fun err -> start_worker ~chaos:("drop", 3) ~err port) errs
+  in
+  let victim = List.hd workers in
+  let assassin = kill_once_joined ~err:(List.hd errs) victim in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun pid -> kill_quiet pid Sys.sigkill) workers;
+      kill_quiet srv Sys.sigterm;
+      kill_quiet assassin Sys.sigkill;
+      List.iter (fun pid -> ignore (reap pid)) (assassin :: workers);
+      ignore (reap srv))
+    (fun () ->
+      let sub, stats, metrics = submit_sweep (client_config ()) s port in
+      (* The victim must really have died of SIGKILL, not been stranded
+         unkilled — otherwise this proves nothing about reassignment. *)
+      let deadline = Unix.gettimeofday () +. 5. in
+      let rec victim_status () =
+        match Unix.waitpid [ Unix.WNOHANG ] victim with
+        | 0, _ ->
+            if Unix.gettimeofday () > deadline then None
+            else (
+              Unix.sleepf 0.02;
+              victim_status ())
+        | _, st -> Some st
+        | exception Unix.Unix_error _ -> None
+      in
+      (match victim_status () with
+      | Some (Unix.WSIGNALED sg) when sg = Sys.sigkill -> ()
+      | _ -> Alcotest.fail "victim worker was never SIGKILLed");
+      (match sub with
+      | Dist.Client.Suspended _ ->
+          Alcotest.fail "job suspended without a drain"
+      | Dist.Client.Finished (Dist.Client.Explore_outcome _) ->
+          Alcotest.fail "sweep came back as an explore result"
+      | Dist.Client.Finished (Dist.Client.Sweep_outcome o) ->
+          check Alcotest.string "outcome identical despite worker SIGKILL"
+            (fst base) (sweep_repr o);
+          check Alcotest.string "metrics identical despite worker SIGKILL"
+            (snd base)
+            (Metrics.snapshot_string metrics));
+      Alcotest.(check bool) "shards were executed remotely" true
+        (stats.Dist.Client.executed > 0))
+
+(* ------------------------------------------------------------------ *)
+(* graceful drain and resume                                            *)
+(* ------------------------------------------------------------------ *)
+
+let drain_and_resume () =
+  let s = scenario "safe_agreement_no_cancel" in
+  let base = sweep_inproc s in
+  let dir = fresh_dir () in
+  (* Phase 1: a server with no workers — the job is accepted but cannot
+     progress; SIGTERM must drain and suspend it, not strand the client. *)
+  let srv, port = start_server ~shard_size:5 ~dir () in
+  let killer = kill_after ~delay:0.4 srv in
+  let id =
+    match submit_sweep (client_config ()) s port with
+    | Dist.Client.Finished _, _, _ ->
+        Alcotest.fail "the job cannot finish with no workers"
+    | Dist.Client.Suspended id, _, _ -> id
+  in
+  let srv_status = reap srv in
+  ignore (reap killer);
+  (match srv_status with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "SIGTERM drain must exit 0");
+  Alcotest.(check bool) "journal survives the drain" true
+    (List.mem id (Dist.Journal.list_ids ~dir ()));
+  (* Phase 2: restart, attach a worker, resume by id — and still match
+     the in-process run byte for byte. *)
+  let srv, port = start_server ~shard_size:5 ~dir () in
+  let worker =
+    start_worker ~err:(Filename.concat dir "resume-worker.err") port
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_quiet worker Sys.sigkill;
+      kill_quiet srv Sys.sigterm;
+      ignore (reap worker);
+      ignore (reap srv))
+    (fun () ->
+      match submit_sweep ~resume:id (client_config ()) s port with
+      | Dist.Client.Suspended _, _, _ ->
+          Alcotest.fail "resumed job suspended again"
+      | Dist.Client.Finished (Dist.Client.Explore_outcome _), _, _ ->
+          Alcotest.fail "sweep resumed as an explore result"
+      | Dist.Client.Finished (Dist.Client.Sweep_outcome o), stats, metrics ->
+          check Alcotest.string "job id stable across the drain" id
+            stats.Dist.Client.job_id;
+          check Alcotest.string "resumed outcome identical to in-process"
+            (fst base) (sweep_repr o);
+          check Alcotest.string "resumed metrics identical to in-process"
+            (snd base)
+            (Metrics.snapshot_string metrics))
+
+let suite =
+  [
+    ( "net",
+      [
+        Alcotest.test_case "fingerprint skew is rejected, typed" `Quick
+          reject_fingerprint_skew;
+        Alcotest.test_case "version skew is rejected, typed" `Quick
+          reject_version_skew;
+        Alcotest.test_case "TCP identity, 2 remote workers" `Quick
+          net_identity_clean;
+        Alcotest.test_case "TCP identity under --chaos-net drop" `Quick
+          net_identity_chaos;
+        Alcotest.test_case "TCP identity, 4 workers, chaos + SIGKILL" `Quick
+          net_identity_chaos_kill;
+        Alcotest.test_case "SIGTERM drains; the job resumes" `Quick
+          drain_and_resume;
+      ] );
+  ]
