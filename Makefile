@@ -9,11 +9,17 @@
 #                        be byte-identical to in-process runs
 #   make smoke-net     — the TCP service: serve + chaos-net remote workers,
 #                        byte-identical to in-process; SIGTERM drains to 0
+#   make smoke-soak    — the soak runner + corpus store: a SIGKILLed-and-
+#                        resumed soak must converge on the same corpus as an
+#                        uninterrupted one (byte-checked); bit-flips must
+#                        quarantine, compaction must preserve the listing
+#   make soak-heap     — 60s soak on 4 domains gated on Gc-measured heap
+#                        growth (the unbounded-memory detector)
 #   make test-heavy    — includes the exhaustive sweeps (ASMSIM_HEAVY=1)
 #   make bench-json    — benchmarks as BENCH_svm.json (ns/run + overhead)
-#   make bench-gate    — re-time the EX explorer, DIST coordinator and NET
-#                        service families, fail if any row regressed >1.5x
-#                        against the committed BENCH_svm.json
+#   make bench-gate    — re-time the EX explorer, DIST coordinator, NET
+#                        service and SOAK runner families, fail if any row
+#                        regressed >1.5x against the committed BENCH_svm.json
 
 BUILD_TIMEOUT ?= 120
 TEST_TIMEOUT ?= 150
@@ -21,7 +27,7 @@ SMOKE_TIMEOUT ?= 60
 ASMSIM = dune exec --no-print-directory bin/asmsim.exe --
 
 .PHONY: build check test test-heavy ci ci-heavy smoke smoke-trace smoke-dist \
-	smoke-net \
+	smoke-net smoke-soak soak-heap \
 	bench-json bench-gate explore-determinism
 
 build:
@@ -115,12 +121,69 @@ smoke-net: build
 	grep -q draining $$D/srv.err; \
 	grep -q net_shards_executed_total $$D/srv.metrics.json
 
+# The soak runner and its corpus through the real CLI, every robustness
+# claim at once:
+#   1. a soak of a seeded bug, SIGKILLed mid-append by the store's own
+#      torn-write chaos hook and resumed to the same absolute schedule
+#      index, must converge on a corpus content-identical (byte-checked
+#      via the sorted address listing) to an uninterrupted soak's;
+#   2. re-soaking the same range must dedup every finding (0 new);
+#   3. a bit-flipped cemented byte must surface as typed quarantine and
+#      a --check exit of 1 — never a crash;
+#   4. compaction must preserve the listing byte for byte;
+#   5. a finding extracted from the corpus must replay (exit 1 = the
+#      violation reproduced).
+smoke-soak: build
+	rm -rf _build/soaksmoke && mkdir -p _build/soaksmoke
+	set -e; \
+	BIN=_build/default/bin/asmsim.exe; D=_build/soaksmoke; \
+	SOAK="--algo safe_agreement_no_cancel --seed 7 --until 120 --batch 40"; \
+	timeout $(SMOKE_TIMEOUT) $$BIN soak $$SOAK --corpus $$D/clean \
+	  > $$D/clean.out 2> /dev/null; \
+	$$BIN corpus $$D/clean --check > /dev/null; \
+	$$BIN corpus $$D/clean --list --kind finding > $$D/clean.list; \
+	test -s $$D/clean.list; \
+	code=0; timeout $(SMOKE_TIMEOUT) $$BIN soak $$SOAK --corpus $$D/chaos \
+	  --chaos-store torn --chaos-at 3 > /dev/null 2>&1 || code=$$?; \
+	test $$code -eq 137; \
+	$$BIN corpus $$D/chaos --check > /dev/null; \
+	timeout $(SMOKE_TIMEOUT) $$BIN soak $$SOAK --corpus $$D/chaos --resume \
+	  > /dev/null 2> /dev/null; \
+	$$BIN corpus $$D/chaos --list --kind finding > $$D/chaos.list; \
+	diff $$D/clean.list $$D/chaos.list; \
+	timeout $(SMOKE_TIMEOUT) $$BIN soak $$SOAK --corpus $$D/clean \
+	  2> /dev/null | grep -q 'findings: 0 new'; \
+	timeout $(SMOKE_TIMEOUT) $$BIN soak $$SOAK --corpus $$D/flip \
+	  --chaos-store bitflip > /dev/null 2> /dev/null; \
+	code=0; $$BIN corpus $$D/flip --check > $$D/flip.check || code=$$?; \
+	test $$code -eq 1; \
+	grep -q 'digest mismatch' $$D/flip.check; \
+	$$BIN corpus $$D/clean --compact 2> /dev/null; \
+	$$BIN corpus $$D/clean --list --kind finding > $$D/compacted.list; \
+	diff $$D/clean.list $$D/compacted.list; \
+	ADDR=$$(head -1 $$D/clean.list | cut -d' ' -f1); \
+	$$BIN corpus $$D/clean --cat $$ADDR > $$D/finding.replay; \
+	code=0; timeout $(SMOKE_TIMEOUT) $$BIN replay $$D/finding.replay \
+	  > /dev/null || code=$$?; \
+	test $$code -eq 1
+
+# Sixty seconds of continuous soaking on 4 domains, gated on the
+# Gc-measured major-heap growth after the first batch: the journaled
+# arenas, program reuse and per-batch cementing must hold the working
+# set flat no matter how long the soak runs.
+soak-heap: build
+	rm -rf _build/soakheap
+	timeout 120 $(ASMSIM) soak --algo safe_agreement --seed 1 --duration 60 \
+	  --jobs 4 --corpus _build/soakheap --max-heap-growth 4000000 \
+	  2> /dev/null
+
 ci: check
 	timeout $(TEST_TIMEOUT) dune runtest
 	$(MAKE) smoke
 	$(MAKE) smoke-trace
 	$(MAKE) smoke-dist
 	$(MAKE) smoke-net
+	$(MAKE) smoke-soak
 	$(MAKE) explore-determinism
 
 # The parallel explorer must reach the same verdict at jobs=4 as at
@@ -131,7 +194,7 @@ explore-determinism: build
 	timeout $(SMOKE_TIMEOUT) $(ASMSIM) explore --algo safe_agreement_no_cancel \
 	  --expect-violation --jobs 4
 
-ci-heavy: ci test-heavy
+ci-heavy: ci test-heavy soak-heap
 
 bench-json: build
 	timeout 600 dune exec --no-print-directory bench/main.exe -- --json

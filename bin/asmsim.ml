@@ -1363,6 +1363,383 @@ let serve_cmd =
       $ journal_dir_arg $ out $ listen $ fsync $ heartbeat $ max_retries
       $ rate_limit $ metrics_out $ shard_size_arg)
 
+(* ---- soak ---- *)
+
+let soak_log s = Format.eprintf "[soak] %s@." s
+
+let soak_cmd =
+  let n =
+    Arg.(
+      value & opt (some int) None
+      & info [ "n" ] ~docv:"N" ~doc:"Override the scenario's process count.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Base seed: schedule k is derived from (S, k) alone, so any \
+             finding is re-derivable long after the run.")
+  in
+  let schedules =
+    Arg.(
+      value & opt (some int) None
+      & info [ "schedules" ] ~docv:"K"
+          ~doc:"Stop after K schedules (this invocation).")
+  in
+  let until =
+    Arg.(
+      value & opt (some int) None
+      & info [ "until" ] ~docv:"INDEX"
+          ~doc:
+            "Stop at absolute schedule INDEX — with --resume, a run killed \
+             partway and resumed to the same INDEX yields a corpus \
+             content-identical to an uninterrupted one.")
+  in
+  let duration =
+    Arg.(
+      value & opt (some float) None
+      & info [ "duration" ] ~docv:"SEC" ~doc:"Stop after SEC wall seconds.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 256
+      & info [ "batch" ] ~docv:"B"
+          ~doc:
+            "Schedules per batch; the corpus cements and checkpoints once \
+             per batch, so a crash loses at most one batch of work.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"J"
+          ~doc:
+            "Fan each batch out over J domains (capped at the core count); \
+             results are index-deterministic at any job count.")
+  in
+  let tiers =
+    Arg.(
+      value & opt string "crash"
+      & info [ "tiers" ] ~docv:"KINDS"
+          ~doc:
+            "Comma-separated fault tiers to sample: any of crash, omission, \
+             recovery, byzantine.")
+  in
+  let max_faults =
+    Arg.(
+      value & opt int 2
+      & info [ "max-faults" ] ~docv:"T"
+          ~doc:"Faults per schedule are drawn from 0..T.")
+  in
+  let within =
+    Arg.(
+      value & opt int 30
+      & info [ "within" ] ~docv:"W"
+          ~doc:"Local-step window fault points are drawn from.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 20_000
+      & info [ "budget" ] ~docv:"B" ~doc:"Per-schedule step budget.")
+  in
+  let corpus_dir =
+    Arg.(
+      value & opt string ".asmsim-corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Corpus directory findings and checkpoints are cemented into \
+             (created if needed).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue from the corpus's last checkpoint for this scenario \
+             and seed instead of starting at schedule 0; known findings are \
+             deduplicated, not re-reported.")
+  in
+  let chaos_store =
+    Arg.(
+      value & opt (some string) None
+      & info [ "chaos-store" ] ~docv:"MODE"
+          ~doc:
+            "Fault-injection hook for the corpus itself: kill (SIGKILL after \
+             an append), torn (flush half a record, then SIGKILL), or \
+             bitflip (corrupt one cemented byte). The store must lose at \
+             most the uncemented tail, and must quarantine — never trust — \
+             corrupt records.")
+  in
+  let chaos_at =
+    Arg.(
+      value & opt int 3
+      & info [ "chaos-at" ] ~docv:"A"
+          ~doc:"Which corpus append the kill/torn chaos strikes.")
+  in
+  let no_gc_tune =
+    Arg.(
+      value & flag
+      & info [ "no-gc-tune" ]
+          ~doc:"Do not widen the minor heap for the hot loop.")
+  in
+  let max_heap_growth =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-heap-growth" ] ~docv:"WORDS"
+          ~doc:
+            "Fail (exit 1) if the major heap grows by more than WORDS words \
+             after the first batch — the unbounded-memory gate for long \
+             soaks.")
+  in
+  let run name nprocs seed schedules until duration batch jobs tiers
+      max_faults within budget corpus_dir resume chaos_store chaos_at
+      no_gc_tune max_heap_growth =
+    let kinds =
+      String.split_on_char ',' tiers
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match Svm.Adversary.fault_kind_of_name s with
+             | Some k -> k
+             | None ->
+                 Format.eprintf
+                   "unknown fault tier %S (known: crash, omission, recovery, \
+                    byzantine)@."
+                   s;
+                 exit 2)
+    in
+    let chaos =
+      match chaos_store with
+      | None -> None
+      | Some m -> (
+          match Experiments.Soak.chaos_of_name m with
+          | Some c -> Some c
+          | None ->
+              Format.eprintf
+                "unknown --chaos-store mode %S (known: kill, torn, bitflip)@."
+                m;
+              exit 2)
+    in
+    match Experiments.Scenario.find ?nprocs name with
+    | Error m ->
+        prerr_endline m;
+        exit 2
+    | Ok s -> (
+        let cfg =
+          {
+            Experiments.Soak.default_config with
+            Experiments.Soak.seed;
+            schedules;
+            until;
+            duration;
+            batch;
+            jobs;
+            kinds;
+            max_faults;
+            within;
+            budget;
+            resume;
+            chaos;
+            chaos_at;
+            gc_tune = not no_gc_tune;
+            log = Some soak_log;
+          }
+        in
+        Format.printf
+          "soaking %s (n=%d, x=%d): seed %d, up to %d fault(s) of {%s} \
+           within %d step(s), batch %d@."
+          s.Experiments.Scenario.name s.Experiments.Scenario.nprocs
+          s.Experiments.Scenario.x seed max_faults
+          (String.concat ","
+             (List.map Svm.Adversary.fault_kind_name kinds))
+          within batch;
+        match Experiments.Soak.run cfg ~corpus_dir s with
+        | Error m ->
+            Format.eprintf "soak failed: %s@." m;
+            exit 3
+        | Ok o ->
+            Format.printf
+              "soaked schedules [%d, %d): %d run(s) in %d batch(es), %d \
+               clean, %d deadlocked@."
+              o.Experiments.Soak.o_first_index o.Experiments.Soak.o_next_index
+              o.Experiments.Soak.o_executed o.Experiments.Soak.o_batches
+              o.Experiments.Soak.o_clean o.Experiments.Soak.o_deadlocks;
+            List.iter
+              (fun d -> Format.printf "new finding %s@." d)
+              o.Experiments.Soak.o_new_findings;
+            Format.printf
+              "findings: %d new, %d duplicate; corpus holds %d record(s)@."
+              (List.length o.Experiments.Soak.o_new_findings)
+              o.Experiments.Soak.o_dup_findings
+              o.Experiments.Soak.o_corpus_records;
+            (match o.Experiments.Soak.o_stop with
+            | `Schedules -> ()
+            | `Duration -> Format.eprintf "[soak] duration reached@."
+            | `Sigterm ->
+                Format.eprintf
+                  "[soak] SIGTERM: drained, cemented and checkpointed; \
+                   --resume continues at schedule %d@."
+                  o.Experiments.Soak.o_next_index);
+            (* The unbounded-memory gate: batch-independent work must not
+               accumulate across batches. *)
+            (match max_heap_growth with
+            | Some cap
+              when o.Experiments.Soak.o_heap_growth_words > cap ->
+                Format.printf
+                  "heap growth after first batch: %d words (cap %d) — FAIL@."
+                  o.Experiments.Soak.o_heap_growth_words cap;
+                exit 1
+            | Some cap ->
+                Format.printf
+                  "heap growth after first batch: %d words (cap %d)@."
+                  o.Experiments.Soak.o_heap_growth_words cap
+            | None -> ());
+            exit 0)
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Continuously soak a scenario with seeded random schedules and \
+          fault plans, cementing shrunk findings into a crash-safe \
+          content-addressed corpus; SIGTERM drains cleanly and --resume \
+          picks up at the next unexecuted schedule")
+    Term.(
+      const run $ scenario_arg $ n $ seed $ schedules $ until $ duration
+      $ batch $ jobs $ tiers $ max_faults $ within $ budget $ corpus_dir
+      $ resume $ chaos_store $ chaos_at $ no_gc_tune $ max_heap_growth)
+
+(* ---- corpus ---- *)
+
+let corpus_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"The corpus directory.")
+  in
+  let list =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:
+            "Print one `<digest> <kind>' line per valid record, sorted by \
+             digest — stable under resume/batch reordering, so two corpora \
+             with the same content diff clean.")
+  in
+  let kind =
+    Arg.(
+      value & opt (some string) None
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"Restrict --list to finding, metrics or state records.")
+  in
+  let cat =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cat" ] ~docv:"DIGEST"
+          ~doc:
+            "Write the payload of the record at this content address to \
+             stdout — a finding's payload is a replay artifact, directly \
+             consumable by `asmsim replay'.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Re-verify every record's content address; print a typed report \
+             per quarantined record and exit 1 if there are any.")
+  in
+  let compact =
+    Arg.(
+      value & flag
+      & info [ "compact" ]
+          ~doc:
+            "Cement the tail and merge all segments into one, \
+             byte-identity-checked against the input before the old \
+             segments are dropped. Refuses while any record is quarantined.")
+  in
+  let run dir list kind cat check compact =
+    let kind_filter =
+      match kind with
+      | None -> None
+      | Some k -> (
+          match Corpus.Record.kind_of_name k with
+          | Some _ as f -> f
+          | None ->
+              Format.eprintf
+                "unknown record kind %S (known: finding, metrics, state)@." k;
+              exit 2)
+    in
+    match Corpus.Store.open_ dir with
+    | Error m ->
+        Format.eprintf "corpus: %s@." m;
+        exit 2
+    | Ok store ->
+        Fun.protect
+          ~finally:(fun () -> Corpus.Store.close store)
+          (fun () ->
+            if compact then (
+              match Corpus.Store.compact store with
+              | Ok n ->
+                  Format.eprintf "[corpus] compacted %d record(s) into one \
+                                  segment@." n
+              | Error m ->
+                  Format.eprintf "corpus: compaction refused: %s@." m;
+                  exit 1);
+            (match cat with
+            | None -> ()
+            | Some d -> (
+                match Corpus.Store.find store d with
+                | Some r -> print_string r.Corpus.Record.payload
+                | None ->
+                    Format.eprintf
+                      "corpus: no valid record at %s (absent, or quarantined \
+                       by this read)@."
+                      d;
+                    exit 1));
+            if list then begin
+              let rows =
+                Corpus.Store.fold store ~init:[] ~f:(fun acc ~digest r ->
+                    match kind_filter with
+                    | Some k when r.Corpus.Record.kind <> k -> acc
+                    | _ ->
+                        (digest, Corpus.Record.kind_name r.Corpus.Record.kind)
+                        :: acc)
+              in
+              List.sort compare rows
+              |> List.iter (fun (d, k) -> Format.printf "%s %s@." d k)
+            end;
+            (* Opening (and any listing) already re-verified everything;
+               the quarantine list is the verdict. *)
+            let quarantined = Corpus.Store.quarantined store in
+            if check then begin
+              List.iter
+                (fun q ->
+                  Format.printf "quarantined: %a@." Corpus.Store.pp_quarantine
+                    q)
+                quarantined;
+              Format.printf "%d record(s) valid, %d quarantined@."
+                (Corpus.Store.count store)
+                (List.length quarantined)
+            end
+            else if (not list) && cat = None then
+              Format.printf
+                "%d record(s): %d cemented segment(s), %d in the tail, %d \
+                 quarantined@."
+                (Corpus.Store.count store)
+                (Corpus.Store.segments store)
+                (Corpus.Store.tail_count store)
+                (List.length quarantined);
+            if quarantined <> [] && check then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:
+         "Inspect a soak corpus: list content addresses, re-verify every \
+          record (--check), or compact the cemented segments")
+    Term.(const run $ dir $ list $ kind $ cat $ check $ compact)
+
 let () =
   let doc = "Reproduction of 'The Multiplicative Power of Consensus Numbers'" in
   let group =
@@ -1383,6 +1760,8 @@ let () =
         stats_cmd;
         serve_cmd;
         work_cmd;
+        soak_cmd;
+        corpus_cmd;
       ]
   in
   (* One exit-code convention for every subcommand: 0 clean, 1 finding

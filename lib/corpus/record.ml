@@ -1,0 +1,146 @@
+type kind = Finding | Metrics | State
+
+let kind_name = function
+  | Finding -> "finding"
+  | Metrics -> "metrics"
+  | State -> "state"
+
+let kind_of_name = function
+  | "finding" -> Some Finding
+  | "metrics" -> Some Metrics
+  | "state" -> Some State
+  | _ -> None
+
+type t = { kind : kind; meta : (string * string) list; payload : string }
+
+let make ~kind ~meta ~payload =
+  List.iter
+    (fun (k, v) ->
+      if k = "" then invalid_arg "Corpus.Record.make: empty metadata key";
+      String.iter
+        (fun c ->
+          if c = ' ' || c = '\n' then
+            invalid_arg
+              (Printf.sprintf "Corpus.Record.make: metadata key %S" k))
+        k;
+      if String.contains v '\n' then
+        invalid_arg
+          (Printf.sprintf "Corpus.Record.make: newline in value of %S" k))
+    meta;
+  let meta = List.sort (fun (a, _) (b, _) -> String.compare a b) meta in
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as rest) -> if a = b then Some a else dup rest
+    | _ -> None
+  in
+  (match dup meta with
+  | Some k ->
+      invalid_arg (Printf.sprintf "Corpus.Record.make: duplicate key %S" k)
+  | None -> ());
+  { kind; meta; payload }
+
+let meta_find t key = List.assoc_opt key t.meta
+
+(* One renderer serves both the content address (digest field blanked)
+   and the on-disk framing (digest field filled): what is hashed is
+   exactly what is stored. *)
+let render ~digest t =
+  let b = Buffer.create (String.length t.payload + 128) in
+  Buffer.add_string b
+    (Printf.sprintf "rec %s %s %d %d\n" (kind_name t.kind) digest
+       (List.length t.meta)
+       (String.length t.payload));
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s %s\n" k v))
+    t.meta;
+  Buffer.add_string b t.payload;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let digest t = Digest.to_hex (Digest.string (render ~digest:"-" t))
+let to_bytes t = render ~digest:(digest t) t
+
+type parse_error =
+  | Truncated
+  | Malformed of string
+  | Digest_mismatch of { expected : string; actual : string }
+
+let pp_parse_error ppf = function
+  | Truncated -> Format.pp_print_string ppf "truncated record (torn append)"
+  | Malformed m -> Format.fprintf ppf "malformed record: %s" m
+  | Digest_mismatch { expected; actual } ->
+      Format.fprintf ppf "digest mismatch: recorded %s, content hashes to %s"
+        expected actual
+
+(* [line_at buf off] — the bytes up to the next newline, or [None] when
+   the buffer ends first (a torn write). *)
+let line_at buf off =
+  if off >= String.length buf then None
+  else
+    match String.index_from_opt buf off '\n' with
+    | None -> None
+    | Some nl -> Some (String.sub buf off (nl - off), nl + 1)
+
+(* Structural pass: framing only, no content verification. Returns the
+   record as written, its claimed address, and its byte extent. *)
+let parse_structure buf off =
+  let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v in
+  let* header, body_off =
+    match line_at buf off with
+    | None -> Error Truncated
+    | Some hl -> Ok hl
+  in
+  let* kind, claimed, nmeta, plen =
+    match String.split_on_char ' ' header with
+    | [ "rec"; kname; claimed; nmeta; plen ] -> (
+        match
+          (kind_of_name kname, int_of_string_opt nmeta, int_of_string_opt plen)
+        with
+        | Some kind, Some nmeta, Some plen when nmeta >= 0 && plen >= 0 ->
+            Ok (kind, claimed, nmeta, plen)
+        | _ -> Error (Malformed ("unreadable header: " ^ header)))
+    | _ ->
+        if String.length header > 3 && String.sub header 0 4 = "rec " then
+          Error (Malformed ("unreadable header: " ^ header))
+        else Error (Malformed "not a record header")
+  in
+  let rec metas acc n pos =
+    if n = 0 then Ok (List.rev acc, pos)
+    else
+      match line_at buf pos with
+      | None -> Error Truncated
+      | Some (line, next) -> (
+          match String.index_opt line ' ' with
+          | None -> Error (Malformed ("unreadable metadata line: " ^ line))
+          | Some sp ->
+              let k = String.sub line 0 sp in
+              let v =
+                String.sub line (sp + 1) (String.length line - sp - 1)
+              in
+              metas ((k, v) :: acc) (n - 1) next)
+  in
+  let* meta, payload_off = metas [] nmeta body_off in
+  let* payload =
+    if payload_off + plen + 1 > String.length buf then Error Truncated
+    else if buf.[payload_off + plen] <> '\n' then
+      Error (Malformed "payload is not newline-terminated at its stated length")
+    else Ok (String.sub buf payload_off plen)
+  in
+  let* t =
+    match make ~kind ~meta ~payload with
+    | t -> Ok t
+    | exception Invalid_argument m -> Error (Malformed m)
+  in
+  Ok (t, claimed, payload_off + plen + 1 - off)
+
+let skip_at buf off =
+  match parse_structure buf off with
+  | Ok (_, _, len) -> Ok len
+  | Error e -> Error e
+
+let parse_at buf off =
+  match parse_structure buf off with
+  | Error e -> Error e
+  | Ok (t, claimed, len) ->
+      let actual = digest t in
+      if actual <> claimed then
+        Error (Digest_mismatch { expected = claimed; actual })
+      else Ok (t, len)

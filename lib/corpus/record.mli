@@ -1,0 +1,75 @@
+(** Corpus records: the unit of content-addressed storage.
+
+    A record is a kind tag, a small sorted metadata map and an opaque
+    payload (typically the bytes of a replay artifact, a metrics
+    snapshot, or a soak checkpoint). Its {e content address} is a digest
+    over a canonical rendering of all three, so two records with the
+    same kind, metadata and payload have the same address no matter
+    when, where or how often they were produced — which is what makes
+    corpus-level dedup of findings across runs sound.
+
+    The canonical rendering {e is} the on-disk framing (with the digest
+    field blanked), so there is exactly one serializer: what is hashed
+    is what is stored, and a verifier recomputes the address from the
+    stored bytes alone. *)
+
+type kind =
+  | Finding  (** a shrunk violating schedule's replay artifact *)
+  | Metrics  (** a metrics snapshot *)
+  | State  (** a soak checkpoint: scenario, seed, next schedule index *)
+
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+type t = private {
+  kind : kind;
+  meta : (string * string) list;  (** sorted by key; newline-free *)
+  payload : string;  (** opaque bytes *)
+}
+
+val make : kind:kind -> meta:(string * string) list -> payload:string -> t
+(** Canonicalize: sorts [meta] by key. Raises [Invalid_argument] if a
+    key is empty or contains a space or newline, if a value contains a
+    newline, or if two entries share a key — metadata must render
+    unambiguously into the line-oriented framing. *)
+
+val digest : t -> string
+(** The content address: an MD5 hex digest of the canonical rendering
+    (kind, sorted metadata, payload sizes and bytes). *)
+
+val meta_find : t -> string -> string option
+
+(** {1 Framing}
+
+    On-disk layout of one record, all fields length-prefixed by the
+    header line so payloads are arbitrary bytes:
+
+    {v
+    rec <kind> <digest> <nmeta> <payload_len>\n
+    <key> <value>\n            (nmeta times)
+    <payload bytes>\n
+    v} *)
+
+val to_bytes : t -> string
+(** The record framed for disk, digest field filled in. *)
+
+type parse_error =
+  | Truncated  (** the buffer ends mid-record: a torn append *)
+  | Malformed of string  (** structurally broken framing *)
+  | Digest_mismatch of { expected : string; actual : string }
+      (** well-formed framing whose recorded address does not match the
+          recomputed one: the bytes changed after they were written *)
+
+val pp_parse_error : Format.formatter -> parse_error -> unit
+
+val parse_at : string -> int -> (t * int, parse_error) result
+(** [parse_at buf off] parses one framed record starting at [off];
+    returns the record and the total number of bytes it occupies. The
+    record's digest is re-verified against its recorded address —
+    [Digest_mismatch] means the framing is intact but the content is
+    not the content that was addressed. *)
+
+val skip_at : string -> int -> (int, parse_error) result
+(** Structural extent of the record at [off] without content
+    verification — how far a scanner can safely skip past a record
+    whose digest does not verify. *)

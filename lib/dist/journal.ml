@@ -20,6 +20,19 @@ let fresh_id () =
 let mkdir_p path =
   if not (Sys.file_exists path) then Unix.mkdir path 0o755
 
+(* Durability of a *file* needs durability of its directory entry: an
+   fsynced journal whose directory was never synced can vanish whole on
+   power loss, stranding a resume. Some filesystems refuse fsync on a
+   directory fd — a capability gap, not corruption — so errors are
+   swallowed. *)
+let fsync_dir path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
 let journal_file ~dir id = Filename.concat (Filename.concat dir id) "journal.jsonl"
 
 let write_line t v =
@@ -44,6 +57,12 @@ let create ?(dir = default_dir) ?(fsync = false) ~job ~cells ~shard_size () =
          ("cells", Json.Int cells);
          ("shard_size", Json.Int shard_size);
        ]);
+  if fsync then begin
+    (* The header line is on disk; now make the file's existence (and
+       the job directory's) just as durable as its contents. *)
+    fsync_dir (Filename.concat dir j_id);
+    fsync_dir dir
+  end;
   t
 
 let read_file file =
@@ -70,8 +89,11 @@ let reopen ?(dir = default_dir) ?(fsync = false) j_id =
       let fd = Unix.openfile file [ Unix.O_WRONLY ] 0o644 in
       Fun.protect
         ~finally:(fun () -> Unix.close fd)
-        (fun () -> Unix.ftruncate fd valid)
+        (fun () ->
+          Unix.ftruncate fd valid;
+          if fsync then Unix.fsync fd)
     end;
+    if fsync then fsync_dir (Filename.concat dir j_id);
     Ok
       {
         j_id;

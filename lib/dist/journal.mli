@@ -31,7 +31,10 @@ val create :
 (** Create [<dir>/<fresh-id>/journal.jsonl] and write the header. With
     [fsync] (default [false]), every appended line is [fsync]ed —
     checkpoints then survive power loss, not just process death, at the
-    cost of a disk round-trip per shard. *)
+    cost of a disk round-trip per shard — and the journal's directory
+    entries are synced at creation, so the file itself cannot vanish on
+    a kill-after-create (a durable file in an undurable directory is
+    not durable). *)
 
 val reopen : ?dir:string -> ?fsync:bool -> string -> (t, string) result
 (** Open an existing journal for appending (resume). A torn final line

@@ -340,6 +340,60 @@ let default_shard_size e ~units =
       if units = 0 then 1
       else min 256 (max 1 ((units + (workers * 8) - 1) / (workers * 8)))
 
+(* Server-side result cache: a fresh submit whose fingerprint matches a
+   journal recording a fully-completed run of the same job can be
+   answered from that journal — zero shards re-executed. Only completed,
+   non-hostile journals qualify, where "completed" mirrors
+   [job_maybe_done]: every shard up to the finding cut is present (a
+   run that found a violation never executed its tail, and never needs
+   to). Every restored payload is re-validated exactly as if a worker
+   had just sent it. *)
+let cached_completed e ~fp ~units ~check =
+  Journal.list_ids ~dir:e.cfg.journal_dir ()
+  |> List.find_map (fun id ->
+         if Hashtbl.mem e.jobs id then None
+         else
+           match Journal.load ~dir:e.cfg.journal_dir id with
+           | Error _ -> None
+           | Ok l ->
+               if
+                 Proto.job_fingerprint l.l_job <> fp
+                 || l.l_cells <> units || l.l_hostile <> []
+                 || l.l_shard_size < 1
+               then None
+               else begin
+                 let nshards =
+                   if units = 0 then 0
+                   else (units + l.l_shard_size - 1) / l.l_shard_size
+                 in
+                 let shards = Array.make nshards None in
+                 List.iter
+                   (fun (shard, payload) ->
+                     if shard >= 0 && shard < nshards && shards.(shard) = None
+                     then
+                       let lo = shard * l.l_shard_size in
+                       let hi = min units ((shard + 1) * l.l_shard_size) in
+                       match check ~lo ~hi payload with
+                       | Ok finding -> shards.(shard) <- Some (payload, finding)
+                       | Error _ -> ())
+                   l.l_done;
+                 let cut =
+                   Array.fold_left
+                     (fun acc -> function
+                       | Some (_, Some abs) -> min acc abs
+                       | _ -> acc)
+                     max_int shards
+                 in
+                 let complete = ref true in
+                 Array.iteri
+                   (fun i entry ->
+                     if i * l.l_shard_size <= cut && entry = None then
+                       complete := false)
+                   shards;
+                 if !complete then Some (id, l.l_shard_size, shards)
+                 else None
+               end)
+
 let handle_submit e p c ~job ~resume =
   if c.cs_watching <> None then
     peer_gone e p ~reason:"second submit on one connection"
@@ -427,29 +481,57 @@ let handle_submit e p c ~job ~resume =
                   | _ -> None)
                 e.order
             in
+            let fresh () =
+              let shard_size = default_shard_size e ~units in
+              match
+                Journal.create ~dir:e.cfg.journal_dir ~fsync:e.cfg.fsync
+                  ~job ~cells:units ~shard_size ()
+              with
+              | exception exn ->
+                  reject_client e p
+                    ("cannot create journal: " ^ Printexc.to_string exn)
+              | journal ->
+                  let jb =
+                    make_job ~id:(Journal.id journal) ~job ~units
+                      ~shard_size ~check ~journal
+                  in
+                  register e jb;
+                  logf e "job %s accepted: %d cell(s) in %d shard(s)"
+                    jb.jb_id units
+                    (Array.length jb.jb_shards);
+                  attach e p c jb
+            in
             match existing with
             | Some jb ->
                 logf e "coalescing submit onto live job %s" jb.jb_id;
                 attach e p c jb
             | None -> (
-                let shard_size = default_shard_size e ~units in
-                match
-                  Journal.create ~dir:e.cfg.journal_dir ~fsync:e.cfg.fsync
-                    ~job ~cells:units ~shard_size ()
-                with
-                | exception exn ->
-                    reject_client e p
-                      ("cannot create journal: " ^ Printexc.to_string exn)
-                | journal ->
-                    let jb =
-                      make_job ~id:(Journal.id journal) ~job ~units
-                        ~shard_size ~check ~journal
-                    in
-                    register e jb;
-                    logf e "job %s accepted: %d cell(s) in %d shard(s)"
-                      jb.jb_id units
-                      (Array.length jb.jb_shards);
-                    attach e p c jb)))
+                match cached_completed e ~fp ~units ~check with
+                | None -> fresh ()
+                | Some (id, shard_size, shards) -> (
+                    match
+                      Journal.reopen ~dir:e.cfg.journal_dir ~fsync:e.cfg.fsync
+                        id
+                    with
+                    | Error _ -> fresh ()
+                    | Ok journal ->
+                        let jb =
+                          make_job ~id ~job ~units ~shard_size ~check ~journal
+                        in
+                        Array.iteri
+                          (fun shard -> function
+                            | Some (payload, finding) ->
+                                shard_done e jb ~shard ~payload ~finding
+                                  ~restored:true
+                            | None -> ())
+                          shards;
+                        register e jb;
+                        Metrics.bump e.cfg.metrics "net_cache_hits_total";
+                        logf e
+                          "job %s answered from its completed journal (cache \
+                           hit, %d shard(s))"
+                          id jb.jb_resumed;
+                        attach e p c jb))))
 
 (* {2 Worker messages} *)
 

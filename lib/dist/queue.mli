@@ -16,7 +16,11 @@
     - every accepted shard is journalled before it is streamed, so
       SIGTERM drains gracefully: stop accepting, let in-flight shards
       finish and checkpoint, tell clients [Sc_draining] (their job id
-      resumes the work later), then exit cleanly. *)
+      resumes the work later), then exit cleanly;
+    - completed journals double as a result cache: a fresh submit whose
+      fingerprint matches a fully-completed journal of the same job is
+      answered from that journal — payloads re-validated, zero shards
+      re-executed ([net_cache_hits_total] counts the hits). *)
 
 type config = {
   fingerprint : string;  (** scenario-registry fingerprint to enforce *)

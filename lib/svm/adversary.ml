@@ -217,17 +217,45 @@ let of_replay ?fallback decisions =
   in
   { name = "replay"; pick; fault_now; crashes = ref 0 }
 
-let random_crashes ?(within = 300) ~seed ~max_crashes ~nprocs base =
+(* Shared derivation for the random fault planners: up to [max] distinct
+   victims, each struck at a uniformly drawn local step, kinds drawn
+   uniformly from [kinds]. Deterministic in [seed]. *)
+let random_plan ?(within = 300) ~seed ~max ~kinds ~nprocs () =
   let rng = Rng.create seed in
   let victims = ref [] in
-  let n = min max_crashes nprocs in
+  let n = min max nprocs in
   while List.length !victims < n do
     let v = Rng.int rng nprocs in
     if not (List.mem v !victims) then victims := v :: !victims
   done;
+  List.map
+    (fun pid ->
+      let kind =
+        match kinds with
+        | [] -> Crash_stop
+        | [ k ] -> k
+        | ks -> List.nth ks (Rng.int rng (List.length ks))
+      in
+      (pid, Rng.int rng within, kind))
+    !victims
+
+let random_fault_plan ?within ~seed ~max_faults ~kinds ~nprocs () =
+  random_plan ?within ~seed ~max:max_faults ~kinds ~nprocs ()
+
+let random_crashes ?within ~seed ~max_crashes ~nprocs base =
   let specs =
     List.map
-      (fun pid -> Crash_at_local { pid; step = Rng.int rng within })
-      !victims
+      (fun (pid, step, _) -> Crash_at_local { pid; step })
+      (random_plan ?within ~seed ~max:max_crashes ~kinds:[ Crash_stop ] ~nprocs
+         ())
   in
   with_crashes base specs
+
+let random_faults ?within ~seed ~max_faults ~kinds ~nprocs base =
+  let specs =
+    List.map
+      (fun (pid, step, kind) ->
+        { kind; trigger = Crash_at_local { pid; step } })
+      (random_plan ?within ~seed ~max:max_faults ~kinds ~nprocs ())
+  in
+  with_faults base specs

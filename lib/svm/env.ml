@@ -129,6 +129,10 @@ let rollback t (cp : checkpoint) =
   in
   go ()
 
+let with_rollback t f =
+  let cp = checkpoint t in
+  Fun.protect ~finally:(fun () -> rollback t cp) f
+
 let violation fmt = Format.kasprintf (fun s -> raise (Violation s)) fmt
 
 let kind_mismatch info =

@@ -75,6 +75,12 @@ val rollback : t -> checkpoint -> unit
     Checkpoints must be rolled back innermost-first; rolling back to a
     checkpoint invalidates all checkpoints taken after it. *)
 
+val with_rollback : t -> (unit -> 'r) -> 'r
+(** Checkpoint, run, roll back — on normal return {e and} on exception.
+    The arena-reuse idiom: one journaled environment serves many runs,
+    each leaving it exactly as it found it, with no per-run copy.
+    Raises [Invalid_argument] if journaling is off. *)
+
 (** {1 Canonical state (fingerprinting)}
 
     A pure value capturing everything that determines the store's

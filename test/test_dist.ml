@@ -418,6 +418,33 @@ let journal_fsync_flag () =
     (write (fresh_dir ()) false)
     (write (fresh_dir ()) true)
 
+let journal_fsync_rename_reopen () =
+  (* The fsync path syncs the journal's directory entries, not just its
+     bytes — exercised by the harshest rename a filesystem offers short
+     of power loss: move the whole job directory and reopen it under
+     its new name, appending across the boundary. *)
+  let s = scenario "safe_agreement_no_cancel" in
+  let job = Experiments.Harness.sweep_job s in
+  let dir = fresh_dir () in
+  let j = Dist.Journal.create ~dir ~fsync:true ~job ~cells:65 ~shard_size:7 () in
+  let old_id = Dist.Journal.id j in
+  Dist.Journal.append_shard j ~shard:0 ~payload:(Json.String "CCCCCCC");
+  Dist.Journal.close j;
+  let new_id = old_id ^ "-renamed" in
+  Unix.rename (Filename.concat dir old_id) (Filename.concat dir new_id);
+  (match Dist.Journal.reopen ~dir ~fsync:true new_id with
+  | Error m -> Alcotest.failf "renamed journal must reopen: %s" m
+  | Ok j2 ->
+      Dist.Journal.append_shard j2 ~shard:1 ~payload:(Json.String "VVVVVVV");
+      Dist.Journal.close j2);
+  match Dist.Journal.load ~dir new_id with
+  | Error m -> Alcotest.failf "renamed journal unreadable: %s" m
+  | Ok l ->
+      check Alcotest.int "shards from both lives present" 2
+        (List.length l.Dist.Journal.l_done);
+      Alcotest.(check bool) "old id is gone" false
+        (List.mem old_id (Dist.Journal.list_ids ~dir ()))
+
 let suite =
   [
     ( "dist",
@@ -451,5 +478,7 @@ let suite =
           journal_torn_line_reopen;
         Alcotest.test_case "journal --fsync writes identical bytes" `Quick
           journal_fsync_flag;
+        Alcotest.test_case "journal --fsync survives rename-then-reopen"
+          `Quick journal_fsync_rename_reopen;
       ] );
   ]

@@ -384,6 +384,58 @@ let net_identity_chaos_kill () =
         (stats.Dist.Client.executed > 0))
 
 (* ------------------------------------------------------------------ *)
+(* result cache                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let cache_answers_completed_resubmit () =
+  let s = scenario "safe_agreement_no_cancel" in
+  let base = sweep_inproc s in
+  let dir = fresh_dir () in
+  let srv, port = start_server ~shard_size:16 ~dir () in
+  let worker = start_worker ~err:(Filename.concat dir "worker.err") port in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_quiet worker Sys.sigkill;
+      kill_quiet srv Sys.sigterm;
+      ignore (reap worker);
+      ignore (reap srv))
+    (fun () ->
+      (* First submission: computed by the worker, journalled shard by
+         shard. *)
+      (match submit_sweep (client_config ()) s port with
+      | Dist.Client.Suspended _, _, _ -> Alcotest.fail "first submit suspended"
+      | Dist.Client.Finished (Dist.Client.Explore_outcome _), _, _ ->
+          Alcotest.fail "sweep produced an explore result"
+      | Dist.Client.Finished (Dist.Client.Sweep_outcome o), stats, _ ->
+          Alcotest.(check bool) "first run executes shards remotely" true
+            (stats.Dist.Client.executed > 0);
+          check Alcotest.string "first outcome identical to in-process"
+            (fst base) (sweep_repr o));
+      (* The worker is gone: a re-submitted identical job can only
+         finish if the server answers it from the completed journal. *)
+      kill_quiet worker Sys.sigkill;
+      ignore (reap worker);
+      match submit_sweep (client_config ()) s port with
+      | Dist.Client.Suspended _, _, _ ->
+          Alcotest.fail "cached job must finish, not suspend"
+      | Dist.Client.Finished (Dist.Client.Explore_outcome _), _, _ ->
+          Alcotest.fail "cached sweep came back as an explore result"
+      | Dist.Client.Finished (Dist.Client.Sweep_outcome o), stats, metrics ->
+          check Alcotest.int "no shard re-executed" 0
+            stats.Dist.Client.executed;
+          (* A sweep that found its violation never executed the shards
+             past the finding cut, so the journal — and therefore the
+             cache — restores only the shards up to the cut. *)
+          Alcotest.(check bool) "shards restored from the journal" true
+            (stats.Dist.Client.resumed > 0
+            && stats.Dist.Client.resumed <= stats.Dist.Client.shards);
+          check Alcotest.string "cached outcome identical to in-process"
+            (fst base) (sweep_repr o);
+          check Alcotest.string "cached metrics identical to in-process"
+            (snd base)
+            (Metrics.snapshot_string metrics))
+
+(* ------------------------------------------------------------------ *)
 (* graceful drain and resume                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -449,6 +501,8 @@ let suite =
           net_identity_chaos;
         Alcotest.test_case "TCP identity, 4 workers, chaos + SIGKILL" `Quick
           net_identity_chaos_kill;
+        Alcotest.test_case "completed journal answers a re-submit" `Quick
+          cache_answers_completed_resubmit;
         Alcotest.test_case "SIGTERM drains; the job resumes" `Quick
           drain_and_resume;
       ] );
