@@ -13,6 +13,11 @@
 #                        resumed soak must converge on the same corpus as an
 #                        uninterrupted one (byte-checked); bit-flips must
 #                        quarantine, compaction must preserve the listing
+#   make smoke-obs     — fleet observability: serve + chaos-drop workers with
+#                        --spans everywhere; `top --once` sees the peers,
+#                        stats/--json snapshots are non-empty, and the merged
+#                        cross-process trace passes trace-check — while the
+#                        sweep stdout stays byte-identical to in-process
 #   make soak-heap     — 60s soak on 4 domains gated on Gc-measured heap
 #                        growth (the unbounded-memory detector)
 #   make test-heavy    — includes the exhaustive sweeps (ASMSIM_HEAVY=1)
@@ -27,7 +32,7 @@ SMOKE_TIMEOUT ?= 60
 ASMSIM = dune exec --no-print-directory bin/asmsim.exe --
 
 .PHONY: build check test test-heavy ci ci-heavy smoke smoke-trace smoke-dist \
-	smoke-net smoke-soak soak-heap \
+	smoke-net smoke-soak smoke-obs soak-heap \
 	bench-json bench-gate explore-determinism
 
 build:
@@ -167,6 +172,68 @@ smoke-soak: build
 	  > /dev/null || code=$$?; \
 	test $$code -eq 1
 
+# Fleet observability end to end, through the real CLI: a serve daemon
+# and two chaos-drop workers, every process writing a --spans file and
+# one worker logging JSON at debug level. The sweep stdout must stay
+# byte-identical to the in-process run (all telemetry lives on stderr
+# and side files); `top --once' must count both workers and the drained
+# queue; `top --json' must carry the worker-pushed fleet counters
+# (pushes ride the 0.5s heartbeat pings); `stats --json' must emit a
+# one-line snapshot; and the four per-process span files must merge
+# into one Chrome trace that passes the same trace-check CI runs on
+# single-process exports.
+smoke-obs: build
+	rm -rf _build/obssmoke && mkdir -p _build/obssmoke
+	set -e; \
+	BIN=_build/default/bin/asmsim.exe; D=_build/obssmoke; \
+	timeout $(SMOKE_TIMEOUT) $$BIN sweep --algo safe_agreement_no_cancel \
+	  --expect-violation --out $$D/obs.replay > $$D/a.out; \
+	cp $$D/obs.replay $$D/a.replay; \
+	timeout $(SMOKE_TIMEOUT) $$BIN serve --listen 127.0.0.1:0 \
+	  --journal-dir $$D/jobs --spans $$D/srv.spans --heartbeat-timeout 1 \
+	  2> $$D/srv.err & SRV=$$!; \
+	for i in $$(seq 1 100); do \
+	  grep -q 'listening on port' $$D/srv.err 2>/dev/null && break; sleep 0.1; \
+	done; \
+	PORT=$$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' $$D/srv.err | head -1); \
+	timeout $(SMOKE_TIMEOUT) $$BIN work --connect 127.0.0.1:$$PORT \
+	  --chaos-net drop --chaos-every 3 --spans $$D/w1.spans 2> $$D/w1.err & \
+	timeout $(SMOKE_TIMEOUT) $$BIN work --connect 127.0.0.1:$$PORT \
+	  --chaos-net drop --chaos-every 5 --spans $$D/w2.spans \
+	  --log-json --log-level debug 2> $$D/w2.err & \
+	for i in $$(seq 1 100); do \
+	  $$BIN top --connect 127.0.0.1:$$PORT --once > $$D/top-pre.out \
+	    2>/dev/null || true; \
+	  grep -q '2 worker(s)' $$D/top-pre.out && break; sleep 0.1; \
+	done; \
+	grep -q '2 worker(s)' $$D/top-pre.out; \
+	timeout $(SMOKE_TIMEOUT) $$BIN sweep --algo safe_agreement_no_cancel \
+	  --expect-violation --connect 127.0.0.1:$$PORT --spans $$D/client.spans \
+	  --out $$D/obs.replay > $$D/b.out 2> $$D/b.err; \
+	diff $$D/a.out $$D/b.out; \
+	diff $$D/a.replay $$D/obs.replay; \
+	for i in $$(seq 1 100); do \
+	  $$BIN top --connect 127.0.0.1:$$PORT --json > $$D/top.json \
+	    2>/dev/null || true; \
+	  grep -q net_metrics_pushes_total $$D/top.json && break; sleep 0.1; \
+	done; \
+	grep -q net_metrics_pushes_total $$D/top.json; \
+	timeout $(SMOKE_TIMEOUT) $$BIN top --connect 127.0.0.1:$$PORT --once \
+	  > $$D/top.out; \
+	grep -q 'queue: depth 0' $$D/top.out; \
+	grep -Eq '[1-9][0-9]* shard\(s\) executed' $$D/top.out; \
+	timeout $(SMOKE_TIMEOUT) $$BIN stats --algo safe_agreement_no_cancel \
+	  --json > $$D/stats.json; \
+	test -s $$D/stats.json; \
+	test $$(wc -l < $$D/stats.json) -eq 1; \
+	kill -TERM $$SRV; wait $$SRV; \
+	grep -q '"level":"debug"' $$D/w2.err; \
+	grep -q chaos $$D/w1.err; \
+	timeout $(SMOKE_TIMEOUT) $$BIN trace-merge $$D/srv.spans $$D/w1.spans \
+	  $$D/w2.spans $$D/client.spans --out $$D/fleet.json 2> $$D/merge.err; \
+	grep -Eq 'across [34] process' $$D/merge.err; \
+	timeout $(SMOKE_TIMEOUT) $$BIN trace-check $$D/fleet.json
+
 # Sixty seconds of continuous soaking on 4 domains, gated on the
 # Gc-measured major-heap growth after the first batch: the journaled
 # arenas, program reuse and per-batch cementing must hold the working
@@ -184,6 +251,7 @@ ci: check
 	$(MAKE) smoke-dist
 	$(MAKE) smoke-net
 	$(MAKE) smoke-soak
+	$(MAKE) smoke-obs
 	$(MAKE) explore-determinism
 
 # The parallel explorer must reach the same verdict at jobs=4 as at

@@ -427,6 +427,50 @@ let bench_sweep_net () =
 let net1_name = "NET1: same sweep, TCP service + 1 remote worker"
 let net_family = [ (net1_name, bench_sweep_net) ]
 
+(* The OBS family: the identical NET1 submit with the client's whole
+   observability stack switched on — a Debug-level logger draining into
+   a bounded ring, a metrics registry bumped per shard, a span file
+   appended per phase — plus one stats round-trip per job, which is
+   what an `asmsim top' refresh costs the fleet.
+   [obs_overhead_ratio] (OBS1 / NET1) is the telemetry tax on a real
+   networked job; the gate keeps the absolute row, and the committed
+   ratio documents that telemetry stays under ~10%. *)
+
+let obs_spans =
+  lazy
+    (let oc = open_out "_build/bench-obs.spans" in
+     at_exit (fun () -> close_out_noerr oc);
+     Dist.Span.create ~proc:(Printf.sprintf "bench:%d" (Unix.getpid ())) ~oc)
+
+let obs_client_config =
+  lazy
+    (let ring = Svm.Log.ring 4096 in
+     {
+       (Lazy.force net_client_config) with
+       Dist.Client.log =
+         Svm.Log.make ~level:Svm.Log.Debug (Svm.Log.ring_sink ring);
+       metrics = Some (Svm.Metrics.create ~wall_clock:false ());
+       spans = Some (Lazy.force obs_spans);
+     })
+
+let bench_sweep_obs () =
+  let port = net_port () in
+  let job =
+    Experiments.Harness.sweep_job ~max_runs:dist_runs dist_scenario
+  in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let cfg = Lazy.force obs_client_config in
+  (match Experiments.Harness.submit_job_net cfg job addr with
+  | Ok (Dist.Client.Finished _, _) -> ()
+  | Ok (Dist.Client.Suspended _, _) -> failwith "bench: obs job suspended"
+  | Error e -> failwith e);
+  match Dist.Client.stats_query cfg addr with
+  | Ok _ -> ()
+  | Error e -> failwith ("bench: stats query failed: " ^ e)
+
+let obs1_name = "OBS1: same netted sweep, log + metrics + spans + stats"
+let obs_family = [ (obs1_name, bench_sweep_obs) ]
+
 (* The SOAK family: the continuous randomized runner end to end —
    seeded schedule derivation, journaled-arena rollback per run, and a
    per-batch cement into a real corpus store — at 1 and 4 domains. The
@@ -562,7 +606,8 @@ let tests =
     ]
     @ List.map
         (fun (name, body) -> Test.make ~name (Staged.stage body))
-        (explore_family @ dist_family @ net_family @ soak_family))
+        (explore_family @ dist_family @ net_family @ obs_family
+       @ soak_family))
 
 let estimate_of tests =
   let ols =
@@ -652,6 +697,14 @@ let emit_json estimates =
     | Some base, Some net when base > 0. -> Some (net /. base)
     | _ -> None
   in
+  (* OBS1 / NET1: what the full telemetry stack (debug logger, metrics
+     registry, span file, one stats round-trip) adds to the identical
+     networked job — the pay-for-what-you-observe number. *)
+  let obs_ratio =
+    match (find net1_name, find obs1_name) with
+    | Some base, Some obs when base > 0. -> Some (obs /. base)
+    | _ -> None
+  in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"benchmarks\": [\n";
   List.iteri
@@ -687,6 +740,11 @@ let emit_json estimates =
       Buffer.add_string b
         (Printf.sprintf "  \"net_overhead_ratio\": %.3f,\n" r)
   | None -> Buffer.add_string b "  \"net_overhead_ratio\": null,\n");
+  (match obs_ratio with
+  | Some r ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"obs_overhead_ratio\": %.3f,\n" r)
+  | None -> Buffer.add_string b "  \"obs_overhead_ratio\": null,\n");
   (* Schedules/second of the 4-domain soak row — the throughput a long
      soak sustains, corpus writes included. *)
   let soak_rate =
@@ -724,6 +782,9 @@ let emit_json estimates =
   (match net_ratio with
   | Some r -> Printf.printf "net overhead ratio: %.2fx\n" r
   | None -> ());
+  (match obs_ratio with
+  | Some r -> Printf.printf "obs overhead ratio: %.2fx\n" r
+  | None -> ());
   (match soak_rate with
   | Some r -> Printf.printf "soak throughput: %.0f schedules/sec\n" r
   | None -> ());
@@ -732,7 +793,7 @@ let emit_json estimates =
   | None -> ());
   print_endline "wrote BENCH_svm.json"
 
-(* --gate FILE: the regression gate. Re-times the EX, DIST, NET and SOAK
+(* --gate FILE: the regression gate. Re-times the EX, DIST, NET, OBS and SOAK
    families with the same bechamel estimator that produced the
    committed BENCH_svm.json — cold wall-clock sampling is not
    comparable to the OLS per-run estimate (a parallel-explorer row
@@ -770,7 +831,9 @@ let gate_against file =
         Printf.eprintf "bench gate: cannot parse %s: %s\n" file e;
         exit 2
   in
-  let families = explore_family @ dist_family @ net_family @ soak_family in
+  let families =
+    explore_family @ dist_family @ net_family @ obs_family @ soak_family
+  in
   let committed =
     List.map
       (fun (name, _) ->
@@ -811,12 +874,12 @@ let gate_against file =
     committed;
   if !failed then begin
     Printf.eprintf
-      "bench gate: EX/DIST/NET/SOAK families regressed beyond %.1fx\n"
+      "bench gate: EX/DIST/NET/OBS/SOAK families regressed beyond %.1fx\n"
       gate_slack;
     exit 1
   end
   else
-    Printf.printf "bench gate: EX/DIST/NET/SOAK families within %.1fx of %s\n"
+    Printf.printf "bench gate: EX/DIST/NET/OBS/SOAK families within %.1fx of %s\n"
       gate_slack file
 
 let () =

@@ -11,9 +11,11 @@
      replay      re-execute a replay artifact bit-for-bit
      trace       export a replay artifact as a timeline (chrome/text/csv)
      trace-check validate a Chrome trace export (CI)
+     trace-merge fuse per-process --spans files into one Chrome trace
      stats       metrics snapshot of a replayed or fresh run
      serve       list or resume journalled distributed jobs
      work        worker-process mode of the distributed runner (internal)
+     top         live status view of a running network service
 
    Exit codes, uniform across every subcommand:
      0  clean — the command ran and found nothing adverse (under
@@ -340,9 +342,72 @@ let journal_dir_arg =
     & info [ "journal-dir" ] ~docv:"DIR"
         ~doc:"Where distributed jobs journal their completed shards.")
 
-let dist_log s = Format.eprintf "[dist] %s@." s
+(* ---- leveled logging, shared by every long-running subcommand ----
+   All diagnostics go to stderr so stdout stays byte-diffable against
+   in-process runs; the default human rendering of Info records is the
+   historical "[sub] message" format the smoke checks grep for. *)
 
-let dist_config ~dist ~shard_timeout ~shard_size ~chaos ~journal_dir ~resume =
+let log_level_arg =
+  Arg.(
+    value & opt string "info"
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Diagnostic verbosity on stderr: one of debug, info, warn, \
+           error. Levels below LEVEL are dropped at the source.")
+
+let log_json_arg =
+  Arg.(
+    value & flag
+    & info [ "log-json" ]
+        ~doc:
+          "Emit diagnostics as JSON lines (seq/level/sub/msg, no \
+           timestamps) instead of human-readable text.")
+
+let make_log ~json level_str =
+  let level =
+    match Svm.Log.level_of_string level_str with
+    | Some l -> l
+    | None ->
+        Format.eprintf "unknown log level %S (known: debug, info, warn, \
+                        error)@."
+          level_str;
+        exit 2
+  in
+  let write s =
+    prerr_string s;
+    prerr_newline ()
+  in
+  let sink =
+    if json then Svm.Log.json_sink write else Svm.Log.human_sink write
+  in
+  Svm.Log.make ~level sink
+
+(* ---- wall-clock span recording (cross-process tracing) ---- *)
+
+let spans_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spans" ] ~docv:"FILE"
+        ~doc:
+          "Append this process's wall-clock spans to FILE as JSON lines; \
+           fuse the files of every participating process into one Chrome \
+           trace with `asmsim trace-merge'.")
+
+(* Lanes in the merged trace are keyed by process name, so stamp the pid
+   in: two workers on one host must not share a lane. *)
+let make_spans ~role = function
+  | None -> None
+  | Some file ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+      at_exit (fun () -> try close_out oc with Sys_error _ -> ());
+      Some
+        (Dist.Span.create
+           ~proc:(Printf.sprintf "%s:%d" role (Unix.getpid ()))
+           ~oc)
+
+let dist_config ~log ~dist ~shard_timeout ~shard_size ~chaos ~journal_dir
+    ~resume =
   let base = Dist.Coordinator.default_config ~workers:dist () in
   {
     base with
@@ -351,7 +416,7 @@ let dist_config ~dist ~shard_timeout ~shard_size ~chaos ~journal_dir ~resume =
     chaos_kill_shard = Option.map (fun k -> (k, 1)) chaos;
     journal_dir = Some journal_dir;
     resume;
-    log = Some dist_log;
+    log = Svm.Log.sub log "dist";
   }
 
 (* Coordinator chatter goes to stderr: stdout of a --dist run must stay
@@ -373,8 +438,6 @@ let suspend_note id =
    work --connect and serve --listen; like [dist] chatter it all goes
    to stderr so stdout stays byte-diffable against in-process runs ---- *)
 
-let net_log s = Format.eprintf "[net] %s@." s
-
 let connect_arg =
   Arg.(
     value
@@ -394,13 +457,15 @@ let parse_addr_or_die s =
       prerr_endline m;
       exit 2
 
-let client_config () =
+let client_config ?metrics ?spans ~log () =
   {
     (Dist.Client.default_config
        ~fingerprint:(Experiments.Harness.registry_fingerprint ())
        ())
     with
-    Dist.Client.log = Some net_log;
+    Dist.Client.log = Svm.Log.sub log "net";
+    metrics;
+    spans;
   }
 
 let print_net_stats (st : Dist.Client.stats) =
@@ -523,7 +588,9 @@ let sweep_cmd =
              Outcomes are identical at any job count.")
   in
   let run name nprocs t window runs budget out tiers expect_violation jobs
-      dist resume shard_timeout shard_size chaos journal_dir connect =
+      dist resume shard_timeout shard_size chaos journal_dir connect log_level
+      log_json spans =
+    let log = make_log ~json:log_json log_level in
     let kinds =
       String.split_on_char ',' tiers
       |> List.map String.trim
@@ -557,8 +624,8 @@ let sweep_cmd =
         let outcome =
           if dist > 0 then begin
             let config =
-              dist_config ~dist ~shard_timeout ~shard_size ~chaos ~journal_dir
-                ~resume
+              dist_config ~log ~dist ~shard_timeout ~shard_size ~chaos
+                ~journal_dir ~resume
             in
             match
               Experiments.Harness.sweep_scenario_dist ~kinds ~max_faults:t
@@ -585,7 +652,10 @@ let sweep_cmd =
                 in
                 match
                   Experiments.Harness.submit_job_net ?resume
-                    (client_config ()) job addr
+                    (client_config ~log
+                       ?spans:(make_spans ~role:"client" spans)
+                       ())
+                    job addr
                 with
                 | Error m ->
                     Format.eprintf "sweep --connect failed: %s@." m;
@@ -620,7 +690,8 @@ let sweep_cmd =
     Term.(
       const run $ scenario_arg $ n $ t $ window $ runs $ budget $ out $ tiers
       $ expect_violation $ jobs $ dist_arg $ resume_arg $ shard_timeout_arg
-      $ shard_size_arg $ chaos_kill_arg $ journal_dir_arg $ connect_arg)
+      $ shard_size_arg $ chaos_kill_arg $ journal_dir_arg $ connect_arg
+      $ log_level_arg $ log_json_arg $ spans_arg)
 
 (* ---- explore ---- *)
 
@@ -672,7 +743,9 @@ let explore_cmd =
                 was found.")
   in
   let run name nprocs steps crashes runs jobs no_dedup expect_violation dist
-      resume shard_timeout shard_size chaos journal_dir connect =
+      resume shard_timeout shard_size chaos journal_dir connect log_level
+      log_json spans =
+    let log = make_log ~json:log_json log_level in
     match Experiments.Scenario.find ?nprocs name with
     | Error m ->
         prerr_endline m;
@@ -704,8 +777,8 @@ let explore_cmd =
               exit 2
             end;
             let config =
-              dist_config ~dist ~shard_timeout ~shard_size ~chaos ~journal_dir
-                ~resume
+              dist_config ~log ~dist ~shard_timeout ~shard_size ~chaos
+                ~journal_dir ~resume
             in
             match
               Experiments.Harness.explore_scenario_dist ~max_crashes:crashes
@@ -738,7 +811,10 @@ let explore_cmd =
                 in
                 match
                   Experiments.Harness.submit_job_net ?resume
-                    (client_config ()) job addr
+                    (client_config ~log
+                       ?spans:(make_spans ~role:"client" spans)
+                       ())
+                    job addr
                 with
                 | Error m ->
                     Format.eprintf "explore --connect failed: %s@." m;
@@ -780,7 +856,8 @@ let explore_cmd =
     Term.(
       const run $ scenario_arg $ n $ steps $ crashes $ runs $ jobs $ no_dedup
       $ expect_violation $ dist_arg $ resume_arg $ shard_timeout_arg
-      $ shard_size_arg $ chaos_kill_arg $ journal_dir_arg $ connect_arg)
+      $ shard_size_arg $ chaos_kill_arg $ journal_dir_arg $ connect_arg
+      $ log_level_arg $ log_json_arg $ spans_arg)
 
 (* ---- replay ---- *)
 
@@ -1048,6 +1125,61 @@ let trace_check_cmd =
           matching the metadata, a span for every live process")
     Term.(const run $ file $ require_instants)
 
+(* ---- trace-merge ---- *)
+
+let trace_merge_cmd =
+  let files =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Span files written with --spans, one per participating OS \
+             process (serve, workers, clients).")
+  in
+  let run files out =
+    let spans, skipped =
+      List.fold_left
+        (fun (acc, sk) file ->
+          match Dist.Span.load_file file with
+          | Ok (spans, skipped) -> (acc @ spans, sk + skipped)
+          | Error m ->
+              Format.eprintf "%s: %s@." file m;
+              exit 2)
+        ([], 0) files
+    in
+    if skipped > 0 then
+      Format.eprintf
+        "[trace] skipped %d unparseable line(s) (torn tails are expected \
+         after a crash)@."
+        skipped;
+    if spans = [] then begin
+      Format.eprintf "[trace] no spans found in %d file(s)@."
+        (List.length files);
+      exit 2
+    end;
+    let trace = Svm.Timeline.merge_processes spans in
+    (match Svm.Json.member "otherData" trace with
+    | Some od ->
+        let i k =
+          Option.value ~default:0
+            (Option.bind (Svm.Json.member k od) Svm.Json.to_int)
+        in
+        Format.eprintf
+          "[trace] merged %d span(s) across %d process(es); critical path \
+           %d us@."
+          (i "spans") (i "nprocs") (i "critical_path")
+    | None -> ());
+    write_out out (Svm.Json.to_string ~pretty:true trace ^ "\n")
+  in
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:
+         "Fuse per-process span files (--spans) into one Chrome trace: one \
+          lane per OS process, spans correlated across the wire by job \
+          fingerprint and shard index, with the cross-process critical \
+          path in the metadata. The output passes `asmsim trace-check'.")
+    Term.(const run $ files $ out_arg)
+
 let stats_cmd =
   let file =
     Arg.(
@@ -1070,9 +1202,17 @@ let stats_cmd =
             "Include the non-deterministic wall-clock section (snapshots are \
              then not replay-comparable).")
   in
-  let run file algo wall budget out =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the snapshot as one compact JSON line (machine-readable; \
+             byte-stable across replays) instead of pretty-printing.")
+  in
+  let run file algo wall json budget out =
     let snapshot_of metrics =
-      Svm.Metrics.snapshot_string ~pretty:true metrics ^ "\n"
+      Svm.Metrics.snapshot_string ~pretty:(not json) metrics ^ "\n"
     in
     match (file, algo) with
     | Some file, None ->
@@ -1112,7 +1252,8 @@ let stats_cmd =
        ~doc:
          "Metrics snapshot (JSON) of a run: replay an artifact under a \
           registry, or run a registered scenario fresh")
-    Term.(const run $ file $ algo $ wall $ budget_arg 50_000 $ out_arg)
+    Term.(
+      const run $ file $ algo $ wall $ json $ budget_arg 50_000 $ out_arg)
 
 (* ---- work (internal) / serve ---- *)
 
@@ -1152,13 +1293,14 @@ let work_cmd =
             "Consecutive failed connection attempts before giving up \
              (--connect).")
   in
-  let run connect chaos_net chaos_every retries =
+  let run connect chaos_net chaos_every retries log_level log_json spans =
     match connect with
     | None ->
         exit
           (Dist.Worker.serve ~lookup:Experiments.Harness.dist_instance
              Unix.stdin Unix.stdout)
     | Some addrstr ->
+        let log = make_log ~json:log_json log_level in
         let addr = parse_addr_or_die addrstr in
         let chaos =
           match chaos_net with
@@ -1170,8 +1312,18 @@ let work_cmd =
                   prerr_endline m;
                   exit 2)
         in
+        (* Every networked worker keeps a registry: its snapshot rides
+           each heartbeat pong, which is what feeds `asmsim top'. *)
+        let metrics = Svm.Metrics.create () in
         let cfg =
-          { (client_config ()) with Dist.Client.chaos; max_failures = retries }
+          {
+            (client_config ~metrics ~log
+               ?spans:(make_spans ~role:"worker" spans)
+               ())
+            with
+            Dist.Client.chaos;
+            max_failures = retries;
+          }
         in
         exit
           (Dist.Client.worker_loop cfg
@@ -1184,7 +1336,9 @@ let work_cmd =
           length-prefixed frame protocol on stdin/stdout (internal, \
           spawned by --dist), or pull shards from a network service with \
           --connect.")
-    Term.(const run $ connect $ chaos_net $ chaos_every $ retries)
+    Term.(
+      const run $ connect $ chaos_net $ chaos_every $ retries $ log_level_arg
+      $ log_json_arg $ spans_arg)
 
 let serve_cmd =
   let list_flag =
@@ -1266,14 +1420,17 @@ let serve_cmd =
              the drain (--listen).")
   in
   let run list_flag resume workers shard_timeout journal_dir out listen fsync
-      heartbeat max_retries rate_limit metrics_out shard_size =
+      heartbeat max_retries rate_limit metrics_out shard_size log_level
+      log_json spans =
     if list_flag then
       List.iter print_endline (Dist.Journal.list_ids ~dir:journal_dir ())
     else
+      let log = make_log ~json:log_json log_level in
       match listen with
       | Some addrstr -> (
           let addr = parse_addr_or_die addrstr in
           let metrics = Svm.Metrics.create ~wall_clock:false () in
+          let net_log = Svm.Log.sub log "net" in
           let cfg =
             {
               (Dist.Queue.default_config
@@ -1287,18 +1444,19 @@ let serve_cmd =
               rate_limit;
               journal_dir;
               fsync;
-              log = Some net_log;
+              log = net_log;
               metrics = Some metrics;
+              spans = make_spans ~role:"serve" spans;
             }
           in
           match
             Dist.Queue.serve
               ~on_listen:(fun port ->
-                Format.eprintf "[net] listening on port %d@." port)
+                Svm.Log.infof net_log "listening on port %d" port)
               cfg ~lookup:Experiments.Harness.dist_instance addr
           with
           | Ok () -> (
-              Format.eprintf "[net] drained; journals are resumable@.";
+              Svm.Log.infof net_log "drained; journals are resumable";
               match metrics_out with
               | None -> ()
               | Some file ->
@@ -1328,7 +1486,7 @@ let serve_cmd =
                       Dist.Coordinator.shard_timeout;
                       journal_dir = Some journal_dir;
                       resume = Some id;
-                      log = Some dist_log;
+                      log = Svm.Log.sub log "dist";
                     }
                   in
                   (* The job itself comes from the journal — serve needs no
@@ -1361,11 +1519,175 @@ let serve_cmd =
     Term.(
       const run $ list_flag $ resume $ workers $ shard_timeout_arg
       $ journal_dir_arg $ out $ listen $ fsync $ heartbeat $ max_retries
-      $ rate_limit $ metrics_out $ shard_size_arg)
+      $ rate_limit $ metrics_out $ shard_size_arg $ log_level_arg
+      $ log_json_arg $ spans_arg)
+
+(* ---- top ---- *)
+
+let top_cmd =
+  let connect =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"The `asmsim serve --listen' daemon to watch.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Print one snapshot and exit (for scripts and CI) instead of \
+             refreshing.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the raw stats document (health + merged metrics) as one \
+             compact JSON line; implies --once.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SEC"
+          ~doc:"Seconds between refreshes (without --once).")
+  in
+  let run connect once json interval log_level log_json =
+    let log = make_log ~json:log_json log_level in
+    let addr = parse_addr_or_die connect in
+    let cfg = client_config ~log () in
+    let j = Svm.Json.member in
+    let ji doc k =
+      Option.value ~default:0 (Option.bind (j k doc) Svm.Json.to_int)
+    in
+    let js doc k =
+      Option.value ~default:"?" (Option.bind (j k doc) Svm.Json.to_str)
+    in
+    let jb doc k =
+      match j k doc with Some (Svm.Json.Bool b) -> b | _ -> false
+    in
+    let render doc =
+      let b = Buffer.create 1024 in
+      let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+      let health = Option.value ~default:Svm.Json.Null (j "health" doc) in
+      pf "asmsim top — %s — uptime %ds%s\n" connect (ji health "uptime_s")
+        (if jb health "draining" then " — DRAINING" else "");
+      pf "peers: %d (%d worker(s), %d client(s), %d pending)\n"
+        (ji health "peers") (ji health "workers") (ji health "clients")
+        (ji health "pending");
+      pf "queue: depth %d, %d in flight, %d active job(s)\n"
+        (ji health "queue_depth") (ji health "in_flight")
+        (ji health "jobs_active");
+      let jobs =
+        Option.value ~default:[]
+          (Option.bind (j "jobs" health) Svm.Json.to_list)
+      in
+      if jobs <> [] then begin
+        pf "jobs:\n";
+        List.iter
+          (fun jd ->
+            pf "  %-24s %-20s %4d/%-4d shard(s) done, %d running, %d \
+                retry(ies), %d watcher(s)\n"
+              (js jd "jid") (js jd "scenario") (ji jd "done") (ji jd "shards")
+              (ji jd "running") (ji jd "retries") (ji jd "watchers"))
+          jobs
+      end;
+      let peers =
+        Option.value ~default:[]
+          (Option.bind (j "peer_detail" health) Svm.Json.to_list)
+      in
+      if peers <> [] then begin
+        pf "peers:\n";
+        List.iter
+          (fun pd ->
+            pf "  %-24s %-7s %-5s %8d B in, %5d frames in, %5d out\n"
+              (js pd "name") (js pd "role")
+              (if
+                 match j "busy" pd with
+                 | Some (Svm.Json.Bool true) -> true
+                 | _ -> false
+               then "busy"
+               else "idle")
+              (ji pd "bytes_in") (ji pd "frames_in") (ji pd "frames_out"))
+          peers
+      end;
+      (* The hottest scenarios and the retry ladder come from the merged
+         fleet registry (server counters + every worker push). *)
+      (match Option.bind (j "metrics" doc) (j "counters") with
+      | Some (Svm.Json.Obj counters) ->
+          let prefix = "net_shards_by_scenario." in
+          let hot =
+            List.filter_map
+              (fun (k, v) ->
+                if String.starts_with ~prefix k then
+                  Option.map
+                    (fun n ->
+                      ( String.sub k (String.length prefix)
+                          (String.length k - String.length prefix),
+                        n ))
+                    (Svm.Json.to_int v)
+                else None)
+              counters
+            |> List.sort (fun (_, a) (_, b) -> compare b a)
+          in
+          if hot <> [] then begin
+            pf "hot scenarios:\n";
+            List.iteri
+              (fun i (name, n) ->
+                if i < 5 then pf "  %-28s %6d shard(s)\n" name n)
+              hot
+          end;
+          let c k =
+            match List.assoc_opt k counters with
+            | Some (Svm.Json.Int n) -> n
+            | _ -> 0
+          in
+          pf "fleet: %d shard(s) executed, %d cell(s), %d push(es), %d \
+              cache hit(s), %d retry frame(s)\n"
+            (c "net_shards_executed_total")
+            (c "worker_cells_total")
+            (c "net_metrics_pushes_total")
+            (c "net_cache_hits_total")
+            (c "net_shard_retries_total")
+      | _ -> ());
+      Buffer.contents b
+    in
+    let query () =
+      match Dist.Client.stats_query cfg addr with
+      | Ok doc -> doc
+      | Error m ->
+          Format.eprintf "top: %s@." m;
+          exit 3
+    in
+    if json then print_string (Svm.Json.to_string (query ()) ^ "\n")
+    else if once then print_string (render (query ()))
+    else
+      let rec loop () =
+        let doc = query () in
+        (* ANSI clear + home, like every other top. *)
+        print_string "\027[2J\027[H";
+        print_string (render doc);
+        flush stdout;
+        Unix.sleepf interval;
+        loop ()
+      in
+      loop ()
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live status of a running verification service: peers, queue \
+          depth, per-job shard progress, hottest scenarios and fleet \
+          totals, derived from the server's stats reply (health + merged \
+          worker registries). --once prints a single snapshot for \
+          scripts; --json emits the raw document.")
+    Term.(
+      const run $ connect $ once $ json $ interval $ log_level_arg
+      $ log_json_arg)
 
 (* ---- soak ---- *)
-
-let soak_log s = Format.eprintf "[soak] %s@." s
 
 let soak_cmd =
   let n =
@@ -1493,7 +1815,8 @@ let soak_cmd =
   in
   let run name nprocs seed schedules until duration batch jobs tiers
       max_faults within budget corpus_dir resume chaos_store chaos_at
-      no_gc_tune max_heap_growth =
+      no_gc_tune max_heap_growth log_level log_json =
+    let log = make_log ~json:log_json log_level in
     let kinds =
       String.split_on_char ',' tiers
       |> List.map String.trim
@@ -1525,6 +1848,7 @@ let soak_cmd =
         prerr_endline m;
         exit 2
     | Ok s -> (
+        let soak_log = Svm.Log.sub log "soak" in
         let cfg =
           {
             Experiments.Soak.default_config with
@@ -1542,7 +1866,7 @@ let soak_cmd =
             chaos;
             chaos_at;
             gc_tune = not no_gc_tune;
-            log = Some soak_log;
+            log = soak_log;
           }
         in
         Format.printf
@@ -1574,11 +1898,11 @@ let soak_cmd =
               o.Experiments.Soak.o_corpus_records;
             (match o.Experiments.Soak.o_stop with
             | `Schedules -> ()
-            | `Duration -> Format.eprintf "[soak] duration reached@."
+            | `Duration -> Svm.Log.infof soak_log "duration reached"
             | `Sigterm ->
-                Format.eprintf
-                  "[soak] SIGTERM: drained, cemented and checkpointed; \
-                   --resume continues at schedule %d@."
+                Svm.Log.infof soak_log
+                  "SIGTERM: drained, cemented and checkpointed; --resume \
+                   continues at schedule %d"
                   o.Experiments.Soak.o_next_index);
             (* The unbounded-memory gate: batch-independent work must not
                accumulate across batches. *)
@@ -1606,7 +1930,8 @@ let soak_cmd =
     Term.(
       const run $ scenario_arg $ n $ seed $ schedules $ until $ duration
       $ batch $ jobs $ tiers $ max_faults $ within $ budget $ corpus_dir
-      $ resume $ chaos_store $ chaos_at $ no_gc_tune $ max_heap_growth)
+      $ resume $ chaos_store $ chaos_at $ no_gc_tune $ max_heap_growth
+      $ log_level_arg $ log_json_arg)
 
 (* ---- corpus ---- *)
 
@@ -1757,9 +2082,11 @@ let () =
         replay_cmd;
         trace_cmd;
         trace_check_cmd;
+        trace_merge_cmd;
         stats_cmd;
         serve_cmd;
         work_cmd;
+        top_cmd;
         soak_cmd;
         corpus_cmd;
       ]

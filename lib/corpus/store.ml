@@ -211,7 +211,7 @@ let list_seg_ids seg_dir =
            Scanf.sscanf_opt f "seg-%08d.cor%!" (fun id -> id))
     |> List.sort compare
 
-let open_ ?(fsync = true) ?chaos dir =
+let open_ ?(log = Svm.Log.null) ?(fsync = true) ?chaos dir =
   match
     mkdir_p dir;
     mkdir_p (Filename.concat dir "segments")
@@ -254,12 +254,19 @@ let open_ ?(fsync = true) ?chaos dir =
       if Sys.file_exists tail_path then begin
         let st = Unix.stat tail_path in
         if st.Unix.st_size > valid then begin
+          Svm.Log.warnf log "torn tail: truncating %s from %d to %d bytes"
+            tail_path st.Unix.st_size valid;
           let fd = Unix.openfile tail_path [ Unix.O_WRONLY ] 0o644 in
           Fun.protect
             ~finally:(fun () -> Unix.close fd)
             (fun () -> Unix.ftruncate fd valid)
         end
       end;
+      List.iter
+        (fun q ->
+          Svm.Log.warnf log "quarantined record in %s at offset %d" q.q_file
+            q.q_offset)
+        (List.rev !quarantine);
       let tail_oc =
         open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 tail_path
       in

@@ -59,12 +59,14 @@ type chaos =
       (** after the next successful cement, flip one payload bit inside
           the newly cemented segment file *)
 
-val open_ : ?fsync:bool -> ?chaos:chaos -> string -> (t, string) result
+val open_ :
+  ?log:Svm.Log.t -> ?fsync:bool -> ?chaos:chaos -> string -> (t, string) result
 (** Open (creating if needed) the corpus at a directory. Recovery runs
     here: the tail is truncated to its last complete valid record, and
     every cemented record is re-verified — corrupt ones land in
-    {!quarantined}. [fsync] (default [true]) controls whether cement
-    syncs reach the disk or only the OS. *)
+    {!quarantined}. Recovery actions (tail truncation, quarantines) are
+    reported on [log] at [Warn]. [fsync] (default [true]) controls
+    whether cement syncs reach the disk or only the OS. *)
 
 val add : t -> Record.t -> [ `Added of string | `Duplicate of string ]
 (** Append a record to the tail unless its content address is already

@@ -1,4 +1,6 @@
 module Json = Svm.Json
+module Metrics = Svm.Metrics
+module Log = Svm.Log
 
 type config = {
   fingerprint : string;
@@ -8,7 +10,9 @@ type config = {
   backoff_cap : float;
   dial_timeout : float;
   read_timeout : float;
-  log : (string -> unit) option;
+  log : Log.t;
+  metrics : Metrics.t option;
+  spans : Span.t option;
 }
 
 let default_config ~fingerprint () =
@@ -20,11 +24,14 @@ let default_config ~fingerprint () =
     backoff_cap = 5.0;
     dial_timeout = 10.;
     read_timeout = 60.;
-    log = None;
+    log = Log.null;
+    metrics = None;
+    spans = None;
   }
 
-let logf cfg fmt =
-  Printf.ksprintf (fun s -> match cfg.log with Some f -> f s | None -> ()) fmt
+let logf cfg fmt = Log.infof cfg.log fmt
+let warnf cfg fmt = Log.warnf cfg.log fmt
+let debugf cfg fmt = Log.debugf cfg.log fmt
 
 (* A connection-level failure: close, back off, reconnect. *)
 exception Link of string
@@ -53,7 +60,8 @@ let connect_loop cfg ~role addr session =
   let failures = ref 0 in
   let rec go () =
     if !failures > cfg.max_failures then begin
-      logf cfg "giving up after %d consecutive connection failures" !failures;
+      Log.errorf cfg.log "giving up after %d consecutive connection failures"
+        !failures;
       Error
         (Printf.sprintf "no usable connection after %d attempts" !failures)
     end
@@ -62,7 +70,7 @@ let connect_loop cfg ~role addr session =
       match Net.dial ~timeout:cfg.dial_timeout addr with
       | Error m ->
           incr failures;
-          logf cfg "connect failed (%s); attempt %d" m !failures;
+          warnf cfg "connect failed (%s); attempt %d" m !failures;
           go ()
       | Ok fd -> (
           match
@@ -74,7 +82,7 @@ let connect_loop cfg ~role addr session =
           | Error (Net.Hs_link m) ->
               close_quiet fd;
               incr failures;
-              logf cfg "handshake failed (%s); attempt %d" m !failures;
+              warnf cfg "handshake failed (%s); attempt %d" m !failures;
               go ()
           | Ok () -> (
               failures := 0;
@@ -86,7 +94,8 @@ let connect_loop cfg ~role addr session =
               | exception Link m ->
                   close_quiet fd;
                   incr failures;
-                  logf cfg "link lost (%s); reconnecting" m;
+                  Metrics.bump cfg.metrics "net_link_losses_total";
+                  warnf cfg "link lost (%s); reconnecting" m;
                   go ()
               | exception Quit code ->
                   close_quiet fd;
@@ -105,8 +114,19 @@ let connect_loop cfg ~role addr session =
 let worker_send cfg fd msg =
   try Net.chaos_write ?chaos:cfg.chaos fd (Proto.net_from_worker_to_json msg)
   with
-  | Net.Chaos_cut -> raise (Link "chaos cut the connection")
+  | Net.Chaos_cut ->
+      Metrics.bump cfg.metrics "worker_chaos_cuts_total";
+      raise (Link "chaos cut the connection")
   | Unix.Unix_error (e, _, _) -> raise (Link (Unix.error_message e))
+
+(* The heartbeat answer doubles as the metrics push: every pong carries
+   this worker's full registry snapshot (cumulative, so the server just
+   keeps the latest). Piggybacking on the cadence the server already
+   enforces means telemetry costs zero extra frames and stops exactly
+   when the worker does — staleness is the failure signal. *)
+let worker_pong cfg fd =
+  worker_send cfg fd
+    (Proto.Nf_pong { metrics = Option.map Metrics.snapshot cfg.metrics })
 
 let worker_recv cfg fd =
   match Frame.read ~timeout:cfg.read_timeout fd with
@@ -117,22 +137,24 @@ let worker_recv cfg fd =
   | Error e -> raise (frame_error e)
 
 let worker_session cfg ~lookup fd =
-  let jobs : (string, Worker.instance) Hashtbl.t = Hashtbl.create 4 in
+  let jobs : (string, Worker.instance * string) Hashtbl.t = Hashtbl.create 4 in
   let open_job jid job =
     match Hashtbl.find_opt jobs jid with
-    | Some inst ->
+    | Some (inst, _) ->
         worker_send cfg fd
           (Proto.Nf_job_ok { jid; cells = Worker.cells_of_instance inst })
     | None -> (
         match lookup job with
         | Ok inst ->
-            Hashtbl.replace jobs jid inst;
+            Hashtbl.replace jobs jid
+              (inst, Span.job_tag (Proto.job_fingerprint job));
+            Metrics.bump cfg.metrics "worker_jobs_opened_total";
             logf cfg "opened job %s (%d cells)" jid
               (Worker.cells_of_instance inst);
             worker_send cfg fd
               (Proto.Nf_job_ok { jid; cells = Worker.cells_of_instance inst })
         | Error msg ->
-            logf cfg "cannot open job %s: %s" jid msg;
+            warnf cfg "cannot open job %s: %s" jid msg;
             worker_send cfg fd (Proto.Nf_job_err { jid; msg }))
   in
   (* Between cells of a long shard, answer pings (and honour shutdown)
@@ -142,7 +164,7 @@ let worker_session cfg ~lookup fd =
     | [], _, _ -> ()
     | _ -> (
         match worker_recv cfg fd with
-        | Proto.Nw_ping -> worker_send cfg fd Proto.Nf_pong
+        | Proto.Nw_ping -> worker_pong cfg fd
         | Proto.Nw_shutdown -> raise (Quit 0)
         | Proto.Nw_job { jid; job } -> open_job jid job
         | Proto.Nw_assign _ -> raise (Link "assigned a shard while busy"))
@@ -150,19 +172,31 @@ let worker_session cfg ~lookup fd =
   in
   let rec loop () =
     (match worker_recv cfg fd with
-    | Proto.Nw_ping -> worker_send cfg fd Proto.Nf_pong
+    | Proto.Nw_ping -> worker_pong cfg fd
     | Proto.Nw_shutdown -> raise (Quit 0)
     | Proto.Nw_job { jid; job } -> open_job jid job
     | Proto.Nw_assign { jid; shard; lo; hi } -> (
+        let recv_start = Span.now_us () in
         match Hashtbl.find_opt jobs jid with
         | None -> raise (Link "assigned a job we never opened")
-        | Some inst ->
+        | Some (inst, tag) ->
+            debugf cfg "job %s shard %d [%d,%d) assigned" jid shard lo hi;
+            Span.emit cfg.spans ~phase:"receive" ~job:tag ~shard
+              ~start_us:recv_start;
             let tick completed =
               worker_send cfg fd (Proto.Nf_progress { jid; shard; completed });
               poll_control ()
             in
+            let exec_start = Span.now_us () in
             let payload = Worker.compute_shard inst ~lo ~hi ~tick in
-            worker_send cfg fd (Proto.Nf_result { jid; shard; payload })));
+            Span.emit cfg.spans ~phase:"execute" ~job:tag ~shard
+              ~start_us:exec_start;
+            let reply_start = Span.now_us () in
+            worker_send cfg fd (Proto.Nf_result { jid; shard; payload });
+            Span.emit cfg.spans ~phase:"reply" ~job:tag ~shard
+              ~start_us:reply_start;
+            Metrics.bump cfg.metrics "worker_shards_total";
+            Metrics.bump cfg.metrics ~by:(hi - lo) "worker_cells_total"));
     loop ()
   in
   loop ()
@@ -226,12 +260,17 @@ let submit ?metrics ?resume cfg ~instance ~job addr =
   let shard_size = ref 0 in
   let payloads = ref [||] in
   let reconnects = ref (-1) in
+  let tag = Span.job_tag (Proto.job_fingerprint job) in
   let session fd =
     incr reconnects;
+    let submit_start = Span.now_us () in
     client_send fd (Proto.Cs_submit { job; resume = !jid });
+    Span.emit cfg.spans ~phase:"submit" ~job:tag ~shard:(-1)
+      ~start_us:submit_start;
     let rec loop () =
       (match client_recv cfg fd with
       | Proto.Sc_ping -> client_send fd Proto.Cs_pong
+      | Proto.Sc_stats _ -> ()
       | Proto.Sc_rejected m -> raise (Refused m)
       | Proto.Sc_failed m -> raise (Refused m)
       | Proto.Sc_draining -> raise Draining
@@ -261,10 +300,14 @@ let submit ?metrics ?resume cfg ~instance ~job addr =
                     !shard_size ss))
       | Proto.Sc_shard { shard; payload } ->
           if shard >= 0 && shard < Array.length !payloads then begin
+            let collect_start = Span.now_us () in
             let lo = shard * !shard_size in
             let hi = min units ((shard + 1) * !shard_size) in
             match check ~lo ~hi payload with
-            | Ok _ -> !payloads.(shard) <- Some payload
+            | Ok _ ->
+                !payloads.(shard) <- Some payload;
+                Span.emit cfg.spans ~phase:"collect" ~job:tag ~shard
+                  ~start_us:collect_start
             | Error m -> raise (Link ("bad shard payload from server: " ^ m))
           end);
       loop ()
@@ -309,3 +352,46 @@ let submit ?metrics ?resume cfg ~instance ~job addr =
   | exception Done (e, r) -> finish (`Done (e, r))
   | exception Draining -> finish `Drain
   | exception Refused m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* One-shot stats query (the [asmsim top] backend)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Single dial, no reconnect loop: a status probe that cannot reach the
+   server should say so immediately, not back off for seconds — [top]
+   refreshes soon anyway and scripts want a crisp failure. *)
+let stats_query cfg addr =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  match Net.dial ~timeout:cfg.dial_timeout addr with
+  | Error m -> Error (Printf.sprintf "cannot reach server: %s" m)
+  | Ok fd -> (
+      let query () =
+        match
+          Net.client_handshake fd ~role:Proto.Client_role
+            ~fingerprint:cfg.fingerprint
+        with
+        | Error (Net.Hs_rejected m) ->
+            Error (Printf.sprintf "server rejected us: %s" m)
+        | Error (Net.Hs_link m) ->
+            Error (Printf.sprintf "handshake failed: %s" m)
+        | Ok () ->
+            client_send fd Proto.Cs_stats;
+            (* Answer heartbeats while waiting: the reply races the
+               server's ping cadence on a busy queue. *)
+            let rec wait () =
+              match client_recv cfg fd with
+              | Proto.Sc_ping ->
+                  client_send fd Proto.Cs_pong;
+                  wait ()
+              | Proto.Sc_stats doc -> Ok doc
+              | Proto.Sc_draining -> Error "server is draining"
+              | Proto.Sc_rejected m | Proto.Sc_failed m -> Error m
+              | Proto.Sc_accepted _ | Proto.Sc_shard _ | Proto.Sc_done _ ->
+                  wait ()
+            in
+            wait ()
+      in
+      match Fun.protect ~finally:(fun () -> close_quiet fd) query with
+      | r -> r
+      | exception Link m -> Error (Printf.sprintf "link lost: %s" m))

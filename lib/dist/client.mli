@@ -21,7 +21,16 @@ type config = {
   read_timeout : float;
       (** per-frame read deadline; the server's heartbeats keep an
           idle, healthy link well under it *)
-  log : (string -> unit) option;
+  log : Svm.Log.t;
+      (** leveled diagnostics: link losses and retries at [Warn], job
+          lifecycle at [Info], per-shard work at [Debug] *)
+  metrics : Svm.Metrics.t option;
+      (** worker-side counters (shards, cells, chaos cuts, link losses);
+          a worker with a registry pushes its full snapshot to the
+          server inside every heartbeat pong *)
+  spans : Span.t option;
+      (** when set, workers stamp [receive]/[execute]/[reply] spans and
+          clients stamp [submit]/[collect] spans per job/shard *)
 }
 
 val default_config : fingerprint:string -> unit -> config
@@ -77,3 +86,12 @@ val submit :
     mid-job the client reconnects and resumes by job id, re-receiving
     the journalled backlog; [resume] seeds that id up front to continue
     a previously suspended job. *)
+
+(** {1 Status probe} *)
+
+val stats_query : config -> Unix.sockaddr -> (Svm.Json.t, string) result
+(** Dial once, handshake as a client, send {!Proto.Cs_stats} and return
+    the server's {!Proto.Sc_stats} document ([health] + merged
+    [metrics]). No reconnect loop: a probe that cannot reach the server
+    fails immediately — this is the backend of [asmsim top] and the
+    smoke checks. *)

@@ -12,7 +12,7 @@ type config = {
   resume : string option;
   chaos_kill_shard : (int * int) option;
   stop_after_shards : int option;
-  log : (string -> unit) option;
+  log : Svm.Log.t;
 }
 
 let default_config ?(workers = 2) ?(exe = Sys.executable_name) () =
@@ -28,7 +28,7 @@ let default_config ?(workers = 2) ?(exe = Sys.executable_name) () =
     resume = None;
     chaos_kill_shard = None;
     stop_after_shards = None;
-    log = None;
+    log = Svm.Log.null;
   }
 
 type stats = {
@@ -100,10 +100,8 @@ type engine = {
 
 let now () = Unix.gettimeofday ()
 
-let logf e fmt =
-  Printf.ksprintf
-    (fun s -> match e.cfg.log with Some f -> f s | None -> ())
-    fmt
+let logf e fmt = Svm.Log.infof e.cfg.log fmt
+let warnf e fmt = Svm.Log.warnf e.cfg.log fmt
 
 let rec reap pid =
   match Unix.waitpid [] pid with
@@ -128,7 +126,7 @@ let shard_failed e sh =
   | Policy.Requeue delay ->
       sh.sh_state <- Pending;
       sh.sh_not_before <- now () +. delay;
-      logf e "shard %d back in the queue (lost attempt %d)" sh.sh_id
+      warnf e "shard %d back in the queue (lost attempt %d)" sh.sh_id
         sh.sh_attempts
 
 let worker_dead e w ~reason =
@@ -137,7 +135,7 @@ let worker_dead e w ~reason =
     e.live <- List.filter (fun x -> x.w_id <> w.w_id) e.live;
     (try Unix.close w.w_fd with Unix.Unix_error _ -> ());
     reap w.w_pid;
-    logf e "worker %d (pid %d) is gone: %s" w.w_id w.w_pid reason;
+    warnf e "worker %d (pid %d) is gone: %s" w.w_id w.w_pid reason;
     match w.w_state with
     | Busy { shard; _ } -> shard_failed e e.shards.(shard)
     | Handshaking ->

@@ -42,7 +42,9 @@ type config = {
           first [n] times that shard is dealt out *)
   stop_after_shards : int option;
       (** test hook: suspend after that many results this session *)
-  log : (string -> unit) option;  (** diagnostic sink (stderr, tests) *)
+  log : Svm.Log.t;
+      (** leveled diagnostics: worker deaths and requeues at [Warn],
+          lifecycle at [Info] *)
 }
 
 val default_config : ?workers:int -> ?exe:string -> unit -> config

@@ -322,7 +322,13 @@ let check_explore_payload ~lo ~hi payload =
 (* ------------------------------------------------------------------ *)
 
 let net_magic = "asmsim-net"
-let net_version = 1
+
+(* v2: pongs may carry a metrics snapshot (worker push), and clients may
+   ask for live stats (Cs_stats/Sc_stats). The version rides the hello,
+   so a v1 peer is rejected with a typed reason at the door — and since
+   the registry fingerprint also folds the version in, mixed builds can
+   never negotiate past the handshake by accident. *)
+let net_version = 2
 
 type role = Worker_role | Client_role
 
@@ -383,7 +389,7 @@ type net_to_worker =
 type net_from_worker =
   | Nf_job_ok of { jid : string; cells : int }
   | Nf_job_err of { jid : string; msg : string }
-  | Nf_pong
+  | Nf_pong of { metrics : Svm.Json.t option }
   | Nf_progress of { jid : string; shard : int; completed : int }
   | Nf_result of { jid : string; shard : int; payload : Svm.Json.t }
 
@@ -443,7 +449,10 @@ let net_from_worker_to_json = function
           ("jid", Json.String jid);
           ("msg", Json.String msg);
         ]
-  | Nf_pong -> Json.Obj [ ("t", Json.String "pong") ]
+  | Nf_pong { metrics } ->
+      Json.Obj
+        (("t", Json.String "pong")
+        :: (match metrics with None -> [] | Some m -> [ ("metrics", m) ]))
   | Nf_progress { jid; shard; completed } ->
       Json.Obj
         [
@@ -472,7 +481,7 @@ let net_from_worker_of_json v =
       let* jid = field "jid" Json.to_str v in
       let* msg = field "msg" Json.to_str v in
       Ok (Nf_job_err { jid; msg })
-  | "pong" -> Ok Nf_pong
+  | "pong" -> Ok (Nf_pong { metrics = Json.member "metrics" v })
   | "progress" ->
       let* jid = field "jid" Json.to_str v in
       let* shard = field "shard" Json.to_int v in
@@ -492,6 +501,7 @@ let net_from_worker_of_json v =
 
 type client_to_server =
   | Cs_submit of { job : job; resume : string option }
+  | Cs_stats
   | Cs_pong
 
 type server_to_client =
@@ -500,6 +510,7 @@ type server_to_client =
   | Sc_shard of { shard : int; payload : Svm.Json.t }
   | Sc_done of { executed : int; resumed : int }
   | Sc_failed of string
+  | Sc_stats of Svm.Json.t
   | Sc_draining
   | Sc_ping
 
@@ -512,6 +523,7 @@ let client_to_server_to_json = function
           ( "resume",
             match resume with None -> Json.Null | Some id -> Json.String id );
         ]
+  | Cs_stats -> Json.Obj [ ("t", Json.String "stats") ]
   | Cs_pong -> Json.Obj [ ("t", Json.String "pong") ]
 
 let client_to_server_of_json v =
@@ -526,6 +538,7 @@ let client_to_server_of_json v =
           | None | Some Json.Null -> Ok (Cs_submit { job; resume = None })
           | Some (Json.String id) -> Ok (Cs_submit { job; resume = Some id })
           | Some _ -> Error "resume must be a job id or null"))
+  | "stats" -> Ok Cs_stats
   | "pong" -> Ok Cs_pong
   | t -> Error (Printf.sprintf "unknown client message %S" t)
 
@@ -556,6 +569,8 @@ let server_to_client_to_json = function
         ]
   | Sc_failed msg ->
       Json.Obj [ ("t", Json.String "failed"); ("msg", Json.String msg) ]
+  | Sc_stats payload ->
+      Json.Obj [ ("t", Json.String "stats"); ("payload", payload) ]
   | Sc_draining -> Json.Obj [ ("t", Json.String "draining") ]
   | Sc_ping -> Json.Obj [ ("t", Json.String "ping") ]
 
@@ -582,6 +597,10 @@ let server_to_client_of_json v =
   | "failed" ->
       let* msg = field "msg" Json.to_str v in
       Ok (Sc_failed msg)
+  | "stats" -> (
+      match Json.member "payload" v with
+      | Some payload -> Ok (Sc_stats payload)
+      | None -> Error "stats without a payload")
   | "draining" -> Ok Sc_draining
   | "ping" -> Ok Sc_ping
   | t -> Error (Printf.sprintf "unknown server reply %S" t)

@@ -147,7 +147,12 @@ type net_to_worker =
 type net_from_worker =
   | Nf_job_ok of { jid : string; cells : int }
   | Nf_job_err of { jid : string; msg : string }
-  | Nf_pong
+  | Nf_pong of { metrics : Svm.Json.t option }
+      (** v2: a pong may piggyback the worker's {!Svm.Metrics} snapshot,
+          so the server aggregates fleet telemetry on the heartbeat
+          cadence it already pays for — no extra frames, no extra
+          timers, and a silent worker's staleness is visible as a
+          missing push *)
   | Nf_progress of { jid : string; shard : int; completed : int }
   | Nf_result of { jid : string; shard : int; payload : Svm.Json.t }
 
@@ -167,6 +172,9 @@ val net_from_worker_of_json : Svm.Json.t -> (net_from_worker, string) result
 
 type client_to_server =
   | Cs_submit of { job : job; resume : string option }
+  | Cs_stats
+      (** v2: ask for the live stats document; answered immediately
+          with {!Sc_stats} without disturbing running jobs *)
   | Cs_pong
 
 type server_to_client =
@@ -175,6 +183,12 @@ type server_to_client =
   | Sc_shard of { shard : int; payload : Svm.Json.t }
   | Sc_done of { executed : int; resumed : int }
   | Sc_failed of string
+  | Sc_stats of Svm.Json.t
+      (** v2 reply to {!Cs_stats}: a ["health"] summary (uptime, drain
+          state, peers, queue depth, per-job progress) plus a
+          ["metrics"] registry snapshot — the server's own counters
+          folded with every worker-pushed registry via
+          {!Svm.Metrics.merge} *)
   | Sc_draining
       (** server is draining on SIGTERM; the job is checkpointed in its
           journal and resumable by id *)

@@ -1,5 +1,6 @@
 module Json = Svm.Json
 module Metrics = Svm.Metrics
+module Log = Svm.Log
 
 type config = {
   fingerprint : string;
@@ -13,8 +14,9 @@ type config = {
   backoff : float;
   journal_dir : string;
   fsync : bool;
-  log : (string -> unit) option;
+  log : Log.t;
   metrics : Metrics.t option;
+  spans : Span.t option;
 }
 
 let default_config ~fingerprint () =
@@ -32,8 +34,9 @@ let default_config ~fingerprint () =
     backoff = 0.05;
     journal_dir = Journal.default_dir;
     fsync = false;
-    log = None;
+    log = Log.null;
     metrics = None;
+    spans = None;
   }
 
 (* {2 State} *)
@@ -44,6 +47,8 @@ type wsess = {
   ws_announced : (string, unit) Hashtbl.t;
   ws_acked : (string, unit) Hashtbl.t;
   mutable ws_state : wstate;
+  mutable ws_push : Metrics.t option;
+      (** last metrics registry this worker pushed on a pong *)
 }
 
 type csess = { mutable cs_watching : string option }
@@ -61,6 +66,9 @@ type peer = {
   mutable p_alive : bool;
   mutable p_win_start : float;
   mutable p_win_bytes : int;
+  mutable p_bytes_in : int;
+  mutable p_frames_in : int;
+  mutable p_frames_out : int;
 }
 
 type shard_state = Sh_pending | Sh_running of int | Sh_done
@@ -78,6 +86,7 @@ type job = {
   jb_id : string;
   jb_job : Proto.job;
   jb_fp : string;
+  jb_tag : string;  (** span-correlation tag: digest of the fingerprint *)
   jb_units : int;
   jb_shard_size : int;
   jb_check : lo:int -> hi:int -> Json.t -> (int option, string) result;
@@ -100,14 +109,17 @@ type engine = {
   mutable peers : peer list;
   mutable next_pid : int;
   mutable draining : bool;
+  started : float;  (** wall clock at serve start, for health uptime *)
+  departed : Metrics.t;
+      (** pushed registries of disconnected workers, folded in so fleet
+          totals never shrink when a peer leaves *)
 }
 
 let now () = Unix.gettimeofday ()
 
-let logf e fmt =
-  Printf.ksprintf
-    (fun s -> match e.cfg.log with Some f -> f s | None -> ())
-    fmt
+let logf e fmt = Log.infof e.cfg.log fmt
+let warnf e fmt = Log.warnf e.cfg.log fmt
+let debugf e fmt = Log.debugf e.cfg.log fmt
 
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 let find_peer e pid = List.find_opt (fun p -> p.p_id = pid) e.peers
@@ -137,8 +149,14 @@ let rec peer_gone e p ~reason =
     p.p_alive <- false;
     e.peers <- List.filter (fun x -> x.p_id <> p.p_id) e.peers;
     close_quiet p.p_fd;
-    logf e "%s is gone: %s" p.p_name reason;
+    warnf e "%s is gone: %s" p.p_name reason;
     gauge_peers e;
+    (* Keep what the worker told us about itself: its last pushed
+       registry folds into the departed pool so fleet totals survive
+       the disconnect. *)
+    (match p.p_sort with
+    | Worker_peer { ws_push = Some m; _ } -> Metrics.merge ~into:e.departed m
+    | _ -> ());
     match p.p_sort with
     | Pending _ -> ()
     | Client_peer c -> (
@@ -166,6 +184,7 @@ and shard_lost e ~jid ~shard =
       | Sh_running _ -> (
           sh.sh_attempts <- sh.sh_attempts + 1;
           Metrics.bump e.cfg.metrics "net_shard_retries_total";
+          Metrics.sample e.cfg.metrics "net_shard_retry_ladder" sh.sh_attempts;
           match
             Policy.retry ~max_retries:e.cfg.max_retries ~base:e.cfg.backoff
               ~attempts:sh.sh_attempts
@@ -173,7 +192,7 @@ and shard_lost e ~jid ~shard =
           | Policy.Requeue delay ->
               sh.sh_state <- Sh_pending;
               sh.sh_not_before <- now () +. delay;
-              logf e "job %s shard %d back in the queue (lost attempt %d)" jid
+              warnf e "job %s shard %d back in the queue (lost attempt %d)" jid
                 sh.sh_id sh.sh_attempts
           | Policy.Hostile ->
               Journal.append_hostile jb.jb_journal ~shard:sh.sh_id;
@@ -186,7 +205,10 @@ and shard_lost e ~jid ~shard =
 
 and send_client e p msg =
   if p.p_alive then begin
-    try Frame.write p.p_fd (Proto.server_to_client_to_json msg)
+    try
+      Frame.write p.p_fd (Proto.server_to_client_to_json msg);
+      p.p_frames_out <- p.p_frames_out + 1;
+      Metrics.bump e.cfg.metrics "net_frames_out_total"
     with Unix.Unix_error (err, _, _) ->
       peer_gone e p ~reason:("write failed: " ^ Unix.error_message err)
   end
@@ -196,7 +218,7 @@ and job_over e jb verdict =
     match verdict with
     | `Done -> Proto.Sc_done { executed = jb.jb_executed; resumed = jb.jb_resumed }
     | `Failed m ->
-        logf e "job %s failed: %s" jb.jb_id m;
+        warnf e "job %s failed: %s" jb.jb_id m;
         Proto.Sc_failed m
   in
   let watchers = jb.jb_watchers in
@@ -221,7 +243,10 @@ and job_over e jb verdict =
 
 let send_worker e p msg =
   if p.p_alive then begin
-    try Frame.write p.p_fd (Proto.net_to_worker_to_json msg)
+    try
+      Frame.write p.p_fd (Proto.net_to_worker_to_json msg);
+      p.p_frames_out <- p.p_frames_out + 1;
+      Metrics.bump e.cfg.metrics "net_frames_out_total"
     with Unix.Unix_error (err, _, _) ->
       peer_gone e p ~reason:("write failed: " ^ Unix.error_message err)
   end
@@ -250,10 +275,12 @@ let announce e jb =
 
 let make_job ~id ~job ~units ~shard_size ~check ~journal =
   let nshards = if units = 0 then 0 else (units + shard_size - 1) / shard_size in
+  let fp = Proto.job_fingerprint job in
   {
     jb_id = id;
     jb_job = job;
-    jb_fp = Proto.job_fingerprint job;
+    jb_fp = fp;
+    jb_tag = Span.job_tag fp;
     jb_units = units;
     jb_shard_size = shard_size;
     jb_check = check;
@@ -276,15 +303,19 @@ let make_job ~id ~job ~units ~shard_size ~check ~journal =
   }
 
 let register e jb =
+  let admit_start = Span.now_us () in
   Hashtbl.replace e.jobs jb.jb_id jb;
   e.order <- e.order @ [ jb.jb_id ];
   Metrics.bump e.cfg.metrics "net_jobs_total";
   gauge_peers e;
-  announce e jb
+  announce e jb;
+  Span.emit e.cfg.spans ~phase:"admit" ~job:jb.jb_tag ~shard:(-1)
+    ~start_us:admit_start
 
 (* Accept a validated shard payload into the job: journal it, store it,
    stream it to the watchers, advance the finding cut. *)
 let shard_done e jb ~shard ~payload ~finding ~restored =
+  let merge_start = Span.now_us () in
   let sh = jb.jb_shards.(shard) in
   sh.sh_state <- Sh_done;
   jb.jb_payloads.(shard) <- Some payload;
@@ -292,7 +323,9 @@ let shard_done e jb ~shard ~payload ~finding ~restored =
   else begin
     Journal.append_shard jb.jb_journal ~shard ~payload;
     jb.jb_executed <- jb.jb_executed + 1;
-    Metrics.bump e.cfg.metrics "net_shards_executed_total"
+    Metrics.bump e.cfg.metrics "net_shards_executed_total";
+    Metrics.bump e.cfg.metrics
+      ("net_shards_by_scenario." ^ jb.jb_job.Proto.scenario)
   end;
   (match finding with
   | Some abs when abs < jb.jb_cut ->
@@ -305,7 +338,10 @@ let shard_done e jb ~shard ~payload ~finding ~restored =
       match find_peer e pid with
       | Some p -> send_client e p (Proto.Sc_shard { shard; payload })
       | None -> ())
-    jb.jb_watchers
+    jb.jb_watchers;
+  if not restored then
+    Span.emit e.cfg.spans ~phase:"merge" ~job:jb.jb_tag ~shard
+      ~start_us:merge_start
 
 let attach e p c jb =
   c.cs_watching <- Some jb.jb_id;
@@ -537,8 +573,22 @@ let handle_submit e p c ~job ~resume =
 
 let handle_worker_msg e p w msg =
   match msg with
-  | Proto.Nf_pong -> ()
-  | Proto.Nf_progress _ -> ()
+  | Proto.Nf_pong { metrics } -> (
+      match metrics with
+      | None -> ()
+      | Some snap -> (
+          (* A worker's pushed registry replaces its previous push (the
+             snapshot is cumulative); a malformed push is a protocol
+             violation like any other undecodable frame. *)
+          match Metrics.of_snapshot snap with
+          | Ok reg ->
+              w.ws_push <- Some reg;
+              Metrics.bump e.cfg.metrics "net_metrics_pushes_total";
+              debugf e "%s pushed a metrics snapshot" p.p_name
+          | Error m ->
+              peer_gone e p ~reason:("bad metrics push: " ^ m)))
+  | Proto.Nf_progress { jid; shard; completed } ->
+      debugf e "%s: job %s shard %d at %d cell(s)" p.p_name jid shard completed
   | Proto.Nf_job_ok { jid; cells } -> (
       match Hashtbl.find_opt e.jobs jid with
       | None -> ()
@@ -624,6 +674,7 @@ let handle_hello e p v =
                   ws_announced = Hashtbl.create 4;
                   ws_acked = Hashtbl.create 4;
                   ws_state = W_idle;
+                  ws_push = None;
                 }
               in
               p.p_sort <- Worker_peer w;
@@ -645,6 +696,108 @@ let handle_hello e p v =
         end
       end
 
+(* {2 Live stats}
+
+   The whole introspection document is assembled from state the select
+   loop already owns, so answering [Cs_stats] never blocks a job: a
+   health summary straight off the engine, plus one merged registry —
+   the server's own counters folded with every pushed worker registry
+   (live and departed) through the commutative [Metrics.merge]. *)
+
+let stats_doc e =
+  let t = now () in
+  let nworkers, nclients, npending =
+    List.fold_left
+      (fun (w, c, pd) p ->
+        match p.p_sort with
+        | Worker_peer _ -> (w + 1, c, pd)
+        | Client_peer _ -> (w, c + 1, pd)
+        | Pending _ -> (w, c, pd + 1))
+      (0, 0, 0) e.peers
+  in
+  let in_flight =
+    Hashtbl.fold
+      (fun _ jb acc ->
+        Array.fold_left
+          (fun acc sh ->
+            match sh.sh_state with Sh_running _ -> acc + 1 | _ -> acc)
+          acc jb.jb_shards)
+      e.jobs 0
+  in
+  let job_doc jb =
+    let done_, running, retries =
+      Array.fold_left
+        (fun (d, r, a) sh ->
+          ( (if sh.sh_state = Sh_done then d + 1 else d),
+            (match sh.sh_state with Sh_running _ -> r + 1 | _ -> r),
+            a + sh.sh_attempts ))
+        (0, 0, 0) jb.jb_shards
+    in
+    Json.Obj
+      [
+        ("jid", Json.String jb.jb_id);
+        ("scenario", Json.String jb.jb_job.Proto.scenario);
+        ("cells", Json.Int jb.jb_units);
+        ("shards", Json.Int (Array.length jb.jb_shards));
+        ("done", Json.Int done_);
+        ("running", Json.Int running);
+        ("executed", Json.Int jb.jb_executed);
+        ("resumed", Json.Int jb.jb_resumed);
+        ("retries", Json.Int retries);
+        ("watchers", Json.Int (List.length jb.jb_watchers));
+      ]
+  in
+  let peer_doc p =
+    let role, busy =
+      match p.p_sort with
+      | Pending _ -> ("pending", false)
+      | Client_peer _ -> ("client", false)
+      | Worker_peer w -> (
+          ("worker", match w.ws_state with W_busy _ -> true | W_idle -> false))
+    in
+    Json.Obj
+      [
+        ("name", Json.String p.p_name);
+        ("role", Json.String role);
+        ("busy", Json.Bool busy);
+        ("bytes_in", Json.Int p.p_bytes_in);
+        ("frames_in", Json.Int p.p_frames_in);
+        ("frames_out", Json.Int p.p_frames_out);
+      ]
+  in
+  let health =
+    Json.Obj
+      [
+        ("uptime_s", Json.Int (int_of_float (t -. e.started)));
+        ("draining", Json.Bool e.draining);
+        ("peers", Json.Int (List.length e.peers));
+        ("workers", Json.Int nworkers);
+        ("clients", Json.Int nclients);
+        ("pending", Json.Int npending);
+        ("jobs_active", Json.Int (Hashtbl.length e.jobs));
+        ("queue_depth", Json.Int (queue_depth e));
+        ("in_flight", Json.Int in_flight);
+        ( "jobs",
+          Json.List
+            (List.filter_map
+               (fun jid -> Option.map job_doc (Hashtbl.find_opt e.jobs jid))
+               e.order) );
+        ("peer_detail", Json.List (List.map peer_doc e.peers));
+      ]
+  in
+  let merged = Metrics.create () in
+  (match e.cfg.metrics with
+  | Some m -> Metrics.merge ~into:merged m
+  | None -> ());
+  Metrics.merge ~into:merged e.departed;
+  List.iter
+    (fun p ->
+      match p.p_sort with
+      | Worker_peer { ws_push = Some m; _ } -> Metrics.merge ~into:merged m
+      | _ -> ())
+    e.peers;
+  Json.Obj [ ("health", health); ("metrics", Metrics.snapshot merged) ]
+
 (* {2 Frame pump} *)
 
 let handle_frame e p v =
@@ -657,6 +810,10 @@ let handle_frame e p v =
   | Client_peer c -> (
       match Proto.client_to_server_of_json v with
       | Ok Proto.Cs_pong -> ()
+      | Ok Proto.Cs_stats ->
+          Metrics.bump e.cfg.metrics "net_stats_requests_total";
+          debugf e "%s asked for stats" p.p_name;
+          send_client e p (Proto.Sc_stats (stats_doc e))
       | Ok (Proto.Cs_submit { job; resume }) -> handle_submit e p c ~job ~resume
       | Error m -> peer_gone e p ~reason:("undecodable message: " ^ m))
 
@@ -667,6 +824,8 @@ let rec drain_frames e p =
     match Frame.next ~now:(now ()) p.p_dec with
     | Ok None -> ()
     | Ok (Some v) ->
+        p.p_frames_in <- p.p_frames_in + 1;
+        Metrics.bump e.cfg.metrics "net_frames_in_total";
         handle_frame e p v;
         drain_frames e p
     | Error err ->
@@ -679,6 +838,8 @@ let handle_readable e p =
       let t = now () in
       p.p_last <- t;
       p.p_pinged <- false;
+      p.p_bytes_in <- p.p_bytes_in + n;
+      Metrics.bump e.cfg.metrics ~by:n "net_bytes_in_total";
       let (win_start, win_bytes), over =
         Policy.rate_check ~limit_per_s:e.cfg.rate_limit
           ~window_start:p.p_win_start ~window_bytes:p.p_win_bytes ~arrived:n
@@ -722,6 +883,7 @@ let deal e =
             match next_shard_for w with
             | None -> ()
             | Some (jb, sh) ->
+                let dispatch_start = Span.now_us () in
                 send_worker e p
                   (Proto.Nw_assign
                      {
@@ -731,6 +893,10 @@ let deal e =
                        hi = sh.sh_hi;
                      });
                 if p.p_alive then begin
+                  debugf e "job %s shard %d dealt to %s" jb.jb_id sh.sh_id
+                    p.p_name;
+                  Span.emit e.cfg.spans ~phase:"dispatch" ~job:jb.jb_tag
+                    ~shard:sh.sh_id ~start_us:dispatch_start;
                   sh.sh_state <- Sh_running p.p_id;
                   w.ws_state <-
                     W_busy
@@ -832,6 +998,9 @@ let accept_peers e =
             p_alive = true;
             p_win_start = now ();
             p_win_bytes = 0;
+            p_bytes_in = 0;
+            p_frames_in = 0;
+            p_frames_out = 0;
           }
         in
         e.next_pid <- e.next_pid + 1;
@@ -935,6 +1104,8 @@ let serve ?on_listen cfg ~lookup addr =
           peers = [];
           next_pid = 0;
           draining = false;
+          started = now ();
+          departed = Metrics.create ();
         }
       in
       let result =

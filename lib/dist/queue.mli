@@ -34,9 +34,16 @@ type config = {
   backoff : float;  (** base of the exponential re-deal delay *)
   journal_dir : string;
   fsync : bool;  (** fsync journals on every checkpoint *)
-  log : (string -> unit) option;
+  log : Svm.Log.t;
+      (** leveled diagnostics: peer losses and retries at [Warn], job
+          lifecycle at [Info], per-shard dealing at [Debug] *)
   metrics : Svm.Metrics.t option;
-      (** connection / retry / queue-depth counters land here *)
+      (** connection / retry / queue-depth counters land here; also the
+          base registry folded into {!Proto.Sc_stats} replies, together
+          with every worker-pushed registry (live and departed) *)
+  spans : Span.t option;
+      (** when set, the queue stamps [admit]/[dispatch]/[merge] spans
+          per job/shard for cross-process trace correlation *)
 }
 
 val default_config : fingerprint:string -> unit -> config

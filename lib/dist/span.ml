@@ -1,0 +1,53 @@
+module Json = Svm.Json
+module Timeline = Svm.Timeline
+
+type t = { proc : string; oc : out_channel }
+
+let create ~proc ~oc = { proc; oc }
+let proc t = t.proc
+
+let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+let emit t ~phase ~job ~shard ~start_us =
+  match t with
+  | None -> ()
+  | Some t ->
+      let stop = now_us () in
+      let span =
+        {
+          Timeline.ps_proc = t.proc;
+          ps_phase = phase;
+          ps_job = job;
+          ps_shard = shard;
+          ps_ts = start_us;
+          ps_dur = max 1 (stop - start_us);
+        }
+      in
+      output_string t.oc (Json.to_string (Timeline.pspan_to_json span));
+      output_char t.oc '\n';
+      flush t.oc
+
+let job_tag fp = Digest.to_hex (Digest.string fp)
+
+let load_file path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let spans = ref [] in
+          let skipped = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               if String.trim line <> "" then
+                 match Json.of_string line with
+                 | Error _ -> incr skipped
+                 | Ok j -> (
+                     match Timeline.pspan_of_json j with
+                     | Ok s -> spans := s :: !spans
+                     | Error _ -> incr skipped)
+             done
+           with End_of_file -> ());
+          Ok (List.rev !spans, !skipped))

@@ -1,0 +1,41 @@
+(** Per-process span recording for cross-process tracing.
+
+    Each fleet process (the serve queue, every remote worker, the
+    submitting client) appends {!Svm.Timeline.pspan} records — one
+    compact JSON object per line — to its own file, given by the
+    [--spans FILE] CLI flag. After the run, [asmsim trace-merge] loads
+    any number of such files and fuses them through
+    {!Svm.Timeline.merge_processes} into one Chrome trace, correlated
+    across processes by job-fingerprint digest + shard index.
+
+    Recording is wall-clock by necessity (the whole point is where real
+    time went), which is why spans live in their own side files and
+    never touch stdout: the byte-identity discipline of [--connect]
+    runs is untouched. *)
+
+type t
+
+val create : proc:string -> oc:out_channel -> t
+(** A recorder writing to [oc] (caller closes it); [proc] labels this
+    OS process's lane in the merged trace. Each span is flushed as it
+    is written, so a SIGKILLed process loses at most one torn line —
+    which {!load_file} skips and counts. *)
+
+val proc : t -> string
+
+val now_us : unit -> int
+(** Wall-clock microseconds ([Unix.gettimeofday]). *)
+
+val emit :
+  t option -> phase:string -> job:string -> shard:int -> start_us:int -> unit
+(** Record a span that began at [start_us] and ends now. No-op on
+    [None] — producers thread a [t option] exactly like [?metrics]. *)
+
+val job_tag : string -> string
+(** Digest (MD5 hex) of a job fingerprint: the short correlation key
+    both sides of the wire can compute independently. *)
+
+val load_file : string -> (Svm.Timeline.pspan list * int, string) result
+(** Parse a span file: [(spans, skipped)] where [skipped] counts
+    unparseable lines (e.g. one torn tail line from a killed process).
+    [Error] only when the file cannot be read at all. *)

@@ -25,7 +25,7 @@ type config = {
   chaos : chaos option;
   chaos_at : int;
   gc_tune : bool;
-  log : (string -> unit) option;
+  log : Svm.Log.t;
   metrics : Metrics.t option;
 }
 
@@ -45,7 +45,7 @@ let default_config =
     chaos = None;
     chaos_at = 3;
     gc_tune = true;
-    log = None;
+    log = Svm.Log.null;
     metrics = None;
   }
 
@@ -63,10 +63,7 @@ type outcome = {
   o_stop : [ `Schedules | `Duration | `Sigterm ];
 }
 
-let logf cfg fmt =
-  Printf.ksprintf
-    (fun s -> match cfg.log with Some f -> f s | None -> ())
-    fmt
+let logf cfg fmt = Svm.Log.infof cfg.log fmt
 
 let bump cfg = Metrics.bump cfg.metrics
 
@@ -267,7 +264,7 @@ let run cfg ~corpus_dir (s : Scenario.t) =
       | Some Torn -> Some (Corpus.Store.Torn_at_append cfg.chaos_at)
       | Some Bitflip -> Some Corpus.Store.Bitflip_after_cement
     in
-    match Corpus.Store.open_ ?chaos:store_chaos corpus_dir with
+    match Corpus.Store.open_ ~log:cfg.log ?chaos:store_chaos corpus_dir with
     | Error m -> Error m
     | Ok store ->
         if cfg.gc_tune then

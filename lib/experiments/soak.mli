@@ -46,7 +46,8 @@ type config = {
   chaos : chaos option;  (** store-level crash/corruption injection *)
   chaos_at : int;  (** which corpus append the chaos strikes *)
   gc_tune : bool;  (** widen the minor heap for the hot loop *)
-  log : (string -> unit) option;
+  log : Svm.Log.t;
+      (** leveled diagnostics: batch and finding progress at [Info] *)
   metrics : Svm.Metrics.t option;
 }
 

@@ -114,6 +114,9 @@ let observe h v =
   let b = bucket_of v in
   h.buckets.(b) <- h.buckets.(b) + 1
 
+let sample t name v =
+  match t with None -> () | Some t -> observe (histogram t name) v
+
 let histogram_count t name =
   match Hashtbl.find_opt t.histograms name with Some h -> h.count | None -> 0
 
@@ -182,6 +185,88 @@ let snapshot t =
   Json.Obj (base @ wall)
 
 let snapshot_string ?pretty t = Json.to_string ?pretty (snapshot t)
+
+(* Decode a snapshot back into a registry, so a server can [merge]
+   registries pushed over the wire by its workers. Inverse of
+   [snapshot] up to the "wall" section (ignored: a reconstructed
+   registry is wall-clock-free). Total on untrusted input. *)
+let of_snapshot json =
+  let ( let* ) = Result.bind in
+  let obj_members name =
+    match Json.member name json with
+    | None -> Ok []
+    | Some (Json.Obj kvs) -> Ok kvs
+    | Some _ -> Error (Printf.sprintf "snapshot: %S is not an object" name)
+  in
+  let int_of name = function
+    | Json.Int n -> Ok n
+    | _ -> Error (Printf.sprintf "snapshot: %S is not an int" name)
+  in
+  let t = create () in
+  let* cs = obj_members "counters" in
+  let* () =
+    List.fold_left
+      (fun acc (k, v) ->
+        let* () = acc in
+        let* n = int_of k v in
+        incr ~by:n (counter t k);
+        Ok ())
+      (Ok ()) cs
+  in
+  let* gs = obj_members "gauges" in
+  let* () =
+    List.fold_left
+      (fun acc (k, v) ->
+        let* () = acc in
+        let* n = int_of k v in
+        set (gauge t k) n;
+        Ok ())
+      (Ok ()) gs
+  in
+  let* hs = obj_members "histograms" in
+  let* () =
+    List.fold_left
+      (fun acc (k, v) ->
+        let* () = acc in
+        let field name =
+          match Json.member name v with
+          | Some (Json.Int n) -> Ok n
+          | _ ->
+              Error
+                (Printf.sprintf "snapshot: histogram %S lacks int %S" k name)
+        in
+        let* count = field "count" in
+        let* sum = field "sum" in
+        let* min_v = field "min" in
+        let* max_v = field "max" in
+        let* buckets =
+          match Json.member "buckets" v with
+          | Some (Json.Obj kvs) -> Ok kvs
+          | _ ->
+              Error (Printf.sprintf "snapshot: histogram %S lacks buckets" k)
+        in
+        let h = histogram t k in
+        h.count <- count;
+        h.sum <- sum;
+        if count > 0 then begin
+          h.min_v <- min_v;
+          h.max_v <- max_v
+        end;
+        List.fold_left
+          (fun acc (lo, n) ->
+            let* () = acc in
+            let* n = int_of lo n in
+            match int_of_string_opt lo with
+            | None ->
+                Error (Printf.sprintf "snapshot: bad bucket key %S" lo)
+            | Some lo ->
+                let i = bucket_of lo in
+                h.buckets.(i) <- h.buckets.(i) + n;
+                Ok ())
+          (Ok ()) buckets)
+      (Ok ()) hs
+  in
+  Ok t
 
 (* Fold a worker registry into an accumulator: counters and histogram
    mass add, gauges keep the max (every gauge producer in this codebase

@@ -63,6 +63,9 @@ val record : t option -> string -> int -> unit
 val record_max : t option -> string -> int -> unit
 (** Max-set a gauge by name; no-op on [None]. *)
 
+val sample : t option -> string -> int -> unit
+(** Observe into a histogram by name; no-op on [None]. *)
+
 (** {1 Histograms}
 
     Log-bucketed: bucket 0 holds values [<= 0]; bucket [i >= 1] holds
@@ -98,6 +101,13 @@ val snapshot : t -> Json.t
     present only for [wall_clock] registries. *)
 
 val snapshot_string : ?pretty:bool -> t -> string
+
+val of_snapshot : Json.t -> (t, string) result
+(** Decode a {!snapshot} back into a registry (the ["wall"] section is
+    ignored; the result is never wall-clock). Round-trips byte-for-byte:
+    [snapshot (of_snapshot (snapshot t)) = snapshot t] for wall-free
+    registries. This is how a server rebuilds worker registries pushed
+    over the wire before folding them with {!merge}. *)
 
 val merge : into:t -> t -> unit
 (** Fold [src] into [into]: counters and histograms add (count, sum,

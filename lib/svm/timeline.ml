@@ -228,6 +228,147 @@ let to_chrome ?(meta = []) t =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Cross-process spans                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type pspan = {
+  ps_proc : string;
+  ps_phase : string;
+  ps_job : string;
+  ps_shard : int;
+  ps_ts : int;
+  ps_dur : int;
+}
+
+let pspan_to_json p =
+  Json.Obj
+    [
+      ("proc", Json.String p.ps_proc);
+      ("phase", Json.String p.ps_phase);
+      ("job", Json.String p.ps_job);
+      ("shard", Json.Int p.ps_shard);
+      ("ts", Json.Int p.ps_ts);
+      ("dur", Json.Int p.ps_dur);
+    ]
+
+let pspan_of_json j =
+  let str name = Option.bind (Json.member name j) Json.to_str in
+  let int name = Option.bind (Json.member name j) Json.to_int in
+  match (str "proc", str "phase", str "job", int "shard", int "ts", int "dur")
+  with
+  | Some ps_proc, Some ps_phase, Some ps_job, Some ps_shard, Some ps_ts,
+    Some ps_dur ->
+      Ok { ps_proc; ps_phase; ps_job; ps_shard; ps_ts; ps_dur }
+  | _ -> Error "span record needs proc/phase/job strings and shard/ts/dur ints"
+
+(* Fuse per-process span logs into one Chrome trace: one lane (tid) per
+   OS process, wall-time µs on the x axis. The happens-before relation
+   extends across the wire by shard correlation: within one lane spans
+   order by time (program order), and spans sharing a (job, shard) key
+   chain across lanes (admit → dispatch → receive → execute → reply →
+   merge is the life of one shard, whichever processes it visits). The
+   critical path is the heaviest such chain in µs — the part of the
+   fleet's wall time no amount of extra workers can hide. *)
+let merge_processes pspans =
+  let lanes = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem lanes p.ps_proc) then begin
+        Hashtbl.add lanes p.ps_proc (Hashtbl.length lanes);
+        order := p.ps_proc :: !order
+      end)
+    pspans;
+  let procs = List.rev !order in
+  let lane p = Hashtbl.find lanes p.ps_proc in
+  let t0 =
+    List.fold_left (fun acc p -> min acc p.ps_ts) max_int pspans
+  in
+  let t0 = if t0 = max_int then 0 else t0 in
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        match compare a.ps_ts b.ps_ts with
+        | 0 -> compare (lane a) (lane b)
+        | c -> c)
+      pspans
+  in
+  (* Longest-chain DP in timestamp order, mirroring [causality]: a
+     span's depth is its duration plus the deepest predecessor in its
+     lane (program order) or its shard chain (wire order). *)
+  let by_lane : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let by_shard : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let critical = ref 0 in
+  List.iter
+    (fun p ->
+      let key = Printf.sprintf "%s#%d" p.ps_job p.ps_shard in
+      let d_lane =
+        Option.value ~default:0 (Hashtbl.find_opt by_lane (lane p))
+      in
+      let d_shard = Option.value ~default:0 (Hashtbl.find_opt by_shard key) in
+      let d = max 1 p.ps_dur + max d_lane d_shard in
+      Hashtbl.replace by_lane (lane p) d;
+      Hashtbl.replace by_shard key d;
+      if d > !critical then critical := d)
+    sorted;
+  let thread_meta i name =
+    Json.Obj
+      [
+        ("ph", Json.String "M");
+        ("pid", Json.Int 0);
+        ("tid", Json.Int i);
+        ("name", Json.String "thread_name");
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
+  in
+  let short_job j = if String.length j > 8 then String.sub j 0 8 else j in
+  let span_event p =
+    Json.Obj
+      [
+        ("ph", Json.String "X");
+        ("pid", Json.Int 0);
+        ("tid", Json.Int (lane p));
+        ("ts", Json.Int (p.ps_ts - t0));
+        ("dur", Json.Int (max 1 p.ps_dur));
+        ( "name",
+          Json.String
+            (if p.ps_shard < 0 then
+               Printf.sprintf "%s %s" p.ps_phase (short_job p.ps_job)
+             else
+               Printf.sprintf "%s %s#%d" p.ps_phase (short_job p.ps_job)
+                 p.ps_shard) );
+        ( "args",
+          Json.Obj
+            [
+              ("phase", Json.String p.ps_phase);
+              ("job", Json.String p.ps_job);
+              ("shard", Json.Int p.ps_shard);
+              ("proc", Json.String p.ps_proc);
+            ] );
+      ]
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List
+          (List.mapi (fun i name -> thread_meta i name) procs
+          @ List.map span_event sorted) );
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("nprocs", Json.Int (List.length procs));
+            ("spans", Json.Int (List.length sorted));
+            ("fault_instants", Json.Int 0);
+            ("dropped_events", Json.Int 0);
+            ("decisions", Json.Int 0);
+            ("critical_path", Json.Int !critical);
+            ( "processes",
+              Json.String (String.concat "," procs) );
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Text and CSV                                                         *)
 (* ------------------------------------------------------------------ *)
 

@@ -79,6 +79,36 @@ val to_csv : t -> string
 (** [step,pid,event,kind,instance,corrupted] rows; truncation becomes a
     leading comment line. *)
 
+(** {1 Cross-process spans}
+
+    Every process of a fleet run (queue, workers, submitting client)
+    can stamp wall-clock spans tagged with a job fingerprint digest and
+    shard index; {!merge_processes} fuses any number of such logs into
+    one Chrome trace with one lane per OS process. Correlation is by
+    (job, shard): the life of a shard — admit → dispatch → receive →
+    execute → reply → merge — chains across lanes, which is what lets
+    the critical path extend across the wire. *)
+
+type pspan = {
+  ps_proc : string;  (** OS-process label, e.g. ["serve"], ["worker-1"] *)
+  ps_phase : string;  (** [admit|dispatch|receive|execute|reply|merge] *)
+  ps_job : string;  (** job fingerprint digest *)
+  ps_shard : int;  (** shard index; [-1] for job-level spans *)
+  ps_ts : int;  (** wall-clock µs *)
+  ps_dur : int;  (** µs; clamped to at least 1 on export *)
+}
+
+val pspan_to_json : pspan -> Json.t
+val pspan_of_json : Json.t -> (pspan, string) result
+
+val merge_processes : pspan list -> Json.t
+(** A Chrome trace over all given spans: one [tid] lane per distinct
+    [ps_proc] (in first-appearance order), timestamps normalized to the
+    earliest span, and [otherData.critical_path] the heaviest
+    happens-before chain in µs (lane order ∪ shard-correlation order).
+    The output passes {!validate_chrome}: every declared lane has a
+    span, and there are no fault instants. *)
+
 (** {1 Validation} *)
 
 type chrome_summary = {

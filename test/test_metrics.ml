@@ -207,6 +207,118 @@ let test_snapshot_wall_flag () =
         "wall section present behind the flag" true
         (Json.member "wall" j <> None)
 
+(* ------------------------------------------------------------------ *)
+(* Merge algebra and snapshot decoding                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A registry with enough shape to make merge order matter if merge were
+   wrong: shared and disjoint counters, a max-tracked gauge, a histogram
+   spanning several buckets including the <= 0 bucket. *)
+let reg_of seed =
+  let m = Metrics.create () in
+  Metrics.incr ~by:(seed + 3) (Metrics.counter m "c.shared");
+  Metrics.incr (Metrics.counter m (Printf.sprintf "c.only%d" seed));
+  Metrics.set_max (Metrics.gauge m "g.peak") (10 * seed);
+  let h = Metrics.histogram m "h" in
+  List.iter (Metrics.observe h) [ -seed; 0; seed; seed * seed; 1 lsl seed ];
+  m
+
+let snap = Metrics.snapshot_string
+
+let test_merge_commutative () =
+  let ab =
+    let x = reg_of 1 in
+    Metrics.merge ~into:x (reg_of 2);
+    snap x
+  in
+  let ba =
+    let x = reg_of 2 in
+    Metrics.merge ~into:x (reg_of 1);
+    snap x
+  in
+  Alcotest.(check string) "a+b = b+a" ab ba
+
+let test_merge_associative () =
+  let left =
+    (* (a+b)+c *)
+    let x = reg_of 1 in
+    Metrics.merge ~into:x (reg_of 2);
+    Metrics.merge ~into:x (reg_of 5);
+    snap x
+  in
+  let right =
+    (* a+(b+c) *)
+    let bc = reg_of 2 in
+    Metrics.merge ~into:bc (reg_of 5);
+    let x = reg_of 1 in
+    Metrics.merge ~into:x bc;
+    snap x
+  in
+  Alcotest.(check string) "(a+b)+c = a+(b+c)" left right
+
+let test_merge_sharded_identity () =
+  (* The fleet invariant behind `asmsim top': the same 100 observations
+     dealt to 1, 2 or 4 worker registries fold into byte-identical
+     snapshots. *)
+  let observe m i =
+    Metrics.incr (Metrics.counter m "ops");
+    Metrics.observe (Metrics.histogram m "latency") (i * 7 mod 113);
+    Metrics.set_max (Metrics.gauge m "peak") i
+  in
+  let folded jobs =
+    let regs = Array.init jobs (fun _ -> Metrics.create ()) in
+    for i = 0 to 99 do
+      observe regs.(i mod jobs) i
+    done;
+    let into = Metrics.create () in
+    Array.iter (fun r -> Metrics.merge ~into r) regs;
+    snap into
+  in
+  let s1 = folded 1 in
+  Alcotest.(check string) "jobs=2 folds identically" s1 (folded 2);
+  Alcotest.(check string) "jobs=4 folds identically" s1 (folded 4)
+
+let test_of_snapshot_roundtrip () =
+  let m = reg_of 4 in
+  let s = Metrics.snapshot m in
+  match Metrics.of_snapshot s with
+  | Error e -> Alcotest.failf "of_snapshot rejected its own format: %s" e
+  | Ok m2 ->
+      Alcotest.(check string)
+        "snapshot -> registry -> snapshot is byte-identical"
+        (Json.to_string s)
+        (snap m2);
+      (* The wire path: decode a worker push, merge it — same result as
+         merging the original registry. *)
+      let direct =
+        let x = reg_of 7 in
+        Metrics.merge ~into:x m;
+        snap x
+      in
+      let via_wire =
+        let x = reg_of 7 in
+        Metrics.merge ~into:x m2;
+        snap x
+      in
+      Alcotest.(check string) "decoded registries merge like originals"
+        direct via_wire
+
+let test_of_snapshot_rejects_garbage () =
+  let bad json =
+    match Metrics.of_snapshot json with
+    | Ok _ -> Alcotest.fail "garbage snapshot accepted"
+    | Error _ -> ()
+  in
+  bad (Json.Obj [ ("counters", Json.List []) ]);
+  bad (Json.Obj [ ("counters", Json.Obj [ ("c", Json.String "no") ]) ]);
+  bad
+    (Json.Obj
+       [ ("histograms", Json.Obj [ ("h", Json.Obj [ ("count", Json.Int 1) ]) ]) ]);
+  (* An empty object is a valid (empty) snapshot. *)
+  match Metrics.of_snapshot (Json.Obj []) with
+  | Ok m -> Alcotest.(check string) "empty decodes empty" (snap (Metrics.create ())) (snap m)
+  | Error e -> Alcotest.failf "empty snapshot rejected: %s" e
+
 let suite =
   [
     ( "metrics",
@@ -225,5 +337,13 @@ let suite =
         Alcotest.test_case "snapshot JSON shape" `Quick test_snapshot_json;
         Alcotest.test_case "wall section only behind the flag" `Quick
           test_snapshot_wall_flag;
+        Alcotest.test_case "merge is commutative" `Quick test_merge_commutative;
+        Alcotest.test_case "merge is associative" `Quick test_merge_associative;
+        Alcotest.test_case "sharded folds are byte-identical (jobs=1/2/4)"
+          `Quick test_merge_sharded_identity;
+        Alcotest.test_case "of_snapshot round-trips and merges" `Quick
+          test_of_snapshot_roundtrip;
+        Alcotest.test_case "of_snapshot is total on garbage" `Quick
+          test_of_snapshot_rejects_garbage;
       ] );
   ]

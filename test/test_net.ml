@@ -487,12 +487,121 @@ let drain_and_resume () =
             (snd base)
             (Metrics.snapshot_string metrics))
 
+(* ------------------------------------------------------------------ *)
+(* v2 codec: stats request/reply and the metrics-bearing pong           *)
+(* ------------------------------------------------------------------ *)
+
+let proto_v2_codec () =
+  Alcotest.(check int) "observability additions bumped the version" 2
+    Dist.Proto.net_version;
+  let rt_worker m =
+    match
+      Dist.Proto.net_from_worker_of_json
+        (Dist.Proto.net_from_worker_to_json m)
+    with
+    | Ok m' -> Alcotest.(check bool) "worker frame round-trips" true (m = m')
+    | Error e -> Alcotest.failf "worker frame rejected its own JSON: %s" e
+  in
+  (* A bare pong (v1 shape) and a metrics-bearing pong (v2 push) must
+     both survive the wire; the member is simply absent when the worker
+     has no registry. *)
+  rt_worker (Dist.Proto.Nf_pong { metrics = None });
+  let reg = Metrics.create ~wall_clock:false () in
+  Metrics.bump ~by:3 (Some reg) "worker_shards_total";
+  Metrics.sample (Some reg) "h.cells" 128;
+  rt_worker (Dist.Proto.Nf_pong { metrics = Some (Metrics.snapshot reg) });
+  (match
+     Dist.Proto.client_to_server_of_json
+       (Dist.Proto.client_to_server_to_json Dist.Proto.Cs_stats)
+   with
+  | Ok Dist.Proto.Cs_stats -> ()
+  | Ok _ -> Alcotest.fail "Cs_stats decoded as a different message"
+  | Error e -> Alcotest.failf "Cs_stats rejected its own JSON: %s" e);
+  let doc = Json.Obj [ ("health", Json.Obj [ ("peers", Json.Int 2) ]) ] in
+  (match
+     Dist.Proto.server_to_client_of_json
+       (Dist.Proto.server_to_client_to_json (Dist.Proto.Sc_stats doc))
+   with
+  | Ok (Dist.Proto.Sc_stats doc') ->
+      Alcotest.(check string) "stats payload survives the wire"
+        (Json.to_string doc) (Json.to_string doc')
+  | Ok _ -> Alcotest.fail "Sc_stats decoded as a different message"
+  | Error e -> Alcotest.failf "Sc_stats rejected its own JSON: %s" e);
+  (* A stats reply with no payload is wire garbage, not an empty doc. *)
+  match
+    Dist.Proto.server_to_client_of_json
+      (Json.Obj [ ("t", Json.String "stats") ])
+  with
+  | Ok _ -> Alcotest.fail "payload-less stats reply accepted"
+  | Error _ -> ()
+
+(* `asmsim top --once' against a live server with workers attached: the
+   one query must see every connected peer and an empty queue, and the
+   --json twin must emit the raw stats document. *)
+let top_sees_the_fleet () =
+  let dir = fresh_dir () in
+  let srv, port = start_server ~dir () in
+  let w1 = start_worker ~err:(Filename.concat dir "tw1.err") port in
+  let w2 = start_worker ~err:(Filename.concat dir "tw2.err") port in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_quiet w1 Sys.sigkill;
+      kill_quiet w2 Sys.sigkill;
+      kill_quiet srv Sys.sigterm;
+      ignore (reap w1);
+      ignore (reap w2);
+      ignore (reap srv))
+    (fun () ->
+      let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+      (* Workers race the query to the handshake; poll until both are
+         counted rather than sleeping blind. *)
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec query () =
+        match Dist.Client.stats_query (client_config ()) addr with
+        | Error m -> Alcotest.failf "stats query failed: %s" m
+        | Ok doc -> (
+            let health k =
+              Option.bind
+                (Option.bind (Json.member "health" doc) (Json.member k))
+                Json.to_int
+            in
+            match health "workers" with
+            | Some 2 -> doc
+            | _ when Unix.gettimeofday () > deadline ->
+                Alcotest.failf "top never saw both workers: %s"
+                  (Json.to_string doc)
+            | _ ->
+                Unix.sleepf 0.05;
+                query ())
+      in
+      let doc = query () in
+      let health k =
+        Option.bind
+          (Option.bind (Json.member "health" doc) (Json.member k))
+          Json.to_int
+      in
+      Alcotest.(check (option int)) "idle queue" (Some 0)
+        (health "queue_depth");
+      Alcotest.(check (option int)) "no jobs" (Some 0) (health "jobs_active");
+      (* The same doc must carry a mergeable metrics member: the server's
+         own registry folded with both workers' pushes. *)
+      match Json.member "metrics" doc with
+      | None -> Alcotest.fail "stats doc has no metrics member"
+      | Some m -> (
+          match Metrics.of_snapshot m with
+          | Error e -> Alcotest.failf "stats metrics don't decode: %s" e
+          | Ok _ -> ()))
+
 let suite =
   [
     ( "net",
       [
         Alcotest.test_case "fingerprint skew is rejected, typed" `Quick
           reject_fingerprint_skew;
+        Alcotest.test_case "v2 codec: stats and metrics-bearing pong" `Quick
+          proto_v2_codec;
+        Alcotest.test_case "stats query sees peers and queue" `Quick
+          top_sees_the_fleet;
         Alcotest.test_case "version skew is rejected, typed" `Quick
           reject_version_skew;
         Alcotest.test_case "TCP identity, 2 remote workers" `Quick

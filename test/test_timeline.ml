@@ -168,6 +168,87 @@ let test_trace_pp_truncation () =
   Alcotest.(check bool) "Trace.pp announces truncation" true
     (String.length s > 0 && String.sub s 0 1 = "[")
 
+(* ------------------------------------------------------------------ *)
+(* Cross-process span merging                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pspan proc phase job shard ts dur =
+  {
+    Timeline.ps_proc = proc;
+    ps_phase = phase;
+    ps_job = job;
+    ps_shard = shard;
+    ps_ts = ts;
+    ps_dur = dur;
+  }
+
+(* The life of one shard across three OS processes, plus a second worker
+   lane, like a 2-worker `sweep --connect' run. *)
+let fleet_spans () =
+  [
+    pspan "serve:1" "admit" "job-a" (-1) 1000 5;
+    pspan "serve:1" "dispatch" "job-a" 0 1010 2;
+    pspan "worker:2" "receive" "job-a" 0 1020 1;
+    pspan "worker:2" "execute" "job-a" 0 1021 400;
+    pspan "worker:2" "reply" "job-a" 0 1421 3;
+    pspan "serve:1" "merge" "job-a" 0 1430 4;
+    pspan "worker:3" "execute" "job-a" 1 1050 200;
+    pspan "client:4" "collect" "job-a" 0 1440 2;
+  ]
+
+let test_pspan_json_roundtrip () =
+  let p = pspan "worker:9" "execute" "deadbeef" 3 123456 789 in
+  (match Timeline.pspan_of_json (Timeline.pspan_to_json p) with
+  | Ok p' -> Alcotest.(check bool) "round-trips" true (p = p')
+  | Error e -> Alcotest.failf "pspan rejected its own JSON: %s" e);
+  match Timeline.pspan_of_json (Json.Obj [ ("proc", Json.String "x") ]) with
+  | Ok _ -> Alcotest.fail "incomplete span accepted"
+  | Error _ -> ()
+
+let test_merge_processes_lanes_and_validation () =
+  let trace = Timeline.merge_processes (fleet_spans ()) in
+  (* One lane per OS process, and the result must satisfy the same
+     validator CI runs on single-process exports. *)
+  (match Timeline.validate_chrome trace with
+  | Error e -> Alcotest.failf "merged trace fails trace-check: %s" e
+  | Ok s -> Alcotest.(check int) "no fault instants" 0 s.Timeline.instants);
+  let other k =
+    Option.bind (Json.member "otherData" trace) (Json.member k)
+  in
+  Alcotest.(check (option int))
+    "one lane per process" (Some 4)
+    (Option.bind (other "nprocs") Json.to_int);
+  Alcotest.(check (option int))
+    "every span survives" (Some 8)
+    (Option.bind (other "spans") Json.to_int);
+  Alcotest.(check (option string))
+    "lane order is first appearance"
+    (Some "serve:1,worker:2,worker:3,client:4")
+    (Option.bind (other "processes") Json.to_str)
+
+let test_merge_processes_critical_path () =
+  let trace = Timeline.merge_processes (fleet_spans ()) in
+  let cp =
+    Option.value ~default:0
+      (Option.bind
+         (Option.bind (Json.member "otherData" trace)
+            (Json.member "critical_path"))
+         Json.to_int)
+  in
+  (* Shard 0's chain admit(5) -> dispatch(2) -> receive(1) -> execute(400)
+     -> reply(3) -> merge(4) -> collect(2) dominates: the happens-before
+     relation chains across lanes through the (job, shard) key. The
+     serve lane also prepends admit(5)+dispatch(2) in program order;
+     either way the heaviest chain is 417 µs. Worker 3's 200 µs shard-1
+     execute must NOT extend it (different shard, different lane). *)
+  Alcotest.(check int) "critical path chains across the wire" 417 cp
+
+let test_merge_processes_empty () =
+  let trace = Timeline.merge_processes [] in
+  match Timeline.validate_chrome trace with
+  | Error e -> Alcotest.failf "empty merge fails validation: %s" e
+  | Ok s -> Alcotest.(check int) "no events" 0 s.Timeline.events
+
 let suite =
   [
     ( "timeline",
@@ -183,5 +264,13 @@ let suite =
           test_truncated_timeline;
         Alcotest.test_case "Trace.pp announces truncation" `Quick
           test_trace_pp_truncation;
+        Alcotest.test_case "pspan JSON round-trip" `Quick
+          test_pspan_json_roundtrip;
+        Alcotest.test_case "merge_processes: lanes + validator" `Quick
+          test_merge_processes_lanes_and_validation;
+        Alcotest.test_case "merge_processes: cross-process critical path"
+          `Quick test_merge_processes_critical_path;
+        Alcotest.test_case "merge_processes: empty input" `Quick
+          test_merge_processes_empty;
       ] );
   ]
