@@ -25,6 +25,7 @@
 #   make bench-gate    — re-time the EX explorer, DIST coordinator, NET
 #                        service and SOAK runner families, fail if any row
 #                        regressed >1.5x against the committed BENCH_svm.json
+#                        or the EXd15/EXp415 par_speedup_ratio fell below 2x
 
 BUILD_TIMEOUT ?= 120
 TEST_TIMEOUT ?= 150
@@ -254,13 +255,29 @@ ci: check
 	$(MAKE) smoke-obs
 	$(MAKE) explore-determinism
 
-# The parallel explorer must reach the same verdict at jobs=4 as at
-# jobs=1, through the real CLI: find the seeded bug both ways.
+# The parallel explorer must be bit-for-bit deterministic in the job
+# count, through the real CLI — both engines:
+#   1. the seeded bug (counterexample => the plan-engine fallback
+#      defines the verdict): stdout at jobs=8 must diff clean against
+#      jobs=1;
+#   2. a clean scenario (the work-stealing engine's own result is
+#      kept): stdout AND the merged deterministic metrics snapshot
+#      (--metrics-out) must diff clean between jobs=1 and jobs=8.
 explore-determinism: build
+	rm -rf _build/exdet && mkdir -p _build/exdet
 	timeout $(SMOKE_TIMEOUT) $(ASMSIM) explore --algo safe_agreement_no_cancel \
-	  --expect-violation --jobs 1
+	  --expect-violation --jobs 1 > _build/exdet/bug-j1.out
 	timeout $(SMOKE_TIMEOUT) $(ASMSIM) explore --algo safe_agreement_no_cancel \
-	  --expect-violation --jobs 4
+	  --expect-violation --jobs 8 > _build/exdet/bug-j8.out
+	diff _build/exdet/bug-j1.out _build/exdet/bug-j8.out
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) explore --algo safe_agreement --jobs 1 \
+	  --metrics-out _build/exdet/clean-j1.metrics.json \
+	  > _build/exdet/clean-j1.out
+	timeout $(SMOKE_TIMEOUT) $(ASMSIM) explore --algo safe_agreement --jobs 8 \
+	  --metrics-out _build/exdet/clean-j8.metrics.json \
+	  > _build/exdet/clean-j8.out
+	diff _build/exdet/clean-j1.out _build/exdet/clean-j8.out
+	diff _build/exdet/clean-j1.metrics.json _build/exdet/clean-j8.metrics.json
 
 ci-heavy: ci test-heavy soak-heap
 

@@ -512,9 +512,10 @@ let print_sweep_outcome ~out (outcome : Svm.Explore.sweep_outcome) =
 
 let print_explore_result (r : Svm.Univ.t Svm.Explore.result) =
   Format.printf
-    "explored %d run(s), pruned %d state(s) + %d commuting transition(s)%s@."
+    "explored %d run(s), pruned %d state(s) + %d commuting + %d \
+     source-blocked transition(s)%s@."
     r.Svm.Explore.explored r.Svm.Explore.pruned_states
-    r.Svm.Explore.pruned_commutes
+    r.Svm.Explore.pruned_commutes r.Svm.Explore.pruned_source
     (if r.Svm.Explore.exhausted_budget then
        " (run budget hit; coverage partial)"
      else "");
@@ -584,12 +585,14 @@ let sweep_cmd =
       value & opt int 1
       & info [ "jobs" ] ~docv:"J"
           ~doc:
-            "Fan runs out over J domains (capped at the core count). \
-             Outcomes are identical at any job count.")
+            "Fan runs out over J domains (capped at the core count); 0 \
+             means one per core. Outcomes are identical at any job \
+             count.")
   in
   let run name nprocs t window runs budget out tiers expect_violation jobs
       dist resume shard_timeout shard_size chaos journal_dir connect log_level
       log_json spans =
+    let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
     let log = make_log ~json:log_json log_level in
     let kinds =
       String.split_on_char ',' tiers
@@ -725,7 +728,19 @@ let explore_cmd =
       & info [ "jobs" ] ~docv:"J"
           ~doc:
             "Fan subtree tasks out over J domains (capped at the core \
-             count). Results are identical at any job count.")
+             count); 0 means one per core. Results are identical at any \
+             job count.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON snapshot of the explorer's deterministic \
+             counters (runs, pruning tallies, visited hits/misses) to \
+             FILE — byte-identical at any --jobs value (in-process runs \
+             only).")
   in
   let no_dedup =
     Arg.(
@@ -742,9 +757,10 @@ let explore_cmd =
           ~doc:"Invert the exit status: succeed (0) iff a counterexample \
                 was found.")
   in
-  let run name nprocs steps crashes runs jobs no_dedup expect_violation dist
-      resume shard_timeout shard_size chaos journal_dir connect log_level
-      log_json spans =
+  let run name nprocs steps crashes runs jobs no_dedup expect_violation
+      metrics_out dist resume shard_timeout shard_size chaos journal_dir
+      connect log_level log_json spans =
+    let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
     let log = make_log ~json:log_json log_level in
     match Experiments.Scenario.find ?nprocs name with
     | Error m ->
@@ -756,15 +772,14 @@ let explore_cmd =
           | Some d -> d
           | None -> s.Experiments.Scenario.explore_steps
         in
-        (* The header always shows the in-process job count (1 under
-           --dist): stdout must diff clean against the --jobs 1 run. *)
+        (* The header deliberately omits the job count: stdout must
+           diff clean across --jobs values (the determinism make
+           target holds it to that). *)
         Format.printf
-          "exploring %s (n=%d, x=%d): depth %d, %d crash(es), dedup %s, \
-           jobs %d@."
+          "exploring %s (n=%d, x=%d): depth %d, %d crash(es), dedup %s@."
           s.Experiments.Scenario.name s.Experiments.Scenario.nprocs
           s.Experiments.Scenario.x depth crashes
-          (if no_dedup then "off" else "on")
-          (if dist > 0 || connect <> None then 1 else jobs);
+          (if no_dedup then "off" else "on");
         let on_progress ~runs =
           if runs mod 100_000 = 0 then
             Format.eprintf "... %d runs explored@." runs
@@ -834,9 +849,21 @@ let explore_cmd =
                     exit 3
               end
             | None ->
-                Experiments.Harness.explore_scenario ~max_crashes:crashes
-                  ~max_runs:runs ~max_steps:depth ~jobs ~dedup:(not no_dedup)
-                  ~on_progress s
+                let metrics =
+                  Option.map (fun _ -> Svm.Metrics.create ()) metrics_out
+                in
+                let r =
+                  Experiments.Harness.explore_scenario ~max_crashes:crashes
+                    ~max_runs:runs ~max_steps:depth ~jobs ?metrics
+                    ~dedup:(not no_dedup) ~on_progress s
+                in
+                (match (r, metrics, metrics_out) with
+                | Ok _, Some m, Some file ->
+                    let oc = open_out file in
+                    output_string oc (Svm.Metrics.snapshot_string ~pretty:true m);
+                    close_out oc
+                | _ -> ());
+                r
         in
         (match result with
         | Error m ->
@@ -855,9 +882,9 @@ let explore_cmd =
           in-process domains (--jobs) or worker processes (--dist)")
     Term.(
       const run $ scenario_arg $ n $ steps $ crashes $ runs $ jobs $ no_dedup
-      $ expect_violation $ dist_arg $ resume_arg $ shard_timeout_arg
-      $ shard_size_arg $ chaos_kill_arg $ journal_dir_arg $ connect_arg
-      $ log_level_arg $ log_json_arg $ spans_arg)
+      $ expect_violation $ metrics_out $ dist_arg $ resume_arg
+      $ shard_timeout_arg $ shard_size_arg $ chaos_kill_arg $ journal_dir_arg
+      $ connect_arg $ log_level_arg $ log_json_arg $ spans_arg)
 
 (* ---- replay ---- *)
 

@@ -341,6 +341,21 @@ let cons_accessors t fam key =
   | Some (I_cons c) -> List.sort compare c.accessors
   | Some _ | None -> []
 
+let peek_ts t fam key =
+  match Tbl.find_opt t.instances (fam, key) with
+  | Some (I_ts r) -> !r
+  | Some _ | None -> false
+
+let cons_decided t fam key =
+  match Tbl.find_opt t.instances (fam, key) with
+  | Some (I_cons c) -> c.decided <> None
+  | Some _ | None -> false
+
+let queue_length t fam key =
+  match Tbl.find_opt t.instances (fam, key) with
+  | Some (I_queue q) -> List.length !q
+  | Some _ | None -> 0
+
 let instance_count t = Tbl.length t.instances
 
 let copy_instance = function
@@ -428,6 +443,15 @@ let canonical t =
 
 let state_hash t = Hashtbl.hash_param 1000 1000 (canonical t)
 let observationally_equal a b = canonical a = canonical b
+
+type instance_sig = canonical_instance
+
+let instance_sig t fam key =
+  match Tbl.find_opt t.instances (fam, key) with
+  | None -> None
+  | Some i -> canon_instance i
+
+let canonical_parts c = (c.c_instances, c.c_oracle_queries)
 
 let prewarm t infos =
   List.iter

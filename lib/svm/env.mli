@@ -43,6 +43,17 @@ val peek_snapshot : t -> Op.fam -> Op.key -> Univ.t option array option
 val cons_accessors : t -> Op.fam -> Op.key -> int list
 (** Distinct pids that accessed the given consensus instance (sorted). *)
 
+val peek_ts : t -> Op.fam -> Op.key -> bool
+(** Whether the test&set instance has been won ([false] if untouched).
+    Once set, a [Ts] operation is a pure read — the explorer's refined
+    commutation rules lean on this. *)
+
+val cons_decided : t -> Op.fam -> Op.key -> bool
+(** Whether the consensus instance has decided ([false] if untouched). *)
+
+val queue_length : t -> Op.fam -> Op.key -> int
+(** Current length of the queue instance ([0] if untouched). *)
+
 val instance_count : t -> int
 
 val copy : t -> t
@@ -93,6 +104,26 @@ val with_rollback : t -> (unit -> 'r) -> 'r
 type canonical
 
 val canonical : t -> canonical
+
+type instance_sig
+(** The canonical form of one instance — a pure value supporting
+    polymorphic equality, comparison and [Hashtbl.hash]. *)
+
+val instance_sig : t -> Op.fam -> Op.key -> instance_sig option
+(** The canonical form of the given instance right now, [None] if the
+    instance does not exist or is still in its default state (the same
+    dropping rule {!canonical} applies). The explorer uses this to
+    maintain a store fingerprint incrementally: each operation touches
+    exactly one instance, so re-reading that one signature after a step
+    is enough to update a whole-store signature. *)
+
+val canonical_parts :
+  canonical ->
+  ((Op.fam * Op.key) * instance_sig) list * ((Op.fam * int) * int) list
+(** The two sorted association lists a {!canonical} consists of:
+    non-default instance signatures keyed by (family, key), and nonzero
+    oracle query counts keyed by (family, pid). Both sorted by
+    polymorphic compare on the key. *)
 
 val state_hash : t -> int
 (** [Hashtbl.hash] of {!canonical}, with depth limits large enough to

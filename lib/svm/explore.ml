@@ -11,6 +11,7 @@ type 'a result = {
   exhausted_budget : bool;
   pruned_states : int;
   pruned_commutes : int;
+  pruned_source : int;
 }
 
 type 'a pstate = Running of 'a Prog.t | Done of 'a | Crashed
@@ -622,15 +623,25 @@ let merge_plan ?metrics ?on_progress p ~outcome_of =
    with Found -> ());
   note_by metrics "explore.pruned_states" p.pl_phase_pruned_states;
   note_by metrics "explore.pruned_commutes" p.pl_phase_pruned_commutes;
+  (* The plan engine has no source-set pruning; create the counter
+     anyway (at zero) so snapshots have the same membership whichever
+     engine produced the result. *)
+  note_by metrics "explore.pruned_source" 0;
   {
     explored = !explored;
     counterexample = !cex;
     exhausted_budget = !exhausted;
     pruned_states = !pruned_s;
     pruned_commutes = !pruned_c;
+    pruned_source = 0;
   }
 
-let exhaustive ?max_crashes ?max_runs ?metrics ?on_progress ?(jobs = 1)
+(* The plan-engine executor: phase-A slicing, indexed fan-out, in-order
+   merge. This is the canonical semantics [exhaustive] promises — the
+   sharded twin of what [Dist] coordinators run — and the fallback the
+   work-stealing engine defers to the moment a counterexample, the run
+   budget, or an exception enters the picture. *)
+let exhaustive_plan ?max_crashes ?max_runs ?metrics ?on_progress ?(jobs = 1)
     ?oversubscribe ?dedup ?frontier_depth ~max_steps ~make ~property () =
   let p =
     plan ?max_crashes ?max_runs ?dedup ?frontier_depth ~max_steps ~make
@@ -657,6 +668,723 @@ let exhaustive ?max_crashes ?max_runs ?metrics ?on_progress ?(jobs = 1)
   in
   merge_plan ?metrics ?on_progress p ~outcome_of:(fun i ->
       match results.(i) with Some r -> r | None -> task_outcome p i)
+
+(* ------------------------------------------------------------------ *)
+(* Engine C: shared visited table + work stealing + source-set pruning  *)
+(* ------------------------------------------------------------------ *)
+
+(* Refined per-operation footprints. The coarse [footprint] relation
+   says two writes to the same instance conflict; many of them in fact
+   commute, and for the single-writer snapshot objects at the heart of
+   the paper's constructions — every process writes its own component —
+   *all* sibling writes commute. The refined relation is evaluated
+   against the current store state (Godefroid's conditional
+   independence), which is sound exactly because the sleep filter runs
+   at the state the two candidate operations would both execute from. *)
+type rfp =
+  | R_none
+  | R_oracle of Op.fam * int
+  | R_read of Op.fam * Op.key
+  | R_write of Op.fam * Op.key * Univ.t
+  | R_cas of Op.fam * Op.key
+  | R_snap_set of Op.fam * Op.key
+  | R_snap_scan of Op.fam * Op.key
+  | R_ts of Op.fam * Op.key
+  | R_cons of Op.fam * Op.key * int
+  | R_kset of Op.fam * Op.key
+  | R_enq of Op.fam * Op.key
+  | R_deq of Op.fam * Op.key
+
+let rfootprint (type a) ~pid (prog : a Prog.t) =
+  match prog with
+  | Prog.Done _ -> R_none
+  | Prog.Step (op, _) -> (
+      match op with
+      | Op.Yield -> R_none
+      | Op.Oracle_query (f, _) -> R_oracle (f, pid)
+      | Op.Reg_read (f, k) -> R_read (f, k)
+      | Op.Reg_write (f, k, v) -> R_write (f, k, v)
+      | Op.Cas (f, k, _, _) -> R_cas (f, k)
+      | Op.Snap_set (f, k, _) -> R_snap_set (f, k)
+      | Op.Snap_scan (f, k) -> R_snap_scan (f, k)
+      | Op.Ts (f, k) -> R_ts (f, k)
+      | Op.Cons_propose (f, k, _) -> R_cons (f, k, pid)
+      | Op.Kset_propose (f, k, _) -> R_kset (f, k)
+      | Op.Queue_enq (f, k, _) -> R_enq (f, k)
+      | Op.Queue_deq (f, k) -> R_deq (f, k))
+
+
+(* Same shared-object location, without allocating the [option] pair
+   an extraction function would — this runs once per (sleep entry ×
+   explored branch). *)
+let rsame_loc a b =
+  match (a, b) with
+  | ( ( R_read (f1, k1)
+      | R_write (f1, k1, _)
+      | R_cas (f1, k1)
+      | R_snap_set (f1, k1)
+      | R_snap_scan (f1, k1)
+      | R_ts (f1, k1)
+      | R_cons (f1, k1, _)
+      | R_kset (f1, k1)
+      | R_enq (f1, k1)
+      | R_deq (f1, k1) ),
+      ( R_read (f2, k2)
+      | R_write (f2, k2, _)
+      | R_cas (f2, k2)
+      | R_snap_set (f2, k2)
+      | R_snap_scan (f2, k2)
+      | R_ts (f2, k2)
+      | R_cons (f2, k2, _)
+      | R_kset (f2, k2)
+      | R_enq (f2, k2)
+      | R_deq (f2, k2) ) ) ->
+      String.equal f1 f2 && k1 = k2
+  | _ -> false
+
+(* Do the two *next* operations of two distinct processes commute at
+   the current state of [env] — same final store and the same result
+   delivered to each process, whichever goes first? Each rule below is
+   an exact claim about [Env.apply]:
+   - sibling [Snap_set]s write different components (writer
+     discipline), so they always commute;
+   - equal-value register writes leave the same store either way;
+   - [Ts] on a won instance is a pure read returning [false];
+   - [Cons_propose] on a decided instance returns the decision, but
+     still *joins* the accessor set — commuting additionally needs the
+     join to be harmless in both orders (both already accessors, or
+     room for both under the port bound, the accessor list being
+     canonically sorted);
+   - enqueue and dequeue on a nonempty queue act on opposite ends;
+     two dequeues on an empty queue are both no-op reads. *)
+let rf_indep env a b =
+  match (a, b) with
+  | R_none, _ | _, R_none -> true
+  | R_oracle (f1, p1), R_oracle (f2, p2) -> not (String.equal f1 f2 && p1 = p2)
+  | R_oracle _, _ | _, R_oracle _ -> true
+  | _ -> (
+      (not (rsame_loc a b))
+      ||
+      match (a, b) with
+      | R_read _, R_read _ -> true
+      | R_snap_scan _, R_snap_scan _ -> true
+      | R_snap_set _, R_snap_set _ -> true
+      | R_write (_, _, v1), R_write (_, _, v2) -> v1 = v2
+      | R_read (f, k), R_write (_, _, v) | R_write (f, k, v), R_read _ ->
+          Env.peek_register env f k = Some v
+      | R_ts (f, k), R_ts _ -> Env.peek_ts env f k
+      | R_cons (f, k, p), R_cons (_, _, q) ->
+          Env.cons_decided env f k
+          &&
+          let acc = Env.cons_accessors env f k in
+          let joins =
+            (if List.mem p acc then 0 else 1)
+            + if List.mem q acc then 0 else 1
+          in
+          List.length acc + joins <= Env.x env
+      | R_enq (f, k), R_deq _ | R_deq (f, k), R_enq _ ->
+          Env.queue_length env f k > 0
+      | R_deq (f, k), R_deq _ -> Env.queue_length env f k = 0
+      | _ -> false)
+
+(* Coarse (state-blind) independence of two refined footprints — what
+   [fp_indep (coarse_of a) (coarse_of b)] computes, without building
+   the coarse values. Only valid under [rf_indep env a b = true]: the
+   one case where the formulas differ (two oracle queries by the same
+   process) cannot pass the refined check. *)
+let coarse_indep_r a b =
+  let is_read = function R_read _ | R_snap_scan _ -> true | _ -> false in
+  (not (rsame_loc a b)) || (is_read a && is_read b)
+
+let rloc = function
+  | R_none | R_oracle _ -> None
+  | R_read (f, k)
+  | R_write (f, k, _)
+  | R_cas (f, k)
+  | R_snap_set (f, k)
+  | R_snap_scan (f, k)
+  | R_ts (f, k)
+  | R_cons (f, k, _)
+  | R_kset (f, k)
+  | R_enq (f, k)
+  | R_deq (f, k) ->
+      Some (f, k)
+
+(* The store fingerprint, maintained incrementally: the same two sorted
+   association lists [Env.canonical] would produce, plus an XOR of a
+   hash of every entry. One operation touches one instance, so a step
+   updates one entry (sharing the untouched tail), and the XOR
+   composition makes the hash delta O(1). Each entry caches its own
+   hash so an update hashes only the new entry. [es_hash] is a pure
+   function of the two lists, so it may sit inside the visited key:
+   equal signatures always agree on it (and it doubles as a fast
+   equality reject). Backtracking restores the previous value by
+   pointer — the lists are immutable. *)
+type esig = {
+  es_inst : (int * (Op.fam * Op.key) * Env.instance_sig) list;
+  es_orc : (int * (Op.fam * int) * int) list;
+  es_hash : int;
+}
+
+let esig_of_canonical c =
+  let inst, orc = Env.canonical_parts c in
+  let inst = List.map (fun ((k, s) as e) -> (Hashtbl.hash e, k, s)) inst in
+  let orc = List.map (fun ((k, n) as e) -> (Hashtbl.hash e, k, n)) orc in
+  let xor l h = List.fold_left (fun h (eh, _, _) -> h lxor eh) h l in
+  { es_inst = inst; es_orc = orc; es_hash = xor orc (xor inst 0) }
+
+(* Sorted-assoc update with structural sharing: [Some s] inserts or
+   replaces, [None] removes. Returns the new list (physically the input
+   when nothing changed) and the XOR delta of entry hashes. *)
+let rec sig_update key v l =
+  match l with
+  | [] -> (
+      match v with
+      | None -> (l, 0)
+      | Some s ->
+          let eh = Hashtbl.hash (key, s) in
+          ([ (eh, key, s) ], eh))
+  | ((eh', k', s') as e) :: tl -> (
+      let c = compare key k' in
+      if c < 0 then
+        match v with
+        | None -> (l, 0)
+        | Some s ->
+            let eh = Hashtbl.hash (key, s) in
+            ((eh, key, s) :: l, eh)
+      else if c = 0 then
+        match v with
+        | None -> (tl, eh')
+        | Some s ->
+            if s = s' then (l, 0)
+            else
+              let eh = Hashtbl.hash (key, s) in
+              ((eh, key, s) :: tl, eh' lxor eh)
+      else
+        let tl', d = sig_update key v tl in
+        if tl' == tl then (l, 0) else (e :: tl', d))
+
+let rec orc_bump key l =
+  match l with
+  | [] ->
+      let eh = Hashtbl.hash (key, 1) in
+      ([ (eh, key, 1) ], eh)
+  | ((eh', k', n) as e) :: tl ->
+      let c = compare key k' in
+      if c < 0 then
+        let eh = Hashtbl.hash (key, 1) in
+        ((eh, key, 1) :: l, eh)
+      else if c = 0 then
+        let eh = Hashtbl.hash (key, n + 1) in
+        ((eh, key, n + 1) :: tl, eh' lxor eh)
+      else
+        let tl', d = orc_bump key tl in
+        (e :: tl', d)
+
+(* Advance the fingerprint across one applied operation, whose refined
+   footprint names the single location it can have touched. Must run
+   after [Env.apply] (it re-reads the touched instance). *)
+let esig_step env es fp ~pid =
+  match fp with
+  | R_none -> es
+  | R_oracle (f, _) ->
+      let l, d = orc_bump (f, pid) es.es_orc in
+      { es with es_orc = l; es_hash = es.es_hash lxor d }
+  | _ -> (
+      match rloc fp with
+      | None -> es
+      | Some (f, k) ->
+          let l, d = sig_update (f, k) (Env.instance_sig env f k) es.es_inst in
+          if l == es.es_inst then es
+          else { es with es_inst = l; es_hash = es.es_hash lxor d })
+
+(* Sleep entries are tagged: [true] means the entry's survival through
+   some past filter relied on the refined relation where the coarse one
+   would have evicted it. Pruning a tagged entry is a source-set cut
+   (counted separately); the tag is part of the visited key, so the
+   prune tallies stay functions of the key alone. The filter runs
+   BEFORE [Env.apply] — the refined rules are conditions on the state
+   both candidate operations execute from. *)
+(* [fps] holds the refined footprint of every process's next operation
+   at the current node ([R_none] for finished or crashed processes) —
+   computed once per node and shared by every branch's filter call.
+   Written as a direct recursion (not [List.filter_map]) so the hot
+   path allocates no closure. *)
+let rec rsleep_filter env states fps fp_t t_pid sleep =
+  match sleep with
+  | [] -> []
+  | ((u, tag) as e) :: tl -> (
+      match u with
+      | Crash q ->
+          if q <> t_pid then e :: rsleep_filter env states fps fp_t t_pid tl
+          else rsleep_filter env states fps fp_t t_pid tl
+      | Step q ->
+          if q = t_pid then rsleep_filter env states fps fp_t t_pid tl
+          else (
+            match states.(q) with
+            | Running _ ->
+                let fu = fps.(q) in
+                if rf_indep env fu fp_t then
+                  if tag || coarse_indep_r fu fp_t then
+                    e :: rsleep_filter env states fps fp_t t_pid tl
+                  else (u, true) :: rsleep_filter env states fps fp_t t_pid tl
+                else rsleep_filter env states fps fp_t t_pid tl
+            | Done _ | Crashed -> rsleep_filter env states fps fp_t t_pid tl))
+
+let rsleep_filter_crash t_pid sleep =
+  List.filter_map
+    (fun ((u, _) as e) ->
+      match u with
+      | Crash _ -> None
+      | Step q -> if q <> t_pid then Some e else None)
+    sleep
+
+(* The shared-table visited key: same content as [vkey] but with the
+   tagged sleep set (two visits that differ only in tags may split
+   their prunes between the two counters), each running process's
+   operation history collapsed to its interned id (see
+   [Visited.Intern]; id equality is history equality, so hashing and
+   comparing is O(1) in history length), and the store represented by
+   the incrementally-maintained [esig]. [ck_procs] is a flat int
+   array: the history id while running, [-1] crashed, [-2] finished
+   (ids are never negative) — finished processes' decided values live
+   in [ck_done], sorted by pid. *)
+type 'a ckey = {
+  ck_depth : int;
+  ck_crashed : int list;
+  ck_procs : int array;
+  ck_done : (int * 'a) list;
+  ck_env : esig;
+  ck_sleep : (choice * bool) list;
+}
+
+(* A hand-rolled hash so the per-arrival cost is O(key skeleton), not
+   O(store): the env component contributes its precomputed [es_hash].
+   Any pure function of the key is a valid [Visited] hash. *)
+let ckey_hash k =
+  let h = ref ((k.ck_depth * 0x9e3779b9) lxor k.ck_env.es_hash) in
+  let mix v = h := (!h * 31) lxor v in
+  List.iter (fun p -> mix (p + 1)) k.ck_crashed;
+  Array.iter mix k.ck_procs;
+  List.iter (fun (p, v) -> mix ((p * 31) lxor Hashtbl.hash v)) k.ck_done;
+  List.iter
+    (fun (u, tag) ->
+      let c = match u with Step p -> 2 * p | Crash p -> (2 * p) + 1 in
+      mix ((4 * c) + if tag then 3 else 2))
+    k.ck_sleep;
+  !h
+
+(* A unit of work-stealing work: a subtree root owned outright by
+   whichever worker runs it (private env copy, private arrays).
+   [w_branches = Some rest] resumes a split node's remaining branch
+   list — the node's visited-table insertion already happened on the
+   splitting worker, so the resume goes straight to the branch loop.
+   [w_sched] is the pretty-printed schedule prefix of the subtree
+   root, so terminals can render their schedule without carrying the
+   choice list. *)
+type 'a witem = {
+  w_env : Env.t;
+  w_states : 'a pstate array;
+  w_pkey : int array;
+  w_done : (int * 'a) list;
+  w_esig : esig;
+  w_depth : int;
+  w_crashes : int;
+  w_rev_crashed : int list;
+  w_sched : string;
+  w_sleep : (choice * bool) list;
+  w_branches : choice list option;
+}
+
+(* Shared read-mostly engine state. [g_stop] is the one-way abort: a
+   counterexample, the run budget, or any exception flips it, every
+   worker drains, and the caller re-runs the plan engine — whose
+   result in exactly those cases is the documented semantics. *)
+type 'a cshared = {
+  g_visited : 'a ckey Visited.t option;
+  g_intern : (int * enc) Visited.Intern.t;
+      (* names each (history-so-far, next result) pair; a process's
+         whole history is thus one id, rebuilt incrementally per step *)
+  g_runs : int Atomic.t;
+  g_stop : bool Atomic.t;
+  g_run_cap : int;
+  g_max_steps : int;
+  g_max_crashes : int;
+  g_property : 'a run -> (unit, string) Stdlib.result;
+  g_progress : (runs:int -> unit) option;
+}
+
+(* Per-worker tallies, folded after the join. All deterministic in the
+   clean (no-abort) case — see the closure argument in DESIGN §14 —
+   except [c_splits] and the visited stats' bloom_fp. *)
+type cworker = {
+  mutable c_runs : int;
+  mutable c_truncated : int;
+  mutable c_pruned_states : int;
+  mutable c_pruned_commutes : int;
+  mutable c_pruned_source : int;
+  mutable c_splits : int;
+  c_vstats : Visited.stats;
+}
+
+let fresh_cworker () =
+  {
+    c_runs = 0;
+    c_truncated = 0;
+    c_pruned_states = 0;
+    c_pruned_commutes = 0;
+    c_pruned_source = 0;
+    c_splits = 0;
+    c_vstats = Visited.fresh_stats ();
+  }
+
+exception Abort
+
+(* Insert a finished process's decided value, keeping the list sorted
+   by pid so completion order cannot split equal states. *)
+let rec dvals_add pid v = function
+  | [] -> [ (pid, v) ]
+  | (p, _) as e :: tl ->
+      if pid < p then (pid, v) :: e :: tl else e :: dvals_add pid v tl
+
+let cseen g acc key =
+  match g.g_visited with
+  | None -> false
+  | Some tbl -> Visited.seen_or_add tbl ~hash:(ckey_hash key) key acc.c_vstats
+
+(* Sorted insert keeping the sleep list canonical by construction
+   (choices are unique within a list, so ordering by choice is total).
+   [rsleep_filter] only keeps, drops or retags entries in place, so
+   sortedness is preserved down the tree and the visited key can embed
+   the list as-is instead of sorting at every arrival. *)
+let rec sleep_insert b = function
+  | [] -> [ (b, false) ]
+  | (u, _) as e :: tl ->
+      if compare b u < 0 then (b, false) :: e :: tl
+      else e :: sleep_insert b tl
+
+(* Run one work item to completion (or abort). The DFS mirrors [dfs]
+   exactly — same branch order, same terminal handling — with three
+   changes: the visited table is shared, sleep sets are tagged and
+   filtered through the refined relation, and when a sibling worker is
+   starving the remainder of the current node's branch list is split
+   off as a new item. *)
+let crun (g : 'a cshared) (acc : cworker) pool ~worker (it : 'a witem) =
+  let dedup = g.g_visited <> None in
+  let env = it.w_env in
+  let states = it.w_states in
+  (* [pkey] mirrors [states] as flat ints (history id / -1 crashed /
+     -2 done), so a visited key's process component is one unboxed
+     array copy. [dvals] carries finished processes' decided values,
+     sorted by pid. [esig] is the store fingerprint. All three advance
+     on descent and restore (an int or pointer store) on backtrack. *)
+  let pkey = it.w_pkey in
+  let dvals = ref it.w_done in
+  let esig = ref it.w_esig in
+  (* The schedule rendered incrementally along the path: append on
+     descent, truncate on backtrack. O(1) per step instead of a
+     per-terminal list reversal and concat. *)
+  let sbuf = Buffer.create 64 in
+  Buffer.add_string sbuf it.w_sched;
+  let ckey depth rev_crashed sleep =
+    {
+      ck_depth = depth;
+      ck_crashed = rev_crashed;
+      ck_procs = Array.copy pkey;
+      ck_done = !dvals;
+      ck_env = !esig;
+      ck_sleep = sleep;
+    }
+  in
+  let complete ~truncated rev_crashed =
+    let outcomes =
+      Array.map
+        (function
+          | Running _ -> Exec.Blocked
+          | Done v -> Exec.Decided v
+          | Crashed -> Exec.Crashed)
+        states
+    in
+    let run =
+      {
+        outcomes;
+        crashed = List.rev rev_crashed;
+        truncated;
+        schedule = Buffer.contents sbuf;
+      }
+    in
+    acc.c_runs <- acc.c_runs + 1;
+    if truncated then acc.c_truncated <- acc.c_truncated + 1;
+    let total = Atomic.fetch_and_add g.g_runs 1 + 1 in
+    (match g.g_property run with
+    | Ok () -> ()
+    | Error _ ->
+        Atomic.set g.g_stop true;
+        raise Abort
+    | exception _ ->
+        Atomic.set g.g_stop true;
+        raise Abort);
+    if total >= g.g_run_cap then begin
+      Atomic.set g.g_stop true;
+      raise Abort
+    end;
+    if worker = 0 then heartbeat g.g_progress total
+  in
+  let rec node depth crashes rev_crashed sleep resume =
+    if Atomic.get g.g_stop then raise Abort;
+    match resume with
+    | Some branches -> expand (node_fps ()) depth crashes rev_crashed sleep branches
+    | None ->
+        let live =
+          let rec go i l =
+            if i < 0 then l
+            else
+              go (i - 1)
+                (match states.(i) with
+                | Running _ -> i :: l
+                | Done _ | Crashed -> l)
+          in
+          go (Array.length states - 1) []
+        in
+        if live = [] || depth >= g.g_max_steps then begin
+          if dedup && cseen g acc (ckey depth rev_crashed []) then
+            acc.c_pruned_states <- acc.c_pruned_states + 1
+          else complete ~truncated:(live <> []) rev_crashed
+        end
+        else if dedup && cseen g acc (ckey depth rev_crashed sleep) then
+          acc.c_pruned_states <- acc.c_pruned_states + 1
+        else
+          let branches =
+            List.concat_map
+              (fun pid ->
+                Step pid
+                :: (if crashes < g.g_max_crashes then [ Crash pid ] else []))
+              live
+          in
+          expand (node_fps ()) depth crashes rev_crashed sleep branches
+  and node_fps () =
+    (* Refined footprints of every process's next op at this node,
+       shared by all the node's branches (states are restored between
+       descents, so they cannot go stale). Skipped when not dedup'ing:
+       the filter is the only consumer. *)
+    if not dedup then [||]
+    else
+      Array.mapi
+        (fun pid s ->
+          match s with
+          | Running p -> rfootprint ~pid p
+          | Done _ | Crashed -> R_none)
+        states
+  and expand fps depth crashes rev_crashed sleep = function
+    | [] -> ()
+    | b :: rest -> (
+        if Atomic.get g.g_stop then raise Abort;
+        let sleeping =
+          if dedup then
+            List.find_map (fun (u, tag) -> if u = b then Some tag else None)
+              sleep
+          else None
+        in
+        match sleeping with
+        | Some tag ->
+            if tag then acc.c_pruned_source <- acc.c_pruned_source + 1
+            else acc.c_pruned_commutes <- acc.c_pruned_commutes + 1;
+            expand fps depth crashes rev_crashed sleep rest
+        | None ->
+            (* [b] will be explored, so subsequent branches — run here
+               or offloaded — see it asleep. *)
+            let sleep' = if dedup then sleep_insert b sleep else sleep in
+            let offloaded =
+              rest <> []
+              && Par.want_work pool
+              && Par.push pool ~worker
+                   {
+                     w_env = Env.copy env;
+                     w_states = Array.copy states;
+                     w_pkey = Array.copy pkey;
+                     w_done = !dvals;
+                     w_esig = !esig;
+                     w_depth = depth;
+                     w_crashes = crashes;
+                     w_rev_crashed = rev_crashed;
+                     w_sched = Buffer.contents sbuf;
+                     w_sleep = sleep';
+                     w_branches = Some rest;
+                   }
+            in
+            if offloaded then acc.c_splits <- acc.c_splits + 1;
+            let spos = Buffer.length sbuf in
+            if spos > 0 then Buffer.add_char sbuf '.';
+            Buffer.add_string sbuf (pp_choice b);
+            (match b with
+            | Step pid -> (
+                match states.(pid) with
+                | Running prog ->
+                    (* Filter BEFORE applying: the refined rules are
+                       conditions on the pre-step state. *)
+                    let child_sleep =
+                      if dedup then
+                        rsleep_filter env states fps fps.(pid) pid sleep
+                      else []
+                    in
+                    let cp = Env.checkpoint env in
+                    let saved_pk = pkey.(pid) in
+                    let saved_dv = !dvals in
+                    let saved_es = !esig in
+                    (match prog with
+                    | Prog.Done v ->
+                        states.(pid) <- Done v;
+                        if dedup then begin
+                          pkey.(pid) <- -2;
+                          dvals := dvals_add pid v saved_dv
+                        end
+                    | Prog.Step (op, k) ->
+                        let r = Env.apply env ~pid op in
+                        if dedup then begin
+                          let e = (saved_pk, encode_result op r) in
+                          pkey.(pid) <-
+                            Visited.Intern.id g.g_intern
+                              ~hash:(Hashtbl.hash_param 64 256 e)
+                              e;
+                          esig := esig_step env saved_es fps.(pid) ~pid
+                        end;
+                        states.(pid) <- Running (k r));
+                    node (depth + 1) crashes rev_crashed child_sleep None;
+                    Env.rollback env cp;
+                    states.(pid) <- Running prog;
+                    pkey.(pid) <- saved_pk;
+                    dvals := saved_dv;
+                    esig := saved_es
+                | Done _ | Crashed -> assert false)
+            | Crash pid ->
+                let saved = states.(pid) in
+                let saved_pk = pkey.(pid) in
+                states.(pid) <- Crashed;
+                pkey.(pid) <- -1;
+                let child_sleep =
+                  if dedup then rsleep_filter_crash pid sleep else []
+                in
+                node (depth + 1) (crashes + 1) (pid :: rev_crashed) child_sleep
+                  None;
+                states.(pid) <- saved;
+                pkey.(pid) <- saved_pk);
+            Buffer.truncate sbuf spos;
+            if not offloaded then expand fps depth crashes rev_crashed sleep' rest)
+  in
+  Env.enable_journal env;
+  (try node it.w_depth it.w_crashes it.w_rev_crashed it.w_sleep it.w_branches
+   with Abort -> ());
+  Env.disable_journal env
+
+let exhaustive ?max_crashes ?max_runs ?metrics ?on_progress ?(jobs = 1)
+    ?(oversubscribe = false) ?(dedup = true) ?frontier_depth ~max_steps ~make
+    ~property () =
+  match frontier_depth with
+  | Some _ ->
+      (* An explicit frontier is a request for the static-split plan
+         engine — the path [Dist] coordinators and the bench's serial
+         baseline pin. *)
+      exhaustive_plan ?max_crashes ?max_runs ?metrics ?on_progress ~jobs
+        ~oversubscribe ~dedup ?frontier_depth ~max_steps ~make ~property ()
+  | None ->
+  let run_cap = Option.value max_runs ~default:2_000_000 in
+  let g =
+    {
+      g_visited = (if dedup then Some (Visited.create ~buckets:131072 ()) else None);
+      g_intern = Visited.Intern.create ();
+      g_runs = Atomic.make 0;
+      g_stop = Atomic.make false;
+      g_run_cap = run_cap;
+      g_max_steps = max_steps;
+      g_max_crashes = Option.value max_crashes ~default:0;
+      g_property = property;
+      g_progress = on_progress;
+    }
+  in
+  let njobs =
+    if jobs < 1 then invalid_arg "Explore.exhaustive: jobs must be >= 1";
+    if oversubscribe then jobs
+    else min jobs (Domain.recommended_domain_count ())
+  in
+  let accs = Array.init njobs (fun _ -> fresh_cworker ()) in
+  let env0, progs = make () in
+  let root =
+    {
+      w_env = env0;
+      w_states = Array.map (fun p -> Running p) progs;
+      w_pkey = Array.make (Array.length progs) 0;
+      w_done = [];
+      w_esig = esig_of_canonical (Env.canonical env0);
+      w_depth = 0;
+      w_crashes = 0;
+      w_rev_crashed = [];
+      w_sched = "";
+      w_sleep = [];
+      w_branches = None;
+    }
+  in
+  let pool =
+    Par.run_dynamic ~jobs:njobs ~oversubscribe:true ~roots:[ root ]
+      (fun pool ~worker it ->
+        if not (Atomic.get g.g_stop) then crun g accs.(worker) pool ~worker it)
+  in
+  if Atomic.get g.g_stop then
+    (* A counterexample, the run budget, or an exception: defer to the
+       plan engine, whose in-order merge defines the result (the
+       DFS-first counterexample, the sequential budget semantics, the
+       original exception). Nothing from the aborted pass is kept —
+       no metrics were recorded yet. *)
+    exhaustive_plan ?max_crashes ?max_runs ?metrics ?on_progress ~jobs
+      ~oversubscribe ~dedup ?frontier_depth ~max_steps ~make ~property ()
+  else begin
+    let sum f = Array.fold_left (fun n a -> n + f a) 0 accs in
+    let explored = sum (fun a -> a.c_runs) in
+    let truncated = sum (fun a -> a.c_truncated) in
+    let pruned_states = sum (fun a -> a.c_pruned_states) in
+    let pruned_commutes = sum (fun a -> a.c_pruned_commutes) in
+    let pruned_source = sum (fun a -> a.c_pruned_source) in
+    let hits = sum (fun a -> a.c_vstats.Visited.hits) in
+    let misses = sum (fun a -> a.c_vstats.Visited.misses) in
+    (match metrics with
+    | None -> ()
+    | Some m ->
+        note_by metrics "explore.runs" explored;
+        if truncated > 0 then note_by metrics "explore.truncated" truncated;
+        note_by metrics "explore.pruned_states" pruned_states;
+        note_by metrics "explore.pruned_commutes" pruned_commutes;
+        note_by metrics "explore.pruned_source" pruned_source;
+        note_by metrics "explore.visited.hits" hits;
+        note_by metrics "explore.visited.misses" misses;
+        (* Timing-dependent tallies: only when the registry accepts
+           wall-clock-ish values, so snapshot-compared runs stay
+           byte-identical at any job count. *)
+        if Metrics.wall_clock m then begin
+          note_by metrics "explore.par.steals" (Par.steals pool);
+          note_by metrics "explore.par.splits" (sum (fun a -> a.c_splits));
+          note_by metrics "explore.visited.bloom_fp"
+            (sum (fun a -> a.c_vstats.Visited.bloom_fp));
+          Array.iteri
+            (fun i a ->
+              note_by metrics
+                (Printf.sprintf "explore.par.d%d.runs" i)
+                a.c_runs;
+              note_by metrics
+                (Printf.sprintf "explore.par.d%d.visited_hits" i)
+                a.c_vstats.Visited.hits;
+              note_by metrics
+                (Printf.sprintf "explore.par.d%d.visited_misses" i)
+                a.c_vstats.Visited.misses)
+            accs
+        end);
+    {
+      explored;
+      counterexample = None;
+      exhausted_budget = false;
+      pruned_states;
+      pruned_commutes;
+      pruned_source;
+    }
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Reference engine: the original copy-per-branch DFS                   *)
@@ -739,6 +1467,7 @@ let exhaustive_copy ?(max_crashes = 0) ?(max_runs = 2_000_000) ~max_steps ~make
     exhausted_budget = !exhausted;
     pruned_states = 0;
     pruned_commutes = 0;
+    pruned_source = 0;
   }
 
 (* ------------------------------------------------------------------ *)

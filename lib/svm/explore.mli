@@ -61,6 +61,13 @@ type 'a result = {
       (** subtrees skipped because their root state was already visited *)
   pruned_commutes : int;
       (** transitions skipped by the sleep-set commutation rule *)
+  pruned_source : int;
+      (** transitions skipped by the refined (state-conditional)
+          commutation rules — sleep entries that only survived a filter
+          because, at the state in question, two same-instance
+          operations commute (sibling snapshot writes, equal register
+          writes, a won test&set, ...). Always [0] from the plan engine
+          and the reference engine, which use the coarse relation. *)
 }
 
 val exhaustive :
@@ -79,31 +86,71 @@ val exhaustive :
   'a result
 (** [exhaustive ~max_steps ~make ~property ()] enumerates schedules
     depth-first. [make] builds a fresh environment and programs (called
-    once). Defaults: [max_crashes = 0], [max_runs = 2_000_000],
-    [jobs = 1], [dedup = true], [frontier_depth = 3].
+    once per engine pass — see below). Defaults: [max_crashes = 0],
+    [max_runs = 2_000_000], [jobs = 1], [dedup = true].
 
-    {b Parallelism and determinism.} The schedule tree is first walked
-    sequentially down to [frontier_depth]; each frontier node becomes an
-    independent task (with a private {!Env.copy}) and the tasks are
-    fanned out over [jobs] domains ({!Par.run}). Results are merged
-    strictly in DFS task order, each task deduplicates against its own
-    visited table, and the frontier split does not depend on [jobs] —
-    so [explored], the counterexample (always the DFS-first one), both
-    pruned counts and the [metrics] increments are {e identical for
-    every value of [jobs]}. Per-worker registries are folded with
-    {!Metrics.merge}. [property] runs on worker domains: it must be
-    pure (a function of the run record), which the soundness contract
-    above already requires.
+    Passing [frontier_depth] explicitly selects the static-split plan
+    engine outright (it is that engine's phase-A parameter; the
+    work-stealing engine has no frontier). Leave it unset to get the
+    work-stealing engine with plan-engine fallback described below.
 
-    [dedup:false] disables both the visited table and sleep sets — the
-    engine then enumerates exactly the same runs, in the same order, as
-    the reference engine {!exhaustive_copy}.
+    {b Two engines, one contract.} The first pass runs the
+    work-stealing engine: one {!Visited} table shared by all [jobs]
+    domains (a state fingerprinted anywhere is never re-expanded
+    anywhere), subtree items split off dynamically whenever a sibling
+    domain is starving ({!Par.run_dynamic}), and sleep-set pruning
+    upgraded with state-conditional commutation rules toward source
+    sets ([pruned_source]). If that pass runs clean — no
+    counterexample, budget untouched, no exception — its result is
+    returned: by the closure argument (DESIGN §14) the expanded-state
+    set, and hence [explored], every pruned count and every
+    deterministic metric, is a function of the reachable state graph
+    alone, identical at {e every} job count and steal schedule. The
+    moment a counterexample, the [max_runs] budget, or an exception
+    enters the picture, the pass aborts, discards everything (no
+    metrics recorded), and defers to the plan engine — phase-A
+    frontier slicing, indexed fan-out, strict in-order merge (the same
+    machinery {!plan}/{!task_outcome}/{!merge_plan} expose to [Dist])
+    — whose merge defines the documented semantics: the DFS-first
+    counterexample, the sequential budget behaviour, the original
+    exception. Either way the verdict is byte-identical for every
+    value of [jobs].
+
+    [dedup:false] disables the visited table and both sleep-set tiers —
+    the engine then enumerates exactly the runs of the reference engine
+    {!exhaustive_copy}.
 
     [metrics] counts completed runs ([explore.runs]), truncated runs
-    ([explore.truncated]), counterexamples found, and the two pruning
-    tallies ([explore.pruned_states], [explore.pruned_commutes]);
-    [on_progress ~runs] fires as tasks merge — heartbeat timing is not
-    part of the determinism contract. *)
+    ([explore.truncated]), counterexamples found, the three pruning
+    tallies ([explore.pruned_states], [explore.pruned_commutes],
+    [explore.pruned_source]) and the shared-table traffic
+    ([explore.visited.hits]/[explore.visited.misses]) — all
+    deterministic. Timing-dependent tallies (steals, splits, bloom
+    false positives, per-domain breakdowns) are recorded only into
+    wall-clock registries ({!Metrics.create}'s [wall_clock]), so
+    snapshot-compared runs stay byte-identical. [on_progress ~runs]
+    fires from the calling domain — heartbeat timing is not part of
+    the determinism contract. *)
+
+val exhaustive_plan :
+  ?max_crashes:int ->
+  ?max_runs:int ->
+  ?metrics:Metrics.t ->
+  ?on_progress:(runs:int -> unit) ->
+  ?jobs:int ->
+  ?oversubscribe:bool ->
+  ?dedup:bool ->
+  ?frontier_depth:int ->
+  max_steps:int ->
+  make:(unit -> Env.t * 'a Prog.t array) ->
+  property:('a run -> (unit, string) Stdlib.result) ->
+  unit ->
+  'a result
+(** The plan engine alone: phase-A frontier slicing, indexed fan-out
+    over {!Par.run}, strict in-order merge — exactly what {!exhaustive}
+    falls back to, and what a [Dist] coordinator distributes. Exposed
+    so the bench can pin the static-split engine as its serial
+    baseline; [pruned_source] is always [0] here. *)
 
 val exhaustive_copy :
   ?max_crashes:int ->

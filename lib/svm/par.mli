@@ -1,13 +1,14 @@
-(** A zero-dependency work-sharing pool over stdlib [Domain].
+(** A zero-dependency multicore pool over stdlib [Domain], in two
+    flavours: an indexed task farm ({!run}) for pre-sliced uniform
+    work, and a work-stealing pool ({!run_dynamic}) for work that
+    splits as it runs.
 
-    Tasks are indexed [0 .. tasks-1] and claimed through one atomic
-    counter; with [jobs = 1] (or a single task) everything runs inline
-    on the calling domain in index order, so the sequential path spawns
-    nothing.
-
-    The pool promises nothing about the order tasks run in. Callers
-    needing deterministic output must make each task independent and
-    merge results in task-index order ({!Explore} does exactly this).
+    Neither pool promises anything about the order work runs in.
+    Callers needing deterministic output must make per-item results
+    order-independent and merge canonically ({!Explore} merges in
+    task-index order under {!run}, and relies on a closure argument —
+    the set of expanded states is schedule-independent — under
+    {!run_dynamic}).
 
     Must not be called from inside one of its own workers. *)
 
@@ -28,6 +29,55 @@ val run :
     [skip i] is consulted when the task is claimed — use it with an
     [Atomic.t] bound for cooperative early abort.
 
+    [tasks = 0] returns the empty array without allocating or spawning;
+    if [skip] admits no task at entry, the all-[None] array is returned
+    without spawning domains.
+
     If a task raises, workers stop claiming new tasks and the exception
     with the smallest task index is re-raised after all domains join,
     so the propagated exception does not depend on worker timing. *)
+
+(** {1 Work-stealing pool} *)
+
+type 'w t
+(** A running pool of work-stealing deques, passed to the worker
+    function so it can split ({!push}) and probe saturation
+    ({!want_work}). After {!run_dynamic} returns, the handle is inert
+    and only good for reading {!steals}. *)
+
+val run_dynamic :
+  jobs:int ->
+  ?oversubscribe:bool ->
+  roots:'w list ->
+  ('w t -> worker:int -> 'w -> unit) ->
+  'w t
+(** [run_dynamic ~jobs ~roots f] seeds worker 0's deque with [roots]
+    and runs [f pool ~worker item] for every item until global
+    quiescence (no queued items, none executing). Each worker owns a
+    bounded Chase-Lev-style deque — the owner pushes and pops LIFO at
+    the bottom, idle workers steal FIFO from a random victim's top —
+    so with [jobs = 1] and a single root the items run in exact
+    depth-first order and no domain is spawned. [jobs] is capped like
+    {!run} unless [oversubscribe].
+
+    [f] may call {!push} to add work and {!want_work} to learn whether
+    any sibling is starving (the explorer's split heuristic). If [f]
+    raises, the first exception (by wall clock — pair it with your own
+    abort flag if you need a deterministic winner) is re-raised after
+    every worker drains; remaining items are discarded unexecuted. *)
+
+val push : 'w t -> worker:int -> 'w -> bool
+(** [push pool ~worker w] queues [w] on [worker]'s own deque (call it
+    only from that worker). [false] if the deque is full — the caller
+    then keeps the work and runs it inline. *)
+
+val want_work : 'w t -> bool
+(** True when some worker is currently hunting for a steal — the cue to
+    split off shareable work. Always false when [jobs = 1]. *)
+
+val jobs : 'w t -> int
+(** The effective worker count after capping. *)
+
+val steals : 'w t -> int
+(** Items obtained by stealing so far (total across workers). Timing-
+    dependent; read it after {!run_dynamic} returns for reporting. *)

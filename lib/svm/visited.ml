@@ -1,0 +1,159 @@
+(* A domain-striped insert-if-absent table: fixed bucket array of
+   immutable chains updated by CAS, fronted by a two-probe bloom filter
+   packed into native ints. See the .mli for the linearizability
+   argument; the load-order comment in [seen_or_add] is the one line the
+   whole construction leans on. *)
+
+type 'k t = {
+  buckets : (int * 'k) list Atomic.t array;
+  mask : int;
+  bloom : int Atomic.t array;  (* 62 usable bits per word *)
+  bloom_mask : int;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable bloom_fp : int;
+}
+
+let fresh_stats () = { hits = 0; misses = 0; bloom_fp = 0 }
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(buckets = 65536) () =
+  let cap = pow2 (max 16 buckets) 16 in
+  {
+    buckets = Array.init cap (fun _ -> Atomic.make []);
+    mask = cap - 1;
+    (* A quarter as many words as buckets keeps the filter sparse for
+       chain loads around one key per bucket. *)
+    bloom = Array.init (cap / 4) (fun _ -> Atomic.make 0);
+    bloom_mask = (cap / 4) - 1;
+  }
+
+(* Two probes derived from the one hash: the raw hash and a
+   golden-ratio remix, each mapping to (word, bit-within-62). *)
+let probe t i =
+  let i = i land max_int in
+  let w = (i lsr 6) land t.bloom_mask in
+  let b = i mod 62 in
+  (w, 1 lsl b)
+
+let remix h = (h * 0x9e3779b9) lxor (h lsr 16)
+
+let bloom_maybe t h =
+  let w1, b1 = probe t h in
+  let w2, b2 = probe t (remix h) in
+  Atomic.get t.bloom.(w1) land b1 <> 0 && Atomic.get t.bloom.(w2) land b2 <> 0
+
+let set_bit t w b =
+  (* No fetch_or in stdlib [Atomic]: CAS-loop the OR in. *)
+  let cell = t.bloom.(w) in
+  let rec go () =
+    let cur = Atomic.get cell in
+    if cur land b = b then ()
+    else if not (Atomic.compare_and_set cell cur (cur lor b)) then go ()
+  in
+  go ()
+
+let bloom_add t h =
+  let w1, b1 = probe t h in
+  let w2, b2 = probe t (remix h) in
+  set_bit t w1 b1;
+  set_bit t w2 b2
+
+let seen_or_add t ~hash key stats =
+  let cell = t.buckets.(hash land t.mask) in
+  (* Read the chain head BEFORE the bloom bits: an inserter sets its
+     bits before its CAS publishes, so "bits clear" read after the head
+     proves the key is absent from that head — the fast path needs no
+     walk. The reverse order would race: bits could be set between our
+     two reads by an insert whose CAS we then observe. *)
+  let head = Atomic.get cell in
+  let mem chain = List.exists (fun (h, k) -> h = hash && k = key) chain in
+  let present =
+    if bloom_maybe t hash then begin
+      let p = mem head in
+      if not p then stats.bloom_fp <- stats.bloom_fp + 1;
+      p
+    end
+    else false
+  in
+  if present then begin
+    stats.hits <- stats.hits + 1;
+    true
+  end
+  else begin
+    bloom_add t hash;
+    (* [prev] is always a chain proven not to contain [key] — [head] by
+       the walk (or the bloom proof above), later values by the re-walk
+       after a lost CAS. That re-walk is what makes concurrent double
+       insertion impossible. *)
+    let rec insert prev =
+      if Atomic.compare_and_set cell prev ((hash, key) :: prev) then begin
+        stats.misses <- stats.misses + 1;
+        false
+      end
+      else
+        let cur = Atomic.get cell in
+        if mem cur then begin
+          stats.hits <- stats.hits + 1;
+          true
+        end
+        else insert cur
+    in
+    insert head
+  end
+
+let distinct t =
+  Array.fold_left (fun n cell -> n + List.length (Atomic.get cell)) 0 t.buckets
+
+(* A concurrent hash-consing table built on the same bucket-CAS idiom:
+   the first worker to publish a key names it; everyone else adopts
+   that name. Within one table, id equality is exactly key equality —
+   the numeric values depend on scheduling, so they must never be
+   compared across tables or leak into deterministic output. *)
+module Intern = struct
+  type 'k t = {
+    ibuckets : (int * 'k * int) list Atomic.t array;
+    imask : int;
+    inext : int Atomic.t;
+  }
+
+  let create ?(buckets = 65536) () =
+    let cap = pow2 (max 16 buckets) 16 in
+    {
+      ibuckets = Array.init cap (fun _ -> Atomic.make []);
+      imask = cap - 1;
+      inext = Atomic.make 1 (* 0 is reserved for the caller's root id *);
+    }
+
+  let find hash key chain =
+    List.find_map
+      (fun (h, k, i) -> if h = hash && k = key then Some i else None)
+      chain
+
+  let id t ~hash key =
+    let cell = t.ibuckets.(hash land t.imask) in
+    let head = Atomic.get cell in
+    match find hash key head with
+    | Some i -> i
+    | None ->
+        (* Reserve a fresh id, then race to publish it. Losing the CAS
+           to an insert of the same key means adopting the winner's id;
+           the reserved one is simply never used (ids need not be
+           dense). The re-walk after a lost CAS is what makes two live
+           ids for one key impossible. *)
+        let fresh = Atomic.fetch_and_add t.inext 1 in
+        let rec insert prev =
+          if Atomic.compare_and_set cell prev ((hash, key, fresh) :: prev)
+          then fresh
+          else
+            let cur = Atomic.get cell in
+            match find hash key cur with Some i -> i | None -> insert cur
+        in
+        insert head
+
+  let count t = Atomic.get t.inext - 1
+end

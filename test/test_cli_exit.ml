@@ -23,6 +23,11 @@ let table =
     ( "sweep --algo safe_agreement_no_cancel --expect-violation --out "
       ^ tmp "cli1.replay",
       0 );
+    (* --jobs 0 = one domain per core, on both fan-out subcommands *)
+    ("sweep --algo safe_agreement --runs 200 --jobs 0 --out "
+     ^ tmp "cli4.replay", 0);
+    ( "explore --algo safe_agreement_no_cancel --expect-violation --jobs 0",
+      0 );
     (* 1 — finding *)
     ("sweep --algo safe_agreement_no_cancel --out " ^ tmp "cli2.replay", 1);
     ("explore --algo safe_agreement_no_cancel --crashes 1", 1);

@@ -1,10 +1,13 @@
 (* The parallel explorer's determinism contract, and the copy-free
-   machinery under it: jobs ∈ {1, 2, 4} must produce identical results
-   and byte-identical merged metrics; the undo journal must restore the
-   exact pre-checkpoint state; canonical fingerprints must not depend on
-   instance creation order; dedup must never change a verdict. *)
+   machinery under it: jobs ∈ {1, 2, 4, 8} must produce identical
+   results and byte-identical merged metrics; the shared visited and
+   interning tables must stay linearizable under concurrent insert
+   storms; the undo journal must restore the exact pre-checkpoint
+   state; canonical fingerprints must not depend on instance creation
+   order; dedup must never change a verdict. *)
 
 open Svm
+open Svm.Prog.Syntax
 
 let check = Alcotest.check
 
@@ -44,6 +47,8 @@ let same_results label ((r1 : Univ.t Explore.result), m1) (r2, m2) =
     r2.Explore.pruned_states;
   check Alcotest.int (label ^ ": pruned commutes") r1.Explore.pruned_commutes
     r2.Explore.pruned_commutes;
+  check Alcotest.int (label ^ ": pruned source") r1.Explore.pruned_source
+    r2.Explore.pruned_source;
   Alcotest.(check bool)
     (label ^ ": exhausted")
     r1.Explore.exhausted_budget r2.Explore.exhausted_budget;
@@ -62,7 +67,7 @@ let jobs_determinism ~name ~max_crashes ~expect_cex () =
         (Printf.sprintf "%s jobs=%d" name jobs)
         base
         (run_jobs ~jobs ~max_crashes s))
-    [ 2; 4 ];
+    [ 2; 4; 8 ];
   if expect_cex then
     Alcotest.(check bool)
       (name ^ ": seeded bug found")
@@ -78,6 +83,42 @@ let first_subset_jobs () =
      default depth must merge identically at any job count. *)
   jobs_determinism ~name:"x_safe_agreement_first_subset" ~max_crashes:1
     ~expect_cex:false ()
+
+(* A deliberately lopsided tree — one process with a long write chain,
+   two with a single op each — so the DFS spends most of its time in
+   one subtree and a starving sibling domain can only make progress by
+   stealing deep inside it. The merged result must still be identical
+   at every job count. *)
+let skewed_make () =
+  let env = Env.create ~nprocs:3 ~x:1 () in
+  let writes fam n =
+    let rec go i =
+      if i > n then Prog.return (Codec.int.Codec.inj i)
+      else
+        let* () = Prog.reg_write Codec.int fam [ i ] i in
+        go (i + 1)
+    in
+    go 1
+  in
+  (env, [| writes "A" 9; writes "B" 1; writes "C" 1 |])
+
+let skewed_steals () =
+  let run jobs =
+    let metrics = Metrics.create ~wall_clock:false () in
+    let r =
+      Explore.exhaustive ~jobs ~oversubscribe:true ~max_steps:12
+        ~metrics ~make:skewed_make
+        ~property:(fun _ -> Ok ())
+        ()
+    in
+    (r, Metrics.snapshot_string metrics)
+  in
+  let ((base_r, _) as base) = run 1 in
+  Alcotest.(check bool) "skewed tree explored" true (base_r.Explore.explored > 0);
+  List.iter
+    (fun jobs -> same_results (Printf.sprintf "skewed jobs=%d" jobs) base
+        (run jobs))
+    [ 2; 8 ]
 
 (* ------------------------------------------------------------------ *)
 (* undo-journal rollback property                                       *)
@@ -166,6 +207,76 @@ let prewarm_hash_stable () =
     (build ~warm:false []) (build ~warm:true [])
 
 (* ------------------------------------------------------------------ *)
+(* shared-table linearizability under insert storms                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Four domains (oversubscribed on small hosts) hammer one table with
+   overlapping key sets, each domain starting at a different rotation
+   so the same keys race in different orders. Linearizability of
+   insert-if-absent says exactly one call per distinct key may report a
+   miss, whatever the interleaving; tiny tables force long chains and
+   bucket CAS retries. *)
+let storm_keys = QCheck.(list_of_size Gen.(int_range 1 60) (int_bound 30))
+
+let visited_linearizable =
+  QCheck.Test.make ~count:40
+    ~name:"shared visited: one miss per distinct key under domain storms"
+    storm_keys
+    (fun keys ->
+      let tbl = Visited.create ~buckets:16 () in
+      let keys = Array.of_list keys in
+      let n = Array.length keys in
+      let ndom = 4 in
+      let stats = Array.init ndom (fun _ -> Visited.fresh_stats ()) in
+      let doms =
+        Array.init ndom (fun d ->
+            Domain.spawn (fun () ->
+                for i = 0 to n - 1 do
+                  let k = keys.((i + d) mod n) in
+                  ignore
+                    (Visited.seen_or_add tbl ~hash:(Hashtbl.hash k) k
+                       stats.(d))
+                done))
+      in
+      Array.iter Domain.join doms;
+      let distinct =
+        List.length (List.sort_uniq compare (Array.to_list keys))
+      in
+      let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
+      sum (fun s -> s.Visited.misses) = distinct
+      && sum (fun s -> s.Visited.hits) = (ndom * n) - distinct
+      && Visited.distinct tbl = distinct)
+
+let intern_linearizable =
+  QCheck.Test.make ~count:40
+    ~name:"intern: racing domains agree on every id" storm_keys
+    (fun keys ->
+      let t = Visited.Intern.create ~buckets:16 () in
+      let keys = Array.of_list keys in
+      let n = Array.length keys in
+      let ndom = 4 in
+      let ids = Array.make ndom [||] in
+      let doms =
+        Array.init ndom (fun d ->
+            Domain.spawn (fun () ->
+                ids.(d) <-
+                  Array.init n (fun i ->
+                      let k = keys.((i + d) mod n) in
+                      (k, Visited.Intern.id t ~hash:(Hashtbl.hash k) k))))
+      in
+      Array.iter Domain.join doms;
+      let all = Array.to_list ids |> Array.concat |> Array.to_list in
+      (* Every domain's view: id equality iff key equality, and a later
+         uncontended lookup returns the already-published id. *)
+      List.for_all
+        (fun (k1, i1) ->
+          List.for_all (fun (k2, i2) -> (k1 = k2) = (i1 = i2)) all)
+        all
+      && List.for_all
+           (fun (k, i) -> Visited.Intern.id t ~hash:(Hashtbl.hash k) k = i)
+           all)
+
+(* ------------------------------------------------------------------ *)
 (* dedup never changes a verdict                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -200,14 +311,18 @@ let suite =
   [
     ( "explore-par",
       [
-        Alcotest.test_case "no_cancel: jobs 1/2/4 identical" `Quick
+        Alcotest.test_case "no_cancel: jobs 1/2/4/8 identical" `Quick
           no_cancel_jobs;
-        Alcotest.test_case "first_subset: jobs 1/2/4 identical" `Quick
+        Alcotest.test_case "first_subset: jobs 1/2/4/8 identical" `Quick
           first_subset_jobs;
+        Alcotest.test_case "skewed tree: steal-heavy jobs identical" `Quick
+          skewed_steals;
         Alcotest.test_case "canonical hash ignores creation order" `Quick
           prewarm_hash_stable;
         Alcotest.test_case "dedup on/off verdict parity" `Quick
           dedup_verdict_parity;
+        QCheck_alcotest.to_alcotest visited_linearizable;
+        QCheck_alcotest.to_alcotest intern_linearizable;
         QCheck_alcotest.to_alcotest undo_log_roundtrip;
       ] );
   ]
