@@ -18,6 +18,10 @@
 #                        stats/--json snapshots are non-empty, and the merged
 #                        cross-process trace passes trace-check — while the
 #                        sweep stdout stays byte-identical to in-process
+#   make smoke-sdl     — the Scenario DSL: check/compile/fmt-fixpoint on the
+#                        shipped seeded-bug twin, local sweep byte-identical
+#                        to the builtin, then the same source submitted over
+#                        TCP — same bytes again; truncated source exits 2
 #   make soak-heap     — 60s soak on 4 domains gated on Gc-measured heap
 #                        growth (the unbounded-memory detector)
 #   make test-heavy    — includes the exhaustive sweeps (ASMSIM_HEAVY=1)
@@ -33,7 +37,7 @@ SMOKE_TIMEOUT ?= 60
 ASMSIM = dune exec --no-print-directory bin/asmsim.exe --
 
 .PHONY: build check test test-heavy ci ci-heavy smoke smoke-trace smoke-dist \
-	smoke-net smoke-soak smoke-obs soak-heap \
+	smoke-net smoke-soak smoke-obs smoke-sdl soak-heap \
 	bench-json bench-gate explore-determinism
 
 build:
@@ -126,6 +130,48 @@ smoke-net: build
 	grep -l chaos $$D/w1.err $$D/w2.err > /dev/null; \
 	grep -q draining $$D/srv.err; \
 	grep -q net_shards_executed_total $$D/srv.metrics.json
+
+# The Scenario DSL front to back through the real CLI: the shipped twin
+# of a seeded-bug builtin must check, compile and reach a fmt fixpoint;
+# sweeping it locally must produce the byte-identical stdout and replay
+# artifact of the builtin; submitting the *source* over TCP to a
+# serve + worker pair must produce the same bytes again; and a
+# truncated source must bounce off `sdl check` with exit 2 and a
+# spanned error, before anything executes.
+smoke-sdl: build
+	rm -rf _build/sdlsmoke && mkdir -p _build/sdlsmoke
+	set -e; \
+	BIN=_build/default/bin/asmsim.exe; D=_build/sdlsmoke; \
+	SDL=examples/x_safe_agreement_first_subset.sdl; \
+	timeout $(SMOKE_TIMEOUT) $$BIN sdl check $$SDL; \
+	timeout $(SMOKE_TIMEOUT) $$BIN sdl compile $$SDL; \
+	$$BIN sdl fmt $$SDL > $$D/fmt1.sdl; \
+	$$BIN sdl fmt $$D/fmt1.sdl > $$D/fmt2.sdl; \
+	diff $$D/fmt1.sdl $$D/fmt2.sdl; \
+	timeout $(SMOKE_TIMEOUT) $$BIN sweep --algo x_safe_agreement_first_subset \
+	  --expect-violation --out $$D/out.replay > $$D/a.out; \
+	cp $$D/out.replay $$D/builtin.replay; \
+	timeout $(SMOKE_TIMEOUT) $$BIN sweep --scenario-file $$SDL \
+	  --expect-violation --out $$D/out.replay > $$D/b.out; \
+	diff $$D/a.out $$D/b.out; \
+	diff $$D/builtin.replay $$D/out.replay; \
+	head -c 100 $$SDL > $$D/broken.sdl; \
+	code=0; $$BIN sdl check $$D/broken.sdl 2> $$D/broken.err || code=$$?; \
+	test $$code -eq 2; grep -q 'broken.sdl:' $$D/broken.err; \
+	timeout $(SMOKE_TIMEOUT) $$BIN serve --listen 127.0.0.1:0 \
+	  --journal-dir $$D/jobs 2> $$D/srv.err & SRV=$$!; \
+	for i in $$(seq 1 100); do \
+	  grep -q 'listening on port' $$D/srv.err 2>/dev/null && break; sleep 0.1; \
+	done; \
+	PORT=$$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' $$D/srv.err | head -1); \
+	timeout $(SMOKE_TIMEOUT) $$BIN work --connect 127.0.0.1:$$PORT 2> $$D/w.err & \
+	sleep 0.3; \
+	timeout $(SMOKE_TIMEOUT) $$BIN sweep --scenario-file $$SDL \
+	  --expect-violation --connect 127.0.0.1:$$PORT \
+	  --out $$D/out.replay > $$D/c.out 2> $$D/c.err; \
+	kill -TERM $$SRV; wait $$SRV; \
+	diff $$D/a.out $$D/c.out; \
+	diff $$D/builtin.replay $$D/out.replay
 
 # The soak runner and its corpus through the real CLI, every robustness
 # claim at once:
@@ -253,6 +299,7 @@ ci: check
 	$(MAKE) smoke-net
 	$(MAKE) smoke-soak
 	$(MAKE) smoke-obs
+	$(MAKE) smoke-sdl
 	$(MAKE) explore-determinism
 
 # The parallel explorer must be bit-for-bit deterministic in the job

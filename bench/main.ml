@@ -540,6 +540,50 @@ let soak_family =
     (soak4_name, bench_soak ~tag:"j4" 4);
   ]
 
+(* The SDL family: the same in-process sweep as SW0's scenario, once
+   from the builtin registry (SDL0) and once from DSL source text,
+   parse + validate + compile *included in every iteration* (SDL1).
+   [sdl_compile_overhead_ratio] (SDL1 / SDL0) is the whole-pipeline tax
+   of declaring a scenario instead of hand-writing it; the gate holds
+   it under 1.05 so the frontend stays negligible next to one sweep. *)
+
+let sdl_twin_source =
+  {|scenario "safe_agreement" {
+  doc "Figure 1 safe agreement: agreement + validity"
+  nprocs 3 min 2
+  x 1
+  explore_steps 12
+  objects { sa SA }
+  process all {
+    propose SA [] pid
+    let v = decide SA []
+    decide v
+  }
+  property agreement in 0 .. nprocs - 1
+}|}
+
+let sdl0_name = "SDL0: fault sweep, builtin safe agreement"
+let sdl1_name = "SDL1: same sweep from DSL source, compile included"
+
+let bench_sdl_builtin () =
+  let s =
+    match Experiments.Scenario.find "safe_agreement" with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  ignore (Experiments.Harness.sweep_scenario ~max_runs:dist_runs s)
+
+let bench_sdl_compiled () =
+  let s =
+    match Experiments.Scenario.of_source sdl_twin_source with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  ignore (Experiments.Harness.sweep_scenario ~max_runs:dist_runs s)
+
+let sdl_family =
+  [ (sdl0_name, bench_sdl_builtin); (sdl1_name, bench_sdl_compiled) ]
+
 (* Soak a seeded bug twice into one corpus: every counterexample of the
    second pass is a content-address hit. The ratio (findings observed /
    unique findings stored) is what dedup saves a long soak — 2.0 here
@@ -630,7 +674,7 @@ let tests =
     @ List.map
         (fun (name, body) -> Test.make ~name (Staged.stage body))
         (explore_family @ dist_family @ net_family @ obs_family
-       @ soak_family))
+       @ soak_family @ sdl_family))
 
 let estimate_of tests =
   let ols =
@@ -735,6 +779,13 @@ let emit_json estimates =
     | Some base, Some obs when base > 0. -> Some (obs /. base)
     | _ -> None
   in
+  (* SDL1 / SDL0: parse + validate + compile of the DSL twin amortized
+     over one sweep — the declarative frontend's whole-pipeline tax. *)
+  let sdl_ratio =
+    match (find sdl0_name, find sdl1_name) with
+    | Some base, Some sdl when base > 0. -> Some (sdl /. base)
+    | _ -> None
+  in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"benchmarks\": [\n";
   List.iteri
@@ -780,6 +831,11 @@ let emit_json estimates =
       Buffer.add_string b
         (Printf.sprintf "  \"obs_overhead_ratio\": %.3f,\n" r)
   | None -> Buffer.add_string b "  \"obs_overhead_ratio\": null,\n");
+  (match sdl_ratio with
+  | Some r ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"sdl_compile_overhead_ratio\": %.3f,\n" r)
+  | None -> Buffer.add_string b "  \"sdl_compile_overhead_ratio\": null,\n");
   (* Schedules/second of the 4-domain soak row — the throughput a long
      soak sustains, corpus writes included. *)
   let soak_rate =
@@ -846,6 +902,9 @@ let emit_json estimates =
   (match obs_ratio with
   | Some r -> Printf.printf "obs overhead ratio: %.2fx\n" r
   | None -> ());
+  (match sdl_ratio with
+  | Some r -> Printf.printf "sdl compile overhead ratio: %.2fx\n" r
+  | None -> ());
   (match soak_rate with
   | Some r -> Printf.printf "soak throughput: %.0f schedules/sec\n" r
   | None -> ());
@@ -871,6 +930,10 @@ let gate_slack = 1.5
    engine must keep beating the plan engine by at least this much on
    the deep workload, whatever this machine's absolute speed. *)
 let par_speedup_bar = 2.0
+
+(* Ceiling on the re-measured SDL1 / SDL0 ratio: compiling a scenario
+   from source must stay negligible next to the sweep it feeds. *)
+let sdl_compile_bar = 1.05
 
 let committed_ns json name =
   let open Svm.Json in
@@ -899,6 +962,7 @@ let gate_against file =
   in
   let families =
     explore_family @ dist_family @ net_family @ obs_family @ soak_family
+    @ sdl_family
   in
   let committed =
     List.map
@@ -959,18 +1023,32 @@ let gate_against file =
   | _ ->
       failed := true;
       Printf.eprintf "bench gate: cannot compute par_speedup_ratio\n");
+  (* The DSL frontend tax is likewise a live same-pass ratio. *)
+  (match (measured_ns sdl0_name, measured_ns sdl1_name) with
+  | Some base, Some sdl when base > 0. ->
+      let r = sdl /. base in
+      let ok = r <= sdl_compile_bar in
+      if not ok then failed := true;
+      Printf.printf "%-56s %9.1f ms vs %9.1f ms  %.2fx  %s\n"
+        "sdl_compile_overhead_ratio (SDL1 / SDL0, bar 1.05x)" (sdl /. 1e6)
+        (base /. 1e6) r
+        (if ok then "ok" else "ABOVE BAR")
+  | _ ->
+      failed := true;
+      Printf.eprintf "bench gate: cannot compute sdl_compile_overhead_ratio\n");
   if !failed then begin
     Printf.eprintf
-      "bench gate: EX/DIST/NET/OBS/SOAK families regressed beyond %.1fx or \
-       par_speedup_ratio fell below %.1fx\n"
-      gate_slack par_speedup_bar;
+      "bench gate: EX/DIST/NET/OBS/SOAK/SDL families regressed beyond %.1fx, \
+       par_speedup_ratio fell below %.1fx, or sdl_compile_overhead_ratio \
+       rose above %.2fx\n"
+      gate_slack par_speedup_bar sdl_compile_bar;
     exit 1
   end
   else
     Printf.printf
-      "bench gate: EX/DIST/NET/OBS/SOAK families within %.1fx of %s, \
-       par_speedup_ratio >= %.1fx\n"
-      gate_slack file par_speedup_bar
+      "bench gate: EX/DIST/NET/OBS/SOAK/SDL families within %.1fx of %s, \
+       par_speedup_ratio >= %.1fx, sdl_compile_overhead_ratio <= %.2fx\n"
+      gate_slack file par_speedup_bar sdl_compile_bar
 
 let () =
   let gate = ref None in

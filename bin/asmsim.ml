@@ -275,12 +275,82 @@ let experiment_cmd =
 
 let scenario_arg =
   Arg.(
-    required
+    value
     & opt (some string) None
     & info [ "algo" ] ~docv:"SCENARIO"
         ~doc:
-          (Printf.sprintf "Scenario to sweep: %s."
+          (Printf.sprintf
+             "Scenario to run: %s, or any name registered via \
+              --scenario-file/--scenario-dir."
              (String.concat ", " (Experiments.Scenario.names ()))))
+
+(* ---- DSL scenario files ---- *)
+
+let scenario_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenario-file" ] ~docv:"FILE.sdl"
+        ~doc:
+          "Load, validate and register the DSL scenario in FILE; when \
+           --algo is not given, FILE's scenario is the one run.")
+
+let scenario_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenario-dir" ] ~docv:"DIR"
+        ~doc:
+          "Register every *.sdl file in DIR (non-recursive); pick one by \
+           name with --algo.")
+
+let read_sdl_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> s
+  | exception Sys_error m ->
+      Format.eprintf "%s@." m;
+      exit 2
+
+let register_sdl_file path =
+  match Experiments.Scenario.register_source ~path (read_sdl_file path) with
+  | Ok s -> s.Experiments.Scenario.name
+  | Error m ->
+      Format.eprintf "%s:%s@." path m;
+      exit 2
+
+let register_sdl_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error m ->
+      Format.eprintf "%s@." m;
+      exit 2
+  | entries ->
+      let sdl =
+        Array.to_list entries
+        |> List.filter (fun f -> Filename.check_suffix f ".sdl")
+        |> List.sort compare
+      in
+      if sdl = [] then begin
+        Format.eprintf "no .sdl files in %s@." dir;
+        exit 2
+      end;
+      List.iter
+        (fun f -> ignore (register_sdl_file (Filename.concat dir f)))
+        sdl
+
+(* Register any DSL sources, then settle which scenario name to run:
+   an explicit --algo wins, else the --scenario-file's own name. *)
+let resolve_scenario ~cmd name file dir =
+  Option.iter register_sdl_dir dir;
+  let file_name = Option.map register_sdl_file file in
+  match (name, file_name) with
+  | Some n, _ -> n
+  | None, Some n -> n
+  | None, None ->
+      Format.eprintf
+        "%s: no scenario given: pass --algo NAME or --scenario-file \
+         FILE.sdl@."
+        cmd;
+      exit 2
 
 let pp_violation_line (v : Svm.Monitor.violation) =
   Format.printf "violation: %s: %s (step %d, p%d)@." v.Svm.Monitor.monitor
@@ -589,9 +659,10 @@ let sweep_cmd =
              means one per core. Outcomes are identical at any job \
              count.")
   in
-  let run name nprocs t window runs budget out tiers expect_violation jobs
-      dist resume shard_timeout shard_size chaos journal_dir connect log_level
-      log_json spans =
+  let run name scenario_file scenario_dir nprocs t window runs budget out
+      tiers expect_violation jobs dist resume shard_timeout shard_size chaos
+      journal_dir connect log_level log_json spans =
+    let name = resolve_scenario ~cmd:"sweep" name scenario_file scenario_dir in
     let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
     let log = make_log ~json:log_json log_level in
     let kinds =
@@ -691,10 +762,11 @@ let sweep_cmd =
           crash-recovery, byzantine) under online invariant monitors; on \
           violation, shrink the schedule and write a replay artifact")
     Term.(
-      const run $ scenario_arg $ n $ t $ window $ runs $ budget $ out $ tiers
-      $ expect_violation $ jobs $ dist_arg $ resume_arg $ shard_timeout_arg
-      $ shard_size_arg $ chaos_kill_arg $ journal_dir_arg $ connect_arg
-      $ log_level_arg $ log_json_arg $ spans_arg)
+      const run $ scenario_arg $ scenario_file_arg $ scenario_dir_arg $ n $ t
+      $ window $ runs $ budget $ out $ tiers $ expect_violation $ jobs
+      $ dist_arg $ resume_arg $ shard_timeout_arg $ shard_size_arg
+      $ chaos_kill_arg $ journal_dir_arg $ connect_arg $ log_level_arg
+      $ log_json_arg $ spans_arg)
 
 (* ---- explore ---- *)
 
@@ -757,9 +829,12 @@ let explore_cmd =
           ~doc:"Invert the exit status: succeed (0) iff a counterexample \
                 was found.")
   in
-  let run name nprocs steps crashes runs jobs no_dedup expect_violation
-      metrics_out dist resume shard_timeout shard_size chaos journal_dir
-      connect log_level log_json spans =
+  let run name scenario_file scenario_dir nprocs steps crashes runs jobs
+      no_dedup expect_violation metrics_out dist resume shard_timeout
+      shard_size chaos journal_dir connect log_level log_json spans =
+    let name =
+      resolve_scenario ~cmd:"explore" name scenario_file scenario_dir
+    in
     let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
     let log = make_log ~json:log_json log_level in
     match Experiments.Scenario.find ?nprocs name with
@@ -881,10 +956,11 @@ let explore_cmd =
           deduplication, commutation pruning and multicore fan-out — \
           in-process domains (--jobs) or worker processes (--dist)")
     Term.(
-      const run $ scenario_arg $ n $ steps $ crashes $ runs $ jobs $ no_dedup
-      $ expect_violation $ metrics_out $ dist_arg $ resume_arg
-      $ shard_timeout_arg $ shard_size_arg $ chaos_kill_arg $ journal_dir_arg
-      $ connect_arg $ log_level_arg $ log_json_arg $ spans_arg)
+      const run $ scenario_arg $ scenario_file_arg $ scenario_dir_arg $ n
+      $ steps $ crashes $ runs $ jobs $ no_dedup $ expect_violation
+      $ metrics_out $ dist_arg $ resume_arg $ shard_timeout_arg
+      $ shard_size_arg $ chaos_kill_arg $ journal_dir_arg $ connect_arg
+      $ log_level_arg $ log_json_arg $ spans_arg)
 
 (* ---- replay ---- *)
 
@@ -1237,7 +1313,10 @@ let stats_cmd =
             "Emit the snapshot as one compact JSON line (machine-readable; \
              byte-stable across replays) instead of pretty-printing.")
   in
-  let run file algo wall json budget out =
+  let run file algo scenario_file scenario_dir wall json budget out =
+    Option.iter register_sdl_dir scenario_dir;
+    let sdl_name = Option.map register_sdl_file scenario_file in
+    let algo = match (algo, sdl_name) with Some a, _ -> Some a | None, n -> n in
     let snapshot_of metrics =
       Svm.Metrics.snapshot_string ~pretty:(not json) metrics ^ "\n"
     in
@@ -1271,7 +1350,8 @@ let stats_cmd =
                   v.Svm.Monitor.monitor v.Svm.Monitor.step);
             write_out out (snapshot_of metrics))
     | Some _, Some _ | None, None ->
-        Format.eprintf "stats: pass exactly one of FILE or --algo@.";
+        Format.eprintf
+          "stats: pass exactly one of FILE, --algo, or --scenario-file@.";
         exit 2
   in
   Cmd.v
@@ -1280,7 +1360,154 @@ let stats_cmd =
          "Metrics snapshot (JSON) of a run: replay an artifact under a \
           registry, or run a registered scenario fresh")
     Term.(
-      const run $ file $ algo $ wall $ json $ budget_arg 50_000 $ out_arg)
+      const run $ file $ algo $ scenario_file_arg $ scenario_dir_arg $ wall
+      $ json $ budget_arg 50_000 $ out_arg)
+
+(* ---- scenarios (registry listing) ---- *)
+
+let scenarios_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the listing as one JSON document (machine-readable).")
+  in
+  let run json scenario_file scenario_dir =
+    Option.iter register_sdl_dir scenario_dir;
+    Option.iter (fun f -> ignore (register_sdl_file f)) scenario_file;
+    let registered = Experiments.Scenario.registered_names () in
+    let scenarios =
+      (* a registered DSL scenario shadows its builtin twin, exactly as
+         [find] resolves names *)
+      List.filter
+        (fun s -> not (List.mem s.Experiments.Scenario.name registered))
+        (Experiments.Scenario.all ())
+      @ Experiments.Scenario.registered_scenarios ()
+    in
+    let scenarios =
+      List.sort
+        (fun a b ->
+          compare a.Experiments.Scenario.name b.Experiments.Scenario.name)
+        scenarios
+    in
+    let source_str s =
+      match s.Experiments.Scenario.origin with
+      | Experiments.Scenario.Builtin -> "builtin"
+      | Experiments.Scenario.Sdl_source { path = Some p; _ } -> p
+      | Experiments.Scenario.Sdl_source { path = None; _ } -> "<source>"
+    in
+    if json then
+      let entry s =
+        Svm.Json.Obj
+          [
+            ("name", Svm.Json.String s.Experiments.Scenario.name);
+            ("doc", Svm.Json.String s.Experiments.Scenario.doc);
+            ("nprocs", Svm.Json.Int s.Experiments.Scenario.nprocs);
+            ("x", Svm.Json.Int s.Experiments.Scenario.x);
+            ("seeded_bug", Svm.Json.Bool s.Experiments.Scenario.seeded_bug);
+            ("explorable", Svm.Json.Bool s.Experiments.Scenario.explorable);
+            ("source", Svm.Json.String (source_str s));
+          ]
+      in
+      print_string
+        (Svm.Json.to_string ~pretty:true
+           (Svm.Json.List (List.map entry scenarios))
+        ^ "\n")
+    else
+      List.iter
+        (fun s ->
+          Format.printf "%-32s n=%d x=%d%s%s  [%s]@.  %s@."
+            s.Experiments.Scenario.name s.Experiments.Scenario.nprocs
+            s.Experiments.Scenario.x
+            (if s.Experiments.Scenario.seeded_bug then " seeded_bug" else "")
+            (if s.Experiments.Scenario.explorable then " explorable" else "")
+            (source_str s) s.Experiments.Scenario.doc)
+        scenarios
+  in
+  Cmd.v
+    (Cmd.info "scenarios"
+       ~doc:
+         "List every known scenario (builtins plus any registered DSL \
+          files): name, doc, size, model, seeded-bug and explorability \
+          flags, and where it came from")
+    Term.(const run $ json $ scenario_file_arg $ scenario_dir_arg)
+
+(* ---- sdl (DSL tooling) ---- *)
+
+let sdl_cmd =
+  let action =
+    Arg.(
+      required
+      & pos 0
+          (some (enum [ ("check", `Check); ("compile", `Compile); ("fmt", `Fmt) ]))
+          None
+      & info [] ~docv:"ACTION"
+          ~doc:"One of check (parse + validate), compile (also build the \
+                programs and report the artifact shape), fmt (print the \
+                canonical form).")
+  in
+  let file =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"FILE.sdl" ~doc:"The scenario source file.")
+  in
+  let nprocs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "n" ] ~docv:"N" ~doc:"Compile at N processes (compile only).")
+  in
+  let run action file nprocs =
+    let src = read_sdl_file file in
+    let fail_typed e =
+      Format.eprintf "%s:%s@." file (Sdl.Ast.error_to_string e);
+      exit 2
+    in
+    match action with
+    | `Fmt -> (
+        (* fmt is parse-only on purpose: a scenario that is structurally
+           valid but rejected by the validator can still be formatted
+           while being fixed *)
+        match Sdl.Parser.parse src with
+        | Error e -> fail_typed e
+        | Ok sc -> print_string (Sdl.Pretty.to_string sc))
+    | `Check -> (
+        match Sdl.Compile.frontend src with
+        | Error e -> fail_typed e
+        | Ok sc ->
+            Format.printf "ok: %s (nprocs=%d min=%d, x=%d, %d object(s), %d \
+                           process block(s), %d propert%s)@."
+              sc.Sdl.Ast.sc_name sc.Sdl.Ast.sc_nprocs sc.Sdl.Ast.sc_min_nprocs
+              sc.Sdl.Ast.sc_x
+              (List.length sc.Sdl.Ast.sc_objects)
+              (List.length sc.Sdl.Ast.sc_procs)
+              (List.length sc.Sdl.Ast.sc_props)
+              (if List.length sc.Sdl.Ast.sc_props = 1 then "y" else "ies"))
+    | `Compile -> (
+        match Experiments.Scenario.of_source ?nprocs ~path:file src with
+        | Error m ->
+            Format.eprintf "%s:%s@." file m;
+            exit 2
+        | Ok s ->
+            let env, progs = s.Experiments.Scenario.make () in
+            let monitors = s.Experiments.Scenario.monitors () in
+            Format.printf
+              "compiled %s: nprocs=%d x=%d, %d program(s), %d monitor(s), \
+               explore_steps=%d%s@."
+              s.Experiments.Scenario.name s.Experiments.Scenario.nprocs
+              s.Experiments.Scenario.x (Array.length progs)
+              (List.length monitors) s.Experiments.Scenario.explore_steps
+              (if s.Experiments.Scenario.seeded_bug then " (seeded bug)"
+               else "");
+            ignore (env : Svm.Env.t))
+  in
+  Cmd.v
+    (Cmd.info "sdl"
+       ~doc:
+         "Scenario-DSL tooling: check FILE (parse + validate, spanned \
+          errors, exit 2 on rejection), compile FILE (also build the \
+          environment and programs), fmt FILE (canonical form to stdout)")
+    Term.(const run $ action $ file $ nprocs)
 
 (* ---- work (internal) / serve ---- *)
 
@@ -1840,9 +2067,10 @@ let soak_cmd =
              after the first batch — the unbounded-memory gate for long \
              soaks.")
   in
-  let run name nprocs seed schedules until duration batch jobs tiers
-      max_faults within budget corpus_dir resume chaos_store chaos_at
-      no_gc_tune max_heap_growth log_level log_json =
+  let run name scenario_file scenario_dir nprocs seed schedules until duration
+      batch jobs tiers max_faults within budget corpus_dir resume chaos_store
+      chaos_at no_gc_tune max_heap_growth log_level log_json =
+    let name = resolve_scenario ~cmd:"soak" name scenario_file scenario_dir in
     let log = make_log ~json:log_json log_level in
     let kinds =
       String.split_on_char ',' tiers
@@ -1955,10 +2183,10 @@ let soak_cmd =
           content-addressed corpus; SIGTERM drains cleanly and --resume \
           picks up at the next unexecuted schedule")
     Term.(
-      const run $ scenario_arg $ n $ seed $ schedules $ until $ duration
-      $ batch $ jobs $ tiers $ max_faults $ within $ budget $ corpus_dir
-      $ resume $ chaos_store $ chaos_at $ no_gc_tune $ max_heap_growth
-      $ log_level_arg $ log_json_arg)
+      const run $ scenario_arg $ scenario_file_arg $ scenario_dir_arg $ n
+      $ seed $ schedules $ until $ duration $ batch $ jobs $ tiers
+      $ max_faults $ within $ budget $ corpus_dir $ resume $ chaos_store
+      $ chaos_at $ no_gc_tune $ max_heap_growth $ log_level_arg $ log_json_arg)
 
 (* ---- corpus ---- *)
 
@@ -2111,6 +2339,8 @@ let () =
         trace_check_cmd;
         trace_merge_cmd;
         stats_cmd;
+        scenarios_cmd;
+        sdl_cmd;
         serve_cmd;
         work_cmd;
         top_cmd;

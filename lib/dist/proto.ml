@@ -17,7 +17,18 @@ type explore_params = {
 
 type mode = Sweep of sweep_params | Explore of explore_params
 
-type job = { scenario : string; nprocs : int option; mode : mode }
+type job = {
+  scenario : string;
+  nprocs : int option;
+  source : string option;
+  mode : mode;
+}
+
+(* Upper bound on an embedded DSL scenario source. Kept equal to
+   [Sdl.Compile.max_source_bytes] (this module cannot depend on [sdl];
+   test_sdl pins the equality): the decoder enforces it, so a remote
+   client cannot make a server parse an arbitrarily large program. *)
+let max_source_bytes = 65536
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                             *)
@@ -46,10 +57,16 @@ let job_to_json j =
           ("dedup", Json.Bool p.ex_dedup);
         ]
   in
+  (* [source] is emitted only when present, so the fingerprint (and any
+     journal recorded against it) of a plain registry job is unchanged
+     from protocol v2. *)
+  let source_fields =
+    match j.source with None -> [] | Some s -> [ ("source", Json.String s) ]
+  in
   Json.Obj
     (("scenario", Json.String j.scenario)
     :: ("nprocs", opt_int j.nprocs)
-    :: mode_fields)
+    :: (source_fields @ mode_fields))
 
 let job_fingerprint j = Json.to_string (job_to_json j)
 
@@ -75,9 +92,24 @@ let opt_int_field name v =
 
 let to_bool = function Json.Bool b -> Some b | _ -> None
 
+let opt_str_field name v =
+  match Json.member name v with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.String s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string or null" name)
+
 let job_of_json v =
   let* scenario = field "scenario" Json.to_str v in
   let* nprocs = opt_int_field "nprocs" v in
+  let* source = opt_str_field "source" v in
+  let* () =
+    match source with
+    | Some s when String.length s > max_source_bytes ->
+        Error
+          (Printf.sprintf "scenario source is %d bytes (cap %d)"
+             (String.length s) max_source_bytes)
+    | _ -> Ok ()
+  in
   let* mode_name = field "mode" Json.to_str v in
   match mode_name with
   | "sweep" ->
@@ -99,6 +131,7 @@ let job_of_json v =
         {
           scenario;
           nprocs;
+          source;
           mode =
             Sweep { sw_tiers; sw_max_faults; sw_op_window; sw_max_runs; sw_budget };
         }
@@ -111,6 +144,7 @@ let job_of_json v =
         {
           scenario;
           nprocs;
+          source;
           mode = Explore { ex_max_steps; ex_max_crashes; ex_max_runs; ex_dedup };
         }
   | m -> Error (Printf.sprintf "unknown mode %S" m)
@@ -327,8 +361,11 @@ let net_magic = "asmsim-net"
    ask for live stats (Cs_stats/Sc_stats). The version rides the hello,
    so a v1 peer is rejected with a typed reason at the door — and since
    the registry fingerprint also folds the version in, mixed builds can
-   never negotiate past the handshake by accident. *)
-let net_version = 2
+   never negotiate past the handshake by accident.
+   v3: jobs may embed a DSL scenario source ([job.source], size-capped),
+   letting clients submit workloads the server's binary never
+   hard-coded. *)
+let net_version = 3
 
 type role = Worker_role | Client_role
 

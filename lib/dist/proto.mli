@@ -35,8 +35,16 @@ type mode = Sweep of sweep_params | Explore of explore_params
 type job = {
   scenario : string;  (** registered scenario name *)
   nprocs : int option;  (** process-count override, already resolved *)
+  source : string option;
+      (** DSL scenario source (protocol v3): when present, both sides
+          compile the job from it instead of the builtin registry. The
+          declared scenario name must match [scenario]. Size-capped at
+          {!max_source_bytes} by the decoder. *)
   mode : mode;
 }
+
+val max_source_bytes : int
+(** Decoder cap on [job.source] (equal to [Sdl.Compile.max_source_bytes]). *)
 
 val job_to_json : job -> Svm.Json.t
 val job_of_json : Svm.Json.t -> (job, string) result

@@ -85,11 +85,20 @@ let sweep_check ?kinds ?max_faults ?op_window ?max_runs ?budget
    value here, at job-build time — a worker re-expanding the job on the
    other side of the wire cannot then disagree with the coordinator. *)
 
+(* A DSL-backed scenario ships its source inside the job, so the
+   server/worker on the other side compiles the identical program even
+   though its binary never registered the name. *)
+let job_source (s : Scenario.t) =
+  match s.Scenario.origin with
+  | Scenario.Builtin -> None
+  | Scenario.Sdl_source { source; _ } -> Some source
+
 let sweep_job ?(kinds = [ Adversary.Crash_stop ]) ?(max_faults = 1)
     ?(op_window = 6) ?(max_runs = 5_000) ?budget (s : Scenario.t) =
   {
     Dist.Proto.scenario = s.Scenario.name;
     nprocs = Some s.Scenario.nprocs;
+    source = job_source s;
     mode =
       Dist.Proto.Sweep
         {
@@ -109,6 +118,7 @@ let explore_job ?(max_crashes = 0) ?(max_runs = 2_000_000) ?(dedup = true)
   {
     Dist.Proto.scenario = s.Scenario.name;
     nprocs = Some s.Scenario.nprocs;
+    source = job_source s;
     mode =
       Dist.Proto.Explore
         {
@@ -119,10 +129,27 @@ let explore_job ?(max_crashes = 0) ?(max_runs = 2_000_000) ?(dedup = true)
         };
   }
 
+(* Resolve a job to its scenario: an embedded DSL source wins (parsed,
+   validated and compiled right here — declarative data, no code
+   execution; the decoder already size-capped it), otherwise the
+   registry. The declared name must match the job's, or the shard
+   bookkeeping and replay metadata would lie about what ran. *)
+let scenario_of_job (job : Dist.Proto.job) =
+  match job.Dist.Proto.source with
+  | Some src -> (
+      match Scenario.of_source ?nprocs:job.Dist.Proto.nprocs src with
+      | Error m -> Error (Printf.sprintf "scenario source: %s" m)
+      | Ok s ->
+          if String.equal s.Scenario.name job.Dist.Proto.scenario then Ok s
+          else
+            Error
+              (Printf.sprintf
+                 "job names scenario %S but the submitted source declares %S"
+                 job.Dist.Proto.scenario s.Scenario.name))
+  | None -> Scenario.find ?nprocs:job.Dist.Proto.nprocs job.Dist.Proto.scenario
+
 let dist_instance (job : Dist.Proto.job) =
-  match
-    Scenario.find ?nprocs:job.Dist.Proto.nprocs job.Dist.Proto.scenario
-  with
+  match scenario_of_job job with
   | Error m -> Error m
   | Ok s -> (
       match job.Dist.Proto.mode with

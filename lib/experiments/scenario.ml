@@ -1,6 +1,8 @@
 open Svm
 open Svm.Prog.Syntax
 
+type origin = Builtin | Sdl_source of { source : string; path : string option }
+
 type t = {
   name : string;
   doc : string;
@@ -12,6 +14,7 @@ type t = {
   explorable : bool;
   explore_steps : int;
   exhaustive_property : Univ.t Explore.run -> (unit, string) Stdlib.result;
+  origin : origin;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -291,13 +294,18 @@ let scenario ~name ~doc ?(seeded_bug = false) ~nprocs ~x ~explore_steps
     explorable = true;
     explore_steps;
     exhaustive_property = property nprocs;
+    origin = Builtin;
   }
 
 let build ?nprocs name =
   let sized default = match nprocs with Some n -> n | None -> default in
   let check_min ~min n k =
     if n < min then
-      Error (Printf.sprintf "scenario %s needs at least %d processes" name min)
+      Error
+        (Printf.sprintf
+           "scenario %s needs at least %d processes (valid nprocs: %d and \
+            up; got %d)"
+           name min min n)
     else Ok (k n)
   in
   match name with
@@ -378,6 +386,7 @@ let build ?nprocs name =
           explorable = false;
           explore_steps = 0;
           exhaustive_property = (fun _ -> Ok ());
+          origin = Builtin;
         }
   | "bg_sec4" ->
       let mk_alg () =
@@ -401,6 +410,7 @@ let build ?nprocs name =
           explorable = false;
           explore_steps = 0;
           exhaustive_property = (fun _ -> Ok ());
+          origin = Builtin;
         }
   | "ts_from_cons" ->
       check_min ~min:2 (sized 3) (fun n ->
@@ -436,19 +446,75 @@ let known =
 
 let names () = known
 
+(* ------------------------------------------------------------------ *)
+(* DSL scenarios (lib/sdl)                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* [names ()] stays builtins-only on purpose: the network handshake's
+   registry fingerprint folds it, and registering a local .sdl file
+   must not make a binary unable to talk to its peers. DSL jobs carry
+   their source in the job itself instead ({!Dist.Proto.job.source}),
+   so both sides compile the identical program. *)
+
+let of_compiled ~origin (c : Sdl.Compile.t) =
+  {
+    name = c.Sdl.Compile.c_name;
+    doc = c.Sdl.Compile.c_doc;
+    seeded_bug = c.Sdl.Compile.c_seeded_bug;
+    nprocs = c.Sdl.Compile.c_nprocs;
+    x = c.Sdl.Compile.c_x;
+    make = c.Sdl.Compile.c_make;
+    monitors = c.Sdl.Compile.c_monitors;
+    (* compiled programs are closed by construction (DESIGN §15) *)
+    explorable = true;
+    explore_steps = c.Sdl.Compile.c_explore_steps;
+    exhaustive_property = c.Sdl.Compile.c_property;
+    origin;
+  }
+
+let of_source ?nprocs ?path source =
+  match Sdl.Compile.load ?nprocs source with
+  | Error m -> Error m
+  | Ok c -> Ok (of_compiled ~origin:(Sdl_source { source; path }) c)
+
+(* name -> (source, path); registered by [--scenario-file]/
+   [--scenario-dir]. A registered name shadows a builtin — that is the
+   point of twin files — and lookups recompile at the requested size. *)
+let registered : (string, string * string option) Hashtbl.t = Hashtbl.create 8
+
+let register_source ?path source =
+  match of_source ?path source with
+  | Error m -> Error m
+  | Ok s ->
+      Hashtbl.replace registered s.name (source, path);
+      Ok s
+
+let registered_names () =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) registered [])
+
 let find ?nprocs name =
-  match build ?nprocs name with
-  | Ok s -> Ok s
-  | Error e ->
-      if List.mem name known then Error e
-      else
-        Error
-          (Printf.sprintf "%s (known: %s)" e (String.concat ", " known))
+  match Hashtbl.find_opt registered name with
+  | Some (source, path) -> of_source ?nprocs ?path source
+  | None -> (
+      match build ?nprocs name with
+      | Ok s -> Ok s
+      | Error e ->
+          if List.mem name known then Error e
+          else
+            let all_known = known @ registered_names () in
+            Error
+              (Printf.sprintf "%s (known: %s)" e
+                 (String.concat ", " all_known)))
 
 let all () =
   List.map
     (fun n -> match build n with Ok s -> s | Error e -> failwith e)
     known
+
+let registered_scenarios () =
+  List.filter_map
+    (fun n -> match find n with Ok s -> Some s | Error _ -> None)
+    (registered_names ())
 
 let sweep_meta s =
   [

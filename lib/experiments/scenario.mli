@@ -20,6 +20,12 @@
     [asmsim replay file] can rebuild the exact system and re-drive the
     recorded schedule against it. *)
 
+type origin =
+  | Builtin  (** hand-written in this module *)
+  | Sdl_source of { source : string; path : string option }
+      (** compiled from DSL source text (the [path] is the .sdl file it
+          was loaded from, when there is one) *)
+
 type t = {
   name : string;
   doc : string;
@@ -40,6 +46,7 @@ type t = {
       (** the scenario's safety property as a pure function of the run
           record (never of [schedule]), safe on truncated runs — the
           contract {!Svm.Explore.exhaustive}'s prunings require *)
+  origin : origin;
 }
 
 val all : unit -> t list
@@ -48,8 +55,33 @@ val all : unit -> t list
 val names : unit -> string list
 
 val find : ?nprocs:int -> string -> (t, string) result
-(** Look up by name, optionally resized to [nprocs] processes. The error
-    lists the known names. *)
+(** Look up by name, optionally resized to [nprocs] processes —
+    registered DSL scenarios first (recompiled at the requested size),
+    then the builtins. An out-of-range [nprocs] error names the valid
+    range; an unknown name lists the known names. *)
+
+(** {1 DSL scenarios}
+
+    Compiled from {!Sdl} source text. [names ()] stays builtins-only
+    (the network registry fingerprint folds it); DSL jobs carry their
+    source over the wire in {!Dist.Proto.job.source} instead. *)
+
+val of_compiled : origin:origin -> Sdl.Compile.t -> t
+(** Wrap a compiled DSL scenario. Always [explorable]: compiled
+    programs are closed by construction. *)
+
+val of_source : ?nprocs:int -> ?path:string -> string -> (t, string) result
+(** Parse + validate + compile DSL source text (size-capped). *)
+
+val register_source : ?path:string -> string -> (t, string) result
+(** [of_source] at the default size, then remember the source under its
+    declared name so {!find} resolves it (shadowing a builtin of the
+    same name — the twin-file case). *)
+
+val registered_names : unit -> string list
+
+val registered_scenarios : unit -> t list
+(** Every registered DSL scenario at its default size. *)
 
 val sweep_meta : t -> (string * string) list
 (** Replay-artifact metadata identifying the scenario ([scenario],

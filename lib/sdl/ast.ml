@@ -1,0 +1,224 @@
+(* Typed AST of the scenario DSL.
+
+   Every node carries the source span it was parsed from, so the
+   validator and compiler report errors against the text the user
+   wrote, never against an internal representation. Spans are
+   half-open in columns and 1-based in both coordinates, matching
+   what editors display. *)
+
+type pos = { line : int; col : int }
+
+type span = { s_start : pos; s_end : pos }
+
+let dummy_pos = { line = 0; col = 0 }
+let dummy_span = { s_start = dummy_pos; s_end = dummy_pos }
+
+(* A typed, spanned error — the only failure shape the whole frontend
+   (lexer, parser, validator, compiler) is allowed to produce. *)
+type error = { e_span : span; e_msg : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "%d:%d-%d:%d: %s" e.e_span.s_start.line
+    e.e_span.s_start.col e.e_span.s_end.line e.e_span.s_end.col e.e_msg
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Integer-valued expressions. Comparisons evaluate to 0/1; [if] treats
+   any nonzero value as true. [Pid]/[Nprocs] are the two ambient
+   constants; [Var] refers to a [let]-bound op result. *)
+
+type binop = Add | Sub | Mul | Div | Mod | Eq | Ne | Lt | Le | Gt | Ge
+
+type expr = { e_desc : expr_desc; e_span : span }
+
+and expr_desc =
+  | Int of int
+  | Pid
+  | Nprocs
+  | Var of string
+  | Binop of binop * expr * expr
+
+(* ------------------------------------------------------------------ *)
+(* Object declarations                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The object families of the registry. The declared name doubles as
+   the {!Svm.Op.fam} family string, so a DSL scenario that names its
+   objects like a builtin scenario produces the identical op stream. *)
+type obj_kind =
+  | Reg  (** single register family *)
+  | Snap  (** single-writer snapshot memory *)
+  | Cons of { ports : int }  (** x-ported consensus; [ports <= x] *)
+  | Ts  (** test&set (consensus number 2; needs x >= 2) *)
+  | Queue  (** FIFO queue (consensus number 2; needs x >= 2) *)
+  | Sa of { no_cancel : bool }
+      (** Figure 1 safe agreement; [no_cancel] selects the seeded-bug
+          propose ablation *)
+  | Xsa of { x : int; first_subset_only : bool; static_owners : bool }
+      (** Figure 6 x_safe_agreement over all [nprocs] participants *)
+  | Ac  (** one-shot adopt-commit *)
+
+type obj_decl = { o_name : string; o_kind : obj_kind; o_span : span }
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type key = int list
+
+(* Op calls that produce an int and can be [let]-bound. *)
+type call = { c_desc : call_desc; c_span : span }
+
+and call_desc =
+  | Read of { obj : string; key : key; default : expr option }
+      (** register read; [default] when the cell is unwritten (0) *)
+  | Deq of { obj : string; key : key; default : expr option }
+      (** queue dequeue; [default] when empty (0) *)
+  | Propose of { obj : string; key : key; value : expr }
+      (** sa/xsa/ac propose (unit result, binds 0), cons propose
+          (binds the decided value), ac propose (binds the
+          adopted-or-committed value) *)
+  | Decide_obj of { obj : string; key : key }
+      (** sa/xsa decide: binds the decided value *)
+  | Ts_call of { obj : string; key : key }  (** 1 iff this pid won *)
+  | Scan_max of { obj : string; key : key; default : expr option }
+      (** snapshot scan reduced to the max of the present entries *)
+
+type stmt = { st_desc : stmt_desc; st_span : span }
+
+and stmt_desc =
+  | Let of string * call
+  | Call of call  (** result discarded *)
+  | Write of { obj : string; key : key; value : expr }
+  | Set of { obj : string; key : key; value : expr }
+      (** snapshot single-writer set of this pid's component *)
+  | Enq of { obj : string; key : key; value : expr }
+  | Yield
+  | Repeat of int * stmt list  (** statically bounded loop *)
+  | If of expr * stmt list * stmt list
+  | Decide of expr  (** terminate this process with the value *)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The closed combinator set over {!Svm.Explore.run}. Range bounds are
+   expressions over [nprocs] only (no [pid], no variables), resolved
+   once per scenario size. Each property contributes online monitors
+   and a pure run predicate; the scenario's [exhaustive_property] is
+   their conjunction. None of them ever inspects [Explore.schedule],
+   so every compiled property is sound under the explorer's prunings. *)
+type prop = { p_desc : prop_desc; p_span : span }
+
+and prop_desc =
+  | Agreement of { lo : expr; hi : expr }
+      (** at most one decided value, all within [lo..hi] *)
+  | K_agreement of { k : int; lo : expr; hi : expr }
+      (** at most [k] distinct decided values, all within [lo..hi] *)
+  | Validity of { lo : expr; hi : expr }
+      (** every decided value within [lo..hi] *)
+  | Integrity of { lo : expr; hi : expr }
+      (** every {e honest} decided value within [lo..hi]
+          (Byzantine-aware validity) *)
+  | Stall_bound of { prefix : string; bound : int }
+      (** at most [bound] processes halted inside any one instance
+          whose family starts with [prefix] (monitor-only) *)
+
+(* ------------------------------------------------------------------ *)
+(* Process blocks and the scenario                                     *)
+(* ------------------------------------------------------------------ *)
+
+type proc_sel =
+  | All
+  | Range of int * int  (** inclusive pid range; a single pid is p..p *)
+
+type proc_block = { pb_sel : proc_sel; pb_body : stmt list; pb_span : span }
+
+type scenario = {
+  sc_name : string;
+  sc_doc : string;
+  sc_nprocs : int;  (** default size *)
+  sc_min_nprocs : int;  (** smallest size [find ~nprocs] may resize to *)
+  sc_x : int;
+  sc_seeded_bug : bool;
+  sc_explore_steps : int;
+  sc_objects : obj_decl list;
+  sc_procs : proc_block list;
+  sc_props : prop list;
+  sc_span : span;
+}
+
+(* Structural equality that ignores spans — what the fmt→parse
+   round-trip test checks. *)
+
+let rec strip_expr e =
+  match e.e_desc with
+  | Int _ | Pid | Nprocs | Var _ -> { e with e_span = dummy_span }
+  | Binop (op, a, b) ->
+      { e_desc = Binop (op, strip_expr a, strip_expr b); e_span = dummy_span }
+
+let strip_call c =
+  let d =
+    match c.c_desc with
+    | Read r -> Read { r with default = Option.map strip_expr r.default }
+    | Deq r -> Deq { r with default = Option.map strip_expr r.default }
+    | Propose p -> Propose { p with value = strip_expr p.value }
+    | Decide_obj _ | Ts_call _ -> c.c_desc
+    | Scan_max r ->
+        Scan_max { r with default = Option.map strip_expr r.default }
+  in
+  { c_desc = d; c_span = dummy_span }
+
+let rec strip_stmt st =
+  let d =
+    match st.st_desc with
+    | Let (v, c) -> Let (v, strip_call c)
+    | Call c -> Call (strip_call c)
+    | Write w -> Write { w with value = strip_expr w.value }
+    | Set s -> Set { s with value = strip_expr s.value }
+    | Enq e -> Enq { e with value = strip_expr e.value }
+    | Yield -> Yield
+    | Repeat (n, body) -> Repeat (n, List.map strip_stmt body)
+    | If (c, t, e) ->
+        If (strip_expr c, List.map strip_stmt t, List.map strip_stmt e)
+    | Decide e -> Decide (strip_expr e)
+  in
+  { st_desc = d; st_span = dummy_span }
+
+let strip_prop p =
+  let d =
+    match p.p_desc with
+    | Agreement { lo; hi } ->
+        Agreement { lo = strip_expr lo; hi = strip_expr hi }
+    | K_agreement { k; lo; hi } ->
+        K_agreement { k; lo = strip_expr lo; hi = strip_expr hi }
+    | Validity { lo; hi } -> Validity { lo = strip_expr lo; hi = strip_expr hi }
+    | Integrity { lo; hi } ->
+        Integrity { lo = strip_expr lo; hi = strip_expr hi }
+    | Stall_bound _ -> p.p_desc
+  in
+  { p_desc = d; p_span = dummy_span }
+
+let strip sc =
+  {
+    sc with
+    sc_span = dummy_span;
+    sc_objects =
+      List.map (fun o -> { o with o_span = dummy_span }) sc.sc_objects;
+    sc_procs =
+      List.map
+        (fun pb ->
+          {
+            pb with
+            pb_span = dummy_span;
+            pb_body = List.map strip_stmt pb.pb_body;
+          })
+        sc.sc_procs;
+    sc_props = List.map strip_prop sc.sc_props;
+  }
+
+let equal_ignoring_spans a b = strip a = strip b

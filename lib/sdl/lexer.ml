@@ -1,0 +1,240 @@
+(* Hand-written lexer for the scenario DSL.
+
+   Produces the full token stream up front (scenario sources are small
+   by contract — see {!Compile.max_source_bytes}), each token carrying
+   its source span. Lexing never raises: any bad character or
+   unterminated literal is returned as a typed {!Ast.error}. *)
+
+type token =
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | LBRACE
+  | RBRACE
+  | LBRACK
+  | RBRACK
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOTDOT
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQEQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | STRING _ -> "string literal"
+  | INT n -> Printf.sprintf "integer %d" n
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACK -> "'['"
+  | RBRACK -> "']'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | DOTDOT -> "'..'"
+  | ASSIGN -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | EQEQ -> "'=='"
+  | NE -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EOF -> "end of input"
+
+type lexed = { tok : token; span : Ast.span }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let cur_pos st = { Ast.line = st.line; col = st.col }
+
+let advance st =
+  (match st.src.[st.pos] with
+  | '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | _ -> st.col <- st.col + 1);
+  st.pos <- st.pos + 1
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let error ~start st msg =
+  Error { Ast.e_span = { s_start = start; s_end = cur_pos st }; e_msg = msg }
+
+(* One token (or EOF). *)
+let rec next st : (lexed, Ast.error) result =
+  match peek st with
+  | None ->
+      let p = cur_pos st in
+      Ok { tok = EOF; span = { s_start = p; s_end = p } }
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      next st
+  | Some '#' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      next st
+  | Some c -> (
+      let start = cur_pos st in
+      let one tok =
+        advance st;
+        Ok { tok; span = { Ast.s_start = start; s_end = cur_pos st } }
+      in
+      let two tok =
+        advance st;
+        advance st;
+        Ok { tok; span = { Ast.s_start = start; s_end = cur_pos st } }
+      in
+      match c with
+      | '{' -> one LBRACE
+      | '}' -> one RBRACE
+      | '[' -> one LBRACK
+      | ']' -> one RBRACK
+      | '(' -> one LPAREN
+      | ')' -> one RPAREN
+      | ',' -> one COMMA
+      | '+' -> one PLUS
+      | '-' -> one MINUS
+      | '*' -> one STAR
+      | '/' -> one SLASH
+      | '%' -> one PERCENT
+      | '.' ->
+          if peek2 st = Some '.' then two DOTDOT
+          else begin
+            advance st;
+            error ~start st "stray '.': did you mean '..'?"
+          end
+      | '=' -> if peek2 st = Some '=' then two EQEQ else one ASSIGN
+      | '!' ->
+          if peek2 st = Some '=' then two NE
+          else begin
+            advance st;
+            error ~start st "stray '!': did you mean '!='?"
+          end
+      | '<' -> if peek2 st = Some '=' then two LE else one LT
+      | '>' -> if peek2 st = Some '=' then two GE else one GT
+      | '"' ->
+          advance st;
+          let buf = Buffer.create 16 in
+          let rec str () =
+            match peek st with
+            | None -> error ~start st "unterminated string literal"
+            | Some '\n' ->
+                error ~start st "unterminated string literal (newline reached)"
+            | Some '"' ->
+                advance st;
+                Ok
+                  {
+                    tok = STRING (Buffer.contents buf);
+                    span = { Ast.s_start = start; s_end = cur_pos st };
+                  }
+            | Some '\\' -> (
+                advance st;
+                match peek st with
+                | Some '"' ->
+                    Buffer.add_char buf '"';
+                    advance st;
+                    str ()
+                | Some '\\' ->
+                    Buffer.add_char buf '\\';
+                    advance st;
+                    str ()
+                | Some 'n' ->
+                    Buffer.add_char buf '\n';
+                    advance st;
+                    str ()
+                | Some c ->
+                    advance st;
+                    error ~start st
+                      (Printf.sprintf "unknown string escape '\\%c'" c)
+                | None -> error ~start st "unterminated string escape")
+            | Some c ->
+                Buffer.add_char buf c;
+                advance st;
+                str ()
+          in
+          str ()
+      | c when is_digit c ->
+          let b = Buffer.create 8 in
+          while
+            match peek st with Some c when is_digit c -> true | _ -> false
+          do
+            Buffer.add_char b st.src.[st.pos];
+            advance st
+          done;
+          (match peek st with
+          | Some c when is_ident_start c ->
+              error ~start st
+                (Printf.sprintf "number followed by '%c': separate them" c)
+          | _ -> (
+              match int_of_string_opt (Buffer.contents b) with
+              | Some n ->
+                  Ok
+                    {
+                      tok = INT n;
+                      span = { Ast.s_start = start; s_end = cur_pos st };
+                    }
+              | None ->
+                  error ~start st
+                    (Printf.sprintf "integer literal %s out of range"
+                       (Buffer.contents b))))
+      | c when is_ident_start c ->
+          let b = Buffer.create 16 in
+          while
+            match peek st with Some c when is_ident_char c -> true | _ -> false
+          do
+            Buffer.add_char b st.src.[st.pos];
+            advance st
+          done;
+          Ok
+            {
+              tok = IDENT (Buffer.contents b);
+              span = { Ast.s_start = start; s_end = cur_pos st };
+            }
+      | c ->
+          advance st;
+          error ~start st (Printf.sprintf "unexpected character %C" c))
+
+(* The whole stream, EOF-terminated. *)
+let tokenize src : (lexed array, Ast.error) result =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let acc = ref [] in
+  let rec go () =
+    match next st with
+    | Error e -> Error e
+    | Ok t ->
+        acc := t :: !acc;
+        if t.tok = EOF then Ok (Array.of_list (List.rev !acc)) else go ()
+  in
+  go ()

@@ -1,0 +1,674 @@
+(* Recursive-descent parser for the scenario DSL.
+
+   Grammar (see README "Scenario DSL" for the commented version):
+
+     scenario  ::= "scenario" STRING "{" decl* "}"
+     decl      ::= "doc" STRING | "nprocs" INT ("min" INT)? | "x" INT
+                 | "seeded_bug" | "explore_steps" INT
+                 | "objects" "{" objdecl* "}"
+                 | "process" ("all" | INT (".." INT)?) "{" stmt* "}"
+                 | "property" prop
+     objdecl   ::= "reg" NAME | "snap" NAME | "cons" NAME "ports" INT
+                 | "ts" NAME | "queue" NAME | "sa" NAME ("no_cancel")?
+                 | "xsa" NAME "x" INT ("first_subset_only" |
+                                       "static_owners")*
+                 | "ac" NAME
+     stmt      ::= "let" NAME "=" call | call
+                 | "write" NAME key expr | "set" NAME key expr
+                 | "enq" NAME key expr | "yield"
+                 | "repeat" INT "{" stmt* "}"
+                 | "if" expr "{" stmt* "}" ("else" "{" stmt* "}")?
+                 | "decide" expr
+     call      ::= "read" NAME key ("default" expr)?
+                 | "deq" NAME key ("default" expr)?
+                 | "scan_max" NAME key ("default" expr)?
+                 | "propose" NAME key expr
+                 | "decide" NAME key
+                 | "ts" NAME key
+     key       ::= "[" ( int { "," int } )? "]"
+     prop      ::= "agreement" "in" expr ".." expr
+                 | "k_agreement" INT "in" expr ".." expr
+                 | "validity" "in" expr ".." expr
+                 | "integrity" "in" expr ".." expr
+                 | "stall_bound" STRING ("bound" INT)?
+     expr      ::= cmp; cmp over (== != < <= > >=), then (+ -), then
+                   ( * / % ), atoms: INT, "-" INT, "pid", "nprocs", NAME,
+                   "(" expr ")"
+
+   The parser never raises past its public entry points: every failure
+   is a typed {!Ast.error} spanning the offending token. The statement
+   "decide e" and the call "decide OBJ key" are disambiguated by one
+   token of lookahead (an identifier followed by '[' is an object
+   decide). *)
+
+open Ast
+
+exception Fail of Ast.error
+
+type st = { toks : Lexer.lexed array; mutable pos : int }
+
+let cur st = st.toks.(st.pos)
+
+let cur_span st = (cur st).Lexer.span
+
+let fail_at span msg = raise (Fail { e_span = span; e_msg = msg })
+
+let fail st msg = fail_at (cur_span st) msg
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let expect st tok what =
+  let t = cur st in
+  if t.Lexer.tok = tok then (
+    advance st;
+    t.Lexer.span)
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" what
+         (Lexer.token_name t.Lexer.tok))
+
+let expect_int st what =
+  match (cur st).Lexer.tok with
+  | Lexer.INT n ->
+      let sp = cur_span st in
+      advance st;
+      (n, sp)
+  | t -> fail st (Printf.sprintf "expected %s but found %s" what
+                    (Lexer.token_name t))
+
+let expect_ident st what =
+  match (cur st).Lexer.tok with
+  | Lexer.IDENT s ->
+      let sp = cur_span st in
+      advance st;
+      (s, sp)
+  | t -> fail st (Printf.sprintf "expected %s but found %s" what
+                    (Lexer.token_name t))
+
+let expect_string st what =
+  match (cur st).Lexer.tok with
+  | Lexer.STRING s ->
+      let sp = cur_span st in
+      advance st;
+      (s, sp)
+  | t -> fail st (Printf.sprintf "expected %s but found %s" what
+                    (Lexer.token_name t))
+
+(* A signed integer literal (keys, loop bounds). *)
+let expect_signed_int st what =
+  match (cur st).Lexer.tok with
+  | Lexer.MINUS ->
+      advance st;
+      let n, sp = expect_int st what in
+      (-n, sp)
+  | _ -> expect_int st what
+
+let span_join a b = { s_start = a.s_start; s_end = b.s_end }
+
+(* ---- expressions ---- *)
+
+let rec parse_expr st = parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match (cur st).Lexer.tok with
+    | Lexer.EQEQ -> Some Eq
+    | Lexer.NE -> Some Ne
+    | Lexer.LT -> Some Lt
+    | Lexer.LE -> Some Le
+    | Lexer.GT -> Some Gt
+    | Lexer.GE -> Some Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      let rhs = parse_add st in
+      {
+        e_desc = Binop (op, lhs, rhs);
+        e_span = span_join lhs.e_span rhs.e_span;
+      }
+
+and parse_add st =
+  let rec go lhs =
+    let op =
+      match (cur st).Lexer.tok with
+      | Lexer.PLUS -> Some Add
+      | Lexer.MINUS -> Some Sub
+      | _ -> None
+    in
+    match op with
+    | None -> lhs
+    | Some op ->
+        advance st;
+        let rhs = parse_mul st in
+        go
+          {
+            e_desc = Binop (op, lhs, rhs);
+            e_span = span_join lhs.e_span rhs.e_span;
+          }
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    let op =
+      match (cur st).Lexer.tok with
+      | Lexer.STAR -> Some Mul
+      | Lexer.SLASH -> Some Div
+      | Lexer.PERCENT -> Some Mod
+      | _ -> None
+    in
+    match op with
+    | None -> lhs
+    | Some op ->
+        advance st;
+        let rhs = parse_atom st in
+        go
+          {
+            e_desc = Binop (op, lhs, rhs);
+            e_span = span_join lhs.e_span rhs.e_span;
+          }
+  in
+  go (parse_atom st)
+
+and parse_atom st =
+  let sp = cur_span st in
+  match (cur st).Lexer.tok with
+  | Lexer.INT n ->
+      advance st;
+      { e_desc = Int n; e_span = sp }
+  | Lexer.MINUS ->
+      advance st;
+      let n, sp2 = expect_int st "an integer after unary '-'" in
+      { e_desc = Int (-n); e_span = span_join sp sp2 }
+  | Lexer.IDENT "pid" ->
+      advance st;
+      { e_desc = Pid; e_span = sp }
+  | Lexer.IDENT "nprocs" ->
+      advance st;
+      { e_desc = Nprocs; e_span = sp }
+  | Lexer.IDENT v ->
+      advance st;
+      { e_desc = Var v; e_span = sp }
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      let sp2 = expect st Lexer.RPAREN "')'" in
+      { e with e_span = span_join sp sp2 }
+  | t ->
+      fail st
+        (Printf.sprintf "expected an expression but found %s"
+           (Lexer.token_name t))
+
+(* ---- keys ---- *)
+
+let parse_key st =
+  let _ = expect st Lexer.LBRACK "a key '[...]'" in
+  match (cur st).Lexer.tok with
+  | Lexer.RBRACK ->
+      advance st;
+      []
+  | _ ->
+      let rec go acc =
+        let n, _ = expect_signed_int st "a key component (integer)" in
+        match (cur st).Lexer.tok with
+        | Lexer.COMMA ->
+            advance st;
+            go (n :: acc)
+        | _ ->
+            let _ = expect st Lexer.RBRACK "']'" in
+            List.rev (n :: acc)
+      in
+      go []
+
+(* ---- calls ---- *)
+
+let parse_default st =
+  match (cur st).Lexer.tok with
+  | Lexer.IDENT "default" ->
+      advance st;
+      Some (parse_expr st)
+  | _ -> None
+
+let parse_call st kw sp0 : call =
+  match kw with
+  | "read" ->
+      let obj, _ = expect_ident st "an object name after 'read'" in
+      let key = parse_key st in
+      let default = parse_default st in
+      { c_desc = Read { obj; key; default }; c_span = sp0 }
+  | "deq" ->
+      let obj, _ = expect_ident st "an object name after 'deq'" in
+      let key = parse_key st in
+      let default = parse_default st in
+      { c_desc = Deq { obj; key; default }; c_span = sp0 }
+  | "scan_max" ->
+      let obj, _ = expect_ident st "an object name after 'scan_max'" in
+      let key = parse_key st in
+      let default = parse_default st in
+      { c_desc = Scan_max { obj; key; default }; c_span = sp0 }
+  | "propose" ->
+      let obj, _ = expect_ident st "an object name after 'propose'" in
+      let key = parse_key st in
+      let value = parse_expr st in
+      { c_desc = Propose { obj; key; value }; c_span = sp0 }
+  | "decide" ->
+      let obj, _ = expect_ident st "an object name after 'decide'" in
+      let key = parse_key st in
+      { c_desc = Decide_obj { obj; key }; c_span = sp0 }
+  | "ts" ->
+      let obj, _ = expect_ident st "an object name after 'ts'" in
+      let key = parse_key st in
+      { c_desc = Ts_call { obj; key }; c_span = sp0 }
+  | kw ->
+      fail_at sp0
+        (Printf.sprintf
+           "expected an op call (read, deq, scan_max, propose, decide, ts) \
+            but found %S"
+           kw)
+
+let is_call_kw = function
+  | "read" | "deq" | "scan_max" | "propose" | "ts" -> true
+  | _ -> false
+
+(* ---- statements ---- *)
+
+let rec parse_stmts st : stmt list =
+  match (cur st).Lexer.tok with
+  | Lexer.RBRACE | Lexer.EOF -> []
+  | _ ->
+      let s = parse_stmt st in
+      s :: parse_stmts st
+
+and parse_block st what =
+  let _ = expect st Lexer.LBRACE (Printf.sprintf "'{' to open %s" what) in
+  let body = parse_stmts st in
+  let _ = expect st Lexer.RBRACE (Printf.sprintf "'}' to close %s" what) in
+  body
+
+and parse_stmt st : stmt =
+  let sp0 = cur_span st in
+  match (cur st).Lexer.tok with
+  | Lexer.IDENT "let" ->
+      advance st;
+      let v, _ = expect_ident st "a variable name after 'let'" in
+      if v = "pid" || v = "nprocs" then
+        fail_at sp0 (Printf.sprintf "cannot rebind the builtin %S" v);
+      let _ = expect st Lexer.ASSIGN "'='" in
+      let kw, ksp = expect_ident st "an op call after '='" in
+      let c = parse_call st kw ksp in
+      { st_desc = Let (v, c); st_span = span_join sp0 c.c_span }
+  | Lexer.IDENT "write" ->
+      advance st;
+      let obj, _ = expect_ident st "an object name after 'write'" in
+      let key = parse_key st in
+      let value = parse_expr st in
+      { st_desc = Write { obj; key; value }; st_span = sp0 }
+  | Lexer.IDENT "set" ->
+      advance st;
+      let obj, _ = expect_ident st "an object name after 'set'" in
+      let key = parse_key st in
+      let value = parse_expr st in
+      { st_desc = Set { obj; key; value }; st_span = sp0 }
+  | Lexer.IDENT "enq" ->
+      advance st;
+      let obj, _ = expect_ident st "an object name after 'enq'" in
+      let key = parse_key st in
+      let value = parse_expr st in
+      { st_desc = Enq { obj; key; value }; st_span = sp0 }
+  | Lexer.IDENT "yield" ->
+      advance st;
+      { st_desc = Yield; st_span = sp0 }
+  | Lexer.IDENT "repeat" ->
+      advance st;
+      let n, _ = expect_int st "a loop bound (integer) after 'repeat'" in
+      let body = parse_block st "the repeat body" in
+      { st_desc = Repeat (n, body); st_span = sp0 }
+  | Lexer.IDENT "if" ->
+      advance st;
+      let cond = parse_expr st in
+      let then_ = parse_block st "the if branch" in
+      let else_ =
+        match (cur st).Lexer.tok with
+        | Lexer.IDENT "else" ->
+            advance st;
+            parse_block st "the else branch"
+        | _ -> []
+      in
+      { st_desc = If (cond, then_, else_); st_span = sp0 }
+  | Lexer.IDENT "decide" -> (
+      advance st;
+      (* "decide OBJ [key]" is an object decide (only as a call after
+         'let'); at statement level an identifier followed by '[' would
+         be that call, which is not allowed here — a decide statement
+         takes the decision value. *)
+      let next_tok =
+        if st.pos + 1 < Array.length st.toks then
+          st.toks.(st.pos + 1).Lexer.tok
+        else Lexer.EOF
+      in
+      match ((cur st).Lexer.tok, next_tok) with
+      | Lexer.IDENT _, Lexer.LBRACK ->
+          fail st
+            "the final 'decide' takes a value: bind the object decide \
+             first ('let v = decide OBJ [...]' then 'decide v')"
+      | _ ->
+          let e = parse_expr st in
+          { st_desc = Decide e; st_span = span_join sp0 e.e_span })
+  | Lexer.IDENT kw when is_call_kw kw ->
+      advance st;
+      let c = parse_call st kw sp0 in
+      { st_desc = Call c; st_span = span_join sp0 c.c_span }
+  | t ->
+      fail st
+        (Printf.sprintf "expected a statement but found %s"
+           (Lexer.token_name t))
+
+(* ---- object declarations ---- *)
+
+let parse_obj_name st kind =
+  let name, sp = expect_ident st (Printf.sprintf "a name after '%s'" kind) in
+  if
+    List.mem name
+      [
+        "reg"; "snap"; "cons"; "ts"; "queue"; "sa"; "xsa"; "ac"; "pid";
+        "nprocs"; "all"; "let"; "decide";
+      ]
+  then fail_at sp (Printf.sprintf "%S cannot be used as an object name" name);
+  (name, sp)
+
+let parse_obj_decl st : obj_decl =
+  let kind, sp0 = expect_ident st "an object kind" in
+  match kind with
+  | "reg" ->
+      let o_name, _ = parse_obj_name st kind in
+      { o_name; o_kind = Reg; o_span = sp0 }
+  | "snap" ->
+      let o_name, _ = parse_obj_name st kind in
+      { o_name; o_kind = Snap; o_span = sp0 }
+  | "ts" ->
+      let o_name, _ = parse_obj_name st kind in
+      { o_name; o_kind = Ts; o_span = sp0 }
+  | "queue" ->
+      let o_name, _ = parse_obj_name st kind in
+      { o_name; o_kind = Queue; o_span = sp0 }
+  | "ac" ->
+      let o_name, _ = parse_obj_name st kind in
+      { o_name; o_kind = Ac; o_span = sp0 }
+  | "cons" ->
+      let o_name, _ = parse_obj_name st kind in
+      (match (cur st).Lexer.tok with
+      | Lexer.IDENT "ports" -> advance st
+      | t ->
+          fail st
+            (Printf.sprintf "expected 'ports' after the cons name but found %s"
+               (Lexer.token_name t)));
+      let ports, _ = expect_int st "the port count" in
+      { o_name; o_kind = Cons { ports }; o_span = sp0 }
+  | "sa" ->
+      let o_name, _ = parse_obj_name st kind in
+      let no_cancel =
+        match (cur st).Lexer.tok with
+        | Lexer.IDENT "no_cancel" ->
+            advance st;
+            true
+        | _ -> false
+      in
+      { o_name; o_kind = Sa { no_cancel }; o_span = sp0 }
+  | "xsa" ->
+      let o_name, _ = parse_obj_name st kind in
+      (match (cur st).Lexer.tok with
+      | Lexer.IDENT "x" -> advance st
+      | t ->
+          fail st
+            (Printf.sprintf "expected 'x' after the xsa name but found %s"
+               (Lexer.token_name t)));
+      let x, _ = expect_int st "the xsa arity" in
+      let first = ref false and static = ref false in
+      let rec flags () =
+        match (cur st).Lexer.tok with
+        | Lexer.IDENT "first_subset_only" ->
+            advance st;
+            first := true;
+            flags ()
+        | Lexer.IDENT "static_owners" ->
+            advance st;
+            static := true;
+            flags ()
+        | _ -> ()
+      in
+      flags ();
+      {
+        o_name;
+        o_kind = Xsa { x; first_subset_only = !first; static_owners = !static };
+        o_span = sp0;
+      }
+  | k ->
+      fail_at sp0
+        (Printf.sprintf
+           "unknown object kind %S (known: reg, snap, cons, ts, queue, sa, \
+            xsa, ac)"
+           k)
+
+(* ---- properties ---- *)
+
+let expect_in st =
+  match (cur st).Lexer.tok with
+  | Lexer.IDENT "in" -> advance st
+  | t ->
+      fail st
+        (Printf.sprintf "expected 'in' before the value range but found %s"
+           (Lexer.token_name t))
+
+let parse_range st =
+  expect_in st;
+  let lo = parse_expr st in
+  let _ = expect st Lexer.DOTDOT "'..' between the range bounds" in
+  let hi = parse_expr st in
+  (lo, hi)
+
+let parse_prop st : prop =
+  let kw, sp0 = expect_ident st "a property name" in
+  match kw with
+  | "agreement" ->
+      let lo, hi = parse_range st in
+      { p_desc = Agreement { lo; hi }; p_span = sp0 }
+  | "k_agreement" ->
+      let k, _ = expect_int st "k (integer) after 'k_agreement'" in
+      let lo, hi = parse_range st in
+      { p_desc = K_agreement { k; lo; hi }; p_span = sp0 }
+  | "validity" ->
+      let lo, hi = parse_range st in
+      { p_desc = Validity { lo; hi }; p_span = sp0 }
+  | "integrity" ->
+      let lo, hi = parse_range st in
+      { p_desc = Integrity { lo; hi }; p_span = sp0 }
+  | "stall_bound" ->
+      let prefix, _ = expect_string st "the family prefix (string)" in
+      let bound =
+        match (cur st).Lexer.tok with
+        | Lexer.IDENT "bound" ->
+            advance st;
+            fst (expect_int st "the stall bound")
+        | _ -> 1
+      in
+      { p_desc = Stall_bound { prefix; bound }; p_span = sp0 }
+  | k ->
+      fail_at sp0
+        (Printf.sprintf
+           "unknown property %S (known: agreement, k_agreement, validity, \
+            integrity, stall_bound)"
+           k)
+
+(* ---- scenario ---- *)
+
+type partial = {
+  mutable p_doc : string option;
+  mutable p_nprocs : (int * int) option;  (** default, min *)
+  mutable p_x : int option;
+  mutable p_seeded : bool;
+  mutable p_steps : int option;
+  mutable p_objects : obj_decl list;  (** reversed *)
+  mutable p_procs : proc_block list;  (** reversed *)
+  mutable p_props : prop list;  (** reversed *)
+}
+
+let parse_proc_sel st =
+  match (cur st).Lexer.tok with
+  | Lexer.IDENT "all" ->
+      advance st;
+      All
+  | Lexer.INT lo -> (
+      advance st;
+      match (cur st).Lexer.tok with
+      | Lexer.DOTDOT ->
+          advance st;
+          let hi, _ = expect_int st "the last pid of the range" in
+          Range (lo, hi)
+      | _ -> Range (lo, lo))
+  | t ->
+      fail st
+        (Printf.sprintf
+           "expected 'all', a pid, or a pid range after 'process' but found \
+            %s"
+           (Lexer.token_name t))
+
+let dup st sp what =
+  ignore st;
+  fail_at sp (Printf.sprintf "duplicate %s declaration" what)
+
+let parse_decl st (p : partial) =
+  let sp0 = cur_span st in
+  let kw, _ = expect_ident st "a scenario declaration" in
+  match kw with
+  | "doc" ->
+      if p.p_doc <> None then dup st sp0 "doc";
+      let s, _ = expect_string st "the doc string" in
+      p.p_doc <- Some s
+  | "nprocs" ->
+      if p.p_nprocs <> None then dup st sp0 "nprocs";
+      let n, _ = expect_int st "the process count" in
+      let min =
+        match (cur st).Lexer.tok with
+        | Lexer.IDENT "min" ->
+            advance st;
+            fst (expect_int st "the minimum process count")
+        | _ -> n
+      in
+      p.p_nprocs <- Some (n, min)
+  | "x" ->
+      if p.p_x <> None then dup st sp0 "x";
+      let x, _ = expect_int st "the consensus arity x" in
+      p.p_x <- Some x
+  | "seeded_bug" ->
+      if p.p_seeded then dup st sp0 "seeded_bug";
+      p.p_seeded <- true
+  | "explore_steps" ->
+      if p.p_steps <> None then dup st sp0 "explore_steps";
+      let d, _ = expect_int st "the exploration depth" in
+      p.p_steps <- Some d
+  | "objects" ->
+      let _ = expect st Lexer.LBRACE "'{' to open the objects block" in
+      let rec go () =
+        match (cur st).Lexer.tok with
+        | Lexer.RBRACE ->
+            advance st;
+            ()
+        | _ ->
+            p.p_objects <- parse_obj_decl st :: p.p_objects;
+            go ()
+      in
+      go ()
+  | "process" ->
+      let sel = parse_proc_sel st in
+      let body = parse_block st "the process body" in
+      p.p_procs <-
+        { pb_sel = sel; pb_body = body; pb_span = sp0 } :: p.p_procs
+  | "property" -> p.p_props <- parse_prop st :: p.p_props
+  | k ->
+      fail_at sp0
+        (Printf.sprintf
+           "unknown declaration %S (known: doc, nprocs, x, seeded_bug, \
+            explore_steps, objects, process, property)"
+           k)
+
+let parse_scenario st : scenario =
+  let sp0 = cur_span st in
+  (match (cur st).Lexer.tok with
+  | Lexer.IDENT "scenario" -> advance st
+  | t ->
+      fail st
+        (Printf.sprintf "expected 'scenario' but found %s" (Lexer.token_name t)));
+  let name, nsp = expect_string st "the scenario name (string)" in
+  if name = "" then fail_at nsp "the scenario name must not be empty";
+  let _ = expect st Lexer.LBRACE "'{' to open the scenario" in
+  let p =
+    {
+      p_doc = None;
+      p_nprocs = None;
+      p_x = None;
+      p_seeded = false;
+      p_steps = None;
+      p_objects = [];
+      p_procs = [];
+      p_props = [];
+    }
+  in
+  let rec go () =
+    match (cur st).Lexer.tok with
+    | Lexer.RBRACE ->
+        advance st;
+        ()
+    | Lexer.EOF -> fail st "unexpected end of input inside the scenario"
+    | _ ->
+        parse_decl st p;
+        go ()
+  in
+  go ();
+  let sp_end = cur_span st in
+  let nprocs, min_nprocs =
+    match p.p_nprocs with
+    | Some nm -> nm
+    | None -> fail_at sp0 "the scenario declares no 'nprocs'"
+  in
+  let x =
+    match p.p_x with
+    | Some x -> x
+    | None -> fail_at sp0 "the scenario declares no 'x'"
+  in
+  {
+    sc_name = name;
+    sc_doc = Option.value ~default:"" p.p_doc;
+    sc_nprocs = nprocs;
+    sc_min_nprocs = min_nprocs;
+    sc_x = x;
+    sc_seeded_bug = p.p_seeded;
+    sc_explore_steps = Option.value ~default:10 p.p_steps;
+    sc_objects = List.rev p.p_objects;
+    sc_procs = List.rev p.p_procs;
+    sc_props = List.rev p.p_props;
+    sc_span = span_join sp0 sp_end;
+  }
+
+let parse src : (scenario, Ast.error) result =
+  match Lexer.tokenize src with
+  | Error e -> Error e
+  | Ok toks -> (
+      let st = { toks; pos = 0 } in
+      match parse_scenario st with
+      | sc -> (
+          match (cur st).Lexer.tok with
+          | Lexer.EOF -> Ok sc
+          | t ->
+              Error
+                {
+                  e_span = cur_span st;
+                  e_msg =
+                    Printf.sprintf
+                      "trailing input after the scenario: found %s"
+                      (Lexer.token_name t);
+                })
+      | exception Fail e -> Error e)

@@ -1,0 +1,159 @@
+(* Canonical formatter for scenario ASTs — the output of
+   [asmsim sdl fmt].
+
+   The contract (pinned by the qcheck round-trip in test_sdl.ml) is
+   [parse (to_string sc)] = [sc] up to spans. To keep that trivially
+   true the printer is conservative: every compound operand of a
+   binary expression is parenthesized, so printed grouping always
+   re-parses to the same tree regardless of precedence. *)
+
+open Ast
+
+let escape_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec expr_str e =
+  match e.e_desc with
+  | Int n -> string_of_int n
+  | Pid -> "pid"
+  | Nprocs -> "nprocs"
+  | Var v -> v
+  | Binop (op, a, b) ->
+      Printf.sprintf "%s %s %s" (operand_str a) (binop_str op) (operand_str b)
+
+and operand_str e =
+  match e.e_desc with
+  | Binop _ -> Printf.sprintf "(%s)" (expr_str e)
+  | Int _ | Pid | Nprocs | Var _ -> expr_str e
+
+let key_str key =
+  Printf.sprintf "[%s]" (String.concat "," (List.map string_of_int key))
+
+let default_str = function
+  | None -> ""
+  | Some e -> Printf.sprintf " default %s" (expr_str e)
+
+let call_str c =
+  match c.c_desc with
+  | Read { obj; key; default } ->
+      Printf.sprintf "read %s %s%s" obj (key_str key) (default_str default)
+  | Deq { obj; key; default } ->
+      Printf.sprintf "deq %s %s%s" obj (key_str key) (default_str default)
+  | Scan_max { obj; key; default } ->
+      Printf.sprintf "scan_max %s %s%s" obj (key_str key) (default_str default)
+  | Propose { obj; key; value } ->
+      Printf.sprintf "propose %s %s %s" obj (key_str key) (expr_str value)
+  | Decide_obj { obj; key } -> Printf.sprintf "decide %s %s" obj (key_str key)
+  | Ts_call { obj; key } -> Printf.sprintf "ts %s %s" obj (key_str key)
+
+let rec add_stmt b indent st =
+  let pad = String.make indent ' ' in
+  let line s = Buffer.add_string b (pad ^ s ^ "\n") in
+  match st.st_desc with
+  | Let (v, c) -> line (Printf.sprintf "let %s = %s" v (call_str c))
+  | Call c -> line (call_str c)
+  | Write { obj; key; value } ->
+      line (Printf.sprintf "write %s %s %s" obj (key_str key) (expr_str value))
+  | Set { obj; key; value } ->
+      line (Printf.sprintf "set %s %s %s" obj (key_str key) (expr_str value))
+  | Enq { obj; key; value } ->
+      line (Printf.sprintf "enq %s %s %s" obj (key_str key) (expr_str value))
+  | Yield -> line "yield"
+  | Repeat (n, body) ->
+      line (Printf.sprintf "repeat %d {" n);
+      List.iter (add_stmt b (indent + 2)) body;
+      line "}"
+  | If (cond, then_, else_) ->
+      line (Printf.sprintf "if %s {" (expr_str cond));
+      List.iter (add_stmt b (indent + 2)) then_;
+      if else_ = [] then line "}"
+      else begin
+        line "} else {";
+        List.iter (add_stmt b (indent + 2)) else_;
+        line "}"
+      end
+  | Decide e -> line (Printf.sprintf "decide %s" (expr_str e))
+
+let obj_decl_str o =
+  match o.o_kind with
+  | Reg -> Printf.sprintf "reg %s" o.o_name
+  | Snap -> Printf.sprintf "snap %s" o.o_name
+  | Cons { ports } -> Printf.sprintf "cons %s ports %d" o.o_name ports
+  | Ts -> Printf.sprintf "ts %s" o.o_name
+  | Queue -> Printf.sprintf "queue %s" o.o_name
+  | Sa { no_cancel } ->
+      Printf.sprintf "sa %s%s" o.o_name (if no_cancel then " no_cancel" else "")
+  | Xsa { x; first_subset_only; static_owners } ->
+      Printf.sprintf "xsa %s x %d%s%s" o.o_name x
+        (if first_subset_only then " first_subset_only" else "")
+        (if static_owners then " static_owners" else "")
+  | Ac -> Printf.sprintf "ac %s" o.o_name
+
+let prop_str p =
+  match p.p_desc with
+  | Agreement { lo; hi } ->
+      Printf.sprintf "agreement in %s .. %s" (expr_str lo) (expr_str hi)
+  | K_agreement { k; lo; hi } ->
+      Printf.sprintf "k_agreement %d in %s .. %s" k (expr_str lo) (expr_str hi)
+  | Validity { lo; hi } ->
+      Printf.sprintf "validity in %s .. %s" (expr_str lo) (expr_str hi)
+  | Integrity { lo; hi } ->
+      Printf.sprintf "integrity in %s .. %s" (expr_str lo) (expr_str hi)
+  | Stall_bound { prefix; bound } ->
+      Printf.sprintf "stall_bound %s%s" (escape_string prefix)
+        (if bound = 1 then "" else Printf.sprintf " bound %d" bound)
+
+let proc_sel_str = function
+  | All -> "all"
+  | Range (lo, hi) ->
+      if lo = hi then string_of_int lo else Printf.sprintf "%d..%d" lo hi
+
+let to_string sc =
+  let b = Buffer.create 512 in
+  let line s = Buffer.add_string b (s ^ "\n") in
+  line (Printf.sprintf "scenario %s {" (escape_string sc.sc_name));
+  if sc.sc_doc <> "" then line (Printf.sprintf "  doc %s" (escape_string sc.sc_doc));
+  if sc.sc_min_nprocs = sc.sc_nprocs then
+    line (Printf.sprintf "  nprocs %d" sc.sc_nprocs)
+  else line (Printf.sprintf "  nprocs %d min %d" sc.sc_nprocs sc.sc_min_nprocs);
+  line (Printf.sprintf "  x %d" sc.sc_x);
+  if sc.sc_seeded_bug then line "  seeded_bug";
+  line (Printf.sprintf "  explore_steps %d" sc.sc_explore_steps);
+  if sc.sc_objects <> [] then begin
+    line "  objects {";
+    List.iter (fun o -> line (Printf.sprintf "    %s" (obj_decl_str o))) sc.sc_objects;
+    line "  }"
+  end;
+  List.iter
+    (fun pb ->
+      line (Printf.sprintf "  process %s {" (proc_sel_str pb.pb_sel));
+      List.iter (add_stmt b 4) pb.pb_body;
+      line "  }")
+    sc.sc_procs;
+  List.iter (fun p -> line (Printf.sprintf "  property %s" (prop_str p))) sc.sc_props;
+  line "}";
+  Buffer.contents b

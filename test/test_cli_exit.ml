@@ -28,6 +28,17 @@ let table =
      ^ tmp "cli4.replay", 0);
     ( "explore --algo safe_agreement_no_cancel --expect-violation --jobs 0",
       0 );
+    (* the DSL surface: check/compile/fmt on the shipped examples, a
+       sweep of a scenario file, and the registry listing *)
+    ("sdl check ../examples/x_safe_agreement.sdl", 0);
+    ("sdl compile ../examples/safe_agreement_no_cancel.sdl", 0);
+    ("sdl fmt ../examples/x_safe_agreement_first_subset.sdl", 0);
+    ( "sweep --scenario-file ../examples/x_safe_agreement.sdl --out "
+      ^ tmp "cli5.replay",
+      0 );
+    ("scenarios", 0);
+    ("scenarios --json --scenario-dir ../examples", 0);
+    ("stats --scenario-file ../examples/safe_agreement_no_cancel.sdl --json", 0);
     (* 1 — finding *)
     ("sweep --algo safe_agreement_no_cancel --out " ^ tmp "cli2.replay", 1);
     ("explore --algo safe_agreement_no_cancel --crashes 1", 1);
@@ -40,6 +51,18 @@ let table =
     ("simulate --task nope --target 3,1,1", 2);
     ("experiment NO_SUCH_EXPERIMENT", 2);
     ("sweep --algo no_such_scenario", 2);
+    (* resize below the scenario's minimum names the valid range *)
+    ("sweep --algo safe_agreement -n 1", 2);
+    ("explore --algo x_safe_agreement_first_subset -n 3", 2);
+    (* neither --algo nor --scenario-file *)
+    ("sweep", 2);
+    ("soak --until 10", 2);
+    ("sweep --scenario-file /no/such/file.sdl", 2);
+    (* a file that is not DSL at all still fails with a typed parse
+       error, not an exception *)
+    ("sdl check ../bin/asmsim.exe", 2);
+    ("sdl fmt /no/such/file.sdl", 2);
+    ("stats ../examples/x_safe_agreement.sdl --algo safe_agreement", 2);
     ("sweep --algo safe_agreement --tiers gamma-rays", 2);
     ("explore --algo no_such_scenario", 2);
     ("replay /no/such/file.replay", 2);

@@ -7,4 +7,4 @@ let () =
    @ Test_replay.suite @ Test_monitors.suite @ Test_faults.suite
    @ Test_metrics.suite @ Test_timeline.suite @ Test_props.suite
    @ Test_json.suite @ Test_log.suite @ Test_dist.suite @ Test_net.suite
-   @ Test_corpus.suite @ Test_cli_exit.suite)
+   @ Test_corpus.suite @ Test_sdl.suite @ Test_cli_exit.suite)

@@ -279,6 +279,127 @@ let reject_version_skew () =
                       Alcotest.fail "version skew must be rejected"
                   | Error m -> Alcotest.failf "unreadable welcome: %s" m)))
 
+(* A malformed DSL source inside a job must bounce off the server as a
+   typed [Sc_rejected] — parse + validate only, no code execution — and
+   the server must go on serving fresh connections afterwards. The
+   client library expands jobs locally before dialing, so only a
+   hand-built frame can exercise the server-side path. *)
+let reject_bad_source () =
+  let dir = fresh_dir () in
+  let srv, port = start_server ~dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_quiet srv Sys.sigterm;
+      ignore (reap srv))
+    (fun () ->
+      let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+      let dial_ok () =
+        match Dist.Net.dial ~timeout:5. addr with
+        | Error m -> Alcotest.failf "dial failed: %s" m
+        | Ok fd -> (
+            match
+              Dist.Net.client_handshake fd ~role:Dist.Proto.Client_role
+                ~fingerprint:(fingerprint ())
+            with
+            | Ok () -> fd
+            | Error (Dist.Net.Hs_rejected m) ->
+                Alcotest.failf "handshake rejected: %s" m
+            | Error (Dist.Net.Hs_link m) ->
+                Alcotest.failf "handshake link error: %s" m)
+      in
+      let fd = dial_ok () in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let job =
+            {
+              Dist.Proto.scenario = "zzz";
+              nprocs = None;
+              source = Some "scenario \"zzz\" { nprocs 2";
+              mode =
+                Dist.Proto.Sweep
+                  {
+                    sw_tiers = [ "crash" ];
+                    sw_max_faults = 1;
+                    sw_op_window = 6;
+                    sw_max_runs = 100;
+                    sw_budget = None;
+                  };
+            }
+          in
+          Dist.Frame.write fd
+            (Dist.Proto.client_to_server_to_json
+               (Dist.Proto.Cs_submit { job; resume = None }));
+          match Dist.Frame.read ~timeout:5. fd with
+          | Error e ->
+              Alcotest.failf "no reply to a bad-source submit: %a"
+                Dist.Frame.pp_error e
+          | Ok v -> (
+              match Dist.Proto.server_to_client_of_json v with
+              | Ok (Dist.Proto.Sc_rejected m) ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "rejection is typed and spanned: %S" m)
+                    true
+                    (contains_sub m "cannot expand job"
+                    && contains_sub m "scenario source")
+              | Ok _ -> Alcotest.fail "bad source must be rejected"
+              | Error m -> Alcotest.failf "unreadable reply: %s" m));
+      (* the server survives: a fresh connection still gets stats *)
+      let fd2 = dial_ok () in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd2 with Unix.Unix_error _ -> ())
+        (fun () ->
+          Dist.Frame.write fd2
+            (Dist.Proto.client_to_server_to_json Dist.Proto.Cs_stats);
+          match Dist.Frame.read ~timeout:5. fd2 with
+          | Error e ->
+              Alcotest.failf "server gone after a rejected submit: %a"
+                Dist.Frame.pp_error e
+          | Ok v -> (
+              match Dist.Proto.server_to_client_of_json v with
+              | Ok (Dist.Proto.Sc_stats _) -> ()
+              | Ok _ -> Alcotest.fail "expected stats"
+              | Error m -> Alcotest.failf "unreadable stats: %s" m)))
+
+(* A job carrying a well-formed DSL source executes remotely to the
+   byte-identical outcome of the same compiled scenario in-process —
+   the server has never registered the name; the source on the wire is
+   all it gets. *)
+let dsl_source_identity () =
+  let src =
+    let ic = open_in_bin "../examples/safe_agreement_no_cancel.sdl" in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let s =
+    match Experiments.Scenario.of_source src with
+    | Ok s -> s
+    | Error m -> Alcotest.failf "example does not compile: %s" m
+  in
+  let base = sweep_inproc s in
+  let dir = fresh_dir () in
+  let srv, port = start_server ~shard_size:5 ~dir () in
+  let err = Filename.concat dir "w-dsl.err" in
+  let worker = start_worker ~err port in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_quiet worker Sys.sigkill;
+      kill_quiet srv Sys.sigterm;
+      ignore (reap worker);
+      ignore (reap srv))
+    (fun () ->
+      let sub, stats, _metrics = submit_sweep (client_config ()) s port in
+      match sub with
+      | Dist.Client.Suspended _ -> Alcotest.fail "job suspended without a drain"
+      | Dist.Client.Finished (Dist.Client.Explore_outcome _) ->
+          Alcotest.fail "sweep came back as an explore result"
+      | Dist.Client.Finished (Dist.Client.Sweep_outcome o) ->
+          check Alcotest.string "DSL job identical over TCP" (fst base)
+            (sweep_repr o);
+          Alcotest.(check bool) "shards were executed remotely" true
+            (stats.Dist.Client.executed > 0))
+
 (* ------------------------------------------------------------------ *)
 (* identity over TCP, clean and under chaos                             *)
 (* ------------------------------------------------------------------ *)
@@ -492,7 +613,7 @@ let drain_and_resume () =
 (* ------------------------------------------------------------------ *)
 
 let proto_v2_codec () =
-  Alcotest.(check int) "observability additions bumped the version" 2
+  Alcotest.(check int) "DSL job sources bumped the version" 3
     Dist.Proto.net_version;
   let rt_worker m =
     match
@@ -604,6 +725,10 @@ let suite =
           top_sees_the_fleet;
         Alcotest.test_case "version skew is rejected, typed" `Quick
           reject_version_skew;
+        Alcotest.test_case "malformed DSL source is rejected, typed" `Quick
+          reject_bad_source;
+        Alcotest.test_case "DSL source job: TCP identity, 1 worker" `Quick
+          dsl_source_identity;
         Alcotest.test_case "TCP identity, 2 remote workers" `Quick
           net_identity_clean;
         Alcotest.test_case "TCP identity under --chaos-net drop" `Quick
