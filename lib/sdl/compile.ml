@@ -383,11 +383,24 @@ let compile ?nprocs (sc : Ast.scenario) : (t, Ast.error) result =
           }
 
 (* Parse + validate (no size needed). The front half of [load], exposed
-   for tooling ([asmsim sdl check] / [fmt]). *)
+   for tooling ([asmsim sdl check] / [fmt]). Sources arrive over the
+   wire, so a Stack_overflow out of the frontend (the parser depth-caps
+   its own recursion, but programmatically built or pathological inputs
+   must not crash the server either) is converted to a typed reject. *)
 let frontend source : (Ast.scenario, Ast.error) result =
-  match Parser.parse source with
-  | Error _ as e -> e
-  | Ok sc -> ( match Validate.validate sc with Ok () -> Ok sc | Error e -> Error e)
+  match
+    match Parser.parse source with
+    | Error _ as e -> e
+    | Ok sc -> (
+        match Validate.validate sc with Ok () -> Ok sc | Error e -> Error e)
+  with
+  | r -> r
+  | exception Stack_overflow ->
+      Error
+        {
+          Ast.e_span = Ast.dummy_span;
+          e_msg = "the source nests too deeply to process";
+        }
 
 (* The whole pipeline on a source string, errors stringified with their
    spans — what the CLI and the server's job decoder consume. *)
@@ -402,4 +415,6 @@ let load ?nprocs source : (t, string) result =
     | Ok sc -> (
         match compile ?nprocs sc with
         | Ok t -> Ok t
-        | Error e -> Error (Ast.error_to_string e))
+        | Error e -> Error (Ast.error_to_string e)
+        | exception Stack_overflow ->
+            Error "the source nests too deeply to compile")

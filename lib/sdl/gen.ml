@@ -174,24 +174,28 @@ let rec gen_stmt rs ~objs ~vars ~fresh depth =
         ],
         Some v )
   | `Sa_round ->
-      (* propose then decide, the canonical safe-agreement round *)
+      (* propose then decide, the canonical safe-agreement round; the
+         decide is sometimes left unbound (a bare statement whose
+         result is dropped) so the round-trip covers that shape too *)
       let obj = pick rs objs.sas in
       let key = gen_key rs in
-      let v = fresh () in
-      ( [
-          mk_s (Call (mk_c (Propose { obj; key; value = gen_arith rs ~vars 1 })));
-          mk_s (Let (v, mk_c (Decide_obj { obj; key })));
-        ],
-        Some v )
+      let propose =
+        mk_s (Call (mk_c (Propose { obj; key; value = gen_arith rs ~vars 1 })))
+      in
+      if Random.State.bool rs then
+        let v = fresh () in
+        ([ propose; mk_s (Let (v, mk_c (Decide_obj { obj; key }))) ], Some v)
+      else ([ propose; mk_s (Call (mk_c (Decide_obj { obj; key }))) ], None)
   | `Xsa_round ->
       let obj = pick rs objs.xsas in
       let key = gen_key rs in
-      let v = fresh () in
-      ( [
-          mk_s (Call (mk_c (Propose { obj; key; value = gen_arith rs ~vars 1 })));
-          mk_s (Let (v, mk_c (Decide_obj { obj; key })));
-        ],
-        Some v )
+      let propose =
+        mk_s (Call (mk_c (Propose { obj; key; value = gen_arith rs ~vars 1 })))
+      in
+      if Random.State.bool rs then
+        let v = fresh () in
+        ([ propose; mk_s (Let (v, mk_c (Decide_obj { obj; key }))) ], Some v)
+      else ([ propose; mk_s (Call (mk_c (Decide_obj { obj; key }))) ], None)
   | `Yield -> ([ mk_s Yield ], None)
   | `Repeat ->
       let n = 1 + Random.State.int rs 3 in

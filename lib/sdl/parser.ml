@@ -18,6 +18,7 @@
                  | "enq" NAME key expr | "yield"
                  | "repeat" INT "{" stmt* "}"
                  | "if" expr "{" stmt* "}" ("else" "{" stmt* "}")?
+                 | "decide" NAME key   (* object decide, result dropped *)
                  | "decide" expr
      call      ::= "read" NAME key ("default" expr)?
                  | "deq" NAME key ("default" expr)?
@@ -39,13 +40,24 @@
    is a typed {!Ast.error} spanning the offending token. The statement
    "decide e" and the call "decide OBJ key" are disambiguated by one
    token of lookahead (an identifier followed by '[' is an object
-   decide). *)
+   decide).
+
+   Sources arrive over the wire, so the recursion that structural
+   nesting drives (parenthesized expressions, repeat/if blocks) is
+   depth-capped: past {!max_depth} the parser rejects with a typed
+   error instead of marching toward Stack_overflow. The entry point
+   additionally converts a Stack_overflow — should any other recursion
+   ever hit the stack guard first — into a typed error. *)
 
 open Ast
 
 exception Fail of Ast.error
 
-type st = { toks : Lexer.lexed array; mutable pos : int }
+(* Structural nesting cap: parens + blocks. Far above anything a human
+   writes, far below the ~20-30k frames that overflow the stack. *)
+let max_depth = 64
+
+type st = { toks : Lexer.lexed array; mutable pos : int; mutable depth : int }
 
 let cur st = st.toks.(st.pos)
 
@@ -56,6 +68,14 @@ let fail_at span msg = raise (Fail { e_span = span; e_msg = msg })
 let fail st msg = fail_at (cur_span st) msg
 
 let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let deepen st =
+  st.depth <- st.depth + 1;
+  if st.depth > max_depth then
+    fail st
+      (Printf.sprintf "nesting deeper than %d levels is not allowed" max_depth)
+
+let undeepen st = st.depth <- st.depth - 1
 
 let expect st tok what =
   let t = cur st in
@@ -195,7 +215,9 @@ and parse_atom st =
       { e_desc = Var v; e_span = sp }
   | Lexer.LPAREN ->
       advance st;
+      deepen st;
       let e = parse_expr st in
+      undeepen st;
       let sp2 = expect st Lexer.RPAREN "')'" in
       { e with e_span = span_join sp sp2 }
   | t ->
@@ -285,7 +307,9 @@ let rec parse_stmts st : stmt list =
 
 and parse_block st what =
   let _ = expect st Lexer.LBRACE (Printf.sprintf "'{' to open %s" what) in
+  deepen st;
   let body = parse_stmts st in
+  undeepen st;
   let _ = expect st Lexer.RBRACE (Printf.sprintf "'}' to close %s" what) in
   body
 
@@ -341,10 +365,11 @@ and parse_stmt st : stmt =
       { st_desc = If (cond, then_, else_); st_span = sp0 }
   | Lexer.IDENT "decide" -> (
       advance st;
-      (* "decide OBJ [key]" is an object decide (only as a call after
-         'let'); at statement level an identifier followed by '[' would
-         be that call, which is not allowed here — a decide statement
-         takes the decision value. *)
+      (* One token of lookahead disambiguates: "decide OBJ [key]" (an
+         identifier followed by '[') is the object decide — at
+         statement level its result is dropped, mirroring what
+         Pretty prints for an unbound [Decide_obj] call — while
+         anything else is the terminal decide of the decision value. *)
       let next_tok =
         if st.pos + 1 < Array.length st.toks then
           st.toks.(st.pos + 1).Lexer.tok
@@ -352,9 +377,8 @@ and parse_stmt st : stmt =
       in
       match ((cur st).Lexer.tok, next_tok) with
       | Lexer.IDENT _, Lexer.LBRACK ->
-          fail st
-            "the final 'decide' takes a value: bind the object decide \
-             first ('let v = decide OBJ [...]' then 'decide v')"
+          let c = parse_call st "decide" sp0 in
+          { st_desc = Call c; st_span = span_join sp0 c.c_span }
       | _ ->
           let e = parse_expr st in
           { st_desc = Decide e; st_span = span_join sp0 e.e_span })
@@ -657,7 +681,7 @@ let parse src : (scenario, Ast.error) result =
   match Lexer.tokenize src with
   | Error e -> Error e
   | Ok toks -> (
-      let st = { toks; pos = 0 } in
+      let st = { toks; pos = 0; depth = 0 } in
       match parse_scenario st with
       | sc -> (
           match (cur st).Lexer.tok with
@@ -671,4 +695,13 @@ let parse src : (scenario, Ast.error) result =
                       "trailing input after the scenario: found %s"
                       (Lexer.token_name t);
                 })
-      | exception Fail e -> Error e)
+      | exception Fail e -> Error e
+      | exception Stack_overflow ->
+          (* belt and braces under the depth cap: never let a deep
+             source crash a caller (the server accepts sources over
+             the wire) *)
+          Error
+            {
+              e_span = cur_span st;
+              e_msg = "the source nests too deeply to parse";
+            })

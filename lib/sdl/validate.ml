@@ -112,6 +112,19 @@ let check_call objs ~vars c =
         | Ts -> true
         | _ -> false)
 
+(* A decide anywhere inside the body — including nested in if branches
+   or inner repeats — would cut a surrounding loop short. *)
+let rec contains_decide stmts =
+  List.exists
+    (fun s ->
+      match s.st_desc with
+      | Decide _ -> true
+      | If (_, then_, else_) ->
+          contains_decide then_ || contains_decide else_
+      | Repeat (_, body) -> contains_decide body
+      | _ -> false)
+    stmts
+
 (* Returns the unrolled weight of the statement list. [vars] is the
    lexical scope: bindings made inside a nested block do not escape
    it. *)
@@ -162,14 +175,19 @@ let rec check_stmts objs ~vars stmts : int =
             rejectf st.st_span "repeat bound %d exceeds the cap %d" n
               max_repeat;
           let w = check_stmts objs ~vars body in
-          if
-            List.exists
-              (fun s -> match s.st_desc with Decide _ -> true | _ -> false)
-              body
-          then
+          if contains_decide body then
             reject st.st_span
               "'decide' inside 'repeat' would cut the loop short: decide \
                after the loop instead";
+          (* Saturating: reject before multiplying so nested repeats
+             cannot wrap the native int past the cap (255^8 overflows
+             63-bit ints to a negative that would pass the final
+             comparison). *)
+          if w > max_unrolled / n then
+            rejectf st.st_span
+              "repeat unrolls to more than %d statements (cap %d): shrink \
+               the repeat bounds"
+              max_unrolled max_unrolled;
           (n * w) + 1 + check_stmts objs ~vars rest
       | If (cond, then_, else_) ->
           check_expr ~vars cond;

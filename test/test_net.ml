@@ -283,7 +283,19 @@ let reject_version_skew () =
    typed [Sc_rejected] — parse + validate only, no code execution — and
    the server must go on serving fresh connections afterwards. The
    client library expands jobs locally before dialing, so only a
-   hand-built frame can exercise the server-side path. *)
+   hand-built frame can exercise the server-side path. Beyond the
+   truncated source, a source under the byte cap but nested tens of
+   thousands of levels deep (once a Stack_overflow that killed the
+   whole server) must bounce the same way. *)
+let deeply_nested_source =
+  let parens n s =
+    String.concat ""
+      (List.init n (fun _ -> "(")) ^ s ^ String.concat "" (List.init n (fun _ -> ")"))
+  in
+  "scenario \"deep\" { nprocs 2 x 1 process all { decide "
+  ^ parens 30_000 "0"
+  ^ " } property agreement in 0 .. 1 }"
+
 let reject_bad_source () =
   let dir = fresh_dir () in
   let srv, port = start_server ~dir () in
@@ -307,43 +319,47 @@ let reject_bad_source () =
             | Error (Dist.Net.Hs_link m) ->
                 Alcotest.failf "handshake link error: %s" m)
       in
-      let fd = dial_ok () in
-      Fun.protect
-        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-        (fun () ->
-          let job =
-            {
-              Dist.Proto.scenario = "zzz";
-              nprocs = None;
-              source = Some "scenario \"zzz\" { nprocs 2";
-              mode =
-                Dist.Proto.Sweep
-                  {
-                    sw_tiers = [ "crash" ];
-                    sw_max_faults = 1;
-                    sw_op_window = 6;
-                    sw_max_runs = 100;
-                    sw_budget = None;
-                  };
-            }
-          in
-          Dist.Frame.write fd
-            (Dist.Proto.client_to_server_to_json
-               (Dist.Proto.Cs_submit { job; resume = None }));
-          match Dist.Frame.read ~timeout:5. fd with
-          | Error e ->
-              Alcotest.failf "no reply to a bad-source submit: %a"
-                Dist.Frame.pp_error e
-          | Ok v -> (
-              match Dist.Proto.server_to_client_of_json v with
-              | Ok (Dist.Proto.Sc_rejected m) ->
-                  Alcotest.(check bool)
-                    (Printf.sprintf "rejection is typed and spanned: %S" m)
-                    true
-                    (contains_sub m "cannot expand job"
-                    && contains_sub m "scenario source")
-              | Ok _ -> Alcotest.fail "bad source must be rejected"
-              | Error m -> Alcotest.failf "unreadable reply: %s" m));
+      let submit_bad source needles =
+        let fd = dial_ok () in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let job =
+              {
+                Dist.Proto.scenario = "zzz";
+                nprocs = None;
+                source = Some source;
+                mode =
+                  Dist.Proto.Sweep
+                    {
+                      sw_tiers = [ "crash" ];
+                      sw_max_faults = 1;
+                      sw_op_window = 6;
+                      sw_max_runs = 100;
+                      sw_budget = None;
+                    };
+              }
+            in
+            Dist.Frame.write fd
+              (Dist.Proto.client_to_server_to_json
+                 (Dist.Proto.Cs_submit { job; resume = None }));
+            match Dist.Frame.read ~timeout:5. fd with
+            | Error e ->
+                Alcotest.failf "no reply to a bad-source submit: %a"
+                  Dist.Frame.pp_error e
+            | Ok v -> (
+                match Dist.Proto.server_to_client_of_json v with
+                | Ok (Dist.Proto.Sc_rejected m) ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf "rejection is typed and spanned: %S" m)
+                      true
+                      (List.for_all (fun n -> contains_sub m n) needles)
+                | Ok _ -> Alcotest.fail "bad source must be rejected"
+                | Error m -> Alcotest.failf "unreadable reply: %s" m))
+      in
+      submit_bad "scenario \"zzz\" { nprocs 2"
+        [ "cannot expand job"; "scenario source" ];
+      submit_bad deeply_nested_source [ "cannot expand job"; "nest" ];
       (* the server survives: a fresh connection still gets stats *)
       let fd2 = dial_ok () in
       Fun.protect

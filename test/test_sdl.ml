@@ -76,10 +76,6 @@ let parse_reject_table =
     ("scenario {", "name");
     ("scenario \"a\" { x 1 }", "nprocs");
     ("scenario \"a\" { nprocs 2 }", "x");
-    (* the stmt-level decide-of-object pitfall gets a dedicated message *)
-    ( "scenario \"a\" { nprocs 2 x 1 objects { sa S } process all { decide S \
-       [] } property agreement in 0 .. 1 }",
-      "bind the object decide first" );
     ("scenario \"a\" { nprocs 2 x 1 objects { reg pid } process all { decide \
       0 } property agreement in 0 .. 1 }", "cannot be used as an object name");
     ("scenario \"a\" { nprocs 2 x 1 process all { decide 0 } property \
@@ -98,6 +94,66 @@ let parser_rejects () =
           if not (contains ~needle msg) then
             Alcotest.failf "error %S lacks %S" msg needle)
     parse_reject_table
+
+(* A bare object decide at statement level (the shape Pretty prints for
+   an unbound [Decide_obj]) parses, its result dropped — pinning the
+   parse(to_string sc) = sc contract for programmatically built ASTs. *)
+let parser_bare_object_decide () =
+  let sc =
+    parse_ok
+      "scenario \"a\" { nprocs 2 x 1 objects { sa S } process all { propose \
+       S [] pid decide S [] decide 0 } property agreement in 0 .. 1 }"
+  in
+  (match (List.hd sc.Sdl.Ast.sc_procs).Sdl.Ast.pb_body with
+  | [ _; { Sdl.Ast.st_desc = Sdl.Ast.Call c; _ }; _ ] -> (
+      match c.Sdl.Ast.c_desc with
+      | Sdl.Ast.Decide_obj { obj = "S"; key = [] } -> ()
+      | _ -> Alcotest.fail "second statement should be an object decide")
+  | _ -> Alcotest.fail "expected three statements");
+  ok_or_fail (Sdl.Validate.validate sc);
+  (* and the printed form round-trips *)
+  let printed = Sdl.Pretty.to_string sc in
+  let sc' = parse_ok printed in
+  if not (Sdl.Ast.equal_ignoring_spans sc sc') then
+    Alcotest.failf "bare object decide does not round-trip:\n%s" printed
+
+(* Structural nesting is depth-capped with a typed error — a wire
+   client cannot drive the recursive-descent parser into
+   Stack_overflow with nested parens or nested blocks. *)
+let parser_depth_capped () =
+  let wrap_expr n =
+    Printf.sprintf
+      "scenario \"a\" { nprocs 2 x 1 process all { decide %s0%s } property \
+       agreement in 0 .. 1 }"
+      (String.concat "" (List.init n (fun _ -> "(")))
+      (String.concat "" (List.init n (fun _ -> ")")))
+  in
+  let wrap_blocks n =
+    Printf.sprintf
+      "scenario \"a\" { nprocs 2 x 1 process all { %syield%s decide 0 } \
+       property agreement in 0 .. 1 }"
+      (String.concat "" (List.init n (fun _ -> "repeat 2 { ")))
+      (String.concat "" (List.init n (fun _ -> " }")))
+  in
+  (* comfortably inside the cap: accepted *)
+  (match Sdl.Parser.parse (wrap_expr 20) with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "20 nested parens rejected: %s"
+        (Sdl.Ast.error_to_string e));
+  (* past the cap — including the tens-of-thousands range that used to
+     overflow the stack — a typed error, never an exception *)
+  List.iter
+    (fun src ->
+      match Sdl.Parser.parse src with
+      | Ok _ -> Alcotest.fail "over-deep source accepted"
+      | Error e ->
+          let msg = Sdl.Ast.error_to_string e in
+          if not (contains ~needle:"nest" msg) then
+            Alcotest.failf "depth error %S lacks %S" msg "nest"
+      | exception e ->
+          Alcotest.failf "deep source raised %s" (Printexc.to_string e))
+    [ wrap_expr 100; wrap_blocks 100; wrap_expr 30_000; wrap_blocks 8_000 ]
 
 (* A deterministic little byte mangler: the parser (and lexer under it)
    must return typed errors on arbitrary input, never raise and never
@@ -143,6 +199,25 @@ let validate_reject_table =
     ( {|scenario "a" { nprocs 2 x 1 process all { repeat 2 { decide 0 } }
         property agreement in 0 .. 1 }|},
       "inside 'repeat'" );
+    (* decide buried in an if branch inside the repeat counts too *)
+    ( {|scenario "a" { nprocs 2 x 1 process all {
+          repeat 3 { if pid == 0 { decide 1 } } decide 0 }
+        property agreement in 0 .. 1 }|},
+      "inside 'repeat'" );
+    (* nested repeats multiply past the unroll cap *)
+    ( {|scenario "a" { nprocs 2 x 1 process all {
+          repeat 255 { repeat 255 { yield } } decide 0 }
+        property agreement in 0 .. 1 }|},
+      "cap" );
+    (* ... even when the naive product wraps the native int negative
+       (255^8 overflows 63-bit ints): saturating arithmetic still
+       rejects instead of silently accepting *)
+    ( {|scenario "a" { nprocs 2 x 1 process all {
+          repeat 255 { repeat 255 { repeat 255 { repeat 255 {
+          repeat 255 { repeat 255 { repeat 255 { repeat 255 {
+          yield } } } } } } } } decide 0 }
+        property agreement in 0 .. 1 }|},
+      "cap" );
     (* body must end decided *)
     ( {|scenario "a" { nprocs 2 x 1 objects { reg R } process all { write R [] 1 }
         property agreement in 0 .. 1 }|},
@@ -308,6 +383,9 @@ let suite =
       [
         Alcotest.test_case "golden shape" `Quick parser_golden;
         Alcotest.test_case "typed rejections" `Quick parser_rejects;
+        Alcotest.test_case "bare object decide" `Quick
+          parser_bare_object_decide;
+        Alcotest.test_case "nesting depth capped" `Quick parser_depth_capped;
         Alcotest.test_case "never raises on garbage" `Quick parser_never_raises;
       ] );
     ( "sdl-validate",
